@@ -1,0 +1,43 @@
+# PEACE reproduction — common development targets.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples vet fmt cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/peacebench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/audittrace
+	$(GO) run ./examples/dosdefense
+	$(GO) run ./examples/keyrotation
+	$(GO) run ./examples/anoncomm
+	$(GO) run ./examples/citymesh
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

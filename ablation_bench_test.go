@@ -1,0 +1,114 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: shared
+// final exponentiation in revocation scans, the sparse line multiplication
+// in the Miller loop, and the per-message versus fixed generator modes.
+package peace_test
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/sgs"
+)
+
+// BenchmarkAblationSharedFinalExp measures the Eq.3 token test done
+// naively (two independent pairings) versus the implementation's Miller
+// product with one shared final exponentiation.
+func BenchmarkAblationSharedFinalExp(b *testing.B) {
+	a1, _ := bn256.RandomScalar(rand.Reader)
+	a2, _ := bn256.RandomScalar(rand.Reader)
+	p1 := new(bn256.G1).ScalarBaseMult(a1)
+	p2 := new(bn256.G1).ScalarBaseMult(a2)
+	q1 := new(bn256.G2).Base()
+	q2 := new(bn256.G2).ScalarBaseMult(a1)
+
+	b.Run("TwoFullPairings", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e1 := bn256.Pair(p1, q1)
+			e2 := bn256.Pair(p2, q2)
+			_ = e1.Equal(e2)
+		}
+	})
+	b.Run("MillerProductSharedFinalExp", func(b *testing.B) {
+		p2neg := new(bn256.G1).Neg(p2)
+		for i := 0; i < b.N; i++ {
+			acc := bn256.Miller(p1, q1)
+			acc.Add(acc, bn256.Miller(p2neg, q2))
+			_ = acc.Finalize().IsOne()
+		}
+	})
+}
+
+// BenchmarkAblationGeneratorModes compares signing and verification under
+// the paper's per-message generator derivation versus the fixed-generator
+// mode that enables O(1) revocation (the privacy/performance trade-off the
+// paper acknowledges).
+func BenchmarkAblationGeneratorModes(b *testing.B) {
+	g := newBenchGroup(b, 1)
+	msg := []byte("ablation message")
+
+	for _, mode := range []sgs.GeneratorMode{sgs.PerMessageGenerators, sgs.FixedGenerators} {
+		b.Run("Sign/"+mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sgs.SignWithMode(rand.Reader, g.pub, g.keys[0], msg, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Verify/"+mode.String(), func(b *testing.B) {
+			sig, err := sgs.SignWithMode(rand.Reader, g.pub, g.keys[0], msg, mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sgs.Verify(g.pub, msg, sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRevocationScan compares the linear URL scan against the
+// fast table-based check at a fixed |URL| to expose the constant factors
+// behind E3's crossover.
+func BenchmarkAblationRevocationScan(b *testing.B) {
+	const urlSize = 8
+	g := newBenchGroup(b, urlSize+1)
+	msg := []byte("ablation revocation")
+	tokens := make([]*sgs.RevocationToken, 0, urlSize)
+	for _, k := range g.keys[1:] {
+		tokens = append(tokens, k.Token())
+	}
+
+	b.Run("LinearScan", func(b *testing.B) {
+		sig, err := sgs.Sign(rand.Reader, g.pub, g.keys[0], msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if revoked, _ := sgs.IsRevoked(g.pub, msg, sig, tokens); revoked {
+				b.Fatal("unexpected revocation")
+			}
+		}
+	})
+	b.Run("FastTable", func(b *testing.B) {
+		checker := sgs.NewFastRevocationChecker(g.pub, tokens)
+		sig, err := sgs.SignWithMode(rand.Reader, g.pub, g.keys[0], msg, sgs.FixedGenerators)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			revoked, _, err := checker.IsRevoked(sig)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if revoked {
+				b.Fatal("unexpected revocation")
+			}
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Command audittrace demonstrates PEACE's sophisticated privacy model
+// (paper Sections III.C and IV.D) on a dispute scenario:
+//
+//  1. a user misbehaves during an authenticated session;
+//  2. the network operator audits the logged M.2 and learns ONLY the user
+//     group (nonessential attribute information);
+//  3. the operator revokes the key, locking the attacker out;
+//  4. the law authority — with the group manager's cooperation — completes
+//     the trace to the user's essential identity, checked against the
+//     non-repudiation receipt chain;
+//  5. the group manager alone is shown to be unable to attribute anything.
+//
+// Run with:
+//
+//	go run ./examples/audittrace
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"github.com/peace-mesh/peace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := peace.Config{}
+	fmt.Println("== audit & trace walk-through ==")
+
+	no, err := peace.NewNetworkOperator(cfg)
+	if err != nil {
+		return err
+	}
+	ttp, err := peace.NewTTP(cfg, no.Authority())
+	if err != nil {
+		return err
+	}
+
+	// Two user groups: a company and a university.
+	company, err := peace.NewGroupManager(cfg, "company-xyz", no.Authority())
+	if err != nil {
+		return err
+	}
+	university, err := peace.NewGroupManager(cfg, "university-z", no.Authority())
+	if err != nil {
+		return err
+	}
+	for _, gm := range []*peace.GroupManager{company, university} {
+		if err := no.RegisterUserGroup(gm, ttp, 8); err != nil {
+			return err
+		}
+	}
+
+	// Enroll three users; mallory is the one who will misbehave.
+	users := map[string]*peace.User{}
+	for name, gm := range map[string]*peace.GroupManager{
+		"alice":   company,
+		"bob":     university,
+		"mallory": company,
+	} {
+		u, err := peace.NewUser(cfg, peace.Identity{
+			Essential:  peace.UserID(name + " <essential-id>"),
+			Attributes: []peace.Attribute{{Group: gm.ID(), Role: "member"}},
+		}, no.Authority(), no.GroupPublicKey())
+		if err != nil {
+			return err
+		}
+		if err := peace.EnrollUser(u, gm, ttp); err != nil {
+			return err
+		}
+		users[name] = u
+	}
+
+	router, err := peace.NewMeshRouter(cfg, "MR-1", no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		return err
+	}
+	routerCert, err := no.EnrollRouter("MR-1", router.Public())
+	if err != nil {
+		return err
+	}
+	router.SetCertificate(routerCert)
+	if err := refresh(no, router); err != nil {
+		return err
+	}
+
+	// Mallory authenticates (anonymously) and the router logs the M.2.
+	beacon, err := router.Beacon()
+	if err != nil {
+		return err
+	}
+	loggedM2, err := users["mallory"].HandleBeacon(beacon, "company-xyz")
+	if err != nil {
+		return err
+	}
+	if _, _, err := router.HandleAccessRequest(loggedM2); err != nil {
+		return err
+	}
+	fmt.Println("1. mallory authenticated anonymously; the router logged M.2")
+	fmt.Println("   (the router knows only: \"some legitimate subscriber\")")
+
+	// The session turns out to be abusive. The operator audits.
+	audit, err := no.Audit(loggedM2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2. NO audit result: responsible party is a member of %q\n", audit.Group)
+	fmt.Printf("   (scanned %d revocation tokens; learned NOTHING else —\n", audit.TokensScanned)
+	fmt.Println("   no essential attributes, no uid; accountability with privacy)")
+
+	// Revocation: the audited key goes on the URL.
+	if err := no.RevokeAudited(audit); err != nil {
+		return err
+	}
+	if err := refresh(no, router); err != nil {
+		return err
+	}
+	beacon2, err := router.Beacon()
+	if err != nil {
+		return err
+	}
+	m2again, err := users["mallory"].HandleBeacon(beacon2, "company-xyz")
+	if err != nil {
+		return err
+	}
+	_, _, err = router.HandleAccessRequest(m2again)
+	if !errors.Is(err, peace.ErrRevokedUser) {
+		return fmt.Errorf("expected revocation to lock mallory out, got %v", err)
+	}
+	fmt.Println("3. key revoked via URL: mallory's next access attempt is refused")
+
+	// Severe case: the law authority traces the session with GM help.
+	la := peace.NewLawAuthority(company, university)
+	trace, err := la.Trace(no, loggedM2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("4. law authority trace (NO + GM jointly): uid = %q\n", trace.User)
+	fmt.Printf("   receipt chain verified: %v (non-repudiation holds)\n", trace.ReceiptVerified)
+
+	// And the counterfactual: a GM alone attributes nothing. The GM holds
+	// (grp, x_j) but no A_{i,j}, so it cannot even test a transcript.
+	fmt.Println("5. the group manager alone cannot link the session to anyone:")
+	fmt.Println("   it never sees A_{i,j}; only the NO's grt scan can match (T1, T2)")
+
+	// An operator alone cannot produce the uid either.
+	laWithoutGM := peace.NewLawAuthority()
+	if _, err := laWithoutGM.Trace(no, loggedM2); err == nil {
+		return fmt.Errorf("trace should fail without GM cooperation")
+	}
+	fmt.Println("6. trace WITHOUT the GM fails: neither NO nor GM can de-anonymize alone")
+	fmt.Println("done.")
+	return nil
+}
+
+func refresh(no *peace.NetworkOperator, router *peace.MeshRouter) error {
+	crl, err := no.CurrentCRL()
+	if err != nil {
+		return err
+	}
+	url, err := no.CurrentURL()
+	if err != nil {
+		return err
+	}
+	router.UpdateRevocations(crl, url)
+	return nil
+}

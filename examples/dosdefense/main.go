@@ -1,0 +1,81 @@
+// Command dosdefense reproduces the DoS analysis of paper Section V.A on
+// the simulator: an attacker floods a mesh router with bogus access
+// requests. Without client puzzles every bogus M.2 costs the router an
+// expensive group-signature verification (pairings); with puzzles enabled
+// the flood is shed after one cheap hash check, while the legitimate user
+// still gets in by solving the puzzle.
+//
+// Run with:
+//
+//	go run ./examples/dosdefense
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/peace-mesh/peace"
+	"github.com/peace-mesh/peace/internal/mesh"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func scenario(defense bool, floodSize int) (router mesh.RouterStats, legitAttached bool, err error) {
+	d, err := mesh.NewDeployment(mesh.DeploymentSpec{
+		Seed:             99,
+		Groups:           1,
+		KeysPerGroup:     4,
+		Routers:          1,
+		PuzzleDifficulty: 8,
+	})
+	if err != nil {
+		return mesh.RouterStats{}, false, err
+	}
+	if _, err := d.AddUser("citizen", peace.GroupID("grp-0"), "MR-0", true); err != nil {
+		return mesh.RouterStats{}, false, err
+	}
+	hop := mesh.Link{Latency: 2 * time.Millisecond}
+	d.Net.Connect("citizen", "MR-0", hop)
+
+	attacker := mesh.NewInjector(d.Net, "attacker", "MR-0")
+	d.Net.Connect("attacker", "MR-0", hop)
+
+	d.Routers["MR-0"].Router().SetDoSDefense(defense)
+	d.Routers["MR-0"].StartBeacons(250*time.Millisecond, 8)
+
+	// Give the attacker a beacon to copy g^{r_R} from, then flood.
+	d.Net.RunFor(300 * time.Millisecond)
+	attacker.Flood(floodSize, time.Millisecond)
+	d.Net.RunFor(10 * time.Second)
+
+	return d.Routers["MR-0"].Stats(), d.Users["citizen"].Attached(), nil
+}
+
+func run() error {
+	const flood = 200
+	fmt.Println("== DoS defense: client puzzles (Juels–Brainard) ==")
+	fmt.Printf("flood size: %d bogus access requests\n\n", flood)
+
+	for _, defense := range []bool{false, true} {
+		st, attached, err := scenario(defense, flood)
+		if err != nil {
+			return err
+		}
+		mode := "OFF"
+		if defense {
+			mode = "ON"
+		}
+		fmt.Printf("puzzles %-3s  requests=%-4d expensive-verifications=%-4d shed-cheaply=%-4d legit-attached=%v\n",
+			mode, st.Core.RequestsSeen, st.Core.ExpensiveVerifications, st.Core.RejectedPuzzle, attached)
+	}
+
+	fmt.Println("\nWith puzzles ON the router performs (almost) no pairing work for the")
+	fmt.Println("flood — each bogus request dies on a single SHA-256 check — while the")
+	fmt.Println("legitimate citizen, who spends ~2^8 hashes per puzzle, still attaches.")
+	return nil
+}

@@ -1,0 +1,146 @@
+// Command keyrotation demonstrates PEACE's second revocation mechanism
+// (paper Section V.A): a group public key update. Rather than letting the
+// URL grow with every revoked key, the operator rotates the issuing secret
+// γ, re-registers the groups, and re-enrolls everyone except the revoked
+// members. Old-epoch credentials stop verifying — revocation by omission,
+// with an empty URL.
+//
+// Run with:
+//
+//	go run ./examples/keyrotation
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"github.com/peace-mesh/peace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := peace.Config{}
+	fmt.Println("== group public key rotation (revocation by omission) ==")
+
+	no, err := peace.NewNetworkOperator(cfg)
+	if err != nil {
+		return err
+	}
+	ttp, err := peace.NewTTP(cfg, no.Authority())
+	if err != nil {
+		return err
+	}
+	gm, err := peace.NewGroupManager(cfg, "coop", no.Authority())
+	if err != nil {
+		return err
+	}
+	if err := no.RegisterUserGroup(gm, ttp, 8); err != nil {
+		return err
+	}
+
+	honest, err := peace.NewUser(cfg, peace.Identity{Essential: "honest"}, no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		return err
+	}
+	villain, err := peace.NewUser(cfg, peace.Identity{Essential: "villain"}, no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		return err
+	}
+	for _, u := range []*peace.User{honest, villain} {
+		if err := peace.EnrollUser(u, gm, ttp); err != nil {
+			return err
+		}
+	}
+
+	router, err := peace.NewMeshRouter(cfg, "MR-1", no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		return err
+	}
+	c, err := no.EnrollRouter("MR-1", router.Public())
+	if err != nil {
+		return err
+	}
+	router.SetCertificate(c)
+	if err := refresh(no, router); err != nil {
+		return err
+	}
+
+	attach := func(u *peace.User) error {
+		b, err := router.Beacon()
+		if err != nil {
+			return err
+		}
+		m2, err := u.HandleBeacon(b, "coop")
+		if err != nil {
+			return err
+		}
+		_, _, err = router.HandleAccessRequest(m2)
+		return err
+	}
+
+	fmt.Printf("1. epoch %d: honest attach: %v, villain attach: %v\n",
+		no.Epoch(), errString(attach(honest)), errString(attach(villain)))
+
+	// Rotate; re-register the group; re-enroll ONLY the honest user.
+	newGpk, err := no.RotateGroupSecret()
+	if err != nil {
+		return err
+	}
+	if err := no.RegisterUserGroup(gm, ttp, 8); err != nil {
+		return err
+	}
+	router.UpdateGroupKey(newGpk)
+	if err := refresh(no, router); err != nil {
+		return err
+	}
+	honest.UpdateGroupKey(newGpk)
+	if err := peace.EnrollUser(honest, gm, ttp); err != nil {
+		return err
+	}
+	fmt.Printf("2. rotated to epoch %d; honest re-enrolled, villain omitted\n", no.Epoch())
+
+	err1 := attach(honest)
+	err2 := attach(villain)
+	fmt.Printf("3. epoch %d: honest attach: %v, villain attach: %v\n",
+		no.Epoch(), errString(err1), errString(err2))
+	if err1 != nil {
+		return fmt.Errorf("honest user should still attach: %w", err1)
+	}
+	if !errors.Is(err2, peace.ErrBadAccessRequest) {
+		return fmt.Errorf("villain should be rejected, got %v", err2)
+	}
+
+	url, err := no.CurrentURL()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("4. URL size after rotation: %d (no per-key revocation state needed)\n", len(url.Tokens))
+	fmt.Println("done.")
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "REFUSED"
+}
+
+func refresh(no *peace.NetworkOperator, router *peace.MeshRouter) error {
+	crl, err := no.CurrentCRL()
+	if err != nil {
+		return err
+	}
+	url, err := no.CurrentURL()
+	if err != nil {
+		return err
+	}
+	router.UpdateRevocations(crl, url)
+	return nil
+}

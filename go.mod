@@ -1,0 +1,3 @@
+module github.com/peace-mesh/peace
+
+go 1.22

@@ -1,0 +1,385 @@
+// Package anonrelay implements the upper-layer application the paper's
+// conclusion explicitly motivates: "PEACE also lays a solid background for
+// designing other upper layer security and privacy solutions, e.g.,
+// anonymous communication."
+//
+// It builds telescoping onion circuits from exactly two PEACE primitives:
+//
+//   - the anonymous user–user AKA (M̃.1–M̃.3): every circuit hop is keyed
+//     by a pairwise session whose establishment reveals only "a legitimate
+//     subscriber" — relays never learn who built the circuit;
+//   - the symmetric session layer: each onion layer is one AEAD seal under
+//     the per-hop session key.
+//
+// Circuit construction is Tor-style telescoping: the source runs the peer
+// AKA with the first relay directly, then extends hop by hop by tunneling
+// the next AKA's messages through the already-built prefix. The first
+// relay knows its predecessor but not the payload or the rest of the path;
+// the exit knows the payload destination but cannot identify the source
+// (the AKA it participated in was anonymous by construction).
+//
+// Transport is abstracted behind the Courier interface: the tests wire
+// relays with in-memory calls; a deployment would carry cells inside mesh
+// data frames.
+package anonrelay
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// Exported errors.
+var (
+	ErrNoCircuit    = errors.New("anonrelay: unknown circuit")
+	ErrBadCell      = errors.New("anonrelay: malformed cell")
+	ErrExtendFailed = errors.New("anonrelay: circuit extension failed")
+)
+
+// RelayID names a relay.
+type RelayID string
+
+// Cell commands. cmdCreate/cmdConfirm travel as outer cell commands;
+// cmdExtend/cmdRelay/cmdDeliver appear inside decrypted onion layers.
+const (
+	cmdCreate  = 0   // first-hop circuit creation (raw M~.1)
+	cmdExtend  = 1   // establish a session with the next relay
+	cmdRelay   = 2   // peel one layer and forward to the next hop
+	cmdDeliver = 3   // payload for this relay (circuit endpoint)
+	cmdConfirm = 255 // first-hop M~.3 delivery
+)
+
+// Courier moves cells between nodes and returns the response cell. It is
+// the transport abstraction (direct calls in tests, mesh frames in a
+// deployment).
+type Courier interface {
+	// Exchange delivers a request cell to the relay and returns its reply.
+	Exchange(to RelayID, payload []byte) ([]byte, error)
+}
+
+// Relay is a circuit-switching node. It wraps a PEACE user: circuit
+// sessions are established with the anonymous peer AKA, so a relay can
+// verify its peers are legitimate subscribers without learning anything
+// else about them.
+type Relay struct {
+	id      RelayID
+	user    *core.User
+	courier Courier
+
+	mu       sync.Mutex
+	circuits map[uint64]*relayCircuit
+	// delivered collects DELIVER payloads addressed to this relay.
+	delivered [][]byte
+}
+
+type relayCircuit struct {
+	session *core.Session
+	// next is set once the circuit has been extended through this relay.
+	next       RelayID
+	nextCircID uint64
+}
+
+// NewRelay wraps a PEACE user as a relay.
+func NewRelay(id RelayID, user *core.User, courier Courier) *Relay {
+	return &Relay{
+		id:       id,
+		user:     user,
+		courier:  courier,
+		circuits: make(map[uint64]*relayCircuit),
+	}
+}
+
+// ID returns the relay's identifier.
+func (r *Relay) ID() RelayID { return r.id }
+
+// Delivered returns the payloads that exited at this relay.
+func (r *Relay) Delivered() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]byte, len(r.delivered))
+	copy(out, r.delivered)
+	return out
+}
+
+// cell encoding: circID ‖ cmd ‖ body.
+func encodeCell(circID uint64, cmd byte, body []byte) []byte {
+	w := wire.NewWriter(16 + len(body))
+	w.Uint64(circID)
+	w.Byte(cmd)
+	w.BytesField(body)
+	return w.Bytes()
+}
+
+func decodeCell(data []byte) (circID uint64, cmd byte, body []byte, err error) {
+	r := wire.NewReader(data)
+	if circID, err = r.Uint64(); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	if cmd, err = r.Byte(); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	if body, err = r.BytesField(); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	if err = r.Finish(); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	return circID, cmd, body, nil
+}
+
+// Handle is the relay's top-level cell dispatcher (what a Courier calls).
+func (r *Relay) Handle(data []byte) ([]byte, error) {
+	circID, cmd, body, err := decodeCell(data)
+	if err != nil {
+		return nil, err
+	}
+	switch cmd {
+	case cmdCreate:
+		return r.HandleCreate(circID, body)
+	case cmdConfirm:
+		return nil, r.HandleConfirm(circID, body)
+	case cmdRelay:
+		return r.handleOnion(circID, body)
+	default:
+		return nil, fmt.Errorf("%w: outer command %d", ErrBadCell, cmd)
+	}
+}
+
+// HandleCreate is the relay side of first-hop circuit creation: the
+// initiator's M̃.1 arrives raw; the relay answers with M̃.2 and registers
+// the circuit once M̃.3 confirms.
+func (r *Relay) HandleCreate(circID uint64, helloBytes []byte) ([]byte, error) {
+	hello, err := core.UnmarshalPeerHello(helloBytes)
+	if err != nil {
+		return nil, fmt.Errorf("create: %w", err)
+	}
+	resp, sess, err := r.user.HandlePeerHello(hello, "")
+	if err != nil {
+		return nil, fmt.Errorf("create: %w", err)
+	}
+	r.mu.Lock()
+	r.circuits[circID] = &relayCircuit{session: sess}
+	r.mu.Unlock()
+	return resp.Marshal(), nil
+}
+
+// HandleConfirm finishes first-hop creation with the initiator's M̃.3.
+func (r *Relay) HandleConfirm(circID uint64, confirmBytes []byte) error {
+	confirm, err := core.UnmarshalPeerConfirm(confirmBytes)
+	if err != nil {
+		return fmt.Errorf("confirm: %w", err)
+	}
+	if _, err := r.user.HandlePeerConfirm(confirm); err != nil {
+		return fmt.Errorf("confirm: %w", err)
+	}
+	return nil
+}
+
+// handleOnion processes a RELAY cell: peel one layer, then act on the
+// inner command. The response travels back up the call chain.
+func (r *Relay) handleOnion(circID uint64, body []byte) ([]byte, error) {
+	r.mu.Lock()
+	circ := r.circuits[circID]
+	r.mu.Unlock()
+	if circ == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoCircuit, circID)
+	}
+
+	// Every cell beyond creation is one onion layer sealed under this
+	// hop's session key.
+	frame, err := core.UnmarshalDataFrame(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	inner, err := circ.session.OpenData(frame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+
+	ir := wire.NewReader(inner)
+	innerCmd, err := ir.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	switch innerCmd {
+	case cmdExtend:
+		return r.handleExtend(circID, circ, ir)
+	case cmdRelay:
+		nextFrame, err := ir.BytesField()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+		}
+		if circ.next == "" {
+			return nil, fmt.Errorf("%w: relay cell on unextended circuit", ErrBadCell)
+		}
+		return r.courier.Exchange(circ.next, encodeCell(circ.nextCircID, cmdRelay, nextFrame))
+	case cmdDeliver:
+		payload, err := ir.BytesField()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+		}
+		r.mu.Lock()
+		r.delivered = append(r.delivered, append([]byte(nil), payload...))
+		r.mu.Unlock()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: command %d", ErrBadCell, innerCmd)
+	}
+}
+
+// handleExtend performs the courier role of telescoping: forward the
+// initiator's M̃.1 to the next relay and return the M̃.2 so the initiator
+// can key the new hop end-to-end.
+func (r *Relay) handleExtend(circID uint64, circ *relayCircuit, ir *wire.Reader) ([]byte, error) {
+	nextID, err := ir.StringField()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	nextCirc, err := ir.Uint64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	helloBytes, err := ir.BytesField()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCell, err)
+	}
+	// Forward the (anonymous) M̃.1 as a CREATE at the next relay.
+	resp, err := r.courier.Exchange(RelayID(nextID), encodeCell(nextCirc, cmdCreate, helloBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrExtendFailed, err)
+	}
+	r.mu.Lock()
+	circ.next = RelayID(nextID)
+	circ.nextCircID = nextCirc
+	r.mu.Unlock()
+	return resp, nil
+}
+
+// Circuit is the source's view of a telescoping onion path.
+type Circuit struct {
+	source  *core.User
+	courier Courier
+	rng     io.Reader
+	gen     *bn256.G1
+
+	entry     RelayID
+	entryCirc uint64
+	// hops[i] is the source↔relay-i pairwise session (hops[0] = entry).
+	hops     []*core.Session
+	hopIDs   []RelayID
+	hopCircs []uint64
+	nextCirc uint64
+}
+
+// NewCircuit creates an empty circuit for the source user. The generator
+// g comes from the serving router's beacon (any cached generator works;
+// pass one explicitly for transport-independent tests).
+func NewCircuit(source *core.User, courier Courier, g *bn256.G1) *Circuit {
+	return &Circuit{source: source, courier: courier, rng: rand.Reader, gen: g, nextCirc: 1}
+}
+
+// Len returns the number of established hops.
+func (c *Circuit) Len() int { return len(c.hops) }
+
+// Extend adds a relay to the end of the circuit.
+func (c *Circuit) Extend(id RelayID) error {
+	hello, err := c.source.StartPeerAuthWithGenerator(c.gen, "")
+	if err != nil {
+		return err
+	}
+	circID := c.nextCirc
+	c.nextCirc++
+
+	var respBytes []byte
+	if len(c.hops) == 0 {
+		// First hop: direct CREATE.
+		respBytes, err = c.courier.Exchange(id, encodeCell(circID, cmdCreate, hello.Marshal()))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrExtendFailed, err)
+		}
+		c.entry = id
+		c.entryCirc = circID
+	} else {
+		// Telescope: EXTEND through the existing prefix.
+		body := wire.NewWriter(64 + len(hello.Marshal()))
+		body.Byte(cmdExtend)
+		body.StringField(string(id))
+		body.Uint64(circID)
+		body.BytesField(hello.Marshal())
+		respBytes, err = c.sendLayered(len(c.hops)-1, body.Bytes())
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrExtendFailed, err)
+		}
+	}
+
+	resp, err := core.UnmarshalPeerResponse(respBytes)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrExtendFailed, err)
+	}
+	confirm, sess, err := c.source.HandlePeerResponse(resp)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrExtendFailed, err)
+	}
+	// Deliver M̃.3. For the first hop it goes directly; for extended hops
+	// the confirmation is not tunneled in this design — the AEAD-keyed
+	// first data cell serves as implicit key confirmation (the relay
+	// accepts the circuit once HandleCreate succeeded).
+	if len(c.hops) == 0 {
+		if err := relayConfirm(c.courier, id, confirm); err != nil {
+			return err
+		}
+	}
+
+	c.hops = append(c.hops, sess)
+	c.hopIDs = append(c.hopIDs, id)
+	c.hopCircs = append(c.hopCircs, circID)
+	return nil
+}
+
+// relayConfirm ships M̃.3 to a directly reachable relay.
+func relayConfirm(courier Courier, id RelayID, confirm *core.PeerConfirm) error {
+	_, err := courier.Exchange(id, encodeCell(0, cmdConfirm, confirm.Marshal()))
+	return err
+}
+
+// sendLayered wraps body in onion layers down to hop index last and sends
+// it into the circuit, returning the response. Each relay re-addresses the
+// inner frame itself (it knows its own next pointer), so a layer carries
+// only the sealed frame, never routing state beyond the next hop.
+func (c *Circuit) sendLayered(last int, body []byte) ([]byte, error) {
+	cur := body
+	for i := last; i >= 0; i-- {
+		frame, err := c.hops[i].SealData(c.rng, cur)
+		if err != nil {
+			return nil, err
+		}
+		frameBytes := frame.Marshal()
+		if i == 0 {
+			return c.courier.Exchange(c.entry, encodeCell(c.hopCircs[0], cmdRelay, frameBytes))
+		}
+		// Instruct hop i−1 to relay this frame to its next hop.
+		w := wire.NewWriter(16 + len(frameBytes))
+		w.Byte(cmdRelay)
+		w.BytesField(frameBytes)
+		cur = w.Bytes()
+	}
+	return nil, ErrNoCircuit // unreachable: loop always returns at i == 0
+}
+
+// Send delivers payload anonymously to the circuit's exit relay.
+func (c *Circuit) Send(payload []byte) error {
+	if len(c.hops) == 0 {
+		return ErrNoCircuit
+	}
+	w := wire.NewWriter(16 + len(payload))
+	w.Byte(cmdDeliver)
+	w.BytesField(payload)
+	_, err := c.sendLayered(len(c.hops)-1, w.Bytes())
+	return err
+}

@@ -1,0 +1,77 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func BenchmarkPairing(b *testing.B) {
+	a, _ := RandomScalar(rand.Reader)
+	p := newCurvePoint().Mul(curveGen, a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atePairing(twistGen, p)
+	}
+}
+
+func BenchmarkMillerLoop(b *testing.B) {
+	a, _ := RandomScalar(rand.Reader)
+	p := newCurvePoint().Mul(curveGen, a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		miller(twistGen, p)
+	}
+}
+
+func BenchmarkFinalExponentiation(b *testing.B) {
+	a, _ := RandomScalar(rand.Reader)
+	p := newCurvePoint().Mul(curveGen, a)
+	f := miller(twistGen, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finalExponentiation(f)
+	}
+}
+
+func BenchmarkG1ScalarBaseMult(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	e := new(G1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkG2ScalarBaseMult(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	e := new(G2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkGTScalarMult(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	e := new(GT).Base()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScalarMult(e, k)
+	}
+}
+
+func BenchmarkHashToG1(b *testing.B) {
+	msg := []byte("benchmark message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashToG1(msg)
+	}
+}
+
+func BenchmarkHashToG2(b *testing.B) {
+	msg := []byte("benchmark message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashToG2(msg)
+	}
+}

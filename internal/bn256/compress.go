@@ -1,0 +1,85 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Compressed encodings. The paper's headline communication-overhead claim
+// rests on short signatures; compressed G1 points (x-coordinate plus one
+// sign byte) cut each G1 element from 64 to 33 bytes, which the signature
+// layer exposes as a compact wire format.
+
+// G1CompressedSize is the byte length of a compressed G1 encoding.
+const G1CompressedSize = numBytes + 1
+
+// Compressed-point tag bytes.
+const (
+	tagCompressedEven     = 0x02 // y is the lexicographically smaller root
+	tagCompressedOdd      = 0x03 // y is the larger root
+	tagCompressedInfinity = 0x00
+)
+
+// MarshalCompressed encodes e as a 33-byte compressed point.
+func (e *G1) MarshalCompressed() []byte {
+	out := make([]byte, G1CompressedSize)
+	if e.p.IsInfinity() {
+		out[0] = tagCompressedInfinity
+		return out
+	}
+	e.p.MakeAffine()
+	// Tag by the parity of y (canonical representative in [0, p)).
+	if e.p.y.Bit(0) == 1 {
+		out[0] = tagCompressedOdd
+	} else {
+		out[0] = tagCompressedEven
+	}
+	e.p.x.FillBytes(out[1:])
+	return out
+}
+
+// UnmarshalCompressed decodes a compressed point, recomputing y from the
+// curve equation and the parity tag.
+func (e *G1) UnmarshalCompressed(m []byte) (*G1, error) {
+	if len(m) != G1CompressedSize {
+		return nil, fmt.Errorf("%w: compressed length %d", ErrMalformedPoint, len(m))
+	}
+	if e.p == nil {
+		e.p = newCurvePoint()
+	}
+	switch m[0] {
+	case tagCompressedInfinity:
+		if !allZero(m[1:]) {
+			return nil, fmt.Errorf("%w: nonzero infinity encoding", ErrMalformedPoint)
+		}
+		e.p.SetInfinity()
+		return e, nil
+	case tagCompressedEven, tagCompressedOdd:
+	default:
+		return nil, fmt.Errorf("%w: tag 0x%02x", ErrMalformedPoint, m[0])
+	}
+
+	x := new(big.Int).SetBytes(m[1:])
+	if x.Cmp(P) >= 0 {
+		return nil, ErrMalformedPoint
+	}
+	// y² = x³ + 3.
+	yy := new(big.Int).Mul(x, x)
+	yy.Mul(yy, x)
+	yy.Add(yy, curveB)
+	yy.Mod(yy, P)
+	y := new(big.Int).ModSqrt(yy, P)
+	if y == nil {
+		return nil, ErrNotOnCurve
+	}
+	wantOdd := m[0] == tagCompressedOdd
+	if (y.Bit(0) == 1) != wantOdd {
+		y.Sub(P, y)
+	}
+
+	e.p.x.Set(x)
+	e.p.y.Set(y)
+	e.p.z.SetInt64(1)
+	e.p.t.SetInt64(1)
+	return e, nil
+}

@@ -1,0 +1,304 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// curvePoint implements the elliptic curve E: y² = x³ + 3 over F_p in
+// Jacobian projective coordinates: (x, y, z) represents the affine point
+// (x/z², y/z³). The point at infinity has z = 0. The t field caches z²
+// during mixed operations (kept for parity with classic implementations;
+// it always mirrors z² when set via MakeAffine).
+type curvePoint struct {
+	x, y, z, t *big.Int
+}
+
+func newCurvePoint() *curvePoint {
+	return &curvePoint{
+		x: new(big.Int),
+		y: new(big.Int),
+		z: new(big.Int),
+		t: new(big.Int),
+	}
+}
+
+func (c *curvePoint) String() string {
+	c.MakeAffine()
+	return fmt.Sprintf("(%s, %s)", c.x.String(), c.y.String())
+}
+
+func (c *curvePoint) Set(a *curvePoint) *curvePoint {
+	c.x.Set(a.x)
+	c.y.Set(a.y)
+	c.z.Set(a.z)
+	c.t.Set(a.t)
+	return c
+}
+
+// SetInfinity sets c to the point at infinity.
+func (c *curvePoint) SetInfinity() *curvePoint {
+	c.x.SetInt64(1)
+	c.y.SetInt64(1)
+	c.z.SetInt64(0)
+	c.t.SetInt64(0)
+	return c
+}
+
+func (c *curvePoint) IsInfinity() bool {
+	return c.z.Sign() == 0
+}
+
+// IsOnCurve reports whether the affine form of c satisfies y² = x³ + 3.
+// The point at infinity is considered on the curve.
+func (c *curvePoint) IsOnCurve() bool {
+	if c.IsInfinity() {
+		return true
+	}
+	c.MakeAffine()
+	yy := new(big.Int).Mul(c.y, c.y)
+	xxx := new(big.Int).Mul(c.x, c.x)
+	xxx.Mul(xxx, c.x)
+	yy.Sub(yy, xxx)
+	yy.Sub(yy, curveB)
+	yy.Mod(yy, P)
+	return yy.Sign() == 0
+}
+
+func (c *curvePoint) Equal(a *curvePoint) bool {
+	if c.IsInfinity() || a.IsInfinity() {
+		return c.IsInfinity() == a.IsInfinity()
+	}
+	// Compare cross-multiplied coordinates to avoid affine conversion:
+	// x1·z2² == x2·z1² and y1·z2³ == y2·z1³.
+	z1z1 := new(big.Int).Mul(c.z, c.z)
+	z1z1.Mod(z1z1, P)
+	z2z2 := new(big.Int).Mul(a.z, a.z)
+	z2z2.Mod(z2z2, P)
+
+	l := new(big.Int).Mul(c.x, z2z2)
+	l.Mod(l, P)
+	r := new(big.Int).Mul(a.x, z1z1)
+	r.Mod(r, P)
+	if l.Cmp(r) != 0 {
+		return false
+	}
+
+	z1z1.Mul(z1z1, c.z)
+	z1z1.Mod(z1z1, P)
+	z2z2.Mul(z2z2, a.z)
+	z2z2.Mod(z2z2, P)
+
+	l.Mul(c.y, z2z2)
+	l.Mod(l, P)
+	r.Mul(a.y, z1z1)
+	r.Mod(r, P)
+	return l.Cmp(r) == 0
+}
+
+// Add sets c = a + b using the add-2007-bl Jacobian formulas, falling back
+// to Double when a == b.
+func (c *curvePoint) Add(a, b *curvePoint) *curvePoint {
+	if a.IsInfinity() {
+		return c.Set(b)
+	}
+	if b.IsInfinity() {
+		return c.Set(a)
+	}
+
+	z1z1 := new(big.Int).Mul(a.z, a.z)
+	z1z1.Mod(z1z1, P)
+	z2z2 := new(big.Int).Mul(b.z, b.z)
+	z2z2.Mod(z2z2, P)
+
+	u1 := new(big.Int).Mul(a.x, z2z2)
+	u1.Mod(u1, P)
+	u2 := new(big.Int).Mul(b.x, z1z1)
+	u2.Mod(u2, P)
+
+	s1 := new(big.Int).Mul(a.y, b.z)
+	s1.Mul(s1, z2z2)
+	s1.Mod(s1, P)
+	s2 := new(big.Int).Mul(b.y, a.z)
+	s2.Mul(s2, z1z1)
+	s2.Mod(s2, P)
+
+	h := new(big.Int).Sub(u2, u1)
+	h.Mod(h, P)
+	r := new(big.Int).Sub(s2, s1)
+	r.Mod(r, P)
+
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			return c.Double(a)
+		}
+		return c.SetInfinity()
+	}
+	r.Lsh(r, 1)
+
+	i := new(big.Int).Lsh(h, 1)
+	i.Mul(i, i)
+	i.Mod(i, P)
+	j := new(big.Int).Mul(h, i)
+	j.Mod(j, P)
+
+	v := new(big.Int).Mul(u1, i)
+	v.Mod(v, P)
+
+	x3 := new(big.Int).Mul(r, r)
+	x3.Sub(x3, j)
+	x3.Sub(x3, v)
+	x3.Sub(x3, v)
+	x3.Mod(x3, P)
+
+	y3 := new(big.Int).Sub(v, x3)
+	y3.Mul(y3, r)
+	t := new(big.Int).Mul(s1, j)
+	t.Lsh(t, 1)
+	y3.Sub(y3, t)
+	y3.Mod(y3, P)
+
+	z3 := new(big.Int).Add(a.z, b.z)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	z3.Mul(z3, h)
+	z3.Mod(z3, P)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Double sets c = 2a using the dbl-2009-l Jacobian formulas.
+func (c *curvePoint) Double(a *curvePoint) *curvePoint {
+	if a.IsInfinity() {
+		return c.SetInfinity()
+	}
+
+	aa := new(big.Int).Mul(a.x, a.x)
+	aa.Mod(aa, P)
+	bb := new(big.Int).Mul(a.y, a.y)
+	bb.Mod(bb, P)
+	cc := new(big.Int).Mul(bb, bb)
+	cc.Mod(cc, P)
+
+	d := new(big.Int).Add(a.x, bb)
+	d.Mul(d, d)
+	d.Sub(d, aa)
+	d.Sub(d, cc)
+	d.Lsh(d, 1)
+	d.Mod(d, P)
+
+	e := new(big.Int).Lsh(aa, 1)
+	e.Add(e, aa)
+	f := new(big.Int).Mul(e, e)
+	f.Mod(f, P)
+
+	x3 := new(big.Int).Sub(f, new(big.Int).Lsh(d, 1))
+	x3.Mod(x3, P)
+
+	y3 := new(big.Int).Sub(d, x3)
+	y3.Mul(y3, e)
+	t := new(big.Int).Lsh(cc, 3)
+	y3.Sub(y3, t)
+	y3.Mod(y3, P)
+
+	z3 := new(big.Int).Mul(a.y, a.z)
+	z3.Lsh(z3, 1)
+	z3.Mod(z3, P)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Mul sets c = k·a using a fixed 4-bit window (≈25% fewer additions than
+// plain double-and-add for 256-bit scalars). mulGeneric remains as the
+// cross-check reference for tests.
+func (c *curvePoint) Mul(a *curvePoint, k *big.Int) *curvePoint {
+	if k.Sign() < 0 {
+		neg := newCurvePoint().Negative(a)
+		kAbs := new(big.Int).Neg(k)
+		return c.Mul(neg, kAbs)
+	}
+	if k.BitLen() <= 16 {
+		return c.mulGeneric(a, k)
+	}
+
+	// table[i] = i·a for i in 1..15.
+	var table [16]*curvePoint
+	table[1] = newCurvePoint().Set(a)
+	for i := 2; i < 16; i++ {
+		table[i] = newCurvePoint().Add(table[i-1], a)
+	}
+
+	sum := newCurvePoint().SetInfinity()
+	bits := k.BitLen()
+	// Round the starting position up to a window boundary.
+	start := ((bits + 3) / 4) * 4
+	for pos := start - 4; pos >= 0; pos -= 4 {
+		for d := 0; d < 4; d++ {
+			sum.Double(sum)
+		}
+		nibble := (k.Bit(pos+3) << 3) | (k.Bit(pos+2) << 2) | (k.Bit(pos+1) << 1) | k.Bit(pos)
+		if nibble != 0 {
+			sum.Add(sum, table[nibble])
+		}
+	}
+	return c.Set(sum)
+}
+
+// mulGeneric is the textbook double-and-add ladder.
+func (c *curvePoint) mulGeneric(a *curvePoint, k *big.Int) *curvePoint {
+	sum := newCurvePoint().SetInfinity()
+	t := newCurvePoint()
+	for i := k.BitLen(); i >= 0; i-- {
+		t.Double(sum)
+		if k.Bit(i) != 0 {
+			sum.Add(t, a)
+		} else {
+			sum.Set(t)
+		}
+	}
+	return c.Set(sum)
+}
+
+func (c *curvePoint) Negative(a *curvePoint) *curvePoint {
+	c.x.Set(a.x)
+	c.y.Neg(a.y)
+	c.y.Mod(c.y, P)
+	c.z.Set(a.z)
+	c.t.SetInt64(0)
+	return c
+}
+
+// MakeAffine normalizes c to z = 1 (or the canonical infinity encoding).
+func (c *curvePoint) MakeAffine() *curvePoint {
+	if c.z.Sign() == 0 {
+		return c.SetInfinity()
+	}
+	one := big.NewInt(1)
+	if c.z.Cmp(one) == 0 && c.x.Sign() >= 0 && c.x.Cmp(P) < 0 &&
+		c.y.Sign() >= 0 && c.y.Cmp(P) < 0 {
+		c.t.Set(one)
+		return c
+	}
+
+	zInv := new(big.Int).ModInverse(c.z, P)
+	t := new(big.Int).Mul(c.y, zInv)
+	t.Mod(t, P)
+	zInv2 := new(big.Int).Mul(zInv, zInv)
+	zInv2.Mod(zInv2, P)
+
+	c.y.Mul(t, zInv2)
+	c.y.Mod(c.y, P)
+	t.Mul(c.x, zInv2)
+	t.Mod(t, P)
+	c.x.Set(t)
+	c.z.SetInt64(1)
+	c.t.SetInt64(1)
+	return c
+}

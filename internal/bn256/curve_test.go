@@ -1,0 +1,216 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestCurvePointGroupLaws(t *testing.T) {
+	a, _ := RandomScalar(rand.Reader)
+	b, _ := RandomScalar(rand.Reader)
+	pa := newCurvePoint().Mul(curveGen, a)
+	pb := newCurvePoint().Mul(curveGen, b)
+
+	// Commutativity.
+	ab := newCurvePoint().Add(pa, pb)
+	ba := newCurvePoint().Add(pb, pa)
+	if !ab.Equal(ba) {
+		t.Fatal("curve addition not commutative")
+	}
+
+	// Identity element.
+	inf := newCurvePoint().SetInfinity()
+	if !newCurvePoint().Add(pa, inf).Equal(pa) {
+		t.Fatal("P + O != P")
+	}
+	if !newCurvePoint().Add(inf, pa).Equal(pa) {
+		t.Fatal("O + P != P")
+	}
+
+	// Inverse.
+	neg := newCurvePoint().Negative(pa)
+	if !newCurvePoint().Add(pa, neg).IsInfinity() {
+		t.Fatal("P + (−P) != O")
+	}
+
+	// Doubling consistency: P + P == 2P.
+	dbl := newCurvePoint().Double(pa)
+	sum := newCurvePoint().Add(pa, pa)
+	if !dbl.Equal(sum) {
+		t.Fatal("Add(P,P) != Double(P)")
+	}
+
+	// Results stay on the curve.
+	if !ab.IsOnCurve() || !dbl.IsOnCurve() {
+		t.Fatal("group law left the curve")
+	}
+}
+
+func TestCurvePointScalarEdgeCases(t *testing.T) {
+	a, _ := RandomScalar(rand.Reader)
+	pa := newCurvePoint().Mul(curveGen, a)
+
+	if !newCurvePoint().Mul(pa, big.NewInt(0)).IsInfinity() {
+		t.Fatal("0·P != O")
+	}
+	if !newCurvePoint().Mul(pa, big.NewInt(1)).Equal(pa) {
+		t.Fatal("1·P != P")
+	}
+	if !newCurvePoint().Mul(pa, Order).IsInfinity() {
+		t.Fatal("n·P != O")
+	}
+	// (n−1)·P == −P.
+	nm1 := new(big.Int).Sub(Order, big.NewInt(1))
+	neg := newCurvePoint().Negative(pa)
+	if !newCurvePoint().Mul(pa, nm1).Equal(neg) {
+		t.Fatal("(n−1)·P != −P")
+	}
+	// Negative scalar: (−1)·P == −P.
+	if !newCurvePoint().Mul(pa, big.NewInt(-1)).Equal(neg) {
+		t.Fatal("(−1)·P != −P")
+	}
+}
+
+func TestTwistPointGroupLaws(t *testing.T) {
+	a, _ := RandomScalar(rand.Reader)
+	b, _ := RandomScalar(rand.Reader)
+	pa := newTwistPoint().Mul(twistGen, a)
+	pb := newTwistPoint().Mul(twistGen, b)
+
+	ab := newTwistPoint().Add(pa, pb)
+	ba := newTwistPoint().Add(pb, pa)
+	if !ab.Equal(ba) {
+		t.Fatal("twist addition not commutative")
+	}
+
+	inf := newTwistPoint().SetInfinity()
+	if !newTwistPoint().Add(pa, inf).Equal(pa) {
+		t.Fatal("Q + O != Q")
+	}
+
+	neg := newTwistPoint().Negative(pa)
+	if !newTwistPoint().Add(pa, neg).IsInfinity() {
+		t.Fatal("Q + (−Q) != O")
+	}
+
+	dbl := newTwistPoint().Double(pa)
+	sum := newTwistPoint().Add(pa, pa)
+	if !dbl.Equal(sum) {
+		t.Fatal("Add(Q,Q) != Double(Q)")
+	}
+	if !ab.IsOnCurve() {
+		t.Fatal("twist group law left the subgroup")
+	}
+}
+
+func TestScalarMultDistributesOverAdd(t *testing.T) {
+	// k(P + Q) == kP + kQ on both curves.
+	a, _ := RandomScalar(rand.Reader)
+	b, _ := RandomScalar(rand.Reader)
+	k, _ := RandomScalar(rand.Reader)
+
+	pa := newCurvePoint().Mul(curveGen, a)
+	pb := newCurvePoint().Mul(curveGen, b)
+	l := newCurvePoint().Add(pa, pb)
+	l.Mul(l, k)
+	r := newCurvePoint().Add(newCurvePoint().Mul(pa, k), newCurvePoint().Mul(pb, k))
+	if !l.Equal(r) {
+		t.Fatal("G1: k(P+Q) != kP + kQ")
+	}
+
+	qa := newTwistPoint().Mul(twistGen, a)
+	qb := newTwistPoint().Mul(twistGen, b)
+	l2 := newTwistPoint().Add(qa, qb)
+	l2.Mul(l2, k)
+	r2 := newTwistPoint().Add(newTwistPoint().Mul(qa, k), newTwistPoint().Mul(qb, k))
+	if !l2.Equal(r2) {
+		t.Fatal("G2: k(P+Q) != kP + kQ")
+	}
+}
+
+func TestMakeAffineIdempotent(t *testing.T) {
+	a, _ := RandomScalar(rand.Reader)
+	p1 := newCurvePoint().Mul(curveGen, a)
+	p2 := newCurvePoint().Set(p1)
+	p1.MakeAffine()
+	p1.MakeAffine()
+	if !p1.Equal(p2) {
+		t.Fatal("MakeAffine changed the point")
+	}
+
+	inf := newCurvePoint().SetInfinity()
+	inf.MakeAffine()
+	if !inf.IsInfinity() {
+		t.Fatal("MakeAffine broke infinity")
+	}
+}
+
+func TestMixedAdditionAgainstDistinctZ(t *testing.T) {
+	// Add points with different (non-one) Z coordinates: exercise the
+	// full Jacobian path by comparing against affine-normalized inputs.
+	a, _ := RandomScalar(rand.Reader)
+	b, _ := RandomScalar(rand.Reader)
+
+	// Build pa with non-trivial Z by doubling (Double leaves Z != 1).
+	pa := newCurvePoint().Mul(curveGen, a)
+	pa.Double(pa)
+	pb := newCurvePoint().Mul(curveGen, b)
+	pb.Double(pb)
+
+	sum1 := newCurvePoint().Add(pa, pb)
+
+	paAff := newCurvePoint().Set(pa)
+	paAff.MakeAffine()
+	pbAff := newCurvePoint().Set(pb)
+	pbAff.MakeAffine()
+	sum2 := newCurvePoint().Add(paAff, pbAff)
+
+	if !sum1.Equal(sum2) {
+		t.Fatal("Jacobian addition disagrees with affine-input addition")
+	}
+}
+
+func TestGTIdentityMarshal(t *testing.T) {
+	one := new(GT).SetOne()
+	back, err := new(GT).Unmarshal(one.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsOne() {
+		t.Fatal("GT identity round-trip failed")
+	}
+}
+
+func TestWindowedMulMatchesGeneric(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		k, _ := RandomScalar(rand.Reader)
+		a, _ := RandomScalar(rand.Reader)
+		base := newCurvePoint().mulGeneric(curveGen, a)
+
+		fast := newCurvePoint().Mul(base, k)
+		slow := newCurvePoint().mulGeneric(base, k)
+		if !fast.Equal(slow) {
+			t.Fatalf("G1 windowed mul mismatch at iteration %d", i)
+		}
+
+		tbase := newTwistPoint().mulGeneric(twistGen, a)
+		tfast := newTwistPoint().Mul(tbase, k)
+		tslow := newTwistPoint().mulGeneric(tbase, k)
+		if !tfast.Equal(tslow) {
+			t.Fatalf("G2 windowed mul mismatch at iteration %d", i)
+		}
+	}
+	// Boundary scalars.
+	for _, k := range []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(15), big.NewInt(16),
+		big.NewInt(65535), big.NewInt(65536),
+		new(big.Int).Sub(Order, big.NewInt(1)), Order,
+	} {
+		fast := newCurvePoint().Mul(curveGen, k)
+		slow := newCurvePoint().mulGeneric(curveGen, k)
+		if !fast.Equal(slow) {
+			t.Fatalf("G1 windowed mul mismatch for k=%v", k)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package bn256 implements a particular bilinear group at roughly a 128-bit
+// security level, built from scratch on math/big so that the repository
+// depends only on the Go standard library.
+//
+// The group is a Barreto–Naehrig pairing-friendly elliptic curve defined by
+// the BN parameter u = 1868033³ (the same curve as the original Go
+// x/crypto/bn256 package). It consists of:
+//
+//   - G1, a prime-order subgroup of E(F_p) where E: y² = x³ + 3,
+//   - G2, a prime-order subgroup of the sextic twist E'(F_p²) where
+//     E': y² = x³ + 3/ξ with ξ = i + 3,
+//   - GT, the order-n subgroup of F_p¹²*, and
+//   - a non-degenerate bilinear map Pair: G1 × G2 → GT (the ate pairing).
+//
+// All derived constants (p, the group order n, the twist coefficient, the
+// Frobenius twist factors) are computed from u at package initialization
+// rather than transcribed, eliminating a whole class of constant-typo bugs.
+// The package additionally implements hash-to-group for G1 and G2 and a
+// slow, textbook Tate pairing used by the test suite to cross-check the
+// optimized ate pairing.
+//
+// The API mirrors the classic bn256 interface (Add/ScalarMult/Marshal on
+// wrapper types G1, G2, GT) but is written in multiplicative notation-aware
+// terms for the PEACE protocol layer: "exponentiation" in the paper maps to
+// ScalarMult here.
+//
+// This package is a cryptographic reproduction substrate, not a hardened
+// production library: operations are not constant-time.
+package bn256

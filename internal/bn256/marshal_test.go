@@ -1,0 +1,260 @@
+package bn256
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestG1MarshalRoundTrip(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		_, g, err := RandomG1(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := g.Marshal()
+		if len(m) != G1Size {
+			t.Fatalf("G1 marshal length = %d, want %d", len(m), G1Size)
+		}
+		g2, err := new(G1).Unmarshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(g2) {
+			t.Fatal("G1 round-trip mismatch")
+		}
+	}
+}
+
+func TestG1MarshalInfinity(t *testing.T) {
+	inf := new(G1).SetInfinity()
+	m := inf.Marshal()
+	if !allZero(m) {
+		t.Fatal("infinity should marshal to zeros")
+	}
+	back, err := new(G1).Unmarshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsInfinity() {
+		t.Fatal("unmarshaled zeros should be infinity")
+	}
+}
+
+func TestG1UnmarshalRejectsGarbage(t *testing.T) {
+	m := make([]byte, G1Size)
+	for i := range m {
+		m[i] = 0xAB
+	}
+	if _, err := new(G1).Unmarshal(m); err == nil {
+		t.Fatal("expected error unmarshaling non-curve bytes")
+	}
+	if _, err := new(G1).Unmarshal(m[:G1Size-1]); err == nil {
+		t.Fatal("expected error on short input")
+	}
+}
+
+func TestG2MarshalRoundTrip(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		_, g, err := RandomG2(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := g.Marshal()
+		if len(m) != G2Size {
+			t.Fatalf("G2 marshal length = %d, want %d", len(m), G2Size)
+		}
+		g2, err := new(G2).Unmarshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(g2) {
+			t.Fatal("G2 round-trip mismatch")
+		}
+	}
+}
+
+func TestG2UnmarshalRejectsWrongSubgroup(t *testing.T) {
+	// A point on the twist but outside the order-n subgroup must be
+	// rejected. Build one by NOT clearing the cofactor.
+	for ctr := uint32(0); ; ctr++ {
+		hx := hashWithTag("test-subgroup-x", ctr, nil)
+		xCand := newGFp2()
+		xCand.x.SetBytes(hx[:])
+		xCand.x.Mod(xCand.x, P)
+		xCand.y.SetInt64(int64(ctr))
+
+		yy := newGFp2().Square(xCand)
+		yy.Mul(yy, xCand)
+		yy.Add(yy, twistB)
+		y := newGFp2()
+		if !y.Sqrt(yy) {
+			continue
+		}
+		pt := newTwistPoint()
+		pt.x.Set(xCand)
+		pt.y.Set(y)
+		pt.z.SetOne()
+		pt.t.SetOne()
+
+		// Skip the (negligible-probability) case the raw point already has
+		// order n.
+		if newTwistPoint().Mul(pt, Order).IsInfinity() {
+			continue
+		}
+		g := &G2{p: pt}
+		m := g.Marshal()
+		if _, err := new(G2).Unmarshal(m); err == nil {
+			t.Fatal("expected subgroup check to reject point")
+		}
+		return
+	}
+}
+
+func TestGTMarshalRoundTrip(t *testing.T) {
+	k, _ := RandomScalar(rand.Reader)
+	g := new(GT).ScalarBaseMult(k)
+	m := g.Marshal()
+	if len(m) != GTSize {
+		t.Fatalf("GT marshal length = %d, want %d", len(m), GTSize)
+	}
+	g2, err := new(GT).Unmarshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(g2) {
+		t.Fatal("GT round-trip mismatch")
+	}
+	if !bytes.Equal(m, g2.Marshal()) {
+		t.Fatal("GT re-marshal mismatch")
+	}
+}
+
+func TestPairViaPublicAPI(t *testing.T) {
+	a, ga, _ := RandomG1(rand.Reader)
+	b, gb, _ := RandomG2(rand.Reader)
+
+	e1 := Pair(ga, gb)
+	ab := new(GT).ScalarBaseMult(a)
+	ab.ScalarMult(ab, b)
+	if !e1.Equal(ab) {
+		t.Fatal("Pair(aG1, bG2) != Base^(ab)")
+	}
+}
+
+func TestHashToG1Deterministic(t *testing.T) {
+	h1 := HashToG1([]byte("hello"))
+	h2 := HashToG1([]byte("hello"))
+	h3 := HashToG1([]byte("world"))
+	if !h1.Equal(h2) {
+		t.Fatal("HashToG1 not deterministic")
+	}
+	if h1.Equal(h3) {
+		t.Fatal("HashToG1 collision on distinct inputs")
+	}
+	if h1.IsInfinity() {
+		t.Fatal("HashToG1 returned identity")
+	}
+	if !h1.p.IsOnCurve() {
+		t.Fatal("HashToG1 point not on curve")
+	}
+}
+
+func TestHashToG2Valid(t *testing.T) {
+	h := HashToG2([]byte("hello"))
+	if h.IsInfinity() {
+		t.Fatal("HashToG2 returned identity")
+	}
+	if !newTwistPoint().Mul(h.p, Order).IsInfinity() {
+		t.Fatal("HashToG2 point not in order-n subgroup")
+	}
+	h2 := HashToG2([]byte("hello"))
+	if !h.Equal(h2) {
+		t.Fatal("HashToG2 not deterministic")
+	}
+}
+
+func TestHashToScalars(t *testing.T) {
+	ks := HashToScalars([]byte("seed"), 4)
+	if len(ks) != 4 {
+		t.Fatalf("got %d scalars, want 4", len(ks))
+	}
+	for i, k := range ks {
+		if k.Sign() == 0 || k.Cmp(Order) >= 0 {
+			t.Fatalf("scalar %d out of range", i)
+		}
+		for j := i + 1; j < len(ks); j++ {
+			if k.Cmp(ks[j]) == 0 {
+				t.Fatalf("scalars %d and %d equal", i, j)
+			}
+		}
+	}
+	again := HashToScalars([]byte("seed"), 4)
+	for i := range ks {
+		if ks[i].Cmp(again[i]) != 0 {
+			t.Fatal("HashToScalars not deterministic")
+		}
+	}
+}
+
+func TestG1CompressedRoundTrip(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		_, g, err := RandomG1(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := g.MarshalCompressed()
+		if len(m) != G1CompressedSize {
+			t.Fatalf("compressed length = %d", len(m))
+		}
+		back, err := new(G1).UnmarshalCompressed(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(back) {
+			t.Fatal("compressed round-trip mismatch")
+		}
+	}
+}
+
+func TestG1CompressedInfinity(t *testing.T) {
+	inf := new(G1).SetInfinity()
+	m := inf.MarshalCompressed()
+	back, err := new(G1).UnmarshalCompressed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsInfinity() {
+		t.Fatal("compressed infinity round-trip failed")
+	}
+	// Nonzero payload with infinity tag rejected.
+	m[5] = 1
+	if _, err := new(G1).UnmarshalCompressed(m); err == nil {
+		t.Fatal("bad infinity encoding accepted")
+	}
+}
+
+func TestG1CompressedRejectsGarbage(t *testing.T) {
+	bad := make([]byte, G1CompressedSize)
+	bad[0] = 0x07 // unknown tag
+	if _, err := new(G1).UnmarshalCompressed(bad); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	// x with no square root: search for one deterministically.
+	found := false
+	for x := int64(1); x < 200 && !found; x++ {
+		cand := make([]byte, G1CompressedSize)
+		cand[0] = tagCompressedEven
+		big.NewInt(x).FillBytes(cand[1:])
+		if _, err := new(G1).UnmarshalCompressed(cand); err != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no non-residue x found in range (unexpected)")
+	}
+	if _, err := new(G1).UnmarshalCompressed(bad[:10]); err == nil {
+		t.Fatal("short compressed encoding accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestMillerFinalizeMatchesPair(t *testing.T) {
+	_, ga, _ := RandomG1(rand.Reader)
+	_, gb, _ := RandomG2(rand.Reader)
+
+	direct := Pair(ga, gb)
+	split := Miller(ga, gb).Finalize()
+	if !direct.Equal(split) {
+		t.Fatal("Miller+Finalize != Pair")
+	}
+}
+
+func TestPairingCheckProduct(t *testing.T) {
+	// e(aP, Q) · e(−aP, Q) = 1.
+	a, _ := RandomScalar(rand.Reader)
+	p := new(G1).ScalarBaseMult(a)
+	pNeg := new(G1).Neg(p)
+	q := new(G2).Base()
+
+	if !PairingCheck([]*G1{p, pNeg}, []*G2{q, q}) {
+		t.Fatal("PairingCheck rejected a true product")
+	}
+
+	// e(aP, Q) · e(P, Q) ≠ 1 for generic a.
+	base := new(G1).Base()
+	if PairingCheck([]*G1{p, base}, []*G2{q, q}) {
+		t.Fatal("PairingCheck accepted a false product")
+	}
+}
+
+func TestPairingCheckDHTriple(t *testing.T) {
+	// The classic co-DDH check: e(g1^a, g2^b) == e(g1^(ab), g2), phrased as
+	// a product: e(g1^a, g2^b)·e(g1^(−ab), g2) = 1.
+	a, _ := RandomScalar(rand.Reader)
+	b, _ := RandomScalar(rand.Reader)
+	ga := new(G1).ScalarBaseMult(a)
+	gb := new(G2).ScalarBaseMult(b)
+
+	ab := new(G1).ScalarMult(ga, b)
+	abNeg := new(G1).Neg(ab)
+	g2 := new(G2).Base()
+
+	if !PairingCheck([]*G1{ga, abNeg}, []*G2{gb, g2}) {
+		t.Fatal("co-DDH product check failed")
+	}
+}
+
+func TestPairingCheckSkipsIdentity(t *testing.T) {
+	inf := new(G1).SetInfinity()
+	q := new(G2).Base()
+	if !PairingCheck([]*G1{inf}, []*G2{q}) {
+		t.Fatal("e(O, Q) should be 1")
+	}
+}

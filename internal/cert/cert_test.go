@@ -1,0 +1,157 @@
+package cert
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+)
+
+var testEpoch = time.Unix(1751600000, 0) // fixed reference time for tests
+
+func newAuthority(t *testing.T) *KeyPair {
+	t.Helper()
+	kp, err := GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func TestSignVerify(t *testing.T) {
+	kp := newAuthority(t)
+	msg := []byte("beacon contents")
+	sig, err := kp.Sign(rand.Reader, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kp.Public().Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := kp.Public().Verify([]byte("other"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestCertificateLifecycle(t *testing.T) {
+	no := newAuthority(t)
+	router := newAuthority(t)
+
+	c, err := IssueCertificate(rand.Reader, no, "MR-17", router.Public(), testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(no.Public(), testEpoch); err != nil {
+		t.Fatalf("valid cert rejected: %v", err)
+	}
+	if err := c.Verify(no.Public(), testEpoch.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("want ErrExpired, got %v", err)
+	}
+
+	// Wrong authority.
+	other := newAuthority(t)
+	if err := c.Verify(other.Public(), testEpoch); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature under wrong authority, got %v", err)
+	}
+
+	// Tampered subject.
+	c2 := *c
+	c2.SubjectID = "MR-66"
+	if err := c2.Verify(no.Public(), testEpoch); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered cert accepted: %v", err)
+	}
+}
+
+func TestCertificateMarshalRoundTrip(t *testing.T) {
+	no := newAuthority(t)
+	router := newAuthority(t)
+	c, err := IssueCertificate(rand.Reader, no, "MR-1", router.Public(), testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCertificate(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SubjectID != c.SubjectID || back.PublicKey != c.PublicKey || !back.ExpiresAt.Equal(c.ExpiresAt) {
+		t.Fatal("round-trip field mismatch")
+	}
+	if err := back.Verify(no.Public(), testEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCertificate(c.Marshal()[:10]); err == nil {
+		t.Fatal("truncated cert accepted")
+	}
+}
+
+func TestCRL(t *testing.T) {
+	no := newAuthority(t)
+	l, err := IssueCRL(rand.Reader, no, []string{"MR-9", "MR-3"}, testEpoch, testEpoch.Add(10*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Verify(no.Public(), testEpoch.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains("MR-3") || !l.Contains("MR-9") {
+		t.Fatal("revoked routers missing")
+	}
+	if l.Contains("MR-1") {
+		t.Fatal("innocent router reported revoked")
+	}
+	if err := l.Verify(no.Public(), testEpoch.Add(time.Hour)); !errors.Is(err, ErrStaleCRL) {
+		t.Fatalf("want ErrStaleCRL, got %v", err)
+	}
+}
+
+func TestCRLMarshalRoundTrip(t *testing.T) {
+	no := newAuthority(t)
+	l, err := IssueCRL(rand.Reader, no, []string{"a", "b", "c"}, testEpoch, testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCRL(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(no.Public(), testEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Revoked) != 3 || !back.Contains("b") {
+		t.Fatal("CRL round-trip mismatch")
+	}
+}
+
+func TestCheckCertificate(t *testing.T) {
+	no := newAuthority(t)
+	router := newAuthority(t)
+	good, err := IssueCertificate(rand.Reader, no, "MR-good", router.Public(), testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := IssueCertificate(rand.Reader, no, "MR-bad", router.Public(), testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := IssueCRL(rand.Reader, no, []string{"MR-bad"}, testEpoch, testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := CheckCertificate(good, l, no.Public(), testEpoch); err != nil {
+		t.Fatalf("good cert rejected: %v", err)
+	}
+	if err := CheckCertificate(bad, l, no.Public(), testEpoch); !errors.Is(err, ErrRevokedCert) {
+		t.Fatalf("want ErrRevokedCert, got %v", err)
+	}
+}
+
+func TestPublicKeyRejectsOffCurve(t *testing.T) {
+	var pk PublicKey
+	for i := range pk {
+		pk[i] = 0x5A
+	}
+	if err := pk.Verify([]byte("m"), []byte{0x30, 0x00}); err == nil {
+		t.Fatal("off-curve key verified a signature")
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAuditRevealsOnlyGroup(t *testing.T) {
+	tb := newTestbed(t, 2, 2, 1)
+	u := tb.user("1", 1) // second user of grp-1
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	audit, err := tb.no.Audit(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Group != "grp-1" {
+		t.Fatalf("audit group = %q, want grp-1", audit.Group)
+	}
+	// The audit result structurally cannot contain a UserID: the struct
+	// only carries the group and the slot index. Confirm the slot index
+	// alone does not identify the user to the operator (the NO has no
+	// uid mapping; this is the late-binding property).
+	if audit.KeyIndex < 0 {
+		t.Fatal("audit missing key index")
+	}
+}
+
+func TestAuditOfForgedTranscriptFails(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper after signing: the audit must refuse to attribute it, so no
+	// innocent member can be framed with a doctored log.
+	m2.Timestamp = m2.Timestamp.Add(1)
+	if _, err := tb.no.Audit(m2); err == nil {
+		t.Fatal("audit attributed a forged transcript")
+	}
+}
+
+func TestAuditOfOutsiderSignatureFails(t *testing.T) {
+	// A signature under a *different operator's* group (valid under that
+	// other gpk, not ours) must not be attributable.
+	tb := newTestbed(t, 1, 1, 1)
+	other := newTestbed(t, 1, 1, 1)
+	u := other.user("0", 0)
+	r := other.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.no.Audit(m2); err == nil {
+		t.Fatal("audit attributed a foreign signature")
+	}
+}
+
+func TestLawAuthorityTrace(t *testing.T) {
+	tb := newTestbed(t, 2, 2, 1)
+	u := tb.user("0", 1)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	la := NewLawAuthority(tb.gms["grp-0"], tb.gms["grp-1"])
+	res, err := la.Trace(tb.no, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.User != u.ID() {
+		t.Fatalf("trace identified %q, want %q", res.User, u.ID())
+	}
+	if res.Audit.Group != "grp-0" {
+		t.Fatalf("trace group %q, want grp-0", res.Audit.Group)
+	}
+	if !res.ReceiptVerified {
+		t.Fatal("non-repudiation receipt chain did not verify")
+	}
+}
+
+func TestTraceFailsWithoutGroupManager(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	la := NewLawAuthority() // knows no managers: NO alone cannot identify
+	if _, err := la.Trace(tb.no, m2); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("trace without GM cooperation should fail: %v", err)
+	}
+}
+
+func TestRevokeAudited(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	attacker := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := attacker.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dispute: audit the logged M.2, revoke the found key, distribute.
+	audit, err := tb.no.Audit(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.no.RevokeAudited(audit); err != nil {
+		t.Fatal(err)
+	}
+	tb.pushRevocations(t)
+
+	// The attacker's next access attempt fails.
+	beacon2, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2b, err := attacker.HandleBeacon(beacon2, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2b); !errors.Is(err, ErrRevokedUser) {
+		t.Fatalf("audited+revoked attacker still admitted: %v", err)
+	}
+}
+
+func TestAuditPeerMessages(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	a := tb.user("0", 0)
+	b := tb.user("0", 1)
+
+	runPeerAKA(t, tb, a, b, "grp-0", "grp-0")
+
+	// Reconstruct M̃.1 by having the initiator re-run (the simulator logs
+	// messages; here we just start a fresh hello to audit).
+	hello, err := a.StartPeerAuth("grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := tb.no.AuditPeerHello(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Group != "grp-0" {
+		t.Fatalf("peer audit group %q", audit.Group)
+	}
+
+	la := NewLawAuthority(tb.gms["grp-0"])
+	res, err := la.TracePeerHello(tb.no, hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.User != a.ID() {
+		t.Fatalf("peer trace identified %q, want %q", res.User, a.ID())
+	}
+}
+
+func TestAuditSessionFromRouterLog(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	us, _ := tb.runAKA(t, u, r, "grp-0")
+
+	// The operator audits by session id, pulling M.2 from the router log.
+	res, err := tb.no.AuditSession(r, us.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group != "grp-0" {
+		t.Fatalf("audit group = %q", res.Group)
+	}
+
+	// Unknown session ids fail cleanly.
+	var bogus SessionID
+	if _, err := tb.no.AuditSession(r, bogus); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("want ErrNoSession, got %v", err)
+	}
+}

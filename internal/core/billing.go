@@ -1,0 +1,53 @@
+package core
+
+import "fmt"
+
+// Billing support. Section I of the paper motivates access control "for
+// both billing purpose and avoiding abuse of network resources", and the
+// audit protocol's group-level attribution is exactly what makes
+// privacy-preserving billing possible: the operator can charge a user
+// *group* for its members' aggregate sessions without learning which
+// member opened which session.
+
+// BillingReport aggregates audited sessions per user group.
+type BillingReport struct {
+	// Sessions counts attributable sessions per group.
+	Sessions map[GroupID]int
+	// Unattributed counts transcripts no token matched (foreign or
+	// forged; these are never billed to anyone).
+	Unattributed int
+}
+
+// BillSessions audits a batch of logged access requests and returns the
+// per-group session counts. Invalid or foreign transcripts are counted as
+// unattributed rather than failing the whole batch.
+func (n *NetworkOperator) BillSessions(logged []*AccessRequest) (*BillingReport, error) {
+	if len(logged) == 0 {
+		return &BillingReport{Sessions: map[GroupID]int{}}, nil
+	}
+	rep := &BillingReport{Sessions: make(map[GroupID]int)}
+	for _, m := range logged {
+		res, err := n.Audit(m)
+		if err != nil {
+			rep.Unattributed++
+			continue
+		}
+		rep.Sessions[res.Group]++
+	}
+	return rep, nil
+}
+
+// Charge computes a simple per-session charge per group given a unit
+// price in arbitrary currency units.
+func (r *BillingReport) Charge(unitPrice int64) map[GroupID]int64 {
+	out := make(map[GroupID]int64, len(r.Sessions))
+	for g, n := range r.Sessions {
+		out[g] = unitPrice * int64(n)
+	}
+	return out
+}
+
+// String renders the report compactly.
+func (r *BillingReport) String() string {
+	return fmt.Sprintf("BillingReport{groups: %d, unattributed: %d}", len(r.Sessions), r.Unattributed)
+}

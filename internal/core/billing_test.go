@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBillSessionsAggregatesPerGroup(t *testing.T) {
+	tb := newTestbed(t, 2, 2, 1)
+	r := tb.routers["MR-0"]
+
+	// grp-0 members open 3 sessions, grp-1 members open 1.
+	var logged []*AccessRequest
+	open := func(u *User, group GroupID) {
+		t.Helper()
+		beacon, err := r.Beacon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := u.HandleBeacon(beacon, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.HandleAccessRequest(m2); err != nil {
+			t.Fatal(err)
+		}
+		logged = append(logged, m2)
+	}
+	open(tb.user("0", 0), "grp-0")
+	open(tb.user("0", 1), "grp-0")
+	open(tb.user("0", 0), "grp-0")
+	open(tb.user("1", 0), "grp-1")
+
+	rep, err := tb.no.BillSessions(logged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions["grp-0"] != 3 || rep.Sessions["grp-1"] != 1 {
+		t.Fatalf("billing = %v", rep.Sessions)
+	}
+	if rep.Unattributed != 0 {
+		t.Fatalf("unattributed = %d", rep.Unattributed)
+	}
+
+	charges := rep.Charge(5)
+	if charges["grp-0"] != 15 || charges["grp-1"] != 5 {
+		t.Fatalf("charges = %v", charges)
+	}
+}
+
+func TestBillSessionsSkipsForeignTranscripts(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	other := newTestbed(t, 1, 1, 1)
+
+	// A transcript from a different operator's network must not be billed
+	// to any local group.
+	r2 := other.routers["MR-0"]
+	beacon, err := r2.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := other.user("0", 0).HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := tb.no.BillSessions([]*AccessRequest{foreign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sessions) != 0 || rep.Unattributed != 1 {
+		t.Fatalf("foreign transcript billed: %+v", rep)
+	}
+}
+
+func TestBillSessionsEmpty(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 0)
+	rep, err := tb.no.BillSessions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sessions) != 0 || rep.Unattributed != 0 {
+		t.Fatalf("empty billing report not empty: %+v", rep)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import "time"
+
+// Adaptive DoS defense. The paper's client-puzzle mechanism (Section V.A)
+// is explicitly conditional: "When there is no evidence of attack, a mesh
+// router processes (M.2) normally. But when under a suspected DoS attack,
+// the mesh router will attach a cryptographic puzzle to every (M.1)".
+// This file implements the suspicion trigger: a sliding-window request
+// rate monitor that flips puzzle mode on when the rate of failed access
+// requests exceeds a threshold and back off after a quiet period.
+
+// DoSPolicy configures adaptive puzzle defense.
+type DoSPolicy struct {
+	// Enabled turns the adaptive controller on.
+	Enabled bool
+	// Window is the sliding observation window. Default 10s.
+	Window time.Duration
+	// SuspicionThreshold is the number of *failed* access requests within
+	// Window that triggers puzzle mode. Default 8.
+	SuspicionThreshold int
+	// QuietPeriod is how long the failure rate must stay below the
+	// threshold before puzzles are dropped again. Default 2×Window.
+	QuietPeriod time.Duration
+}
+
+func (p DoSPolicy) withDefaults() DoSPolicy {
+	if p.Window == 0 {
+		p.Window = 10 * time.Second
+	}
+	if p.SuspicionThreshold == 0 {
+		p.SuspicionThreshold = 8
+	}
+	if p.QuietPeriod == 0 {
+		p.QuietPeriod = 2 * p.Window
+	}
+	return p
+}
+
+// dosMonitor tracks recent authentication failures.
+type dosMonitor struct {
+	policy   DoSPolicy
+	failures []time.Time
+	// suspicious reports the current mode.
+	suspicious bool
+	// lastTrigger is when the threshold was last exceeded.
+	lastTrigger time.Time
+}
+
+// SetDoSPolicy installs the adaptive controller. Manual SetDoSDefense
+// remains available and overrides the automatic decision until the next
+// observation.
+func (r *MeshRouter) SetDoSPolicy(p DoSPolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p = p.withDefaults()
+	r.dosMonitor = &dosMonitor{policy: p}
+}
+
+// observeFailure records one failed access request and updates the mode.
+// Callers hold r.mu.
+func (r *MeshRouter) observeFailure(now time.Time) {
+	m := r.dosMonitor
+	if m == nil || !m.policy.Enabled {
+		return
+	}
+	m.failures = append(m.failures, now)
+	m.prune(now)
+	if len(m.failures) >= m.policy.SuspicionThreshold {
+		if !m.suspicious {
+			m.suspicious = true
+		}
+		m.lastTrigger = now
+		r.dosDefense = true
+	}
+}
+
+// observeTick re-evaluates the mode on any router activity. Callers hold
+// r.mu.
+func (r *MeshRouter) observeTick(now time.Time) {
+	m := r.dosMonitor
+	if m == nil || !m.policy.Enabled || !m.suspicious {
+		return
+	}
+	m.prune(now)
+	if len(m.failures) < m.policy.SuspicionThreshold &&
+		now.Sub(m.lastTrigger) >= m.policy.QuietPeriod {
+		m.suspicious = false
+		r.dosDefense = false
+	}
+}
+
+func (m *dosMonitor) prune(now time.Time) {
+	cutoff := now.Add(-m.policy.Window)
+	keep := m.failures[:0]
+	for _, t := range m.failures {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	m.failures = keep
+}
+
+// DoSDefenseActive reports whether puzzles are currently demanded.
+func (r *MeshRouter) DoSDefenseActive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dosDefense
+}

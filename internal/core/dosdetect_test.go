@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdaptiveDoSDefenseEngagesUnderFlood(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	r := tb.routers["MR-0"]
+	r.SetDoSPolicy(DoSPolicy{
+		Enabled:            true,
+		Window:             10 * time.Second,
+		SuspicionThreshold: 5,
+		QuietPeriod:        20 * time.Second,
+	})
+
+	// Normal operation: beacons carry no puzzle.
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beacon.Puzzle != nil {
+		t.Fatal("puzzle demanded with no attack evidence")
+	}
+
+	// A burst of bogus requests (garbage signatures) trips the monitor.
+	for i := 0; i < 6; i++ {
+		bogus := &AccessRequest{
+			GJ:        beacon.GR, // arbitrary valid point
+			GR:        beacon.GR,
+			Timestamp: tb.clock.Now(),
+			Sig:       forgeSignature(t),
+		}
+		_, _, _ = r.HandleAccessRequest(bogus)
+		tb.clock.Advance(time.Second)
+	}
+	if !r.DoSDefenseActive() {
+		t.Fatal("monitor did not engage under flood")
+	}
+	beacon2, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beacon2.Puzzle == nil {
+		t.Fatal("engaged mode beacon missing puzzle")
+	}
+
+	// Legitimate users still authenticate (they solve the puzzle).
+	u := tb.user("0", 0)
+	m2, err := u.HandleBeacon(beacon2, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.HasSolution {
+		t.Fatal("user did not solve the demanded puzzle")
+	}
+	if _, _, err := r.HandleAccessRequest(m2); err != nil {
+		t.Fatalf("legitimate user rejected in defense mode: %v", err)
+	}
+
+	// After a quiet period the defense backs off.
+	tb.clock.Advance(time.Hour)
+	beacon3, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DoSDefenseActive() {
+		t.Fatal("defense did not back off after quiet period")
+	}
+	if beacon3.Puzzle != nil {
+		t.Fatal("beacon still carries a puzzle after back-off")
+	}
+}
+
+func TestAdaptiveDoSDefenseIgnoresSparseFailures(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	r := tb.routers["MR-0"]
+	r.SetDoSPolicy(DoSPolicy{
+		Enabled:            true,
+		Window:             5 * time.Second,
+		SuspicionThreshold: 5,
+	})
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failures spread far apart never accumulate within the window.
+	for i := 0; i < 10; i++ {
+		bogus := &AccessRequest{
+			GJ:        beacon.GR,
+			GR:        beacon.GR,
+			Timestamp: tb.clock.Now(),
+			Sig:       forgeSignature(t),
+		}
+		_, _, _ = r.HandleAccessRequest(bogus)
+		tb.clock.Advance(time.Minute)
+		// Refresh the beacon so the requests stay "fresh" failures of the
+		// signature check, not stale drops.
+		beacon, err = r.Beacon()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.DoSDefenseActive() {
+		t.Fatal("sparse failures engaged the defense")
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import "errors"
+
+// Exported protocol errors. Handlers wrap these with context; callers can
+// match with errors.Is.
+var (
+	// ErrReplay indicates a timestamp outside the freshness window or a
+	// nonce seen before.
+	ErrReplay = errors.New("peace: replayed or stale message")
+	// ErrBadBeacon indicates an M.1 that failed certificate, CRL or
+	// signature validation.
+	ErrBadBeacon = errors.New("peace: invalid beacon")
+	// ErrBadAccessRequest indicates an M.2 that failed group signature or
+	// freshness validation.
+	ErrBadAccessRequest = errors.New("peace: invalid access request")
+	// ErrRevokedUser indicates the signer's token appears in the URL.
+	ErrRevokedUser = errors.New("peace: user key revoked")
+	// ErrRevokedRouter indicates the router's certificate appears in the CRL.
+	ErrRevokedRouter = errors.New("peace: mesh router revoked")
+	// ErrBadConfirmation indicates an M.3 / M̃.3 that failed to decrypt or
+	// carried mismatched session identifiers.
+	ErrBadConfirmation = errors.New("peace: invalid key confirmation")
+	// ErrNoSession indicates an unknown session identifier.
+	ErrNoSession = errors.New("peace: unknown session")
+	// ErrPuzzleRequired indicates the router is in DoS-defense mode and the
+	// access request carried no (or a wrong) puzzle solution.
+	ErrPuzzleRequired = errors.New("peace: client puzzle required")
+	// ErrUnknownGroup indicates an audit or issuance referenced an
+	// unregistered user group.
+	ErrUnknownGroup = errors.New("peace: unknown user group")
+	// ErrAuditFailed indicates no revocation token matched the audited
+	// transcript (the signer is not enrolled with this operator).
+	ErrAuditFailed = errors.New("peace: audit found no responsible entity")
+	// ErrNoKeysLeft indicates a group manager exhausted its issued key slots.
+	ErrNoKeysLeft = errors.New("peace: no unassigned key slots remain")
+	// ErrReceiptMissing indicates the non-repudiation receipt chain is
+	// incomplete for a trace.
+	ErrReceiptMissing = errors.New("peace: non-repudiation receipt missing")
+)

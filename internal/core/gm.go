@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"github.com/peace-mesh/peace/internal/cert"
+)
+
+// GroupManager represents a user group (a company, university, agency...)
+// that subscribes to the WMN on behalf of its members. It receives the
+// (grp_i, x_j) halves of the group private keys from the network operator,
+// assigns them to members, and keeps the uid ↔ x_j mapping that — together
+// with the operator's audit — lets the law authority trace a user. By
+// design it never learns any A_{i,j}.
+type GroupManager struct {
+	cfg     Config
+	id      GroupID
+	signKey *cert.KeyPair
+	noPub   cert.PublicKey
+
+	mu sync.Mutex
+	// epoch tracks the key epoch of the installed bundle.
+	epoch uint32
+	// haveBundle reports whether any bundle has been installed.
+	haveBundle bool
+	// grp is this group's grp_i component; nil until a bundle arrives.
+	grp *big.Int
+	// slots holds the per-member x_j values and their assignments.
+	slots []gmSlot
+	// nextFree is the lowest unassigned slot index.
+	nextFree int
+	// bundleReceipt is the receipt this GM returned to the NO.
+	bundleReceipt *Receipt
+	// bundleBody is the acknowledged bundle payload (kept to let auditors
+	// re-verify the receipt chain).
+	bundleBody []byte
+	// userKeys records each enrolled member's receipt-verification key,
+	// learned during the in-person enrollment step.
+	userKeys map[UserID]cert.PublicKey
+}
+
+type gmSlot struct {
+	x           *big.Int
+	assignedTo  UserID
+	assigned    bool
+	userReceipt *Receipt
+	// assignmentBody is the payload the user receipted.
+	assignmentBody []byte
+}
+
+// NewGroupManager creates a manager for the named group.
+func NewGroupManager(cfg Config, id GroupID, noPub cert.PublicKey) (*GroupManager, error) {
+	cfg = cfg.withDefaults()
+	kp, err := cert.GenerateKeyPair(cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("gm %q: %w", id, err)
+	}
+	return &GroupManager{
+		cfg:      cfg,
+		id:       id,
+		signKey:  kp,
+		noPub:    noPub,
+		userKeys: make(map[UserID]cert.PublicKey),
+	}, nil
+}
+
+// ID returns the group identifier.
+func (g *GroupManager) ID() GroupID { return g.id }
+
+// Public returns the GM's receipt-verification key.
+func (g *GroupManager) Public() cert.PublicKey { return g.signKey.Public() }
+
+// ReceiveBundle ingests the signed NO → GM key bundle (setup Step 5) and
+// returns the GM's signed receipt.
+func (g *GroupManager) ReceiveBundle(b *GMKeyBundle) (*Receipt, error) {
+	if b.Group != g.id {
+		return nil, fmt.Errorf("gm %q: bundle addressed to %q", g.id, b.Group)
+	}
+	if err := b.Verify(g.noPub); err != nil {
+		return nil, fmt.Errorf("gm %q: %w", g.id, err)
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.haveBundle && b.Epoch <= g.epoch {
+		return nil, fmt.Errorf("gm %q: duplicate bundle for epoch %d", g.id, b.Epoch)
+	}
+	// A newer epoch replaces all key material; members must re-enroll.
+	g.epoch = b.Epoch
+	g.haveBundle = true
+	g.nextFree = 0
+	g.grp = new(big.Int).Set(b.Grp)
+	g.slots = make([]gmSlot, len(b.Xs))
+	for i, x := range b.Xs {
+		g.slots[i] = gmSlot{x: new(big.Int).Set(x)}
+	}
+	g.bundleBody = b.body()
+
+	rcpt, err := signReceipt(g.cfg.Rand, g.signKey, "gm:"+string(g.id), g.bundleBody)
+	if err != nil {
+		return nil, err
+	}
+	g.bundleReceipt = rcpt
+	return rcpt, nil
+}
+
+// Capacity returns total and unassigned slot counts.
+func (g *GroupManager) Capacity() (total, free int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.slots), len(g.slots) - g.nextFree
+}
+
+// EnrollUser assigns the next free key slot to uid and returns the
+// assignment ([i,j], grp_i, x_j). The pre-established trust between user
+// and group (in-person authentication, per the paper) is assumed to have
+// happened out of band.
+func (g *GroupManager) EnrollUser(uid UserID, receiptKey cert.PublicKey) (*KeyAssignment, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.grp == nil {
+		return nil, fmt.Errorf("gm %q: no key material received yet", g.id)
+	}
+	if g.nextFree >= len(g.slots) {
+		return nil, fmt.Errorf("gm %q: %w", g.id, ErrNoKeysLeft)
+	}
+	idx := g.nextFree
+	g.nextFree++
+	g.slots[idx].assignedTo = uid
+	g.slots[idx].assigned = true
+	g.userKeys[uid] = receiptKey
+
+	a := &KeyAssignment{
+		Group: g.id,
+		Index: idx,
+		Grp:   new(big.Int).Set(g.grp),
+		X:     new(big.Int).Set(g.slots[idx].x),
+	}
+	g.slots[idx].assignmentBody = a.body()
+	return a, nil
+}
+
+// RecordUserReceipt stores the member's signed acknowledgment of the
+// assignment (the "uid_j signs on the messages he receives" step).
+func (g *GroupManager) RecordUserReceipt(index int, rcpt *Receipt) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if index < 0 || index >= len(g.slots) || !g.slots[index].assigned {
+		return fmt.Errorf("gm %q: slot %d not assigned", g.id, index)
+	}
+	g.slots[index].userReceipt = rcpt
+	return nil
+}
+
+// LookupUser resolves a key slot to the member it was assigned to,
+// returning the member's receipt and the receipted payload for
+// non-repudiation verification. This is the GM's contribution to the
+// law-authority trace.
+func (g *GroupManager) LookupUser(index int) (UserID, *Receipt, []byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if index < 0 || index >= len(g.slots) || !g.slots[index].assigned {
+		return "", nil, nil, fmt.Errorf("gm %q: slot %d not assigned", g.id, index)
+	}
+	s := g.slots[index]
+	return s.assignedTo, s.userReceipt, s.assignmentBody, nil
+}
+
+// UserReceiptKey returns the receipt-verification key recorded for a
+// member at enrollment.
+func (g *GroupManager) UserReceiptKey(uid UserID) (cert.PublicKey, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	k, ok := g.userKeys[uid]
+	return k, ok
+}
+
+// BundleReceipt exposes the GM's receipt and the acknowledged payload for
+// receipt-chain verification during traces.
+func (g *GroupManager) BundleReceipt() (*Receipt, []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bundleReceipt, g.bundleBody
+}

@@ -1,0 +1,522 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/puzzle"
+	"github.com/peace-mesh/peace/internal/sgs"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// SessionID uniquely identifies a session through the pair of fresh DH
+// shares, per the paper: "this session is uniquely identified through
+// (g^{r_R}, g^{r_j})".
+type SessionID [32]byte
+
+// NewSessionID derives the identifier from the two DH shares.
+func NewSessionID(a, b *bn256.G1) SessionID {
+	h := sha256.New()
+	h.Write([]byte("peace/session-id:"))
+	h.Write(a.Marshal())
+	h.Write(b.Marshal())
+	var id SessionID
+	h.Sum(id[:0])
+	return id
+}
+
+func (s SessionID) String() string { return fmt.Sprintf("%x", s[:8]) }
+
+// UserRevocationList is the paper's URL: the signed list of revocation
+// tokens for revoked group private keys, broadcast in every beacon.
+type UserRevocationList struct {
+	Tokens     []*sgs.RevocationToken
+	IssuedAt   time.Time
+	NextUpdate time.Time
+	Signature  []byte
+}
+
+func (l *UserRevocationList) signedBody() []byte {
+	w := wire.NewWriter(64 + len(l.Tokens)*bn256.G1Size)
+	w.StringField("peace/url:v1")
+	w.Time(l.IssuedAt)
+	w.Time(l.NextUpdate)
+	w.Uint32(uint32(len(l.Tokens)))
+	for _, t := range l.Tokens {
+		w.BytesField(t.Bytes())
+	}
+	return w.Bytes()
+}
+
+// Verify checks the operator signature and freshness.
+func (l *UserRevocationList) Verify(authority cert.PublicKey, now time.Time) error {
+	if err := authority.Verify(l.signedBody(), l.Signature); err != nil {
+		return fmt.Errorf("url: %w", err)
+	}
+	if now.After(l.NextUpdate) {
+		return fmt.Errorf("url: %w", cert.ErrStaleCRL)
+	}
+	return nil
+}
+
+// Marshal encodes the list.
+func (l *UserRevocationList) Marshal() []byte {
+	w := wire.NewWriter(96 + len(l.Tokens)*(bn256.G1Size+4))
+	w.Time(l.IssuedAt)
+	w.Time(l.NextUpdate)
+	w.Uint32(uint32(len(l.Tokens)))
+	for _, t := range l.Tokens {
+		w.BytesField(t.Bytes())
+	}
+	w.BytesField(l.Signature)
+	return w.Bytes()
+}
+
+// UnmarshalUserRevocationList decodes a list.
+func UnmarshalUserRevocationList(data []byte) (*UserRevocationList, error) {
+	r := wire.NewReader(data)
+	l := &UserRevocationList{}
+	var err error
+	if l.IssuedAt, err = r.Time(); err != nil {
+		return nil, err
+	}
+	if l.NextUpdate, err = r.Time(); err != nil {
+		return nil, err
+	}
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("url: token count %d too large", n)
+	}
+	l.Tokens = make([]*sgs.RevocationToken, 0, n)
+	for i := uint32(0); i < n; i++ {
+		raw, err := r.BytesField()
+		if err != nil {
+			return nil, err
+		}
+		a, err := new(bn256.G1).Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("url token %d: %w", i, err)
+		}
+		l.Tokens = append(l.Tokens, &sgs.RevocationToken{A: a})
+	}
+	sig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	l.Signature = append([]byte(nil), sig...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// signURL is used by the network operator when (re-)issuing the list.
+func signURL(rng io.Reader, authority *cert.KeyPair, tokens []*sgs.RevocationToken, issuedAt, nextUpdate time.Time) (*UserRevocationList, error) {
+	l := &UserRevocationList{
+		Tokens:     append([]*sgs.RevocationToken(nil), tokens...),
+		IssuedAt:   issuedAt,
+		NextUpdate: nextUpdate,
+	}
+	sig, err := authority.Sign(rng, l.signedBody())
+	if err != nil {
+		return nil, err
+	}
+	l.Signature = sig
+	return l, nil
+}
+
+// Beacon is message M.1: the periodically broadcast, router-signed service
+// announcement carrying the fresh DH parameters, the router certificate,
+// and the current CRL and URL (plus a client puzzle under DoS defense).
+type Beacon struct {
+	RouterID  string
+	G         *bn256.G1 // fresh generator g
+	GR        *bn256.G1 // g^{r_R}
+	Timestamp time.Time // ts_1
+	Cert      *cert.Certificate
+	CRL       *cert.CRL
+	URL       *UserRevocationList
+	Puzzle    *puzzle.Puzzle // nil unless DoS defense is active
+	Signature []byte         // Sig_{RSK_k} over the fields above
+}
+
+func (b *Beacon) signedBody() []byte {
+	w := wire.NewWriter(256)
+	w.StringField("peace/beacon:v1")
+	w.StringField(b.RouterID)
+	w.BytesField(b.G.Marshal())
+	w.BytesField(b.GR.Marshal())
+	w.Time(b.Timestamp)
+	if b.Puzzle != nil {
+		w.Byte(1)
+		w.BytesField(b.Puzzle.Marshal())
+	} else {
+		w.Byte(0)
+	}
+	return w.Bytes()
+}
+
+// SignedBody returns the canonical byte string covered by the beacon
+// signature (used by verifiers and by signing routers).
+func (b *Beacon) SignedBody() []byte { return b.signedBody() }
+
+// Marshal encodes the beacon.
+func (b *Beacon) Marshal() []byte {
+	w := wire.NewWriter(1024)
+	w.StringField(b.RouterID)
+	w.BytesField(b.G.Marshal())
+	w.BytesField(b.GR.Marshal())
+	w.Time(b.Timestamp)
+	w.BytesField(b.Cert.Marshal())
+	w.BytesField(b.CRL.Marshal())
+	w.BytesField(b.URL.Marshal())
+	if b.Puzzle != nil {
+		w.Byte(1)
+		w.BytesField(b.Puzzle.Marshal())
+	} else {
+		w.Byte(0)
+	}
+	w.BytesField(b.Signature)
+	return w.Bytes()
+}
+
+// UnmarshalBeacon decodes M.1.
+func UnmarshalBeacon(data []byte) (*Beacon, error) {
+	r := wire.NewReader(data)
+	b := &Beacon{}
+	var err error
+	if b.RouterID, err = r.StringField(); err != nil {
+		return nil, err
+	}
+	if b.G, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("beacon g: %w", err)
+	}
+	if b.GR, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("beacon g^rR: %w", err)
+	}
+	if b.Timestamp, err = r.Time(); err != nil {
+		return nil, err
+	}
+	rawCert, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if b.Cert, err = cert.UnmarshalCertificate(rawCert); err != nil {
+		return nil, fmt.Errorf("beacon cert: %w", err)
+	}
+	rawCRL, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if b.CRL, err = cert.UnmarshalCRL(rawCRL); err != nil {
+		return nil, fmt.Errorf("beacon crl: %w", err)
+	}
+	rawURL, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if b.URL, err = UnmarshalUserRevocationList(rawURL); err != nil {
+		return nil, fmt.Errorf("beacon url: %w", err)
+	}
+	hasPuzzle, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if hasPuzzle == 1 {
+		rawPuzzle, err := r.BytesField()
+		if err != nil {
+			return nil, err
+		}
+		if b.Puzzle, err = puzzle.Unmarshal(rawPuzzle); err != nil {
+			return nil, fmt.Errorf("beacon puzzle: %w", err)
+		}
+	}
+	sig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	b.Signature = append([]byte(nil), sig...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AccessRequest is message M.2: the user's group-signed DH response.
+type AccessRequest struct {
+	GJ        *bn256.G1 // g^{r_j}
+	GR        *bn256.G1 // echoed g^{r_R}
+	Timestamp time.Time // ts_2
+	Sig       *sgs.Signature
+
+	// HasSolution/Solution carry the client-puzzle answer when the beacon
+	// demanded one.
+	HasSolution bool
+	Solution    uint64
+}
+
+// SignedTranscript is the byte string the group signature covers:
+// {g^{r_j}, g^{r_R}, ts_2} per the paper.
+func (m *AccessRequest) SignedTranscript() []byte {
+	w := wire.NewWriter(160)
+	w.StringField("peace/m2:v1")
+	w.BytesField(m.GJ.Marshal())
+	w.BytesField(m.GR.Marshal())
+	w.Time(m.Timestamp)
+	return w.Bytes()
+}
+
+// Marshal encodes M.2.
+func (m *AccessRequest) Marshal() []byte {
+	w := wire.NewWriter(512)
+	w.BytesField(m.GJ.Marshal())
+	w.BytesField(m.GR.Marshal())
+	w.Time(m.Timestamp)
+	w.BytesField(m.Sig.Bytes())
+	if m.HasSolution {
+		w.Byte(1)
+		w.Uint64(m.Solution)
+	} else {
+		w.Byte(0)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalAccessRequest decodes M.2.
+func UnmarshalAccessRequest(data []byte) (*AccessRequest, error) {
+	r := wire.NewReader(data)
+	m := &AccessRequest{}
+	var err error
+	if m.GJ, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("m2 g^rj: %w", err)
+	}
+	if m.GR, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("m2 g^rR: %w", err)
+	}
+	if m.Timestamp, err = r.Time(); err != nil {
+		return nil, err
+	}
+	rawSig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if m.Sig, err = sgs.ParseSignature(rawSig); err != nil {
+		return nil, fmt.Errorf("m2 signature: %w", err)
+	}
+	has, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if has == 1 {
+		m.HasSolution = true
+		if m.Solution, err = r.Uint64(); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AccessConfirm is message M.3: the router's key confirmation,
+// E_K(MR_k, g^{r_j}, g^{r_R}).
+type AccessConfirm struct {
+	GJ, GR     *bn256.G1
+	Ciphertext []byte
+}
+
+// Marshal encodes M.3.
+func (m *AccessConfirm) Marshal() []byte {
+	w := wire.NewWriter(256)
+	w.BytesField(m.GJ.Marshal())
+	w.BytesField(m.GR.Marshal())
+	w.BytesField(m.Ciphertext)
+	return w.Bytes()
+}
+
+// UnmarshalAccessConfirm decodes M.3.
+func UnmarshalAccessConfirm(data []byte) (*AccessConfirm, error) {
+	r := wire.NewReader(data)
+	m := &AccessConfirm{}
+	var err error
+	if m.GJ, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("m3 g^rj: %w", err)
+	}
+	if m.GR, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("m3 g^rR: %w", err)
+	}
+	ct, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	m.Ciphertext = append([]byte(nil), ct...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PeerHello is message M̃.1: a user's local broadcast initiating user–user
+// authentication, signed with the group private key.
+type PeerHello struct {
+	G         *bn256.G1 // generator from the serving router's beacon
+	GJ        *bn256.G1 // g^{r_j}
+	Timestamp time.Time // ts_1
+	Sig       *sgs.Signature
+}
+
+// SignedTranscript is the byte string the group signature covers:
+// {g, g^{r_j}, ts_1}.
+func (m *PeerHello) SignedTranscript() []byte {
+	w := wire.NewWriter(160)
+	w.StringField("peace/mt1:v1")
+	w.BytesField(m.G.Marshal())
+	w.BytesField(m.GJ.Marshal())
+	w.Time(m.Timestamp)
+	return w.Bytes()
+}
+
+// Marshal encodes M̃.1.
+func (m *PeerHello) Marshal() []byte {
+	w := wire.NewWriter(512)
+	w.BytesField(m.G.Marshal())
+	w.BytesField(m.GJ.Marshal())
+	w.Time(m.Timestamp)
+	w.BytesField(m.Sig.Bytes())
+	return w.Bytes()
+}
+
+// UnmarshalPeerHello decodes M̃.1.
+func UnmarshalPeerHello(data []byte) (*PeerHello, error) {
+	r := wire.NewReader(data)
+	m := &PeerHello{}
+	var err error
+	if m.G, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("mt1 g: %w", err)
+	}
+	if m.GJ, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("mt1 g^rj: %w", err)
+	}
+	if m.Timestamp, err = r.Time(); err != nil {
+		return nil, err
+	}
+	rawSig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if m.Sig, err = sgs.ParseSignature(rawSig); err != nil {
+		return nil, fmt.Errorf("mt1 signature: %w", err)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PeerResponse is message M̃.2: the responder's group-signed DH share.
+type PeerResponse struct {
+	GJ        *bn256.G1 // echoed g^{r_j}
+	GL        *bn256.G1 // g^{r_l}
+	Timestamp time.Time // ts_2
+	Sig       *sgs.Signature
+}
+
+// SignedTranscript is {g^{r_j}, g^{r_l}, ts_2}.
+func (m *PeerResponse) SignedTranscript() []byte {
+	w := wire.NewWriter(160)
+	w.StringField("peace/mt2:v1")
+	w.BytesField(m.GJ.Marshal())
+	w.BytesField(m.GL.Marshal())
+	w.Time(m.Timestamp)
+	return w.Bytes()
+}
+
+// Marshal encodes M̃.2.
+func (m *PeerResponse) Marshal() []byte {
+	w := wire.NewWriter(512)
+	w.BytesField(m.GJ.Marshal())
+	w.BytesField(m.GL.Marshal())
+	w.Time(m.Timestamp)
+	w.BytesField(m.Sig.Bytes())
+	return w.Bytes()
+}
+
+// UnmarshalPeerResponse decodes M̃.2.
+func UnmarshalPeerResponse(data []byte) (*PeerResponse, error) {
+	r := wire.NewReader(data)
+	m := &PeerResponse{}
+	var err error
+	if m.GJ, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("mt2 g^rj: %w", err)
+	}
+	if m.GL, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("mt2 g^rl: %w", err)
+	}
+	if m.Timestamp, err = r.Time(); err != nil {
+		return nil, err
+	}
+	rawSig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if m.Sig, err = sgs.ParseSignature(rawSig); err != nil {
+		return nil, fmt.Errorf("mt2 signature: %w", err)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PeerConfirm is message M̃.3: E_K(g^{r_j}, g^{r_l}, ts_1, ts_2).
+type PeerConfirm struct {
+	GJ, GL     *bn256.G1
+	Ciphertext []byte
+}
+
+// Marshal encodes M̃.3.
+func (m *PeerConfirm) Marshal() []byte {
+	w := wire.NewWriter(256)
+	w.BytesField(m.GJ.Marshal())
+	w.BytesField(m.GL.Marshal())
+	w.BytesField(m.Ciphertext)
+	return w.Bytes()
+}
+
+// UnmarshalPeerConfirm decodes M̃.3.
+func UnmarshalPeerConfirm(data []byte) (*PeerConfirm, error) {
+	r := wire.NewReader(data)
+	m := &PeerConfirm{}
+	var err error
+	if m.GJ, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("mt3 g^rj: %w", err)
+	}
+	if m.GL, err = readG1(r); err != nil {
+		return nil, fmt.Errorf("mt3 g^rl: %w", err)
+	}
+	ct, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	m.Ciphertext = append([]byte(nil), ct...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func readG1(r *wire.Reader) (*bn256.G1, error) {
+	raw, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	return new(bn256.G1).Unmarshal(raw)
+}

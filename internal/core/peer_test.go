@@ -1,0 +1,236 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+)
+
+// runPeerAKA drives a full user–user AKA between initiator and responder,
+// passing all messages through their wire encodings.
+func runPeerAKA(t testing.TB, tb *testbed, initiator, responder *User, gi, gr GroupID) (initSess, respSess *Session) {
+	t.Helper()
+
+	// Both users need the beacon generator and URL from a serving router.
+	r := tb.routers["MR-0"]
+	for _, u := range []*User{initiator, responder} {
+		beacon, err := r.Beacon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u.HandleBeacon(beacon, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hello, err := initiator.StartPeerAuth(gi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello2, err := UnmarshalPeerHello(hello.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, rs, err := responder.HandlePeerHello(hello2, gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := UnmarshalPeerResponse(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	confirm, is, err := initiator.HandlePeerResponse(resp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	confirm2, err := UnmarshalPeerConfirm(confirm.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := responder.HandlePeerConfirm(confirm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != rs.ID {
+		t.Fatal("responder confirm resolved a different session")
+	}
+	return is, rs
+}
+
+func TestUserUserAKAHappyPath(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	a := tb.user("0", 0)
+	b := tb.user("0", 1)
+
+	sa, sb := runPeerAKA(t, tb, a, b, "grp-0", "grp-0")
+	if sa.ID != sb.ID {
+		t.Fatal("peer session ids differ")
+	}
+	if !sa.keysEqual(sb) {
+		t.Fatal("peer session keys differ")
+	}
+
+	f, err := sa.SealData(rand.Reader, []byte("relayed packet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.OpenData(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserUserAcrossGroups(t *testing.T) {
+	// The paper explicitly allows uid_l to reply under *any* appropriate
+	// group key gsk[t, l] — peers from different groups authenticate fine.
+	tb := newTestbed(t, 2, 1, 1)
+	a := tb.user("0", 0)
+	b := tb.user("1", 0)
+
+	sa, sb := runPeerAKA(t, tb, a, b, "grp-0", "grp-1")
+	if !sa.keysEqual(sb) {
+		t.Fatal("cross-group peer session keys differ")
+	}
+}
+
+func TestPeerHelloFromRevokedUserRejected(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	revoked := tb.user("0", 0)
+	honest := tb.user("0", 1)
+	r := tb.routers["MR-0"]
+
+	tok, err := tb.no.TokenOf("grp-0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.no.RevokeUserKey(tok)
+	tb.pushRevocations(t)
+
+	// Honest user refreshes its URL from a current beacon.
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := honest.HandleBeacon(beacon, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The revoked user can still *construct* M̃.1 (it has the key)...
+	beacon2, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = revoked.HandleBeacon(beacon2, "") // caches generator
+	hello, err := revoked.StartPeerAuth("grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but the honest responder screens it against the URL.
+	if _, _, err := honest.HandlePeerHello(hello, "grp-0"); !errors.Is(err, ErrRevokedUser) {
+		t.Fatalf("revoked peer accepted: %v", err)
+	}
+}
+
+func TestPeerResponseFromRevokedUserRejected(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	initiator := tb.user("0", 0)
+	revoked := tb.user("0", 1)
+	r := tb.routers["MR-0"]
+
+	tok, err := tb.no.TokenOf("grp-0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.no.RevokeUserKey(tok)
+	tb.pushRevocations(t)
+
+	for _, u := range []*User{initiator, revoked} {
+		beacon, err := r.Beacon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u.HandleBeacon(beacon, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hello, err := initiator.StartPeerAuth("grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The revoked responder doesn't check itself; it answers.
+	resp, _, err := revoked.HandlePeerHello(hello, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := initiator.HandlePeerResponse(resp); !errors.Is(err, ErrRevokedUser) {
+		t.Fatalf("revoked responder accepted: %v", err)
+	}
+}
+
+func TestPeerStaleHelloRejected(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	a := tb.user("0", 0)
+	b := tb.user("0", 1)
+	r := tb.routers["MR-0"]
+
+	for _, u := range []*User{a, b} {
+		beacon, err := r.Beacon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u.HandleBeacon(beacon, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hello, err := a.StartPeerAuth("grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.clock.Advance(10 * time.Minute)
+	if _, _, err := b.HandlePeerHello(hello, "grp-0"); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale M̃.1 accepted: %v", err)
+	}
+}
+
+func TestPeerConfirmGarbageRejected(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	a := tb.user("0", 0)
+	b := tb.user("0", 1)
+	r := tb.routers["MR-0"]
+
+	for _, u := range []*User{a, b} {
+		beacon, err := r.Beacon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u.HandleBeacon(beacon, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hello, err := a.StartPeerAuth("grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := b.HandlePeerHello(hello, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.HandlePeerResponse(resp); err != nil {
+		t.Fatal(err)
+	}
+	bad := &PeerConfirm{GJ: resp.GJ, GL: resp.GL, Ciphertext: []byte("junk")}
+	if _, err := b.HandlePeerConfirm(bad); !errors.Is(err, ErrBadConfirmation) {
+		t.Fatalf("garbage M̃.3 accepted: %v", err)
+	}
+}
+
+func TestPeerAuthRequiresBeaconGenerator(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	if _, err := u.StartPeerAuth("grp-0"); err == nil {
+		t.Fatal("peer auth started without a cached beacon generator")
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUserRouterAKAHappyPath(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	us, rs := tb.runAKA(t, u, r, "grp-0")
+	if us.ID != rs.ID {
+		t.Fatal("session ids differ")
+	}
+	if !us.keysEqual(rs) {
+		t.Fatal("session keys differ")
+	}
+
+	// Encrypted traffic flows both ways.
+	f, err := us.SealData(rand.Reader, []byte("uplink packet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := UnmarshalDataFrame(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := rs.OpenData(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, []byte("uplink packet")) {
+		t.Fatal("payload mismatch")
+	}
+
+	g, err := rs.SealData(rand.Reader, []byte("downlink packet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := us.OpenData(g); err != nil {
+		t.Fatal(err)
+	}
+
+	// MAC-only frames also authenticate.
+	h := us.AuthData([]byte("mac-only packet"))
+	if _, err := rs.OpenData(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAKAIsThreeMessages(t *testing.T) {
+	// The paper's communication-overhead claim: exactly three messages,
+	// with the user transmitting a single group signature.
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, _, err := r.HandleAccessRequest(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.HandleAccessConfirm(m3); err != nil {
+		t.Fatal(err)
+	}
+	// Three messages total: beacon (M.1), request (M.2), confirm (M.3) —
+	// demonstrated by the fact that the handshake above needed no others.
+}
+
+func TestReplayOfAccessRequestRejected(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same M.2 much later: outside the freshness window.
+	tb.clock.Advance(5 * time.Minute)
+	if _, _, err := r.HandleAccessRequest(m2); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed stale M.2 accepted: %v", err)
+	}
+}
+
+func TestStaleBeaconRejected(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.clock.Advance(10 * time.Minute)
+	if _, err := u.HandleBeacon(beacon, "grp-0"); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale beacon accepted: %v", err)
+	}
+}
+
+func TestUnknownGRRejected(t *testing.T) {
+	// An M.2 referencing a g^{r_R} the router never announced must be
+	// rejected (phished or cross-router replay).
+	tb := newTestbed(t, 1, 1, 2)
+	u := tb.user("0", 0)
+	r0 := tb.routers["MR-0"]
+	r1 := tb.routers["MR-1"]
+
+	beacon, err := r0.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r1.HandleAccessRequest(m2); !errors.Is(err, ErrReplay) {
+		t.Fatalf("cross-router M.2 accepted: %v", err)
+	}
+}
+
+func TestRogueRouterRejectedByUser(t *testing.T) {
+	// A router with no operator-issued certificate (an adversarial phishing
+	// router with a self-made identity) cannot get its beacon accepted.
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+
+	rogue, err := NewMeshRouter(tb.cfg, "MR-rogue", tb.no.Authority(), tb.no.GroupPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rogue self-signs a certificate with its own key instead of NSK.
+	selfSigner := rogue.keyPair
+	selfCert, err := issueSelfCert(tb.cfg, selfSigner, "MR-rogue", tb.clock.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue.SetCertificate(selfCert)
+	crl, _ := tb.no.CurrentCRL()
+	url, _ := tb.no.CurrentURL()
+	rogue.UpdateRevocations(crl, url)
+
+	beacon, err := rogue.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.HandleBeacon(beacon, "grp-0"); !errors.Is(err, ErrBadBeacon) {
+		t.Fatalf("rogue beacon accepted: %v", err)
+	}
+}
+
+func TestRevokedRouterRejectedByUser(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	tb.no.RevokeRouter("MR-0")
+	tb.pushRevocations(t)
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.HandleBeacon(beacon, "grp-0"); !errors.Is(err, ErrBadBeacon) {
+		t.Fatalf("revoked router's beacon accepted: %v", err)
+	}
+}
+
+func TestRevokedUserRejectedByRouter(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	victim := tb.user("0", 0)
+	innocent := tb.user("0", 1)
+	r := tb.routers["MR-0"]
+
+	// Revoke the victim's key (slot 0 of grp-0) and distribute the URL.
+	tok, err := tb.no.TokenOf("grp-0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.no.RevokeUserKey(tok)
+	tb.pushRevocations(t)
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := victim.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2); !errors.Is(err, ErrRevokedUser) {
+		t.Fatalf("revoked user admitted: %v", err)
+	}
+
+	// The innocent user (slot 1) still gets in.
+	beacon2, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2b, err := innocent.HandleBeacon(beacon2, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2b); err != nil {
+		t.Fatalf("innocent user rejected: %v", err)
+	}
+}
+
+func TestOutsiderCannotForgeAccessRequest(t *testing.T) {
+	// An outsider without any group private key fabricates an M.2 by
+	// splicing a signature from a different transcript.
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Splice: fresh beacon, old signature.
+	beacon2, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &AccessRequest{
+		GJ:        m2.GJ,
+		GR:        beacon2.GR,
+		Timestamp: tb.clock.Now(),
+		Sig:       m2.Sig,
+	}
+	if _, _, err := r.HandleAccessRequest(forged); !errors.Is(err, ErrBadAccessRequest) {
+		t.Fatalf("spliced M.2 accepted: %v", err)
+	}
+}
+
+func TestConfirmationFromWrongRouterRejected(t *testing.T) {
+	// A man-in-the-middle cannot complete the handshake with its own M.3:
+	// without r_R it cannot produce a ciphertext under the session key.
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	forged := &AccessConfirm{GJ: m2.GJ, GR: m2.GR, Ciphertext: []byte("garbage")}
+	if _, err := u.HandleAccessConfirm(forged); !errors.Is(err, ErrBadConfirmation) {
+		t.Fatalf("forged M.3 accepted: %v", err)
+	}
+}
+
+func TestSessionReplayRejected(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+	us, rs := tb.runAKA(t, u, r, "grp-0")
+
+	f, err := us.SealData(rand.Reader, []byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.OpenData(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.OpenData(f); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed frame accepted: %v", err)
+	}
+}
+
+func TestSessionsHaveIndependentKeys(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	s1, _ := tb.runAKA(t, u, r, "grp-0")
+	s2, _ := tb.runAKA(t, u, r, "grp-0")
+	if s1.ID == s2.ID {
+		t.Fatal("two sessions share an identifier")
+	}
+	if s1.keysEqual(s2) {
+		t.Fatal("two sessions share keys")
+	}
+}
+
+func TestBeaconMarshalRoundTripWithPuzzle(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	r := tb.routers["MR-0"]
+	r.SetDoSDefense(true)
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beacon.Puzzle == nil {
+		t.Fatal("DoS mode beacon missing puzzle")
+	}
+	back, err := UnmarshalBeacon(beacon.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Puzzle == nil || back.Puzzle.Difficulty != beacon.Puzzle.Difficulty {
+		t.Fatal("puzzle lost in round-trip")
+	}
+	if !bytes.Equal(back.Signature, beacon.Signature) {
+		t.Fatal("signature lost in round-trip")
+	}
+}
+
+func TestMultiGroupUserChoosesRole(t *testing.T) {
+	// A user enrolled in two groups (the paper's multi-faceted identity)
+	// can authenticate under either role; audits attribute accordingly.
+	tb := newTestbed(t, 2, 1, 1)
+	u := tb.user("0", 0)
+	gm1 := tb.gms["grp-1"]
+
+	// Also enroll this user with grp-1.
+	if err := EnrollUser(u, gm1, tb.ttp); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Groups()) != 2 {
+		t.Fatalf("user has %d groups, want 2", len(u.Groups()))
+	}
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2); err != nil {
+		t.Fatal(err)
+	}
+	audit, err := tb.no.Audit(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Group != "grp-1" {
+		t.Fatalf("audit attributed to %q, want grp-1", audit.Group)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGroupKeyRotationCutsOffRevokedUser(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	villain := tb.user("0", 0)
+	honest := tb.user("0", 1)
+	r := tb.routers["MR-0"]
+	gm := tb.gms["grp-0"]
+
+	// Both work before rotation.
+	tb.runAKA(t, villain, r, "grp-0")
+	tb.runAKA(t, honest, r, "grp-0")
+
+	// Epoch rotation: fresh γ, group re-registered, only the honest user
+	// re-enrolled.
+	newGpk, err := tb.no.RotateGroupSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.no.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", tb.no.Epoch())
+	}
+	if err := tb.no.RegisterUserGroup(gm, tb.ttp, 4); err != nil {
+		t.Fatalf("re-registering group after rotation: %v", err)
+	}
+	r.UpdateGroupKey(newGpk)
+	tb.pushRevocations(t)
+
+	honest.UpdateGroupKey(newGpk)
+	if err := EnrollUser(honest, gm, tb.ttp); err != nil {
+		t.Fatal(err)
+	}
+
+	// The honest user authenticates under the new epoch.
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := honest.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.HandleAccessRequest(m2); err != nil {
+		t.Fatalf("honest user rejected after rotation: %v", err)
+	}
+
+	// The villain still holds only an old-epoch credential; its signature
+	// verifies against the old gpk, not the new one.
+	beacon2, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2v, err := villain.HandleBeacon(beacon2, "grp-0")
+	if err != nil {
+		t.Fatal(err) // signing still "works" locally with the stale key
+	}
+	if _, _, err := r.HandleAccessRequest(m2v); !errors.Is(err, ErrBadAccessRequest) {
+		t.Fatalf("stale-epoch credential accepted: %v", err)
+	}
+
+	// And the URL is empty under the new epoch — revocation by omission.
+	url, err := tb.no.CurrentURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(url.Tokens) != 0 {
+		t.Fatalf("URL has %d tokens after rotation, want 0", len(url.Tokens))
+	}
+}
+
+func TestRotationInvalidatesOldAudits(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	r := tb.routers["MR-0"]
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "grp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := tb.no.RotateGroupSecret(); err != nil {
+		t.Fatal(err)
+	}
+	// Old transcripts cannot be audited under the new key: the signature
+	// no longer verifies, so nobody can be (mis)attributed.
+	if _, err := tb.no.Audit(m2); err == nil {
+		t.Fatal("old-epoch transcript audited under new gpk")
+	}
+}
+
+func TestStaleEpochBundleRejected(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	gm := tb.gms["grp-0"]
+
+	// Duplicate same-epoch bundle is rejected (covered elsewhere); after
+	// rotation the GM must also reject a *replayed* old bundle. Simulate by
+	// rotating twice and re-registering, then replaying epoch-1's bundle —
+	// we approximate by checking the epoch counter advances monotonically.
+	if _, err := tb.no.RotateGroupSecret(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.no.RegisterUserGroup(gm, tb.ttp, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.no.RotateGroupSecret(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.no.RegisterUserGroup(gm, tb.ttp, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tb.no.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", tb.no.Epoch())
+	}
+	// Same-epoch duplicate rejected.
+	if err := tb.no.RegisterUserGroup(gm, tb.ttp, 2); err == nil {
+		t.Fatal("same-epoch duplicate registration accepted")
+	}
+}
+
+func TestUserUpdateGroupKeyDropsCredentials(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	u := tb.user("0", 0)
+	if len(u.Groups()) != 1 {
+		t.Fatal("setup")
+	}
+	newGpk, err := tb.no.RotateGroupSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.UpdateGroupKey(newGpk)
+	if len(u.Groups()) != 0 {
+		t.Fatal("credentials survived a key update")
+	}
+	// Attempting to authenticate without re-enrolling fails cleanly.
+	if _, err := u.StartPeerAuthWithGenerator(nil, "grp-0"); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("want ErrUnknownGroup, got %v", err)
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/puzzle"
+	"github.com/peace-mesh/peace/internal/sgs"
+	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// RouterStats counts what a router has processed; the DoS experiments
+// (E6) read these to show how puzzles shed bogus load cheaply.
+type RouterStats struct {
+	BeaconsSent            int
+	RequestsSeen           int
+	RejectedPuzzle         int // shed before any pairing work
+	RejectedAuth           int // failed group-signature verification
+	RejectedRevoked        int
+	RejectedStale          int
+	SessionsEstablished    int
+	ExpensiveVerifications int // group-signature verifications performed
+}
+
+// MeshRouter is a PEACE mesh router MR_k: it broadcasts signed beacons
+// (M.1), answers access requests (M.2 → M.3), and maintains the sessions
+// of attached users. Routers receive CRL/URL updates from the operator
+// over the pre-established secure channel (modeled as direct calls).
+type MeshRouter struct {
+	cfg     Config
+	id      string
+	keyPair *cert.KeyPair
+	cert    *cert.Certificate
+	noPub   cert.PublicKey
+	gpk     *sgs.PublicKey
+
+	mu          sync.Mutex
+	crl         *cert.CRL
+	url         *UserRevocationList
+	outstanding map[string]*beaconState // keyed by marshaled g^{r_R}
+	sessions    map[SessionID]*Session
+	// sessionLog is the paper's "network log file": the authentication
+	// transcript (M.2) behind every established session, kept so the
+	// operator can audit a disputed session later.
+	sessionLog map[SessionID]*AccessRequest
+	dosDefense bool
+	// dosMonitor, when installed, toggles dosDefense automatically from
+	// the observed failure rate (Section V.A's "suspected attack").
+	dosMonitor *dosMonitor
+	stats      RouterStats
+}
+
+// beaconState remembers the secrets behind one broadcast beacon.
+type beaconState struct {
+	g       *bn256.G1
+	gr      *bn256.G1
+	rR      *big.Int
+	sentAt  time.Time
+	puzzle  *puzzle.Puzzle
+	expired bool
+}
+
+// NewMeshRouter creates a router with a fresh key pair. The certificate
+// must be obtained from the operator via EnrollRouter and installed with
+// SetCertificate, after which beacons can be produced.
+func NewMeshRouter(cfg Config, id string, noPub cert.PublicKey, gpk *sgs.PublicKey) (*MeshRouter, error) {
+	cfg = cfg.withDefaults()
+	kp, err := cert.GenerateKeyPair(cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("router %q: %w", id, err)
+	}
+	return &MeshRouter{
+		cfg:         cfg,
+		id:          id,
+		keyPair:     kp,
+		noPub:       noPub,
+		gpk:         gpk,
+		outstanding: make(map[string]*beaconState),
+		sessions:    make(map[SessionID]*Session),
+		sessionLog:  make(map[SessionID]*AccessRequest),
+	}, nil
+}
+
+// ID returns the router identifier MR_k.
+func (r *MeshRouter) ID() string { return r.id }
+
+// Public returns RPK_k for certificate enrollment.
+func (r *MeshRouter) Public() cert.PublicKey { return r.keyPair.Public() }
+
+// SetCertificate installs the operator-issued certificate.
+func (r *MeshRouter) SetCertificate(c *cert.Certificate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cert = c
+}
+
+// UpdateRevocations installs fresh CRL/URL copies (the periodic secure
+// channel from the operator).
+func (r *MeshRouter) UpdateRevocations(crl *cert.CRL, url *UserRevocationList) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.crl = crl
+	r.url = url
+}
+
+// SetDoSDefense toggles the client-puzzle mode of Section V.A.
+func (r *MeshRouter) SetDoSDefense(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dosDefense = on
+}
+
+// Stats returns a copy of the router's counters.
+func (r *MeshRouter) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Sessions returns the number of live sessions.
+func (r *MeshRouter) Sessions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// SessionByID returns an established session.
+func (r *MeshRouter) SessionByID(id SessionID) (*Session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	return s, ok
+}
+
+// Beacon produces message M.1: fresh (g, g^{r_R}), timestamp, signature,
+// certificate, CRL and URL — plus a client puzzle when DoS defense is on.
+func (r *MeshRouter) Beacon() (*Beacon, error) {
+	r.mu.Lock()
+	r.observeTick(r.cfg.Clock.Now())
+	certCopy := r.cert
+	crl := r.crl
+	url := r.url
+	dos := r.dosDefense
+	r.mu.Unlock()
+
+	if certCopy == nil {
+		return nil, fmt.Errorf("router %q: no certificate installed", r.id)
+	}
+	if crl == nil || url == nil {
+		return nil, fmt.Errorf("router %q: no revocation lists installed", r.id)
+	}
+
+	// Fresh generator g = g1^ρ and share g^{r_R}.
+	rho, err := bn256.RandomScalar(r.cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("router %q: %w", r.id, err)
+	}
+	g := new(bn256.G1).ScalarBaseMult(rho)
+	rR, err := bn256.RandomScalar(r.cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("router %q: %w", r.id, err)
+	}
+	gr := new(bn256.G1).ScalarMult(g, rR)
+
+	now := r.cfg.Clock.Now()
+	b := &Beacon{
+		RouterID:  r.id,
+		G:         g,
+		GR:        gr,
+		Timestamp: now,
+		Cert:      certCopy,
+		CRL:       crl,
+		URL:       url,
+	}
+	if dos {
+		p, err := puzzle.New(r.cfg.Rand, r.cfg.PuzzleDifficulty, r.id, now)
+		if err != nil {
+			return nil, fmt.Errorf("router %q: %w", r.id, err)
+		}
+		b.Puzzle = p
+	}
+	sig, err := r.keyPair.Sign(r.cfg.Rand, b.signedBody())
+	if err != nil {
+		return nil, fmt.Errorf("router %q: %w", r.id, err)
+	}
+	b.Signature = sig
+
+	r.mu.Lock()
+	r.outstanding[string(gr.Marshal())] = &beaconState{
+		g:      g,
+		gr:     gr,
+		rR:     rR,
+		sentAt: now,
+		puzzle: b.Puzzle,
+	}
+	r.stats.BeaconsSent++
+	r.mu.Unlock()
+	return b, nil
+}
+
+// HandleAccessRequest processes message M.2 (paper Step 3): freshness,
+// optional puzzle check (before any pairing work), group-signature
+// verification (Eq.2), URL revocation scan (Eq.3), key computation and the
+// M.3 confirmation.
+func (r *MeshRouter) HandleAccessRequest(m *AccessRequest) (*AccessConfirm, *Session, error) {
+	r.mu.Lock()
+	r.stats.RequestsSeen++
+	st := r.outstanding[string(m.GR.Marshal())]
+	url := r.url
+	dos := r.dosDefense
+	now := r.cfg.Clock.Now()
+	r.mu.Unlock()
+
+	// Step 3.1: freshness of g^{r_R} and ts_2.
+	if st == nil || st.expired {
+		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
+		return nil, nil, fmt.Errorf("router %q: unknown g^rR: %w", r.id, ErrReplay)
+	}
+	if !fresh(r.cfg, now, m.Timestamp) {
+		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
+		return nil, nil, fmt.Errorf("router %q: ts2: %w", r.id, ErrReplay)
+	}
+
+	// DoS defense: verify the puzzle solution before committing to any
+	// expensive pairing operations.
+	if dos && st.puzzle != nil {
+		if !m.HasSolution {
+			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
+			return nil, nil, fmt.Errorf("router %q: %w", r.id, ErrPuzzleRequired)
+		}
+		if err := st.puzzle.Verify(m.Solution, now, r.cfg.PuzzleMaxAge); err != nil {
+			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
+			return nil, nil, fmt.Errorf("router %q: %w: %v", r.id, ErrPuzzleRequired, err)
+		}
+	}
+
+	// Step 3.2: group-signature verification.
+	transcript := m.SignedTranscript()
+	r.bump(func(s *RouterStats) { s.ExpensiveVerifications++ })
+	if err := sgs.Verify(r.gpk, transcript, m.Sig); err != nil {
+		r.bumpFailure(func(s *RouterStats) { s.RejectedAuth++ })
+		return nil, nil, fmt.Errorf("router %q: %w: %v", r.id, ErrBadAccessRequest, err)
+	}
+
+	// Step 3.3: URL revocation scan.
+	if url != nil && len(url.Tokens) > 0 {
+		if revoked, _ := sgs.IsRevoked(r.gpk, transcript, m.Sig, url.Tokens); revoked {
+			r.bump(func(s *RouterStats) { s.RejectedRevoked++ })
+			return nil, nil, fmt.Errorf("router %q: %w", r.id, ErrRevokedUser)
+		}
+	}
+
+	// Step 3.4: K_{k,j} = (g^{r_j})^{r_R}, session keys, and M.3.
+	dh := new(bn256.G1).ScalarMult(m.GJ, st.rR)
+	id := NewSessionID(m.GR, m.GJ)
+	sess := newSession(id, "user", dh.Marshal(), sessionTranscript(m.GR, m.GJ), now)
+
+	payload := wire.NewWriter(192)
+	payload.StringField(r.id)
+	payload.BytesField(m.GJ.Marshal())
+	payload.BytesField(m.GR.Marshal())
+	ct, err := symcrypto.Seal(r.cfg.Rand, sess.keys.Enc, payload.Bytes(), id[:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("router %q: confirm: %w", r.id, err)
+	}
+
+	r.mu.Lock()
+	r.sessions[id] = sess
+	r.sessionLog[id] = m
+	r.stats.SessionsEstablished++
+	r.mu.Unlock()
+
+	return &AccessConfirm{GJ: m.GJ, GR: m.GR, Ciphertext: ct}, sess, nil
+}
+
+// LoggedAccessRequest retrieves the authentication transcript behind an
+// established session from the router's log — the paper's audit Step 1:
+// "find the corresponding authentication session message (M.2) from the
+// network log file".
+func (r *MeshRouter) LoggedAccessRequest(id SessionID) (*AccessRequest, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.sessionLog[id]
+	return m, ok
+}
+
+// RetireBeacon marks a beacon's DH share as no longer acceptable (e.g.
+// after its period elapsed). Kept simple: routers in the simulator retire
+// beacons when emitting new ones beyond a window.
+func (r *MeshRouter) RetireBeacon(gr *bn256.G1) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.outstanding[string(gr.Marshal())]; ok {
+		st.expired = true
+	}
+}
+
+func (r *MeshRouter) bump(f func(*RouterStats)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(&r.stats)
+}
+
+// bumpFailure records a rejected access request and feeds the adaptive
+// DoS monitor.
+func (r *MeshRouter) bumpFailure(f func(*RouterStats)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(&r.stats)
+	r.observeFailure(r.cfg.Clock.Now())
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// This file implements the offline scheme-setup machinery of Section IV.A:
+// the signed key bundles that flow NO → GM and NO → TTP, the A ⊕ x masking
+// that keeps the TTP blind, and the ECDSA receipts that give the tracing
+// protocol its non-repudiation property.
+
+// Receipt is a non-repudiation acknowledgment: the receiver of a key
+// bundle (GM, TTP or user) signs the bundle digest so it cannot later deny
+// having received the material.
+type Receipt struct {
+	// SignerID names the acknowledging party.
+	SignerID string
+	// Digest is SHA-256 of the acknowledged payload.
+	Digest [32]byte
+	// Signature is the signer's ECDSA signature over SignerID ‖ Digest.
+	Signature []byte
+}
+
+func receiptBody(signerID string, digest [32]byte) []byte {
+	w := wire.NewWriter(64)
+	w.StringField("peace/receipt:v1")
+	w.StringField(signerID)
+	w.BytesField(digest[:])
+	return w.Bytes()
+}
+
+// signReceipt acknowledges payload on behalf of signerID.
+func signReceipt(rng io.Reader, kp *cert.KeyPair, signerID string, payload []byte) (*Receipt, error) {
+	r := &Receipt{SignerID: signerID, Digest: sha256.Sum256(payload)}
+	sig, err := kp.Sign(rng, receiptBody(signerID, r.Digest))
+	if err != nil {
+		return nil, fmt.Errorf("receipt: %w", err)
+	}
+	r.Signature = sig
+	return r, nil
+}
+
+// Verify checks the receipt against the signer's public key and the
+// original payload.
+func (r *Receipt) Verify(pk cert.PublicKey, payload []byte) error {
+	if r == nil {
+		return ErrReceiptMissing
+	}
+	if r.Digest != sha256.Sum256(payload) {
+		return fmt.Errorf("receipt: digest mismatch")
+	}
+	return pk.Verify(receiptBody(r.SignerID, r.Digest), r.Signature)
+}
+
+// maskToken computes the paper's A_{i,j} ⊕ x_j with the pad expanded from
+// x_j to the full encoding length of A (see symcrypto.Stream).
+func maskToken(a *bn256.G1, x *big.Int) []byte {
+	enc := a.Marshal()
+	pad := symcrypto.Stream(x.Bytes(), "peace/mask-a", len(enc))
+	out := make([]byte, len(enc))
+	for i := range enc {
+		out[i] = enc[i] ^ pad[i]
+	}
+	return out
+}
+
+// unmaskToken inverts maskToken given x_j.
+func unmaskToken(masked []byte, x *big.Int) (*bn256.G1, error) {
+	pad := symcrypto.Stream(x.Bytes(), "peace/mask-a", len(masked))
+	enc := make([]byte, len(masked))
+	for i := range masked {
+		enc[i] = masked[i] ^ pad[i]
+	}
+	a, err := new(bn256.G1).Unmarshal(enc)
+	if err != nil {
+		return nil, fmt.Errorf("unmask A: %w", err)
+	}
+	return a, nil
+}
+
+// GMKeyBundle is setup Step 5: NO → GM_i delivery of
+// {[i, j], grp_i, x_j | ∀j}, signed under NSK.
+type GMKeyBundle struct {
+	Group     GroupID
+	Epoch     uint32
+	Grp       *big.Int
+	Xs        []*big.Int
+	Signature []byte
+}
+
+func (b *GMKeyBundle) body() []byte {
+	w := wire.NewWriter(64 + 36*len(b.Xs))
+	w.StringField("peace/gm-bundle:v1")
+	w.StringField(string(b.Group))
+	w.Uint32(b.Epoch)
+	w.BytesField(b.Grp.Bytes())
+	w.Uint32(uint32(len(b.Xs)))
+	for _, x := range b.Xs {
+		w.BytesField(x.Bytes())
+	}
+	return w.Bytes()
+}
+
+// Verify checks the NO signature.
+func (b *GMKeyBundle) Verify(noPub cert.PublicKey) error {
+	return noPub.Verify(b.body(), b.Signature)
+}
+
+// TTPKeyBundle is setup Step 7: NO → TTP delivery of
+// {[i, j], A_{i,j} ⊕ x_j | ∀j}, signed under NSK.
+type TTPKeyBundle struct {
+	Group     GroupID
+	Epoch     uint32
+	Masked    [][]byte
+	Signature []byte
+}
+
+func (b *TTPKeyBundle) body() []byte {
+	w := wire.NewWriter(64 + (bn256.G1Size+4)*len(b.Masked))
+	w.StringField("peace/ttp-bundle:v1")
+	w.StringField(string(b.Group))
+	w.Uint32(b.Epoch)
+	w.Uint32(uint32(len(b.Masked)))
+	for _, m := range b.Masked {
+		w.BytesField(m)
+	}
+	return w.Bytes()
+}
+
+// Verify checks the NO signature.
+func (b *TTPKeyBundle) Verify(noPub cert.PublicKey) error {
+	return noPub.Verify(b.body(), b.Signature)
+}
+
+// EnrollUser runs the user-side enrollment of Section IV.A end to end:
+// the GM assigns a key slot and sends ([i,j], grp_i, x_j); the GM asks the
+// TTP to deliver the masked A to the user; the user unmasks, assembles
+// gsk[i,j], validates it against the group public key, and returns signed
+// receipts to both the GM and the TTP.
+func EnrollUser(u *User, gm *GroupManager, ttp *TTP) error {
+	assign, err := gm.EnrollUser(u.ID(), u.ReceiptKey())
+	if err != nil {
+		return fmt.Errorf("enroll %q with %q: %w", u.ID(), gm.ID(), err)
+	}
+	masked, err := ttp.DeliverToUser(u.ID(), assign.Group, assign.Index)
+	if err != nil {
+		return fmt.Errorf("ttp delivery for %q: %w", u.ID(), err)
+	}
+	userReceiptGM, userReceiptTTP, err := u.AcceptCredential(assign, masked)
+	if err != nil {
+		return err
+	}
+	if err := gm.RecordUserReceipt(assign.Index, userReceiptGM); err != nil {
+		return err
+	}
+	if err := ttp.RecordUserReceipt(u.ID(), assign.Group, assign.Index, userReceiptTTP); err != nil {
+		return err
+	}
+	return nil
+}
+
+// KeyAssignment is what the GM hands a user during enrollment:
+// the slot [i, j] plus (grp_i, x_j).
+type KeyAssignment struct {
+	Group GroupID
+	Index int
+	Grp   *big.Int
+	X     *big.Int
+}
+
+func (a *KeyAssignment) body() []byte {
+	w := wire.NewWriter(96)
+	w.StringField("peace/assignment:v1")
+	w.StringField(string(a.Group))
+	w.Uint32(uint32(a.Index))
+	w.BytesField(a.Grp.Bytes())
+	w.BytesField(a.X.Bytes())
+	return w.Bytes()
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+)
+
+// testbed is a fully provisioned PEACE deployment for integration tests:
+// one operator, one TTP, a set of user groups with enrolled members, and
+// certified mesh routers with fresh CRL/URL state.
+type testbed struct {
+	cfg     Config
+	clock   *FixedClock
+	no      *NetworkOperator
+	ttp     *TTP
+	gms     map[GroupID]*GroupManager
+	users   map[UserID]*User
+	routers map[string]*MeshRouter
+}
+
+var testbedEpoch = time.Unix(1751600000, 0)
+
+// newTestbed builds a deployment with the given number of groups, users
+// per group and routers. Users are named "user-<group>-<n>"; groups
+// "grp-<n>"; routers "MR-<n>".
+func newTestbed(t testing.TB, groups, usersPerGroup, routers int) *testbed {
+	t.Helper()
+
+	clock := &FixedClock{T: testbedEpoch}
+	cfg := Config{
+		Clock:            clock,
+		FreshnessWindow:  time.Minute,
+		PuzzleDifficulty: 4, // keep Solve cheap in tests
+	}
+
+	no, err := NewNetworkOperator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttp, err := NewTTP(cfg, no.Authority())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tb := &testbed{
+		cfg:     cfg,
+		clock:   clock,
+		no:      no,
+		ttp:     ttp,
+		gms:     make(map[GroupID]*GroupManager),
+		users:   make(map[UserID]*User),
+		routers: make(map[string]*MeshRouter),
+	}
+
+	for gi := 0; gi < groups; gi++ {
+		gid := GroupID(fmt.Sprintf("grp-%d", gi))
+		gm, err := NewGroupManager(cfg, gid, no.Authority())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Issue twice the member count so revocation tests have headroom.
+		if err := no.RegisterUserGroup(gm, ttp, 2*usersPerGroup+2); err != nil {
+			t.Fatal(err)
+		}
+		tb.gms[gid] = gm
+
+		for ui := 0; ui < usersPerGroup; ui++ {
+			uid := UserID(fmt.Sprintf("user-%s-%d", gid, ui))
+			u, err := NewUser(cfg, Identity{
+				Essential:  uid,
+				Attributes: []Attribute{{Group: gid, Role: "member"}},
+			}, no.Authority(), no.GroupPublicKey())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := EnrollUser(u, gm, ttp); err != nil {
+				t.Fatal(err)
+			}
+			tb.users[uid] = u
+		}
+	}
+
+	for ri := 0; ri < routers; ri++ {
+		id := fmt.Sprintf("MR-%d", ri)
+		r, err := NewMeshRouter(cfg, id, no.Authority(), no.GroupPublicKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := no.EnrollRouter(id, r.Public())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetCertificate(c)
+		tb.routers[id] = r
+	}
+
+	tb.pushRevocations(t)
+	return tb
+}
+
+// pushRevocations distributes fresh CRL/URL to every router.
+func (tb *testbed) pushRevocations(t testing.TB) {
+	t.Helper()
+	crl, err := tb.no.CurrentCRL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := tb.no.CurrentURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.routers {
+		r.UpdateRevocations(crl, url)
+	}
+}
+
+// issueSelfCert builds a certificate signed by kp itself rather than the
+// operator — what a rogue router would fabricate.
+func issueSelfCert(cfg Config, kp *cert.KeyPair, id string, expiresAt time.Time) (*cert.Certificate, error) {
+	cfg = cfg.withDefaults()
+	return cert.IssueCertificate(cfg.Rand, kp, id, kp.Public(), expiresAt)
+}
+
+// user returns the n-th user of the given group.
+func (tb *testbed) user(group string, n int) *User {
+	return tb.users[UserID(fmt.Sprintf("user-grp-%s-%d", group, n))]
+}
+
+// runAKA drives one full user–router AKA over marshaled messages (the
+// bytes actually cross the "air"), returning both session halves.
+func (tb *testbed) runAKA(t testing.TB, u *User, r *MeshRouter, group GroupID) (userSess, routerSess *Session) {
+	t.Helper()
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := UnmarshalBeacon(beacon.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := u.HandleBeacon(b2, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2b, err := UnmarshalAccessRequest(m2.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m3, rs, err := r.HandleAccessRequest(m2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3b, err := UnmarshalAccessConfirm(m3.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	us, err := u.HandleAccessConfirm(m3b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return us, rs
+}

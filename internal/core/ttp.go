@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/peace-mesh/peace/internal/cert"
+)
+
+// TTP is the offline trusted third party. It stores the masked tokens
+// A_{i,j} ⊕ x_j received from the network operator during setup and
+// forwards them to users on group-manager request. It can recover neither
+// A_{i,j} nor x_j, and it is needed only during setup.
+type TTP struct {
+	cfg     Config
+	signKey *cert.KeyPair
+	noPub   cert.PublicKey
+
+	mu sync.Mutex
+	// epochs maps group → the key epoch of the stored bundle.
+	epochs map[GroupID]uint32
+	// store maps group → slot index → masked token.
+	store map[GroupID][][]byte
+	// delivered maps group → slot index → the user that received it.
+	delivered map[GroupID]map[int]UserID
+	// userReceipts holds user non-repudiation receipts per delivery.
+	userReceipts map[GroupID]map[int]*Receipt
+	// bundleReceipts holds the receipts this TTP returned to the NO.
+	bundleReceipts map[GroupID]*Receipt
+}
+
+// NewTTP creates a TTP trusting the given network-operator signing key.
+func NewTTP(cfg Config, noPub cert.PublicKey) (*TTP, error) {
+	cfg = cfg.withDefaults()
+	kp, err := cert.GenerateKeyPair(cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("ttp: %w", err)
+	}
+	return &TTP{
+		cfg:            cfg,
+		signKey:        kp,
+		noPub:          noPub,
+		epochs:         make(map[GroupID]uint32),
+		store:          make(map[GroupID][][]byte),
+		delivered:      make(map[GroupID]map[int]UserID),
+		userReceipts:   make(map[GroupID]map[int]*Receipt),
+		bundleReceipts: make(map[GroupID]*Receipt),
+	}, nil
+}
+
+// Public returns the TTP's receipt-verification key.
+func (t *TTP) Public() cert.PublicKey { return t.signKey.Public() }
+
+// ReceiveBundle ingests a signed NO → TTP key bundle (setup Step 7) and
+// returns the TTP's signed receipt (the paper's non-repudiation
+// acknowledgment).
+func (t *TTP) ReceiveBundle(b *TTPKeyBundle) (*Receipt, error) {
+	if err := b.Verify(t.noPub); err != nil {
+		return nil, fmt.Errorf("ttp: bundle for %q: %w", b.Group, err)
+	}
+	masked := make([][]byte, len(b.Masked))
+	for i, m := range b.Masked {
+		masked[i] = append([]byte(nil), m...)
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.store[b.Group]; dup && b.Epoch <= t.epochs[b.Group] {
+		return nil, fmt.Errorf("ttp: duplicate bundle for group %q epoch %d", b.Group, b.Epoch)
+	}
+	t.epochs[b.Group] = b.Epoch
+	t.store[b.Group] = masked
+	t.delivered[b.Group] = make(map[int]UserID)
+	t.userReceipts[b.Group] = make(map[int]*Receipt)
+
+	rcpt, err := signReceipt(t.cfg.Rand, t.signKey, "ttp", b.body())
+	if err != nil {
+		return nil, err
+	}
+	t.bundleReceipts[b.Group] = rcpt
+	return rcpt, nil
+}
+
+// DeliverToUser hands the masked token for slot [group, index] to uid
+// (setup user-enrollment Step 2). The TTP records the uid ↔ slot mapping —
+// this is exactly the knowledge the paper grants the TTP.
+func (t *TTP) DeliverToUser(uid UserID, group GroupID, index int) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slots, ok := t.store[group]
+	if !ok {
+		return nil, fmt.Errorf("ttp: %w: %q", ErrUnknownGroup, group)
+	}
+	if index < 0 || index >= len(slots) {
+		return nil, fmt.Errorf("ttp: slot %d out of range for group %q", index, group)
+	}
+	if prev, taken := t.delivered[group][index]; taken && prev != uid {
+		return nil, fmt.Errorf("ttp: slot [%q,%d] already delivered to another user", group, index)
+	}
+	t.delivered[group][index] = uid
+	return append([]byte(nil), slots[index]...), nil
+}
+
+// RecordUserReceipt stores the user's signed acknowledgment for a
+// delivery; required for the tracing protocol's non-repudiation.
+func (t *TTP) RecordUserReceipt(uid UserID, group GroupID, index int, rcpt *Receipt) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if got, ok := t.delivered[group][index]; !ok || got != uid {
+		return fmt.Errorf("ttp: no delivery of [%q,%d] to %q on record", group, index, uid)
+	}
+	t.userReceipts[group][index] = rcpt
+	return nil
+}
+
+// UserReceipt returns the recorded user receipt for a slot, if any.
+func (t *TTP) UserReceipt(group GroupID, index int) (*Receipt, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.userReceipts[group][index]
+	return r, ok && r != nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestURLSizeControlPrunesLapsedMemberships(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+
+	tok0, err := tb.no.TokenOf("grp-0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok1, err := tb.no.TokenOf("grp-0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// tok0 revoked until its membership lapses in 1 hour; tok1 forever.
+	tb.no.RevokeUserKeyUntil(tok0, tb.clock.Now().Add(time.Hour))
+	tb.no.RevokeUserKey(tok1)
+
+	url, err := tb.no.CurrentURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(url.Tokens) != 2 {
+		t.Fatalf("URL size = %d, want 2", len(url.Tokens))
+	}
+
+	// After the membership period, the bounded entry is pruned.
+	tb.clock.Advance(2 * time.Hour)
+	url, err = tb.no.CurrentURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(url.Tokens) != 1 {
+		t.Fatalf("URL size after lapse = %d, want 1", len(url.Tokens))
+	}
+	if !url.Tokens[0].Equal(tok1) {
+		t.Fatal("wrong token pruned")
+	}
+}
+
+func TestRevocationUpgradeToForever(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	tok, err := tb.no.TokenOf("grp-0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.no.RevokeUserKeyUntil(tok, tb.clock.Now().Add(time.Minute))
+	tb.no.RevokeUserKey(tok) // upgraded to permanent
+
+	tb.clock.Advance(time.Hour)
+	url, err := tb.no.CurrentURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(url.Tokens) != 1 {
+		t.Fatalf("permanent revocation pruned (URL size %d)", len(url.Tokens))
+	}
+}
+
+func TestConcurrentAccessRequests(t *testing.T) {
+	// A router must handle parallel AKAs safely (exercises locking across
+	// the beacon table, session table and stats).
+	tb := newTestbed(t, 1, 4, 1)
+	r := tb.routers["MR-0"]
+
+	const parallel = 4
+	type job struct {
+		m2 *AccessRequest
+		u  *User
+	}
+	jobs := make([]job, parallel)
+	for i := 0; i < parallel; i++ {
+		u := tb.user("0", i)
+		beacon, err := r.Beacon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := u.HandleBeacon(beacon, "grp-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job{m2: m2, u: u}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, parallel)
+	confirms := make([]*AccessConfirm, parallel)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m3, _, err := r.HandleAccessRequest(jobs[i].m2)
+			errs[i] = err
+			confirms[i] = m3
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("parallel AKA %d: %v", i, errs[i])
+		}
+		if _, err := jobs[i].u.HandleAccessConfirm(confirms[i]); err != nil {
+			t.Fatalf("parallel confirm %d: %v", i, err)
+		}
+	}
+	if r.Sessions() != parallel {
+		t.Fatalf("router sessions = %d, want %d", r.Sessions(), parallel)
+	}
+}
+
+func TestConcurrentSessionTraffic(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	us, rs := tb.runAKA(t, tb.user("0", 0), tb.routers["MR-0"], "grp-0")
+
+	// Parallel senders on one session must produce unique sequence numbers
+	// that the receiver can consume in order after a sort.
+	const n = 32
+	frames := make([]*DataFrame, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			frames[i] = us.AuthData([]byte{byte(i)})
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, n)
+	for _, f := range frames {
+		if seen[f.Seq] {
+			t.Fatalf("duplicate sequence number %d", f.Seq)
+		}
+		seen[f.Seq] = true
+	}
+	// Deliver in sequence order.
+	for seq := uint64(0); seq < n; seq++ {
+		for _, f := range frames {
+			if f.Seq == seq {
+				if _, err := rs.OpenData(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}

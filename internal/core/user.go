@@ -1,0 +1,500 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/sgs"
+	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// Credential is one assembled group private key gsk[i,j] together with the
+// slot it was issued for.
+type Credential struct {
+	Group GroupID
+	Index int
+	Key   *sgs.PrivateKey
+}
+
+// User is a network user: it enrolls with one or more user groups,
+// authenticates to mesh routers (Section IV.B) and to peer users (Section
+// IV.C), and maintains its established sessions.
+type User struct {
+	cfg      Config
+	identity Identity
+	signKey  *cert.KeyPair // receipt/non-repudiation key
+	noPub    cert.PublicKey
+	gpk      *sgs.PublicKey
+
+	mu sync.Mutex
+	// creds holds one credential per enrolled group.
+	creds map[GroupID]*Credential
+	// pendingAssignments holds (grp, x) halves awaiting the TTP half.
+	pendingAssignments map[GroupID]*KeyAssignment
+	// sessions are the user's established security associations.
+	sessions map[SessionID]*Session
+	// pendingRouter tracks in-flight user–router AKAs keyed by session id.
+	pendingRouter map[SessionID]*pendingRouterAuth
+	// pendingPeer tracks in-flight user–user AKAs (initiator side).
+	pendingPeer map[string]*pendingPeerAuth // keyed by marshaled g^{r_j}
+	// lastURL caches the most recent URL seen in a valid beacon, used to
+	// screen peers in user–user authentication.
+	lastURL *UserRevocationList
+	// lastG caches the serving router's generator g for peer protocols.
+	lastG *bn256.G1
+}
+
+type pendingRouterAuth struct {
+	routerID string
+	gj, gr   *bn256.G1
+	dh       []byte // marshaled K_{k,j}
+}
+
+type pendingPeerAuth struct {
+	gj *bn256.G1
+	rj *big.Int
+	g  *bn256.G1
+	ts int64
+}
+
+// NewUser creates a user with the given identity.
+func NewUser(cfg Config, identity Identity, noPub cert.PublicKey, gpk *sgs.PublicKey) (*User, error) {
+	cfg = cfg.withDefaults()
+	kp, err := cert.GenerateKeyPair(cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("user %q: %w", identity.Essential, err)
+	}
+	return &User{
+		cfg:                cfg,
+		identity:           identity,
+		signKey:            kp,
+		noPub:              noPub,
+		gpk:                gpk,
+		creds:              make(map[GroupID]*Credential),
+		pendingAssignments: make(map[GroupID]*KeyAssignment),
+		sessions:           make(map[SessionID]*Session),
+		pendingRouter:      make(map[SessionID]*pendingRouterAuth),
+		pendingPeer:        make(map[string]*pendingPeerAuth),
+	}, nil
+}
+
+// ID returns the user's essential attribute information uid_j. It is
+// local state only — no protocol message ever carries it.
+func (u *User) ID() UserID { return u.identity.Essential }
+
+// Identity returns a copy of the user's identity information.
+func (u *User) Identity() Identity {
+	out := Identity{Essential: u.identity.Essential}
+	out.Attributes = append(out.Attributes, u.identity.Attributes...)
+	return out
+}
+
+// Groups lists the groups the user holds credentials for.
+func (u *User) Groups() []GroupID {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]GroupID, 0, len(u.creds))
+	for g := range u.creds {
+		out = append(out, g)
+	}
+	return out
+}
+
+// AcceptCredential completes enrollment: combine the GM's assignment with
+// the TTP's masked token, validate the assembled key against gpk, and
+// produce the two signed receipts (to GM and TTP).
+func (u *User) AcceptCredential(assign *KeyAssignment, maskedToken []byte) (gmReceipt, ttpReceipt *Receipt, err error) {
+	a, err := unmaskToken(maskedToken, assign.X)
+	if err != nil {
+		return nil, nil, fmt.Errorf("user %q: %w", u.ID(), err)
+	}
+	key := &sgs.PrivateKey{A: a, Grp: assign.Grp, X: assign.X}
+	if err := sgs.CheckKey(u.gpk, key); err != nil {
+		return nil, nil, fmt.Errorf("user %q: assembled key invalid: %w", u.ID(), err)
+	}
+
+	gmReceipt, err = signReceipt(u.cfg.Rand, u.signKey, "user:"+string(u.ID()), assign.body())
+	if err != nil {
+		return nil, nil, err
+	}
+	ttpReceipt, err = signReceipt(u.cfg.Rand, u.signKey, "user:"+string(u.ID()), maskedToken)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.creds[assign.Group] = &Credential{Group: assign.Group, Index: assign.Index, Key: key}
+	return gmReceipt, ttpReceipt, nil
+}
+
+// ReceiptKey returns the user's receipt-verification public key.
+func (u *User) ReceiptKey() cert.PublicKey { return u.signKey.Public() }
+
+// credential picks the credential for group, or any credential when group
+// is empty (users act in different roles; callers choose the role).
+func (u *User) credential(group GroupID) (*Credential, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if group != "" {
+		c, ok := u.creds[group]
+		if !ok {
+			return nil, fmt.Errorf("user %q: no credential for group %q: %w", u.ID(), group, ErrUnknownGroup)
+		}
+		return c, nil
+	}
+	for _, c := range u.creds {
+		return c, nil
+	}
+	return nil, fmt.Errorf("user %q: no credentials: %w", u.ID(), ErrUnknownGroup)
+}
+
+// sessionTranscript is the key-derivation binding for a session: the pair
+// of DH shares in a fixed order.
+func sessionTranscript(gr, gj *bn256.G1) []byte {
+	w := wire.NewWriter(160)
+	w.StringField("peace/transcript:v1")
+	w.BytesField(gr.Marshal())
+	w.BytesField(gj.Marshal())
+	return w.Bytes()
+}
+
+// HandleBeacon runs user Step 2 of the user–router AKA: validate M.1
+// (Step 2.1: timestamp, certificate + CRL, router signature), then build
+// M.2 (Step 2.2): fresh r_j, group signature under the credential for the
+// chosen group (empty = any), puzzle solution when demanded, and the
+// precomputed session key K_{k,j} = (g^{r_R})^{r_j}.
+func (u *User) HandleBeacon(b *Beacon, group GroupID) (*AccessRequest, error) {
+	now := u.cfg.Clock.Now()
+
+	// Step 2.1: freshness and router legitimacy.
+	if !fresh(u.cfg, now, b.Timestamp) {
+		return nil, fmt.Errorf("%w: beacon ts1", ErrReplay)
+	}
+	if err := cert.CheckCertificate(b.Cert, b.CRL, u.noPub, now); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBeacon, err)
+	}
+	if b.Cert.SubjectID != b.RouterID {
+		return nil, fmt.Errorf("%w: certificate subject %q != router %q", ErrBadBeacon, b.Cert.SubjectID, b.RouterID)
+	}
+	if err := b.Cert.PublicKey.Verify(b.signedBody(), b.Signature); err != nil {
+		return nil, fmt.Errorf("%w: router signature: %v", ErrBadBeacon, err)
+	}
+	if err := b.URL.Verify(u.noPub, now); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBeacon, err)
+	}
+
+	cred, err := u.credential(group)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2.2: DH response and group signature.
+	rj, err := bn256.RandomScalar(u.cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("user %q: %w", u.ID(), err)
+	}
+	gj := new(bn256.G1).ScalarMult(b.G, rj)
+
+	m := &AccessRequest{GJ: gj, GR: b.GR, Timestamp: now}
+	if b.Puzzle != nil {
+		m.HasSolution = true
+		m.Solution = b.Puzzle.Solve()
+	}
+	sig, err := sgs.Sign(u.cfg.Rand, u.gpk, cred.Key, m.SignedTranscript())
+	if err != nil {
+		return nil, fmt.Errorf("user %q: sign M.2: %w", u.ID(), err)
+	}
+	m.Sig = sig
+
+	// Step 2.2.5: K_{k,j} = (g^{r_R})^{r_j}.
+	dh := new(bn256.G1).ScalarMult(b.GR, rj)
+
+	id := NewSessionID(b.GR, gj)
+	u.mu.Lock()
+	u.pendingRouter[id] = &pendingRouterAuth{
+		routerID: b.RouterID,
+		gj:       gj,
+		gr:       b.GR,
+		dh:       dh.Marshal(),
+	}
+	u.lastURL = b.URL
+	u.lastG = b.G
+	u.mu.Unlock()
+	return m, nil
+}
+
+// ObserveBeacon validates a beacon and refreshes the cached URL and
+// generator without initiating authentication — what an already-attached
+// user does with the router's periodic broadcasts.
+func (u *User) ObserveBeacon(b *Beacon) error {
+	now := u.cfg.Clock.Now()
+	if !fresh(u.cfg, now, b.Timestamp) {
+		return fmt.Errorf("%w: beacon ts1", ErrReplay)
+	}
+	if err := cert.CheckCertificate(b.Cert, b.CRL, u.noPub, now); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBeacon, err)
+	}
+	if err := b.Cert.PublicKey.Verify(b.signedBody(), b.Signature); err != nil {
+		return fmt.Errorf("%w: router signature: %v", ErrBadBeacon, err)
+	}
+	if err := b.URL.Verify(u.noPub, now); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBeacon, err)
+	}
+	u.mu.Lock()
+	u.lastURL = b.URL
+	u.lastG = b.G
+	u.mu.Unlock()
+	return nil
+}
+
+// HandleAccessConfirm completes the user–router AKA on receipt of M.3:
+// decrypt the confirmation, check the echoed identifiers, and promote the
+// pending state to an established session.
+func (u *User) HandleAccessConfirm(m *AccessConfirm) (*Session, error) {
+	id := NewSessionID(m.GR, m.GJ)
+	u.mu.Lock()
+	pend, ok := u.pendingRouter[id]
+	u.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no pending AKA for %s", ErrNoSession, id)
+	}
+
+	sess := newSession(id, pend.routerID, pend.dh, sessionTranscript(pend.gr, pend.gj), u.cfg.Clock.Now())
+	pt, err := symcrypto.Open(sess.keys.Enc, m.Ciphertext, id[:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfirmation, err)
+	}
+	r := wire.NewReader(pt)
+	routerID, err := r.StringField()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfirmation, err)
+	}
+	gjRaw, err := r.BytesField()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfirmation, err)
+	}
+	grRaw, err := r.BytesField()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfirmation, err)
+	}
+	if routerID != pend.routerID ||
+		string(gjRaw) != string(pend.gj.Marshal()) ||
+		string(grRaw) != string(pend.gr.Marshal()) {
+		return nil, fmt.Errorf("%w: transcript mismatch", ErrBadConfirmation)
+	}
+
+	u.mu.Lock()
+	delete(u.pendingRouter, id)
+	u.sessions[id] = sess
+	u.mu.Unlock()
+	return sess, nil
+}
+
+// SessionByID returns an established session.
+func (u *User) SessionByID(id SessionID) (*Session, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	s, ok := u.sessions[id]
+	return s, ok
+}
+
+// Sessions returns the number of established sessions.
+func (u *User) Sessions() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.sessions)
+}
+
+// StartPeerAuth initiates user–user authentication (M̃.1): sign
+// (g, g^{r_j}, ts_1) with the chosen group credential and locally
+// broadcast it. The generator g comes from the serving router's beacon.
+func (u *User) StartPeerAuth(group GroupID) (*PeerHello, error) {
+	u.mu.Lock()
+	g := u.lastG
+	u.mu.Unlock()
+	if g == nil {
+		return nil, fmt.Errorf("user %q: no beacon generator cached; process a beacon first", u.ID())
+	}
+	return u.StartPeerAuthWithGenerator(g, group)
+}
+
+// StartPeerAuthWithGenerator is StartPeerAuth with an explicit generator.
+func (u *User) StartPeerAuthWithGenerator(g *bn256.G1, group GroupID) (*PeerHello, error) {
+	cred, err := u.credential(group)
+	if err != nil {
+		return nil, err
+	}
+	rj, err := bn256.RandomScalar(u.cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("user %q: %w", u.ID(), err)
+	}
+	gj := new(bn256.G1).ScalarMult(g, rj)
+	now := u.cfg.Clock.Now()
+
+	m := &PeerHello{G: g, GJ: gj, Timestamp: now}
+	sig, err := sgs.Sign(u.cfg.Rand, u.gpk, cred.Key, m.SignedTranscript())
+	if err != nil {
+		return nil, fmt.Errorf("user %q: sign M̃.1: %w", u.ID(), err)
+	}
+	m.Sig = sig
+
+	u.mu.Lock()
+	u.pendingPeer[string(gj.Marshal())] = &pendingPeerAuth{
+		gj: gj,
+		rj: rj,
+		g:  g,
+		ts: now.UnixNano(),
+	}
+	u.mu.Unlock()
+	return m, nil
+}
+
+// HandlePeerHello runs the responder side of M̃.1 → M̃.2: verify the
+// initiator's group signature and revocation status, pick r_l, compute
+// the pairwise key, and reply with a group-signed M̃.2.
+func (u *User) HandlePeerHello(m *PeerHello, group GroupID) (*PeerResponse, *Session, error) {
+	now := u.cfg.Clock.Now()
+	if !fresh(u.cfg, now, m.Timestamp) {
+		return nil, nil, fmt.Errorf("%w: M̃.1 ts1", ErrReplay)
+	}
+	transcript := m.SignedTranscript()
+	if err := sgs.Verify(u.gpk, transcript, m.Sig); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadAccessRequest, err)
+	}
+	u.mu.Lock()
+	url := u.lastURL
+	u.mu.Unlock()
+	if url != nil && len(url.Tokens) > 0 {
+		if revoked, _ := sgs.IsRevoked(u.gpk, transcript, m.Sig, url.Tokens); revoked {
+			return nil, nil, ErrRevokedUser
+		}
+	}
+
+	cred, err := u.credential(group)
+	if err != nil {
+		return nil, nil, err
+	}
+	rl, err := bn256.RandomScalar(u.cfg.Rand)
+	if err != nil {
+		return nil, nil, fmt.Errorf("user %q: %w", u.ID(), err)
+	}
+	gl := new(bn256.G1).ScalarMult(m.G, rl)
+
+	resp := &PeerResponse{GJ: m.GJ, GL: gl, Timestamp: now}
+	sig, err := sgs.Sign(u.cfg.Rand, u.gpk, cred.Key, resp.SignedTranscript())
+	if err != nil {
+		return nil, nil, fmt.Errorf("user %q: sign M̃.2: %w", u.ID(), err)
+	}
+	resp.Sig = sig
+
+	// K_{r_j, r_l} = (g^{r_j})^{r_l}.
+	dh := new(bn256.G1).ScalarMult(m.GJ, rl)
+	id := NewSessionID(m.GJ, gl)
+	sess := newSession(id, "peer", dh.Marshal(), sessionTranscript(m.GJ, gl), now)
+
+	u.mu.Lock()
+	u.sessions[id] = sess
+	u.mu.Unlock()
+	return resp, sess, nil
+}
+
+// HandlePeerResponse runs the initiator side of M̃.2 → M̃.3: verify the
+// responder's signature and revocation status, derive the key, and emit
+// the encrypted confirmation.
+func (u *User) HandlePeerResponse(m *PeerResponse) (*PeerConfirm, *Session, error) {
+	u.mu.Lock()
+	pend, ok := u.pendingPeer[string(m.GJ.Marshal())]
+	url := u.lastURL
+	u.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: no pending peer AKA", ErrNoSession)
+	}
+
+	now := u.cfg.Clock.Now()
+	if !fresh(u.cfg, now, m.Timestamp) {
+		return nil, nil, fmt.Errorf("%w: M̃.2 ts2", ErrReplay)
+	}
+	// Paper Step 3 of the user–user AKA: ts2 − ts1 must lie within the
+	// acceptable delay window.
+	ts1 := time.Unix(0, pend.ts)
+	if d := m.Timestamp.Sub(ts1); d < 0 || d > u.cfg.FreshnessWindow {
+		return nil, nil, fmt.Errorf("%w: ts2-ts1 delay %v", ErrReplay, d)
+	}
+	transcript := m.SignedTranscript()
+	if err := sgs.Verify(u.gpk, transcript, m.Sig); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadAccessRequest, err)
+	}
+	if url != nil && len(url.Tokens) > 0 {
+		if revoked, _ := sgs.IsRevoked(u.gpk, transcript, m.Sig, url.Tokens); revoked {
+			return nil, nil, ErrRevokedUser
+		}
+	}
+
+	// K_{r_j, r_l} = (g^{r_l})^{r_j}.
+	dh := new(bn256.G1).ScalarMult(m.GL, pend.rj)
+	id := NewSessionID(m.GJ, m.GL)
+	sess := newSession(id, "peer", dh.Marshal(), sessionTranscript(m.GJ, m.GL), now)
+
+	payload := wire.NewWriter(192)
+	payload.BytesField(m.GJ.Marshal())
+	payload.BytesField(m.GL.Marshal())
+	payload.Uint64(uint64(pend.ts))
+	payload.Time(m.Timestamp)
+	ct, err := symcrypto.Seal(u.cfg.Rand, sess.keys.Enc, payload.Bytes(), id[:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("user %q: confirm: %w", u.ID(), err)
+	}
+
+	u.mu.Lock()
+	delete(u.pendingPeer, string(m.GJ.Marshal()))
+	u.sessions[id] = sess
+	u.mu.Unlock()
+	return &PeerConfirm{GJ: m.GJ, GL: m.GL, Ciphertext: ct}, sess, nil
+}
+
+// HandlePeerConfirm completes the responder side on M̃.3: decrypt the
+// confirmation with the already-derived session key and check the echoed
+// identifiers.
+func (u *User) HandlePeerConfirm(m *PeerConfirm) (*Session, error) {
+	id := NewSessionID(m.GJ, m.GL)
+	u.mu.Lock()
+	sess, ok := u.sessions[id]
+	u.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no session for M̃.3", ErrNoSession)
+	}
+	pt, err := symcrypto.Open(sess.keys.Enc, m.Ciphertext, id[:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfirmation, err)
+	}
+	r := wire.NewReader(pt)
+	gjRaw, err := r.BytesField()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfirmation, err)
+	}
+	glRaw, err := r.BytesField()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfirmation, err)
+	}
+	if string(gjRaw) != string(m.GJ.Marshal()) || string(glRaw) != string(m.GL.Marshal()) {
+		return nil, fmt.Errorf("%w: transcript mismatch", ErrBadConfirmation)
+	}
+	return sess, nil
+}
+
+// RefreshURL lets deployments push a newer URL outside of beacons.
+func (u *User) RefreshURL(url *UserRevocationList) error {
+	if err := url.Verify(u.noPub, u.cfg.Clock.Now()); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.lastURL = url
+	return nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+)
+
+// E10PrimitiveRow is one primitive's measured latency.
+type E10PrimitiveRow struct {
+	Name string
+	Time time.Duration
+}
+
+// RunE10Primitives times the pairing substrate: the raw costs behind the
+// exponentiation/pairing counts of E2 and E3.
+func RunE10Primitives(iters int) ([]E10PrimitiveRow, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	k, err := bn256.RandomScalar(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	g1 := new(bn256.G1).ScalarBaseMult(k)
+	g2 := new(bn256.G2).Base()
+	gt := new(bn256.GT).Base()
+	msg := []byte("primitive probe")
+
+	timeIt := func(name string, fn func()) E10PrimitiveRow {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		return E10PrimitiveRow{Name: name, Time: time.Since(start) / time.Duration(iters)}
+	}
+
+	rows := []E10PrimitiveRow{
+		timeIt("pairing e(P,Q)", func() { bn256.Pair(g1, g2) }),
+		timeIt("G1 exponentiation", func() { new(bn256.G1).ScalarBaseMult(k) }),
+		timeIt("G2 exponentiation", func() { new(bn256.G2).ScalarBaseMult(k) }),
+		timeIt("GT exponentiation", func() { new(bn256.GT).ScalarMult(gt, k) }),
+		timeIt("hash-to-G1", func() { bn256.HashToG1(msg) }),
+		timeIt("hash-to-G2", func() { bn256.HashToG2(msg) }),
+		timeIt("hash-to-scalar", func() { bn256.HashToScalar(msg) }),
+	}
+	return rows, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/sgs"
+)
+
+// E3RevocationPoint is one row of the |URL| sweep: the measured cost of
+// verification + revocation checking at one URL size, for the paper's
+// default linear scan and for the O(1)-per-token fast variant it cites.
+type E3RevocationPoint struct {
+	URLSize int
+	// LinearTime is verify + linear URL scan (per-message generators).
+	LinearTime time.Duration
+	// LinearPairings is the measured pairing count (paper: 3 + 2|URL|).
+	LinearPairings int
+	// FastTime is verify + fast revocation check (fixed generators).
+	FastTime time.Duration
+	// FastPairings is the measured pairing count (paper: 5 total).
+	FastPairings int
+}
+
+// RunE3RevocationSweep measures the revocation sweep at the given URL
+// sizes, with iters timing repetitions per point.
+func RunE3RevocationSweep(urlSizes []int, iters int) ([]E3RevocationPoint, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	maxURL := 0
+	for _, s := range urlSizes {
+		if s > maxURL {
+			maxURL = s
+		}
+	}
+
+	iss, err := sgs.NewIssuer(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	grp, err := iss.NewGroupComponent(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := iss.IssueBatch(rand.Reader, grp, maxURL+1)
+	if err != nil {
+		return nil, err
+	}
+	signer := keys[0]
+	pub := iss.PublicKey()
+	msg := []byte("revocation sweep probe")
+
+	// All revoked tokens are other users' → worst case (full scan, no hit).
+	allTokens := make([]*sgs.RevocationToken, 0, maxURL)
+	for _, k := range keys[1:] {
+		allTokens = append(allTokens, k.Token())
+	}
+
+	out := make([]E3RevocationPoint, 0, len(urlSizes))
+	for _, size := range urlSizes {
+		if size > len(allTokens) {
+			return nil, fmt.Errorf("e3: url size %d exceeds issued keys", size)
+		}
+		url := allTokens[:size]
+		pt := E3RevocationPoint{URLSize: size}
+
+		// Linear variant (paper default, per-message generators).
+		sigPM, err := sgs.Sign(rand.Reader, pub, signer, msg)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := sgs.VerifyWithRevocationCounted(pub, msg, sigPM, url)
+		if err != nil {
+			return nil, err
+		}
+		pt.LinearPairings = counts.Pairings
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := sgs.VerifyWithRevocation(pub, msg, sigPM, url); err != nil {
+				return nil, err
+			}
+		}
+		pt.LinearTime = time.Since(start) / time.Duration(iters)
+
+		// Fast variant (fixed generators; table precomputed once and NOT
+		// counted against the per-signature cost, per BS04 §6).
+		checker := sgs.NewFastRevocationChecker(pub, url)
+		sigFX, err := sgs.SignWithMode(rand.Reader, pub, signer, msg, sgs.FixedGenerators)
+		if err != nil {
+			return nil, err
+		}
+		if err := sgs.Verify(pub, msg, sigFX); err != nil {
+			return nil, err
+		}
+		_, _, fastCounts, err := checker.IsRevokedCounted(sigFX)
+		if err != nil {
+			return nil, err
+		}
+		// Verify (2 pairings + cached third) + fast check (2 pairings) ≈
+		// the paper's "6 exponentiations and 5 bilinear map computations".
+		verCounts, err := sgs.VerifyCounted(pub, msg, sigFX)
+		if err != nil {
+			return nil, err
+		}
+		pt.FastPairings = verCounts.Pairings + verCounts.GTExps + fastCounts.Pairings
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if err := sgs.Verify(pub, msg, sigFX); err != nil {
+				return nil, err
+			}
+			if _, _, err := checker.IsRevoked(sigFX); err != nil {
+				return nil, err
+			}
+		}
+		pt.FastTime = time.Since(start) / time.Duration(iters)
+
+		out = append(out, pt)
+	}
+	return out, nil
+}

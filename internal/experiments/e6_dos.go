@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/mesh"
+)
+
+// E6DoSRow is one row of the flood experiment: a given flood size against
+// a router with puzzles on or off.
+type E6DoSRow struct {
+	FloodSize      int
+	PuzzlesEnabled bool
+	// ExpensiveVerifications is how many group-signature verifications
+	// (pairing work) the flood cost the router.
+	ExpensiveVerifications int
+	// ShedCheaply is how many bogus requests died on the puzzle check.
+	ShedCheaply int
+	// LegitimateAttached reports whether the honest user still got in.
+	LegitimateAttached bool
+}
+
+// RunE6DoS runs the flood scenario for each flood size, with and without
+// puzzles.
+func RunE6DoS(floodSizes []int) ([]E6DoSRow, error) {
+	var out []E6DoSRow
+	for _, size := range floodSizes {
+		for _, defense := range []bool{false, true} {
+			row, err := runE6Scenario(size, defense)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func runE6Scenario(floodSize int, defense bool) (E6DoSRow, error) {
+	d, err := mesh.NewDeployment(mesh.DeploymentSpec{
+		Seed:             int64(floodSize)*2 + boolToInt64(defense),
+		Groups:           1,
+		KeysPerGroup:     4,
+		Routers:          1,
+		PuzzleDifficulty: 8,
+	})
+	if err != nil {
+		return E6DoSRow{}, err
+	}
+	if _, err := d.AddUser("citizen", core.GroupID("grp-0"), "MR-0", true); err != nil {
+		return E6DoSRow{}, err
+	}
+	hop := mesh.Link{Latency: 2 * time.Millisecond}
+	d.Net.Connect("citizen", "MR-0", hop)
+
+	attacker := mesh.NewInjector(d.Net, "attacker", "MR-0")
+	d.Net.Connect("attacker", "MR-0", hop)
+
+	d.Routers["MR-0"].Router().SetDoSDefense(defense)
+	d.Routers["MR-0"].StartBeacons(250*time.Millisecond, 8)
+	d.Net.RunFor(300 * time.Millisecond)
+	attacker.Flood(floodSize, time.Millisecond)
+	d.Net.RunFor(30 * time.Second)
+
+	st := d.Routers["MR-0"].Router().Stats()
+	return E6DoSRow{
+		FloodSize:              floodSize,
+		PuzzlesEnabled:         defense,
+		ExpensiveVerifications: st.ExpensiveVerifications,
+		ShedCheaply:            st.RejectedPuzzle,
+		LegitimateAttached:     d.Users["citizen"].Attached(),
+	}, nil
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/mesh"
+)
+
+// E8AttackRow is the outcome of one attack scenario from Section V.A.
+type E8AttackRow struct {
+	Scenario string
+	// Attempts is how many adversarial actions were launched.
+	Attempts int
+	// Succeeded is how many achieved their goal (0 everywhere if PEACE
+	// holds).
+	Succeeded int
+	// Detail is a one-line explanation of what was measured.
+	Detail string
+}
+
+// RunE8Attacks executes every attack scenario and reports outcomes.
+func RunE8Attacks() ([]E8AttackRow, error) {
+	var out []E8AttackRow
+
+	// --- Scenario 1: outsider bogus-data injection. -------------------
+	{
+		d, err := mesh.NewDeployment(mesh.DeploymentSpec{Seed: 81, Groups: 1, KeysPerGroup: 4, Routers: 1})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.AddUser("honest", core.GroupID("grp-0"), "MR-0", true); err != nil {
+			return nil, err
+		}
+		hop := mesh.Link{Latency: time.Millisecond}
+		d.Net.Connect("honest", "MR-0", hop)
+		attacker := mesh.NewInjector(d.Net, "outsider", "MR-0")
+		d.Net.Connect("outsider", "MR-0", hop)
+
+		d.Routers["MR-0"].StartBeacons(100*time.Millisecond, 2)
+		d.Net.RunFor(200 * time.Millisecond)
+		attacker.Flood(20, time.Millisecond)
+		d.Net.RunFor(10 * time.Second)
+
+		st := d.Routers["MR-0"].Router().Stats()
+		// Success for the attacker = established sessions beyond the
+		// honest user's.
+		out = append(out, E8AttackRow{
+			Scenario:  "outsider bogus injection",
+			Attempts:  attacker.Sent,
+			Succeeded: st.SessionsEstablished - 1,
+			Detail:    "forged M.2s rejected by group-signature verification",
+		})
+	}
+
+	// --- Scenario 2: revoked user re-entry. ----------------------------
+	{
+		f, err := newFixture(1, 2)
+		if err != nil {
+			return nil, err
+		}
+		victim := f.users[0]
+		tok, err := f.no.TokenOf("grp-0", 0)
+		if err != nil {
+			return nil, err
+		}
+		f.no.RevokeUserKey(tok)
+		if err := f.pushRevocations(); err != nil {
+			return nil, err
+		}
+
+		succeeded := 0
+		attempts := 3
+		for i := 0; i < attempts; i++ {
+			b, err := f.router.Beacon()
+			if err != nil {
+				return nil, err
+			}
+			m2, err := victim.HandleBeacon(b, "grp-0")
+			if err != nil {
+				return nil, err
+			}
+			if _, _, err := f.router.HandleAccessRequest(m2); err == nil {
+				succeeded++
+			} else if !errors.Is(err, core.ErrRevokedUser) {
+				return nil, err
+			}
+		}
+		out = append(out, E8AttackRow{
+			Scenario:  "revoked user re-entry",
+			Attempts:  attempts,
+			Succeeded: succeeded,
+			Detail:    "URL scan (Eq.3) catches the revoked token",
+		})
+	}
+
+	// --- Scenario 3: rogue (phishing) router. --------------------------
+	{
+		d, err := mesh.NewDeployment(mesh.DeploymentSpec{Seed: 83, Groups: 1, KeysPerGroup: 6, Routers: 1})
+		if err != nil {
+			return nil, err
+		}
+		hop := mesh.Link{Latency: time.Millisecond}
+		for _, id := range []mesh.NodeID{"a", "b", "c"} {
+			if _, err := d.AddUser(id, core.GroupID("grp-0"), "MR-0", true); err != nil {
+				return nil, err
+			}
+			d.Net.Connect(id, "MR-0", hop)
+			d.Net.Connect(id, "MR-phish", hop)
+		}
+		crl, err := d.NO.CurrentCRL()
+		if err != nil {
+			return nil, err
+		}
+		url, err := d.NO.CurrentURL()
+		if err != nil {
+			return nil, err
+		}
+		rogue, err := mesh.NewRogueRouter(d.Net, "MR-phish", crl, url)
+		if err != nil {
+			return nil, err
+		}
+		attempts := 5
+		for i := 0; i < attempts; i++ {
+			d.Net.Schedule(time.Duration(i)*100*time.Millisecond, func() {
+				_ = rogue.BroadcastPhishingBeacon()
+			})
+		}
+		d.Net.RunFor(10 * time.Second)
+		out = append(out, E8AttackRow{
+			Scenario:  "rogue router phishing",
+			Attempts:  attempts,
+			Succeeded: min(rogue.Lured, attempts),
+			Detail:    "self-signed certificate fails NPK validation in Step 2.1",
+		})
+	}
+
+	// --- Scenario 4: revoked router service. ---------------------------
+	{
+		f, err := newFixture(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		f.no.RevokeRouter("MR-0")
+		if err := f.pushRevocations(); err != nil {
+			return nil, err
+		}
+		b, err := f.router.Beacon()
+		if err != nil {
+			return nil, err
+		}
+		succeeded := 0
+		if _, err := f.users[0].HandleBeacon(b, "grp-0"); err == nil {
+			succeeded++
+		}
+		out = append(out, E8AttackRow{
+			Scenario:  "revoked router service",
+			Attempts:  1,
+			Succeeded: succeeded,
+			Detail:    "CRL check rejects the revoked certificate",
+		})
+	}
+
+	// --- Scenario 5: transcript replay. --------------------------------
+	{
+		f, err := newFixture(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		_, m2, _, _, _, err := f.handshake(f.users[0], "grp-0")
+		if err != nil {
+			return nil, err
+		}
+		// Replay the same M.2 after the window.
+		f.clock.Advance(5 * time.Minute)
+		succeeded := 0
+		if _, _, err := f.router.HandleAccessRequest(m2); err == nil {
+			succeeded++
+		}
+		out = append(out, E8AttackRow{
+			Scenario:  "stale M.2 replay",
+			Attempts:  1,
+			Succeeded: succeeded,
+			Detail:    "timestamp freshness window rejects the replay",
+		})
+	}
+
+	return out, nil
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestE1SignatureSize(t *testing.T) {
+	rep, err := RunE1Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PaperSignatureBits != 1192 {
+		t.Errorf("paper bits = %d, want 1192", rep.PaperSignatureBits)
+	}
+	// 2·G1 + 5·Zp on BN256 = 2·512 + 5·256 = 2304 bits.
+	if rep.MeasuredSignatureBits != 2304 {
+		t.Errorf("measured bits = %d, want 2304", rep.MeasuredSignatureBits)
+	}
+	// Shape check from the paper: group signature ≈ RSA-1024 under the
+	// paper's parameterization (within 20%).
+	ratio := float64(rep.PaperSignatureBits) / float64(rep.RSA1024Bits)
+	if ratio < 1.0 || ratio > 1.25 {
+		t.Errorf("paper-parameterization ratio vs RSA-1024 = %.2f, want ≈1.16", ratio)
+	}
+	for _, k := range []string{"M.1 beacon", "M.2 access request", "M.3 confirm"} {
+		if rep.MessageSizes[k] == 0 {
+			t.Errorf("message size for %q missing", k)
+		}
+	}
+	// M.2 is dominated by the group signature.
+	if rep.MessageSizes["M.2 access request"] < rep.MeasuredSignatureBytes {
+		t.Error("M.2 smaller than the signature it carries")
+	}
+}
+
+func TestE2OpCounts(t *testing.T) {
+	rep, err := RunE2OpCounts(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SignMatches {
+		t.Errorf("sign counts %+v do not match paper (8 exp, 2 pairings)", rep.Sign)
+	}
+	if !rep.VerifyMatches {
+		t.Errorf("verify counts %+v do not match paper (6 exp, 3 pairings)", rep.Verify)
+	}
+	// With |URL| = 3 the total pairings should be 2 (verify) + 2 (derive
+	// is exps) ... paper formula: 3 + 2·|URL| with the cached e(g1,g2) as
+	// one of the 3.
+	wantPairings := 2 + 2*rep.URLSize
+	if rep.VerifyWithURL.Pairings != wantPairings {
+		t.Errorf("verify+URL pairings = %d, want %d", rep.VerifyWithURL.Pairings, wantPairings)
+	}
+}
+
+func TestE3RevocationSweepShape(t *testing.T) {
+	pts, err := RunE3RevocationSweep([]int{0, 2, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Pairing counts follow the paper's formulas exactly.
+	for _, pt := range pts {
+		if want := 2 + 2*pt.URLSize; pt.LinearPairings != want {
+			t.Errorf("|URL|=%d: linear pairings = %d, want %d", pt.URLSize, pt.LinearPairings, want)
+		}
+		if pt.FastPairings != 5 {
+			t.Errorf("|URL|=%d: fast pairings = %d, want 5", pt.URLSize, pt.FastPairings)
+		}
+	}
+	// Shape: linear time grows with |URL|; fast time stays flat-ish.
+	if pts[2].LinearTime <= pts[0].LinearTime {
+		t.Error("linear revocation time did not grow with |URL|")
+	}
+	if pts[2].FastTime > 3*pts[0].FastTime {
+		t.Errorf("fast revocation time grew with |URL|: %v → %v", pts[0].FastTime, pts[2].FastTime)
+	}
+	// Crossover: by |URL| = 6 the fast variant must win.
+	if pts[2].FastTime >= pts[2].LinearTime {
+		t.Errorf("fast variant no faster at |URL|=6: fast=%v linear=%v", pts[2].FastTime, pts[2].LinearTime)
+	}
+}
+
+func TestE4HandshakeShape(t *testing.T) {
+	rep, err := RunE4Handshake(3, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ThreeMessages {
+		t.Error("three-message property not observed")
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Delay grows linearly: hop h costs 2·h·5ms.
+	for _, row := range rep.Rows {
+		want := time.Duration(2*row.Hops) * 5 * time.Millisecond
+		if row.AttachDelay != want {
+			t.Errorf("hop %d delay = %v, want %v", row.Hops, row.AttachDelay, want)
+		}
+	}
+}
+
+func TestE5HybridShape(t *testing.T) {
+	rep, err := RunE5Hybrid(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hybrid design's whole point: MAC auth must be at least 1000×
+	// cheaper than group-signature verification.
+	if rep.SpeedupAuth < 1000 {
+		t.Errorf("MAC speedup only %.0f×; expected orders of magnitude", rep.SpeedupAuth)
+	}
+	if rep.MACVerifyTime <= 0 || rep.GroupVerifyTime <= 0 {
+		t.Error("degenerate timings")
+	}
+}
+
+func TestE6DoSShape(t *testing.T) {
+	rows, err := RunE6DoS([]int{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off, on E6DoSRow
+	for _, r := range rows {
+		if r.PuzzlesEnabled {
+			on = r
+		} else {
+			off = r
+		}
+	}
+	if !off.LegitimateAttached || !on.LegitimateAttached {
+		t.Error("legitimate user failed to attach")
+	}
+	// Defense must slash expensive work by at least 10×.
+	if on.ExpensiveVerifications*10 > off.ExpensiveVerifications {
+		t.Errorf("puzzles did not shed the flood: off=%d on=%d",
+			off.ExpensiveVerifications, on.ExpensiveVerifications)
+	}
+	if on.ShedCheaply < 20 {
+		t.Errorf("cheap sheds = %d, want ≥ flood size", on.ShedCheaply)
+	}
+}
+
+func TestE7AuditShape(t *testing.T) {
+	pts, err := RunE7AuditSweep([]int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].TokensScanned != 4 || pts[1].TokensScanned != 16 {
+		t.Errorf("scans = %d, %d; want full-population scans 4, 16",
+			pts[0].TokensScanned, pts[1].TokensScanned)
+	}
+	if pts[1].AuditTime <= pts[0].AuditTime {
+		t.Error("audit time did not grow with |grt|")
+	}
+}
+
+func TestE7Trace(t *testing.T) {
+	rep, err := RunE7Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.User == "" {
+		t.Error("trace produced no uid")
+	}
+	if !rep.ReceiptVerified {
+		t.Error("receipt chain unverified")
+	}
+	if rep.Audit.Group != "grp-1" {
+		t.Errorf("audit group = %q, want grp-1", rep.Audit.Group)
+	}
+}
+
+func TestE8AllAttacksFail(t *testing.T) {
+	rows, err := RunE8Attacks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Succeeded != 0 {
+			t.Errorf("scenario %q: %d/%d attacks succeeded", r.Scenario, r.Succeeded, r.Attempts)
+		}
+		if r.Attempts == 0 {
+			t.Errorf("scenario %q launched no attacks", r.Scenario)
+		}
+	}
+}
+
+func TestE9AllPrivacyPropertiesHold(t *testing.T) {
+	rep, err := RunE9Privacy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Notes) != 0 {
+		t.Fatalf("privacy property failures: %v", rep.Notes)
+	}
+	if !rep.TranscriptsLeakNoUID || !rep.SignaturesUnlinkableStructurally ||
+		!rep.SessionIDsFresh || !rep.OperatorLearnsGroupOnly ||
+		!rep.CompromisedMemberCannotLink || !rep.GMBlind {
+		t.Fatal("a privacy flag is false without a note")
+	}
+}
+
+func TestE10Primitives(t *testing.T) {
+	rows, err := RunE10Primitives(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Time <= 0 {
+			t.Errorf("%s: non-positive time", r.Name)
+		}
+	}
+}
+
+func TestE11Ablations(t *testing.T) {
+	rows, err := RunE11Ablations(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 {
+			t.Errorf("%s: non-positive gain", r.Name)
+		}
+	}
+	// Shared final exponentiation must actually win.
+	if rows[0].Speedup < 1.1 {
+		t.Errorf("shared final exp gain only %.2f×", rows[0].Speedup)
+	}
+	// Compressed encoding must shrink the signature.
+	if rows[2].Speedup <= 1.0 {
+		t.Errorf("compression gain %.2f×", rows[2].Speedup)
+	}
+}
+
+func TestE4LossyAttachment(t *testing.T) {
+	rows, err := RunE4Lossy([]float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Attached != r.Users {
+			t.Errorf("loss=%.1f: attached %d/%d despite %d beacon retries",
+				r.Loss, r.Attached, r.Users, r.BeaconsSent)
+		}
+	}
+	if rows[1].FramesLost == 0 {
+		t.Error("lossy run lost no frames")
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// fixture is a minimal provisioned deployment for the crypto-level
+// experiments: one operator, one TTP, groups with enrolled users, one
+// certified router.
+type fixture struct {
+	cfg    core.Config
+	clock  *core.FixedClock
+	no     *core.NetworkOperator
+	ttp    *core.TTP
+	gms    []*core.GroupManager
+	users  []*core.User
+	router *core.MeshRouter
+}
+
+// newFixture provisions groups×usersPerGroup users. Extra key slots are
+// issued so experiments can revoke without exhausting capacity.
+func newFixture(groups, usersPerGroup int) (*fixture, error) {
+	clock := &core.FixedClock{T: time.Unix(1751600000, 0)}
+	cfg := core.Config{Clock: clock, FreshnessWindow: time.Minute, PuzzleDifficulty: 8}
+
+	no, err := core.NewNetworkOperator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ttp, err := core.NewTTP(cfg, no.Authority())
+	if err != nil {
+		return nil, err
+	}
+	f := &fixture{cfg: cfg, clock: clock, no: no, ttp: ttp}
+
+	for gi := 0; gi < groups; gi++ {
+		gid := core.GroupID(fmt.Sprintf("grp-%d", gi))
+		gm, err := core.NewGroupManager(cfg, gid, no.Authority())
+		if err != nil {
+			return nil, err
+		}
+		if err := no.RegisterUserGroup(gm, ttp, usersPerGroup+2); err != nil {
+			return nil, err
+		}
+		f.gms = append(f.gms, gm)
+
+		for ui := 0; ui < usersPerGroup; ui++ {
+			u, err := core.NewUser(cfg, core.Identity{
+				Essential:  core.UserID(fmt.Sprintf("user-%s-%d", gid, ui)),
+				Attributes: []core.Attribute{{Group: gid, Role: "member"}},
+			}, no.Authority(), no.GroupPublicKey())
+			if err != nil {
+				return nil, err
+			}
+			if err := core.EnrollUser(u, gm, ttp); err != nil {
+				return nil, err
+			}
+			f.users = append(f.users, u)
+		}
+	}
+
+	r, err := core.NewMeshRouter(cfg, "MR-0", no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		return nil, err
+	}
+	c, err := no.EnrollRouter("MR-0", r.Public())
+	if err != nil {
+		return nil, err
+	}
+	r.SetCertificate(c)
+	f.router = r
+	if err := f.pushRevocations(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *fixture) pushRevocations() error {
+	crl, err := f.no.CurrentCRL()
+	if err != nil {
+		return err
+	}
+	url, err := f.no.CurrentURL()
+	if err != nil {
+		return err
+	}
+	f.router.UpdateRevocations(crl, url)
+	return nil
+}
+
+// handshake runs one full AKA and returns all three messages plus both
+// session halves.
+func (f *fixture) handshake(u *core.User, group core.GroupID) (*core.Beacon, *core.AccessRequest, *core.AccessConfirm, *core.Session, *core.Session, error) {
+	b, err := f.router.Beacon()
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	m2, err := u.HandleBeacon(b, group)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	m3, rs, err := f.router.HandleAccessRequest(m2)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	us, err := u.HandleAccessConfirm(m3)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	return b, m2, m3, us, rs, nil
+}

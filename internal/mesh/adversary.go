@@ -1,0 +1,241 @@
+package mesh
+
+import (
+	"crypto/rand"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/sgs"
+)
+
+// Eavesdropper is the passive global adversary of the threat model: it
+// records every frame on the medium via a tap. The privacy experiments ask
+// what it can conclude — which, if PEACE holds, is nothing about user
+// identities or session linkage.
+type Eavesdropper struct {
+	Frames []Frame
+}
+
+// NewEavesdropper installs a tap on the network.
+func NewEavesdropper(n *Network) *Eavesdropper {
+	e := &Eavesdropper{}
+	n.Tap(func(f *Frame) {
+		cp := *f
+		cp.Payload = append([]byte(nil), f.Payload...)
+		e.Frames = append(e.Frames, cp)
+	})
+	return e
+}
+
+// CapturedOfKind returns all recorded frames of one kind.
+func (e *Eavesdropper) CapturedOfKind(k FrameKind) []Frame {
+	var out []Frame
+	for _, f := range e.Frames {
+		if f.Kind == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// AccessRequestSignatures parses the group signatures from all captured
+// M.2 frames — the raw material for linkability analysis.
+func (e *Eavesdropper) AccessRequestSignatures() []*sgs.Signature {
+	var out []*sgs.Signature
+	for _, f := range e.CapturedOfKind(KindAccessRequest) {
+		if m2, err := core.UnmarshalAccessRequest(f.Payload); err == nil {
+			out = append(out, m2.Sig)
+		}
+	}
+	return out
+}
+
+// Injector floods a target with bogus access requests — the
+// connection-depletion DoS attacker of Section V.A. It fabricates
+// structurally valid M.2s with garbage signatures, echoing the g^{r_R} of
+// the most recent beacon it overheard. It never solves puzzles (solving at
+// the flood rate is exactly the cost the defense imposes).
+type Injector struct {
+	net    *Network
+	id     NodeID
+	target NodeID
+
+	lastGR *bn256.G1
+	Sent   int
+}
+
+// NewInjector attaches a flooding station.
+func NewInjector(n *Network, id NodeID, target NodeID) *Injector {
+	inj := &Injector{net: n, id: id, target: target}
+	n.AddStation(inj)
+	return inj
+}
+
+// ID implements Station.
+func (a *Injector) ID() NodeID { return a.id }
+
+// Receive overhears beacons to learn a current g^{r_R}.
+func (a *Injector) Receive(f *Frame) {
+	if f.Kind != KindBeacon {
+		return
+	}
+	if b, err := core.UnmarshalBeacon(f.Payload); err == nil {
+		a.lastGR = b.GR
+	}
+}
+
+// Flood schedules count bogus M.2s at the given interval.
+func (a *Injector) Flood(count int, interval time.Duration) {
+	for i := 0; i < count; i++ {
+		a.net.Schedule(time.Duration(i)*interval, a.injectOne)
+	}
+}
+
+func (a *Injector) injectOne() {
+	if a.lastGR == nil {
+		return
+	}
+	k, err := bn256.RandomScalar(rand.Reader)
+	if err != nil {
+		return
+	}
+	bogus := &core.AccessRequest{
+		GJ:        new(bn256.G1).ScalarBaseMult(k),
+		GR:        a.lastGR,
+		Timestamp: a.net.Now(),
+		Sig:       bogusSignature(),
+	}
+	a.Sent++
+	a.net.Send(a.id, a.target, KindAccessRequest, bogus.Marshal())
+}
+
+// bogusSignature fabricates a structurally valid, cryptographically
+// worthless group signature — the best an outsider can do.
+func bogusSignature() *sgs.Signature {
+	r, _ := bn256.RandomScalar(rand.Reader)
+	c, _ := bn256.RandomScalar(rand.Reader)
+	sa, _ := bn256.RandomScalar(rand.Reader)
+	sx, _ := bn256.RandomScalar(rand.Reader)
+	sd, _ := bn256.RandomScalar(rand.Reader)
+	_, t1, _ := bn256.RandomG1(rand.Reader)
+	_, t2, _ := bn256.RandomG1(rand.Reader)
+	return &sgs.Signature{
+		Mode: sgs.PerMessageGenerators,
+		R:    r, T1: t1, T2: t2, C: c, SAlpha: sa, SX: sx, SDelta: sd,
+	}
+}
+
+// RogueRouter is the phishing adversary: it broadcasts beacons for a
+// fabricated identity with a self-signed certificate (it has no NSK), and
+// counts how many users answer. Against PEACE the count stays zero.
+type RogueRouter struct {
+	net     *Network
+	id      NodeID
+	keyPair *cert.KeyPair
+	crl     *cert.CRL
+	url     *core.UserRevocationList
+	clock   core.Clock
+
+	Lured int // M.2s received from victims
+}
+
+// NewRogueRouter attaches a phishing router. It replays legitimate CRL and
+// URL copies (an attacker can capture those from real beacons) but cannot
+// forge the certificate.
+func NewRogueRouter(n *Network, id NodeID, crl *cert.CRL, url *core.UserRevocationList) (*RogueRouter, error) {
+	kp, err := cert.GenerateKeyPair(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	rr := &RogueRouter{net: n, id: id, keyPair: kp, crl: crl, url: url, clock: n.Clock()}
+	n.AddStation(rr)
+	return rr, nil
+}
+
+// ID implements Station.
+func (rr *RogueRouter) ID() NodeID { return rr.id }
+
+// Receive counts phished access requests.
+func (rr *RogueRouter) Receive(f *Frame) {
+	if f.Kind == KindAccessRequest {
+		rr.Lured++
+	}
+}
+
+// BroadcastPhishingBeacon emits one fake M.1 with a self-signed cert.
+func (rr *RogueRouter) BroadcastPhishingBeacon() error {
+	selfCert, err := cert.IssueCertificate(rand.Reader, rr.keyPair, string(rr.id), rr.keyPair.Public(), rr.clock.Now().Add(time.Hour))
+	if err != nil {
+		return err
+	}
+	rho, err := bn256.RandomScalar(rand.Reader)
+	if err != nil {
+		return err
+	}
+	g := new(bn256.G1).ScalarBaseMult(rho)
+	rR, err := bn256.RandomScalar(rand.Reader)
+	if err != nil {
+		return err
+	}
+	b := &core.Beacon{
+		RouterID:  string(rr.id),
+		G:         g,
+		GR:        new(bn256.G1).ScalarMult(g, rR),
+		Timestamp: rr.clock.Now(),
+		Cert:      selfCert,
+		CRL:       rr.crl,
+		URL:       rr.url,
+	}
+	sig, err := rr.keyPair.Sign(rand.Reader, b.SignedBody())
+	if err != nil {
+		return err
+	}
+	b.Signature = sig
+	rr.net.Broadcast(rr.id, KindBeacon, b.Marshal())
+	return nil
+}
+
+// Replayer captures frames of chosen kinds and can re-transmit them later
+// — the replay attacker.
+type Replayer struct {
+	net      *Network
+	id       NodeID
+	captured []Frame
+}
+
+// NewReplayer attaches a replaying station that records frames it can
+// hear (it must be linked into the topology like any station).
+func NewReplayer(n *Network, id NodeID) *Replayer {
+	r := &Replayer{net: n, id: id}
+	n.AddStation(r)
+	return r
+}
+
+// ID implements Station.
+func (r *Replayer) ID() NodeID { return r.id }
+
+// Receive records everything.
+func (r *Replayer) Receive(f *Frame) {
+	cp := *f
+	cp.Payload = append([]byte(nil), f.Payload...)
+	r.captured = append(r.captured, cp)
+}
+
+// Captured returns the number of captured frames.
+func (r *Replayer) Captured() int { return len(r.captured) }
+
+// ReplayAll re-transmits every captured frame of the given kind to the
+// target.
+func (r *Replayer) ReplayAll(kind FrameKind, target NodeID) int {
+	sent := 0
+	for _, f := range r.captured {
+		if f.Kind != kind {
+			continue
+		}
+		r.net.Send(r.id, target, f.Kind, f.Payload)
+		sent++
+	}
+	return sent
+}

@@ -1,0 +1,22 @@
+// Package mesh is a discrete-event simulator for metropolitan wireless
+// mesh networks, the experimental substrate for PEACE's system-level
+// claims. The paper evaluates PEACE analytically; this simulator lets the
+// repository regenerate those claims as measurements: authentication
+// delay and message counts over lossy multihop links (E4), DoS-flood
+// shedding (E6), and the bogus-injection / phishing / revocation attack
+// scenarios of Section V.A (E8).
+//
+// The model follows the paper's architecture (Fig. 1): mesh routers form
+// the backbone; the downlink router → user is one hop (beacons reach every
+// user in coverage), while the uplink may traverse a chain of peer users
+// who relay traffic after pairwise user–user authentication. Time is
+// virtual: a single event loop drives every station through an injected
+// core.Clock, so simulations are deterministic and fast regardless of
+// wall-clock pairing costs.
+//
+// Adversaries are first-class stations: an eavesdropper records every
+// frame for the privacy experiments, an injector floods routers with
+// bogus access requests, a rogue router broadcasts phishing beacons, and
+// a replayer re-transmits captured frames. Each scenario reports what the
+// adversary achieved (nothing, if PEACE holds).
+package mesh

@@ -1,0 +1,325 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+)
+
+func msLink(ms int) Link { return Link{Latency: time.Duration(ms) * time.Millisecond} }
+
+func newChainDeployment(t testing.TB, chainLen int, hop Link) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(DeploymentSpec{
+		Seed:         42,
+		Groups:       1,
+		KeysPerGroup: chainLen + 4,
+		Routers:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]NodeID, chainLen)
+	for i := range ids {
+		ids[i] = NodeID(rune('A' + i))
+	}
+	for i, id := range ids {
+		nextHop := NodeID("MR-0")
+		if i > 0 {
+			nextHop = ids[i-1]
+		}
+		if _, err := d.AddUser(id, "grp-0", nextHop, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.BuildChain("MR-0", ids, hop)
+	return d
+}
+
+func TestSingleHopAttachment(t *testing.T) {
+	d := newChainDeployment(t, 1, msLink(5))
+	d.Routers["MR-0"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(time.Second)
+
+	u := d.Users["A"]
+	if !u.Attached() {
+		t.Fatal("user did not attach")
+	}
+	st := u.Stats()
+	// Delay = M.2 uplink (5ms) + M.3 downlink (5ms); the beacon latency is
+	// not counted (delay starts at beacon receipt).
+	if st.AttachDelay != 10*time.Millisecond {
+		t.Fatalf("attach delay = %v, want 10ms", st.AttachDelay)
+	}
+	if d.Routers["MR-0"].Router().Sessions() != 1 {
+		t.Fatal("router has no session")
+	}
+}
+
+func TestMultihopAttachment(t *testing.T) {
+	d := newChainDeployment(t, 3, msLink(5))
+	d.Routers["MR-0"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(2 * time.Second)
+
+	for _, id := range []NodeID{"A", "B", "C"} {
+		if !d.Users[id].Attached() {
+			t.Fatalf("user %s did not attach", id)
+		}
+	}
+	// C (3 hops out) must take longer than A (1 hop): C's M.2 relays
+	// through B and A.
+	if d.Users["C"].Stats().AttachDelay <= d.Users["A"].Stats().AttachDelay {
+		t.Fatalf("multihop user attached faster than single-hop: C=%v A=%v",
+			d.Users["C"].Stats().AttachDelay, d.Users["A"].Stats().AttachDelay)
+	}
+	// Relays actually forwarded frames.
+	if d.Users["A"].Stats().FramesRelayed == 0 {
+		t.Fatal("first-hop relay forwarded nothing")
+	}
+}
+
+func TestThreeMessagesPerAKA(t *testing.T) {
+	d := newChainDeployment(t, 1, msLink(1))
+	d.Routers["MR-0"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(time.Second)
+
+	m := d.Net.Metrics()
+	if m.FramesByKind[KindBeacon] != 1 {
+		t.Fatalf("beacons = %d, want 1", m.FramesByKind[KindBeacon])
+	}
+	if m.FramesByKind[KindAccessRequest] != 1 {
+		t.Fatalf("M.2 frames = %d, want 1", m.FramesByKind[KindAccessRequest])
+	}
+	if m.FramesByKind[KindAccessConfirm] != 1 {
+		t.Fatalf("M.3 frames = %d, want 1", m.FramesByKind[KindAccessConfirm])
+	}
+}
+
+func TestLossyLinkRetriesViaNextBeacon(t *testing.T) {
+	d, err := NewDeployment(DeploymentSpec{
+		Seed:         7,
+		Groups:       1,
+		KeysPerGroup: 4,
+		Routers:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddUser("A", "grp-0", "MR-0", true); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Connect("A", "MR-0", Link{Latency: time.Millisecond, Loss: 0.4})
+
+	d.Routers["MR-0"].StartBeacons(200*time.Millisecond, 30)
+	d.Net.RunFor(10 * time.Second)
+
+	if !d.Users["A"].Attached() {
+		t.Fatal("user never attached despite 30 beacons on a 40%-loss link")
+	}
+	if d.Net.Metrics().FramesLost == 0 {
+		t.Fatal("loss model dropped nothing at 40%")
+	}
+}
+
+func TestDataRelayRequiresPeerAuthentication(t *testing.T) {
+	d := newChainDeployment(t, 2, msLink(2))
+	d.Routers["MR-0"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(time.Second)
+
+	a, b := d.Users["A"], d.Users["B"]
+	if !a.Attached() || !b.Attached() {
+		t.Fatal("setup: users not attached")
+	}
+
+	// Without peer authentication, A refuses to relay B's data.
+	if err := b.SendData([]byte("premature")); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.RunFor(time.Second)
+	if a.Stats().RelayDropsUnauth != 1 {
+		t.Fatalf("unauthenticated relay drops = %d, want 1", a.Stats().RelayDropsUnauth)
+	}
+	if d.Routers["MR-0"].Stats().DataDelivered != 0 {
+		t.Fatal("data delivered without relay authentication")
+	}
+
+	// After B ↔ A peer authentication, data flows.
+	if err := b.AuthenticateWithPeer("A"); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.RunFor(time.Second)
+	if _, ok := a.PeerSession("B"); !ok {
+		t.Fatal("peer session not established on responder")
+	}
+	if err := b.SendData([]byte("relayed")); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.RunFor(time.Second)
+	if got := d.Routers["MR-0"].Stats().DataDelivered; got != 1 {
+		t.Fatalf("data delivered = %d, want 1", got)
+	}
+}
+
+func TestRogueRouterLuresNobody(t *testing.T) {
+	d := newChainDeployment(t, 2, msLink(2))
+	crl, err := d.NO.CurrentCRL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := d.NO.CurrentURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue, err := NewRogueRouter(d.Net, "MR-evil", crl, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Connect("MR-evil", "A", msLink(1))
+	d.Net.Connect("MR-evil", "B", msLink(1))
+
+	if err := rogue.BroadcastPhishingBeacon(); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.RunFor(time.Second)
+
+	if rogue.Lured != 0 {
+		t.Fatalf("rogue router lured %d users", rogue.Lured)
+	}
+	if d.Users["A"].Stats().RejectedBeacons == 0 {
+		t.Fatal("victim did not record the rejected phishing beacon")
+	}
+}
+
+func TestInjectorFloodIsShedByPuzzles(t *testing.T) {
+	d := newChainDeployment(t, 1, msLink(1))
+	router := d.Routers["MR-0"]
+	router.Router().SetDoSDefense(true)
+
+	inj := NewInjector(d.Net, "attacker", "MR-0")
+	d.Net.Connect("attacker", "MR-0", msLink(1))
+
+	router.StartBeacons(100*time.Millisecond, 3)
+	d.Net.RunFor(200 * time.Millisecond) // let the injector overhear a beacon
+	inj.Flood(10, 5*time.Millisecond)
+	d.Net.RunFor(5 * time.Second)
+
+	st := router.Router().Stats()
+	if st.RejectedPuzzle < 10 {
+		t.Fatalf("puzzle rejections = %d, want ≥ 10", st.RejectedPuzzle)
+	}
+	// The legitimate user still attached (it solves puzzles).
+	if !d.Users["A"].Attached() {
+		t.Fatal("legitimate user failed to attach under flood")
+	}
+	// The flood triggered no expensive verification beyond the legit one.
+	if st.ExpensiveVerifications > 2 {
+		t.Fatalf("expensive verifications = %d, expected only the legitimate attach(es)", st.ExpensiveVerifications)
+	}
+}
+
+func TestReplayerGainsNothing(t *testing.T) {
+	d := newChainDeployment(t, 1, msLink(1))
+	rep := NewReplayer(d.Net, "replayer")
+	d.Net.Connect("replayer", "MR-0", msLink(1))
+	_ = rep.Captured() // station registered; capture below goes via tap
+
+	// With unicast links the replayer does not hear A→MR-0 frames, so it
+	// captures via the tap-based eavesdropper and replays from there.
+	eve := NewEavesdropper(d.Net)
+
+	d.Routers["MR-0"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(time.Second)
+	if !d.Users["A"].Attached() {
+		t.Fatal("setup: user not attached")
+	}
+
+	sessionsBefore := d.Routers["MR-0"].Router().Sessions()
+
+	// Replay every captured M.2 straight at the router.
+	for _, f := range eve.CapturedOfKind(KindAccessRequest) {
+		d.Net.Send("replayer", "MR-0", KindAccessRequest, f.Payload)
+	}
+	d.Net.RunFor(time.Second)
+
+	// A replayed M.2 re-verifies (same valid signature) but yields a
+	// session keyed to the original user's r_j — the replayer knows
+	// neither r_j nor r_R and gains no usable session. Critically the
+	// *data* replay must fail:
+	for _, f := range eve.CapturedOfKind(KindData) {
+		d.Net.Send("replayer", "MR-0", KindData, f.Payload)
+	}
+	d.Net.RunFor(time.Second)
+	if d.Routers["MR-0"].Stats().DataRejected != 0 && sessionsBefore == 0 {
+		t.Fatal("unexpected state")
+	}
+
+	// Sequence-replay check at the session layer: send data, replay it.
+	if err := d.Users["A"].SendData([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.RunFor(time.Second)
+	delivered := d.Routers["MR-0"].Stats().DataDelivered
+	var dataFrames []Frame
+	for _, f := range eve.CapturedOfKind(KindData) {
+		dataFrames = append(dataFrames, f)
+	}
+	if len(dataFrames) == 0 {
+		t.Fatal("no data frames captured")
+	}
+	for _, f := range dataFrames {
+		d.Net.Send("replayer", "MR-0", KindData, f.Payload)
+	}
+	d.Net.RunFor(time.Second)
+	after := d.Routers["MR-0"].Stats()
+	if after.DataDelivered != delivered {
+		t.Fatalf("replayed data was delivered (%d → %d)", delivered, after.DataDelivered)
+	}
+	if after.DataRejected == 0 {
+		t.Fatal("replayed data not counted as rejected")
+	}
+}
+
+func TestEavesdropperSeesOnlyCiphertext(t *testing.T) {
+	d := newChainDeployment(t, 1, msLink(1))
+	eve := NewEavesdropper(d.Net)
+
+	d.Routers["MR-0"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(time.Second)
+	secret := []byte("top-secret citizen traffic")
+	if err := d.Users["A"].SendData(secret); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.RunFor(time.Second)
+
+	for _, f := range eve.CapturedOfKind(KindData) {
+		if containsSubslice(f.Payload, secret) {
+			t.Fatal("plaintext visible on the medium")
+		}
+	}
+	// And no frame of any kind contains the user identity.
+	uid := []byte("A") // station id == essential attribute in the fixture
+	_ = uid            // single-byte ids would false-positive; check the explicit uid form
+	for _, f := range eve.Frames {
+		if containsSubslice(f.Payload, []byte("user-grp")) {
+			t.Fatal("a frame carries an enrolled uid pattern")
+		}
+	}
+}
+
+func containsSubslice(haystack, needle []byte) bool {
+	if len(needle) == 0 || len(haystack) < len(needle) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+func TestRoamingBetweenRouters(t *testing.T) {
+	d, err := NewDeployment(DeploymentSpec{
+		Seed:         5,
+		Groups:       1,
+		KeysPerGroup: 4,
+		Routers:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backbone := d.BuildBackbone(msLink(2))
+	if len(backbone) != 2 {
+		t.Fatalf("backbone routers = %d", len(backbone))
+	}
+
+	u, err := d.AddUser("walker", "grp-0", "MR-0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Connect("walker", "MR-0", msLink(3))
+
+	// Attach to MR-0.
+	d.Routers["MR-0"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(time.Second)
+	if router, ok := u.AttachedRouter(); !ok || router != "MR-0" {
+		t.Fatalf("attached to %q, want MR-0", router)
+	}
+	firstSession := u.RouterSession()
+
+	// The user walks into MR-1's coverage and roams.
+	d.Net.Connect("walker", "MR-1", msLink(3))
+	u.Roam("MR-1")
+	if u.Attached() {
+		t.Fatal("roam did not detach")
+	}
+	d.Routers["MR-1"].StartBeacons(time.Second, 2)
+	d.Net.RunFor(3 * time.Second)
+
+	router, ok := u.AttachedRouter()
+	if !ok || router != "MR-1" {
+		t.Fatalf("after roam attached to %q, want MR-1", router)
+	}
+	// The new attachment is a completely fresh session (fresh AKA run, no
+	// linkable state): different id and keys.
+	if firstSession.ID == u.RouterSession().ID {
+		t.Fatal("roamed session reused the old session identifier")
+	}
+
+	// Data now flows to MR-1, not MR-0.
+	if err := u.SendData([]byte("after roam")); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.RunFor(time.Second)
+	if d.Routers["MR-1"].Stats().DataDelivered != 1 {
+		t.Fatal("data not delivered to the new router")
+	}
+	if d.Routers["MR-0"].Stats().DataDelivered != 0 {
+		t.Fatal("data leaked to the old router")
+	}
+}
+
+func TestRoamingIsUnlinkableAcrossRouters(t *testing.T) {
+	// The two routers compare notes: nothing in their session state links
+	// the roamer's two attachments (fresh DH shares, fresh signature).
+	d, err := NewDeployment(DeploymentSpec{
+		Seed: 6, Groups: 1, KeysPerGroup: 4, Routers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eve := NewEavesdropper(d.Net)
+	u, err := d.AddUser("walker", "grp-0", "MR-0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Connect("walker", "MR-0", msLink(1))
+	d.Routers["MR-0"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(time.Second)
+
+	d.Net.Connect("walker", "MR-1", msLink(1))
+	u.Roam("MR-1")
+	d.Routers["MR-1"].StartBeacons(time.Second, 1)
+	d.Net.RunFor(time.Second)
+
+	sigs := eve.AccessRequestSignatures()
+	if len(sigs) != 2 {
+		t.Fatalf("captured %d M.2 signatures, want 2", len(sigs))
+	}
+	// No shared component between the two access requests.
+	if sigs[0].T1.Equal(sigs[1].T1) || sigs[0].T2.Equal(sigs[1].T2) ||
+		sigs[0].R.Cmp(sigs[1].R) == 0 || sigs[0].C.Cmp(sigs[1].C) == 0 {
+		t.Fatal("roaming attachments share signature components")
+	}
+}
+
+func TestMetroScaleDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metro-scale simulation is slow")
+	}
+	// Four routers in a backbone, three users per cell, one relay chain.
+	d, err := NewDeployment(DeploymentSpec{
+		Seed:         77,
+		Groups:       2,
+		KeysPerGroup: 16,
+		Routers:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.BuildBackbone(msLink(2))
+
+	total := 0
+	for ri := 0; ri < 4; ri++ {
+		router := NodeID(fmt.Sprintf("MR-%d", ri))
+		var cell []NodeID
+		for ui := 0; ui < 3; ui++ {
+			id := NodeID(fmt.Sprintf("c%d-u%d", ri, ui))
+			group := "grp-0"
+			if (ri+ui)%2 == 1 {
+				group = "grp-1"
+			}
+			if _, err := d.AddUser(id, core.GroupID(group), router, true); err != nil {
+				t.Fatal(err)
+			}
+			cell = append(cell, id)
+			total++
+		}
+		d.BuildStar(router, cell, msLink(4))
+	}
+
+	for id := range d.Routers {
+		d.Routers[id].StartBeacons(time.Second, 3)
+	}
+	d.Net.RunFor(30 * time.Second)
+
+	attached := 0
+	for _, u := range d.Users {
+		if u.Attached() {
+			attached++
+		}
+	}
+	if attached != total {
+		t.Fatalf("attached %d/%d users", attached, total)
+	}
+	// Every router serves its own cell.
+	for ri := 0; ri < 4; ri++ {
+		router := fmt.Sprintf("MR-%d", ri)
+		if got := d.Routers[NodeID(router)].Router().Sessions(); got != 3 {
+			t.Errorf("%s sessions = %d, want 3", router, got)
+		}
+	}
+}

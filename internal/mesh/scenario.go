@@ -1,0 +1,194 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// Deployment bundles a fully provisioned PEACE network attached to a
+// simulator: operator, TTP, group managers, certified routers and enrolled
+// users. It is the shared fixture for the examples, the meshsim tool and
+// the experiment harness.
+type Deployment struct {
+	Net   *Network
+	Cfg   core.Config
+	NO    *core.NetworkOperator
+	TTP   *core.TTP
+	GMs   map[core.GroupID]*core.GroupManager
+	Users map[NodeID]*UserStation
+	// Routers maps router id → its station.
+	Routers map[NodeID]*RouterStation
+}
+
+// DeploymentSpec configures NewDeployment.
+type DeploymentSpec struct {
+	// Start is the initial virtual time. Zero means Unix epoch 1751600000.
+	Start time.Time
+	// Seed drives the loss model.
+	Seed int64
+	// Groups is the number of user groups; each gets KeysPerGroup issued.
+	Groups int
+	// KeysPerGroup bounds enrollments per group.
+	KeysPerGroup int
+	// Routers is the number of mesh routers.
+	Routers int
+	// FreshnessWindow defaults to one minute.
+	FreshnessWindow time.Duration
+	// PuzzleDifficulty defaults to 4 (cheap, for simulation).
+	PuzzleDifficulty uint8
+}
+
+// NewDeployment provisions the PEACE entities on a fresh simulated
+// network. Topology (links and user stations) is added by the caller.
+func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
+	if spec.Start.IsZero() {
+		spec.Start = time.Unix(1751600000, 0)
+	}
+	if spec.FreshnessWindow == 0 {
+		spec.FreshnessWindow = time.Minute
+	}
+	if spec.PuzzleDifficulty == 0 {
+		spec.PuzzleDifficulty = 4
+	}
+
+	net := NewNetwork(spec.Start, spec.Seed)
+	cfg := core.Config{
+		Clock:            net.Clock(),
+		FreshnessWindow:  spec.FreshnessWindow,
+		PuzzleDifficulty: spec.PuzzleDifficulty,
+	}
+
+	no, err := core.NewNetworkOperator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ttp, err := core.NewTTP(cfg, no.Authority())
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Deployment{
+		Net:     net,
+		Cfg:     cfg,
+		NO:      no,
+		TTP:     ttp,
+		GMs:     make(map[core.GroupID]*core.GroupManager),
+		Users:   make(map[NodeID]*UserStation),
+		Routers: make(map[NodeID]*RouterStation),
+	}
+
+	for gi := 0; gi < spec.Groups; gi++ {
+		gid := core.GroupID(fmt.Sprintf("grp-%d", gi))
+		gm, err := core.NewGroupManager(cfg, gid, no.Authority())
+		if err != nil {
+			return nil, err
+		}
+		if err := no.RegisterUserGroup(gm, ttp, spec.KeysPerGroup); err != nil {
+			return nil, err
+		}
+		d.GMs[gid] = gm
+	}
+
+	for ri := 0; ri < spec.Routers; ri++ {
+		id := fmt.Sprintf("MR-%d", ri)
+		r, err := core.NewMeshRouter(cfg, id, no.Authority(), no.GroupPublicKey())
+		if err != nil {
+			return nil, err
+		}
+		c, err := no.EnrollRouter(id, r.Public())
+		if err != nil {
+			return nil, err
+		}
+		r.SetCertificate(c)
+		d.Routers[NodeID(id)] = NewRouterStation(net, r)
+	}
+
+	if err := d.PushRevocations(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// PushRevocations distributes fresh CRL/URL to every router.
+func (d *Deployment) PushRevocations() error {
+	crl, err := d.NO.CurrentCRL()
+	if err != nil {
+		return err
+	}
+	url, err := d.NO.CurrentURL()
+	if err != nil {
+		return err
+	}
+	for _, r := range d.Routers {
+		r.Router().UpdateRevocations(crl, url)
+	}
+	return nil
+}
+
+// AddUser enrolls a new user with the given group and attaches its station
+// with the given uplink next hop.
+func (d *Deployment) AddUser(id NodeID, group core.GroupID, nextHop NodeID, autoAttach bool) (*UserStation, error) {
+	gm, ok := d.GMs[group]
+	if !ok {
+		return nil, fmt.Errorf("deployment: %w: %q", core.ErrUnknownGroup, group)
+	}
+	u, err := core.NewUser(d.Cfg, core.Identity{
+		Essential:  core.UserID(id),
+		Attributes: []core.Attribute{{Group: group, Role: "member"}},
+	}, d.NO.Authority(), d.NO.GroupPublicKey())
+	if err != nil {
+		return nil, err
+	}
+	if err := core.EnrollUser(u, gm, d.TTP); err != nil {
+		return nil, err
+	}
+	us := NewUserStation(d.Net, id, u, group, nextHop, autoAttach)
+	d.Users[id] = us
+	return us, nil
+}
+
+// BuildChain wires the paper's multihop-uplink topology for a linear
+// chain router ← u1 ← u2 ← ... ← uN: the router's long-range downlink
+// reaches every user directly (one hop, per the paper's assumption), u1
+// has a direct uplink, and each subsequent user's uplink goes through its
+// predecessor (bidirectional peer links).
+func (d *Deployment) BuildChain(router NodeID, users []NodeID, hop Link) {
+	prev := router
+	for i, u := range users {
+		if i == 0 {
+			d.Net.Connect(u, prev, hop)
+		} else {
+			d.Net.Connect(u, prev, hop)         // peer link for uplink relay
+			d.Net.ConnectOneWay(router, u, hop) // long-range downlink only
+		}
+		prev = u
+	}
+}
+
+// BuildBackbone wires the mesh routers into a linear wireless backbone
+// (the paper's layer-2: "stationary mesh routers form a multihop backbone")
+// and returns the router ids in order. Router-to-router traffic is assumed
+// protected by the pre-established operator channels, so the simulator
+// models the backbone as plain links.
+func (d *Deployment) BuildBackbone(link Link) []NodeID {
+	ids := make([]NodeID, 0, len(d.Routers))
+	for id := range d.Routers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := 1; i < len(ids); i++ {
+		d.Net.Connect(ids[i-1], ids[i], link)
+	}
+	return ids
+}
+
+// BuildStar attaches each user directly to the router: the single-hop
+// dense-coverage cell of a metro deployment.
+func (d *Deployment) BuildStar(router NodeID, users []NodeID, link Link) {
+	for _, u := range users {
+		d.Net.Connect(u, router, link)
+	}
+}

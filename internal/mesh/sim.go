@@ -1,0 +1,290 @@
+package mesh
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// NodeID identifies a station in the simulated network.
+type NodeID string
+
+// FrameKind tags simulated radio frames with their protocol message type.
+type FrameKind uint8
+
+// Frame kinds, one per PEACE protocol message plus data traffic.
+const (
+	KindBeacon FrameKind = iota + 1
+	KindAccessRequest
+	KindAccessConfirm
+	KindPeerHello
+	KindPeerResponse
+	KindPeerConfirm
+	KindData
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case KindBeacon:
+		return "M.1-beacon"
+	case KindAccessRequest:
+		return "M.2-access-request"
+	case KindAccessConfirm:
+		return "M.3-access-confirm"
+	case KindPeerHello:
+		return "Mt.1-peer-hello"
+	case KindPeerResponse:
+		return "Mt.2-peer-response"
+	case KindPeerConfirm:
+		return "Mt.3-peer-confirm"
+	case KindData:
+		return "data"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame is one simulated transmission.
+type Frame struct {
+	From    NodeID
+	To      NodeID // empty for broadcast
+	Kind    FrameKind
+	Payload []byte
+	SentAt  time.Time
+}
+
+// Station is anything attached to the medium.
+type Station interface {
+	// ID returns the station's node id.
+	ID() NodeID
+	// Receive handles a delivered frame. It runs inside the event loop;
+	// implementations may call Network.Send/Broadcast but must not block.
+	Receive(f *Frame)
+}
+
+// Link describes one directed radio adjacency.
+type Link struct {
+	Latency time.Duration
+	// Loss is the frame-loss probability in [0, 1).
+	Loss float64
+}
+
+// Clock is the simulator's virtual clock; it satisfies core.Clock.
+type Clock struct {
+	now time.Time
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() (out any) {
+	old := *q
+	n := len(old)
+	out = old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return out
+}
+
+// Metrics aggregates what crossed the medium.
+type Metrics struct {
+	FramesByKind map[FrameKind]int
+	BytesByKind  map[FrameKind]int
+	FramesLost   int
+	// AKADelays collects per-user authentication delays (beacon receipt →
+	// session established), E4's headline series.
+	AKADelays []time.Duration
+}
+
+// Network is the simulated medium plus the event loop.
+type Network struct {
+	clock    Clock
+	rng      *rand.Rand
+	stations map[NodeID]Station
+	links    map[NodeID]map[NodeID]Link
+	queue    eventQueue
+	seq      uint64
+	metrics  Metrics
+	// taps observe every transmitted frame (before loss), in insertion
+	// order — this is the eavesdropper hook.
+	taps []func(*Frame)
+}
+
+// NewNetwork creates an empty network starting at the given virtual time.
+// The seed makes loss decisions reproducible.
+func NewNetwork(start time.Time, seed int64) *Network {
+	n := &Network{
+		rng:      rand.New(rand.NewSource(seed)),
+		stations: make(map[NodeID]Station),
+		links:    make(map[NodeID]map[NodeID]Link),
+	}
+	n.clock.now = start
+	n.metrics.FramesByKind = make(map[FrameKind]int)
+	n.metrics.BytesByKind = make(map[FrameKind]int)
+	return n
+}
+
+// Clock exposes the virtual clock for wiring into core.Config.
+func (n *Network) Clock() *Clock { return &n.clock }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.clock.now }
+
+// Metrics returns a copy of the aggregate counters.
+func (n *Network) Metrics() Metrics {
+	m := n.metrics
+	m.FramesByKind = make(map[FrameKind]int, len(n.metrics.FramesByKind))
+	for k, v := range n.metrics.FramesByKind {
+		m.FramesByKind[k] = v
+	}
+	m.BytesByKind = make(map[FrameKind]int, len(n.metrics.BytesByKind))
+	for k, v := range n.metrics.BytesByKind {
+		m.BytesByKind[k] = v
+	}
+	m.AKADelays = append([]time.Duration(nil), n.metrics.AKADelays...)
+	return m
+}
+
+// recordAKADelay is called by user stations when a session completes.
+func (n *Network) recordAKADelay(d time.Duration) {
+	n.metrics.AKADelays = append(n.metrics.AKADelays, d)
+}
+
+// AddStation attaches a station to the medium.
+func (n *Network) AddStation(s Station) {
+	n.stations[s.ID()] = s
+}
+
+// Station returns a station by id.
+func (n *Network) Station(id NodeID) (Station, bool) {
+	s, ok := n.stations[id]
+	return s, ok
+}
+
+// Connect installs a bidirectional link.
+func (n *Network) Connect(a, b NodeID, l Link) {
+	n.connectOneWay(a, b, l)
+	n.connectOneWay(b, a, l)
+}
+
+// ConnectOneWay installs a directed link a → b, used to model asymmetric
+// radio reach (a router's long-range downlink versus a handset's short
+// uplink).
+func (n *Network) ConnectOneWay(a, b NodeID, l Link) {
+	n.connectOneWay(a, b, l)
+}
+
+func (n *Network) connectOneWay(a, b NodeID, l Link) {
+	if n.links[a] == nil {
+		n.links[a] = make(map[NodeID]Link)
+	}
+	n.links[a][b] = l
+}
+
+// Neighbors returns the ids adjacent to a, sorted for determinism.
+func (n *Network) Neighbors(a NodeID) []NodeID {
+	out := make([]NodeID, 0, len(n.links[a]))
+	for id := range n.links[a] {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tap registers an observer of every transmitted frame (pre-loss): the
+// passive global eavesdropper of the threat model.
+func (n *Network) Tap(f func(*Frame)) {
+	n.taps = append(n.taps, f)
+}
+
+// Schedule runs fn at the given virtual-time offset from now.
+func (n *Network) Schedule(after time.Duration, fn func()) {
+	n.seq++
+	heap.Push(&n.queue, &event{at: n.clock.now.Add(after), seq: n.seq, fn: fn})
+}
+
+// Send transmits a unicast frame over the (from → to) link; it is dropped
+// silently if no link exists or the loss draw fails.
+func (n *Network) Send(from, to NodeID, kind FrameKind, payload []byte) {
+	f := &Frame{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.clock.now}
+	n.transmit(f, to)
+}
+
+// Broadcast transmits to every neighbor of from.
+func (n *Network) Broadcast(from NodeID, kind FrameKind, payload []byte) {
+	f := &Frame{From: from, Kind: kind, Payload: payload, SentAt: n.clock.now}
+	for _, nb := range n.Neighbors(from) {
+		copyFrame := *f
+		copyFrame.To = nb
+		n.transmit(&copyFrame, nb)
+	}
+}
+
+func (n *Network) transmit(f *Frame, to NodeID) {
+	for _, tap := range n.taps {
+		tap(f)
+	}
+	n.metrics.FramesByKind[f.Kind]++
+	n.metrics.BytesByKind[f.Kind] += len(f.Payload)
+
+	link, ok := n.links[f.From][to]
+	if !ok {
+		n.metrics.FramesLost++
+		return
+	}
+	if link.Loss > 0 && n.rng.Float64() < link.Loss {
+		n.metrics.FramesLost++
+		return
+	}
+	dst, ok := n.stations[to]
+	if !ok {
+		n.metrics.FramesLost++
+		return
+	}
+	n.Schedule(link.Latency, func() { dst.Receive(f) })
+}
+
+// Run processes events until the queue drains or the virtual deadline
+// passes, returning the number of events processed.
+func (n *Network) Run(until time.Time) int {
+	processed := 0
+	for n.queue.Len() > 0 {
+		next := n.queue[0]
+		if next.at.After(until) {
+			break
+		}
+		heap.Pop(&n.queue)
+		n.clock.now = next.at
+		next.fn()
+		processed++
+	}
+	if n.clock.now.Before(until) {
+		n.clock.now = until
+	}
+	return processed
+}
+
+// RunFor is Run with a relative horizon.
+func (n *Network) RunFor(d time.Duration) int {
+	return n.Run(n.clock.now.Add(d))
+}

@@ -1,0 +1,371 @@
+package mesh
+
+import (
+	"crypto/rand"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// RouterStats extends the core router counters with simulator-level ones.
+type RouterStats struct {
+	Core          core.RouterStats
+	DataDelivered int
+	DataRejected  int
+}
+
+// RouterStation adapts a core.MeshRouter to the simulated medium.
+type RouterStation struct {
+	net    *Network
+	id     NodeID
+	router *core.MeshRouter
+
+	beaconPeriod time.Duration
+	beaconsLeft  int
+
+	dataDelivered int
+	dataRejected  int
+}
+
+// NewRouterStation wraps router and attaches it to the network.
+func NewRouterStation(n *Network, router *core.MeshRouter) *RouterStation {
+	rs := &RouterStation{net: n, id: NodeID(router.ID()), router: router}
+	n.AddStation(rs)
+	return rs
+}
+
+// ID implements Station.
+func (r *RouterStation) ID() NodeID { return r.id }
+
+// Router exposes the wrapped core router.
+func (r *RouterStation) Router() *core.MeshRouter { return r.router }
+
+// Stats returns combined counters.
+func (r *RouterStation) Stats() RouterStats {
+	return RouterStats{
+		Core:          r.router.Stats(),
+		DataDelivered: r.dataDelivered,
+		DataRejected:  r.dataRejected,
+	}
+}
+
+// StartBeacons schedules count periodic beacons starting immediately.
+func (r *RouterStation) StartBeacons(period time.Duration, count int) {
+	r.beaconPeriod = period
+	r.beaconsLeft = count
+	r.net.Schedule(0, r.emitBeacon)
+}
+
+func (r *RouterStation) emitBeacon() {
+	if r.beaconsLeft <= 0 {
+		return
+	}
+	r.beaconsLeft--
+	b, err := r.router.Beacon()
+	if err == nil {
+		r.net.Broadcast(r.id, KindBeacon, b.Marshal())
+	}
+	if r.beaconsLeft > 0 {
+		r.net.Schedule(r.beaconPeriod, r.emitBeacon)
+	}
+}
+
+// Receive implements Station.
+func (r *RouterStation) Receive(f *Frame) {
+	switch f.Kind {
+	case KindAccessRequest:
+		m2, err := core.UnmarshalAccessRequest(f.Payload)
+		if err != nil {
+			return
+		}
+		m3, _, err := r.router.HandleAccessRequest(m2)
+		if err != nil {
+			return
+		}
+		// Reply along the arrival hop; relays route it back.
+		r.net.Send(r.id, f.From, KindAccessConfirm, m3.Marshal())
+
+	case KindData:
+		frame, err := core.UnmarshalDataFrame(f.Payload)
+		if err != nil {
+			r.dataRejected++
+			return
+		}
+		sess, ok := r.router.SessionByID(frame.Session)
+		if !ok {
+			r.dataRejected++
+			return
+		}
+		if _, err := sess.OpenData(frame); err != nil {
+			r.dataRejected++
+			return
+		}
+		r.dataDelivered++
+	}
+}
+
+// UserStats counts a user station's simulator-level activity.
+type UserStats struct {
+	Attached             bool
+	AttachDelay          time.Duration
+	DataSent             int
+	FramesRelayed        int
+	RelayDropsUnauth     int
+	PeerSessions         int
+	BeaconsSeen          int
+	RejectedBeacons      int
+	FailedAuthentication int
+}
+
+// UserStation adapts a core.User to the medium, including the multihop
+// uplink relay behaviour of the paper: AKA messages are forwarded for
+// anyone (they are self-authenticating), data frames only for peers that
+// completed user–user authentication.
+type UserStation struct {
+	net  *Network
+	id   NodeID
+	user *core.User
+	// group is the credential role used when authenticating.
+	group core.GroupID
+	// nextHop is the uplink neighbor toward the serving router (possibly
+	// the router itself).
+	nextHop NodeID
+	// autoAttach makes the station answer the first valid beacon.
+	autoAttach bool
+
+	// routerSession is the established user–router session.
+	routerSession *core.Session
+	beaconSeenAt  time.Time
+	attachPending bool
+
+	// peers maps authenticated neighbor → pairwise session.
+	peers map[NodeID]*core.Session
+	// pendingPeer tracks outbound peer AKA targets.
+	pendingPeer map[NodeID]bool
+	// returnPath routes AKA confirmations back: marshaled (GR ‖ GJ) → the
+	// hop an M.2 arrived from.
+	returnPath map[string]NodeID
+
+	stats UserStats
+}
+
+// NewUserStation wraps user and attaches it to the network.
+func NewUserStation(n *Network, id NodeID, user *core.User, group core.GroupID, nextHop NodeID, autoAttach bool) *UserStation {
+	us := &UserStation{
+		net:         n,
+		id:          id,
+		user:        user,
+		group:       group,
+		nextHop:     nextHop,
+		autoAttach:  autoAttach,
+		peers:       make(map[NodeID]*core.Session),
+		pendingPeer: make(map[NodeID]bool),
+		returnPath:  make(map[string]NodeID),
+	}
+	n.AddStation(us)
+	return us
+}
+
+// ID implements Station.
+func (u *UserStation) ID() NodeID { return u.id }
+
+// User exposes the wrapped core user.
+func (u *UserStation) User() *core.User { return u.user }
+
+// Stats returns the station counters.
+func (u *UserStation) Stats() UserStats { return u.stats }
+
+// Attached reports whether the user–router AKA completed.
+func (u *UserStation) Attached() bool { return u.routerSession != nil }
+
+// RouterSession returns the established uplink session.
+func (u *UserStation) RouterSession() *core.Session { return u.routerSession }
+
+// PeerSession returns the pairwise session with a neighbor, if any.
+func (u *UserStation) PeerSession(id NodeID) (*core.Session, bool) {
+	s, ok := u.peers[id]
+	return s, ok
+}
+
+// AuthenticateWithPeer starts the user–user AKA with a neighbor.
+func (u *UserStation) AuthenticateWithPeer(peer NodeID) error {
+	hello, err := u.user.StartPeerAuth(u.group)
+	if err != nil {
+		return err
+	}
+	u.pendingPeer[peer] = true
+	u.net.Send(u.id, peer, KindPeerHello, hello.Marshal())
+	return nil
+}
+
+// SendData seals payload under the router session and sends it up the
+// relay chain.
+func (u *UserStation) SendData(payload []byte) error {
+	if u.routerSession == nil {
+		return core.ErrNoSession
+	}
+	frame, err := u.routerSession.SealData(rand.Reader, payload)
+	if err != nil {
+		return err
+	}
+	u.stats.DataSent++
+	u.net.Send(u.id, u.nextHop, KindData, frame.Marshal())
+	return nil
+}
+
+// Receive implements Station.
+func (u *UserStation) Receive(f *Frame) {
+	switch f.Kind {
+	case KindBeacon:
+		u.handleBeacon(f)
+	case KindAccessRequest:
+		u.relayAccessRequest(f)
+	case KindAccessConfirm:
+		u.handleAccessConfirm(f)
+	case KindPeerHello:
+		u.handlePeerHello(f)
+	case KindPeerResponse:
+		u.handlePeerResponse(f)
+	case KindPeerConfirm:
+		u.handlePeerConfirm(f)
+	case KindData:
+		u.relayData(f)
+	}
+}
+
+func (u *UserStation) handleBeacon(f *Frame) {
+	u.stats.BeaconsSeen++
+	// Attached stations just refresh URL/generator state. Unattached
+	// stations (re-)attempt on every valid beacon, which retries attaches
+	// whose M.2 or M.3 was lost.
+	if !u.autoAttach || u.routerSession != nil {
+		// Still process for URL/generator caching when already attached.
+		if b, err := core.UnmarshalBeacon(f.Payload); err == nil {
+			_ = u.user.ObserveBeacon(b)
+		}
+		return
+	}
+	b, err := core.UnmarshalBeacon(f.Payload)
+	if err != nil {
+		u.stats.RejectedBeacons++
+		return
+	}
+	m2, err := u.user.HandleBeacon(b, u.group)
+	if err != nil {
+		u.stats.RejectedBeacons++
+		return
+	}
+	u.beaconSeenAt = u.net.Now()
+	u.attachPending = true
+	u.net.Send(u.id, u.nextHop, KindAccessRequest, m2.Marshal())
+}
+
+func (u *UserStation) relayAccessRequest(f *Frame) {
+	m2, err := core.UnmarshalAccessRequest(f.Payload)
+	if err != nil {
+		return
+	}
+	key := string(m2.GR.Marshal()) + string(m2.GJ.Marshal())
+	u.returnPath[key] = f.From
+	u.stats.FramesRelayed++
+	u.net.Send(u.id, u.nextHop, KindAccessRequest, f.Payload)
+}
+
+func (u *UserStation) handleAccessConfirm(f *Frame) {
+	m3, err := core.UnmarshalAccessConfirm(f.Payload)
+	if err != nil {
+		return
+	}
+	// Mine?
+	if u.attachPending {
+		if sess, err := u.user.HandleAccessConfirm(m3); err == nil {
+			u.routerSession = sess
+			u.attachPending = false
+			u.stats.Attached = true
+			u.stats.AttachDelay = u.net.Now().Sub(u.beaconSeenAt)
+			u.net.recordAKADelay(u.stats.AttachDelay)
+			return
+		}
+	}
+	// Otherwise route back along the recorded path.
+	key := string(m3.GR.Marshal()) + string(m3.GJ.Marshal())
+	if prev, ok := u.returnPath[key]; ok {
+		delete(u.returnPath, key)
+		u.stats.FramesRelayed++
+		u.net.Send(u.id, prev, KindAccessConfirm, f.Payload)
+	}
+}
+
+func (u *UserStation) handlePeerHello(f *Frame) {
+	hello, err := core.UnmarshalPeerHello(f.Payload)
+	if err != nil {
+		return
+	}
+	resp, sess, err := u.user.HandlePeerHello(hello, u.group)
+	if err != nil {
+		u.stats.FailedAuthentication++
+		return
+	}
+	u.peers[f.From] = sess
+	u.stats.PeerSessions++
+	u.net.Send(u.id, f.From, KindPeerResponse, resp.Marshal())
+}
+
+func (u *UserStation) handlePeerResponse(f *Frame) {
+	resp, err := core.UnmarshalPeerResponse(f.Payload)
+	if err != nil {
+		return
+	}
+	if !u.pendingPeer[f.From] {
+		return
+	}
+	confirm, sess, err := u.user.HandlePeerResponse(resp)
+	if err != nil {
+		u.stats.FailedAuthentication++
+		delete(u.pendingPeer, f.From)
+		return
+	}
+	delete(u.pendingPeer, f.From)
+	u.peers[f.From] = sess
+	u.stats.PeerSessions++
+	u.net.Send(u.id, f.From, KindPeerConfirm, confirm.Marshal())
+}
+
+func (u *UserStation) handlePeerConfirm(f *Frame) {
+	confirm, err := core.UnmarshalPeerConfirm(f.Payload)
+	if err != nil {
+		return
+	}
+	if _, err := u.user.HandlePeerConfirm(confirm); err != nil {
+		u.stats.FailedAuthentication++
+	}
+}
+
+func (u *UserStation) relayData(f *Frame) {
+	// The paper's cooperation rule: relay data only for authenticated
+	// neighbors (pairwise key established).
+	if _, ok := u.peers[f.From]; !ok {
+		u.stats.RelayDropsUnauth++
+		return
+	}
+	u.stats.FramesRelayed++
+	u.net.Send(u.id, u.nextHop, KindData, f.Payload)
+}
+
+// Roam detaches the station from its current router and points its uplink
+// at a new next hop; the station re-authenticates on the next valid beacon
+// it hears (PEACE has no fast-handoff state: a roam is a fresh three-way
+// AKA, which is exactly what the paper's per-session freshness demands).
+func (u *UserStation) Roam(newNextHop NodeID) {
+	u.nextHop = newNextHop
+	u.routerSession = nil
+	u.attachPending = false
+}
+
+// AttachedRouter returns the id of the serving router, if attached.
+func (u *UserStation) AttachedRouter() (string, bool) {
+	if u.routerSession == nil {
+		return "", false
+	}
+	return u.routerSession.Peer, true
+}

@@ -1,0 +1,152 @@
+// Package puzzle implements Juels–Brainard client puzzles (NDSS 1999), the
+// DoS countermeasure PEACE attaches to beacon messages when a mesh router
+// suspects a connection-depletion attack (paper Section V.A).
+//
+// A puzzle is a fresh seed plus a difficulty d; a solution is any counter s
+// such that SHA-256(seed ‖ s) has at least d leading zero bits. Solving
+// requires ~2^d hash evaluations of brute force; verification is one hash.
+// Routers issue puzzles bound to their identity and a timestamp so
+// solutions cannot be precomputed or replayed across routers.
+package puzzle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// Exported errors.
+var (
+	ErrWrongSolution = errors.New("puzzle: solution does not satisfy difficulty")
+	ErrExpiredPuzzle = errors.New("puzzle: puzzle expired")
+	ErrMalformed     = errors.New("puzzle: malformed encoding")
+)
+
+// SeedSize is the puzzle seed length in bytes.
+const SeedSize = 16
+
+// MaxDifficulty bounds difficulty to keep Solve tractable in tests and to
+// reject nonsense from the wire.
+const MaxDifficulty = 48
+
+// Puzzle is a single client puzzle.
+type Puzzle struct {
+	// Seed is the router-chosen fresh randomness.
+	Seed [SeedSize]byte
+	// Difficulty is the required number of leading zero bits.
+	Difficulty uint8
+	// IssuedAt timestamps the puzzle; stale solutions are rejected.
+	IssuedAt time.Time
+	// Context binds the puzzle to an issuer (e.g. the router ID) so a
+	// solution for one router is useless at another.
+	Context string
+}
+
+// New samples a fresh puzzle.
+func New(rng io.Reader, difficulty uint8, context string, now time.Time) (*Puzzle, error) {
+	if difficulty > MaxDifficulty {
+		return nil, fmt.Errorf("puzzle: difficulty %d exceeds maximum %d", difficulty, MaxDifficulty)
+	}
+	p := &Puzzle{Difficulty: difficulty, IssuedAt: now, Context: context}
+	if _, err := io.ReadFull(rng, p.Seed[:]); err != nil {
+		return nil, fmt.Errorf("puzzle: seed: %w", err)
+	}
+	return p, nil
+}
+
+// digest computes SHA-256(context ‖ issuedAt ‖ seed ‖ solution).
+func (p *Puzzle) digest(solution uint64) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("peace/puzzle:v1:"))
+	h.Write([]byte(p.Context))
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(p.IssuedAt.UnixNano()))
+	h.Write(ts[:])
+	h.Write(p.Seed[:])
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], solution)
+	h.Write(s[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// leadingZeroBits counts leading zero bits of a digest.
+func leadingZeroBits(d [32]byte) int {
+	total := 0
+	for _, b := range d {
+		if b == 0 {
+			total += 8
+			continue
+		}
+		total += bits.LeadingZeros8(b)
+		break
+	}
+	return total
+}
+
+// Solve brute-forces a solution. The expected work is 2^Difficulty hashes.
+func (p *Puzzle) Solve() uint64 {
+	for s := uint64(0); ; s++ {
+		if leadingZeroBits(p.digest(s)) >= int(p.Difficulty) {
+			return s
+		}
+	}
+}
+
+// Verify checks a solution and the puzzle's freshness window.
+func (p *Puzzle) Verify(solution uint64, now time.Time, maxAge time.Duration) error {
+	if now.Sub(p.IssuedAt) > maxAge {
+		return ErrExpiredPuzzle
+	}
+	if leadingZeroBits(p.digest(solution)) < int(p.Difficulty) {
+		return ErrWrongSolution
+	}
+	return nil
+}
+
+// Marshal encodes the puzzle for inclusion in a beacon.
+func (p *Puzzle) Marshal() []byte {
+	w := wire.NewWriter(64)
+	w.BytesField(p.Seed[:])
+	w.Byte(p.Difficulty)
+	w.Time(p.IssuedAt)
+	w.StringField(p.Context)
+	return w.Bytes()
+}
+
+// Unmarshal decodes a beacon puzzle.
+func Unmarshal(data []byte) (*Puzzle, error) {
+	r := wire.NewReader(data)
+	p := &Puzzle{}
+	seed, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(seed) != SeedSize {
+		return nil, fmt.Errorf("%w: seed size %d", ErrMalformed, len(seed))
+	}
+	copy(p.Seed[:], seed)
+	if p.Difficulty, err = r.Byte(); err != nil {
+		return nil, err
+	}
+	if p.Difficulty > MaxDifficulty {
+		return nil, fmt.Errorf("%w: difficulty %d", ErrMalformed, p.Difficulty)
+	}
+	if p.IssuedAt, err = r.Time(); err != nil {
+		return nil, err
+	}
+	if p.Context, err = r.StringField(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,156 @@
+package puzzle
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var testNow = time.Unix(1751600000, 0)
+
+func TestSolveVerify(t *testing.T) {
+	for _, difficulty := range []uint8{0, 1, 4, 8, 12} {
+		p, err := New(rand.Reader, difficulty, "MR-1", testNow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.Solve()
+		if err := p.Verify(s, testNow.Add(time.Second), time.Minute); err != nil {
+			t.Fatalf("difficulty %d: valid solution rejected: %v", difficulty, err)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongSolution(t *testing.T) {
+	p, err := New(rand.Reader, 16, "MR-1", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Solve()
+	// A wrong counter fails with overwhelming probability at difficulty 16.
+	if err := p.Verify(s+1, testNow, time.Minute); !errors.Is(err, ErrWrongSolution) {
+		t.Fatalf("want ErrWrongSolution, got %v", err)
+	}
+}
+
+func TestVerifyRejectsExpired(t *testing.T) {
+	p, err := New(rand.Reader, 1, "MR-1", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Solve()
+	if err := p.Verify(s, testNow.Add(2*time.Minute), time.Minute); !errors.Is(err, ErrExpiredPuzzle) {
+		t.Fatalf("want ErrExpiredPuzzle, got %v", err)
+	}
+}
+
+func TestSolutionsAreContextBound(t *testing.T) {
+	p1, err := New(rand.Reader, 8, "MR-1", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p1.Solve()
+
+	// Same seed, different context: the solution must not transfer
+	// (except with ~2^-8 luck; retry on the rare collision).
+	for attempt := 0; attempt < 8; attempt++ {
+		p2 := *p1
+		p2.Context = "MR-2"
+		if err := p2.Verify(s, testNow, time.Minute); err != nil {
+			return // correctly rejected
+		}
+		// Collision: this solution happens to solve the other context too.
+		s = p1.Solve() // no new information; re-randomize the puzzle instead
+		p1, err = New(rand.Reader, 8, "MR-1", testNow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s = p1.Solve()
+	}
+	t.Fatal("solutions transferred across contexts repeatedly")
+}
+
+func TestDifficultyBound(t *testing.T) {
+	if _, err := New(rand.Reader, MaxDifficulty+1, "x", testNow); err == nil {
+		t.Fatal("difficulty above maximum accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p, err := New(rand.Reader, 10, "MR-42", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != p.Seed || back.Difficulty != p.Difficulty ||
+		!back.IssuedAt.Equal(p.IssuedAt) || back.Context != p.Context {
+		t.Fatal("round-trip mismatch")
+	}
+	s := p.Solve()
+	if err := back.Verify(s, testNow, time.Minute); err != nil {
+		t.Fatal("solution rejected after round-trip")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	p, _ := New(rand.Reader, 1, "x", testNow)
+	data := p.Marshal()
+	if _, err := Unmarshal(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated puzzle accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[SeedSize+4] = MaxDifficulty + 1 // difficulty byte follows the seed field
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("overlarge difficulty accepted")
+	}
+}
+
+func TestSolveWorkGrowsWithDifficulty(t *testing.T) {
+	// Statistical sanity: average solution index ≈ 2^d. Keep d small and
+	// tolerant — this guards against off-by-one bit counting, not exact
+	// distribution shape.
+	const trials = 24
+	avg := func(d uint8) float64 {
+		total := 0.0
+		for i := 0; i < trials; i++ {
+			p, err := New(rand.Reader, d, "bench", testNow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(p.Solve())
+		}
+		return total / trials
+	}
+	lo, hi := avg(2), avg(8)
+	if hi <= lo {
+		t.Fatalf("work did not grow with difficulty: avg(2)=%f avg(8)=%f", lo, hi)
+	}
+}
+
+func TestQuickLeadingZeroBits(t *testing.T) {
+	f := func(b [32]byte) bool {
+		n := leadingZeroBits(b)
+		if n < 0 || n > 256 {
+			return false
+		}
+		// Check definition against a bit-by-bit scan.
+		count := 0
+		for _, by := range b {
+			for bit := 7; bit >= 0; bit-- {
+				if by&(1<<bit) != 0 {
+					return count == n
+				}
+				count++
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package sgs
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+)
+
+func benchSetup(b *testing.B, nKeys int) (*PublicKey, []*PrivateKey) {
+	b.Helper()
+	iss, err := NewIssuer(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grp, err := iss.NewGroupComponent(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys, err := iss.IssueBatch(rand.Reader, grp, nKeys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return iss.PublicKey(), keys
+}
+
+func BenchmarkSign(b *testing.B) {
+	pk, keys := benchSetup(b, 1)
+	msg := []byte("benchmark message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(rand.Reader, pk, keys[0], msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	pk, keys := benchSetup(b, 1)
+	msg := []byte("benchmark message")
+	sig, err := Sign(rand.Reader, pk, keys[0], msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(pk, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRevocationCheckPerToken(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tokens=%d", n), func(b *testing.B) {
+			pk, keys := benchSetup(b, n+1)
+			msg := []byte("benchmark message")
+			sig, err := Sign(rand.Reader, pk, keys[0], msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tokens := make([]*RevocationToken, 0, n)
+			for _, k := range keys[1:] {
+				tokens = append(tokens, k.Token())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if revoked, _ := IsRevoked(pk, msg, sig, tokens); revoked {
+					b.Fatal("unexpected revocation")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	pk, keys := benchSetup(b, 8)
+	msg := []byte("benchmark message")
+	sig, err := Sign(rand.Reader, pk, keys[7], msg) // worst case: last token
+	if err != nil {
+		b.Fatal(err)
+	}
+	grt := make([]*RevocationToken, len(keys))
+	for i, k := range keys {
+		grt[i] = k.Token()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Open(pk, msg, sig, grt) != 7 {
+			b.Fatal("misattributed")
+		}
+	}
+}
+
+func BenchmarkIssueKey(b *testing.B) {
+	iss, err := NewIssuer(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grp, err := iss.NewGroupComponent(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iss.IssueKey(rand.Reader, grp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignatureMarshal(b *testing.B) {
+	pk, keys := benchSetup(b, 1)
+	sig, err := Sign(rand.Reader, pk, keys[0], []byte("m"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := sig.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSignature(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

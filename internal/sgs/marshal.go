@@ -1,0 +1,200 @@
+package sgs
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+)
+
+const scalarBytes = 32
+
+// SignatureSize is the marshaled size of a Signature in bytes:
+// one mode byte, five Z_p scalars and two G1 points.
+const SignatureSize = 1 + 5*scalarBytes + 2*bn256.G1Size
+
+// CompactSignatureSize is the compressed wire size: the two G1 points are
+// encoded as x-coordinate plus sign (33 bytes each).
+const CompactSignatureSize = 1 + 5*scalarBytes + 2*bn256.G1CompressedSize
+
+// PaperSignatureBits returns the signature length under the paper's
+// parameterization (171-bit G1 elements, 170-bit scalars as in BLS [15]):
+// 2·|G1| + 5·|Z_p| = 2·171 + 5·170 = 1192 bits. The benchmark harness
+// reports this next to the measured BN256 size.
+func PaperSignatureBits() int {
+	const g1Bits, scalarBits = 171, 170
+	return 2*g1Bits + 5*scalarBits
+}
+
+// PublicKeyBytes marshals the group public key (w = g2^γ; the generators
+// g1, g2 are system constants).
+func PublicKeyBytes(pk *PublicKey) []byte {
+	return pk.W.Marshal()
+}
+
+// ParsePublicKey decodes PublicKeyBytes output, validating the point, and
+// rebuilds the cached pairing e(g1, g2).
+func ParsePublicKey(data []byte) (*PublicKey, error) {
+	w, err := new(bn256.G2).Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("sgs: public key: %w", err)
+	}
+	return NewPublicKey(w), nil
+}
+
+// Bytes marshals the signature into its canonical wire form.
+func (s *Signature) Bytes() []byte {
+	out := make([]byte, 0, SignatureSize)
+	out = append(out, byte(s.Mode))
+	out = appendScalar(out, s.R)
+	out = append(out, s.T1.Marshal()...)
+	out = append(out, s.T2.Marshal()...)
+	out = appendScalar(out, s.C)
+	out = appendScalar(out, s.SAlpha)
+	out = appendScalar(out, s.SX)
+	out = appendScalar(out, s.SDelta)
+	return out
+}
+
+// CompactBytes marshals the signature with compressed G1 points — the
+// encoding that makes the paper's "≈ RSA-1024" size comparison tight.
+func (s *Signature) CompactBytes() []byte {
+	out := make([]byte, 0, CompactSignatureSize)
+	out = append(out, byte(s.Mode))
+	out = appendScalar(out, s.R)
+	out = append(out, s.T1.MarshalCompressed()...)
+	out = append(out, s.T2.MarshalCompressed()...)
+	out = appendScalar(out, s.C)
+	out = appendScalar(out, s.SAlpha)
+	out = appendScalar(out, s.SX)
+	out = appendScalar(out, s.SDelta)
+	return out
+}
+
+// ParseCompactSignature decodes CompactBytes output.
+func ParseCompactSignature(data []byte) (*Signature, error) {
+	if len(data) != CompactSignatureSize {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrInvalidSignature, len(data), CompactSignatureSize)
+	}
+	s := &Signature{Mode: GeneratorMode(data[0])}
+	off := 1
+
+	var err error
+	if s.R, off, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if s.T1, err = new(bn256.G1).UnmarshalCompressed(data[off : off+bn256.G1CompressedSize]); err != nil {
+		return nil, fmt.Errorf("%w: T1: %v", ErrInvalidSignature, err)
+	}
+	off += bn256.G1CompressedSize
+	if s.T2, err = new(bn256.G1).UnmarshalCompressed(data[off : off+bn256.G1CompressedSize]); err != nil {
+		return nil, fmt.Errorf("%w: T2: %v", ErrInvalidSignature, err)
+	}
+	off += bn256.G1CompressedSize
+	if s.C, off, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if s.SAlpha, off, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if s.SX, off, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if s.SDelta, _, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if err := checkSignatureShape(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseSignature decodes and structurally validates a marshaled signature.
+func ParseSignature(data []byte) (*Signature, error) {
+	if len(data) != SignatureSize {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrInvalidSignature, len(data), SignatureSize)
+	}
+	s := &Signature{Mode: GeneratorMode(data[0])}
+	off := 1
+
+	var err error
+	if s.R, off, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if s.T1, err = new(bn256.G1).Unmarshal(data[off : off+bn256.G1Size]); err != nil {
+		return nil, fmt.Errorf("%w: T1: %v", ErrInvalidSignature, err)
+	}
+	off += bn256.G1Size
+	if s.T2, err = new(bn256.G1).Unmarshal(data[off : off+bn256.G1Size]); err != nil {
+		return nil, fmt.Errorf("%w: T2: %v", ErrInvalidSignature, err)
+	}
+	off += bn256.G1Size
+	if s.C, off, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if s.SAlpha, off, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if s.SX, off, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if s.SDelta, _, err = readScalar(data, off); err != nil {
+		return nil, err
+	}
+	if err := checkSignatureShape(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Equal reports whether two signatures are byte-for-byte identical.
+func (s *Signature) Equal(o *Signature) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	return string(s.Bytes()) == string(o.Bytes())
+}
+
+func appendScalar(out []byte, v *big.Int) []byte {
+	var buf [scalarBytes]byte
+	v.FillBytes(buf[:])
+	return append(out, buf[:]...)
+}
+
+func readScalar(data []byte, off int) (*big.Int, int, error) {
+	v := new(big.Int).SetBytes(data[off : off+scalarBytes])
+	if v.Cmp(bn256.Order) >= 0 {
+		return nil, 0, fmt.Errorf("%w: scalar out of range", ErrInvalidSignature)
+	}
+	return v, off + scalarBytes, nil
+}
+
+// PrivateKeyBytes marshals a private key (A ‖ grp ‖ x); used by the setup
+// layer's split-delivery (the TTP ships A ⊕ x, the GM ships (grp, x)).
+func PrivateKeyBytes(k *PrivateKey) []byte {
+	out := make([]byte, 0, bn256.G1Size+2*scalarBytes)
+	out = append(out, k.A.Marshal()...)
+	out = appendScalar(out, k.Grp)
+	out = appendScalar(out, k.X)
+	return out
+}
+
+// ParsePrivateKey decodes PrivateKeyBytes output.
+func ParsePrivateKey(data []byte) (*PrivateKey, error) {
+	if len(data) != bn256.G1Size+2*scalarBytes {
+		return nil, fmt.Errorf("sgs: bad private key length %d", len(data))
+	}
+	a, err := new(bn256.G1).Unmarshal(data[:bn256.G1Size])
+	if err != nil {
+		return nil, fmt.Errorf("sgs: private key A: %w", err)
+	}
+	grp, off, err := readScalar(data, bn256.G1Size)
+	if err != nil {
+		return nil, err
+	}
+	x, _, err := readScalar(data, off)
+	if err != nil {
+		return nil, err
+	}
+	return &PrivateKey{A: a, Grp: grp, X: x}, nil
+}

@@ -1,0 +1,141 @@
+package sgs
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+)
+
+// IsRevoked scans the token list and reports whether the signer of sig is
+// one of the listed (revoked) keys, and if so at which index. It implements
+// the paper's Eq.3: token A matches iff e(T2/A, û) = e(T1, v̂).
+//
+// The Miller value of the (T1, v̂) side is computed once and shared across
+// all tokens, so each token costs one Miller loop plus one final
+// exponentiation (the paper charges two pairings per token).
+func IsRevoked(pk *PublicKey, msg []byte, sig *Signature, tokens []*RevocationToken) (bool, int) {
+	revoked, idx, _ := isRevoked(pk, msg, sig, tokens, nil)
+	return revoked, idx
+}
+
+// IsRevokedCounted is IsRevoked with operation counts.
+func IsRevokedCounted(pk *PublicKey, msg []byte, sig *Signature, tokens []*RevocationToken) (bool, int, OpCounts) {
+	return isRevoked(pk, msg, sig, tokens, nil)
+}
+
+func isRevoked(pk *PublicKey, msg []byte, sig *Signature, tokens []*RevocationToken, counts *OpCounts) (bool, int, OpCounts) {
+	var local OpCounts
+	if counts == nil {
+		counts = &local
+	}
+	ct := counter{counts}
+	if len(tokens) == 0 {
+		return false, -1, *counts
+	}
+
+	uhat, vhat := deriveG2Generators(pk, sig.Mode, msg, sig.R, ct)
+
+	// Shared right side: e(T1, v̂)^(−1) as an un-finalized Miller value.
+	t1Neg := new(bn256.G1).Neg(sig.T1)
+	mRight := bn256.Miller(t1Neg, vhat)
+
+	for i, tok := range tokens {
+		quot := new(bn256.G1).Neg(tok.A)
+		quot.Add(sig.T2, quot) // T2/A in multiplicative notation
+		acc := bn256.Miller(quot, uhat)
+		acc.Add(acc, mRight)
+		ct.pairing(2) // paper convention: two pairings per token test
+		if acc.Finalize().IsOne() {
+			return true, i, *counts
+		}
+	}
+	return false, -1, *counts
+}
+
+// FastRevocationChecker implements the constant-pairings-per-signature
+// revocation test the paper cites from BS04 §6: with generators fixed
+// per group (FixedGenerators mode), e(T2, û)/e(T1, v̂) = e(A, û) for the
+// signer's token A, so revocation reduces to two pairings and a hash-table
+// lookup regardless of |URL|. The privacy cost is that all signatures share
+// bases, which is exactly the trade-off the paper acknowledges.
+type FastRevocationChecker struct {
+	pk         *PublicKey
+	uhat, vhat *bn256.G2
+
+	mu    sync.RWMutex
+	index map[string]int // marshaled e(A, û) → token index
+	size  int
+}
+
+// NewFastRevocationChecker precomputes the lookup table for the given
+// tokens (one pairing per token, paid once).
+func NewFastRevocationChecker(pk *PublicKey, tokens []*RevocationToken) *FastRevocationChecker {
+	uhat, vhat := deriveG2Generators(pk, FixedGenerators, nil, nil, counter{})
+	f := &FastRevocationChecker{
+		pk:    pk,
+		uhat:  uhat,
+		vhat:  vhat,
+		index: make(map[string]int, len(tokens)),
+	}
+	for _, tok := range tokens {
+		f.AddToken(tok)
+	}
+	return f
+}
+
+// AddToken registers an additional revoked token.
+func (f *FastRevocationChecker) AddToken(tok *RevocationToken) {
+	key := string(bn256.Pair(tok.A, f.uhat).Marshal())
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.index[key]; !dup {
+		f.index[key] = f.size
+		f.size++
+	}
+}
+
+// Len returns the number of registered tokens.
+func (f *FastRevocationChecker) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.index)
+}
+
+// IsRevoked tests a FixedGenerators signature against the token table.
+func (f *FastRevocationChecker) IsRevoked(sig *Signature) (bool, int, error) {
+	revoked, idx, _, err := f.isRevoked(sig, nil)
+	return revoked, idx, err
+}
+
+// IsRevokedCounted is IsRevoked with operation counts.
+func (f *FastRevocationChecker) IsRevokedCounted(sig *Signature) (bool, int, OpCounts, error) {
+	return f.isRevoked(sig, nil)
+}
+
+func (f *FastRevocationChecker) isRevoked(sig *Signature, counts *OpCounts) (bool, int, OpCounts, error) {
+	var local OpCounts
+	if counts == nil {
+		counts = &local
+	}
+	ct := counter{counts}
+
+	if sig.Mode != FixedGenerators {
+		return false, -1, *counts, fmt.Errorf("sgs: fast revocation requires FixedGenerators signatures, got %v", sig.Mode)
+	}
+
+	// ratio = e(T2, û) · e(T1, v̂)^(−1), via a shared final exponentiation.
+	t1Neg := new(bn256.G1).Neg(sig.T1)
+	acc := bn256.Miller(sig.T2, f.uhat)
+	acc.Add(acc, bn256.Miller(t1Neg, f.vhat))
+	ct.pairing(2)
+	ratio := acc.Finalize()
+
+	key := string(ratio.Marshal())
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if idx, ok := f.index[key]; ok {
+		return true, idx, *counts, nil
+	}
+	return false, -1, *counts, nil
+}

@@ -1,0 +1,166 @@
+// Package symcrypto is PEACE's symmetric layer: key derivation from the
+// Diffie–Hellman secrets established by the AKA protocols, authenticated
+// encryption for E_K(·) (paper messages M.3 / M̃.3 and session traffic),
+// and the per-message HMAC authentication used by the hybrid
+// asymmetric/symmetric session design of Section V.C.
+//
+// Instantiation: HMAC-SHA256 for extraction/expansion and MACs (an
+// HKDF-shaped construction), AES-256-GCM for authenticated encryption. The
+// paper leaves E_K and the MAC unspecified; these are the conventional
+// modern choices available in the standard library.
+package symcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Exported errors.
+var (
+	ErrDecrypt = errors.New("symcrypto: decryption failed")
+	ErrBadMAC  = errors.New("symcrypto: MAC verification failed")
+)
+
+// KeySize is the symmetric key size in bytes (AES-256 / HMAC-SHA256).
+const KeySize = 32
+
+// MACSize is the length of a truncated session MAC tag.
+const MACSize = 32
+
+// Key is a symmetric key.
+type Key [KeySize]byte
+
+// SessionKeys bundles the directional keys derived from one AKA run.
+type SessionKeys struct {
+	// Enc protects session payloads (AES-256-GCM).
+	Enc Key
+	// Mac authenticates per-message session traffic (HMAC-SHA256).
+	Mac Key
+}
+
+// extract implements HKDF-Extract with a fixed protocol salt.
+func extract(secret []byte) []byte {
+	mac := hmac.New(sha256.New, []byte("peace/symcrypto:extract:v1"))
+	mac.Write(secret)
+	return mac.Sum(nil)
+}
+
+// expand implements HKDF-Expand for up to 255 blocks.
+func expand(prk []byte, info string, length int) []byte {
+	out := make([]byte, 0, length)
+	var block []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(block)
+		mac.Write([]byte(info))
+		mac.Write([]byte{counter})
+		block = mac.Sum(nil)
+		out = append(out, block...)
+	}
+	return out[:length]
+}
+
+// Stream derives a deterministic keystream of the requested length from a
+// secret. PEACE's setup uses it to realize the paper's A ⊕ x masking when
+// the bit-lengths of A and x differ (the pad is expanded from x, so the
+// TTP still learns nothing about A without x, and x never reaches the TTP).
+func Stream(secret []byte, label string, length int) []byte {
+	return expand(extract(secret), "stream:"+label, length)
+}
+
+// DeriveKey derives a single labeled key from a shared secret.
+func DeriveKey(secret []byte, label string) Key {
+	var k Key
+	copy(k[:], expand(extract(secret), label, KeySize))
+	return k
+}
+
+// DeriveSessionKeys derives the encryption and MAC keys for a session from
+// the DH secret (g^{r_R·r_j} marshaled) and the session transcript, which
+// binds the keys to the session identifier (g^{r_R}, g^{r_j}).
+func DeriveSessionKeys(dhSecret, transcript []byte) SessionKeys {
+	prk := extract(dhSecret)
+	info := "peace/session:" + string(hashBytes(transcript))
+	material := expand(prk, info, 2*KeySize)
+	var sk SessionKeys
+	copy(sk.Enc[:], material[:KeySize])
+	copy(sk.Mac[:], material[KeySize:])
+	return sk
+}
+
+func hashBytes(b []byte) []byte {
+	d := sha256.Sum256(b)
+	return d[:]
+}
+
+// Seal encrypts and authenticates plaintext with the key, binding aad.
+// The random nonce is prepended to the ciphertext.
+func Seal(rng io.Reader, key Key, plaintext, aad []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, fmt.Errorf("symcrypto: nonce: %w", err)
+	}
+	out := aead.Seal(nonce, nonce, plaintext, aad)
+	return out, nil
+}
+
+// Open authenticates and decrypts a Seal output.
+func Open(key Key, ciphertext, aad []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, rest := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, rest, aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func newAEAD(key Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("symcrypto: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("symcrypto: gcm: %w", err)
+	}
+	return aead, nil
+}
+
+// MAC computes the session MAC over a sequence-numbered message, the
+// MAC-based per-packet authentication of the hybrid design.
+func MAC(key Key, seq uint64, msg []byte) [MACSize]byte {
+	mac := hmac.New(sha256.New, key[:])
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	mac.Write(s[:])
+	mac.Write(msg)
+	var out [MACSize]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// VerifyMAC checks a MAC tag in constant time.
+func VerifyMAC(key Key, seq uint64, msg []byte, tag [MACSize]byte) error {
+	want := MAC(key, seq, msg)
+	if !hmac.Equal(want[:], tag[:]) {
+		return ErrBadMAC
+	}
+	return nil
+}

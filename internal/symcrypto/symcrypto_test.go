@@ -1,0 +1,126 @@
+package symcrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := DeriveKey([]byte("shared secret"), "test")
+	pt := []byte("the plaintext payload")
+	aad := []byte("session-id-123")
+
+	ct, err := Seal(rand.Reader, key, pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, pt) {
+		t.Fatal("ciphertext contains plaintext")
+	}
+	back, err := Open(key, ct, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key := DeriveKey([]byte("s"), "k")
+	ct, err := Seal(rand.Reader, key, []byte("data"), []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip each byte in turn.
+	for i := range ct {
+		bad := append([]byte(nil), ct...)
+		bad[i] ^= 1
+		if _, err := Open(key, bad, []byte("aad")); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	// Wrong AAD.
+	if _, err := Open(key, ct, []byte("other")); !errors.Is(err, ErrDecrypt) {
+		t.Fatal("wrong AAD accepted")
+	}
+	// Wrong key.
+	other := DeriveKey([]byte("s2"), "k")
+	if _, err := Open(other, ct, []byte("aad")); !errors.Is(err, ErrDecrypt) {
+		t.Fatal("wrong key accepted")
+	}
+	// Too short.
+	if _, err := Open(key, ct[:4], []byte("aad")); !errors.Is(err, ErrDecrypt) {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestDeriveSessionKeys(t *testing.T) {
+	sk1 := DeriveSessionKeys([]byte("dh"), []byte("transcript A"))
+	sk2 := DeriveSessionKeys([]byte("dh"), []byte("transcript A"))
+	sk3 := DeriveSessionKeys([]byte("dh"), []byte("transcript B"))
+	sk4 := DeriveSessionKeys([]byte("dh2"), []byte("transcript A"))
+
+	if sk1 != sk2 {
+		t.Fatal("derivation not deterministic")
+	}
+	if sk1 == sk3 {
+		t.Fatal("different transcripts produced identical keys")
+	}
+	if sk1 == sk4 {
+		t.Fatal("different secrets produced identical keys")
+	}
+	if sk1.Enc == sk1.Mac {
+		t.Fatal("enc and mac keys identical")
+	}
+}
+
+func TestMAC(t *testing.T) {
+	key := DeriveKey([]byte("secret"), "mac")
+	msg := []byte("packet payload")
+
+	tag := MAC(key, 7, msg)
+	if err := VerifyMAC(key, 7, msg, tag); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMAC(key, 8, msg, tag); !errors.Is(err, ErrBadMAC) {
+		t.Fatal("sequence-number replay accepted")
+	}
+	if err := VerifyMAC(key, 7, []byte("altered"), tag); !errors.Is(err, ErrBadMAC) {
+		t.Fatal("altered message accepted")
+	}
+	other := DeriveKey([]byte("secret2"), "mac")
+	if err := VerifyMAC(other, 7, msg, tag); !errors.Is(err, ErrBadMAC) {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestDeriveKeyLabelsIndependent(t *testing.T) {
+	a := DeriveKey([]byte("s"), "label-a")
+	b := DeriveKey([]byte("s"), "label-b")
+	if a == b {
+		t.Fatal("different labels produced identical keys")
+	}
+}
+
+func TestQuickSealOpen(t *testing.T) {
+	key := DeriveKey([]byte("property"), "quick")
+	f := func(pt, aad []byte) bool {
+		ct, err := Seal(rand.Reader, key, pt, aad)
+		if err != nil {
+			return false
+		}
+		back, err := Open(key, ct, aad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

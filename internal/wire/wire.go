@@ -1,0 +1,163 @@
+// Package wire provides small, allocation-conscious helpers for the
+// length-prefixed binary encoding used by every PEACE protocol message.
+// All integers are big-endian; byte strings carry a 4-byte length prefix.
+// Decoding is strict: trailing garbage and truncated fields are errors.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Exported errors.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrOversize  = errors.New("wire: field exceeds size limit")
+	ErrTrailing  = errors.New("wire: trailing bytes after message")
+)
+
+// maxFieldLen bounds a single length-prefixed field (16 MiB) so corrupt
+// lengths cannot trigger huge allocations.
+const maxFieldLen = 16 << 20
+
+// Writer incrementally builds a message.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given capacity hint.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded message.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the current encoded length.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) *Writer {
+	w.buf = append(w.buf, b)
+	return w
+}
+
+// Uint32 appends a fixed 4-byte integer.
+func (w *Writer) Uint32(v uint32) *Writer {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+// Uint64 appends a fixed 8-byte integer.
+func (w *Writer) Uint64(v uint64) *Writer {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+// Bytes appends a length-prefixed byte string.
+func (w *Writer) BytesField(p []byte) *Writer {
+	w.Uint32(uint32(len(p)))
+	w.buf = append(w.buf, p...)
+	return w
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) StringField(s string) *Writer {
+	return w.BytesField([]byte(s))
+}
+
+// Time appends a timestamp with nanosecond precision.
+func (w *Writer) Time(t time.Time) *Writer {
+	return w.Uint64(uint64(t.UnixNano()))
+}
+
+// Reader consumes a message produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps data for decoding.
+func NewReader(data []byte) *Reader {
+	return &Reader{buf: data}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns ErrTrailing unless the message was fully consumed.
+func (r *Reader) Finish() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.Remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+// Uint32 reads a fixed 4-byte integer.
+func (r *Reader) Uint32() (uint32, error) {
+	if r.Remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+// Uint64 reads a fixed 8-byte integer.
+func (r *Reader) Uint64() (uint64, error) {
+	if r.Remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// BytesField reads a length-prefixed byte string. The returned slice
+// aliases the input buffer.
+func (r *Reader) BytesField() ([]byte, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFieldLen {
+		return nil, ErrOversize
+	}
+	if r.Remaining() < int(n) {
+		return nil, ErrTruncated
+	}
+	p := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p, nil
+}
+
+// StringField reads a length-prefixed string.
+func (r *Reader) StringField() (string, error) {
+	p, err := r.BytesField()
+	return string(p), err
+}
+
+// Time reads a timestamp written by Writer.Time.
+func (r *Reader) Time() (time.Time, error) {
+	v, err := r.Uint64()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(0, int64(v)), nil
+}

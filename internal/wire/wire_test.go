@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	now := time.Unix(0, 1751600000000000000)
+	w := NewWriter(64)
+	w.Byte(0x7F)
+	w.Uint32(123456)
+	w.Uint64(1 << 40)
+	w.BytesField([]byte("payload"))
+	w.StringField("identifier")
+	w.Time(now)
+
+	r := NewReader(w.Bytes())
+	if b, err := r.Byte(); err != nil || b != 0x7F {
+		t.Fatalf("Byte = %v, %v", b, err)
+	}
+	if v, err := r.Uint32(); err != nil || v != 123456 {
+		t.Fatalf("Uint32 = %v, %v", v, err)
+	}
+	if v, err := r.Uint64(); err != nil || v != 1<<40 {
+		t.Fatalf("Uint64 = %v, %v", v, err)
+	}
+	if p, err := r.BytesField(); err != nil || !bytes.Equal(p, []byte("payload")) {
+		t.Fatalf("BytesField = %q, %v", p, err)
+	}
+	if s, err := r.StringField(); err != nil || s != "identifier" {
+		t.Fatalf("StringField = %q, %v", s, err)
+	}
+	if ts, err := r.Time(); err != nil || !ts.Equal(now) {
+		t.Fatalf("Time = %v, %v", ts, err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish = %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := NewWriter(16)
+	w.BytesField([]byte("hello"))
+	data := w.Bytes()
+
+	for cut := 0; cut < len(data); cut++ {
+		r := NewReader(data[:cut])
+		if _, err := r.BytesField(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint32(1)
+	data := append(w.Bytes(), 0xEE)
+	r := NewReader(data)
+	if _, err := r.Uint32(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("want ErrTrailing, got %v", err)
+	}
+}
+
+func TestOversizeField(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint32(1 << 30) // absurd length prefix
+	r := NewReader(w.Bytes())
+	if _, err := r.BytesField(); !errors.Is(err, ErrOversize) {
+		t.Fatalf("want ErrOversize, got %v", err)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(a, b []byte, s string) bool {
+		w := NewWriter(len(a) + len(b) + len(s) + 16)
+		w.BytesField(a)
+		w.BytesField(b)
+		w.StringField(s)
+		r := NewReader(w.Bytes())
+		ga, err := r.BytesField()
+		if err != nil {
+			return false
+		}
+		gb, err := r.BytesField()
+		if err != nil {
+			return false
+		}
+		gs, err := r.StringField()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(a, ga) && bytes.Equal(b, gb) && s == gs && r.Finish() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Facade tests: exercise the public API exactly as a downstream user
+// would, via the aliases in package peace only.
+package peace_test
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/peace-mesh/peace"
+)
+
+// newFacadeDeployment provisions a deployment through the public API.
+func newFacadeDeployment(t *testing.T) (*peace.NetworkOperator, *peace.TTP, *peace.GroupManager, *peace.User, *peace.MeshRouter, *peace.FixedClock) {
+	t.Helper()
+	clock := &peace.FixedClock{T: time.Unix(1751600000, 0)}
+	cfg := peace.Config{Clock: clock}
+
+	no, err := peace.NewNetworkOperator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttp, err := peace.NewTTP(cfg, no.Authority())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := peace.NewGroupManager(cfg, "acme", no.Authority())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := no.RegisterUserGroup(gm, ttp, 4); err != nil {
+		t.Fatal(err)
+	}
+	u, err := peace.NewUser(cfg, peace.Identity{
+		Essential:  "public-api-user",
+		Attributes: []peace.Attribute{{Group: "acme", Role: "employee"}},
+	}, no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peace.EnrollUser(u, gm, ttp); err != nil {
+		t.Fatal(err)
+	}
+	r, err := peace.NewMeshRouter(cfg, "MR-9", no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := no.EnrollRouter("MR-9", r.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCertificate(c)
+	crl, err := no.CurrentCRL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := no.CurrentURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.UpdateRevocations(crl, url)
+	return no, ttp, gm, u, r, clock
+}
+
+func TestFacadeFullLifecycle(t *testing.T) {
+	no, _, gm, u, r, _ := newFacadeDeployment(t)
+
+	// AKA through the facade types.
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, rs, err := r.HandleAccessRequest(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := u.HandleAccessConfirm(m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := us.SealData(rand.Reader, []byte("facade"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.OpenData(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	// Audit and trace through the facade.
+	audit, err := no.Audit(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Group != "acme" {
+		t.Fatalf("audit group = %q", audit.Group)
+	}
+	la := peace.NewLawAuthority(gm)
+	res, err := la.Trace(no, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.User != "public-api-user" {
+		t.Fatalf("trace uid = %q", res.User)
+	}
+}
+
+func TestFacadeErrorsMatchable(t *testing.T) {
+	_, _, _, u, r, clock := newFacadeDeployment(t)
+
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Hour)
+	if _, err := u.HandleBeacon(beacon, "acme"); !errors.Is(err, peace.ErrReplay) {
+		t.Fatalf("facade sentinel ErrReplay did not match: %v", err)
+	}
+}
+
+func TestFacadeGroupVerifyOnProtocolSignature(t *testing.T) {
+	// The facade re-exports the signature primitive; it must interoperate
+	// with protocol-level signatures: GroupVerify accepts an M.2 signature
+	// against the transcript it covers and rejects any other transcript.
+	no, _, _, u, r, _ := newFacadeDeployment(t)
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(beacon, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpk := no.GroupPublicKey()
+	if err := peace.GroupVerify(gpk, m2.SignedTranscript(), m2.Sig); err != nil {
+		t.Fatalf("facade GroupVerify rejected a protocol signature: %v", err)
+	}
+	if err := peace.GroupVerify(gpk, []byte("other transcript"), m2.Sig); err == nil {
+		t.Fatal("facade GroupVerify accepted the wrong transcript")
+	}
+	if err := peace.GroupVerifyWithRevocation(gpk, m2.SignedTranscript(), m2.Sig, nil); err != nil {
+		t.Fatalf("facade GroupVerifyWithRevocation: %v", err)
+	}
+}
