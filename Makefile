@@ -2,9 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples vet fmt cover clean
+.PHONY: all build test race bench experiments examples vet fmt cover clean ci
 
 all: build test
+
+# ci is the full gate: static checks, build, tests, and the race detector
+# over every package with concurrent paths (batch verifier, ingest queue,
+# mesh forwarding, relay).
+ci:
+	$(GO) vet ./...
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/
 
 build:
 	$(GO) build ./...

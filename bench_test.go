@@ -9,6 +9,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -320,6 +321,80 @@ func BenchmarkE10Primitives(b *testing.B) {
 			symcrypto.MAC(key, uint64(i), payload)
 		}
 	})
+}
+
+// BenchmarkE11BatchVerify compares sixteen independent sgs.Verify calls
+// against one Verifier.BatchVerify over the same sixteen signatures. The
+// batch path combines the rearranged Eq.2 pairings into a single Miller
+// pass per signature, amortizes the fixed-base tables across the batch
+// and shards the work over the CPUs; the acceptance target is >=2x.
+func BenchmarkE11BatchVerify(b *testing.B) {
+	const batch = 16
+	g := newBenchGroup(b, batch)
+	items := make([]sgs.BatchItem, batch)
+	msgs := make([][]byte, batch)
+	for i := range items {
+		msgs[i] = []byte(fmt.Sprintf("bench message %d", i))
+		sig, err := sgs.Sign(rand.Reader, g.pub, g.keys[i], msgs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[i] = sgs.BatchItem{Msg: msgs[i], Sig: sig}
+	}
+
+	b.Run("Sequential16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range items {
+				if err := sgs.Verify(g.pub, msgs[j], items[j].Sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/sig")
+	})
+	b.Run("Batch16", func(b *testing.B) {
+		ver := sgs.NewVerifier(g.pub)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, err := range ver.BatchVerify(items) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/sig")
+	})
+}
+
+// BenchmarkE12ParallelSweep measures the concurrent revocation sweep: a
+// worst-case (non-revoked) scan of a 64-token URL at increasing worker
+// counts, reusing the shared e(-T1, vhat) Miller value across all tokens.
+func BenchmarkE12ParallelSweep(b *testing.B) {
+	const urlSize = 64
+	g := newBenchGroup(b, urlSize+1)
+	msg := []byte("bench message")
+	sig, err := sgs.Sign(rand.Reader, g.pub, g.keys[0], msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := make([]*sgs.RevocationToken, 0, urlSize)
+	for _, k := range g.keys[1:] {
+		tokens = append(tokens, k.Token())
+	}
+	ver := sgs.NewVerifier(g.pub)
+
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("URL=%d/workers=%d", urlSize, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				revoked, _ := ver.SweepURLWorkers(msg, sig, tokens, workers)
+				if revoked {
+					b.Fatal("unexpected revocation")
+				}
+			}
+			b.ReportMetric(float64(urlSize), "tokens-scanned")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/urlSize, "ns/token")
+		})
+	}
 }
 
 // benchDeployment is a minimal provisioned deployment for the benches.

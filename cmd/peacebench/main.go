@@ -7,30 +7,88 @@
 //	peacebench              # run every experiment
 //	peacebench -exp e3      # run one experiment
 //	peacebench -exp e3 -url 0,1,2,5,10,20,50 -iters 3
+//	peacebench -json BENCH_results.json   # also write machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"github.com/peace-mesh/peace/internal/experiments"
 )
 
+// benchJSON is the machine-readable record written by -json: op counts,
+// primitive latencies and the two pipeline benchmarks, keyed by the same
+// names as the testing.B benchmarks in bench_test.go so CI can compare
+// either source.
+type benchJSON struct {
+	GeneratedAt string                 `json:"generated_at"`
+	GoOS        string                 `json:"goos"`
+	GoArch      string                 `json:"goarch"`
+	NumCPU      int                    `json:"num_cpu"`
+	OpCounts    map[string]opCountsRow `json:"op_counts,omitempty"`
+	Primitives  map[string]int64       `json:"primitives_ns,omitempty"`
+	Ablations   []ablationRow          `json:"ablations,omitempty"`
+	Benchmarks  map[string]any         `json:"benchmarks,omitempty"`
+}
+
+type opCountsRow struct {
+	Exps     int `json:"exps"`
+	Pairings int `json:"pairings"`
+	GTExps   int `json:"gt_exps"`
+}
+
+type ablationRow struct {
+	Name        string  `json:"name"`
+	BaselineNs  int64   `json:"baseline_ns"`
+	OptimizedNs int64   `json:"optimized_ns"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// collect is non-nil when -json was requested; runners that produce
+// machine-readable data add to it.
+var collect *benchJSON
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e11 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
 	urlSizes := flag.String("url", "0,1,2,5,10,20", "comma-separated |URL| sweep for e3")
 	grtSizes := flag.String("grt", "4,8,16,32,64", "comma-separated |grt| sweep for e7")
 	floods := flag.String("floods", "50,200", "comma-separated flood sizes for e6")
 	iters := flag.Int("iters", 1, "timing repetitions per point")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
+	if *jsonPath != "" {
+		collect = &benchJSON{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoOS:        runtime.GOOS,
+			GoArch:      runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+			OpCounts:    map[string]opCountsRow{},
+			Primitives:  map[string]int64{},
+			Benchmarks:  map[string]any{},
+		}
+	}
 	if err := run(*exp, parseInts(*urlSizes), parseInts(*grtSizes), parseInts(*floods), *iters); err != nil {
 		log.Fatal(err)
+	}
+	if collect != nil {
+		buf, err := json.MarshalIndent(collect, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
 	}
 }
 
@@ -68,6 +126,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		{"e9", func() error { return runE9() }},
 		{"e10", func() error { return runE10(iters) }},
 		{"e11", func() error { return runE11(iters) }},
+		{"e12", func() error { return runE12(iters) }},
 	} {
 		if runAll || exp == e.name {
 			ran = true
@@ -77,7 +136,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e11 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e12 or all)", exp)
 	}
 	return nil
 }
@@ -136,6 +195,11 @@ func runE2(urlSizes []int) error {
 		rep.PaperVerifyExps, rep.PaperVerifyPairings+rep.PaperPerTokenPairing*rep.URLSize)
 	w.Flush()
 	fmt.Println("note: this implementation caches e(g1,g2); the paper charges it as the third verify pairing")
+	if collect != nil {
+		collect.OpCounts["sign"] = opCountsRow{Exps: rep.Sign.Exps, Pairings: rep.Sign.Pairings, GTExps: rep.Sign.GTExps}
+		collect.OpCounts["verify"] = opCountsRow{Exps: rep.Verify.Exps, Pairings: rep.Verify.Pairings, GTExps: rep.Verify.GTExps}
+		collect.OpCounts["verify_with_url"] = opCountsRow{Exps: rep.VerifyWithURL.Exps, Pairings: rep.VerifyWithURL.Pairings, GTExps: rep.VerifyWithURL.GTExps}
+	}
 	return nil
 }
 
@@ -302,6 +366,16 @@ func runE11(iters int) error {
 		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\t%s\n", r.Name, r.Baseline, r.Optimized, r.Speedup, r.Detail)
 	}
 	w.Flush()
+	if collect != nil {
+		for _, r := range rows {
+			collect.Ablations = append(collect.Ablations, ablationRow{
+				Name:        r.Name,
+				BaselineNs:  int64(r.Baseline),
+				OptimizedNs: int64(r.Optimized),
+				Speedup:     r.Speedup,
+			})
+		}
+	}
 	return nil
 }
 
@@ -317,5 +391,54 @@ func runE10(iters int) error {
 		fmt.Fprintf(w, "%s\t%v\n", r.Name, r.Time)
 	}
 	w.Flush()
+	if collect != nil {
+		for _, r := range rows {
+			collect.Primitives[r.Name] = int64(r.Time)
+		}
+	}
+	return nil
+}
+
+// runE12 measures the batch-verification pipeline against the sequential
+// path and the parallel URL sweep — the same quantities as the repo-level
+// BenchmarkE11BatchVerify / BenchmarkE12ParallelSweep, so the -json record
+// uses those benchmark names.
+func runE12(iters int) error {
+	header("E12: batch verification pipeline & parallel URL sweep (DESIGN.md)")
+	rep, err := experiments.RunE12Batch(16, 64, iters)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "path\tper signature\tspeedup")
+	fmt.Fprintf(w, "sequential Verify ×%d\t%v\t1.00x\n", rep.BatchSize, rep.SequentialPer)
+	fmt.Fprintf(w, "BatchVerify(%d)\t%v\t%.2fx\n", rep.BatchSize, rep.BatchPer, rep.Speedup)
+	w.Flush()
+	fmt.Printf("\nrevocation sweep over %d tokens:\n", rep.URLSize)
+	w = table()
+	fmt.Fprintln(w, "workers\tper token")
+	for _, row := range rep.Sweep {
+		fmt.Fprintf(w, "%d\t%v\n", row.Workers, row.PerToken)
+	}
+	w.Flush()
+	if collect != nil {
+		collect.Benchmarks["BenchmarkE11BatchVerify"] = map[string]any{
+			"batch_size":            rep.BatchSize,
+			"sequential_ns_per_sig": int64(rep.SequentialPer),
+			"batch_ns_per_sig":      int64(rep.BatchPer),
+			"speedup":               rep.Speedup,
+		}
+		sweep := make([]map[string]any, 0, len(rep.Sweep))
+		for _, row := range rep.Sweep {
+			sweep = append(sweep, map[string]any{
+				"workers":      row.Workers,
+				"ns_per_token": int64(row.PerToken),
+			})
+		}
+		collect.Benchmarks["BenchmarkE12ParallelSweep"] = map[string]any{
+			"url_size": rep.URLSize,
+			"rows":     sweep,
+		}
+	}
 	return nil
 }

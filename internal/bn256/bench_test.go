@@ -33,6 +33,27 @@ func BenchmarkFinalExponentiation(b *testing.B) {
 	}
 }
 
+func BenchmarkPreparedMiller(b *testing.B) {
+	a, _ := RandomScalar(rand.Reader)
+	p := &G1{p: newCurvePoint().Mul(curveGen, a)}
+	pq := PrepareG2(new(G2).Base())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pq.Miller(p)
+	}
+}
+
+func BenchmarkG1VariableMul(b *testing.B) {
+	a, _ := RandomScalar(rand.Reader)
+	k, _ := RandomScalar(rand.Reader)
+	p := newCurvePoint().Mul(curveGen, a)
+	out := newCurvePoint()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Mul(p, k)
+	}
+}
+
 func BenchmarkG1ScalarBaseMult(b *testing.B) {
 	k, _ := RandomScalar(rand.Reader)
 	e := new(G1)

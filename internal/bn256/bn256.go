@@ -83,12 +83,13 @@ func (e *G1) Base() *G1 {
 	return e
 }
 
-// ScalarBaseMult sets e = g1^k and returns e.
+// ScalarBaseMult sets e = g1^k and returns e. It uses the process-wide
+// precomputed window table for the generator (built lazily on first use).
 func (e *G1) ScalarBaseMult(k *big.Int) *G1 {
 	if e.p == nil {
 		e.p = newCurvePoint()
 	}
-	e.p.Mul(curveGen, k)
+	baseCurveTable().mul(e.p, k)
 	return e
 }
 
@@ -143,15 +144,18 @@ func (e *G1) IsInfinity() bool { return e.p.IsInfinity() }
 // Equal reports whether e and a are the same group element.
 func (e *G1) Equal(a *G1) bool { return e.p.Equal(a.p) }
 
-// Marshal converts e to a 64-byte slice.
+// Marshal converts e to a 64-byte slice. It does not modify e, so a point
+// shared between goroutines (a broadcast beacon share, a group public key)
+// may be marshaled concurrently.
 func (e *G1) Marshal() []byte {
 	out := make([]byte, G1Size)
 	if e.p.IsInfinity() {
 		return out
 	}
-	e.p.MakeAffine()
-	putBig(out[0*numBytes:1*numBytes], e.p.x)
-	putBig(out[1*numBytes:2*numBytes], e.p.y)
+	p := newCurvePoint().Set(e.p)
+	p.MakeAffine()
+	putBig(out[0*numBytes:1*numBytes], p.x)
+	putBig(out[1*numBytes:2*numBytes], p.y)
 	return out
 }
 
@@ -191,12 +195,13 @@ func (e *G2) Base() *G2 {
 	return e
 }
 
-// ScalarBaseMult sets e = g2^k and returns e.
+// ScalarBaseMult sets e = g2^k and returns e. It uses the process-wide
+// precomputed window table for the generator (built lazily on first use).
 func (e *G2) ScalarBaseMult(k *big.Int) *G2 {
 	if e.p == nil {
 		e.p = newTwistPoint()
 	}
-	e.p.Mul(twistGen, k)
+	baseTwistTable().mul(e.p, k)
 	return e
 }
 
@@ -251,17 +256,19 @@ func (e *G2) IsInfinity() bool { return e.p.IsInfinity() }
 // Equal reports whether e and a are the same group element.
 func (e *G2) Equal(a *G2) bool { return e.p.Equal(a.p) }
 
-// Marshal converts e to a 128-byte slice.
+// Marshal converts e to a 128-byte slice. It does not modify e and is safe
+// for concurrent use on a shared point.
 func (e *G2) Marshal() []byte {
 	out := make([]byte, G2Size)
 	if e.p.IsInfinity() {
 		return out
 	}
-	e.p.MakeAffine()
-	putBig(out[0*numBytes:1*numBytes], e.p.x.x)
-	putBig(out[1*numBytes:2*numBytes], e.p.x.y)
-	putBig(out[2*numBytes:3*numBytes], e.p.y.x)
-	putBig(out[3*numBytes:4*numBytes], e.p.y.y)
+	p := newTwistPoint().Set(e.p)
+	p.MakeAffine()
+	putBig(out[0*numBytes:1*numBytes], p.x.x)
+	putBig(out[1*numBytes:2*numBytes], p.x.y)
+	putBig(out[2*numBytes:3*numBytes], p.y.x)
+	putBig(out[3*numBytes:4*numBytes], p.y.y)
 	return out
 }
 
@@ -367,13 +374,15 @@ func (e *GT) IsOne() bool { return e.p.IsOne() }
 // Equal reports whether e and a are the same group element.
 func (e *GT) Equal(a *GT) bool { return e.p.Equal(a.p) }
 
-// Marshal converts e to a 384-byte slice.
+// Marshal converts e to a 384-byte slice. It does not modify e and is safe
+// for concurrent use on a shared element.
 func (e *GT) Marshal() []byte {
-	e.p.Minimal()
+	p := newGFp12().Set(e.p)
+	p.Minimal()
 	out := make([]byte, GTSize)
 	coeffs := []*big.Int{
-		e.p.x.x.x, e.p.x.x.y, e.p.x.y.x, e.p.x.y.y, e.p.x.z.x, e.p.x.z.y,
-		e.p.y.x.x, e.p.y.x.y, e.p.y.y.x, e.p.y.y.y, e.p.y.z.x, e.p.y.z.y,
+		p.x.x.x, p.x.x.y, p.x.y.x, p.x.y.y, p.x.z.x, p.x.z.y,
+		p.y.x.x, p.y.x.y, p.y.y.x, p.y.y.y, p.y.z.x, p.y.z.y,
 	}
 	for i, c := range coeffs {
 		putBig(out[i*numBytes:(i+1)*numBytes], c)

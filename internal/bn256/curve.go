@@ -215,9 +215,39 @@ func (c *curvePoint) Double(a *curvePoint) *curvePoint {
 	return c
 }
 
-// Mul sets c = k·a using a fixed 4-bit window (≈25% fewer additions than
-// plain double-and-add for 256-bit scalars). mulGeneric remains as the
-// cross-check reference for tests.
+// wnafDigits expands k > 0 into width-w non-adjacent form: a little-endian
+// digit string where every non-zero digit is odd, |digit| < 2^(w−1), and
+// any two non-zero digits are separated by at least w−1 zeros. Compared to
+// a fixed window this roughly halves the precomputation (only odd
+// multiples are needed) and cuts the expected addition count to one per
+// w+1 bits.
+func wnafDigits(k *big.Int, w uint) []int8 {
+	d := new(big.Int).Set(k)
+	mask := int64(1<<w - 1)
+	half := int64(1 << (w - 1))
+	out := make([]int8, 0, d.BitLen()+1)
+	tmp := new(big.Int)
+	for d.Sign() > 0 {
+		if d.Bit(0) == 1 {
+			v := tmp.And(d, big.NewInt(mask)).Int64()
+			if v >= half {
+				v -= mask + 1
+			}
+			out = append(out, int8(v))
+			d.Sub(d, tmp.SetInt64(v))
+		} else {
+			out = append(out, 0)
+		}
+		d.Rsh(d, 1)
+	}
+	return out
+}
+
+// Mul sets c = k·a. Long scalars (beyond half the order's bit length) go
+// through the GLV endomorphism split in mulGLV — E(F_p) has prime order,
+// so the decomposition is valid for every point and every k. Short scalars
+// use width-5 wNAF (odd-multiple table of 8 points, one addition per ~6
+// bits). mulGeneric remains as the cross-check reference for tests.
 func (c *curvePoint) Mul(a *curvePoint, k *big.Int) *curvePoint {
 	if k.Sign() < 0 {
 		neg := newCurvePoint().Negative(a)
@@ -227,25 +257,28 @@ func (c *curvePoint) Mul(a *curvePoint, k *big.Int) *curvePoint {
 	if k.BitLen() <= 16 {
 		return c.mulGeneric(a, k)
 	}
-
-	// table[i] = i·a for i in 1..15.
-	var table [16]*curvePoint
-	table[1] = newCurvePoint().Set(a)
-	for i := 2; i < 16; i++ {
-		table[i] = newCurvePoint().Add(table[i-1], a)
+	if k.BitLen() > Order.BitLen()/2+8 {
+		return c.mulGLV(a, k)
 	}
 
+	// odd[i] = (2i+1)·a for i in 0..7.
+	var odd [8]*curvePoint
+	odd[0] = newCurvePoint().Set(a)
+	twoA := newCurvePoint().Double(a)
+	for i := 1; i < 8; i++ {
+		odd[i] = newCurvePoint().Add(odd[i-1], twoA)
+	}
+	neg := newCurvePoint()
+
+	digits := wnafDigits(k, 5)
 	sum := newCurvePoint().SetInfinity()
-	bits := k.BitLen()
-	// Round the starting position up to a window boundary.
-	start := ((bits + 3) / 4) * 4
-	for pos := start - 4; pos >= 0; pos -= 4 {
-		for d := 0; d < 4; d++ {
-			sum.Double(sum)
-		}
-		nibble := (k.Bit(pos+3) << 3) | (k.Bit(pos+2) << 2) | (k.Bit(pos+1) << 1) | k.Bit(pos)
-		if nibble != 0 {
-			sum.Add(sum, table[nibble])
+	for i := len(digits) - 1; i >= 0; i-- {
+		sum.Double(sum)
+		switch d := digits[i]; {
+		case d > 0:
+			sum.Add(sum, odd[(d-1)/2])
+		case d < 0:
+			sum.Add(sum, neg.Negative(odd[(-d-1)/2]))
 		}
 	}
 	return c.Set(sum)

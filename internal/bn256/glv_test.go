@@ -1,0 +1,94 @@
+package bn256
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestGLVConstants(t *testing.T) {
+	g := glv()
+	// β³ = 1 in F_p, β ≠ 1.
+	b3 := new(big.Int).Exp(g.beta, big.NewInt(3), P)
+	if b3.Cmp(big.NewInt(1)) != 0 || g.beta.Cmp(big.NewInt(1)) == 0 {
+		t.Fatal("beta is not a primitive cube root of unity")
+	}
+	// λ² + λ + 1 ≡ 0 mod n.
+	l := new(big.Int).Mul(g.lambda, g.lambda)
+	l.Add(l, g.lambda)
+	l.Add(l, big.NewInt(1))
+	if l.Mod(l, Order).Sign() != 0 {
+		t.Fatal("lambda is not a primitive cube root of unity mod Order")
+	}
+	// Basis rows lie in the lattice: a + b·λ ≡ 0 mod n.
+	for _, row := range [][2]*big.Int{{g.a1, g.b1}, {g.a2, g.b2}} {
+		v := new(big.Int).Mul(row[1], g.lambda)
+		v.Add(v, row[0])
+		if v.Mod(v, Order).Sign() != 0 {
+			t.Fatalf("basis row (%v, %v) not in the GLV lattice", row[0], row[1])
+		}
+	}
+}
+
+func TestGLVDecompose(t *testing.T) {
+	g := glv()
+	// Sub-scalars must stay near √n: allow a few bits of slack over half
+	// the order's length.
+	maxBits := Order.BitLen()/2 + 4
+	for i := 0; i < 50; i++ {
+		k, err := RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k1, k2 := glvDecompose(k)
+		if k1.BitLen() > maxBits || k2.BitLen() > maxBits {
+			t.Fatalf("decomposition too long: |k1|=%d |k2|=%d bits", k1.BitLen(), k2.BitLen())
+		}
+		// k1 + k2·λ ≡ k mod n.
+		v := new(big.Int).Mul(k2, g.lambda)
+		v.Add(v, k1)
+		v.Mod(v, Order)
+		if v.Cmp(k) != 0 {
+			t.Fatalf("decomposition does not recompose: k=%v", k)
+		}
+	}
+}
+
+func TestMulGLVMatchesGeneric(t *testing.T) {
+	k, err := RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newCurvePoint().mulGeneric(curveGen, k)
+
+	scalars := []*big.Int{
+		new(big.Int).Sub(Order, big.NewInt(1)),
+		new(big.Int).Sub(Order, big.NewInt(2)),
+		new(big.Int).Add(Order, big.NewInt(12345)), // unreduced input
+	}
+	for i := 0; i < 20; i++ {
+		s, err := RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars = append(scalars, s)
+	}
+	for _, s := range scalars {
+		want := newCurvePoint().mulGeneric(p, s)
+		got := newCurvePoint().mulGLV(p, s)
+		if !got.Equal(want) {
+			t.Fatalf("mulGLV(%v) disagrees with mulGeneric", s)
+		}
+	}
+}
+
+func BenchmarkG1MulGLV(b *testing.B) {
+	k, _ := RandomScalar(rand.Reader)
+	p := newCurvePoint().mulGeneric(curveGen, k)
+	s, _ := RandomScalar(rand.Reader)
+	out := newCurvePoint()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.mulGLV(p, s)
+	}
+}

@@ -1,0 +1,273 @@
+package bn256
+
+import "math/big"
+
+// This file contains the allocation-free inner loop shared by the prepared
+// Miller evaluations (PreparedG2.Miller, MillerCombined). The generic
+// tower-field methods allocate every temporary afresh and reduce every
+// intermediate with a full division; over the ~128 iterations of the ate
+// loop that dominates the runtime of a pairing. Here every temporary lives
+// in a millerScratch that is allocated once per evaluation and reused each
+// step (big.Int reuses its word storage once grown, so the steady state
+// performs no heap allocation), and additive intermediates are reduced by
+// conditional subtraction instead of division. Only the unavoidable
+// product reductions still divide.
+//
+// The reference loop (miller, used by Miller/Pair) is deliberately left on
+// the generic methods: it is the cross-checked baseline the tests compare
+// against, and the optimized verifiers only ever evaluate through the
+// prepared paths.
+
+// millerScratch owns every temporary of the lean loop. One instance serves
+// one evaluation at a time; concurrent evaluations use separate instances
+// (per-worker scratch, no locking).
+type millerScratch struct {
+	bi [3]*big.Int // gfP2 Karatsuba temps
+	p2 [8]*gfP2    // gfP6-level temps
+	z2 *gfP2       // shifted line coefficient (outlives sparse-mul temps)
+	c1 *gfP2       // per-step −λ'·x_P coefficient
+	g  [5]*gfP6    // gfP12-level temps
+	fA *gfP12      // squaring ping-pong buffer
+}
+
+func newMillerScratch() *millerScratch {
+	s := &millerScratch{z2: newGFp2(), c1: newGFp2(), fA: newGFp12()}
+	for i := range s.bi {
+		s.bi[i] = new(big.Int)
+	}
+	for i := range s.p2 {
+		s.p2[i] = newGFp2()
+	}
+	for i := range s.g {
+		s.g[i] = newGFp6()
+	}
+	return s
+}
+
+// redOnce reduces z ∈ [0, 2P) by one conditional subtraction.
+func redOnce(z *big.Int) {
+	if z.Cmp(P) >= 0 {
+		z.Sub(z, P)
+	}
+}
+
+// redSmall reduces z ∈ (−P, 4P) — the range of the ξ-multiplication — by
+// conditional add/subtract.
+func redSmall(z *big.Int) {
+	if z.Sign() < 0 {
+		z.Add(z, P)
+		return
+	}
+	for z.Cmp(P) >= 0 {
+		z.Sub(z, P)
+	}
+}
+
+// leanAdd2 sets z = a + b with both inputs reduced. Aliasing is allowed.
+func leanAdd2(z, a, b *gfP2) {
+	z.x.Add(a.x, b.x)
+	redOnce(z.x)
+	z.y.Add(a.y, b.y)
+	redOnce(z.y)
+}
+
+// leanSub2 sets z = a − b with both inputs reduced. Aliasing is allowed.
+func leanSub2(z, a, b *gfP2) {
+	z.x.Sub(a.x, b.x)
+	if z.x.Sign() < 0 {
+		z.x.Add(z.x, P)
+	}
+	z.y.Sub(a.y, b.y)
+	if z.y.Sign() < 0 {
+		z.y.Add(z.y, P)
+	}
+}
+
+// leanMulXi2 sets z = a·ξ where ξ = i + 3. Aliasing is allowed.
+func leanMulXi2(z, a *gfP2, s *millerScratch) {
+	tx := s.bi[0]
+	tx.Lsh(a.x, 1)
+	tx.Add(tx, a.x)
+	tx.Add(tx, a.y) // 3x + y ∈ [0, 4P)
+	ty := s.bi[1]
+	ty.Lsh(a.y, 1)
+	ty.Add(ty, a.y)
+	ty.Sub(ty, a.x) // 3y − x ∈ (−P, 3P)
+	redSmall(tx)
+	redSmall(ty)
+	z.x.Set(tx)
+	z.y.Set(ty)
+}
+
+// leanMul2 sets z = a·b (Karatsuba, one division per output coordinate).
+// z must not alias a or b; the inputs must be reduced.
+func leanMul2(z, a, b *gfP2, s *millerScratch) {
+	tx, t, v := s.bi[0], s.bi[1], s.bi[2]
+	tx.Add(a.x, a.y)
+	t.Add(b.x, b.y)
+	tx.Mul(tx, t) // (ax+ay)(bx+by)
+
+	v.Mul(a.x, b.x) // ax·bx
+	tx.Sub(tx, v)
+	t.Mul(a.y, b.y) // ay·by
+	tx.Sub(tx, t)
+	z.x.Mod(tx, P)
+
+	t.Sub(t, v)
+	z.y.Mod(t, P)
+}
+
+// leanMulScalar2 sets z = a·b for a base-field scalar b. z may alias a.
+func leanMulScalar2(z, a *gfP2, b *big.Int, s *millerScratch) {
+	t := s.bi[0]
+	t.Mul(a.x, b)
+	z.x.Mod(t, P)
+	t.Mul(a.y, b)
+	z.y.Mod(t, P)
+}
+
+// leanAdd6 sets z = a + b coordinate-wise. Aliasing is allowed.
+func leanAdd6(z, a, b *gfP6) {
+	leanAdd2(z.x, a.x, b.x)
+	leanAdd2(z.y, a.y, b.y)
+	leanAdd2(z.z, a.z, b.z)
+}
+
+// leanSub6 sets z = a − b coordinate-wise. Aliasing is allowed.
+func leanSub6(z, a, b *gfP6) {
+	leanSub2(z.x, a.x, b.x)
+	leanSub2(z.y, a.y, b.y)
+	leanSub2(z.z, a.z, b.z)
+}
+
+// leanMulTau6 sets z = a·τ. z must not alias a.
+func leanMulTau6(z, a *gfP6, s *millerScratch) {
+	leanMulXi2(z.z, a.x, s)
+	z.x.Set(a.y)
+	z.y.Set(a.z)
+}
+
+// leanMul6 mirrors gfP6.Mul with scratch temporaries. z must not alias a
+// or b.
+func leanMul6(z, a, b *gfP6, s *millerScratch) {
+	t0, t1, t2 := s.p2[0], s.p2[1], s.p2[2]
+	s1, s2 := s.p2[3], s.p2[4]
+	r0, r1, r2 := s.p2[5], s.p2[6], s.p2[7]
+
+	leanMul2(t0, a.z, b.z, s)
+	leanMul2(t1, a.y, b.y, s)
+	leanMul2(t2, a.x, b.x, s)
+
+	leanAdd2(s1, a.y, a.x)
+	leanAdd2(s2, b.y, b.x)
+	leanMul2(r0, s1, s2, s)
+	leanSub2(r0, r0, t1)
+	leanSub2(r0, r0, t2)
+	leanMulXi2(r0, r0, s)
+	leanAdd2(r0, r0, t0)
+
+	leanAdd2(s1, a.z, a.y)
+	leanAdd2(s2, b.z, b.y)
+	leanMul2(r1, s1, s2, s)
+	leanSub2(r1, r1, t0)
+	leanSub2(r1, r1, t1)
+	leanMulXi2(s1, t2, s) // s1 reused as ξ·t2
+	leanAdd2(r1, r1, s1)
+
+	leanAdd2(s1, a.z, a.x)
+	leanAdd2(s2, b.z, b.x)
+	leanMul2(r2, s1, s2, s)
+	leanSub2(r2, r2, t0)
+	leanSub2(r2, r2, t2)
+	leanAdd2(r2, r2, t1)
+
+	z.z.Set(r0)
+	z.y.Set(r1)
+	z.x.Set(r2)
+}
+
+// leanMulSparse2 mirrors gfP6.MulSparse2: z = a·(y2·τ + z2). z must not
+// alias a; y2/z2 must not be scratch temporaries of s.
+func leanMulSparse2(z, a *gfP6, y2, z2 *gfP2, s *millerScratch) {
+	tz, ty, tx, t := s.p2[0], s.p2[1], s.p2[2], s.p2[3]
+
+	leanMul2(tz, a.x, y2, s)
+	leanMulXi2(tz, tz, s)
+	leanMul2(t, a.z, z2, s)
+	leanAdd2(tz, tz, t)
+
+	leanMul2(ty, a.y, z2, s)
+	leanMul2(t, a.z, y2, s)
+	leanAdd2(ty, ty, t)
+
+	leanMul2(tx, a.x, z2, s)
+	leanMul2(t, a.y, y2, s)
+	leanAdd2(tx, tx, t)
+
+	z.x.Set(tx)
+	z.y.Set(ty)
+	z.z.Set(tz)
+}
+
+// leanSquare12 sets dst = a² (generic field squaring — the Miller
+// accumulator is not cyclotomic before the final exponentiation). dst must
+// not alias a.
+func leanSquare12(dst, a *gfP12, s *millerScratch) {
+	v0, t, sum, ty, tau := s.g[0], s.g[1], s.g[2], s.g[3], s.g[4]
+
+	leanMul6(v0, a.x, a.y, s)
+
+	leanMulTau6(t, a.x, s)
+	leanAdd6(t, t, a.y) // x·τ + y
+	leanAdd6(sum, a.x, a.y)
+	leanMul6(ty, sum, t, s)
+	leanSub6(ty, ty, v0)
+	leanMulTau6(tau, v0, s)
+	leanSub6(ty, ty, tau)
+
+	dst.y.Set(ty)
+	leanAdd6(dst.x, v0, v0)
+}
+
+// leanNeg2 negates z in place for reduced z.
+func leanNeg2(z *gfP2) {
+	if z.x.Sign() != 0 {
+		z.x.Sub(P, z.x)
+	}
+	if z.y.Sign() != 0 {
+		z.y.Sub(P, z.y)
+	}
+}
+
+// leanLine folds one prepared line step into f: the two G1-dependent
+// coefficients are y_P (constant slot) and −λ'·x_P.
+func leanLine(f *gfP12, st preparedLine, x, y *big.Int, s *millerScratch) {
+	leanMulScalar2(s.c1, st.lam, x, s)
+	leanNeg2(s.c1)
+	leanMulLine12(f, y, s.c1, st.c3, s)
+}
+
+// leanMulLine12 multiplies f in place by the sparse line element
+// c0 + c1·ω + c3·τω, mirroring gfP12.MulLine.
+func leanMulLine12(f *gfP12, c0 *big.Int, c1, c3 *gfP2, s *millerScratch) {
+	v0, v1, t6, cross, tau := s.g[0], s.g[1], s.g[2], s.g[3], s.g[4]
+
+	// v0 = f.y · c0 (scalar), v1 = f.x · (c3·τ + c1).
+	leanMulScalar2(v0.x, f.y.x, c0, s)
+	leanMulScalar2(v0.y, f.y.y, c0, s)
+	leanMulScalar2(v0.z, f.y.z, c0, s)
+	leanMulSparse2(v1, f.x, c3, c1, s)
+
+	// z2 = c1 + c0 (constant slot shifted), cross = (f.x + f.y)(c3·τ + z2).
+	s.z2.x.Set(c1.x)
+	s.z2.y.Add(c1.y, c0)
+	redOnce(s.z2.y)
+	leanAdd6(t6, f.x, f.y)
+	leanMulSparse2(cross, t6, c3, s.z2, s)
+	leanSub6(cross, cross, v0)
+	leanSub6(cross, cross, v1)
+
+	f.x.Set(cross)
+	leanMulTau6(tau, v1, s)
+	leanAdd6(f.y, v0, tau)
+}

@@ -123,7 +123,10 @@ func finalExponentiationEasy(in *gfP12) *gfP12 {
 }
 
 // finalExponentiation computes f^((p¹²−1)/n) using the Devegili–Scott–Dahab
-// addition chain for BN curves in the hard part.
+// addition chain for BN curves in the hard part. After the easy part the
+// value lies in the cyclotomic subgroup, so the three exponentiations by u
+// and the chain's squarings use the cheaper cyclotomic arithmetic
+// (Granger–Scott squaring, conjugation as inversion under NAF recoding).
 func finalExponentiation(in *gfP12) *gfP12 {
 	t1 := finalExponentiationEasy(in)
 
@@ -131,9 +134,9 @@ func finalExponentiation(in *gfP12) *gfP12 {
 	fp2 := newGFp12().FrobeniusP2(t1)
 	fp3 := newGFp12().Frobenius(fp2)
 
-	fu := newGFp12().Exp(t1, u)
-	fu2 := newGFp12().Exp(fu, u)
-	fu3 := newGFp12().Exp(fu2, u)
+	fu := newGFp12().cyclotomicExp(t1, u)
+	fu2 := newGFp12().cyclotomicExp(fu, u)
+	fu3 := newGFp12().cyclotomicExp(fu2, u)
 
 	y3 := newGFp12().Frobenius(fu)
 	fu2p := newGFp12().Frobenius(fu2)
@@ -151,18 +154,18 @@ func finalExponentiation(in *gfP12) *gfP12 {
 	y6 := newGFp12().Mul(fu3, fu3p)
 	y6.Conjugate(y6)
 
-	t0 := newGFp12().Square(y6)
+	t0 := newGFp12().CyclotomicSquare(y6)
 	t0.Mul(t0, y4)
 	t0.Mul(t0, y5)
 	t1b := newGFp12().Mul(y3, y5)
 	t1b.Mul(t1b, t0)
 	t0.Mul(t0, y2)
-	t1b.Square(t1b)
+	t1b.CyclotomicSquare(t1b)
 	t1b.Mul(t1b, t0)
-	t1b.Square(t1b)
+	t1b.CyclotomicSquare(t1b)
 	t0.Mul(t1b, y1)
 	t1b.Mul(t1b, y0)
-	t0.Square(t0)
+	t0.CyclotomicSquare(t0)
 	t0.Mul(t0, t1b)
 	return t0
 }

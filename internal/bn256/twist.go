@@ -178,8 +178,10 @@ func (c *twistPoint) Double(a *twistPoint) *twistPoint {
 	return c
 }
 
-// Mul sets c = k·a using a fixed 4-bit window; mulGeneric remains as the
-// cross-check reference for tests.
+// Mul sets c = k·a using width-5 wNAF; mulGeneric remains as the
+// cross-check reference for tests. k is deliberately not reduced mod
+// Order: cofactor clearing (mapToTwistSubgroup) multiplies points outside
+// the order-n subgroup.
 func (c *twistPoint) Mul(a *twistPoint, k *big.Int) *twistPoint {
 	if k.Sign() < 0 {
 		neg := newTwistPoint().Negative(a)
@@ -190,22 +192,24 @@ func (c *twistPoint) Mul(a *twistPoint, k *big.Int) *twistPoint {
 		return c.mulGeneric(a, k)
 	}
 
-	var table [16]*twistPoint
-	table[1] = newTwistPoint().Set(a)
-	for i := 2; i < 16; i++ {
-		table[i] = newTwistPoint().Add(table[i-1], a)
+	// odd[i] = (2i+1)·a for i in 0..7.
+	var odd [8]*twistPoint
+	odd[0] = newTwistPoint().Set(a)
+	twoA := newTwistPoint().Double(a)
+	for i := 1; i < 8; i++ {
+		odd[i] = newTwistPoint().Add(odd[i-1], twoA)
 	}
+	neg := newTwistPoint()
 
+	digits := wnafDigits(k, 5)
 	sum := newTwistPoint().SetInfinity()
-	bits := k.BitLen()
-	start := ((bits + 3) / 4) * 4
-	for pos := start - 4; pos >= 0; pos -= 4 {
-		for d := 0; d < 4; d++ {
-			sum.Double(sum)
-		}
-		nibble := (k.Bit(pos+3) << 3) | (k.Bit(pos+2) << 2) | (k.Bit(pos+1) << 1) | k.Bit(pos)
-		if nibble != 0 {
-			sum.Add(sum, table[nibble])
+	for i := len(digits) - 1; i >= 0; i-- {
+		sum.Double(sum)
+		switch d := digits[i]; {
+		case d > 0:
+			sum.Add(sum, odd[(d-1)/2])
+		case d < 0:
+			sum.Add(sum, neg.Negative(odd[(-d-1)/2]))
 		}
 	}
 	return c.Set(sum)

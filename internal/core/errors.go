@@ -37,4 +37,10 @@ var (
 	// ErrReceiptMissing indicates the non-repudiation receipt chain is
 	// incomplete for a trace.
 	ErrReceiptMissing = errors.New("peace: non-repudiation receipt missing")
+	// ErrQueueFull indicates the router's bounded ingest queue rejected an
+	// access request under overload (backpressure instead of buffering).
+	ErrQueueFull = errors.New("peace: ingest queue full")
+	// ErrQueueClosed indicates a submission to an ingest queue that has
+	// been shut down.
+	ErrQueueClosed = errors.New("peace: ingest queue closed")
 )

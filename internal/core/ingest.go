@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+)
+
+// IngestResult delivers the outcome of a queued access request.
+type IngestResult struct {
+	Confirm *AccessConfirm
+	Session *Session
+	Err     error
+}
+
+// ingestJob pairs a submitted request with its reply channel.
+type ingestJob struct {
+	m     *AccessRequest
+	reply chan IngestResult
+}
+
+// IngestQueue feeds bursts of M.2 access requests through a router's batch
+// verification pipeline. Submissions beyond the queue's capacity are
+// rejected immediately with ErrQueueFull — bounded backpressure, in the
+// spirit of the paper's DoS discussion, instead of unbounded buffering. A
+// single drainer goroutine collects whatever has accumulated (up to
+// maxBatch requests) and hands it to HandleAccessRequestBatch, so under
+// load the expensive signature checks run batched across all CPUs while
+// light load degenerates to batches of one.
+type IngestQueue struct {
+	router   *MeshRouter
+	jobs     chan ingestJob
+	maxBatch int
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewIngestQueue starts the drainer for router. capacity bounds the number
+// of requests waiting to be verified (minimum 1); maxBatch bounds how many
+// are verified in one batch (minimum 1, typically a small multiple of the
+// CPU count).
+func NewIngestQueue(router *MeshRouter, capacity, maxBatch int) *IngestQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	q := &IngestQueue{
+		router:   router,
+		jobs:     make(chan ingestJob, capacity),
+		maxBatch: maxBatch,
+		done:     make(chan struct{}),
+	}
+	go q.drain()
+	return q
+}
+
+// Submit enqueues an access request. It never blocks: a full queue returns
+// ErrQueueFull and a closed queue ErrQueueClosed. On success the result
+// arrives exactly once on the returned channel.
+func (q *IngestQueue) Submit(m *AccessRequest) (<-chan IngestResult, error) {
+	job := ingestJob{m: m, reply: make(chan IngestResult, 1)}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrQueueClosed
+	}
+	select {
+	case q.jobs <- job:
+		q.mu.Unlock()
+		return job.reply, nil
+	default:
+		q.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Close stops the drainer after the already-accepted requests have been
+// answered. It is idempotent and safe to call concurrently with Submit.
+func (q *IngestQueue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.jobs)
+	}
+	q.mu.Unlock()
+	<-q.done
+}
+
+// drain collects accumulated jobs into batches and runs them through the
+// router until the queue closes.
+func (q *IngestQueue) drain() {
+	defer close(q.done)
+	for {
+		job, ok := <-q.jobs
+		if !ok {
+			return
+		}
+		batch := []ingestJob{job}
+	fill:
+		for len(batch) < q.maxBatch {
+			select {
+			case extra, more := <-q.jobs:
+				if !more {
+					break fill
+				}
+				batch = append(batch, extra)
+			default:
+				break fill
+			}
+		}
+
+		ms := make([]*AccessRequest, len(batch))
+		for i, j := range batch {
+			ms[i] = j.m
+		}
+		results := q.router.HandleAccessRequestBatch(ms)
+		for i, j := range batch {
+			j.reply <- IngestResult{
+				Confirm: results[i].Confirm,
+				Session: results[i].Session,
+				Err:     results[i].Err,
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+)
+
+// batchM2s has every user answer the same beacon, returning the access
+// requests positionally.
+func batchM2s(t *testing.T, tb *testbed, r *MeshRouter, users []*User) []*AccessRequest {
+	t.Helper()
+	beacon, err := r.Beacon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]*AccessRequest, len(users))
+	for i, u := range users {
+		m2, err := u.HandleBeacon(beacon, "grp-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m2
+	}
+	return ms
+}
+
+// TestHandleAccessRequestBatch drives a burst with one forged signature,
+// one unknown beacon share and one revoked signer planted among valid
+// requests, checking positional attribution and that the survivors obtain
+// working sessions.
+func TestHandleAccessRequestBatch(t *testing.T) {
+	tb := newTestbed(t, 1, 5, 1)
+	r := tb.routers["MR-0"]
+
+	// Revoke user 4's key and distribute the URL before the burst.
+	tok, err := tb.no.TokenOf("grp-0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.no.RevokeUserKey(tok)
+	tb.pushRevocations(t)
+
+	users := make([]*User, 5)
+	for i := range users {
+		users[i] = tb.user("0", i)
+	}
+	ms := batchM2s(t, tb, r, users)
+
+	// Slot 1: tampered signature. Slot 2: unknown g^{r_R}. Slot 4 is the
+	// revoked user.
+	ms[1].Sig.SX = new(big.Int).Add(ms[1].Sig.SX, big.NewInt(1))
+	ms[1].Sig.SX.Mod(ms[1].Sig.SX, bn256.Order)
+	ms[2].GR = new(bn256.G1).Base()
+
+	results := r.HandleAccessRequestBatch(ms)
+	if len(results) != len(ms) {
+		t.Fatalf("got %d results for %d requests", len(results), len(ms))
+	}
+	if !errors.Is(results[1].Err, ErrBadAccessRequest) {
+		t.Fatalf("forged slot 1: %v", results[1].Err)
+	}
+	if !errors.Is(results[2].Err, ErrReplay) {
+		t.Fatalf("unknown-GR slot 2: %v", results[2].Err)
+	}
+	if !errors.Is(results[4].Err, ErrRevokedUser) {
+		t.Fatalf("revoked slot 4: %v", results[4].Err)
+	}
+	for _, i := range []int{0, 3} {
+		res := results[i]
+		if res.Err != nil {
+			t.Fatalf("valid slot %d rejected: %v", i, res.Err)
+		}
+		us, err := users[i].HandleAccessConfirm(res.Confirm)
+		if err != nil {
+			t.Fatalf("slot %d confirm: %v", i, err)
+		}
+		if us.ID != res.Session.ID || !us.keysEqual(res.Session) {
+			t.Fatalf("slot %d: session halves disagree", i)
+		}
+	}
+
+	stats := r.Stats()
+	if stats.SessionsEstablished != 2 {
+		t.Fatalf("sessions established = %d, want 2", stats.SessionsEstablished)
+	}
+	if stats.RejectedAuth != 1 || stats.RejectedStale != 1 || stats.RejectedRevoked != 1 {
+		t.Fatalf("rejection stats %+v", stats)
+	}
+	// Only the requests that passed the cheap checks reached a signature
+	// verification.
+	if stats.ExpensiveVerifications != 4 {
+		t.Fatalf("expensive verifications = %d, want 4", stats.ExpensiveVerifications)
+	}
+}
+
+// TestBatchMatchesSequential runs the same burst through the batch path
+// and through per-request HandleAccessRequest on a twin router and checks
+// the accept/reject pattern is identical.
+func TestBatchMatchesSequential(t *testing.T) {
+	tb := newTestbed(t, 1, 3, 2)
+	rBatch, rSeq := tb.routers["MR-0"], tb.routers["MR-1"]
+	users := []*User{tb.user("0", 0), tb.user("0", 1), tb.user("0", 2)}
+
+	msBatch := batchM2s(t, tb, rBatch, users)
+	msSeq := batchM2s(t, tb, rSeq, users)
+	for _, ms := range [][]*AccessRequest{msBatch, msSeq} {
+		ms[1].Sig.C = new(big.Int).Add(ms[1].Sig.C, big.NewInt(1))
+		ms[1].Sig.C.Mod(ms[1].Sig.C, bn256.Order)
+	}
+
+	batchRes := rBatch.HandleAccessRequestBatch(msBatch)
+	for i, m := range msSeq {
+		_, _, seqErr := rSeq.HandleAccessRequest(m)
+		if (seqErr == nil) != (batchRes[i].Err == nil) {
+			t.Fatalf("slot %d: sequential err=%v, batch err=%v", i, seqErr, batchRes[i].Err)
+		}
+	}
+}
+
+// TestIngestQueueServesBurst pushes a concurrent burst through the queue
+// and checks every accepted request is answered exactly once.
+func TestIngestQueueServesBurst(t *testing.T) {
+	const n = 6
+	tb := newTestbed(t, 1, n, 1)
+	r := tb.routers["MR-0"]
+	users := make([]*User, n)
+	for i := range users {
+		users[i] = tb.user("0", i)
+	}
+	ms := batchM2s(t, tb, r, users)
+
+	q := NewIngestQueue(r, n, 4)
+	defer q.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := range ms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reply, err := q.Submit(ms[i])
+			if err != nil {
+				errCh <- fmt.Errorf("submit %d: %w", i, err)
+				return
+			}
+			res := <-reply
+			if res.Err != nil {
+				errCh <- fmt.Errorf("slot %d: %w", i, res.Err)
+				return
+			}
+			if _, err := users[i].HandleAccessConfirm(res.Confirm); err != nil {
+				errCh <- fmt.Errorf("slot %d confirm: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if got := r.Sessions(); got != n {
+		t.Fatalf("router has %d sessions, want %d", got, n)
+	}
+}
+
+// TestIngestQueueBackpressure pins the bounded-queue semantics: beyond
+// capacity Submit fails fast with ErrQueueFull, and a closed queue returns
+// ErrQueueClosed.
+func TestIngestQueueBackpressure(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	r := tb.routers["MR-0"]
+	m := batchM2s(t, tb, r, []*User{tb.user("0", 0)})[0]
+
+	// No drainer: submissions accumulate so capacity is hit deterministically.
+	q := &IngestQueue{
+		router:   r,
+		jobs:     make(chan ingestJob, 2),
+		maxBatch: 4,
+		done:     make(chan struct{}),
+	}
+	if _, err := q.Submit(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(m); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: %v", err)
+	}
+
+	// Start the drainer; the queued submissions are answered and then the
+	// queue shuts down cleanly.
+	go q.drain()
+	q.Close()
+	if _, err := q.Submit(m); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("closed submit: %v", err)
+	}
+}

@@ -39,6 +39,11 @@ type MeshRouter struct {
 	noPub   cert.PublicKey
 	gpk     *sgs.PublicKey
 
+	// verifier is the precomputed-table signature verifier, built lazily
+	// on the first batch so routers that never see bursts pay nothing.
+	verifierOnce sync.Once
+	verifier     *sgs.Verifier
+
 	mu          sync.Mutex
 	crl         *cert.CRL
 	url         *UserRevocationList
@@ -203,40 +208,23 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 	return b, nil
 }
 
+// batchVerifier returns the precomputed-table verifier, building it on
+// first use.
+func (r *MeshRouter) batchVerifier() *sgs.Verifier {
+	r.verifierOnce.Do(func() {
+		r.verifier = sgs.NewVerifier(r.gpk)
+	})
+	return r.verifier
+}
+
 // HandleAccessRequest processes message M.2 (paper Step 3): freshness,
 // optional puzzle check (before any pairing work), group-signature
 // verification (Eq.2), URL revocation scan (Eq.3), key computation and the
 // M.3 confirmation.
 func (r *MeshRouter) HandleAccessRequest(m *AccessRequest) (*AccessConfirm, *Session, error) {
-	r.mu.Lock()
-	r.stats.RequestsSeen++
-	st := r.outstanding[string(m.GR.Marshal())]
-	url := r.url
-	dos := r.dosDefense
-	now := r.cfg.Clock.Now()
-	r.mu.Unlock()
-
-	// Step 3.1: freshness of g^{r_R} and ts_2.
-	if st == nil || st.expired {
-		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
-		return nil, nil, fmt.Errorf("router %q: unknown g^rR: %w", r.id, ErrReplay)
-	}
-	if !fresh(r.cfg, now, m.Timestamp) {
-		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
-		return nil, nil, fmt.Errorf("router %q: ts2: %w", r.id, ErrReplay)
-	}
-
-	// DoS defense: verify the puzzle solution before committing to any
-	// expensive pairing operations.
-	if dos && st.puzzle != nil {
-		if !m.HasSolution {
-			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
-			return nil, nil, fmt.Errorf("router %q: %w", r.id, ErrPuzzleRequired)
-		}
-		if err := st.puzzle.Verify(m.Solution, now, r.cfg.PuzzleMaxAge); err != nil {
-			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
-			return nil, nil, fmt.Errorf("router %q: %w: %v", r.id, ErrPuzzleRequired, err)
-		}
+	st, url, now, err := r.precheckAccessRequest(m)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	// Step 3.2: group-signature verification.
@@ -255,7 +243,116 @@ func (r *MeshRouter) HandleAccessRequest(m *AccessRequest) (*AccessConfirm, *Ses
 		}
 	}
 
-	// Step 3.4: K_{k,j} = (g^{r_j})^{r_R}, session keys, and M.3.
+	return r.establishSession(m, st, now)
+}
+
+// AccessResult is the outcome of one access request in a batch: either a
+// confirmation and session, or the error that rejected the request.
+type AccessResult struct {
+	Confirm *AccessConfirm
+	Session *Session
+	Err     error
+}
+
+// HandleAccessRequestBatch drains a burst of M.2 messages through the
+// batch verification pipeline: cheap per-request checks (freshness,
+// puzzles) run first, the surviving signatures are verified concurrently
+// across all CPUs with the precomputed-table verifier, revocation scans
+// use the parallel URL sweep, and sessions are established for the
+// survivors. Results are positional — out[i] belongs to ms[i] — and one
+// bad request never affects its neighbors.
+func (r *MeshRouter) HandleAccessRequestBatch(ms []*AccessRequest) []AccessResult {
+	out := make([]AccessResult, len(ms))
+	states := make([]*beaconState, len(ms))
+	times := make([]time.Time, len(ms))
+	var url *UserRevocationList
+
+	items := make([]sgs.BatchItem, 0, len(ms))
+	idxs := make([]int, 0, len(ms))
+	for i, m := range ms {
+		st, u, now, err := r.precheckAccessRequest(m)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		states[i], times[i], url = st, now, u
+		items = append(items, sgs.BatchItem{Msg: m.SignedTranscript(), Sig: m.Sig})
+		idxs = append(idxs, i)
+	}
+	if len(items) == 0 {
+		return out
+	}
+
+	ver := r.batchVerifier()
+	r.bump(func(s *RouterStats) { s.ExpensiveVerifications += len(items) })
+	errs := ver.BatchVerify(items)
+
+	for j, verr := range errs {
+		i := idxs[j]
+		m := ms[i]
+		if verr != nil {
+			// Attribute the failure with the reference verifier: the batch
+			// path and the paper's Eq.2 must agree on every rejection.
+			if refErr := sgs.Verify(r.gpk, items[j].Msg, m.Sig); refErr != nil {
+				verr = refErr
+			}
+			r.bumpFailure(func(s *RouterStats) { s.RejectedAuth++ })
+			out[i].Err = fmt.Errorf("router %q: %w: %v", r.id, ErrBadAccessRequest, verr)
+			continue
+		}
+		if url != nil && len(url.Tokens) > 0 {
+			if revoked, _ := ver.SweepURL(items[j].Msg, m.Sig, url.Tokens); revoked {
+				r.bump(func(s *RouterStats) { s.RejectedRevoked++ })
+				out[i].Err = fmt.Errorf("router %q: %w", r.id, ErrRevokedUser)
+				continue
+			}
+		}
+		confirm, sess, err := r.establishSession(m, states[i], times[i])
+		out[i] = AccessResult{Confirm: confirm, Session: sess, Err: err}
+	}
+	return out
+}
+
+// precheckAccessRequest runs the cheap, pre-pairing checks of Step 3.1
+// (and the optional puzzle gate) and returns the matched beacon state, the
+// URL snapshot and the arrival time.
+func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, *UserRevocationList, time.Time, error) {
+	r.mu.Lock()
+	r.stats.RequestsSeen++
+	st := r.outstanding[string(m.GR.Marshal())]
+	url := r.url
+	dos := r.dosDefense
+	now := r.cfg.Clock.Now()
+	r.mu.Unlock()
+
+	// Step 3.1: freshness of g^{r_R} and ts_2.
+	if st == nil || st.expired {
+		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
+		return nil, nil, now, fmt.Errorf("router %q: unknown g^rR: %w", r.id, ErrReplay)
+	}
+	if !fresh(r.cfg, now, m.Timestamp) {
+		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
+		return nil, nil, now, fmt.Errorf("router %q: ts2: %w", r.id, ErrReplay)
+	}
+
+	// DoS defense: verify the puzzle solution before committing to any
+	// expensive pairing operations.
+	if dos && st.puzzle != nil {
+		if !m.HasSolution {
+			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
+			return nil, nil, now, fmt.Errorf("router %q: %w", r.id, ErrPuzzleRequired)
+		}
+		if err := st.puzzle.Verify(m.Solution, now, r.cfg.PuzzleMaxAge); err != nil {
+			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
+			return nil, nil, now, fmt.Errorf("router %q: %w: %v", r.id, ErrPuzzleRequired, err)
+		}
+	}
+	return st, url, now, nil
+}
+
+// establishSession runs Step 3.4 for an authenticated request:
+// K_{k,j} = (g^{r_j})^{r_R}, session keys, and M.3.
+func (r *MeshRouter) establishSession(m *AccessRequest, st *beaconState, now time.Time) (*AccessConfirm, *Session, error) {
 	dh := new(bn256.G1).ScalarMult(m.GJ, st.rR)
 	id := NewSessionID(m.GR, m.GJ)
 	sess := newSession(id, "user", dh.Marshal(), sessionTranscript(m.GR, m.GJ), now)

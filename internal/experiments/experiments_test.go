@@ -246,6 +246,33 @@ func TestE11Ablations(t *testing.T) {
 	}
 }
 
+func TestE12BatchPipeline(t *testing.T) {
+	// Small sizes keep the test fast; the headline 16/64 measurement runs
+	// in peacebench and BenchmarkE11BatchVerify.
+	rep, err := RunE12Batch(4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BatchSize != 4 || rep.URLSize != 3 {
+		t.Fatalf("report sizes %d/%d", rep.BatchSize, rep.URLSize)
+	}
+	if rep.SequentialPer <= 0 || rep.BatchPer <= 0 {
+		t.Fatal("non-positive timings")
+	}
+	// The pipeline must beat the sequential path even on a small batch.
+	if rep.Speedup <= 1.0 {
+		t.Errorf("batch speedup %.2f×, want > 1", rep.Speedup)
+	}
+	if len(rep.Sweep) != 3 {
+		t.Fatalf("sweep rows = %d, want 3", len(rep.Sweep))
+	}
+	for _, row := range rep.Sweep {
+		if row.PerToken <= 0 {
+			t.Errorf("workers=%d: non-positive per-token time", row.Workers)
+		}
+	}
+}
+
 func TestE4LossyAttachment(t *testing.T) {
 	rows, err := RunE4Lossy([]float64{0, 0.3})
 	if err != nil {

@@ -323,3 +323,65 @@ func containsSubslice(haystack, needle []byte) bool {
 	}
 	return false
 }
+
+// TestBurstAttachViaBatchWindow has a star of users all answer one beacon;
+// the router buffers the M.2 burst for a batch window and verifies it as
+// one batch. Every user must attach, and the batch path must have seen all
+// the requests.
+func TestBurstAttachViaBatchWindow(t *testing.T) {
+	const n = 6
+	d, err := NewDeployment(DeploymentSpec{
+		Seed:         7,
+		Groups:       1,
+		KeysPerGroup: n + 2,
+		Routers:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(rune('A' + i))
+		if _, err := d.AddUser(ids[i], "grp-0", "MR-0", true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.BuildStar("MR-0", ids, msLink(5))
+
+	rs := d.Routers["MR-0"]
+	rs.SetBatchWindow(50 * time.Millisecond)
+	rs.StartBeacons(time.Second, 1)
+	d.Net.RunFor(2 * time.Second)
+
+	for _, id := range ids {
+		u := d.Users[id]
+		if !u.Attached() {
+			t.Fatalf("user %s did not attach through the batch window", id)
+		}
+		// The burst drains only after the window: attachment delay is the
+		// two hops plus the buffering time.
+		if got := u.Stats().AttachDelay; got < 50*time.Millisecond {
+			t.Fatalf("user %s attach delay %v is shorter than the batch window", id, got)
+		}
+	}
+	stats := rs.Router().Stats()
+	if stats.SessionsEstablished != n {
+		t.Fatalf("router established %d sessions, want %d", stats.SessionsEstablished, n)
+	}
+	if stats.RequestsSeen != n {
+		t.Fatalf("router saw %d requests, want %d", stats.RequestsSeen, n)
+	}
+
+	// The window restores per-request handling when cleared.
+	rs.SetBatchWindow(0)
+	late, err := d.AddUser("Z", "grp-0", "MR-0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Net.Connect("MR-0", "Z", msLink(5))
+	rs.StartBeacons(time.Second, 1)
+	d.Net.RunFor(2 * time.Second)
+	if !late.Attached() {
+		t.Fatal("late user did not attach on the per-request path")
+	}
+}

@@ -23,8 +23,21 @@ type RouterStation struct {
 	beaconPeriod time.Duration
 	beaconsLeft  int
 
+	// batchWindow, when non-zero, buffers incoming M.2s for that long and
+	// drains them through the router's batch verification pipeline.
+	batchWindow    time.Duration
+	pendingM2      []pendingAccess
+	drainScheduled bool
+
 	dataDelivered int
 	dataRejected  int
+}
+
+// pendingAccess is a buffered access request with its arrival hop, so the
+// M.3 reply can be routed back the way the request came.
+type pendingAccess struct {
+	m2   *core.AccessRequest
+	from NodeID
 }
 
 // NewRouterStation wraps router and attaches it to the network.
@@ -56,6 +69,36 @@ func (r *RouterStation) StartBeacons(period time.Duration, count int) {
 	r.net.Schedule(0, r.emitBeacon)
 }
 
+// SetBatchWindow makes the station collect M.2 access requests for d
+// before verifying them as one batch (M.2 bursts right after a beacon are
+// the common case in dense deployments). A zero duration restores
+// per-request handling.
+func (r *RouterStation) SetBatchWindow(d time.Duration) {
+	r.batchWindow = d
+}
+
+// drainAccessRequests verifies the buffered burst and replies to the
+// survivors along their arrival hops.
+func (r *RouterStation) drainAccessRequests() {
+	batch := r.pendingM2
+	r.pendingM2 = nil
+	r.drainScheduled = false
+	if len(batch) == 0 {
+		return
+	}
+	ms := make([]*core.AccessRequest, len(batch))
+	for i, p := range batch {
+		ms[i] = p.m2
+	}
+	results := r.router.HandleAccessRequestBatch(ms)
+	for i, p := range batch {
+		if results[i].Err != nil {
+			continue
+		}
+		r.net.Send(r.id, p.from, KindAccessConfirm, results[i].Confirm.Marshal())
+	}
+}
+
 func (r *RouterStation) emitBeacon() {
 	if r.beaconsLeft <= 0 {
 		return
@@ -76,6 +119,14 @@ func (r *RouterStation) Receive(f *Frame) {
 	case KindAccessRequest:
 		m2, err := core.UnmarshalAccessRequest(f.Payload)
 		if err != nil {
+			return
+		}
+		if r.batchWindow > 0 {
+			r.pendingM2 = append(r.pendingM2, pendingAccess{m2: m2, from: f.From})
+			if !r.drainScheduled {
+				r.drainScheduled = true
+				r.net.Schedule(r.batchWindow, r.drainAccessRequests)
+			}
 			return
 		}
 		m3, _, err := r.router.HandleAccessRequest(m2)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"github.com/peace-mesh/peace/internal/bn256"
 )
@@ -47,18 +48,39 @@ type PublicKey struct {
 
 	// egg is the cached pairing e(g1, g2), used on every verification.
 	egg *bn256.GT
+
+	// enc is the canonical encoding of W, cached at construction so that
+	// the hashing hot paths never re-marshal (Marshal normalizes the point
+	// in place, which would race under concurrent verification).
+	enc []byte
+
+	// wTable is a fixed-base window table for W, built lazily on the
+	// first exponentiation of W and shared by all verifications.
+	wOnce  sync.Once
+	wTable *bn256.G2Table
 }
 
 // NewPublicKey wraps w = g2^γ into a usable public key.
 func NewPublicKey(w *bn256.G2) *PublicKey {
 	pk := &PublicKey{W: new(bn256.G2).Set(w)}
 	pk.egg = new(bn256.GT).Base()
+	pk.enc = pk.W.Marshal()
 	return pk
 }
 
-// Bytes returns a canonical encoding of the public key for hashing.
+// Bytes returns a canonical encoding of the public key for hashing. The
+// returned slice is shared; callers must not modify it.
 func (pk *PublicKey) Bytes() []byte {
-	return pk.W.Marshal()
+	return pk.enc
+}
+
+// wTab returns the fixed-base table for W, building it on first use. The
+// table is immutable once built and safe for concurrent use.
+func (pk *PublicKey) wTab() *bn256.G2Table {
+	pk.wOnce.Do(func() {
+		pk.wTable = bn256.NewG2Table(pk.W)
+	})
+	return pk.wTable
 }
 
 // EGG returns the cached pairing e(g1, g2).

@@ -39,6 +39,9 @@ func ParsePublicKey(data []byte) (*PublicKey, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sgs: public key: %w", err)
 	}
+	if w.IsInfinity() {
+		return nil, fmt.Errorf("sgs: public key: w is the identity")
+	}
 	return NewPublicKey(w), nil
 }
 

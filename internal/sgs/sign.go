@@ -166,7 +166,7 @@ func sign(rng io.Reader, pk *PublicKey, key *PrivateKey, msg []byte, mode Genera
 	// two pairings as in the paper's accounting.
 	negRAlpha := new(big.Int).Sub(bn256.Order, rAlpha)
 	negRDelta := new(big.Int).Sub(bn256.Order, rDelta)
-	combined := new(bn256.G2).ScalarMult(pk.W, negRAlpha) // exp 6 (multi-exp)
+	combined := pk.wTab().Mul(new(bn256.G2), negRAlpha) // exp 6 (multi-exp)
 	combined.Add(combined, new(bn256.G2).ScalarBaseMult(negRDelta))
 	ct.exp(1)
 

@@ -23,28 +23,44 @@ func VerifyCounted(pk *PublicKey, msg []byte, sig *Signature) (OpCounts, error) 
 
 // VerifyWithRevocation checks the signature and then scans the revocation
 // list (paper Step 3.3 / Eq.3), returning ErrRevoked if the signer's token
-// appears in url.
+// appears in url. The H0 scalars are derived once and shared between the
+// verification bases (u, v) and the revocation bases (û, v̂).
 func VerifyWithRevocation(pk *PublicKey, msg []byte, sig *Signature, url []*RevocationToken) error {
-	if err := verify(pk, msg, sig, nil); err != nil {
-		return err
-	}
-	if revoked, _ := IsRevoked(pk, msg, sig, url); revoked {
-		return ErrRevoked
-	}
-	return nil
+	return verifyWithRevocation(pk, msg, sig, url, nil)
 }
 
 // VerifyWithRevocationCounted is VerifyWithRevocation with op counts.
 func VerifyWithRevocationCounted(pk *PublicKey, msg []byte, sig *Signature, url []*RevocationToken) (OpCounts, error) {
 	var counts OpCounts
-	if err := verify(pk, msg, sig, &counts); err != nil {
-		return counts, err
+	err := verifyWithRevocation(pk, msg, sig, url, &counts)
+	return counts, err
+}
+
+func verifyWithRevocation(pk *PublicKey, msg []byte, sig *Signature, url []*RevocationToken, counts *OpCounts) error {
+	ct := counter{counts}
+	if err := checkSignatureShape(sig); err != nil {
+		return err
 	}
-	revoked, _, _ := isRevoked(pk, msg, sig, url, &counts)
-	if revoked {
-		return counts, ErrRevoked
+
+	// One H0 evaluation covers both the G1 and the G2 bases; the four
+	// exponentiations (two ψ applications plus û, v̂) remain.
+	a, b := deriveScalars(pk, sig.Mode, msg, sig.R, ct)
+	u := new(bn256.G1).ScalarBaseMult(a)
+	v := new(bn256.G1).ScalarBaseMult(b)
+	ct.exp(2)
+	if err := verifyWithBases(pk, msg, sig, u, v, ct); err != nil {
+		return err
 	}
-	return counts, nil
+	if len(url) == 0 {
+		return nil
+	}
+	uhat := new(bn256.G2).ScalarBaseMult(a)
+	vhat := new(bn256.G2).ScalarBaseMult(b)
+	ct.exp(2)
+	if revoked, _ := isRevokedWithBases(sig, uhat, vhat, url, ct); revoked {
+		return ErrRevoked
+	}
+	return nil
 }
 
 func verify(pk *PublicKey, msg []byte, sig *Signature, counts *OpCounts) error {
@@ -56,8 +72,15 @@ func verify(pk *PublicKey, msg []byte, sig *Signature, counts *OpCounts) error {
 
 	// Step 3.2.1: recompute the bases.
 	u, v := deriveG1Generators(pk, sig.Mode, msg, sig.R, ct) // 2 exps
+	return verifyWithBases(pk, msg, sig, u, v, ct)
+}
 
-	negC := new(big.Int).Sub(bn256.Order, new(big.Int).Mod(sig.C, bn256.Order))
+// verifyWithBases runs the challenge check of Eq.2 against pre-derived
+// bases (u, v). Callers are responsible for checkSignatureShape.
+func verifyWithBases(pk *PublicKey, msg []byte, sig *Signature, u, v *bn256.G1, ct counter) error {
+	// checkSignatureShape guarantees 0 ≤ c < Order, so a single reduction
+	// of the negation suffices (c = 0 wraps to Order).
+	negC := new(big.Int).Sub(bn256.Order, sig.C)
 	negC.Mod(negC, bn256.Order)
 
 	// Step 3.2.2: recover the helper values.
@@ -73,21 +96,23 @@ func verify(pk *PublicKey, msg []byte, sig *Signature, counts *OpCounts) error {
 	ct.exp(1)
 
 	// R̃2 = e(T2, g2^{s_x} · w^c) · e(v, w^{−s_α} · g2^{−s_δ}) · e(g1,g2)^{−c}.
-	// Two live pairings plus the cached e(g1, g2) — the paper's accounting
-	// charges the cached value as the third pairing.
+	// Two live pairings sharing one final exponentiation, plus the cached
+	// e(g1, g2) — the paper's accounting charges the cached value as the
+	// third pairing. Powers of w go through the public key's window table.
 	rhs1 := new(bn256.G2).ScalarBaseMult(sig.SX)
-	rhs1.Add(rhs1, new(bn256.G2).ScalarMult(pk.W, sig.C))
+	rhs1.Add(rhs1, pk.wTab().Mul(new(bn256.G2), sig.C))
 	ct.exp(1)
 
 	negSAlpha := new(big.Int).Sub(bn256.Order, sig.SAlpha)
-	rhs2 := new(bn256.G2).ScalarMult(pk.W, negSAlpha)
+	rhs2 := pk.wTab().Mul(new(bn256.G2), negSAlpha)
 	rhs2.Add(rhs2, new(bn256.G2).ScalarBaseMult(negSDelta))
 	ct.exp(1)
 
-	r2 := bn256.Pair(sig.T2, rhs1)
+	acc := bn256.Miller(sig.T2, rhs1)
 	ct.pairing(1)
-	r2.Add(r2, bn256.Pair(v, rhs2))
+	acc.Add(acc, bn256.Miller(v, rhs2))
 	ct.pairing(1)
+	r2 := acc.Finalize()
 	eggNegC := new(bn256.GT).ScalarMult(pk.egg, negC)
 	ct.gtExp(1)
 	r2.Add(r2, eggNegC)
