@@ -2,20 +2,35 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples vet fmt cover clean ci
+.PHONY: all build test race bench experiments examples vet fmt cover clean ci fuzz meshd-loopback
 
 all: build test
 
-# ci is the full gate: static checks, build, tests, and the race detector
+# ci is the full gate: static checks, build, tests, the race detector
 # over every package with concurrent paths (batch verifier, ingest queue,
-# mesh forwarding, relay).
+# transport datapath, mesh forwarding, relay), and a short fuzz smoke of
+# every wire-facing decoder.
 ci:
 	$(GO) vet ./...
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/
+	$(MAKE) fuzz
+
+# fuzz smoke: each wire-facing decoder gets a short randomized run.
+fuzz:
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzDecodeFrame$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzDecodeMessage$$' -fuzztime=10s
+	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalBeacon$$' -fuzztime=10s
+	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalAccessRequest$$' -fuzztime=10s
+	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalPeerHello$$' -fuzztime=10s
+
+# meshd-loopback is the transport acceptance drill: 100 concurrent users
+# through full M.1–M.3 over real UDP loopback at 5% induced datagram loss.
+meshd-loopback:
+	$(GO) run ./cmd/meshd -mode loopback -users 100 -loss 0.05
 
 build:
 	$(GO) build ./...
@@ -24,7 +39,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,237 @@
+// Command meshd runs the PEACE transport over real UDP sockets.
+//
+// Serve mode provisions a network, writes the users' credentials to a
+// provision file and answers M.1–M.3 handshakes on a listen socket,
+// printing router and transport counters as periodic JSON. Client mode
+// imports that provision file and drives N concurrent users through the
+// full AKA against a remote meshd. Loopback mode runs both ends in one
+// process over 127.0.0.1 with induced datagram loss — the acceptance
+// drill for the retransmission machinery.
+//
+// Usage:
+//
+//	meshd -mode serve -listen 127.0.0.1:7464 -provision /tmp/peace.prov -users 100
+//	meshd -mode client -addr 127.0.0.1:7464 -provision /tmp/peace.prov -users 100 -loss 0.05
+//	meshd -mode loopback -users 100 -loss 0.05
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/transport"
+)
+
+func main() {
+	mode := flag.String("mode", "loopback", "serve, client or loopback")
+	listen := flag.String("listen", "127.0.0.1:7464", "serve: UDP listen address")
+	addr := flag.String("addr", "127.0.0.1:7464", "client: meshd address to attach to")
+	users := flag.Int("users", 100, "users to provision (serve) or drive (client, loopback)")
+	loss := flag.Float64("loss", 0.05, "client, loopback: induced datagram loss probability [0,1)")
+	seed := flag.Int64("seed", 1, "seed for induced loss")
+	provision := flag.String("provision", "peace.prov", "serve: credentials file to write; client: to read")
+	group := flag.String("group", "grp-0", "group to authenticate under")
+	statsEvery := flag.Duration("stats", 5*time.Second, "serve: stats emission period")
+	duration := flag.Duration("duration", 0, "serve: exit after this long (0 = until signal)")
+	timeout := flag.Duration("timeout", 30*time.Second, "client, loopback: per-handshake timeout")
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "serve":
+		err = runServe(*listen, *provision, *users, *statsEvery, *duration)
+	case "client":
+		err = runClient(*addr, *provision, *users, *loss, *seed, core.GroupID(*group), *timeout)
+	case "loopback":
+		err = runLoopback(*users, *loss, *seed, *timeout)
+	default:
+		err = fmt.Errorf("unknown -mode %q (serve, client, loopback)", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// statsLine is one periodic JSON record emitted by serve mode.
+type statsLine struct {
+	At        string                  `json:"at"`
+	Transport transport.StatsSnapshot `json:"transport"`
+	Router    core.RouterStats        `json:"router"`
+}
+
+func runServe(listen, provisionPath string, users int, statsEvery, duration time.Duration) error {
+	ln, err := transport.NewLocalNetwork(core.Config{}, "MR-0", "grp-0", users)
+	if err != nil {
+		return fmt.Errorf("provision: %w", err)
+	}
+	blob, err := ln.ExportCredentials()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(provisionPath, blob, 0o600); err != nil {
+		return err
+	}
+	log.Printf("meshd: %d users provisioned, credentials in %s", users, provisionPath)
+
+	conn, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		return err
+	}
+	srv := transport.NewServer(conn, ln.Router, transport.ServerConfig{Logf: log.Printf})
+	defer srv.Close()
+	log.Printf("meshd: serving on %s", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, duration)
+		defer cancel()
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	emit := func() {
+		_ = enc.Encode(statsLine{
+			At:        time.Now().UTC().Format(time.RFC3339),
+			Transport: srv.Stats().Snapshot(),
+			Router:    ln.Router.Stats(),
+		})
+	}
+	tick := time.NewTicker(statsEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			emit()
+		case <-ctx.Done():
+			emit()
+			return nil
+		}
+	}
+}
+
+// clientReport is the JSON summary client mode prints on exit.
+type clientReport struct {
+	Users             int      `json:"users"`
+	Established       int64    `json:"established"`
+	Failed            int64    `json:"failed"`
+	ElapsedNs         int64    `json:"elapsed_ns"`
+	HandshakesPerSec  float64  `json:"handshakes_per_sec"`
+	ClientRetransmits int64    `json:"client_retransmits"`
+	ClientTimeouts    int64    `json:"client_timeouts"`
+	DatagramsDropped  int64    `json:"datagrams_dropped"`
+	Errors            []string `json:"errors,omitempty"`
+}
+
+func runClient(addr, provisionPath string, users int, loss float64, seed int64, group core.GroupID, timeout time.Duration) error {
+	blob, err := os.ReadFile(provisionPath)
+	if err != nil {
+		return err
+	}
+	provisioned, err := transport.ImportUsers(core.Config{}, blob)
+	if err != nil {
+		return err
+	}
+	if len(provisioned) < users {
+		return fmt.Errorf("provision file has %d users, -users %d requested", len(provisioned), users)
+	}
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+
+	rep := clientReport{Users: users}
+	var mu sync.Mutex
+	var established, failed atomic.Int64
+	var retransmits, timeouts, dropped atomic.Int64
+	cfg := transport.ClientConfig{Group: group}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.ListenPacket("udp", ":0")
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer conn.Close()
+			cconn := net.PacketConn(conn)
+			if loss > 0 {
+				lossy := transport.NewLossyConn(conn, loss, seed+int64(i)+1)
+				cconn = lossy
+				defer func() { dropped.Add(lossy.Dropped()) }()
+			}
+			cl := transport.NewClient(cconn, raddr, provisioned[i], cfg)
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			_, err = cl.Attach(ctx)
+			retransmits.Add(cl.Stats().Retransmits())
+			timeouts.Add(cl.Stats().Timeouts())
+			if err != nil {
+				failed.Add(1)
+				mu.Lock()
+				rep.Errors = append(rep.Errors, fmt.Sprintf("user %d: %v", i, err))
+				mu.Unlock()
+				return
+			}
+			established.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Established = established.Load()
+	rep.Failed = failed.Load()
+	rep.ElapsedNs = elapsed.Nanoseconds()
+	rep.ClientRetransmits = retransmits.Load()
+	rep.ClientTimeouts = timeouts.Load()
+	rep.DatagramsDropped = dropped.Load()
+	if elapsed > 0 {
+		rep.HandshakesPerSec = float64(rep.Established) / elapsed.Seconds()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d/%d handshakes failed", rep.Failed, users)
+	}
+	return nil
+}
+
+func runLoopback(users int, loss float64, seed int64, timeout time.Duration) error {
+	rep, err := transport.RunLoopback(transport.LoopbackConfig{
+		Users:         users,
+		Loss:          loss,
+		Seed:          seed,
+		AttachTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d/%d handshakes failed", rep.Failed, rep.Users)
+	}
+	log.Printf("meshd: %d/%d handshakes established at %.0f%% loss (%.1f/s, %d retransmits, %d datagrams dropped)",
+		rep.Established, rep.Users, loss*100, rep.HandshakesPerSec, rep.ClientRetransmits, rep.DatagramsDropped)
+	return nil
+}

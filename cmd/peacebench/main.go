@@ -7,7 +7,9 @@
 //	peacebench              # run every experiment
 //	peacebench -exp e3      # run one experiment
 //	peacebench -exp e3 -url 0,1,2,5,10,20,50 -iters 3
+//	peacebench -exp e13             # UDP loopback handshake throughput
 //	peacebench -json BENCH_results.json   # also write machine-readable results
+//	                                      # (merges into an existing file)
 package main
 
 import (
@@ -58,7 +60,7 @@ type ablationRow struct {
 var collect *benchJSON
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
 	urlSizes := flag.String("url", "0,1,2,5,10,20", "comma-separated |URL| sweep for e3")
 	grtSizes := flag.String("grt", "4,8,16,32,64", "comma-separated |grt| sweep for e7")
 	floods := flag.String("floods", "50,200", "comma-separated flood sizes for e6")
@@ -67,14 +69,26 @@ func main() {
 	flag.Parse()
 
 	if *jsonPath != "" {
-		collect = &benchJSON{
-			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-			GoOS:        runtime.GOOS,
-			GoArch:      runtime.GOARCH,
-			NumCPU:      runtime.NumCPU(),
-			OpCounts:    map[string]opCountsRow{},
-			Primitives:  map[string]int64{},
-			Benchmarks:  map[string]any{},
+		collect = &benchJSON{}
+		// A partial run (-exp e13 -json BENCH_results.json) appends to the
+		// existing record instead of discarding the other experiments.
+		if buf, err := os.ReadFile(*jsonPath); err == nil {
+			if err := json.Unmarshal(buf, collect); err != nil {
+				log.Fatalf("existing %s: %v", *jsonPath, err)
+			}
+		}
+		collect.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		collect.GoOS = runtime.GOOS
+		collect.GoArch = runtime.GOARCH
+		collect.NumCPU = runtime.NumCPU()
+		if collect.OpCounts == nil {
+			collect.OpCounts = map[string]opCountsRow{}
+		}
+		if collect.Primitives == nil {
+			collect.Primitives = map[string]int64{}
+		}
+		if collect.Benchmarks == nil {
+			collect.Benchmarks = map[string]any{}
 		}
 	}
 	if err := run(*exp, parseInts(*urlSizes), parseInts(*grtSizes), parseInts(*floods), *iters); err != nil {
@@ -127,6 +141,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		{"e10", func() error { return runE10(iters) }},
 		{"e11", func() error { return runE11(iters) }},
 		{"e12", func() error { return runE12(iters) }},
+		{"e13", func() error { return runE13() }},
 	} {
 		if runAll || exp == e.name {
 			ran = true
@@ -136,7 +151,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e12 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e13 or all)", exp)
 	}
 	return nil
 }
@@ -438,6 +453,43 @@ func runE12(iters int) error {
 		collect.Benchmarks["BenchmarkE12ParallelSweep"] = map[string]any{
 			"url_size": rep.URLSize,
 			"rows":     sweep,
+		}
+	}
+	return nil
+}
+
+func runE13() error {
+	header("E13: loopback handshake throughput over UDP (internal/transport)")
+	rep, err := experiments.RunE13Transport([]int{16, 64, 100}, []float64{0, 0.05})
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "users\tloss\testablished\thandshakes/s\tp50\tp99\tretransmits\tdropped")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%d\t%.0f%%\t%d/%d\t%.1f\t%v\t%v\t%d\t%d\n",
+			r.Users, r.Loss*100, r.Established, r.Users, r.HandshakesPerSec,
+			r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+			r.Retransmits, r.DatagramsDropped)
+	}
+	w.Flush()
+	if collect != nil {
+		rows := make([]map[string]any, 0, len(rep.Rows))
+		for _, r := range rep.Rows {
+			rows = append(rows, map[string]any{
+				"users":              r.Users,
+				"loss":               r.Loss,
+				"established":        r.Established,
+				"failed":             r.Failed,
+				"handshakes_per_sec": r.HandshakesPerSec,
+				"p50_ns":             int64(r.P50),
+				"p99_ns":             int64(r.P99),
+				"retransmits":        r.Retransmits,
+				"datagrams_dropped":  r.DatagramsDropped,
+			})
+		}
+		collect.Benchmarks["BenchmarkE13LoopbackHandshake"] = map[string]any{
+			"rows": rows,
 		}
 	}
 	return nil

@@ -275,15 +275,14 @@ func UnmarshalCRL(data []byte) (*CRL, error) {
 	if l.NextUpdate, err = r.Time(); err != nil {
 		return nil, err
 	}
-	n, err := r.Uint32()
+	// Each entry is a length-prefixed string (≥ 4 bytes); Count bounds the
+	// claimed entry count by the bytes actually present.
+	n, err := r.Count(4)
 	if err != nil {
-		return nil, err
-	}
-	if n > 1<<20 {
-		return nil, fmt.Errorf("%w: CRL too large", ErrMalformed)
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	l.Revoked = make([]string, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		id, err := r.StringField()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds builds one valid marshaled copy of each AKA message so the
+// fuzzers start from structurally interesting corpora instead of noise.
+func fuzzSeeds(f *testing.F) (beacon, accessReq, peerHello []byte) {
+	f.Helper()
+	tb := newTestbed(f, 1, 2, 1)
+	r := tb.routers["MR-0"]
+	u, peer := tb.user("0", 0), tb.user("0", 1)
+
+	b, err := r.Beacon()
+	if err != nil {
+		f.Fatal(err)
+	}
+	m2, err := u.HandleBeacon(b, "grp-0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := peer.ObserveBeacon(b); err != nil {
+		f.Fatal(err)
+	}
+	hello, err := u.StartPeerAuth("grp-0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b.Marshal(), m2.Marshal(), hello.Marshal()
+}
+
+func FuzzUnmarshalBeacon(f *testing.F) {
+	seed, _, _ := fuzzSeeds(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := UnmarshalBeacon(data)
+		if err != nil {
+			return
+		}
+		// A successfully parsed beacon must re-marshal without panicking
+		// and survive a second parse (canonical form is stable).
+		out := b.Marshal()
+		if _, err := UnmarshalBeacon(out); err != nil {
+			t.Fatalf("re-parse of re-marshaled beacon: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalAccessRequest(f *testing.F) {
+	_, seed, _ := fuzzSeeds(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalAccessRequest(data)
+		if err != nil {
+			return
+		}
+		out := m.Marshal()
+		m2, err := UnmarshalAccessRequest(out)
+		if err != nil {
+			t.Fatalf("re-parse of re-marshaled access request: %v", err)
+		}
+		if !bytes.Equal(out, m2.Marshal()) {
+			t.Fatal("access request marshal not stable")
+		}
+	})
+}
+
+func FuzzUnmarshalPeerHello(f *testing.F) {
+	_, _, seed := fuzzSeeds(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalPeerHello(data)
+		if err != nil {
+			return
+		}
+		out := m.Marshal()
+		if _, err := UnmarshalPeerHello(out); err != nil {
+			t.Fatalf("re-parse of re-marshaled peer hello: %v", err)
+		}
+	})
+}

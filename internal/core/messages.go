@@ -87,15 +87,15 @@ func UnmarshalUserRevocationList(data []byte) (*UserRevocationList, error) {
 	if l.NextUpdate, err = r.Time(); err != nil {
 		return nil, err
 	}
-	n, err := r.Uint32()
+	// Each token is a length-prefixed G1 point, so a well-formed entry
+	// occupies at least 4+G1Size bytes; Count rejects hostile counts
+	// before the slice is sized from them.
+	n, err := r.Count(4 + bn256.G1Size)
 	if err != nil {
-		return nil, err
-	}
-	if n > 1<<20 {
-		return nil, fmt.Errorf("url: token count %d too large", n)
+		return nil, fmt.Errorf("url: %w", err)
 	}
 	l.Tokens = make([]*sgs.RevocationToken, 0, n)
-	for i := uint32(0); i < n; i++ {
+	for i := 0; i < n; i++ {
 		raw, err := r.BytesField()
 		if err != nil {
 			return nil, err

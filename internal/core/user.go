@@ -136,6 +136,38 @@ func (u *User) AcceptCredential(assign *KeyAssignment, maskedToken []byte) (gmRe
 // ReceiptKey returns the user's receipt-verification public key.
 func (u *User) ReceiptKey() cert.PublicKey { return u.signKey.Public() }
 
+// Credentials returns copies of the user's enrolled credentials, for
+// out-of-band provisioning (e.g. handing a pre-enrolled identity to a
+// device that authenticates over the network transport).
+func (u *User) Credentials() []*Credential {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]*Credential, 0, len(u.creds))
+	for _, c := range u.creds {
+		cp := *c
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// InstallCredential installs an externally provisioned credential after
+// validating the assembled key against the group public key — the inverse
+// of Credentials for deployments where enrollment ran elsewhere (a
+// provisioning service) and only the finished gsk reaches the device.
+func (u *User) InstallCredential(c *Credential) error {
+	if c == nil || c.Key == nil {
+		return fmt.Errorf("user %q: nil credential", u.ID())
+	}
+	if err := sgs.CheckKey(u.gpk, c.Key); err != nil {
+		return fmt.Errorf("user %q: provisioned key invalid: %w", u.ID(), err)
+	}
+	cp := *c
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.creds[c.Group] = &cp
+	return nil
+}
+
 // credential picks the credential for group, or any credential when group
 // is empty (users act in different roles; callers choose the role).
 func (u *User) credential(group GroupID) (*Credential, error) {

@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// ErrHandshakeTimeout is returned when a handshake phase exhausted its
+// retransmissions without an answer.
+var ErrHandshakeTimeout = errors.New("transport: handshake timed out after max retries")
+
+// ClientConfig tunes the user-side handshake state machine.
+type ClientConfig struct {
+	// Group selects which credential signs M.2 (empty = any).
+	Group core.GroupID
+	// RetransmitTimeout is the initial wait before a frame is sent again.
+	// Default 150ms.
+	RetransmitTimeout time.Duration
+	// MaxTimeout caps the backed-off retransmit timeout. Default 2s.
+	MaxTimeout time.Duration
+	// BackoffFactor multiplies the timeout after every retransmission.
+	// Default 2.
+	BackoffFactor float64
+	// MaxRetries bounds retransmissions per phase (so a phase sends at
+	// most 1+MaxRetries frames). The default of 10 gives a total wait of
+	// ≈16 s per phase — sized so a request sitting in a busy router's
+	// verification queue behind ~100 concurrent users is not abandoned
+	// while the server is still working on it.
+	MaxRetries int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.RetransmitTimeout <= 0 {
+		c.RetransmitTimeout = 150 * time.Millisecond
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Second
+	}
+	if c.BackoffFactor < 1 {
+		c.BackoffFactor = 2
+	}
+	if c.MaxRetries < 1 {
+		c.MaxRetries = 10
+	}
+	return c
+}
+
+// Client drives one user through the M.1–M.3 AKA against a router
+// address. The state machine is send-and-wait with exponential backoff:
+//
+//	solicit ──M.1──▶ request ──M.3──▶ established
+//	   │ timeout: resend beacon-request │ timeout: resend M.2
+//
+// Duplicate beacons and stray frames are suppressed; a Reject for the
+// session aborts (except queue-full, which keeps retrying — that is
+// backpressure, not failure).
+type Client struct {
+	cfg   ClientConfig
+	conn  net.PacketConn
+	raddr net.Addr
+	user  *core.User
+	stats *Stats
+	buf   []byte
+}
+
+// NewClient wraps conn (the user's own socket) talking to the router at
+// raddr on behalf of user.
+func NewClient(conn net.PacketConn, raddr net.Addr, user *core.User, cfg ClientConfig) *Client {
+	return &Client{
+		cfg:   cfg.withDefaults(),
+		conn:  conn,
+		raddr: raddr,
+		user:  user,
+		stats: &Stats{},
+		buf:   make([]byte, 65536),
+	}
+}
+
+// Stats returns the client's transport counters.
+func (c *Client) Stats() *Stats { return c.stats }
+
+// Attach runs the full three-message AKA and returns the established
+// session. It retransmits through datagram loss and fails with
+// ErrHandshakeTimeout when the router stays silent.
+func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
+	// Phase 1: solicit the beacon (M.1).
+	solicit, err := EncodeMessage(&BeaconRequest{})
+	if err != nil {
+		return nil, err
+	}
+	var beacon *core.Beacon
+	err = c.exchange(ctx, solicit, func(kind Kind, payload []byte) (bool, error) {
+		if kind != KindBeacon {
+			c.stats.unhandled.Add(1)
+			return false, nil
+		}
+		b, err := core.UnmarshalBeacon(payload)
+		if err != nil {
+			c.stats.decodeErrors.Add(1)
+			return false, nil
+		}
+		beacon = b
+		return true, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("solicit beacon: %w", err)
+	}
+
+	// Phase 2: validate M.1, send M.2, await M.3.
+	m2, err := c.user.HandleBeacon(beacon, c.cfg.Group)
+	if err != nil {
+		return nil, err
+	}
+	request, err := EncodeMessage(m2)
+	if err != nil {
+		return nil, err
+	}
+	sid := core.NewSessionID(m2.GR, m2.GJ)
+	var confirm *core.AccessConfirm
+	err = c.exchange(ctx, request, func(kind Kind, payload []byte) (bool, error) {
+		switch kind {
+		case KindAccessConfirm:
+			m, err := core.UnmarshalAccessConfirm(payload)
+			if err != nil {
+				c.stats.decodeErrors.Add(1)
+				return false, nil
+			}
+			if core.NewSessionID(m.GR, m.GJ) != sid {
+				c.stats.unhandled.Add(1)
+				return false, nil
+			}
+			confirm = m
+			return true, nil
+		case KindReject:
+			rej, err := UnmarshalReject(payload)
+			if err != nil {
+				c.stats.decodeErrors.Add(1)
+				return false, nil
+			}
+			if rej.Session != sid {
+				c.stats.unhandled.Add(1)
+				return false, nil
+			}
+			c.stats.rejects.Add(1)
+			if rej.Code == RejectQueueFull {
+				// Backpressure: stay in the retransmit loop.
+				return false, nil
+			}
+			return false, fmt.Errorf("transport: router rejected request (%s): %w", rej.Reason, rej.Code.Err())
+		case KindBeacon:
+			// A retransmitted solicitation from phase 1 can still produce
+			// late beacons; they are duplicates here.
+			c.stats.duplicates.Add(1)
+			return false, nil
+		default:
+			c.stats.unhandled.Add(1)
+			return false, nil
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("access request: %w", err)
+	}
+	return c.user.HandleAccessConfirm(confirm)
+}
+
+// exchange sends frame and reads datagrams until handle reports
+// completion, retransmitting with exponential backoff. handle returns
+// (done, err): done finishes the phase, err aborts the handshake, and
+// (false, nil) keeps listening within the current timeout.
+func (c *Client) exchange(ctx context.Context, frame []byte, handle func(Kind, []byte) (bool, error)) error {
+	timeout := c.cfg.RetransmitTimeout
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.stats.retransmits.Add(1)
+		}
+		if err := c.send(frame); err != nil {
+			return err
+		}
+		deadline := time.Now().Add(timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return err
+			}
+			n, from, err := c.conn.ReadFrom(c.buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+					break // retransmit
+				}
+				return err
+			}
+			c.stats.bytesIn.Add(int64(n))
+			if from.String() != c.raddr.String() {
+				c.stats.unhandled.Add(1)
+				continue
+			}
+			kind, payload, derr := DecodeFrame(c.buf[:n])
+			if derr != nil {
+				c.stats.decodeErrors.Add(1)
+				continue
+			}
+			c.stats.framesIn.Add(1)
+			done, herr := handle(kind, payload)
+			if herr != nil {
+				return herr
+			}
+			if done {
+				return nil
+			}
+		}
+		timeout = time.Duration(float64(timeout) * c.cfg.BackoffFactor)
+		if timeout > c.cfg.MaxTimeout {
+			timeout = c.cfg.MaxTimeout
+		}
+	}
+	c.stats.timeouts.Add(1)
+	return ErrHandshakeTimeout
+}
+
+func (c *Client) send(frame []byte) error {
+	n, err := c.conn.WriteTo(frame, c.raddr)
+	if err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	c.stats.framesOut.Add(1)
+	c.stats.bytesOut.Add(int64(n))
+	return nil
+}

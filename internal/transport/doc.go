@@ -1,0 +1,21 @@
+// Package transport puts the PEACE access protocol on the wire: a
+// versioned, length-framed datagram codec over UDP carrying every
+// protocol message (M.1–M.3 beacons/requests/confirms, M̃.1–M̃.3 peer
+// authentication, URL/CRL updates, puzzle challenges), plus the client-
+// and router-side handshake state machines that make the three-message
+// AKA survive a real lossy network: per-session retransmission with
+// exponential backoff, duplicate suppression with confirm replay, and a
+// concurrent server loop that feeds bursts of access requests through the
+// router's bounded ingest queue so the batch-verification pipeline is
+// exercised by real traffic.
+//
+// Frame layout (one frame per datagram, strict):
+//
+//	magic "PEAC" (4) ‖ version 1 B ‖ kind 1 B ‖ u32(len) ‖ payload
+//
+// The payload is the message's existing Marshal encoding (internal/core,
+// internal/cert, internal/puzzle); the codec adds no per-message framing
+// of its own. Decoding never panics on hostile bytes — see the fuzz
+// targets — and rejects bad magic, unknown versions/kinds, length
+// mismatches and oversized payloads before any allocation.
+package transport

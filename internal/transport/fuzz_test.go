@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary datagrams at the frame decoder. The
+// decoder guards every UDP read in the daemon, so it must never panic and
+// every accepted frame must re-encode to the identical datagram.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, kind := range []Kind{KindBeaconRequest, KindBeacon, KindAccessRequest, KindReject} {
+		frame, err := EncodeFrame(kind, []byte("seed payload"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:HeaderSize])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PEAC"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeFrame(kind, payload)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("decode/encode round trip not identical")
+		}
+	})
+}
+
+// FuzzDecodeMessage drives the full kind-dispatched message decoder the
+// server loop runs on every datagram: any (kind, payload) must either be
+// rejected cleanly or produce a message that survives re-encoding.
+func FuzzDecodeMessage(f *testing.F) {
+	rej := &Reject{Code: RejectQueueFull, Reason: "seed"}
+	frame, err := EncodeMessage(rej)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint8(KindReject), frame[HeaderSize:])
+	f.Add(uint8(KindBeaconRequest), []byte{})
+	f.Add(uint8(KindBeacon), []byte("not a beacon"))
+	f.Fuzz(func(t *testing.T, k uint8, payload []byte) {
+		msg, err := DecodeMessage(Kind(k), payload)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeMessage(msg); err != nil {
+			t.Fatalf("accepted %T failed to re-encode: %v", msg, err)
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// LoopbackConfig describes one loopback handshake run: N concurrent users
+// driving full M.1–M.3 against one router over real UDP sockets, with
+// optional induced datagram loss on both directions.
+type LoopbackConfig struct {
+	// Users is the number of concurrent clients. Default 16.
+	Users int
+	// Loss is the per-datagram drop probability applied on both the
+	// server's and every client's send path (so effective round-trip loss
+	// is higher). Zero disables the lossy wrapper.
+	Loss float64
+	// Seed makes induced loss reproducible. Default 1.
+	Seed int64
+	// AttachTimeout bounds one client's whole handshake. Default 30s.
+	AttachTimeout time.Duration
+	// Client and Server tune the endpoints.
+	Client ClientConfig
+	Server ServerConfig
+}
+
+func (c LoopbackConfig) withDefaults() LoopbackConfig {
+	if c.Users < 1 {
+		c.Users = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.AttachTimeout <= 0 {
+		c.AttachTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// LoopbackReport is the outcome of one loopback run.
+type LoopbackReport struct {
+	Users       int           `json:"users"`
+	Loss        float64       `json:"loss"`
+	Established int           `json:"established"`
+	Failed      int           `json:"failed"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	// HandshakesPerSec is established handshakes over wall-clock time.
+	HandshakesPerSec float64 `json:"handshakes_per_sec"`
+	// P50/P99 are attach-latency percentiles over successful handshakes.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// ClientRetransmits / ClientTimeouts aggregate over all clients.
+	ClientRetransmits int64 `json:"client_retransmits"`
+	ClientTimeouts    int64 `json:"client_timeouts"`
+	// DatagramsDropped counts datagrams the lossy wrappers discarded.
+	DatagramsDropped int64 `json:"datagrams_dropped"`
+	// Server holds the router-side transport counters.
+	Server StatsSnapshot `json:"server"`
+	// Router holds the protocol-level router counters.
+	Router core.RouterStats `json:"router"`
+	// Errors lists per-user attach failures (empty on full success).
+	Errors []string `json:"errors,omitempty"`
+}
+
+// RunLoopback provisions a single-router network, serves it on a real UDP
+// loopback socket, and drives cfg.Users concurrent clients through the
+// full AKA. Every session must be established for the run to be a
+// success, but individual failures are reported, not fatal.
+func RunLoopback(cfg LoopbackConfig) (*LoopbackReport, error) {
+	cfg = cfg.withDefaults()
+	ln, err := NewLocalNetwork(core.Config{}, "MR-0", "grp-0", cfg.Users)
+	if err != nil {
+		return nil, fmt.Errorf("provision: %w", err)
+	}
+	return RunLoopbackWith(ln, cfg)
+}
+
+// RunLoopbackWith is RunLoopback over an already provisioned network
+// (meshd reuses its network across runs).
+func RunLoopbackWith(n *LocalNetwork, cfg LoopbackConfig) (*LoopbackReport, error) {
+	cfg = cfg.withDefaults()
+	if len(n.Users) < cfg.Users {
+		return nil, fmt.Errorf("loopback: %d users provisioned, %d requested", len(n.Users), cfg.Users)
+	}
+
+	serverConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	var serverLossy *LossyConn
+	sconn := net.PacketConn(serverConn)
+	if cfg.Loss > 0 {
+		serverLossy = NewLossyConn(serverConn, cfg.Loss, cfg.Seed)
+		sconn = serverLossy
+	}
+	srv := NewServer(sconn, n.Router, cfg.Server)
+	defer srv.Close()
+	raddr := serverConn.LocalAddr()
+
+	type outcome struct {
+		latency time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, cfg.Users)
+	clients := make([]*Client, cfg.Users)
+	var dropped int64
+	var droppedMu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				outcomes[i].err = err
+				return
+			}
+			defer conn.Close()
+			cconn := net.PacketConn(conn)
+			if cfg.Loss > 0 {
+				lossy := NewLossyConn(conn, cfg.Loss, cfg.Seed+int64(i)+1)
+				cconn = lossy
+				defer func() {
+					droppedMu.Lock()
+					dropped += lossy.Dropped()
+					droppedMu.Unlock()
+				}()
+			}
+			cl := NewClient(cconn, raddr, n.Users[i], cfg.Client)
+			clients[i] = cl
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.AttachTimeout)
+			defer cancel()
+			t0 := time.Now()
+			_, err = cl.Attach(ctx)
+			outcomes[i] = outcome{latency: time.Since(t0), err: err}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoopbackReport{
+		Users:   cfg.Users,
+		Loss:    cfg.Loss,
+		Elapsed: elapsed,
+		Server:  srv.Stats().Snapshot(),
+		Router:  n.Router.Stats(),
+	}
+	if serverLossy != nil {
+		dropped += serverLossy.Dropped()
+	}
+	rep.DatagramsDropped = dropped
+	var latencies []time.Duration
+	for i, o := range outcomes {
+		if o.err != nil {
+			rep.Failed++
+			rep.Errors = append(rep.Errors, fmt.Sprintf("user %d: %v", i, o.err))
+			continue
+		}
+		rep.Established++
+		latencies = append(latencies, o.latency)
+	}
+	for _, cl := range clients {
+		if cl == nil {
+			continue
+		}
+		rep.ClientRetransmits += cl.Stats().Retransmits()
+		rep.ClientTimeouts += cl.Stats().Timeouts()
+	}
+	if elapsed > 0 {
+		rep.HandshakesPerSec = float64(rep.Established) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		rep.P50 = latencies[len(latencies)*50/100]
+		p99 := len(latencies) * 99 / 100
+		if p99 >= len(latencies) {
+			p99 = len(latencies) - 1
+		}
+		rep.P99 = latencies[p99]
+	}
+	return rep, nil
+}

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// LossyConn wraps a net.PacketConn and silently drops a configurable
+// fraction of outgoing datagrams — the loopback stand-in for a lossy
+// radio link. Drops happen on the send side (the caller believes the
+// datagram left), so wrapping both endpoints of a path induces loss in
+// both directions. The pseudo-random source is seeded, making test runs
+// reproducible.
+type LossyConn struct {
+	net.PacketConn
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	loss    float64
+	dropped int64
+	// dropFn, when set, overrides the random policy: return true to drop
+	// this datagram. Tests use it to script exact loss patterns (e.g.
+	// "drop the first M.2").
+	dropFn func(p []byte) bool
+}
+
+// NewLossyConn wraps conn with send-side loss probability loss (0..1).
+func NewLossyConn(conn net.PacketConn, loss float64, seed int64) *LossyConn {
+	return &LossyConn{
+		PacketConn: conn,
+		rng:        rand.New(rand.NewSource(seed)),
+		loss:       loss,
+	}
+}
+
+// NewScriptedConn wraps conn with a deterministic drop policy.
+func NewScriptedConn(conn net.PacketConn, drop func(p []byte) bool) *LossyConn {
+	return &LossyConn{PacketConn: conn, dropFn: drop}
+}
+
+// WriteTo sends p to addr unless the loss policy drops it, in which case
+// the datagram vanishes but the caller sees a successful send — exactly
+// what a congested or fading link does.
+func (c *LossyConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	c.mu.Lock()
+	drop := false
+	if c.dropFn != nil {
+		drop = c.dropFn(p)
+	} else if c.loss > 0 {
+		drop = c.rng.Float64() < c.loss
+	}
+	if drop {
+		c.dropped++
+	}
+	c.mu.Unlock()
+	if drop {
+		return len(p), nil
+	}
+	return c.PacketConn.WriteTo(p, addr)
+}
+
+// Dropped returns how many datagrams the policy has discarded.
+func (c *LossyConn) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}

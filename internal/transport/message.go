@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/puzzle"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// BeaconRequest solicits the router's current beacon (no payload).
+type BeaconRequest struct{}
+
+// RejectCode classifies why a router refused an access request, so a
+// client can distinguish "retry later" from "give up".
+type RejectCode uint32
+
+// Reject codes, mapped from the core protocol errors.
+const (
+	RejectUnspecified RejectCode = iota
+	RejectQueueFull              // transient: ingest queue shed the request
+	RejectStale                  // replay/freshness check failed
+	RejectAuth                   // group-signature verification failed
+	RejectRevoked                // signer's token is on the URL
+	RejectPuzzle                 // missing or wrong client-puzzle solution
+)
+
+// String names the code.
+func (c RejectCode) String() string {
+	switch c {
+	case RejectQueueFull:
+		return "queue-full"
+	case RejectStale:
+		return "stale"
+	case RejectAuth:
+		return "auth"
+	case RejectRevoked:
+		return "revoked"
+	case RejectPuzzle:
+		return "puzzle"
+	default:
+		return "unspecified"
+	}
+}
+
+// rejectCodeFor classifies a router-side error.
+func rejectCodeFor(err error) RejectCode {
+	switch {
+	case errors.Is(err, core.ErrQueueFull):
+		return RejectQueueFull
+	case errors.Is(err, core.ErrReplay):
+		return RejectStale
+	case errors.Is(err, core.ErrRevokedUser):
+		return RejectRevoked
+	case errors.Is(err, core.ErrPuzzleRequired):
+		return RejectPuzzle
+	case errors.Is(err, core.ErrBadAccessRequest):
+		return RejectAuth
+	default:
+		return RejectUnspecified
+	}
+}
+
+// Err maps the code back to the matching core error for errors.Is on the
+// client side.
+func (c RejectCode) Err() error {
+	switch c {
+	case RejectQueueFull:
+		return core.ErrQueueFull
+	case RejectStale:
+		return core.ErrReplay
+	case RejectAuth:
+		return core.ErrBadAccessRequest
+	case RejectRevoked:
+		return core.ErrRevokedUser
+	case RejectPuzzle:
+		return core.ErrPuzzleRequired
+	default:
+		return errors.New("transport: request rejected")
+	}
+}
+
+// Reject is the router's negative reply to an access request: the session
+// identifier it concerns, a machine-readable code and a diagnostic string.
+type Reject struct {
+	Session core.SessionID
+	Code    RejectCode
+	Reason  string
+}
+
+// Marshal encodes the reject notice.
+func (m *Reject) Marshal() []byte {
+	w := wire.NewWriter(64 + len(m.Reason))
+	w.BytesField(m.Session[:])
+	w.Uint32(uint32(m.Code))
+	w.StringField(m.Reason)
+	return w.Bytes()
+}
+
+// UnmarshalReject decodes a reject notice.
+func UnmarshalReject(data []byte) (*Reject, error) {
+	r := wire.NewReader(data)
+	m := &Reject{}
+	sid, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(sid) != len(m.Session) {
+		return nil, fmt.Errorf("transport: reject session id size %d", len(sid))
+	}
+	copy(m.Session[:], sid)
+	code, err := r.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	m.Code = RejectCode(code)
+	if m.Reason, err = r.StringField(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EncodeMessage frames any protocol message, choosing the kind from the
+// concrete type.
+func EncodeMessage(msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case *BeaconRequest, BeaconRequest:
+		return EncodeFrame(KindBeaconRequest, nil)
+	case *core.Beacon:
+		return EncodeFrame(KindBeacon, m.Marshal())
+	case *core.AccessRequest:
+		return EncodeFrame(KindAccessRequest, m.Marshal())
+	case *core.AccessConfirm:
+		return EncodeFrame(KindAccessConfirm, m.Marshal())
+	case *core.PeerHello:
+		return EncodeFrame(KindPeerHello, m.Marshal())
+	case *core.PeerResponse:
+		return EncodeFrame(KindPeerResponse, m.Marshal())
+	case *core.PeerConfirm:
+		return EncodeFrame(KindPeerConfirm, m.Marshal())
+	case *core.UserRevocationList:
+		return EncodeFrame(KindURLUpdate, m.Marshal())
+	case *cert.CRL:
+		return EncodeFrame(KindCRLUpdate, m.Marshal())
+	case *puzzle.Puzzle:
+		return EncodeFrame(KindPuzzle, m.Marshal())
+	case *Reject:
+		return EncodeFrame(KindReject, m.Marshal())
+	default:
+		return nil, fmt.Errorf("transport: cannot encode %T", msg)
+	}
+}
+
+// DecodeMessage decodes a frame payload into the concrete protocol
+// message for its kind. Hostile payloads yield errors, never panics.
+func DecodeMessage(kind Kind, payload []byte) (any, error) {
+	switch kind {
+	case KindBeaconRequest:
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("transport: beacon request carries %d payload bytes", len(payload))
+		}
+		return &BeaconRequest{}, nil
+	case KindBeacon:
+		return core.UnmarshalBeacon(payload)
+	case KindAccessRequest:
+		return core.UnmarshalAccessRequest(payload)
+	case KindAccessConfirm:
+		return core.UnmarshalAccessConfirm(payload)
+	case KindPeerHello:
+		return core.UnmarshalPeerHello(payload)
+	case KindPeerResponse:
+		return core.UnmarshalPeerResponse(payload)
+	case KindPeerConfirm:
+		return core.UnmarshalPeerConfirm(payload)
+	case KindURLUpdate:
+		return core.UnmarshalUserRevocationList(payload)
+	case KindCRLUpdate:
+		return cert.UnmarshalCRL(payload)
+	case KindPuzzle:
+		return puzzle.Unmarshal(payload)
+	case KindReject:
+		return UnmarshalReject(payload)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
+	}
+}

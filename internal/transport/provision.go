@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"fmt"
+
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/sgs"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// LocalNetwork is a fully provisioned single-router deployment: operator,
+// TTP, one user group with enrolled members, and a certified router with
+// fresh revocation state — everything meshd and the loopback experiments
+// need before any datagram flows.
+type LocalNetwork struct {
+	Cfg    core.Config
+	NO     *core.NetworkOperator
+	TTP    *core.TTP
+	GM     *core.GroupManager
+	Router *core.MeshRouter
+	Users  []*core.User
+}
+
+// NewLocalNetwork provisions nUsers members of one group and a certified
+// router. Extra key slots are issued so revocation scenarios have
+// headroom.
+func NewLocalNetwork(cfg core.Config, routerID string, group core.GroupID, nUsers int) (*LocalNetwork, error) {
+	no, err := core.NewNetworkOperator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ttp, err := core.NewTTP(cfg, no.Authority())
+	if err != nil {
+		return nil, err
+	}
+	gm, err := core.NewGroupManager(cfg, group, no.Authority())
+	if err != nil {
+		return nil, err
+	}
+	if err := no.RegisterUserGroup(gm, ttp, nUsers+2); err != nil {
+		return nil, err
+	}
+
+	n := &LocalNetwork{Cfg: cfg, NO: no, TTP: ttp, GM: gm}
+	for i := 0; i < nUsers; i++ {
+		u, err := core.NewUser(cfg, core.Identity{
+			Essential:  core.UserID(fmt.Sprintf("user-%s-%d", group, i)),
+			Attributes: []core.Attribute{{Group: group, Role: "member"}},
+		}, no.Authority(), no.GroupPublicKey())
+		if err != nil {
+			return nil, err
+		}
+		if err := core.EnrollUser(u, gm, ttp); err != nil {
+			return nil, err
+		}
+		n.Users = append(n.Users, u)
+	}
+
+	r, err := core.NewMeshRouter(cfg, routerID, no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		return nil, err
+	}
+	c, err := no.EnrollRouter(routerID, r.Public())
+	if err != nil {
+		return nil, err
+	}
+	r.SetCertificate(c)
+	n.Router = r
+	if err := n.RefreshRevocations(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// RefreshRevocations pushes freshly signed CRL/URL copies to the router
+// (the operator's periodic secure channel).
+func (n *LocalNetwork) RefreshRevocations() error {
+	crl, err := n.NO.CurrentCRL()
+	if err != nil {
+		return err
+	}
+	url, err := n.NO.CurrentURL()
+	if err != nil {
+		return err
+	}
+	n.Router.UpdateRevocations(crl, url)
+	return nil
+}
+
+// ExportCredentials serializes the trust anchors (NPK, gpk) and every
+// user's finished credentials, so a separate client process can
+// authenticate without re-running enrollment: the provisioning-service
+// model of a real deployment.
+func (n *LocalNetwork) ExportCredentials() ([]byte, error) {
+	w := wire.NewWriter(4096)
+	w.StringField("peace/provision:v1")
+	noPub := n.NO.Authority()
+	w.BytesField(noPub[:])
+	w.BytesField(sgs.PublicKeyBytes(n.NO.GroupPublicKey()))
+	w.Uint32(uint32(len(n.Users)))
+	for _, u := range n.Users {
+		w.StringField(string(u.ID()))
+		creds := u.Credentials()
+		w.Uint32(uint32(len(creds)))
+		for _, c := range creds {
+			w.StringField(string(c.Group))
+			w.Uint32(uint32(c.Index))
+			w.BytesField(sgs.PrivateKeyBytes(c.Key))
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// ImportUsers reconstructs provisioned users from ExportCredentials
+// output, validating every credential against the imported group public
+// key before installing it.
+func ImportUsers(cfg core.Config, data []byte) ([]*core.User, error) {
+	r := wire.NewReader(data)
+	tag, err := r.StringField()
+	if err != nil {
+		return nil, fmt.Errorf("provision: %w", err)
+	}
+	if tag != "peace/provision:v1" {
+		return nil, fmt.Errorf("provision: bad header %q", tag)
+	}
+	rawPub, err := r.BytesField()
+	if err != nil {
+		return nil, fmt.Errorf("provision: %w", err)
+	}
+	var noPub cert.PublicKey
+	if len(rawPub) != len(noPub) {
+		return nil, fmt.Errorf("provision: authority key size %d", len(rawPub))
+	}
+	copy(noPub[:], rawPub)
+	rawGPK, err := r.BytesField()
+	if err != nil {
+		return nil, fmt.Errorf("provision: %w", err)
+	}
+	gpk, err := sgs.ParsePublicKey(rawGPK)
+	if err != nil {
+		return nil, fmt.Errorf("provision: gpk: %w", err)
+	}
+
+	nUsers, err := r.Count(8)
+	if err != nil {
+		return nil, fmt.Errorf("provision: %w", err)
+	}
+	users := make([]*core.User, 0, nUsers)
+	for i := 0; i < nUsers; i++ {
+		uid, err := r.StringField()
+		if err != nil {
+			return nil, fmt.Errorf("provision user %d: %w", i, err)
+		}
+		nCreds, err := r.Count(12)
+		if err != nil {
+			return nil, fmt.Errorf("provision user %q: %w", uid, err)
+		}
+		u, err := core.NewUser(cfg, core.Identity{Essential: core.UserID(uid)}, noPub, gpk)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nCreds; j++ {
+			group, err := r.StringField()
+			if err != nil {
+				return nil, fmt.Errorf("provision cred %d of %q: %w", j, uid, err)
+			}
+			idx, err := r.Uint32()
+			if err != nil {
+				return nil, fmt.Errorf("provision cred %d of %q: %w", j, uid, err)
+			}
+			rawKey, err := r.BytesField()
+			if err != nil {
+				return nil, fmt.Errorf("provision cred %d of %q: %w", j, uid, err)
+			}
+			key, err := sgs.ParsePrivateKey(rawKey)
+			if err != nil {
+				return nil, fmt.Errorf("provision cred %d of %q: %w", j, uid, err)
+			}
+			if err := u.InstallCredential(&core.Credential{
+				Group: core.GroupID(group),
+				Index: int(idx),
+				Key:   key,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		users = append(users, u)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("provision: %w", err)
+	}
+	return users, nil
+}

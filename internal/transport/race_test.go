@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled skips the heaviest sweeps under the race detector, where
+// pairing operations run an order of magnitude slower. The plain test run
+// still executes them at full scale.
+const raceEnabled = true

@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// ServerConfig tunes the router-side datapath.
+type ServerConfig struct {
+	// BeaconRefresh is how long a cached beacon frame is served before a
+	// fresh one is generated (the unicast analogue of the broadcast
+	// beacon period). Default 1s.
+	BeaconRefresh time.Duration
+	// BeaconHistory is how many recent beacons stay acceptable: clients
+	// holding a slightly stale beacon can still complete the handshake
+	// while older DH shares are retired. Default 16.
+	BeaconHistory int
+	// QueueCapacity bounds the ingest queue (backpressure under
+	// overload). Default 1024.
+	QueueCapacity int
+	// MaxBatch bounds one verification batch. Default 4 × NumCPU.
+	MaxBatch int
+	// ReplyCacheSize bounds the duplicate-suppression cache of answered
+	// sessions. Default 4096.
+	ReplyCacheSize int
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.BeaconRefresh <= 0 {
+		c.BeaconRefresh = time.Second
+	}
+	if c.BeaconHistory < 1 {
+		c.BeaconHistory = 16
+	}
+	if c.QueueCapacity < 1 {
+		c.QueueCapacity = 1024
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 4 * runtime.NumCPU()
+	}
+	if c.ReplyCacheSize < 1 {
+		c.ReplyCacheSize = 4096
+	}
+	return c
+}
+
+// replyEntry is the duplicate-suppression state of one session: nil frame
+// while the request is in the verification pipeline, the cached confirm
+// (or reject) frame afterwards so retransmitted requests are answered by
+// replay instead of a second expensive verification.
+type replyEntry struct {
+	frame []byte
+}
+
+// Server is the router side of the transport: a concurrent loop that
+// reads datagrams, decodes frames, answers beacon solicitations from a
+// cached frame, and feeds access requests through the router's bounded
+// ingest queue so bursts hit the batch-verification pipeline.
+type Server struct {
+	cfg    ServerConfig
+	conn   net.PacketConn
+	router *core.MeshRouter
+	queue  *core.IngestQueue
+	stats  Stats
+
+	mu          sync.Mutex
+	beaconFrame []byte
+	beaconAt    time.Time
+	beaconGRs   []*bn256.G1
+	replies     map[core.SessionID]*replyEntry
+	replyOrder  []core.SessionID
+	closed      bool
+
+	wg       sync.WaitGroup
+	loopDone chan struct{}
+}
+
+// NewServer starts serving router on conn. Close the server (not the
+// conn) to shut down.
+func NewServer(conn net.PacketConn, router *core.MeshRouter, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		conn:     conn,
+		router:   router,
+		queue:    core.NewIngestQueue(router, cfg.QueueCapacity, cfg.MaxBatch),
+		replies:  make(map[core.SessionID]*replyEntry),
+		loopDone: make(chan struct{}),
+	}
+	go s.readLoop()
+	return s
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Stats returns the transport counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Router returns the served router (for RouterStats reporting).
+func (s *Server) Router() *core.MeshRouter { return s.router }
+
+// Close stops the read loop, drains the ingest queue and waits for
+// in-flight replies.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.conn.Close()
+	<-s.loopDone
+	s.queue.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// readLoop is the single socket reader; expensive work (signature
+// verification) happens on the ingest queue's drainer and the per-reply
+// goroutines, so the loop itself keeps up with bursts.
+func (s *Server) readLoop() {
+	defer close(s.loopDone)
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			s.logf("transport: read: %v", err)
+			return
+		}
+		s.stats.bytesIn.Add(int64(n))
+		kind, payload, err := DecodeFrame(buf[:n])
+		if err != nil {
+			s.stats.decodeErrors.Add(1)
+			continue
+		}
+		s.stats.framesIn.Add(1)
+		switch kind {
+		case KindBeaconRequest:
+			s.sendBeacon(addr)
+		case KindAccessRequest:
+			// The decoded message owns its memory (fresh curve points and
+			// copied byte fields), so buf can be reused immediately.
+			m, err := core.UnmarshalAccessRequest(payload)
+			if err != nil {
+				s.stats.decodeErrors.Add(1)
+				continue
+			}
+			s.handleAccessRequest(m, addr)
+		default:
+			// Peer AKA, URL/CRL pushes etc. are not served on a router
+			// socket; count and drop.
+			s.stats.unhandled.Add(1)
+		}
+	}
+}
+
+// sendBeacon answers a beacon solicitation from the cached frame,
+// regenerating it when the refresh period elapsed and retiring DH shares
+// that fall out of the history window.
+func (s *Server) sendBeacon(addr net.Addr) {
+	now := time.Now()
+	s.mu.Lock()
+	if s.beaconFrame == nil || now.Sub(s.beaconAt) >= s.cfg.BeaconRefresh {
+		b, err := s.router.Beacon()
+		if err != nil {
+			s.mu.Unlock()
+			s.logf("transport: beacon: %v", err)
+			return
+		}
+		frame, err := EncodeMessage(b)
+		if err != nil {
+			s.mu.Unlock()
+			s.logf("transport: encode beacon: %v", err)
+			return
+		}
+		s.beaconFrame = frame
+		s.beaconAt = now
+		s.beaconGRs = append(s.beaconGRs, b.GR)
+		for len(s.beaconGRs) > s.cfg.BeaconHistory {
+			s.router.RetireBeacon(s.beaconGRs[0])
+			s.beaconGRs = s.beaconGRs[1:]
+		}
+	}
+	frame := s.beaconFrame
+	s.mu.Unlock()
+	s.writeTo(frame, addr)
+}
+
+// handleAccessRequest dedups by session identifier, then submits to the
+// ingest queue; the reply (confirm or reject) is cached so retransmitted
+// requests — the client's recovery from a lost M.3 — are answered by
+// replay, never by a second verification.
+func (s *Server) handleAccessRequest(m *core.AccessRequest, addr net.Addr) {
+	sid := core.NewSessionID(m.GR, m.GJ)
+
+	s.mu.Lock()
+	if e, ok := s.replies[sid]; ok {
+		frame := e.frame
+		s.mu.Unlock()
+		s.stats.duplicates.Add(1)
+		if frame != nil {
+			s.writeTo(frame, addr)
+		}
+		return
+	}
+	s.replies[sid] = &replyEntry{}
+	s.replyOrder = append(s.replyOrder, sid)
+	for len(s.replyOrder) > s.cfg.ReplyCacheSize {
+		delete(s.replies, s.replyOrder[0])
+		s.replyOrder = s.replyOrder[1:]
+	}
+	s.mu.Unlock()
+
+	ch, err := s.queue.Submit(m)
+	if err != nil {
+		// Shed under overload; forget the session so a later retry can be
+		// admitted once the queue drains.
+		s.stats.queueDrops.Add(1)
+		s.mu.Lock()
+		delete(s.replies, sid)
+		s.mu.Unlock()
+		s.sendReject(addr, sid, err)
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		res := <-ch
+		var frame []byte
+		if res.Err != nil {
+			rej := &Reject{Session: sid, Code: rejectCodeFor(res.Err), Reason: res.Err.Error()}
+			frame, err = EncodeMessage(rej)
+			s.stats.rejects.Add(1)
+		} else {
+			frame, err = EncodeMessage(res.Confirm)
+		}
+		if err != nil {
+			s.logf("transport: encode reply: %v", err)
+			return
+		}
+		s.mu.Lock()
+		if e, ok := s.replies[sid]; ok {
+			e.frame = frame
+		}
+		s.mu.Unlock()
+		s.writeTo(frame, addr)
+	}()
+}
+
+func (s *Server) sendReject(addr net.Addr, sid core.SessionID, cause error) {
+	rej := &Reject{Session: sid, Code: rejectCodeFor(cause), Reason: cause.Error()}
+	frame, err := EncodeMessage(rej)
+	if err != nil {
+		s.logf("transport: encode reject: %v", err)
+		return
+	}
+	s.stats.rejects.Add(1)
+	s.writeTo(frame, addr)
+}
+
+func (s *Server) writeTo(frame []byte, addr net.Addr) {
+	n, err := s.conn.WriteTo(frame, addr)
+	if err != nil {
+		s.logf("transport: write to %v: %v", addr, err)
+		return
+	}
+	s.stats.framesOut.Add(1)
+	s.stats.bytesOut.Add(int64(n))
+}
+
+// String describes the server for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("transport.Server(%s on %v)", s.router.ID(), s.conn.LocalAddr())
+}

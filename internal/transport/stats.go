@@ -1,0 +1,78 @@
+package transport
+
+import "sync/atomic"
+
+// Stats counts what an endpoint's datapath has seen. All counters are
+// atomic so the read loop, retransmit timers and reply goroutines can
+// bump them without locking; Snapshot takes a consistent-enough copy for
+// the meshd JSON reporter.
+type Stats struct {
+	framesIn     atomic.Int64
+	framesOut    atomic.Int64
+	bytesIn      atomic.Int64
+	bytesOut     atomic.Int64
+	decodeErrors atomic.Int64
+	unhandled    atomic.Int64
+	duplicates   atomic.Int64
+	retransmits  atomic.Int64
+	timeouts     atomic.Int64
+	rejects      atomic.Int64
+	queueDrops   atomic.Int64
+}
+
+// StatsSnapshot is the plain-struct view of Stats, JSON-ready.
+type StatsSnapshot struct {
+	// FramesIn / FramesOut count valid frames received and frames sent.
+	FramesIn  int64 `json:"frames_in"`
+	FramesOut int64 `json:"frames_out"`
+	// BytesIn / BytesOut count datagram bytes, including undecodable ones.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	// DecodeErrors counts datagrams rejected by the frame or message
+	// decoders (hostile or corrupt bytes).
+	DecodeErrors int64 `json:"decode_errors"`
+	// Unhandled counts well-formed frames of a kind the endpoint does not
+	// serve (e.g. a peer hello sent to a router socket).
+	Unhandled int64 `json:"unhandled"`
+	// Duplicates counts suppressed duplicate frames (retransmitted
+	// requests already in flight or already answered).
+	Duplicates int64 `json:"duplicates"`
+	// Retransmits counts frames this endpoint sent again after a timeout.
+	Retransmits int64 `json:"retransmits"`
+	// Timeouts counts handshake phases abandoned after max retries.
+	Timeouts int64 `json:"timeouts"`
+	// Rejects counts reject notices sent (server) or received (client).
+	Rejects int64 `json:"rejects"`
+	// QueueDrops counts access requests shed because the ingest queue was
+	// full (backpressure under overload).
+	QueueDrops int64 `json:"queue_drops"`
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		FramesIn:     s.framesIn.Load(),
+		FramesOut:    s.framesOut.Load(),
+		BytesIn:      s.bytesIn.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		DecodeErrors: s.decodeErrors.Load(),
+		Unhandled:    s.unhandled.Load(),
+		Duplicates:   s.duplicates.Load(),
+		Retransmits:  s.retransmits.Load(),
+		Timeouts:     s.timeouts.Load(),
+		Rejects:      s.rejects.Load(),
+		QueueDrops:   s.queueDrops.Load(),
+	}
+}
+
+// Retransmits returns the retransmit counter (used by tests and reports).
+func (s *Stats) Retransmits() int64 { return s.retransmits.Load() }
+
+// Timeouts returns the timeout counter.
+func (s *Stats) Timeouts() int64 { return s.timeouts.Load() }
+
+// Duplicates returns the duplicate-suppression counter.
+func (s *Stats) Duplicates() int64 { return s.duplicates.Load() }
+
+// DecodeErrors returns the decode-error counter.
+func (s *Stats) DecodeErrors() int64 { return s.decodeErrors.Load() }

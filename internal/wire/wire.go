@@ -130,7 +130,9 @@ func (r *Reader) Uint64() (uint64, error) {
 }
 
 // BytesField reads a length-prefixed byte string. The returned slice
-// aliases the input buffer.
+// aliases the input buffer. The length prefix is checked against the
+// bytes actually remaining before anything is sized from it, so a short
+// datagram claiming a 4 GiB field fails fast with ErrTruncated.
 func (r *Reader) BytesField() ([]byte, error) {
 	n, err := r.Uint32()
 	if err != nil {
@@ -139,12 +141,32 @@ func (r *Reader) BytesField() ([]byte, error) {
 	if n > maxFieldLen {
 		return nil, ErrOversize
 	}
-	if r.Remaining() < int(n) {
+	if int64(n) > int64(r.Remaining()) {
 		return nil, ErrTruncated
 	}
 	p := r.buf[r.off : r.off+int(n)]
 	r.off += int(n)
 	return p, nil
+}
+
+// Count reads a uint32 element count and bounds it by what the remaining
+// bytes could possibly hold, assuming each element occupies at least
+// perElem encoded bytes. Decoders that pre-size slices from an attacker-
+// controlled count must use this instead of Uint32 so a tiny datagram
+// claiming millions of elements cannot trigger a huge allocation.
+func (r *Reader) Count(perElem int) (int, error) {
+	n, err := r.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if perElem < 1 {
+		perElem = 1
+	}
+	if int64(n)*int64(perElem) > int64(r.Remaining()) {
+		return 0, fmt.Errorf("%w: count %d needs ≥ %d bytes, %d remain",
+			ErrTruncated, n, int64(n)*int64(perElem), r.Remaining())
+	}
+	return int(n), nil
 }
 
 // StringField reads a length-prefixed string.

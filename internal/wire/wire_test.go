@@ -77,6 +77,60 @@ func TestOversizeField(t *testing.T) {
 	}
 }
 
+func TestCountBounded(t *testing.T) {
+	// A 16-byte message claiming 2^20 four-byte elements must be rejected
+	// before any allocation is sized from the count.
+	w := NewWriter(16)
+	w.Uint32(1 << 20)
+	w.Uint64(0) // 8 bytes of "element" data
+	r := NewReader(w.Bytes())
+	if _, err := r.Count(4); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+
+	// A count that fits is returned unchanged and leaves the elements
+	// readable.
+	w = NewWriter(16)
+	w.Uint32(2)
+	w.Uint32(7)
+	w.Uint32(9)
+	r = NewReader(w.Bytes())
+	n, err := r.Count(4)
+	if err != nil || n != 2 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := r.Uint32(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// perElem < 1 is clamped so Count(0) cannot overflow the bound.
+	r = NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := r.Count(0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated for max count, got %v", err)
+	}
+}
+
+func TestBytesFieldHugeClaimCheapRejection(t *testing.T) {
+	// 16-byte datagram claiming a 4 GiB field: rejected by prefix checks,
+	// never by attempting to slice or allocate.
+	var data [16]byte
+	data[0], data[1], data[2], data[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	r := NewReader(data[:])
+	if _, err := r.BytesField(); !errors.Is(err, ErrOversize) {
+		t.Fatalf("want ErrOversize, got %v", err)
+	}
+	// Within the size cap but beyond what remains: ErrTruncated.
+	r = NewReader([]byte{0x00, 0x10, 0x00, 0x00, 0xAA})
+	if _, err := r.BytesField(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
 func TestQuickBytesRoundTrip(t *testing.T) {
 	f := func(a, b []byte, s string) bool {
 		w := NewWriter(len(a) + len(b) + len(s) + 16)
