@@ -16,11 +16,13 @@ ci:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/
 	$(MAKE) fuzz
 
-# fuzz smoke: each wire-facing decoder gets a short randomized run.
+# fuzz smoke: each wire-facing decoder gets a short randomized run, plus a
+# differential fuzz of the Montgomery field core against big.Int.
 fuzz:
+	$(GO) test ./internal/bn256/ -run='^$$' -fuzz='^FuzzGfPvsBigInt$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzDecodeFrame$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzDecodeMessage$$' -fuzztime=10s
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalBeacon$$' -fuzztime=10s
@@ -39,7 +41,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -60,7 +60,7 @@ type ablationRow struct {
 var collect *benchJSON
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e14 or all")
 	urlSizes := flag.String("url", "0,1,2,5,10,20", "comma-separated |URL| sweep for e3")
 	grtSizes := flag.String("grt", "4,8,16,32,64", "comma-separated |grt| sweep for e7")
 	floods := flag.String("floods", "50,200", "comma-separated flood sizes for e6")
@@ -142,6 +142,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		{"e11", func() error { return runE11(iters) }},
 		{"e12", func() error { return runE12(iters) }},
 		{"e13", func() error { return runE13() }},
+		{"e14", func() error { return runE14(iters) }},
 	} {
 		if runAll || exp == e.name {
 			ran = true
@@ -151,7 +152,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e13 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e14 or all)", exp)
 	}
 	return nil
 }
@@ -162,6 +163,40 @@ func table() *tabwriter.Writer {
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// runE14 compares the big.Int reference field core against the Montgomery
+// limb core on the dominant primitives. The canonical primitive latencies
+// stay owned by e10 (which times the public API paths); e14 records the
+// before/after pair under its own key.
+func runE14(iters int) error {
+	header("E14: field-core before/after (big.Int reference vs Montgomery limbs)")
+	rows, err := experiments.RunE14FieldCore(2 * iters)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "primitive\treference (big.Int)\tlimb core\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%.1fx\n",
+			r.Name, time.Duration(r.RefNs), time.Duration(r.LimbNs), r.Speedup)
+	}
+	w.Flush()
+	if collect != nil {
+		fieldCore := make([]map[string]any, 0, len(rows))
+		for _, r := range rows {
+			fieldCore = append(fieldCore, map[string]any{
+				"name":    r.Name,
+				"ref_ns":  r.RefNs,
+				"limb_ns": r.LimbNs,
+				"speedup": r.Speedup,
+			})
+		}
+		collect.Benchmarks["FieldCoreComparison"] = map[string]any{
+			"rows": fieldCore,
+		}
+	}
+	return nil
 }
 
 func runE1() error {
@@ -382,6 +417,9 @@ func runE11(iters int) error {
 	}
 	w.Flush()
 	if collect != nil {
+		// This run regenerates every ablation, so replace rather than append
+		// to any rows loaded from an existing -json file.
+		collect.Ablations = collect.Ablations[:0]
 		for _, r := range rows {
 			collect.Ablations = append(collect.Ablations, ablationRow{
 				Name:        r.Name,

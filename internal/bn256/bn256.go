@@ -154,8 +154,8 @@ func (e *G1) Marshal() []byte {
 	}
 	p := newCurvePoint().Set(e.p)
 	p.MakeAffine()
-	putBig(out[0*numBytes:1*numBytes], p.x)
-	putBig(out[1*numBytes:2*numBytes], p.y)
+	p.x.Marshal(out[0*numBytes : 1*numBytes])
+	p.y.Marshal(out[1*numBytes : 2*numBytes])
 	return out
 }
 
@@ -171,13 +171,14 @@ func (e *G1) Unmarshal(m []byte) (*G1, error) {
 		e.p.SetInfinity()
 		return e, nil
 	}
-	e.p.x.SetBytes(m[0*numBytes : 1*numBytes])
-	e.p.y.SetBytes(m[1*numBytes : 2*numBytes])
-	e.p.z.SetInt64(1)
-	e.p.t.SetInt64(1)
-	if e.p.x.Cmp(P) >= 0 || e.p.y.Cmp(P) >= 0 {
-		return nil, ErrMalformedPoint
+	if err := e.p.x.Unmarshal(m[0*numBytes : 1*numBytes]); err != nil {
+		return nil, err
 	}
+	if err := e.p.y.Unmarshal(m[1*numBytes : 2*numBytes]); err != nil {
+		return nil, err
+	}
+	e.p.z.SetOne()
+	e.p.t.SetOne()
 	if !e.p.IsOnCurve() {
 		return nil, ErrNotOnCurve
 	}
@@ -265,10 +266,10 @@ func (e *G2) Marshal() []byte {
 	}
 	p := newTwistPoint().Set(e.p)
 	p.MakeAffine()
-	putBig(out[0*numBytes:1*numBytes], p.x.x)
-	putBig(out[1*numBytes:2*numBytes], p.x.y)
-	putBig(out[2*numBytes:3*numBytes], p.y.x)
-	putBig(out[3*numBytes:4*numBytes], p.y.y)
+	p.x.x.Marshal(out[0*numBytes : 1*numBytes])
+	p.x.y.Marshal(out[1*numBytes : 2*numBytes])
+	p.y.x.Marshal(out[2*numBytes : 3*numBytes])
+	p.y.y.Marshal(out[3*numBytes : 4*numBytes])
 	return out
 }
 
@@ -285,17 +286,13 @@ func (e *G2) Unmarshal(m []byte) (*G2, error) {
 		e.p.SetInfinity()
 		return e, nil
 	}
-	e.p.x.x.SetBytes(m[0*numBytes : 1*numBytes])
-	e.p.x.y.SetBytes(m[1*numBytes : 2*numBytes])
-	e.p.y.x.SetBytes(m[2*numBytes : 3*numBytes])
-	e.p.y.y.SetBytes(m[3*numBytes : 4*numBytes])
-	e.p.z.SetOne()
-	e.p.t.SetOne()
-	for _, c := range []*big.Int{e.p.x.x, e.p.x.y, e.p.y.x, e.p.y.y} {
-		if c.Cmp(P) >= 0 {
-			return nil, ErrMalformedPoint
+	for i, c := range []*gfP{&e.p.x.x, &e.p.x.y, &e.p.y.x, &e.p.y.y} {
+		if err := c.Unmarshal(m[i*numBytes : (i+1)*numBytes]); err != nil {
+			return nil, err
 		}
 	}
+	e.p.z.SetOne()
+	e.p.t.SetOne()
 	if !e.p.IsOnCurve() {
 		return nil, ErrNotOnCurve
 	}
@@ -313,21 +310,40 @@ func (e *GT) Base() *GT {
 	return e
 }
 
-// ScalarBaseMult sets e = e(g1,g2)^k and returns e.
+// ScalarBaseMult sets e = e(g1,g2)^k and returns e. The generator is a
+// pairing value, so the exponentiation runs in the cyclotomic subgroup
+// (Granger–Scott squarings under NAF recoding) rather than through the
+// generic Exp.
 func (e *GT) ScalarBaseMult(k *big.Int) *GT {
 	if e.p == nil {
 		e.p = newGFp12()
 	}
-	e.p.Exp(gtGen, k)
+	e.p.cyclotomicExp(gtGen, k)
 	return e
 }
 
-// ScalarMult sets e = a^k and returns e.
+// ScalarMult sets e = a^k and returns e. It makes no assumption about a and
+// uses the generic square-and-multiply ladder; for elements known to be
+// pairing values, ScalarMultCyclo is several times faster.
 func (e *GT) ScalarMult(a *GT, k *big.Int) *GT {
 	if e.p == nil {
 		e.p = newGFp12()
 	}
 	e.p.Exp(a.p, k)
+	return e
+}
+
+// ScalarMultCyclo sets e = a^k for a in the cyclotomic subgroup — which
+// every properly constructed GT element (a pairing value, or any power of
+// one) is. It is NOT valid for arbitrary F_p¹² elements smuggled in via
+// Unmarshal; such elements only ever arise from malformed input, and every
+// protocol-level verifier recomputes pairing equations rather than trusting
+// unmarshaled GT arithmetic.
+func (e *GT) ScalarMultCyclo(a *GT, k *big.Int) *GT {
+	if e.p == nil {
+		e.p = newGFp12()
+	}
+	e.p.cyclotomicExp(a.p, k)
 	return e
 }
 
@@ -377,15 +393,14 @@ func (e *GT) Equal(a *GT) bool { return e.p.Equal(a.p) }
 // Marshal converts e to a 384-byte slice. It does not modify e and is safe
 // for concurrent use on a shared element.
 func (e *GT) Marshal() []byte {
-	p := newGFp12().Set(e.p)
-	p.Minimal()
 	out := make([]byte, GTSize)
-	coeffs := []*big.Int{
-		p.x.x.x, p.x.x.y, p.x.y.x, p.x.y.y, p.x.z.x, p.x.z.y,
-		p.y.x.x, p.y.x.y, p.y.y.x, p.y.y.y, p.y.z.x, p.y.z.y,
+	p := e.p
+	coeffs := []*gfP{
+		&p.x.x.x, &p.x.x.y, &p.x.y.x, &p.x.y.y, &p.x.z.x, &p.x.z.y,
+		&p.y.x.x, &p.y.x.y, &p.y.y.x, &p.y.y.y, &p.y.z.x, &p.y.z.y,
 	}
 	for i, c := range coeffs {
-		putBig(out[i*numBytes:(i+1)*numBytes], c)
+		c.Marshal(out[i*numBytes : (i+1)*numBytes])
 	}
 	return out
 }
@@ -398,14 +413,13 @@ func (e *GT) Unmarshal(m []byte) (*GT, error) {
 	if e.p == nil {
 		e.p = newGFp12()
 	}
-	coeffs := []*big.Int{
-		e.p.x.x.x, e.p.x.x.y, e.p.x.y.x, e.p.x.y.y, e.p.x.z.x, e.p.x.z.y,
-		e.p.y.x.x, e.p.y.x.y, e.p.y.y.x, e.p.y.y.y, e.p.y.z.x, e.p.y.z.y,
+	coeffs := []*gfP{
+		&e.p.x.x.x, &e.p.x.x.y, &e.p.x.y.x, &e.p.x.y.y, &e.p.x.z.x, &e.p.x.z.y,
+		&e.p.y.x.x, &e.p.y.x.y, &e.p.y.y.x, &e.p.y.y.y, &e.p.y.z.x, &e.p.y.z.y,
 	}
 	for i, c := range coeffs {
-		c.SetBytes(m[i*numBytes : (i+1)*numBytes])
-		if c.Cmp(P) >= 0 {
-			return nil, ErrMalformedPoint
+		if err := c.Unmarshal(m[i*numBytes : (i+1)*numBytes]); err != nil {
+			return nil, err
 		}
 	}
 	return e, nil
@@ -448,10 +462,6 @@ func PairingCheck(g1s []*G1, g2s []*G2) bool {
 		acc.Mul(acc, miller(g2s[i].p, g1s[i].p))
 	}
 	return finalExponentiation(acc).IsOne()
-}
-
-func putBig(dst []byte, v *big.Int) {
-	v.FillBytes(dst)
 }
 
 func allZero(m []byte) bool {

@@ -1,9 +1,6 @@
 package bn256
 
-import (
-	"fmt"
-	"math/big"
-)
+import "fmt"
 
 // Compressed encodings. The paper's headline communication-overhead claim
 // rests on short signatures; compressed G1 points (x-coordinate plus one
@@ -29,12 +26,12 @@ func (e *G1) MarshalCompressed() []byte {
 	}
 	e.p.MakeAffine()
 	// Tag by the parity of y (canonical representative in [0, p)).
-	if e.p.y.Bit(0) == 1 {
+	if e.p.y.IsOdd() {
 		out[0] = tagCompressedOdd
 	} else {
 		out[0] = tagCompressedEven
 	}
-	e.p.x.FillBytes(out[1:])
+	e.p.x.Marshal(out[1:])
 	return out
 }
 
@@ -59,27 +56,26 @@ func (e *G1) UnmarshalCompressed(m []byte) (*G1, error) {
 		return nil, fmt.Errorf("%w: tag 0x%02x", ErrMalformedPoint, m[0])
 	}
 
-	x := new(big.Int).SetBytes(m[1:])
-	if x.Cmp(P) >= 0 {
-		return nil, ErrMalformedPoint
+	var x gfP
+	if err := x.Unmarshal(m[1:]); err != nil {
+		return nil, err
 	}
 	// y² = x³ + 3.
-	yy := new(big.Int).Mul(x, x)
-	yy.Mul(yy, x)
-	yy.Add(yy, curveB)
-	yy.Mod(yy, P)
-	y := new(big.Int).ModSqrt(yy, P)
-	if y == nil {
+	var yy, y gfP
+	gfpMul(&yy, &x, &x)
+	gfpMul(&yy, &yy, &x)
+	gfpAdd(&yy, &yy, &curveBGfP)
+	if !y.Sqrt(&yy) {
 		return nil, ErrNotOnCurve
 	}
 	wantOdd := m[0] == tagCompressedOdd
-	if (y.Bit(0) == 1) != wantOdd {
-		y.Sub(P, y)
+	if y.IsOdd() != wantOdd {
+		gfpNeg(&y, &y)
 	}
 
-	e.p.x.Set(x)
-	e.p.y.Set(y)
-	e.p.z.SetInt64(1)
-	e.p.t.SetInt64(1)
+	e.p.x = x
+	e.p.y = y
+	e.p.z.SetOne()
+	e.p.t.SetOne()
 	return e, nil
 }

@@ -19,16 +19,19 @@ var ateLoopCount = new(big.Int).Mul(big.NewInt(6), new(big.Int).Mul(u, u))
 // curveB is the constant of E: y² = x³ + curveB over F_p.
 var curveB = big.NewInt(3)
 
+// curveBGfP is curveB in Montgomery limb form.
+var curveBGfP = newGfP(3)
+
 // xi is ξ = i + 3 ∈ F_p², the sextic non-residue defining the tower
 // F_p¹² = F_p²[w]/(w⁶ − ξ) and the twist E': y² = x³ + 3/ξ.
-var xi = &gfP2{x: big.NewInt(1), y: big.NewInt(3)}
+var xi = &gfP2{x: newGfP(1), y: newGfP(3)}
 
 // twistB = 3/ξ is the constant of the sextic twist.
 var twistB = computeTwistB()
 
 func computeTwistB() *gfP2 {
 	inv := newGFp2().Invert(xi)
-	return inv.MulScalar(inv, curveB)
+	return inv.MulScalar(inv, &curveBGfP)
 }
 
 // Frobenius twist factors, all computed from ξ and p. The names follow the
@@ -47,10 +50,10 @@ var (
 // curveGen is the canonical generator of G1: the point (1, 2). E(F_p) has
 // prime order n, so any non-identity point generates the group.
 var curveGen = &curvePoint{
-	x: big.NewInt(1),
-	y: big.NewInt(2),
-	z: big.NewInt(1),
-	t: big.NewInt(1),
+	x: newGfP(1),
+	y: newGfP(2),
+	z: newGfP(1),
+	t: newGfP(1),
 }
 
 // twistGen is a generator of G2, derived deterministically by hashing to

@@ -9,18 +9,14 @@ import (
 // Jacobian projective coordinates: (x, y, z) represents the affine point
 // (x/z², y/z³). The point at infinity has z = 0. The t field caches z²
 // during mixed operations (kept for parity with classic implementations;
-// it always mirrors z² when set via MakeAffine).
+// it always mirrors z² when set via MakeAffine). Coordinates are gfP limb
+// values in Montgomery form.
 type curvePoint struct {
-	x, y, z, t *big.Int
+	x, y, z, t gfP
 }
 
 func newCurvePoint() *curvePoint {
-	return &curvePoint{
-		x: new(big.Int),
-		y: new(big.Int),
-		z: new(big.Int),
-		t: new(big.Int),
-	}
+	return &curvePoint{}
 }
 
 func (c *curvePoint) String() string {
@@ -29,24 +25,21 @@ func (c *curvePoint) String() string {
 }
 
 func (c *curvePoint) Set(a *curvePoint) *curvePoint {
-	c.x.Set(a.x)
-	c.y.Set(a.y)
-	c.z.Set(a.z)
-	c.t.Set(a.t)
+	*c = *a
 	return c
 }
 
 // SetInfinity sets c to the point at infinity.
 func (c *curvePoint) SetInfinity() *curvePoint {
-	c.x.SetInt64(1)
-	c.y.SetInt64(1)
-	c.z.SetInt64(0)
-	c.t.SetInt64(0)
+	c.x.SetOne()
+	c.y.SetOne()
+	c.z.SetZero()
+	c.t.SetZero()
 	return c
 }
 
 func (c *curvePoint) IsInfinity() bool {
-	return c.z.Sign() == 0
+	return c.z.IsZero()
 }
 
 // IsOnCurve reports whether the affine form of c satisfies y² = x³ + 3.
@@ -56,13 +49,13 @@ func (c *curvePoint) IsOnCurve() bool {
 		return true
 	}
 	c.MakeAffine()
-	yy := new(big.Int).Mul(c.y, c.y)
-	xxx := new(big.Int).Mul(c.x, c.x)
-	xxx.Mul(xxx, c.x)
-	yy.Sub(yy, xxx)
-	yy.Sub(yy, curveB)
-	yy.Mod(yy, P)
-	return yy.Sign() == 0
+	var yy, xxx gfP
+	gfpMul(&yy, &c.y, &c.y)
+	gfpMul(&xxx, &c.x, &c.x)
+	gfpMul(&xxx, &xxx, &c.x)
+	gfpSub(&yy, &yy, &xxx)
+	gfpSub(&yy, &yy, &curveBGfP)
+	return yy.IsZero()
 }
 
 func (c *curvePoint) Equal(a *curvePoint) bool {
@@ -71,29 +64,21 @@ func (c *curvePoint) Equal(a *curvePoint) bool {
 	}
 	// Compare cross-multiplied coordinates to avoid affine conversion:
 	// x1·z2² == x2·z1² and y1·z2³ == y2·z1³.
-	z1z1 := new(big.Int).Mul(c.z, c.z)
-	z1z1.Mod(z1z1, P)
-	z2z2 := new(big.Int).Mul(a.z, a.z)
-	z2z2.Mod(z2z2, P)
+	var z1z1, z2z2, l, r gfP
+	gfpMul(&z1z1, &c.z, &c.z)
+	gfpMul(&z2z2, &a.z, &a.z)
 
-	l := new(big.Int).Mul(c.x, z2z2)
-	l.Mod(l, P)
-	r := new(big.Int).Mul(a.x, z1z1)
-	r.Mod(r, P)
-	if l.Cmp(r) != 0 {
+	gfpMul(&l, &c.x, &z2z2)
+	gfpMul(&r, &a.x, &z1z1)
+	if !l.Equal(&r) {
 		return false
 	}
 
-	z1z1.Mul(z1z1, c.z)
-	z1z1.Mod(z1z1, P)
-	z2z2.Mul(z2z2, a.z)
-	z2z2.Mod(z2z2, P)
-
-	l.Mul(c.y, z2z2)
-	l.Mod(l, P)
-	r.Mul(a.y, z1z1)
-	r.Mod(r, P)
-	return l.Cmp(r) == 0
+	gfpMul(&z1z1, &z1z1, &c.z)
+	gfpMul(&z2z2, &z2z2, &a.z)
+	gfpMul(&l, &c.y, &z2z2)
+	gfpMul(&r, &a.y, &z1z1)
+	return l.Equal(&r)
 }
 
 // Add sets c = a + b using the add-2007-bl Jacobian formulas, falling back
@@ -106,68 +91,56 @@ func (c *curvePoint) Add(a, b *curvePoint) *curvePoint {
 		return c.Set(a)
 	}
 
-	z1z1 := new(big.Int).Mul(a.z, a.z)
-	z1z1.Mod(z1z1, P)
-	z2z2 := new(big.Int).Mul(b.z, b.z)
-	z2z2.Mod(z2z2, P)
+	var z1z1, z2z2, u1, u2, s1, s2, h, r gfP
+	gfpMul(&z1z1, &a.z, &a.z)
+	gfpMul(&z2z2, &b.z, &b.z)
 
-	u1 := new(big.Int).Mul(a.x, z2z2)
-	u1.Mod(u1, P)
-	u2 := new(big.Int).Mul(b.x, z1z1)
-	u2.Mod(u2, P)
+	gfpMul(&u1, &a.x, &z2z2)
+	gfpMul(&u2, &b.x, &z1z1)
 
-	s1 := new(big.Int).Mul(a.y, b.z)
-	s1.Mul(s1, z2z2)
-	s1.Mod(s1, P)
-	s2 := new(big.Int).Mul(b.y, a.z)
-	s2.Mul(s2, z1z1)
-	s2.Mod(s2, P)
+	gfpMul(&s1, &a.y, &b.z)
+	gfpMul(&s1, &s1, &z2z2)
+	gfpMul(&s2, &b.y, &a.z)
+	gfpMul(&s2, &s2, &z1z1)
 
-	h := new(big.Int).Sub(u2, u1)
-	h.Mod(h, P)
-	r := new(big.Int).Sub(s2, s1)
-	r.Mod(r, P)
+	gfpSub(&h, &u2, &u1)
+	gfpSub(&r, &s2, &s1)
 
-	if h.Sign() == 0 {
-		if r.Sign() == 0 {
+	if h.IsZero() {
+		if r.IsZero() {
 			return c.Double(a)
 		}
 		return c.SetInfinity()
 	}
-	r.Lsh(r, 1)
+	gfpDouble(&r, &r)
 
-	i := new(big.Int).Lsh(h, 1)
-	i.Mul(i, i)
-	i.Mod(i, P)
-	j := new(big.Int).Mul(h, i)
-	j.Mod(j, P)
+	var i, j, v, x3, y3, z3, t gfP
+	gfpDouble(&i, &h)
+	gfpMul(&i, &i, &i)
+	gfpMul(&j, &h, &i)
 
-	v := new(big.Int).Mul(u1, i)
-	v.Mod(v, P)
+	gfpMul(&v, &u1, &i)
 
-	x3 := new(big.Int).Mul(r, r)
-	x3.Sub(x3, j)
-	x3.Sub(x3, v)
-	x3.Sub(x3, v)
-	x3.Mod(x3, P)
+	gfpMul(&x3, &r, &r)
+	gfpSub(&x3, &x3, &j)
+	gfpSub(&x3, &x3, &v)
+	gfpSub(&x3, &x3, &v)
 
-	y3 := new(big.Int).Sub(v, x3)
-	y3.Mul(y3, r)
-	t := new(big.Int).Mul(s1, j)
-	t.Lsh(t, 1)
-	y3.Sub(y3, t)
-	y3.Mod(y3, P)
+	gfpSub(&y3, &v, &x3)
+	gfpMul(&y3, &y3, &r)
+	gfpMul(&t, &s1, &j)
+	gfpDouble(&t, &t)
+	gfpSub(&y3, &y3, &t)
 
-	z3 := new(big.Int).Add(a.z, b.z)
-	z3.Mul(z3, z3)
-	z3.Sub(z3, z1z1)
-	z3.Sub(z3, z2z2)
-	z3.Mul(z3, h)
-	z3.Mod(z3, P)
+	gfpAdd(&z3, &a.z, &b.z)
+	gfpMul(&z3, &z3, &z3)
+	gfpSub(&z3, &z3, &z1z1)
+	gfpSub(&z3, &z3, &z2z2)
+	gfpMul(&z3, &z3, &h)
 
-	c.x.Set(x3)
-	c.y.Set(y3)
-	c.z.Set(z3)
+	c.x = x3
+	c.y = y3
+	c.z = z3
 	return c
 }
 
@@ -177,41 +150,37 @@ func (c *curvePoint) Double(a *curvePoint) *curvePoint {
 		return c.SetInfinity()
 	}
 
-	aa := new(big.Int).Mul(a.x, a.x)
-	aa.Mod(aa, P)
-	bb := new(big.Int).Mul(a.y, a.y)
-	bb.Mod(bb, P)
-	cc := new(big.Int).Mul(bb, bb)
-	cc.Mod(cc, P)
+	var aa, bb, cc, d, e, f, x3, y3, z3, t gfP
+	gfpMul(&aa, &a.x, &a.x)
+	gfpMul(&bb, &a.y, &a.y)
+	gfpMul(&cc, &bb, &bb)
 
-	d := new(big.Int).Add(a.x, bb)
-	d.Mul(d, d)
-	d.Sub(d, aa)
-	d.Sub(d, cc)
-	d.Lsh(d, 1)
-	d.Mod(d, P)
+	gfpAdd(&d, &a.x, &bb)
+	gfpMul(&d, &d, &d)
+	gfpSub(&d, &d, &aa)
+	gfpSub(&d, &d, &cc)
+	gfpDouble(&d, &d)
 
-	e := new(big.Int).Lsh(aa, 1)
-	e.Add(e, aa)
-	f := new(big.Int).Mul(e, e)
-	f.Mod(f, P)
+	gfpDouble(&e, &aa)
+	gfpAdd(&e, &e, &aa)
+	gfpMul(&f, &e, &e)
 
-	x3 := new(big.Int).Sub(f, new(big.Int).Lsh(d, 1))
-	x3.Mod(x3, P)
+	gfpDouble(&x3, &d)
+	gfpSub(&x3, &f, &x3)
 
-	y3 := new(big.Int).Sub(d, x3)
-	y3.Mul(y3, e)
-	t := new(big.Int).Lsh(cc, 3)
-	y3.Sub(y3, t)
-	y3.Mod(y3, P)
+	gfpSub(&y3, &d, &x3)
+	gfpMul(&y3, &y3, &e)
+	gfpDouble(&t, &cc)
+	gfpDouble(&t, &t)
+	gfpDouble(&t, &t)
+	gfpSub(&y3, &y3, &t)
 
-	z3 := new(big.Int).Mul(a.y, a.z)
-	z3.Lsh(z3, 1)
-	z3.Mod(z3, P)
+	gfpMul(&z3, &a.y, &a.z)
+	gfpDouble(&z3, &z3)
 
-	c.x.Set(x3)
-	c.y.Set(y3)
-	c.z.Set(z3)
+	c.x = x3
+	c.y = y3
+	c.z = z3
 	return c
 }
 
@@ -220,7 +189,7 @@ func (c *curvePoint) Double(a *curvePoint) *curvePoint {
 // any two non-zero digits are separated by at least w−1 zeros. Compared to
 // a fixed window this roughly halves the precomputation (only odd
 // multiples are needed) and cuts the expected addition count to one per
-// w+1 bits.
+// w+1 bits. Shared by the limb and reference cores.
 func wnafDigits(k *big.Int, w uint) []int8 {
 	d := new(big.Int).Set(k)
 	mask := int64(1<<w - 1)
@@ -300,38 +269,32 @@ func (c *curvePoint) mulGeneric(a *curvePoint, k *big.Int) *curvePoint {
 }
 
 func (c *curvePoint) Negative(a *curvePoint) *curvePoint {
-	c.x.Set(a.x)
-	c.y.Neg(a.y)
-	c.y.Mod(c.y, P)
-	c.z.Set(a.z)
-	c.t.SetInt64(0)
+	c.x = a.x
+	gfpNeg(&c.y, &a.y)
+	c.z = a.z
+	c.t.SetZero()
 	return c
 }
 
 // MakeAffine normalizes c to z = 1 (or the canonical infinity encoding).
 func (c *curvePoint) MakeAffine() *curvePoint {
-	if c.z.Sign() == 0 {
+	if c.z.IsZero() {
 		return c.SetInfinity()
 	}
-	one := big.NewInt(1)
-	if c.z.Cmp(one) == 0 && c.x.Sign() >= 0 && c.x.Cmp(P) < 0 &&
-		c.y.Sign() >= 0 && c.y.Cmp(P) < 0 {
-		c.t.Set(one)
+	if c.z.Equal(&rOne) {
+		c.t.SetOne()
 		return c
 	}
 
-	zInv := new(big.Int).ModInverse(c.z, P)
-	t := new(big.Int).Mul(c.y, zInv)
-	t.Mod(t, P)
-	zInv2 := new(big.Int).Mul(zInv, zInv)
-	zInv2.Mod(zInv2, P)
+	var zInv, zInv2, t gfP
+	zInv.Invert(&c.z)
+	gfpMul(&t, &c.y, &zInv)
+	gfpMul(&zInv2, &zInv, &zInv)
 
-	c.y.Mul(t, zInv2)
-	c.y.Mod(c.y, P)
-	t.Mul(c.x, zInv2)
-	t.Mod(t, P)
-	c.x.Set(t)
-	c.z.SetInt64(1)
-	c.t.SetInt64(1)
+	gfpMul(&c.y, &t, &zInv2)
+	gfpMul(&t, &c.x, &zInv2)
+	c.x = t
+	c.z.SetOne()
+	c.t.SetOne()
 	return c
 }

@@ -30,61 +30,63 @@ func (e *gfP12) CyclotomicSquare(a *gfP12) *gfP12 {
 	x0, x1, x2 := a.y.z, a.y.y, a.y.x
 	x3, x4, x5 := a.x.z, a.x.y, a.x.x
 
-	t0 := newGFp2().Square(x4)
-	t1 := newGFp2().Square(x0)
-	t6 := newGFp2().Add(x4, x0)
-	t6.Square(t6)
-	t6.Sub(t6, t0)
-	t6.Sub(t6, t1) // 2·x4·x0
+	var t0, t1, t2, t3, t4, t5, t6, t7, t8 gfP2
+	t0.Square(&x4)
+	t1.Square(&x0)
+	t6.Add(&x4, &x0)
+	t6.Square(&t6)
+	t6.Sub(&t6, &t0)
+	t6.Sub(&t6, &t1) // 2·x4·x0
 
-	t2 := newGFp2().Square(x2)
-	t3 := newGFp2().Square(x3)
-	t7 := newGFp2().Add(x2, x3)
-	t7.Square(t7)
-	t7.Sub(t7, t2)
-	t7.Sub(t7, t3) // 2·x2·x3
+	t2.Square(&x2)
+	t3.Square(&x3)
+	t7.Add(&x2, &x3)
+	t7.Square(&t7)
+	t7.Sub(&t7, &t2)
+	t7.Sub(&t7, &t3) // 2·x2·x3
 
-	t4 := newGFp2().Square(x5)
-	t5 := newGFp2().Square(x1)
-	t8 := newGFp2().Add(x5, x1)
-	t8.Square(t8)
-	t8.Sub(t8, t4)
-	t8.Sub(t8, t5)
-	t8.MulXi(t8) // 2·ξ·x5·x1
+	t4.Square(&x5)
+	t5.Square(&x1)
+	t8.Add(&x5, &x1)
+	t8.Square(&t8)
+	t8.Sub(&t8, &t4)
+	t8.Sub(&t8, &t5)
+	t8.MulXi(&t8) // 2·ξ·x5·x1
 
-	t0.MulXi(t0)
-	t0.Add(t0, t1) // ξ·x4² + x0²
-	t2.MulXi(t2)
-	t2.Add(t2, t3) // ξ·x2² + x3²
-	t4.MulXi(t4)
-	t4.Add(t4, t5) // ξ·x5² + x1²
+	t0.MulXi(&t0)
+	t0.Add(&t0, &t1) // ξ·x4² + x0²
+	t2.MulXi(&t2)
+	t2.Add(&t2, &t3) // ξ·x2² + x3²
+	t4.MulXi(&t4)
+	t4.Add(&t4, &t5) // ξ·x5² + x1²
 
-	z0 := newGFp2().Sub(t0, x0)
-	z0.Double(z0)
-	z0.Add(z0, t0)
-	z1 := newGFp2().Sub(t2, x1)
-	z1.Double(z1)
-	z1.Add(z1, t2)
-	z2 := newGFp2().Sub(t4, x2)
-	z2.Double(z2)
-	z2.Add(z2, t4)
+	var z0, z1, z2, z3, z4, z5 gfP2
+	z0.Sub(&t0, &x0)
+	z0.Double(&z0)
+	z0.Add(&z0, &t0)
+	z1.Sub(&t2, &x1)
+	z1.Double(&z1)
+	z1.Add(&z1, &t2)
+	z2.Sub(&t4, &x2)
+	z2.Double(&z2)
+	z2.Add(&z2, &t4)
 
-	z3 := newGFp2().Add(t8, x3)
-	z3.Double(z3)
-	z3.Add(z3, t8)
-	z4 := newGFp2().Add(t6, x4)
-	z4.Double(z4)
-	z4.Add(z4, t6)
-	z5 := newGFp2().Add(t7, x5)
-	z5.Double(z5)
-	z5.Add(z5, t7)
+	z3.Add(&t8, &x3)
+	z3.Double(&z3)
+	z3.Add(&z3, &t8)
+	z4.Add(&t6, &x4)
+	z4.Double(&z4)
+	z4.Add(&z4, &t6)
+	z5.Add(&t7, &x5)
+	z5.Double(&z5)
+	z5.Add(&z5, &t7)
 
-	e.y.z.Set(z0)
-	e.y.y.Set(z1)
-	e.y.x.Set(z2)
-	e.x.z.Set(z3)
-	e.x.y.Set(z4)
-	e.x.x.Set(z5)
+	e.y.z = z0
+	e.y.y = z1
+	e.y.x = z2
+	e.x.z = z3
+	e.x.y = z4
+	e.x.x = z5
 	return e
 }
 
@@ -92,6 +94,7 @@ func (e *gfP12) CyclotomicSquare(a *gfP12) *gfP12 {
 // first), digits in {−1, 0, 1}. The NAF has minimal Hamming weight among
 // signed-binary recodings — about one third of the digits are non-zero —
 // and in the cyclotomic subgroup a −1 digit costs only a conjugation.
+// Shared by the limb and reference cores.
 func nafDigits(k *big.Int) []int8 {
 	n := new(big.Int).Set(k)
 	digits := make([]int8, 0, n.BitLen()+1)

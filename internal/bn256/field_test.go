@@ -18,17 +18,17 @@ func randGFp2(t *testing.T) *gfP2 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &gfP2{x: x, y: y}
+	return gfP2FromBigs(x, y)
 }
 
 func randGFp6(t *testing.T) *gfP6 {
 	t.Helper()
-	return &gfP6{x: randGFp2(t), y: randGFp2(t), z: randGFp2(t)}
+	return &gfP6{x: *randGFp2(t), y: *randGFp2(t), z: *randGFp2(t)}
 }
 
 func randGFp12(t *testing.T) *gfP12 {
 	t.Helper()
-	return &gfP12{x: randGFp6(t), y: randGFp6(t)}
+	return &gfP12{x: *randGFp6(t), y: *randGFp6(t)}
 }
 
 func TestGFp2FieldAxioms(t *testing.T) {

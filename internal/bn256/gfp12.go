@@ -6,28 +6,26 @@ import (
 )
 
 // gfP12 implements the field of size p¹² as a quadratic extension of gfP6
-// where ω² = τ. An element is x·ω + y.
+// where ω² = τ. An element is x·ω + y. The zero value is a valid 0.
 type gfP12 struct {
-	x, y *gfP6
+	x, y gfP6
 }
 
 func newGFp12() *gfP12 {
-	return &gfP12{x: newGFp6(), y: newGFp6()}
+	return &gfP12{}
 }
 
 func (e *gfP12) String() string {
-	return fmt.Sprintf("(%s, %s)", e.x, e.y)
+	return fmt.Sprintf("(%s, %s)", &e.x, &e.y)
 }
 
 func (e *gfP12) Set(a *gfP12) *gfP12 {
-	e.x.Set(a.x)
-	e.y.Set(a.y)
+	*e = *a
 	return e
 }
 
 func (e *gfP12) SetZero() *gfP12 {
-	e.x.SetZero()
-	e.y.SetZero()
+	*e = gfP12{}
 	return e
 }
 
@@ -37,11 +35,8 @@ func (e *gfP12) SetOne() *gfP12 {
 	return e
 }
 
-func (e *gfP12) Minimal() *gfP12 {
-	e.x.Minimal()
-	e.y.Minimal()
-	return e
-}
+// Minimal is the identity for the limb core (see gfP2.Minimal).
+func (e *gfP12) Minimal() *gfP12 { return e }
 
 func (e *gfP12) IsZero() bool {
 	return e.x.IsZero() && e.y.IsZero()
@@ -52,140 +47,141 @@ func (e *gfP12) IsOne() bool {
 }
 
 func (e *gfP12) Equal(a *gfP12) bool {
-	return e.x.Equal(a.x) && e.y.Equal(a.y)
+	return e.x.Equal(&a.x) && e.y.Equal(&a.y)
 }
 
 // Conjugate sets e = ā, the image of a under the p⁶-power Frobenius
 // (ω ↦ −ω). For elements of the cyclotomic subgroup — in particular all
 // pairing values — the conjugate equals the inverse.
 func (e *gfP12) Conjugate(a *gfP12) *gfP12 {
-	e.x.Neg(a.x)
-	e.y.Set(a.y)
+	e.x.Neg(&a.x)
+	e.y.Set(&a.y)
 	return e
 }
 
 func (e *gfP12) Neg(a *gfP12) *gfP12 {
-	e.x.Neg(a.x)
-	e.y.Neg(a.y)
+	e.x.Neg(&a.x)
+	e.y.Neg(&a.y)
 	return e
 }
 
 func (e *gfP12) Add(a, b *gfP12) *gfP12 {
-	e.x.Add(a.x, b.x)
-	e.y.Add(a.y, b.y)
+	e.x.Add(&a.x, &b.x)
+	e.y.Add(&a.y, &b.y)
 	return e
 }
 
 func (e *gfP12) Sub(a, b *gfP12) *gfP12 {
-	e.x.Sub(a.x, b.x)
-	e.y.Sub(a.y, b.y)
+	e.x.Sub(&a.x, &b.x)
+	e.y.Sub(&a.y, &b.y)
 	return e
 }
 
 // Mul sets e = a·b by Karatsuba over gfP6:
 // (a.x·ω + a.y)(b.x·ω + b.y) = (a.x·b.y + a.y·b.x)·ω + (a.y·b.y + a.x·b.x·τ).
 func (e *gfP12) Mul(a, b *gfP12) *gfP12 {
-	tx := newGFp6().Add(a.x, a.y)
-	t := newGFp6().Add(b.x, b.y)
-	tx.Mul(tx, t)
+	var tx, t, v0, v1, ty gfP6
+	tx.Add(&a.x, &a.y)
+	t.Add(&b.x, &b.y)
+	tx.Mul(&tx, &t)
 
-	v0 := newGFp6().Mul(a.y, b.y)
-	v1 := newGFp6().Mul(a.x, b.x)
+	v0.Mul(&a.y, &b.y)
+	v1.Mul(&a.x, &b.x)
 
-	tx.Sub(tx, v0)
-	tx.Sub(tx, v1)
+	tx.Sub(&tx, &v0)
+	tx.Sub(&tx, &v1)
 
-	ty := newGFp6().MulTau(v1)
-	ty.Add(ty, v0)
+	ty.MulTau(&v1)
+	ty.Add(&ty, &v0)
 
-	e.x.Set(tx)
-	e.y.Set(ty)
+	e.x = tx
+	e.y = ty
 	return e
 }
 
 func (e *gfP12) MulScalar(a *gfP12, b *gfP6) *gfP12 {
-	tx := newGFp6().Mul(a.x, b)
-	ty := newGFp6().Mul(a.y, b)
-	e.x.Set(tx)
-	e.y.Set(ty)
+	var tx, ty gfP6
+	tx.Mul(&a.x, b)
+	ty.Mul(&a.y, b)
+	e.x = tx
+	e.y = ty
 	return e
 }
 
 // MulLine sets e = a·L where L is the sparse line element
-// L = c0 + c1·ω + c3·τω (c0 a base-field scalar, c1 and c3 in F_p²) —
-// the shape produced by the pairing's line functions. It is equivalent to
+// L = c0 + c1·ω + c3·τω (all three coefficients in F_p²) — the shape
+// produced by the pairing's projective line functions. It is equivalent to
 // (and cross-checked in tests against) a general multiplication but costs
 // roughly a third fewer base-field multiplications.
-func (e *gfP12) MulLine(a *gfP12, c0 *big.Int, c1, c3 *gfP2) *gfP12 {
-	// L = Lx·ω + Ly with Lx = c3·τ + c1 and Ly = c0.
-	v0 := newGFp6().MulGFp(a.y, c0)         // a.y · Ly
-	v1 := newGFp6().MulSparse2(a.x, c3, c1) // a.x · Lx
+func (e *gfP12) MulLine(a *gfP12, c0, c1, c3 *gfP2) *gfP12 {
+	// L = Lx·ω + Ly with Lx = c3·τ + c1 and Ly = c0 (an F_p² scalar).
+	var v0, v1, t, cross gfP6
+	var z2 gfP2
+	v0.MulScalar(&a.y, c0)      // a.y · Ly
+	v1.MulSparse2(&a.x, c3, c1) // a.x · Lx
 
 	// cross = (a.x + a.y)(Lx + Ly) − v0 − v1, Lx + Ly = c3·τ + (c1 + c0).
-	z2 := newGFp2().Set(c1)
-	z2.y.Add(z2.y, c0)
-	z2.Minimal()
-	t := newGFp6().Add(a.x, a.y)
-	cross := newGFp6().MulSparse2(t, c3, z2)
-	cross.Sub(cross, v0)
-	cross.Sub(cross, v1)
+	z2.Add(c1, c0)
+	t.Add(&a.x, &a.y)
+	cross.MulSparse2(&t, c3, &z2)
+	cross.Sub(&cross, &v0)
+	cross.Sub(&cross, &v1)
 
-	e.x.Set(cross)
-	v1.MulTau(v1)
-	e.y.Add(v0, v1)
+	e.x = cross
+	v1.MulTau(&v1)
+	e.y.Add(&v0, &v1)
 	return e
 }
 
 // MulGFp sets e = a·b where b is a base-field element.
-func (e *gfP12) MulGFp(a *gfP12, b *big.Int) *gfP12 {
-	e.x.MulGFp(a.x, b)
-	e.y.MulGFp(a.y, b)
+func (e *gfP12) MulGFp(a *gfP12, b *gfP) *gfP12 {
+	e.x.MulGFp(&a.x, b)
+	e.y.MulGFp(&a.y, b)
 	return e
 }
 
 // Square sets e = a². Using (x·ω + y)² = 2xy·ω + (y² + x²τ) via the
 // complex-squaring identity y² + x²τ = (x + y)(xτ + y) − xy·τ − xy.
 func (e *gfP12) Square(a *gfP12) *gfP12 {
-	v0 := newGFp6().Mul(a.x, a.y)
+	var v0, t, ty gfP6
+	v0.Mul(&a.x, &a.y)
 
-	t := newGFp6().MulTau(a.x)
-	t.Add(t, a.y)
-	ty := newGFp6().Add(a.x, a.y)
-	ty.Mul(ty, t)
-	ty.Sub(ty, v0)
-	t.MulTau(v0)
-	ty.Sub(ty, t)
+	t.MulTau(&a.x)
+	t.Add(&t, &a.y)
+	ty.Add(&a.x, &a.y)
+	ty.Mul(&ty, &t)
+	ty.Sub(&ty, &v0)
+	t.MulTau(&v0)
+	ty.Sub(&ty, &t)
 
-	e.y.Set(ty)
-	e.x.Double(v0)
+	e.y = ty
+	e.x.Double(&v0)
 	return e
 }
 
 // Invert sets e = a⁻¹ using 1/(x·ω + y) = (−x·ω + y)/(y² − x²·τ).
 func (e *gfP12) Invert(a *gfP12) *gfP12 {
-	t1 := newGFp6().Square(a.x)
-	t1.MulTau(t1)
-	t2 := newGFp6().Square(a.y)
-	t2.Sub(t2, t1)
-	t2.Invert(t2)
+	var t1, t2 gfP6
+	t1.Square(&a.x)
+	t1.MulTau(&t1)
+	t2.Square(&a.y)
+	t2.Sub(&t2, &t1)
+	t2.Invert(&t2)
 
-	e.x.Neg(a.x)
-	e.y.Set(a.y)
-	return e.MulScalar(e, t2)
+	e.x.Neg(&a.x)
+	e.y.Set(&a.y)
+	return e.MulScalar(e, &t2)
 }
 
 // Exp sets e = a^k by square-and-multiply.
 func (e *gfP12) Exp(a *gfP12, k *big.Int) *gfP12 {
 	sum := newGFp12().SetOne()
-	t := newGFp12()
 	base := newGFp12().Set(a)
 
 	for i := k.BitLen() - 1; i >= 0; i-- {
-		t.Square(sum)
+		sum.Square(sum)
 		if k.Bit(i) != 0 {
-			sum.Mul(t, base)
-		} else {
-			sum.Set(t)
+			sum.Mul(sum, base)
 		}
 	}
 	return e.Set(sum)
@@ -195,17 +191,17 @@ func (e *gfP12) Exp(a *gfP12, k *big.Int) *gfP12 {
 //
 //	(x·ω + y)^p = x^p·ξ^((p−1)/6)·ω + y^p.
 func (e *gfP12) Frobenius(a *gfP12) *gfP12 {
-	e.x.Frobenius(a.x)
-	e.y.Frobenius(a.y)
-	e.x.MulScalar(e.x, xiToPMinus1Over6)
+	e.x.Frobenius(&a.x)
+	e.y.Frobenius(&a.y)
+	e.x.MulScalar(&e.x, xiToPMinus1Over6)
 	return e
 }
 
 // FrobeniusP2 sets e = a^(p²), where ω^(p²) = ξ^((p²−1)/6)·ω with the
 // factor in F_p.
 func (e *gfP12) FrobeniusP2(a *gfP12) *gfP12 {
-	e.x.FrobeniusP2(a.x)
-	e.y.FrobeniusP2(a.y)
-	e.x.MulScalar(e.x, xiToPSquaredMinus1Over6)
+	e.x.FrobeniusP2(&a.x)
+	e.y.FrobeniusP2(&a.y)
+	e.x.MulScalar(&e.x, xiToPSquaredMinus1Over6)
 	return e
 }

@@ -6,208 +6,186 @@ import (
 )
 
 // gfP2 implements the field of size p² as a quadratic extension of the base
-// field F_p with i² = −1. An element is x·i + y.
+// field F_p with i² = −1. An element is x·i + y. Coordinates are gfP limb
+// values in Montgomery form, so the zero value of the struct is a valid 0.
 //
 // Methods follow the mutate-receiver convention: c.Op(a, b) sets c = a op b
 // and returns c. Receivers may alias arguments.
 type gfP2 struct {
-	x, y *big.Int
+	x, y gfP
 }
 
 func newGFp2() *gfP2 {
-	return &gfP2{x: new(big.Int), y: new(big.Int)}
+	return &gfP2{}
+}
+
+// gfP2FromBigs builds an element from canonical big.Int coordinates.
+func gfP2FromBigs(x, y *big.Int) *gfP2 {
+	return &gfP2{x: gfPFromBig(x), y: gfPFromBig(y)}
+}
+
+// BigInts returns the canonical coordinate values (x, y).
+func (e *gfP2) BigInts() (*big.Int, *big.Int) {
+	return e.x.BigInt(), e.y.BigInt()
 }
 
 func (e *gfP2) String() string {
-	e.Minimal()
 	return fmt.Sprintf("(%s, %s)", e.x.String(), e.y.String())
 }
 
 func (e *gfP2) Set(a *gfP2) *gfP2 {
-	e.x.Set(a.x)
-	e.y.Set(a.y)
+	*e = *a
 	return e
 }
 
 func (e *gfP2) SetZero() *gfP2 {
-	e.x.SetInt64(0)
-	e.y.SetInt64(0)
+	*e = gfP2{}
 	return e
 }
 
 func (e *gfP2) SetOne() *gfP2 {
-	e.x.SetInt64(0)
-	e.y.SetInt64(1)
+	e.x.SetZero()
+	e.y.SetOne()
 	return e
 }
 
-// Minimal reduces both coordinates into [0, p).
-func (e *gfP2) Minimal() *gfP2 {
-	if e.x.Sign() < 0 || e.x.Cmp(P) >= 0 {
-		e.x.Mod(e.x, P)
-	}
-	if e.y.Sign() < 0 || e.y.Cmp(P) >= 0 {
-		e.y.Mod(e.y, P)
-	}
-	return e
-}
+// Minimal is retained from the big.Int core's API for the callers and tests
+// that normalize before comparing; limb values are always reduced, so it is
+// the identity.
+func (e *gfP2) Minimal() *gfP2 { return e }
 
 func (e *gfP2) IsZero() bool {
-	e.Minimal()
-	return e.x.Sign() == 0 && e.y.Sign() == 0
+	return e.x.IsZero() && e.y.IsZero()
 }
 
 func (e *gfP2) IsOne() bool {
-	e.Minimal()
-	return e.x.Sign() == 0 && e.y.Cmp(big.NewInt(1)) == 0
+	return e.x.IsZero() && e.y.Equal(&rOne)
 }
 
 func (e *gfP2) Equal(a *gfP2) bool {
-	e.Minimal()
-	a.Minimal()
-	return e.x.Cmp(a.x) == 0 && e.y.Cmp(a.y) == 0
+	return e.x.Equal(&a.x) && e.y.Equal(&a.y)
 }
 
 // Conjugate sets e = ȳ = −x·i + y, the image of a under the non-trivial
 // automorphism of F_p²/F_p (which is also the p-power Frobenius).
 func (e *gfP2) Conjugate(a *gfP2) *gfP2 {
-	e.y.Set(a.y)
-	e.x.Neg(a.x)
-	e.x.Mod(e.x, P)
+	e.y = a.y
+	gfpNeg(&e.x, &a.x)
 	return e
 }
 
 func (e *gfP2) Neg(a *gfP2) *gfP2 {
-	e.x.Neg(a.x)
-	e.x.Mod(e.x, P)
-	e.y.Neg(a.y)
-	e.y.Mod(e.y, P)
+	gfpNeg(&e.x, &a.x)
+	gfpNeg(&e.y, &a.y)
 	return e
 }
 
 func (e *gfP2) Add(a, b *gfP2) *gfP2 {
-	e.x.Add(a.x, b.x)
-	e.x.Mod(e.x, P)
-	e.y.Add(a.y, b.y)
-	e.y.Mod(e.y, P)
+	gfpAdd(&e.x, &a.x, &b.x)
+	gfpAdd(&e.y, &a.y, &b.y)
 	return e
 }
 
 func (e *gfP2) Sub(a, b *gfP2) *gfP2 {
-	e.x.Sub(a.x, b.x)
-	e.x.Mod(e.x, P)
-	e.y.Sub(a.y, b.y)
-	e.y.Mod(e.y, P)
+	gfpSub(&e.x, &a.x, &b.x)
+	gfpSub(&e.y, &a.y, &b.y)
 	return e
 }
 
 func (e *gfP2) Double(a *gfP2) *gfP2 {
-	e.x.Lsh(a.x, 1)
-	e.x.Mod(e.x, P)
-	e.y.Lsh(a.y, 1)
-	e.y.Mod(e.y, P)
+	gfpDouble(&e.x, &a.x)
+	gfpDouble(&e.y, &a.y)
 	return e
 }
 
-// Mul sets e = a·b using Karatsuba:
+// Mul sets e = a·b using Karatsuba (three base-field multiplications):
 // (a.x·i + a.y)(b.x·i + b.y) = (a.x·b.y + a.y·b.x)·i + (a.y·b.y − a.x·b.x).
 func (e *gfP2) Mul(a, b *gfP2) *gfP2 {
-	tx := new(big.Int).Add(a.x, a.y)
-	t := new(big.Int).Add(b.x, b.y)
-	tx.Mul(tx, t) // (ax+ay)(bx+by)
+	var tx, t, vx, vy gfP
+	gfpAdd(&tx, &a.x, &a.y)
+	gfpAdd(&t, &b.x, &b.y)
+	gfpMul(&tx, &tx, &t) // (ax+ay)(bx+by)
 
-	vx := new(big.Int).Mul(a.x, b.x)
-	vy := new(big.Int).Mul(a.y, b.y)
+	gfpMul(&vx, &a.x, &b.x)
+	gfpMul(&vy, &a.y, &b.y)
 
-	tx.Sub(tx, vx)
-	tx.Sub(tx, vy)
-	tx.Mod(tx, P)
-
-	ty := new(big.Int).Sub(vy, vx)
-	ty.Mod(ty, P)
-
-	e.x.Set(tx)
-	e.y.Set(ty)
+	gfpSub(&tx, &tx, &vx)
+	gfpSub(&e.x, &tx, &vy)
+	gfpSub(&e.y, &vy, &vx)
 	return e
 }
 
 // MulScalar sets e = a·b where b is a base-field element.
-func (e *gfP2) MulScalar(a *gfP2, b *big.Int) *gfP2 {
-	e.x.Mul(a.x, b)
-	e.x.Mod(e.x, P)
-	e.y.Mul(a.y, b)
-	e.y.Mod(e.y, P)
+func (e *gfP2) MulScalar(a *gfP2, b *gfP) *gfP2 {
+	gfpMul(&e.x, &a.x, b)
+	gfpMul(&e.y, &a.y, b)
 	return e
 }
 
 // MulXi sets e = a·ξ where ξ = i + 3.
 func (e *gfP2) MulXi(a *gfP2) *gfP2 {
 	// (x·i + y)(i + 3) = (3x + y)·i + (3y − x)
-	tx := new(big.Int).Lsh(a.x, 1)
-	tx.Add(tx, a.x)
-	tx.Add(tx, a.y)
+	var tx, ty gfP
+	gfpDouble(&tx, &a.x)
+	gfpAdd(&tx, &tx, &a.x)
+	gfpAdd(&tx, &tx, &a.y)
 
-	ty := new(big.Int).Lsh(a.y, 1)
-	ty.Add(ty, a.y)
-	ty.Sub(ty, a.x)
+	gfpDouble(&ty, &a.y)
+	gfpAdd(&ty, &ty, &a.y)
+	gfpSub(&ty, &ty, &a.x)
 
-	e.x.Mod(tx, P)
-	e.y.Mod(ty, P)
+	e.x = tx
+	e.y = ty
 	return e
 }
 
-// Square sets e = a² = 2·x·y·i + (y + x)(y − x).
+// Square sets e = a² = 2·x·y·i + (y + x)(y − x), two multiplications.
 func (e *gfP2) Square(a *gfP2) *gfP2 {
-	t1 := new(big.Int).Sub(a.y, a.x)
-	t2 := new(big.Int).Add(a.x, a.y)
-	ty := new(big.Int).Mul(t1, t2)
-	ty.Mod(ty, P)
+	var t1, t2, tx, ty gfP
+	gfpSub(&t1, &a.y, &a.x)
+	gfpAdd(&t2, &a.x, &a.y)
+	gfpMul(&ty, &t1, &t2)
 
-	tx := new(big.Int).Mul(a.x, a.y)
-	tx.Lsh(tx, 1)
-	tx.Mod(tx, P)
+	gfpMul(&tx, &a.x, &a.y)
+	gfpDouble(&tx, &tx)
 
-	e.x.Set(tx)
-	e.y.Set(ty)
+	e.x = tx
+	e.y = ty
 	return e
 }
 
 // Invert sets e = a⁻¹ using 1/(x·i + y) = (−x·i + y)/(x² + y²).
 func (e *gfP2) Invert(a *gfP2) *gfP2 {
-	t := new(big.Int).Mul(a.y, a.y)
-	t2 := new(big.Int).Mul(a.x, a.x)
-	t.Add(t, t2)
+	var t, t2 gfP
+	gfpMul(&t, &a.y, &a.y)
+	gfpMul(&t2, &a.x, &a.x)
+	gfpAdd(&t, &t, &t2)
+	t.Invert(&t)
 
-	inv := new(big.Int).ModInverse(t, P)
-
-	e.x.Neg(a.x)
-	e.x.Mul(e.x, inv)
-	e.x.Mod(e.x, P)
-
-	e.y.Mul(a.y, inv)
-	e.y.Mod(e.y, P)
+	gfpNeg(&t2, &a.x)
+	gfpMul(&e.x, &t2, &t)
+	gfpMul(&e.y, &a.y, &t)
 	return e
 }
 
 // Exp sets e = a^k by square-and-multiply.
 func (e *gfP2) Exp(a *gfP2, k *big.Int) *gfP2 {
 	sum := newGFp2().SetOne()
-	t := newGFp2()
 	base := newGFp2().Set(a)
 
 	for i := k.BitLen() - 1; i >= 0; i-- {
-		t.Square(sum)
+		sum.Square(sum)
 		if k.Bit(i) != 0 {
-			sum.Mul(t, base)
-		} else {
-			sum.Set(t)
+			sum.Mul(sum, base)
 		}
 	}
 	return e.Set(sum)
 }
 
 // Sqrt sets e to a square root of a and reports whether a is a square in
-// F_p². It uses the complex method valid for p ≡ 3 (mod 4).
+// F_p². It uses the complex method valid for p ≡ 3 (mod 4), with the same
+// branch structure as the retired big.Int implementation so deterministic
+// point derivations (generators, hash-to-G2) keep their exact values.
 func (e *gfP2) Sqrt(a *gfP2) (ok bool) {
 	if a.IsZero() {
 		e.SetZero()
@@ -221,15 +199,14 @@ func (e *gfP2) Sqrt(a *gfP2) (ok bool) {
 	alpha.Mul(alpha, a)
 	x0 := newGFp2().Mul(a1, a)
 
-	negOne := newGFp2()
-	negOne.y.Sub(P, big.NewInt(1))
+	negOne := newGFp2().SetOne()
+	negOne.Neg(negOne)
 
 	cand := newGFp2()
 	if alpha.Equal(negOne) {
-		// e = i·x0.
-		cand.x.Set(x0.y)
-		cand.y.Neg(x0.x)
-		cand.y.Mod(cand.y, P)
+		// e = i·x0 = (y + x·i)·i = −x + y·i … i.e. swap with a negation.
+		cand.x = x0.y
+		gfpNeg(&cand.y, &x0.x)
 	} else {
 		// b = (1 + α)^((p−1)/2); e = b·x0.
 		b := newGFp2().Add(newGFp2().SetOne(), alpha)

@@ -1,35 +1,29 @@
 package bn256
 
-import (
-	"fmt"
-	"math/big"
-)
+import "fmt"
 
 // gfP6 implements the field of size p⁶ as a cubic extension of gfP2 where
-// τ³ = ξ with ξ = i + 3. An element is x·τ² + y·τ + z.
+// τ³ = ξ with ξ = i + 3. An element is x·τ² + y·τ + z. The zero value is a
+// valid 0.
 type gfP6 struct {
-	x, y, z *gfP2
+	x, y, z gfP2
 }
 
 func newGFp6() *gfP6 {
-	return &gfP6{x: newGFp2(), y: newGFp2(), z: newGFp2()}
+	return &gfP6{}
 }
 
 func (e *gfP6) String() string {
-	return fmt.Sprintf("(%s, %s, %s)", e.x, e.y, e.z)
+	return fmt.Sprintf("(%s, %s, %s)", &e.x, &e.y, &e.z)
 }
 
 func (e *gfP6) Set(a *gfP6) *gfP6 {
-	e.x.Set(a.x)
-	e.y.Set(a.y)
-	e.z.Set(a.z)
+	*e = *a
 	return e
 }
 
 func (e *gfP6) SetZero() *gfP6 {
-	e.x.SetZero()
-	e.y.SetZero()
-	e.z.SetZero()
+	*e = gfP6{}
 	return e
 }
 
@@ -40,12 +34,8 @@ func (e *gfP6) SetOne() *gfP6 {
 	return e
 }
 
-func (e *gfP6) Minimal() *gfP6 {
-	e.x.Minimal()
-	e.y.Minimal()
-	e.z.Minimal()
-	return e
-}
+// Minimal is the identity for the limb core (see gfP2.Minimal).
+func (e *gfP6) Minimal() *gfP6 { return e }
 
 func (e *gfP6) IsZero() bool {
 	return e.x.IsZero() && e.y.IsZero() && e.z.IsZero()
@@ -56,34 +46,34 @@ func (e *gfP6) IsOne() bool {
 }
 
 func (e *gfP6) Equal(a *gfP6) bool {
-	return e.x.Equal(a.x) && e.y.Equal(a.y) && e.z.Equal(a.z)
+	return e.x.Equal(&a.x) && e.y.Equal(&a.y) && e.z.Equal(&a.z)
 }
 
 func (e *gfP6) Neg(a *gfP6) *gfP6 {
-	e.x.Neg(a.x)
-	e.y.Neg(a.y)
-	e.z.Neg(a.z)
+	e.x.Neg(&a.x)
+	e.y.Neg(&a.y)
+	e.z.Neg(&a.z)
 	return e
 }
 
 func (e *gfP6) Add(a, b *gfP6) *gfP6 {
-	e.x.Add(a.x, b.x)
-	e.y.Add(a.y, b.y)
-	e.z.Add(a.z, b.z)
+	e.x.Add(&a.x, &b.x)
+	e.y.Add(&a.y, &b.y)
+	e.z.Add(&a.z, &b.z)
 	return e
 }
 
 func (e *gfP6) Double(a *gfP6) *gfP6 {
-	e.x.Double(a.x)
-	e.y.Double(a.y)
-	e.z.Double(a.z)
+	e.x.Double(&a.x)
+	e.y.Double(&a.y)
+	e.z.Double(&a.z)
 	return e
 }
 
 func (e *gfP6) Sub(a, b *gfP6) *gfP6 {
-	e.x.Sub(a.x, b.x)
-	e.y.Sub(a.y, b.y)
-	e.z.Sub(a.z, b.z)
+	e.x.Sub(&a.x, &b.x)
+	e.y.Sub(&a.y, &b.y)
+	e.z.Sub(&a.z, &b.z)
 	return e
 }
 
@@ -95,90 +85,94 @@ func (e *gfP6) Sub(a, b *gfP6) *gfP6 {
 //	r1 = (a0+a1)(b0+b1) − t0 − t1 + ξ·t2
 //	r2 = (a0+a2)(b0+b2) − t0 − t2 + t1
 func (e *gfP6) Mul(a, b *gfP6) *gfP6 {
-	t0 := newGFp2().Mul(a.z, b.z)
-	t1 := newGFp2().Mul(a.y, b.y)
-	t2 := newGFp2().Mul(a.x, b.x)
+	var t0, t1, t2, s1, s2, r0, r1, r2, xiT2 gfP2
+	t0.Mul(&a.z, &b.z)
+	t1.Mul(&a.y, &b.y)
+	t2.Mul(&a.x, &b.x)
 
-	s1 := newGFp2().Add(a.y, a.x)
-	s2 := newGFp2().Add(b.y, b.x)
-	r0 := newGFp2().Mul(s1, s2)
-	r0.Sub(r0, t1)
-	r0.Sub(r0, t2)
-	r0.MulXi(r0)
-	r0.Add(r0, t0)
+	s1.Add(&a.y, &a.x)
+	s2.Add(&b.y, &b.x)
+	r0.Mul(&s1, &s2)
+	r0.Sub(&r0, &t1)
+	r0.Sub(&r0, &t2)
+	r0.MulXi(&r0)
+	r0.Add(&r0, &t0)
 
-	s1.Add(a.z, a.y)
-	s2.Add(b.z, b.y)
-	r1 := newGFp2().Mul(s1, s2)
-	r1.Sub(r1, t0)
-	r1.Sub(r1, t1)
-	xiT2 := newGFp2().MulXi(t2)
-	r1.Add(r1, xiT2)
+	s1.Add(&a.z, &a.y)
+	s2.Add(&b.z, &b.y)
+	r1.Mul(&s1, &s2)
+	r1.Sub(&r1, &t0)
+	r1.Sub(&r1, &t1)
+	xiT2.MulXi(&t2)
+	r1.Add(&r1, &xiT2)
 
-	s1.Add(a.z, a.x)
-	s2.Add(b.z, b.x)
-	r2 := newGFp2().Mul(s1, s2)
-	r2.Sub(r2, t0)
-	r2.Sub(r2, t2)
-	r2.Add(r2, t1)
+	s1.Add(&a.z, &a.x)
+	s2.Add(&b.z, &b.x)
+	r2.Mul(&s1, &s2)
+	r2.Sub(&r2, &t0)
+	r2.Sub(&r2, &t2)
+	r2.Add(&r2, &t1)
 
-	e.z.Set(r0)
-	e.y.Set(r1)
-	e.x.Set(r2)
+	e.z = r0
+	e.y = r1
+	e.x = r2
 	return e
 }
 
 func (e *gfP6) MulScalar(a *gfP6, b *gfP2) *gfP6 {
-	tx := newGFp2().Mul(a.x, b)
-	ty := newGFp2().Mul(a.y, b)
-	tz := newGFp2().Mul(a.z, b)
-	e.x.Set(tx)
-	e.y.Set(ty)
-	e.z.Set(tz)
+	var tx, ty, tz gfP2
+	tx.Mul(&a.x, b)
+	ty.Mul(&a.y, b)
+	tz.Mul(&a.z, b)
+	e.x = tx
+	e.y = ty
+	e.z = tz
 	return e
 }
 
-func (e *gfP6) MulGFp(a *gfP6, b *big.Int) *gfP6 {
-	e.x.MulScalar(a.x, b)
-	e.y.MulScalar(a.y, b)
-	e.z.MulScalar(a.z, b)
+func (e *gfP6) MulGFp(a *gfP6, b *gfP) *gfP6 {
+	e.x.MulScalar(&a.x, b)
+	e.y.MulScalar(&a.y, b)
+	e.z.MulScalar(&a.z, b)
 	return e
 }
 
 // MulSparse2 sets e = a·(y2·τ + z2), a multiplication by an element with
-// only two non-zero coefficients (six gfP2 multiplications instead of the
-// general case's — used by the pairing's sparse line multiplication).
+// only two non-zero coefficients — used by the pairing's sparse line
+// multiplication.
 func (e *gfP6) MulSparse2(a *gfP6, y2, z2 *gfP2) *gfP6 {
 	// (x1τ² + y1τ + z1)(y2τ + z2):
 	//   z' = z1z2 + ξ·x1y2
 	//   y' = y1z2 + z1y2
 	//   x' = x1z2 + y1y2
-	tz := newGFp2().Mul(a.x, y2)
-	tz.MulXi(tz)
-	t := newGFp2().Mul(a.z, z2)
-	tz.Add(tz, t)
+	var tx, ty, tz, t gfP2
+	tz.Mul(&a.x, y2)
+	tz.MulXi(&tz)
+	t.Mul(&a.z, z2)
+	tz.Add(&tz, &t)
 
-	ty := newGFp2().Mul(a.y, z2)
-	t.Mul(a.z, y2)
-	ty.Add(ty, t)
+	ty.Mul(&a.y, z2)
+	t.Mul(&a.z, y2)
+	ty.Add(&ty, &t)
 
-	tx := newGFp2().Mul(a.x, z2)
-	t.Mul(a.y, y2)
-	tx.Add(tx, t)
+	tx.Mul(&a.x, z2)
+	t.Mul(&a.y, y2)
+	tx.Add(&tx, &t)
 
-	e.x.Set(tx)
-	e.y.Set(ty)
-	e.z.Set(tz)
+	e.x = tx
+	e.y = ty
+	e.z = tz
 	return e
 }
 
 // MulTau sets e = a·τ: (x·τ² + y·τ + z)·τ = y·τ² + z·τ + x·ξ.
 func (e *gfP6) MulTau(a *gfP6) *gfP6 {
-	tz := newGFp2().MulXi(a.x)
-	ty := newGFp2().Set(a.y)
-	e.y.Set(a.z)
-	e.x.Set(ty)
-	e.z.Set(tz)
+	var tz, ty gfP2
+	tz.MulXi(&a.x)
+	ty = a.y
+	e.y = a.z
+	e.x = ty
+	e.z = tz
 	return e
 }
 
@@ -194,33 +188,34 @@ func (e *gfP6) Square(a *gfP6) *gfP6 {
 //	F  = a0·c0 + ξ·(a2·c1 + a1·c2)
 //	a⁻¹ = (c0 + c1·τ + c2·τ²)/F
 func (e *gfP6) Invert(a *gfP6) *gfP6 {
-	a0, a1, a2 := a.z, a.y, a.x
+	a0, a1, a2 := &a.z, &a.y, &a.x
 
-	c0 := newGFp2().Square(a0)
-	t := newGFp2().Mul(a1, a2)
-	t.MulXi(t)
-	c0.Sub(c0, t)
+	var c0, c1, c2, f, t gfP2
+	c0.Square(a0)
+	t.Mul(a1, a2)
+	t.MulXi(&t)
+	c0.Sub(&c0, &t)
 
-	c1 := newGFp2().Square(a2)
-	c1.MulXi(c1)
+	c1.Square(a2)
+	c1.MulXi(&c1)
 	t.Mul(a0, a1)
-	c1.Sub(c1, t)
+	c1.Sub(&c1, &t)
 
-	c2 := newGFp2().Square(a1)
+	c2.Square(a1)
 	t.Mul(a0, a2)
-	c2.Sub(c2, t)
+	c2.Sub(&c2, &t)
 
-	f := newGFp2().Mul(a2, c1)
-	t.Mul(a1, c2)
-	f.Add(f, t)
-	f.MulXi(f)
-	t.Mul(a0, c0)
-	f.Add(f, t)
-	f.Invert(f)
+	f.Mul(a2, &c1)
+	t.Mul(a1, &c2)
+	f.Add(&f, &t)
+	f.MulXi(&f)
+	t.Mul(a0, &c0)
+	f.Add(&f, &t)
+	f.Invert(&f)
 
-	e.z.Mul(c0, f)
-	e.y.Mul(c1, f)
-	e.x.Mul(c2, f)
+	e.z.Mul(&c0, &f)
+	e.y.Mul(&c1, &f)
+	e.x.Mul(&c2, &f)
 	return e
 }
 
@@ -228,22 +223,22 @@ func (e *gfP6) Invert(a *gfP6) *gfP6 {
 //
 //	(x·τ² + y·τ + z)^p = x̄·ξ^(2(p−1)/3)·τ² + ȳ·ξ^((p−1)/3)·τ + z̄.
 func (e *gfP6) Frobenius(a *gfP6) *gfP6 {
-	e.x.Conjugate(a.x)
-	e.y.Conjugate(a.y)
-	e.z.Conjugate(a.z)
+	e.x.Conjugate(&a.x)
+	e.y.Conjugate(&a.y)
+	e.z.Conjugate(&a.z)
 
-	e.x.Mul(e.x, xiToPMinus1Over3)
-	e.x.Mul(e.x, xiToPMinus1Over3)
-	e.y.Mul(e.y, xiToPMinus1Over3)
+	e.x.Mul(&e.x, xiToPMinus1Over3)
+	e.x.Mul(&e.x, xiToPMinus1Over3)
+	e.y.Mul(&e.y, xiToPMinus1Over3)
 	return e
 }
 
 // FrobeniusP2 sets e = a^(p²). Conjugation in F_p² squares away, and
 // τ^(p²) = ξ^((p²−1)/3)·τ where ξ^((p²−1)/3) lies in F_p.
 func (e *gfP6) FrobeniusP2(a *gfP6) *gfP6 {
-	e.x.Mul(a.x, xiToPSquaredMinus1Over3)
-	e.x.Mul(e.x, xiToPSquaredMinus1Over3)
-	e.y.Mul(a.y, xiToPSquaredMinus1Over3)
-	e.z.Set(a.z)
+	e.x.Mul(&a.x, xiToPSquaredMinus1Over3)
+	e.x.Mul(&e.x, xiToPSquaredMinus1Over3)
+	e.y.Mul(&a.y, xiToPSquaredMinus1Over3)
+	e.z.Set(&a.z)
 	return e
 }

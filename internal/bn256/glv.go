@@ -15,8 +15,9 @@ import (
 // the dominant cost, so variable-base multiplication runs in roughly half
 // the time.
 type glvConstants struct {
-	beta   *big.Int // cube root of unity in F_p matching λ on the curve
-	lambda *big.Int // eigenvalue of φ modulo the group order
+	beta    *big.Int // cube root of unity in F_p matching λ on the curve
+	betaGfP gfP      // beta in Montgomery limb form, for the endomorphism map
+	lambda  *big.Int // eigenvalue of φ modulo the group order
 
 	// Short lattice basis for {(a, b) : a + b·λ ≡ 0 (mod n)}, from the
 	// extended Euclidean algorithm on (n, λ).
@@ -50,10 +51,10 @@ func computeGLVConstants() *glvConstants {
 	// fix the choice by testing against the generator. The matching β is
 	// then determined the same way mod p.
 	beta := half(P)
+	betaGfP := gfPFromBig(beta)
 	phi := newCurvePoint().Set(curveGen)
 	phi.MakeAffine()
-	phi.x.Mul(phi.x, beta)
-	phi.x.Mod(phi.x, P)
+	gfpMul(&phi.x, &phi.x, &betaGfP)
 	want := newCurvePoint().mulGeneric(curveGen, lambda)
 	if !phi.Equal(want) {
 		lambda.Sub(Order, lambda)
@@ -88,7 +89,7 @@ func computeGLVConstants() *glvConstants {
 		a2, b2 = r2, new(big.Int).Neg(t2)
 	}
 
-	return &glvConstants{beta: beta, lambda: lambda, a1: a1, b1: b1, a2: a2, b2: b2}
+	return &glvConstants{beta: beta, betaGfP: betaGfP, lambda: lambda, a1: a1, b1: b1, a2: a2, b2: b2}
 }
 
 // roundedDiv returns the nearest integer to x/n for n > 0 (ties away from
@@ -135,8 +136,7 @@ func (c *curvePoint) mulGLV(a *curvePoint, k *big.Int) *curvePoint {
 		k1.Neg(k1)
 	}
 	p2 := newCurvePoint().Set(a)
-	p2.x.Mul(p2.x, g.beta)
-	p2.x.Mod(p2.x, P)
+	gfpMul(&p2.x, &p2.x, &g.betaGfP)
 	if k2.Sign() < 0 {
 		p2.Negative(p2)
 		k2.Neg(k2)

@@ -55,33 +55,32 @@ func HashToScalars(msg []byte, count int) []*big.Int {
 }
 
 // HashToG1 hashes msg to a point of G1 by try-and-increment. E(F_p) has
-// prime order, so every curve point lies in the group.
+// prime order, so every curve point lies in the group. The limb-core Sqrt
+// returns the same root as the retired big.Int ModSqrt (p ≡ 3 mod 4), so
+// the derived points are byte-identical across cores.
 func HashToG1(msg []byte) *G1 {
-	three := big.NewInt(3)
 	for ctr := uint32(0); ; ctr++ {
 		d := hashWithTag("g1", ctr, msg)
-		x := new(big.Int).SetBytes(d[:])
-		x.Mod(x, P)
+		x := gfPFromBig(new(big.Int).SetBytes(d[:]))
 
 		// y² = x³ + 3
-		yy := new(big.Int).Mul(x, x)
-		yy.Mul(yy, x)
-		yy.Add(yy, three)
-		yy.Mod(yy, P)
+		var yy, y gfP
+		gfpMul(&yy, &x, &x)
+		gfpMul(&yy, &yy, &x)
+		gfpAdd(&yy, &yy, &curveBGfP)
 
-		y := new(big.Int).ModSqrt(yy, P)
-		if y == nil {
+		if !y.Sqrt(&yy) {
 			continue
 		}
 		// Deterministic sign choice from the hash.
 		if d[31]&1 == 1 {
-			y.Sub(P, y)
+			gfpNeg(&y, &y)
 		}
 		pt := newCurvePoint()
-		pt.x.Set(x)
-		pt.y.Set(y)
-		pt.z.SetInt64(1)
-		pt.t.SetInt64(1)
+		pt.x = x
+		pt.y = y
+		pt.z.SetOne()
+		pt.t.SetOne()
 		return &G1{p: pt}
 	}
 }
@@ -93,10 +92,8 @@ func HashToG2(msg []byte) *G2 {
 		dx := hashWithTag("g2:x", ctr, msg)
 		dy := hashWithTag("g2:y", ctr, msg)
 		xCand := newGFp2()
-		xCand.x.SetBytes(dx[:])
-		xCand.x.Mod(xCand.x, P)
-		xCand.y.SetBytes(dy[:])
-		xCand.y.Mod(xCand.y, P)
+		xCand.x = gfPFromBig(new(big.Int).SetBytes(dx[:]))
+		xCand.y = gfPFromBig(new(big.Int).SetBytes(dy[:]))
 		if pt := mapToTwistSubgroup(xCand); pt != nil {
 			return &G2{p: pt}
 		}

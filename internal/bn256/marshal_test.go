@@ -81,9 +81,8 @@ func TestG2UnmarshalRejectsWrongSubgroup(t *testing.T) {
 	for ctr := uint32(0); ; ctr++ {
 		hx := hashWithTag("test-subgroup-x", ctr, nil)
 		xCand := newGFp2()
-		xCand.x.SetBytes(hx[:])
-		xCand.x.Mod(xCand.x, P)
-		xCand.y.SetInt64(int64(ctr))
+		xCand.x = gfPFromBig(new(big.Int).SetBytes(hx[:]))
+		xCand.y = newGfP(int64(ctr))
 
 		yy := newGFp2().Square(xCand)
 		yy.Mul(yy, xCand)

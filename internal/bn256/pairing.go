@@ -7,108 +7,223 @@ import "math/big"
 //	e(Q, P) = f_{T,Q}(P)^((p¹²−1)/n),  T = t − 1 = 6u²,
 //
 // for Q in the order-n subgroup of the twist and P ∈ E(F_p). The Miller
-// loop works on affine twist coordinates: the untwist map for our tower is
-// (x', y') ↦ (x'·w², y'·w³) with w⁶ = ξ, so a line through untwisted points
-// evaluated at P = (x_P, y_P) collapses to the sparse element
+// loop uses the inversion-free projective line functions of Costello et al.
+// ("Faster Computation of the Tate Pairing", arXiv:0904.0854): the running
+// point R stays in Jacobian coordinates on the twist (with t caching z²)
+// and every doubling/addition step emits the three F_p² coefficients of the
+// sparse line element
 //
-//	l(P) = y_P − λ'·x_P·w + (λ'·x'_S − y'_S)·w³,
+//	l(P) = c0·y_P + c1·x_P·w + c3·w³,
 //
-// where λ' ∈ F_p² is the twist-coordinate slope and S is the point the line
-// passes through. Vertical lines lie in the even subalgebra F_p⁶ and are
-// eliminated by the final exponentiation, so they are omitted.
+// where w⁶ = ξ is the untwist generator. The projective formulas scale the
+// line by an overall F_p² factor relative to the affine chord/tangent; that
+// factor lies in a proper subfield of F_p¹² and is erased by the final
+// exponentiation.
+//
+// Line coefficients depend only on Q, so the doubling/addition schedule for
+// the fixed loop count T can be computed once per Q and replayed against
+// many P — that is exactly what PreparedG2 does. miller() itself is just
+// prepareLines + evalMiller.
 
-// lineValue assembles the sparse line element from its three coefficients:
-// c0 at w⁰ (a base-field scalar), c1 at w¹ and c3 at w³ (both F_p²).
-func lineValue(c0 *big.Int, c1, c3 *gfP2) *gfP12 {
-	l := newGFp12()
-	l.y.z.y.Set(c0) // w⁰
-	l.x.z.Set(c1)   // w¹ = ω
-	l.x.y.Set(c3)   // w³ = τ·ω
-	return l.Minimal()
+// preparedLine holds the P-independent coefficients of one Miller-loop line.
+// At evaluation time c1 is scaled by x_P and c0 by y_P (both base-field
+// scalars), then the sparse product f·(c0 + c1·ω + c3·τω) is formed.
+type preparedLine struct {
+	c3, c1, c0 gfP2
 }
 
-// affineTwist is a twist point in affine coordinates for the Miller loop.
-type affineTwist struct {
-	x, y *gfP2
+// lineDouble doubles r in place (Jacobian, r.t = r.z²) and returns the
+// tangent-line coefficients at r before doubling.
+func lineDouble(r *twistPoint) preparedLine {
+	var A, B, C, D, E, G, t gfP2
+	A.Square(&r.x)
+	B.Square(&r.y)
+	C.Square(&B)
+
+	D.Add(&r.x, &B)
+	D.Square(&D)
+	D.Sub(&D, &A)
+	D.Sub(&D, &C)
+	D.Double(&D)
+
+	E.Double(&A)
+	E.Add(&E, &A)
+	G.Square(&E)
+
+	var rx, ry, rz, rt gfP2
+	rx.Sub(&G, &D)
+	rx.Sub(&rx, &D)
+
+	rz.Add(&r.y, &r.z)
+	rz.Square(&rz)
+	rz.Sub(&rz, &B)
+	rz.Sub(&rz, &r.t)
+
+	ry.Sub(&D, &rx)
+	ry.Mul(&ry, &E)
+	t.Double(&C)
+	t.Double(&t)
+	t.Double(&t)
+	ry.Sub(&ry, &t)
+
+	rt.Square(&rz)
+
+	var line preparedLine
+	// c1·x_P with c1 = −2·E·z_R².
+	t.Mul(&E, &r.t)
+	t.Double(&t)
+	line.c1.Neg(&t)
+
+	// c3 = (x_R + E)² − A − G − 4B.
+	line.c3.Add(&r.x, &E)
+	line.c3.Square(&line.c3)
+	line.c3.Sub(&line.c3, &A)
+	line.c3.Sub(&line.c3, &G)
+	t.Double(&B)
+	t.Double(&t)
+	line.c3.Sub(&line.c3, &t)
+
+	// c0·y_P with c0 = 2·z_out·z_R².
+	line.c0.Mul(&rz, &r.t)
+	line.c0.Double(&line.c0)
+
+	r.x = rx
+	r.y = ry
+	r.z = rz
+	r.t = rt
+	return line
 }
 
-// doubleStep doubles r in place and returns the tangent-line coefficients
-// at p (the sparse slots of lineValue).
-func (r *affineTwist) doubleStep(p *curvePoint) (*big.Int, *gfP2, *gfP2) {
-	// λ' = 3x²/(2y)
-	lam := newGFp2().Square(r.x)
-	three := newGFp2().Double(lam)
-	three.Add(three, lam)
-	den := newGFp2().Double(r.y)
-	den.Invert(den)
-	lam.Mul(three, den)
+// lineAdd mixed-adds the affine point q (z = t = 1) to r in place and
+// returns the chord-line coefficients. qy2 must be q.y², precomputed once
+// per Miller loop.
+func lineAdd(r, q *twistPoint, qy2 *gfP2) preparedLine {
+	var B, D, H, I, E, J, L1, V, t, t2 gfP2
+	B.Mul(&q.x, &r.t)
 
-	// Line: y_P − λ'x_P·w + (λ'x_R − y_R)·w³, using R before doubling.
-	c1 := newGFp2().MulScalar(lam, p.x)
-	c1.Neg(c1)
-	c3 := newGFp2().Mul(lam, r.x)
-	c3.Sub(c3, r.y)
+	D.Add(&q.y, &r.z)
+	D.Square(&D)
+	D.Sub(&D, qy2)
+	D.Sub(&D, &r.t)
+	D.Mul(&D, &r.t) // 2·y_Q·z_R³
 
-	// x3 = λ'² − 2x, y3 = λ'(x − x3) − y.
-	x3 := newGFp2().Square(lam)
-	x3.Sub(x3, r.x)
-	x3.Sub(x3, r.x)
-	y3 := newGFp2().Sub(r.x, x3)
-	y3.Mul(y3, lam)
-	y3.Sub(y3, r.y)
+	H.Sub(&B, &r.x)
+	I.Square(&H)
 
-	r.x.Set(x3)
-	r.y.Set(y3)
-	return p.y, c1, c3
+	E.Double(&I)
+	E.Double(&E)
+
+	J.Mul(&H, &E)
+
+	L1.Sub(&D, &r.y)
+	L1.Sub(&L1, &r.y)
+
+	V.Mul(&r.x, &E)
+
+	var rx, ry, rz, rt gfP2
+	rx.Square(&L1)
+	rx.Sub(&rx, &J)
+	rx.Sub(&rx, &V)
+	rx.Sub(&rx, &V)
+
+	rz.Add(&r.z, &H)
+	rz.Square(&rz)
+	rz.Sub(&rz, &r.t)
+	rz.Sub(&rz, &I)
+
+	t.Sub(&V, &rx)
+	t.Mul(&t, &L1)
+	t2.Mul(&r.y, &J)
+	t2.Double(&t2)
+	ry.Sub(&t, &t2)
+
+	rt.Square(&rz)
+
+	var line preparedLine
+	// c3 = 2·L1·x_Q − ((y_Q + z_out)² − y_Q² − z_out²).
+	t.Add(&q.y, &rz)
+	t.Square(&t)
+	t.Sub(&t, qy2)
+	t.Sub(&t, &rt)
+	t2.Mul(&L1, &q.x)
+	t2.Double(&t2)
+	line.c3.Sub(&t2, &t)
+
+	// c1·x_P with c1 = −2·L1.
+	line.c1.Neg(&L1)
+	line.c1.Double(&line.c1)
+
+	// c0·y_P with c0 = 2·z_out.
+	line.c0.Double(&rz)
+
+	r.x = rx
+	r.y = ry
+	r.z = rz
+	r.t = rt
+	return line
 }
 
-// addStep adds q to r in place and returns the chord-line coefficients at p.
-func (r *affineTwist) addStep(q *affineTwist, p *curvePoint) (*big.Int, *gfP2, *gfP2) {
-	// λ' = (y_R − y_Q)/(x_R − x_Q)
-	num := newGFp2().Sub(r.y, q.y)
-	den := newGFp2().Sub(r.x, q.x)
-	den.Invert(den)
-	lam := newGFp2().Mul(num, den)
+// prepareLines runs the Miller doubling/addition schedule for the fixed
+// loop count T = ateLoopCount over q alone, recording one preparedLine per
+// step in loop order. evalMiller replays the same schedule, so the i-th
+// recorded line is consumed at the i-th step.
+func prepareLines(q *twistPoint) []preparedLine {
+	qa := newTwistPoint().Set(q)
+	qa.MakeAffine()
+	qy2 := newGFp2().Square(&qa.y)
 
-	c1 := newGFp2().MulScalar(lam, p.x)
-	c1.Neg(c1)
-	c3 := newGFp2().Mul(lam, q.x)
-	c3.Sub(c3, q.y)
+	r := newTwistPoint().Set(qa)
+	t := ateLoopCount
+	steps := make([]preparedLine, 0, t.BitLen()+popCount(t))
+	for i := t.BitLen() - 2; i >= 0; i-- {
+		steps = append(steps, lineDouble(r))
+		if t.Bit(i) != 0 {
+			steps = append(steps, lineAdd(r, qa, qy2))
+		}
+	}
+	return steps
+}
 
-	x3 := newGFp2().Square(lam)
-	x3.Sub(x3, r.x)
-	x3.Sub(x3, q.x)
-	y3 := newGFp2().Sub(r.x, x3)
-	y3.Mul(y3, lam)
-	y3.Sub(y3, r.y)
+func popCount(n *big.Int) int {
+	c := 0
+	for _, w := range n.Bits() {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
 
-	r.x.Set(x3)
-	r.y.Set(y3)
-	return p.y, c1, c3
+// evalMiller computes f_{T,Q}(P) from Q's precomputed line schedule.
+func evalMiller(steps []preparedLine, p *curvePoint) *gfP12 {
+	pa := newCurvePoint().Set(p)
+	pa.MakeAffine()
+
+	f := newGFp12().SetOne()
+	var c0, c1 gfP2
+	idx := 0
+	t := ateLoopCount
+	for i := t.BitLen() - 2; i >= 0; i-- {
+		f.Square(f)
+		s := &steps[idx]
+		idx++
+		c1.MulScalar(&s.c1, &pa.x)
+		c0.MulScalar(&s.c0, &pa.y)
+		f.MulLine(f, &c0, &c1, &s.c3)
+		if t.Bit(i) != 0 {
+			s = &steps[idx]
+			idx++
+			c1.MulScalar(&s.c1, &pa.x)
+			c0.MulScalar(&s.c0, &pa.y)
+			f.MulLine(f, &c0, &c1, &s.c3)
+		}
+	}
+	return f
 }
 
 // miller computes f_{T,Q}(P) for T = ateLoopCount.
 func miller(q *twistPoint, p *curvePoint) *gfP12 {
-	qa := newTwistPoint().Set(q)
-	qa.MakeAffine()
-	pa := newCurvePoint().Set(p)
-	pa.MakeAffine()
-
-	base := &affineTwist{x: newGFp2().Set(qa.x), y: newGFp2().Set(qa.y)}
-	r := &affineTwist{x: newGFp2().Set(qa.x), y: newGFp2().Set(qa.y)}
-
-	f := newGFp12().SetOne()
-	t := ateLoopCount
-	for i := t.BitLen() - 2; i >= 0; i-- {
-		f.Square(f)
-		c0, c1, c3 := r.doubleStep(pa)
-		f.MulLine(f, c0, c1, c3)
-		if t.Bit(i) != 0 {
-			c0, c1, c3 = r.addStep(base, pa)
-			f.MulLine(f, c0, c1, c3)
-		}
-	}
-	return f
+	return evalMiller(prepareLines(q), p)
 }
 
 // finalExponentiationEasy computes f^((p⁶−1)(p²+1)), mapping f into the
@@ -191,109 +306,4 @@ func atePairing(q *twistPoint, p *curvePoint) *gfP12 {
 		return newGFp12().SetOne()
 	}
 	return finalExponentiation(miller(q, p))
-}
-
-// tatePairing computes the reduced Tate pairing t(P, Q) = f_{n,P}(φ(Q))
-// raised to (p¹²−1)/n, with a textbook Miller loop over the full group
-// order and generic line evaluation in F_p¹². It is deliberately
-// independent of the ate machinery above (different loop, different final
-// exponentiation) and exists to cross-check it in tests.
-func tatePairing(p *curvePoint, q *twistPoint) *gfP12 {
-	if q.IsInfinity() || p.IsInfinity() {
-		return newGFp12().SetOne()
-	}
-
-	pa := newCurvePoint().Set(p)
-	pa.MakeAffine()
-	qa := newTwistPoint().Set(q)
-	qa.MakeAffine()
-
-	// Untwist Q: x_Q = x'·w² (slot τ of the even part), y_Q = y'·w³
-	// (slot τ·ω of the odd part).
-	xQ := newGFp12()
-	xQ.y.y.Set(qa.x)
-	yQ := newGFp12()
-	yQ.x.y.Set(qa.y)
-
-	// Affine coordinates of the running point R, in F_p.
-	rx := new(big.Int).Set(pa.x)
-	ry := new(big.Int).Set(pa.y)
-	bx := new(big.Int).Set(pa.x)
-	by := new(big.Int).Set(pa.y)
-
-	f := newGFp12().SetOne()
-	l := newGFp12()
-
-	evalLine := func(lam, sx, sy *big.Int) {
-		// l(Q) = (y_Q − sy) − λ(x_Q − sx) where sy, sx, λ ∈ F_p.
-		t := newGFp12()
-		t.y.z.y.Sub(big.NewInt(0), sy)
-		t.Add(t, yQ)
-
-		t2 := newGFp12()
-		t2.y.z.y.Sub(big.NewInt(0), sx)
-		t2.Add(t2, xQ)
-		lamNeg := new(big.Int).Neg(lam)
-		lamNeg.Mod(lamNeg, P)
-		t2.MulGFp(t2, lamNeg)
-
-		l.Add(t, t2)
-		l.Minimal()
-	}
-
-	n := Order
-	for i := n.BitLen() - 2; i >= 0; i-- {
-		f.Square(f)
-
-		// Double R with tangent line.
-		lam := new(big.Int).Mul(rx, rx)
-		lam.Mul(lam, big.NewInt(3))
-		den := new(big.Int).Lsh(ry, 1)
-		den.ModInverse(den, P)
-		lam.Mul(lam, den)
-		lam.Mod(lam, P)
-		evalLine(lam, rx, ry)
-		f.Mul(f, l)
-
-		x3 := new(big.Int).Mul(lam, lam)
-		x3.Sub(x3, rx)
-		x3.Sub(x3, rx)
-		x3.Mod(x3, P)
-		y3 := new(big.Int).Sub(rx, x3)
-		y3.Mul(y3, lam)
-		y3.Sub(y3, ry)
-		y3.Mod(y3, P)
-		rx.Set(x3)
-		ry.Set(y3)
-
-		if n.Bit(i) != 0 {
-			// Add base with chord line. When R = −base (which happens only
-			// at the very last addition, since the loop computes [n]P = O),
-			// the chord degenerates to a vertical line, which lies in the
-			// subfield F_p⁶ and is eliminated by the final exponentiation.
-			den := new(big.Int).Sub(rx, bx)
-			den.Mod(den, P)
-			if den.Sign() == 0 {
-				continue
-			}
-			lam := new(big.Int).Sub(ry, by)
-			den.ModInverse(den, P)
-			lam.Mul(lam, den)
-			lam.Mod(lam, P)
-			evalLine(lam, bx, by)
-			f.Mul(f, l)
-
-			x3 := new(big.Int).Mul(lam, lam)
-			x3.Sub(x3, rx)
-			x3.Sub(x3, bx)
-			x3.Mod(x3, P)
-			y3 := new(big.Int).Sub(rx, x3)
-			y3.Mul(y3, lam)
-			y3.Sub(y3, ry)
-			y3.Mod(y3, P)
-			rx.Set(x3)
-			ry.Set(y3)
-		}
-	}
-	return finalExponentiationGeneric(f)
 }

@@ -1,17 +1,12 @@
 package bn256
 
-import "math/big"
-
 // PreparedG2 caches the Miller-loop line computations for a fixed G2
-// argument. The ate Miller loop walks a fixed addition chain over the
-// twist point Q: at every step the slope λ' and the coefficient
-// λ'·x_S − y_S of the line through the current points depend only on Q,
-// while the remaining two coefficients (y_P and −λ'·x_P) are cheap
-// per-evaluation scalar products with the G1 argument. Precomputing the
-// Q-side removes the per-step F_p² inversion — the dominant cost of the
-// affine Miller loop — so evaluating e(·, Q) against many G1 points
-// (batch verification, revocation sweeps against a fixed û) costs a
-// fraction of a full pairing each.
+// argument. The ate Miller loop walks a fixed doubling/addition schedule
+// over the twist point Q, and the projective line coefficients of every
+// step depend only on Q; the two G1-dependent coefficients are cheap
+// per-evaluation scalar products with x_P and y_P. Precomputing the Q-side
+// halves the cost of evaluating e(·, Q) against many G1 points (batch
+// verification, revocation sweeps against a fixed û).
 //
 // A PreparedG2 is immutable after construction and safe for concurrent
 // use by multiple goroutines.
@@ -20,90 +15,13 @@ type PreparedG2 struct {
 	steps    []preparedLine
 }
 
-// preparedLine is one line of the Miller loop: the twist-coordinate slope
-// λ' and the constant coefficient λ'·x_S − y_S (the w³ slot). Both are
-// normalized at construction and never written again.
-type preparedLine struct {
-	lam, c3 *gfP2
-}
-
-// PrepareG2 runs the Miller addition chain once for q and records the
-// line coefficients. The cost is comparable to one Miller loop.
+// PrepareG2 runs the Miller doubling/addition schedule once for q and
+// records the line coefficients. The cost is comparable to one Miller loop.
 func PrepareG2(q *G2) *PreparedG2 {
 	if q.p.IsInfinity() {
 		return &PreparedG2{infinity: true}
 	}
-	qa := newTwistPoint().Set(q.p)
-	qa.MakeAffine()
-
-	base := &affineTwist{x: newGFp2().Set(qa.x), y: newGFp2().Set(qa.y)}
-	r := &affineTwist{x: newGFp2().Set(qa.x), y: newGFp2().Set(qa.y)}
-
-	t := ateLoopCount
-	steps := make([]preparedLine, 0, 2*t.BitLen())
-	record := func(lam, c3 *gfP2) {
-		steps = append(steps, preparedLine{
-			lam: newGFp2().Set(lam).Minimal(),
-			c3:  newGFp2().Set(c3).Minimal(),
-		})
-	}
-	for i := t.BitLen() - 2; i >= 0; i-- {
-		lam, c3 := r.doubleStepCoeffs()
-		record(lam, c3)
-		if t.Bit(i) != 0 {
-			lam, c3 = r.addStepCoeffs(base)
-			record(lam, c3)
-		}
-	}
-	return &PreparedG2{steps: steps}
-}
-
-// doubleStepCoeffs doubles r in place and returns the tangent slope and
-// the P-independent line coefficient (doubleStep without the G1 side).
-func (r *affineTwist) doubleStepCoeffs() (*gfP2, *gfP2) {
-	lam := newGFp2().Square(r.x)
-	three := newGFp2().Double(lam)
-	three.Add(three, lam)
-	den := newGFp2().Double(r.y)
-	den.Invert(den)
-	lam.Mul(three, den)
-
-	c3 := newGFp2().Mul(lam, r.x)
-	c3.Sub(c3, r.y)
-
-	x3 := newGFp2().Square(lam)
-	x3.Sub(x3, r.x)
-	x3.Sub(x3, r.x)
-	y3 := newGFp2().Sub(r.x, x3)
-	y3.Mul(y3, lam)
-	y3.Sub(y3, r.y)
-
-	r.x.Set(x3)
-	r.y.Set(y3)
-	return lam, c3
-}
-
-// addStepCoeffs adds q to r in place and returns the chord slope and the
-// P-independent line coefficient.
-func (r *affineTwist) addStepCoeffs(q *affineTwist) (*gfP2, *gfP2) {
-	num := newGFp2().Sub(r.y, q.y)
-	den := newGFp2().Sub(r.x, q.x)
-	den.Invert(den)
-	lam := newGFp2().Mul(num, den)
-
-	c3 := newGFp2().Mul(lam, q.x)
-	c3.Sub(c3, q.y)
-
-	x3 := newGFp2().Square(lam)
-	x3.Sub(x3, r.x)
-	x3.Sub(x3, q.x)
-	y3 := newGFp2().Sub(r.x, x3)
-	y3.Mul(y3, lam)
-	y3.Sub(y3, r.y)
-
-	r.x.Set(x3)
-	r.y.Set(y3)
-	return lam, c3
+	return &PreparedG2{steps: prepareLines(q.p)}
 }
 
 // Miller evaluates the recorded lines at g1, returning the un-finalized
@@ -113,24 +31,7 @@ func (pq *PreparedG2) Miller(g1 *G1) *GT {
 	if pq.infinity || g1.p.IsInfinity() {
 		return &GT{p: newGFp12().SetOne()}
 	}
-	pa := newCurvePoint().Set(g1.p)
-	pa.MakeAffine()
-
-	s := newMillerScratch()
-	f := newGFp12().SetOne()
-	idx := 0
-	t := ateLoopCount
-	for i := t.BitLen() - 2; i >= 0; i-- {
-		leanSquare12(s.fA, f, s)
-		f, s.fA = s.fA, f
-		leanLine(f, pq.steps[idx], pa.x, pa.y, s)
-		idx++
-		if t.Bit(i) != 0 {
-			leanLine(f, pq.steps[idx], pa.x, pa.y, s)
-			idx++
-		}
-	}
-	return &GT{p: f}
+	return &GT{p: evalMiller(pq.steps, g1.p)}
 }
 
 // Pair evaluates the full pairing e(g1, Q) via the prepared lines.
@@ -140,9 +41,9 @@ func (pq *PreparedG2) Pair(g1 *G1) *GT {
 
 // MillerCombined evaluates the product Π f_{T,Q_i}(P_i) for several
 // prepared Q_i in a single pass. All ate Miller loops walk the same
-// addition chain, so the per-bit squaring of the accumulator can be
-// shared across the product: n pairings cost one squaring chain plus n
-// sets of line multiplications, instead of n of each. Identity arguments
+// doubling/addition schedule, so the per-bit squaring of the accumulator
+// can be shared across the product: n pairings cost one squaring chain plus
+// n sets of line multiplications, instead of n of each. Identity arguments
 // on either side contribute the neutral element. The result is
 // un-finalized; reduce it with GT.Finalize (possibly after multiplying
 // in further Miller values).
@@ -154,7 +55,7 @@ func MillerCombined(preps []*PreparedG2, points []*G1) *GT {
 	}
 	type active struct {
 		steps []preparedLine
-		x, y  *big.Int
+		x, y  gfP
 	}
 	acts := make([]active, 0, len(preps))
 	for i, pq := range preps {
@@ -170,18 +71,21 @@ func MillerCombined(preps []*PreparedG2, points []*G1) *GT {
 	if len(acts) == 0 {
 		return &GT{p: f}
 	}
-	s := newMillerScratch()
+	var c0, c1 gfP2
 	idx := 0
 	t := ateLoopCount
 	mulLines := func() {
-		for _, a := range acts {
-			leanLine(f, a.steps[idx], a.x, a.y, s)
+		for i := range acts {
+			a := &acts[i]
+			s := &a.steps[idx]
+			c1.MulScalar(&s.c1, &a.x)
+			c0.MulScalar(&s.c0, &a.y)
+			f.MulLine(f, &c0, &c1, &s.c3)
 		}
 		idx++
 	}
 	for i := t.BitLen() - 2; i >= 0; i-- {
-		leanSquare12(s.fA, f, s)
-		f, s.fA = s.fA, f
+		f.Square(f)
 		mulLines()
 		if t.Bit(i) != 0 {
 			mulLines()

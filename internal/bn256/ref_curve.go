@@ -1,0 +1,306 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// refCurvePoint implements the elliptic curve E: y² = x³ + 3 over F_p in
+// Jacobian projective coordinates: (x, y, z) represents the affine point
+// (x/z², y/z³). The point at infinity has z = 0. The t field caches z²
+// during mixed operations (kept for parity with classic implementations;
+// it always mirrors z² when set via MakeAffine).
+type refCurvePoint struct {
+	x, y, z, t *big.Int
+}
+
+func newRefCurvePoint() *refCurvePoint {
+	return &refCurvePoint{
+		x: new(big.Int),
+		y: new(big.Int),
+		z: new(big.Int),
+		t: new(big.Int),
+	}
+}
+
+func (c *refCurvePoint) String() string {
+	c.MakeAffine()
+	return fmt.Sprintf("(%s, %s)", c.x.String(), c.y.String())
+}
+
+func (c *refCurvePoint) Set(a *refCurvePoint) *refCurvePoint {
+	c.x.Set(a.x)
+	c.y.Set(a.y)
+	c.z.Set(a.z)
+	c.t.Set(a.t)
+	return c
+}
+
+// SetInfinity sets c to the point at infinity.
+func (c *refCurvePoint) SetInfinity() *refCurvePoint {
+	c.x.SetInt64(1)
+	c.y.SetInt64(1)
+	c.z.SetInt64(0)
+	c.t.SetInt64(0)
+	return c
+}
+
+func (c *refCurvePoint) IsInfinity() bool {
+	return c.z.Sign() == 0
+}
+
+// IsOnCurve reports whether the affine form of c satisfies y² = x³ + 3.
+// The point at infinity is considered on the curve.
+func (c *refCurvePoint) IsOnCurve() bool {
+	if c.IsInfinity() {
+		return true
+	}
+	c.MakeAffine()
+	yy := new(big.Int).Mul(c.y, c.y)
+	xxx := new(big.Int).Mul(c.x, c.x)
+	xxx.Mul(xxx, c.x)
+	yy.Sub(yy, xxx)
+	yy.Sub(yy, curveB)
+	yy.Mod(yy, P)
+	return yy.Sign() == 0
+}
+
+func (c *refCurvePoint) Equal(a *refCurvePoint) bool {
+	if c.IsInfinity() || a.IsInfinity() {
+		return c.IsInfinity() == a.IsInfinity()
+	}
+	// Compare cross-multiplied coordinates to avoid affine conversion:
+	// x1·z2² == x2·z1² and y1·z2³ == y2·z1³.
+	z1z1 := new(big.Int).Mul(c.z, c.z)
+	z1z1.Mod(z1z1, P)
+	z2z2 := new(big.Int).Mul(a.z, a.z)
+	z2z2.Mod(z2z2, P)
+
+	l := new(big.Int).Mul(c.x, z2z2)
+	l.Mod(l, P)
+	r := new(big.Int).Mul(a.x, z1z1)
+	r.Mod(r, P)
+	if l.Cmp(r) != 0 {
+		return false
+	}
+
+	z1z1.Mul(z1z1, c.z)
+	z1z1.Mod(z1z1, P)
+	z2z2.Mul(z2z2, a.z)
+	z2z2.Mod(z2z2, P)
+
+	l.Mul(c.y, z2z2)
+	l.Mod(l, P)
+	r.Mul(a.y, z1z1)
+	r.Mod(r, P)
+	return l.Cmp(r) == 0
+}
+
+// Add sets c = a + b using the add-2007-bl Jacobian formulas, falling back
+// to Double when a == b.
+func (c *refCurvePoint) Add(a, b *refCurvePoint) *refCurvePoint {
+	if a.IsInfinity() {
+		return c.Set(b)
+	}
+	if b.IsInfinity() {
+		return c.Set(a)
+	}
+
+	z1z1 := new(big.Int).Mul(a.z, a.z)
+	z1z1.Mod(z1z1, P)
+	z2z2 := new(big.Int).Mul(b.z, b.z)
+	z2z2.Mod(z2z2, P)
+
+	u1 := new(big.Int).Mul(a.x, z2z2)
+	u1.Mod(u1, P)
+	u2 := new(big.Int).Mul(b.x, z1z1)
+	u2.Mod(u2, P)
+
+	s1 := new(big.Int).Mul(a.y, b.z)
+	s1.Mul(s1, z2z2)
+	s1.Mod(s1, P)
+	s2 := new(big.Int).Mul(b.y, a.z)
+	s2.Mul(s2, z1z1)
+	s2.Mod(s2, P)
+
+	h := new(big.Int).Sub(u2, u1)
+	h.Mod(h, P)
+	r := new(big.Int).Sub(s2, s1)
+	r.Mod(r, P)
+
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			return c.Double(a)
+		}
+		return c.SetInfinity()
+	}
+	r.Lsh(r, 1)
+
+	i := new(big.Int).Lsh(h, 1)
+	i.Mul(i, i)
+	i.Mod(i, P)
+	j := new(big.Int).Mul(h, i)
+	j.Mod(j, P)
+
+	v := new(big.Int).Mul(u1, i)
+	v.Mod(v, P)
+
+	x3 := new(big.Int).Mul(r, r)
+	x3.Sub(x3, j)
+	x3.Sub(x3, v)
+	x3.Sub(x3, v)
+	x3.Mod(x3, P)
+
+	y3 := new(big.Int).Sub(v, x3)
+	y3.Mul(y3, r)
+	t := new(big.Int).Mul(s1, j)
+	t.Lsh(t, 1)
+	y3.Sub(y3, t)
+	y3.Mod(y3, P)
+
+	z3 := new(big.Int).Add(a.z, b.z)
+	z3.Mul(z3, z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	z3.Mul(z3, h)
+	z3.Mod(z3, P)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Double sets c = 2a using the dbl-2009-l Jacobian formulas.
+func (c *refCurvePoint) Double(a *refCurvePoint) *refCurvePoint {
+	if a.IsInfinity() {
+		return c.SetInfinity()
+	}
+
+	aa := new(big.Int).Mul(a.x, a.x)
+	aa.Mod(aa, P)
+	bb := new(big.Int).Mul(a.y, a.y)
+	bb.Mod(bb, P)
+	cc := new(big.Int).Mul(bb, bb)
+	cc.Mod(cc, P)
+
+	d := new(big.Int).Add(a.x, bb)
+	d.Mul(d, d)
+	d.Sub(d, aa)
+	d.Sub(d, cc)
+	d.Lsh(d, 1)
+	d.Mod(d, P)
+
+	e := new(big.Int).Lsh(aa, 1)
+	e.Add(e, aa)
+	f := new(big.Int).Mul(e, e)
+	f.Mod(f, P)
+
+	x3 := new(big.Int).Sub(f, new(big.Int).Lsh(d, 1))
+	x3.Mod(x3, P)
+
+	y3 := new(big.Int).Sub(d, x3)
+	y3.Mul(y3, e)
+	t := new(big.Int).Lsh(cc, 3)
+	y3.Sub(y3, t)
+	y3.Mod(y3, P)
+
+	z3 := new(big.Int).Mul(a.y, a.z)
+	z3.Lsh(z3, 1)
+	z3.Mod(z3, P)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Mul sets c = k·a. Long scalars (beyond half the order's bit length) go
+// through the GLV endomorphism split in mulGLV — E(F_p) has prime order,
+// so the decomposition is valid for every point and every k. Short scalars
+// use width-5 wNAF (odd-multiple table of 8 points, one addition per ~6
+// bits). mulGeneric remains as the cross-check reference for tests.
+func (c *refCurvePoint) Mul(a *refCurvePoint, k *big.Int) *refCurvePoint {
+	if k.Sign() < 0 {
+		neg := newRefCurvePoint().Negative(a)
+		kAbs := new(big.Int).Neg(k)
+		return c.Mul(neg, kAbs)
+	}
+	if k.BitLen() <= 16 {
+		return c.mulGeneric(a, k)
+	}
+
+	// odd[i] = (2i+1)·a for i in 0..7.
+	var odd [8]*refCurvePoint
+	odd[0] = newRefCurvePoint().Set(a)
+	twoA := newRefCurvePoint().Double(a)
+	for i := 1; i < 8; i++ {
+		odd[i] = newRefCurvePoint().Add(odd[i-1], twoA)
+	}
+	neg := newRefCurvePoint()
+
+	digits := wnafDigits(k, 5)
+	sum := newRefCurvePoint().SetInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		sum.Double(sum)
+		switch d := digits[i]; {
+		case d > 0:
+			sum.Add(sum, odd[(d-1)/2])
+		case d < 0:
+			sum.Add(sum, neg.Negative(odd[(-d-1)/2]))
+		}
+	}
+	return c.Set(sum)
+}
+
+// mulGeneric is the textbook double-and-add ladder.
+func (c *refCurvePoint) mulGeneric(a *refCurvePoint, k *big.Int) *refCurvePoint {
+	sum := newRefCurvePoint().SetInfinity()
+	t := newRefCurvePoint()
+	for i := k.BitLen(); i >= 0; i-- {
+		t.Double(sum)
+		if k.Bit(i) != 0 {
+			sum.Add(t, a)
+		} else {
+			sum.Set(t)
+		}
+	}
+	return c.Set(sum)
+}
+
+func (c *refCurvePoint) Negative(a *refCurvePoint) *refCurvePoint {
+	c.x.Set(a.x)
+	c.y.Neg(a.y)
+	c.y.Mod(c.y, P)
+	c.z.Set(a.z)
+	c.t.SetInt64(0)
+	return c
+}
+
+// MakeAffine normalizes c to z = 1 (or the canonical infinity encoding).
+func (c *refCurvePoint) MakeAffine() *refCurvePoint {
+	if c.z.Sign() == 0 {
+		return c.SetInfinity()
+	}
+	one := big.NewInt(1)
+	if c.z.Cmp(one) == 0 && c.x.Sign() >= 0 && c.x.Cmp(P) < 0 &&
+		c.y.Sign() >= 0 && c.y.Cmp(P) < 0 {
+		c.t.Set(one)
+		return c
+	}
+
+	zInv := new(big.Int).ModInverse(c.z, P)
+	t := new(big.Int).Mul(c.y, zInv)
+	t.Mod(t, P)
+	zInv2 := new(big.Int).Mul(zInv, zInv)
+	zInv2.Mod(zInv2, P)
+
+	c.y.Mul(t, zInv2)
+	c.y.Mod(c.y, P)
+	t.Mul(c.x, zInv2)
+	t.Mod(t, P)
+	c.x.Set(t)
+	c.z.SetInt64(1)
+	c.t.SetInt64(1)
+	return c
+}

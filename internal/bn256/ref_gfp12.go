@@ -1,0 +1,211 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// refGfP12 implements the field of size p¹² as a quadratic extension of refGfP6
+// where ω² = τ. An element is x·ω + y.
+type refGfP12 struct {
+	x, y *refGfP6
+}
+
+func newRefGFp12() *refGfP12 {
+	return &refGfP12{x: newRefGFp6(), y: newRefGFp6()}
+}
+
+func (e *refGfP12) String() string {
+	return fmt.Sprintf("(%s, %s)", e.x, e.y)
+}
+
+func (e *refGfP12) Set(a *refGfP12) *refGfP12 {
+	e.x.Set(a.x)
+	e.y.Set(a.y)
+	return e
+}
+
+func (e *refGfP12) SetZero() *refGfP12 {
+	e.x.SetZero()
+	e.y.SetZero()
+	return e
+}
+
+func (e *refGfP12) SetOne() *refGfP12 {
+	e.x.SetZero()
+	e.y.SetOne()
+	return e
+}
+
+func (e *refGfP12) Minimal() *refGfP12 {
+	e.x.Minimal()
+	e.y.Minimal()
+	return e
+}
+
+func (e *refGfP12) IsZero() bool {
+	return e.x.IsZero() && e.y.IsZero()
+}
+
+func (e *refGfP12) IsOne() bool {
+	return e.x.IsZero() && e.y.IsOne()
+}
+
+func (e *refGfP12) Equal(a *refGfP12) bool {
+	return e.x.Equal(a.x) && e.y.Equal(a.y)
+}
+
+// Conjugate sets e = ā, the image of a under the p⁶-power Frobenius
+// (ω ↦ −ω). For elements of the cyclotomic subgroup — in particular all
+// pairing values — the conjugate equals the inverse.
+func (e *refGfP12) Conjugate(a *refGfP12) *refGfP12 {
+	e.x.Neg(a.x)
+	e.y.Set(a.y)
+	return e
+}
+
+func (e *refGfP12) Neg(a *refGfP12) *refGfP12 {
+	e.x.Neg(a.x)
+	e.y.Neg(a.y)
+	return e
+}
+
+func (e *refGfP12) Add(a, b *refGfP12) *refGfP12 {
+	e.x.Add(a.x, b.x)
+	e.y.Add(a.y, b.y)
+	return e
+}
+
+func (e *refGfP12) Sub(a, b *refGfP12) *refGfP12 {
+	e.x.Sub(a.x, b.x)
+	e.y.Sub(a.y, b.y)
+	return e
+}
+
+// Mul sets e = a·b by Karatsuba over refGfP6:
+// (a.x·ω + a.y)(b.x·ω + b.y) = (a.x·b.y + a.y·b.x)·ω + (a.y·b.y + a.x·b.x·τ).
+func (e *refGfP12) Mul(a, b *refGfP12) *refGfP12 {
+	tx := newRefGFp6().Add(a.x, a.y)
+	t := newRefGFp6().Add(b.x, b.y)
+	tx.Mul(tx, t)
+
+	v0 := newRefGFp6().Mul(a.y, b.y)
+	v1 := newRefGFp6().Mul(a.x, b.x)
+
+	tx.Sub(tx, v0)
+	tx.Sub(tx, v1)
+
+	ty := newRefGFp6().MulTau(v1)
+	ty.Add(ty, v0)
+
+	e.x.Set(tx)
+	e.y.Set(ty)
+	return e
+}
+
+func (e *refGfP12) MulScalar(a *refGfP12, b *refGfP6) *refGfP12 {
+	tx := newRefGFp6().Mul(a.x, b)
+	ty := newRefGFp6().Mul(a.y, b)
+	e.x.Set(tx)
+	e.y.Set(ty)
+	return e
+}
+
+// MulLine sets e = a·L where L is the sparse line element
+// L = c0 + c1·ω + c3·τω (c0 a base-field scalar, c1 and c3 in F_p²) —
+// the shape produced by the pairing's line functions. It is equivalent to
+// (and cross-checked in tests against) a general multiplication but costs
+// roughly a third fewer base-field multiplications.
+func (e *refGfP12) MulLine(a *refGfP12, c0 *big.Int, c1, c3 *refGfP2) *refGfP12 {
+	// L = Lx·ω + Ly with Lx = c3·τ + c1 and Ly = c0.
+	v0 := newRefGFp6().MulGFp(a.y, c0)         // a.y · Ly
+	v1 := newRefGFp6().MulSparse2(a.x, c3, c1) // a.x · Lx
+
+	// cross = (a.x + a.y)(Lx + Ly) − v0 − v1, Lx + Ly = c3·τ + (c1 + c0).
+	z2 := newRefGFp2().Set(c1)
+	z2.y.Add(z2.y, c0)
+	z2.Minimal()
+	t := newRefGFp6().Add(a.x, a.y)
+	cross := newRefGFp6().MulSparse2(t, c3, z2)
+	cross.Sub(cross, v0)
+	cross.Sub(cross, v1)
+
+	e.x.Set(cross)
+	v1.MulTau(v1)
+	e.y.Add(v0, v1)
+	return e
+}
+
+// MulGFp sets e = a·b where b is a base-field element.
+func (e *refGfP12) MulGFp(a *refGfP12, b *big.Int) *refGfP12 {
+	e.x.MulGFp(a.x, b)
+	e.y.MulGFp(a.y, b)
+	return e
+}
+
+// Square sets e = a². Using (x·ω + y)² = 2xy·ω + (y² + x²τ) via the
+// complex-squaring identity y² + x²τ = (x + y)(xτ + y) − xy·τ − xy.
+func (e *refGfP12) Square(a *refGfP12) *refGfP12 {
+	v0 := newRefGFp6().Mul(a.x, a.y)
+
+	t := newRefGFp6().MulTau(a.x)
+	t.Add(t, a.y)
+	ty := newRefGFp6().Add(a.x, a.y)
+	ty.Mul(ty, t)
+	ty.Sub(ty, v0)
+	t.MulTau(v0)
+	ty.Sub(ty, t)
+
+	e.y.Set(ty)
+	e.x.Double(v0)
+	return e
+}
+
+// Invert sets e = a⁻¹ using 1/(x·ω + y) = (−x·ω + y)/(y² − x²·τ).
+func (e *refGfP12) Invert(a *refGfP12) *refGfP12 {
+	t1 := newRefGFp6().Square(a.x)
+	t1.MulTau(t1)
+	t2 := newRefGFp6().Square(a.y)
+	t2.Sub(t2, t1)
+	t2.Invert(t2)
+
+	e.x.Neg(a.x)
+	e.y.Set(a.y)
+	return e.MulScalar(e, t2)
+}
+
+// Exp sets e = a^k by square-and-multiply.
+func (e *refGfP12) Exp(a *refGfP12, k *big.Int) *refGfP12 {
+	sum := newRefGFp12().SetOne()
+	t := newRefGFp12()
+	base := newRefGFp12().Set(a)
+
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		t.Square(sum)
+		if k.Bit(i) != 0 {
+			sum.Mul(t, base)
+		} else {
+			sum.Set(t)
+		}
+	}
+	return e.Set(sum)
+}
+
+// Frobenius sets e = a^p. With ω^p = ξ^((p−1)/6)·ω:
+//
+//	(x·ω + y)^p = x^p·ξ^((p−1)/6)·ω + y^p.
+func (e *refGfP12) Frobenius(a *refGfP12) *refGfP12 {
+	e.x.Frobenius(a.x)
+	e.y.Frobenius(a.y)
+	e.x.MulScalar(e.x, refXiToPMinus1Over6)
+	return e
+}
+
+// FrobeniusP2 sets e = a^(p²), where ω^(p²) = ξ^((p²−1)/6)·ω with the
+// factor in F_p.
+func (e *refGfP12) FrobeniusP2(a *refGfP12) *refGfP12 {
+	e.x.FrobeniusP2(a.x)
+	e.y.FrobeniusP2(a.y)
+	e.x.MulScalar(e.x, refXiToPSquaredMinus1Over6)
+	return e
+}

@@ -1,0 +1,248 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// refGfP2 implements the field of size p² as a quadratic extension of the base
+// field F_p with i² = −1. An element is x·i + y.
+//
+// Methods follow the mutate-receiver convention: c.Op(a, b) sets c = a op b
+// and returns c. Receivers may alias arguments.
+type refGfP2 struct {
+	x, y *big.Int
+}
+
+func newRefGFp2() *refGfP2 {
+	return &refGfP2{x: new(big.Int), y: new(big.Int)}
+}
+
+func (e *refGfP2) String() string {
+	e.Minimal()
+	return fmt.Sprintf("(%s, %s)", e.x.String(), e.y.String())
+}
+
+func (e *refGfP2) Set(a *refGfP2) *refGfP2 {
+	e.x.Set(a.x)
+	e.y.Set(a.y)
+	return e
+}
+
+func (e *refGfP2) SetZero() *refGfP2 {
+	e.x.SetInt64(0)
+	e.y.SetInt64(0)
+	return e
+}
+
+func (e *refGfP2) SetOne() *refGfP2 {
+	e.x.SetInt64(0)
+	e.y.SetInt64(1)
+	return e
+}
+
+// Minimal reduces both coordinates into [0, p).
+func (e *refGfP2) Minimal() *refGfP2 {
+	if e.x.Sign() < 0 || e.x.Cmp(P) >= 0 {
+		e.x.Mod(e.x, P)
+	}
+	if e.y.Sign() < 0 || e.y.Cmp(P) >= 0 {
+		e.y.Mod(e.y, P)
+	}
+	return e
+}
+
+func (e *refGfP2) IsZero() bool {
+	e.Minimal()
+	return e.x.Sign() == 0 && e.y.Sign() == 0
+}
+
+func (e *refGfP2) IsOne() bool {
+	e.Minimal()
+	return e.x.Sign() == 0 && e.y.Cmp(big.NewInt(1)) == 0
+}
+
+func (e *refGfP2) Equal(a *refGfP2) bool {
+	e.Minimal()
+	a.Minimal()
+	return e.x.Cmp(a.x) == 0 && e.y.Cmp(a.y) == 0
+}
+
+// Conjugate sets e = ȳ = −x·i + y, the image of a under the non-trivial
+// automorphism of F_p²/F_p (which is also the p-power Frobenius).
+func (e *refGfP2) Conjugate(a *refGfP2) *refGfP2 {
+	e.y.Set(a.y)
+	e.x.Neg(a.x)
+	e.x.Mod(e.x, P)
+	return e
+}
+
+func (e *refGfP2) Neg(a *refGfP2) *refGfP2 {
+	e.x.Neg(a.x)
+	e.x.Mod(e.x, P)
+	e.y.Neg(a.y)
+	e.y.Mod(e.y, P)
+	return e
+}
+
+func (e *refGfP2) Add(a, b *refGfP2) *refGfP2 {
+	e.x.Add(a.x, b.x)
+	e.x.Mod(e.x, P)
+	e.y.Add(a.y, b.y)
+	e.y.Mod(e.y, P)
+	return e
+}
+
+func (e *refGfP2) Sub(a, b *refGfP2) *refGfP2 {
+	e.x.Sub(a.x, b.x)
+	e.x.Mod(e.x, P)
+	e.y.Sub(a.y, b.y)
+	e.y.Mod(e.y, P)
+	return e
+}
+
+func (e *refGfP2) Double(a *refGfP2) *refGfP2 {
+	e.x.Lsh(a.x, 1)
+	e.x.Mod(e.x, P)
+	e.y.Lsh(a.y, 1)
+	e.y.Mod(e.y, P)
+	return e
+}
+
+// Mul sets e = a·b using Karatsuba:
+// (a.x·i + a.y)(b.x·i + b.y) = (a.x·b.y + a.y·b.x)·i + (a.y·b.y − a.x·b.x).
+func (e *refGfP2) Mul(a, b *refGfP2) *refGfP2 {
+	tx := new(big.Int).Add(a.x, a.y)
+	t := new(big.Int).Add(b.x, b.y)
+	tx.Mul(tx, t) // (ax+ay)(bx+by)
+
+	vx := new(big.Int).Mul(a.x, b.x)
+	vy := new(big.Int).Mul(a.y, b.y)
+
+	tx.Sub(tx, vx)
+	tx.Sub(tx, vy)
+	tx.Mod(tx, P)
+
+	ty := new(big.Int).Sub(vy, vx)
+	ty.Mod(ty, P)
+
+	e.x.Set(tx)
+	e.y.Set(ty)
+	return e
+}
+
+// MulScalar sets e = a·b where b is a base-field element.
+func (e *refGfP2) MulScalar(a *refGfP2, b *big.Int) *refGfP2 {
+	e.x.Mul(a.x, b)
+	e.x.Mod(e.x, P)
+	e.y.Mul(a.y, b)
+	e.y.Mod(e.y, P)
+	return e
+}
+
+// MulXi sets e = a·ξ where ξ = i + 3.
+func (e *refGfP2) MulXi(a *refGfP2) *refGfP2 {
+	// (x·i + y)(i + 3) = (3x + y)·i + (3y − x)
+	tx := new(big.Int).Lsh(a.x, 1)
+	tx.Add(tx, a.x)
+	tx.Add(tx, a.y)
+
+	ty := new(big.Int).Lsh(a.y, 1)
+	ty.Add(ty, a.y)
+	ty.Sub(ty, a.x)
+
+	e.x.Mod(tx, P)
+	e.y.Mod(ty, P)
+	return e
+}
+
+// Square sets e = a² = 2·x·y·i + (y + x)(y − x).
+func (e *refGfP2) Square(a *refGfP2) *refGfP2 {
+	t1 := new(big.Int).Sub(a.y, a.x)
+	t2 := new(big.Int).Add(a.x, a.y)
+	ty := new(big.Int).Mul(t1, t2)
+	ty.Mod(ty, P)
+
+	tx := new(big.Int).Mul(a.x, a.y)
+	tx.Lsh(tx, 1)
+	tx.Mod(tx, P)
+
+	e.x.Set(tx)
+	e.y.Set(ty)
+	return e
+}
+
+// Invert sets e = a⁻¹ using 1/(x·i + y) = (−x·i + y)/(x² + y²).
+func (e *refGfP2) Invert(a *refGfP2) *refGfP2 {
+	t := new(big.Int).Mul(a.y, a.y)
+	t2 := new(big.Int).Mul(a.x, a.x)
+	t.Add(t, t2)
+
+	inv := new(big.Int).ModInverse(t, P)
+
+	e.x.Neg(a.x)
+	e.x.Mul(e.x, inv)
+	e.x.Mod(e.x, P)
+
+	e.y.Mul(a.y, inv)
+	e.y.Mod(e.y, P)
+	return e
+}
+
+// Exp sets e = a^k by square-and-multiply.
+func (e *refGfP2) Exp(a *refGfP2, k *big.Int) *refGfP2 {
+	sum := newRefGFp2().SetOne()
+	t := newRefGFp2()
+	base := newRefGFp2().Set(a)
+
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		t.Square(sum)
+		if k.Bit(i) != 0 {
+			sum.Mul(t, base)
+		} else {
+			sum.Set(t)
+		}
+	}
+	return e.Set(sum)
+}
+
+// Sqrt sets e to a square root of a and reports whether a is a square in
+// F_p². It uses the complex method valid for p ≡ 3 (mod 4).
+func (e *refGfP2) Sqrt(a *refGfP2) (ok bool) {
+	if a.IsZero() {
+		e.SetZero()
+		return true
+	}
+	// a1 = a^((p−3)/4); α = a1²·a; x0 = a1·a.
+	exp := new(big.Int).Sub(P, big.NewInt(3))
+	exp.Rsh(exp, 2)
+	a1 := newRefGFp2().Exp(a, exp)
+	alpha := newRefGFp2().Square(a1)
+	alpha.Mul(alpha, a)
+	x0 := newRefGFp2().Mul(a1, a)
+
+	negOne := newRefGFp2()
+	negOne.y.Sub(P, big.NewInt(1))
+
+	cand := newRefGFp2()
+	if alpha.Equal(negOne) {
+		// e = i·x0.
+		cand.x.Set(x0.y)
+		cand.y.Neg(x0.x)
+		cand.y.Mod(cand.y, P)
+	} else {
+		// b = (1 + α)^((p−1)/2); e = b·x0.
+		b := newRefGFp2().Add(newRefGFp2().SetOne(), alpha)
+		exp = new(big.Int).Sub(P, big.NewInt(1))
+		exp.Rsh(exp, 1)
+		b.Exp(b, exp)
+		cand.Mul(b, x0)
+	}
+
+	check := newRefGFp2().Square(cand)
+	if !check.Equal(a) {
+		return false
+	}
+	e.Set(cand)
+	return true
+}

@@ -1,0 +1,249 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// refGfP6 implements the field of size p⁶ as a cubic extension of refGfP2 where
+// τ³ = ξ with ξ = i + 3. An element is x·τ² + y·τ + z.
+type refGfP6 struct {
+	x, y, z *refGfP2
+}
+
+func newRefGFp6() *refGfP6 {
+	return &refGfP6{x: newRefGFp2(), y: newRefGFp2(), z: newRefGFp2()}
+}
+
+func (e *refGfP6) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", e.x, e.y, e.z)
+}
+
+func (e *refGfP6) Set(a *refGfP6) *refGfP6 {
+	e.x.Set(a.x)
+	e.y.Set(a.y)
+	e.z.Set(a.z)
+	return e
+}
+
+func (e *refGfP6) SetZero() *refGfP6 {
+	e.x.SetZero()
+	e.y.SetZero()
+	e.z.SetZero()
+	return e
+}
+
+func (e *refGfP6) SetOne() *refGfP6 {
+	e.x.SetZero()
+	e.y.SetZero()
+	e.z.SetOne()
+	return e
+}
+
+func (e *refGfP6) Minimal() *refGfP6 {
+	e.x.Minimal()
+	e.y.Minimal()
+	e.z.Minimal()
+	return e
+}
+
+func (e *refGfP6) IsZero() bool {
+	return e.x.IsZero() && e.y.IsZero() && e.z.IsZero()
+}
+
+func (e *refGfP6) IsOne() bool {
+	return e.x.IsZero() && e.y.IsZero() && e.z.IsOne()
+}
+
+func (e *refGfP6) Equal(a *refGfP6) bool {
+	return e.x.Equal(a.x) && e.y.Equal(a.y) && e.z.Equal(a.z)
+}
+
+func (e *refGfP6) Neg(a *refGfP6) *refGfP6 {
+	e.x.Neg(a.x)
+	e.y.Neg(a.y)
+	e.z.Neg(a.z)
+	return e
+}
+
+func (e *refGfP6) Add(a, b *refGfP6) *refGfP6 {
+	e.x.Add(a.x, b.x)
+	e.y.Add(a.y, b.y)
+	e.z.Add(a.z, b.z)
+	return e
+}
+
+func (e *refGfP6) Double(a *refGfP6) *refGfP6 {
+	e.x.Double(a.x)
+	e.y.Double(a.y)
+	e.z.Double(a.z)
+	return e
+}
+
+func (e *refGfP6) Sub(a, b *refGfP6) *refGfP6 {
+	e.x.Sub(a.x, b.x)
+	e.y.Sub(a.y, b.y)
+	e.z.Sub(a.z, b.z)
+	return e
+}
+
+// Mul sets e = a·b using the 6-multiplication Karatsuba-style schedule.
+// Writing a = a0 + a1·τ + a2·τ² (so a0 = a.z, a1 = a.y, a2 = a.x):
+//
+//	t0 = a0·b0, t1 = a1·b1, t2 = a2·b2
+//	r0 = t0 + ξ·((a1+a2)(b1+b2) − t1 − t2)
+//	r1 = (a0+a1)(b0+b1) − t0 − t1 + ξ·t2
+//	r2 = (a0+a2)(b0+b2) − t0 − t2 + t1
+func (e *refGfP6) Mul(a, b *refGfP6) *refGfP6 {
+	t0 := newRefGFp2().Mul(a.z, b.z)
+	t1 := newRefGFp2().Mul(a.y, b.y)
+	t2 := newRefGFp2().Mul(a.x, b.x)
+
+	s1 := newRefGFp2().Add(a.y, a.x)
+	s2 := newRefGFp2().Add(b.y, b.x)
+	r0 := newRefGFp2().Mul(s1, s2)
+	r0.Sub(r0, t1)
+	r0.Sub(r0, t2)
+	r0.MulXi(r0)
+	r0.Add(r0, t0)
+
+	s1.Add(a.z, a.y)
+	s2.Add(b.z, b.y)
+	r1 := newRefGFp2().Mul(s1, s2)
+	r1.Sub(r1, t0)
+	r1.Sub(r1, t1)
+	xiT2 := newRefGFp2().MulXi(t2)
+	r1.Add(r1, xiT2)
+
+	s1.Add(a.z, a.x)
+	s2.Add(b.z, b.x)
+	r2 := newRefGFp2().Mul(s1, s2)
+	r2.Sub(r2, t0)
+	r2.Sub(r2, t2)
+	r2.Add(r2, t1)
+
+	e.z.Set(r0)
+	e.y.Set(r1)
+	e.x.Set(r2)
+	return e
+}
+
+func (e *refGfP6) MulScalar(a *refGfP6, b *refGfP2) *refGfP6 {
+	tx := newRefGFp2().Mul(a.x, b)
+	ty := newRefGFp2().Mul(a.y, b)
+	tz := newRefGFp2().Mul(a.z, b)
+	e.x.Set(tx)
+	e.y.Set(ty)
+	e.z.Set(tz)
+	return e
+}
+
+func (e *refGfP6) MulGFp(a *refGfP6, b *big.Int) *refGfP6 {
+	e.x.MulScalar(a.x, b)
+	e.y.MulScalar(a.y, b)
+	e.z.MulScalar(a.z, b)
+	return e
+}
+
+// MulSparse2 sets e = a·(y2·τ + z2), a multiplication by an element with
+// only two non-zero coefficients (six refGfP2 multiplications instead of the
+// general case's — used by the pairing's sparse line multiplication).
+func (e *refGfP6) MulSparse2(a *refGfP6, y2, z2 *refGfP2) *refGfP6 {
+	// (x1τ² + y1τ + z1)(y2τ + z2):
+	//   z' = z1z2 + ξ·x1y2
+	//   y' = y1z2 + z1y2
+	//   x' = x1z2 + y1y2
+	tz := newRefGFp2().Mul(a.x, y2)
+	tz.MulXi(tz)
+	t := newRefGFp2().Mul(a.z, z2)
+	tz.Add(tz, t)
+
+	ty := newRefGFp2().Mul(a.y, z2)
+	t.Mul(a.z, y2)
+	ty.Add(ty, t)
+
+	tx := newRefGFp2().Mul(a.x, z2)
+	t.Mul(a.y, y2)
+	tx.Add(tx, t)
+
+	e.x.Set(tx)
+	e.y.Set(ty)
+	e.z.Set(tz)
+	return e
+}
+
+// MulTau sets e = a·τ: (x·τ² + y·τ + z)·τ = y·τ² + z·τ + x·ξ.
+func (e *refGfP6) MulTau(a *refGfP6) *refGfP6 {
+	tz := newRefGFp2().MulXi(a.x)
+	ty := newRefGFp2().Set(a.y)
+	e.y.Set(a.z)
+	e.x.Set(ty)
+	e.z.Set(tz)
+	return e
+}
+
+func (e *refGfP6) Square(a *refGfP6) *refGfP6 {
+	return e.Mul(a, a)
+}
+
+// Invert sets e = a⁻¹. With a = a0 + a1·τ + a2·τ²:
+//
+//	c0 = a0² − ξ·a1·a2
+//	c1 = ξ·a2² − a0·a1
+//	c2 = a1² − a0·a2
+//	F  = a0·c0 + ξ·(a2·c1 + a1·c2)
+//	a⁻¹ = (c0 + c1·τ + c2·τ²)/F
+func (e *refGfP6) Invert(a *refGfP6) *refGfP6 {
+	a0, a1, a2 := a.z, a.y, a.x
+
+	c0 := newRefGFp2().Square(a0)
+	t := newRefGFp2().Mul(a1, a2)
+	t.MulXi(t)
+	c0.Sub(c0, t)
+
+	c1 := newRefGFp2().Square(a2)
+	c1.MulXi(c1)
+	t.Mul(a0, a1)
+	c1.Sub(c1, t)
+
+	c2 := newRefGFp2().Square(a1)
+	t.Mul(a0, a2)
+	c2.Sub(c2, t)
+
+	f := newRefGFp2().Mul(a2, c1)
+	t.Mul(a1, c2)
+	f.Add(f, t)
+	f.MulXi(f)
+	t.Mul(a0, c0)
+	f.Add(f, t)
+	f.Invert(f)
+
+	e.z.Mul(c0, f)
+	e.y.Mul(c1, f)
+	e.x.Mul(c2, f)
+	return e
+}
+
+// Frobenius sets e = a^p. With τ^p = ξ^((p−1)/3)·τ:
+//
+//	(x·τ² + y·τ + z)^p = x̄·ξ^(2(p−1)/3)·τ² + ȳ·ξ^((p−1)/3)·τ + z̄.
+func (e *refGfP6) Frobenius(a *refGfP6) *refGfP6 {
+	e.x.Conjugate(a.x)
+	e.y.Conjugate(a.y)
+	e.z.Conjugate(a.z)
+
+	e.x.Mul(e.x, refXiToPMinus1Over3)
+	e.x.Mul(e.x, refXiToPMinus1Over3)
+	e.y.Mul(e.y, refXiToPMinus1Over3)
+	return e
+}
+
+// FrobeniusP2 sets e = a^(p²). Conjugation in F_p² squares away, and
+// τ^(p²) = ξ^((p²−1)/3)·τ where ξ^((p²−1)/3) lies in F_p.
+func (e *refGfP6) FrobeniusP2(a *refGfP6) *refGfP6 {
+	e.x.Mul(a.x, refXiToPSquaredMinus1Over3)
+	e.x.Mul(e.x, refXiToPSquaredMinus1Over3)
+	e.y.Mul(a.y, refXiToPSquaredMinus1Over3)
+	e.z.Set(a.z)
+	return e
+}

@@ -1,0 +1,258 @@
+package bn256
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// refTwistPoint implements the sextic twist E': y² = x³ + 3/ξ over F_p² in
+// Jacobian projective coordinates. The prime-order subgroup of E'(F_p²)
+// is (isomorphic to) G2.
+type refTwistPoint struct {
+	x, y, z, t *refGfP2
+}
+
+func newRefTwistPoint() *refTwistPoint {
+	return &refTwistPoint{x: newRefGFp2(), y: newRefGFp2(), z: newRefGFp2(), t: newRefGFp2()}
+}
+
+func (c *refTwistPoint) String() string {
+	c.MakeAffine()
+	return fmt.Sprintf("(%s, %s)", c.x, c.y)
+}
+
+func (c *refTwistPoint) Set(a *refTwistPoint) *refTwistPoint {
+	c.x.Set(a.x)
+	c.y.Set(a.y)
+	c.z.Set(a.z)
+	c.t.Set(a.t)
+	return c
+}
+
+func (c *refTwistPoint) SetInfinity() *refTwistPoint {
+	c.x.SetOne()
+	c.y.SetOne()
+	c.z.SetZero()
+	c.t.SetZero()
+	return c
+}
+
+func (c *refTwistPoint) IsInfinity() bool {
+	return c.z.IsZero()
+}
+
+// IsOnCurve reports whether the affine form of c satisfies y² = x³ + 3/ξ
+// and whether c lies in the order-n subgroup (i.e. is a valid G2 element).
+func (c *refTwistPoint) IsOnCurve() bool {
+	if c.IsInfinity() {
+		return true
+	}
+	c.MakeAffine()
+	yy := newRefGFp2().Square(c.y)
+	xxx := newRefGFp2().Square(c.x)
+	xxx.Mul(xxx, c.x)
+	yy.Sub(yy, xxx)
+	yy.Sub(yy, refTwistB)
+	if !yy.IsZero() {
+		return false
+	}
+	cneg := newRefTwistPoint().Mul(c, Order)
+	return cneg.IsInfinity()
+}
+
+func (c *refTwistPoint) Equal(a *refTwistPoint) bool {
+	if c.IsInfinity() || a.IsInfinity() {
+		return c.IsInfinity() == a.IsInfinity()
+	}
+	z1z1 := newRefGFp2().Square(c.z)
+	z2z2 := newRefGFp2().Square(a.z)
+
+	l := newRefGFp2().Mul(c.x, z2z2)
+	r := newRefGFp2().Mul(a.x, z1z1)
+	if !l.Equal(r) {
+		return false
+	}
+
+	z1z1.Mul(z1z1, c.z)
+	z2z2.Mul(z2z2, a.z)
+	l.Mul(c.y, z2z2)
+	r.Mul(a.y, z1z1)
+	return l.Equal(r)
+}
+
+// Add sets c = a + b (add-2007-bl, falling back to Double).
+func (c *refTwistPoint) Add(a, b *refTwistPoint) *refTwistPoint {
+	if a.IsInfinity() {
+		return c.Set(b)
+	}
+	if b.IsInfinity() {
+		return c.Set(a)
+	}
+
+	z1z1 := newRefGFp2().Square(a.z)
+	z2z2 := newRefGFp2().Square(b.z)
+	u1 := newRefGFp2().Mul(a.x, z2z2)
+	u2 := newRefGFp2().Mul(b.x, z1z1)
+
+	s1 := newRefGFp2().Mul(a.y, b.z)
+	s1.Mul(s1, z2z2)
+	s2 := newRefGFp2().Mul(b.y, a.z)
+	s2.Mul(s2, z1z1)
+
+	h := newRefGFp2().Sub(u2, u1)
+	r := newRefGFp2().Sub(s2, s1)
+
+	if h.IsZero() {
+		if r.IsZero() {
+			return c.Double(a)
+		}
+		return c.SetInfinity()
+	}
+	r.Double(r)
+
+	i := newRefGFp2().Double(h)
+	i.Square(i)
+	j := newRefGFp2().Mul(h, i)
+	v := newRefGFp2().Mul(u1, i)
+
+	x3 := newRefGFp2().Square(r)
+	x3.Sub(x3, j)
+	x3.Sub(x3, v)
+	x3.Sub(x3, v)
+
+	y3 := newRefGFp2().Sub(v, x3)
+	y3.Mul(y3, r)
+	t := newRefGFp2().Mul(s1, j)
+	t.Double(t)
+	y3.Sub(y3, t)
+
+	z3 := newRefGFp2().Add(a.z, b.z)
+	z3.Square(z3)
+	z3.Sub(z3, z1z1)
+	z3.Sub(z3, z2z2)
+	z3.Mul(z3, h)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Double sets c = 2a (dbl-2009-l).
+func (c *refTwistPoint) Double(a *refTwistPoint) *refTwistPoint {
+	if a.IsInfinity() {
+		return c.SetInfinity()
+	}
+
+	aa := newRefGFp2().Square(a.x)
+	bb := newRefGFp2().Square(a.y)
+	cc := newRefGFp2().Square(bb)
+
+	d := newRefGFp2().Add(a.x, bb)
+	d.Square(d)
+	d.Sub(d, aa)
+	d.Sub(d, cc)
+	d.Double(d)
+
+	e := newRefGFp2().Double(aa)
+	e.Add(e, aa)
+	f := newRefGFp2().Square(e)
+
+	x3 := newRefGFp2().Double(d)
+	x3.Sub(f, x3)
+
+	y3 := newRefGFp2().Sub(d, x3)
+	y3.Mul(y3, e)
+	t := newRefGFp2().Double(cc)
+	t.Double(t)
+	t.Double(t)
+	y3.Sub(y3, t)
+
+	z3 := newRefGFp2().Mul(a.y, a.z)
+	z3.Double(z3)
+
+	c.x.Set(x3)
+	c.y.Set(y3)
+	c.z.Set(z3)
+	return c
+}
+
+// Mul sets c = k·a using width-5 wNAF; mulGeneric remains as the
+// cross-check reference for tests. k is deliberately not reduced mod
+// Order: cofactor clearing (mapToTwistSubgroup) multiplies points outside
+// the order-n subgroup.
+func (c *refTwistPoint) Mul(a *refTwistPoint, k *big.Int) *refTwistPoint {
+	if k.Sign() < 0 {
+		neg := newRefTwistPoint().Negative(a)
+		kAbs := new(big.Int).Neg(k)
+		return c.Mul(neg, kAbs)
+	}
+	if k.BitLen() <= 16 {
+		return c.mulGeneric(a, k)
+	}
+
+	// odd[i] = (2i+1)·a for i in 0..7.
+	var odd [8]*refTwistPoint
+	odd[0] = newRefTwistPoint().Set(a)
+	twoA := newRefTwistPoint().Double(a)
+	for i := 1; i < 8; i++ {
+		odd[i] = newRefTwistPoint().Add(odd[i-1], twoA)
+	}
+	neg := newRefTwistPoint()
+
+	digits := wnafDigits(k, 5)
+	sum := newRefTwistPoint().SetInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		sum.Double(sum)
+		switch d := digits[i]; {
+		case d > 0:
+			sum.Add(sum, odd[(d-1)/2])
+		case d < 0:
+			sum.Add(sum, neg.Negative(odd[(-d-1)/2]))
+		}
+	}
+	return c.Set(sum)
+}
+
+// mulGeneric is the textbook double-and-add ladder.
+func (c *refTwistPoint) mulGeneric(a *refTwistPoint, k *big.Int) *refTwistPoint {
+	sum := newRefTwistPoint().SetInfinity()
+	t := newRefTwistPoint()
+	for i := k.BitLen(); i >= 0; i-- {
+		t.Double(sum)
+		if k.Bit(i) != 0 {
+			sum.Add(t, a)
+		} else {
+			sum.Set(t)
+		}
+	}
+	return c.Set(sum)
+}
+
+func (c *refTwistPoint) Negative(a *refTwistPoint) *refTwistPoint {
+	c.x.Set(a.x)
+	c.y.Neg(a.y)
+	c.z.Set(a.z)
+	c.t.SetZero()
+	return c
+}
+
+// MakeAffine normalizes c to z = 1 (or the canonical infinity encoding).
+func (c *refTwistPoint) MakeAffine() *refTwistPoint {
+	if c.z.IsZero() {
+		return c.SetInfinity()
+	}
+	if c.z.IsOne() {
+		return c
+	}
+
+	zInv := newRefGFp2().Invert(c.z)
+	t := newRefGFp2().Mul(c.y, zInv)
+	zInv2 := newRefGFp2().Square(zInv)
+	c.y.Mul(t, zInv2)
+	t.Mul(c.x, zInv2)
+	c.x.Set(t)
+	c.z.SetOne()
+	c.t.SetOne()
+	return c
+}

@@ -1,0 +1,97 @@
+package bn256
+
+import (
+	"math/big"
+	"time"
+)
+
+// This file measures the retained big.Int reference core against the
+// Montgomery limb core on the primitives that dominate protocol cost. The
+// reference implementation is unexported, so the comparison has to live
+// inside the package; peacebench's e14 experiment reports the results.
+
+// FieldCoreRow is one primitive timed on both arithmetic cores.
+type FieldCoreRow struct {
+	Name    string
+	RefNs   int64
+	LimbNs  int64
+	Speedup float64
+}
+
+// refHashToG1 is the pre-limb-core HashToG1: identical hash schedule, but
+// with big.Int modular arithmetic for the curve equation and square root.
+// It produces the same point as HashToG1 (p ≡ 3 mod 4 gives both square
+// roots the same principal value).
+func refHashToG1(msg []byte) *refCurvePoint {
+	three := big.NewInt(3)
+	for ctr := uint32(0); ; ctr++ {
+		d := hashWithTag("g1", ctr, msg)
+		x := new(big.Int).SetBytes(d[:])
+		x.Mod(x, P)
+
+		yy := new(big.Int).Mul(x, x)
+		yy.Mul(yy, x)
+		yy.Add(yy, three)
+		yy.Mod(yy, P)
+
+		y := new(big.Int).ModSqrt(yy, P)
+		if y == nil {
+			continue
+		}
+		if d[31]&1 == 1 {
+			y.Neg(y).Mod(y, P)
+		}
+		pt := newRefCurvePoint()
+		pt.x.Set(x)
+		pt.y.Set(y)
+		pt.z.SetInt64(1)
+		pt.t.SetInt64(1)
+		return pt
+	}
+}
+
+// FieldCoreComparison times pairing, group exponentiations and hash-to-G1
+// on the big.Int reference core ("before") and the Montgomery limb core
+// ("after"), averaging over iters runs of each.
+func FieldCoreComparison(iters int) []FieldCoreRow {
+	if iters < 1 {
+		iters = 1
+	}
+	k := HashToScalar([]byte("fieldcore probe"))
+	msg := []byte("fieldcore hash probe")
+	refGT := refGfP12FromLimb(gtGen)
+
+	timeIt := func(fn func()) int64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		return int64(time.Since(start)) / int64(iters)
+	}
+
+	row := func(name string, ref, limb func()) FieldCoreRow {
+		r := FieldCoreRow{Name: name, RefNs: timeIt(ref), LimbNs: timeIt(limb)}
+		if r.LimbNs > 0 {
+			r.Speedup = float64(r.RefNs) / float64(r.LimbNs)
+		}
+		return r
+	}
+
+	return []FieldCoreRow{
+		row("pairing e(P,Q)",
+			func() { refAtePairing(refTwistGen, refCurveGen) },
+			func() { atePairing(twistGen, curveGen) }),
+		row("G1 exponentiation",
+			func() { newRefCurvePoint().Mul(refCurveGen, k) },
+			func() { newCurvePoint().Mul(curveGen, k) }),
+		row("G2 exponentiation",
+			func() { newRefTwistPoint().Mul(refTwistGen, k) },
+			func() { newTwistPoint().Mul(twistGen, k) }),
+		row("GT exponentiation",
+			func() { newRefGFp12().Exp(refGT, k) },
+			func() { newGFp12().cyclotomicExp(gtGen, k) }),
+		row("hash-to-G1",
+			func() { refHashToG1(msg) },
+			func() { HashToG1(msg) }),
+	}
+}

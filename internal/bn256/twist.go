@@ -10,23 +10,20 @@ import (
 // Jacobian projective coordinates. The prime-order subgroup of E'(F_p²)
 // is (isomorphic to) G2.
 type twistPoint struct {
-	x, y, z, t *gfP2
+	x, y, z, t gfP2
 }
 
 func newTwistPoint() *twistPoint {
-	return &twistPoint{x: newGFp2(), y: newGFp2(), z: newGFp2(), t: newGFp2()}
+	return &twistPoint{}
 }
 
 func (c *twistPoint) String() string {
 	c.MakeAffine()
-	return fmt.Sprintf("(%s, %s)", c.x, c.y)
+	return fmt.Sprintf("(%s, %s)", &c.x, &c.y)
 }
 
 func (c *twistPoint) Set(a *twistPoint) *twistPoint {
-	c.x.Set(a.x)
-	c.y.Set(a.y)
-	c.z.Set(a.z)
-	c.t.Set(a.t)
+	*c = *a
 	return c
 }
 
@@ -49,11 +46,12 @@ func (c *twistPoint) IsOnCurve() bool {
 		return true
 	}
 	c.MakeAffine()
-	yy := newGFp2().Square(c.y)
-	xxx := newGFp2().Square(c.x)
-	xxx.Mul(xxx, c.x)
-	yy.Sub(yy, xxx)
-	yy.Sub(yy, twistB)
+	var yy, xxx gfP2
+	yy.Square(&c.y)
+	xxx.Square(&c.x)
+	xxx.Mul(&xxx, &c.x)
+	yy.Sub(&yy, &xxx)
+	yy.Sub(&yy, twistB)
 	if !yy.IsZero() {
 		return false
 	}
@@ -65,20 +63,21 @@ func (c *twistPoint) Equal(a *twistPoint) bool {
 	if c.IsInfinity() || a.IsInfinity() {
 		return c.IsInfinity() == a.IsInfinity()
 	}
-	z1z1 := newGFp2().Square(c.z)
-	z2z2 := newGFp2().Square(a.z)
+	var z1z1, z2z2, l, r gfP2
+	z1z1.Square(&c.z)
+	z2z2.Square(&a.z)
 
-	l := newGFp2().Mul(c.x, z2z2)
-	r := newGFp2().Mul(a.x, z1z1)
-	if !l.Equal(r) {
+	l.Mul(&c.x, &z2z2)
+	r.Mul(&a.x, &z1z1)
+	if !l.Equal(&r) {
 		return false
 	}
 
-	z1z1.Mul(z1z1, c.z)
-	z2z2.Mul(z2z2, a.z)
-	l.Mul(c.y, z2z2)
-	r.Mul(a.y, z1z1)
-	return l.Equal(r)
+	z1z1.Mul(&z1z1, &c.z)
+	z2z2.Mul(&z2z2, &a.z)
+	l.Mul(&c.y, &z2z2)
+	r.Mul(&a.y, &z1z1)
+	return l.Equal(&r)
 }
 
 // Add sets c = a + b (add-2007-bl, falling back to Double).
@@ -90,18 +89,19 @@ func (c *twistPoint) Add(a, b *twistPoint) *twistPoint {
 		return c.Set(a)
 	}
 
-	z1z1 := newGFp2().Square(a.z)
-	z2z2 := newGFp2().Square(b.z)
-	u1 := newGFp2().Mul(a.x, z2z2)
-	u2 := newGFp2().Mul(b.x, z1z1)
+	var z1z1, z2z2, u1, u2, s1, s2, h, r gfP2
+	z1z1.Square(&a.z)
+	z2z2.Square(&b.z)
+	u1.Mul(&a.x, &z2z2)
+	u2.Mul(&b.x, &z1z1)
 
-	s1 := newGFp2().Mul(a.y, b.z)
-	s1.Mul(s1, z2z2)
-	s2 := newGFp2().Mul(b.y, a.z)
-	s2.Mul(s2, z1z1)
+	s1.Mul(&a.y, &b.z)
+	s1.Mul(&s1, &z2z2)
+	s2.Mul(&b.y, &a.z)
+	s2.Mul(&s2, &z1z1)
 
-	h := newGFp2().Sub(u2, u1)
-	r := newGFp2().Sub(s2, s1)
+	h.Sub(&u2, &u1)
+	r.Sub(&s2, &s1)
 
 	if h.IsZero() {
 		if r.IsZero() {
@@ -109,33 +109,34 @@ func (c *twistPoint) Add(a, b *twistPoint) *twistPoint {
 		}
 		return c.SetInfinity()
 	}
-	r.Double(r)
+	r.Double(&r)
 
-	i := newGFp2().Double(h)
-	i.Square(i)
-	j := newGFp2().Mul(h, i)
-	v := newGFp2().Mul(u1, i)
+	var i, j, v, x3, y3, z3, t gfP2
+	i.Double(&h)
+	i.Square(&i)
+	j.Mul(&h, &i)
+	v.Mul(&u1, &i)
 
-	x3 := newGFp2().Square(r)
-	x3.Sub(x3, j)
-	x3.Sub(x3, v)
-	x3.Sub(x3, v)
+	x3.Square(&r)
+	x3.Sub(&x3, &j)
+	x3.Sub(&x3, &v)
+	x3.Sub(&x3, &v)
 
-	y3 := newGFp2().Sub(v, x3)
-	y3.Mul(y3, r)
-	t := newGFp2().Mul(s1, j)
-	t.Double(t)
-	y3.Sub(y3, t)
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &r)
+	t.Mul(&s1, &j)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
 
-	z3 := newGFp2().Add(a.z, b.z)
-	z3.Square(z3)
-	z3.Sub(z3, z1z1)
-	z3.Sub(z3, z2z2)
-	z3.Mul(z3, h)
+	z3.Add(&a.z, &b.z)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &z2z2)
+	z3.Mul(&z3, &h)
 
-	c.x.Set(x3)
-	c.y.Set(y3)
-	c.z.Set(z3)
+	c.x = x3
+	c.y = y3
+	c.z = z3
 	return c
 }
 
@@ -145,36 +146,37 @@ func (c *twistPoint) Double(a *twistPoint) *twistPoint {
 		return c.SetInfinity()
 	}
 
-	aa := newGFp2().Square(a.x)
-	bb := newGFp2().Square(a.y)
-	cc := newGFp2().Square(bb)
+	var aa, bb, cc, d, e, f, x3, y3, z3, t gfP2
+	aa.Square(&a.x)
+	bb.Square(&a.y)
+	cc.Square(&bb)
 
-	d := newGFp2().Add(a.x, bb)
-	d.Square(d)
-	d.Sub(d, aa)
-	d.Sub(d, cc)
-	d.Double(d)
+	d.Add(&a.x, &bb)
+	d.Square(&d)
+	d.Sub(&d, &aa)
+	d.Sub(&d, &cc)
+	d.Double(&d)
 
-	e := newGFp2().Double(aa)
-	e.Add(e, aa)
-	f := newGFp2().Square(e)
+	e.Double(&aa)
+	e.Add(&e, &aa)
+	f.Square(&e)
 
-	x3 := newGFp2().Double(d)
-	x3.Sub(f, x3)
+	x3.Double(&d)
+	x3.Sub(&f, &x3)
 
-	y3 := newGFp2().Sub(d, x3)
-	y3.Mul(y3, e)
-	t := newGFp2().Double(cc)
-	t.Double(t)
-	t.Double(t)
-	y3.Sub(y3, t)
+	y3.Sub(&d, &x3)
+	y3.Mul(&y3, &e)
+	t.Double(&cc)
+	t.Double(&t)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
 
-	z3 := newGFp2().Mul(a.y, a.z)
-	z3.Double(z3)
+	z3.Mul(&a.y, &a.z)
+	z3.Double(&z3)
 
-	c.x.Set(x3)
-	c.y.Set(y3)
-	c.z.Set(z3)
+	c.x = x3
+	c.y = y3
+	c.z = z3
 	return c
 }
 
@@ -231,9 +233,9 @@ func (c *twistPoint) mulGeneric(a *twistPoint, k *big.Int) *twistPoint {
 }
 
 func (c *twistPoint) Negative(a *twistPoint) *twistPoint {
-	c.x.Set(a.x)
-	c.y.Neg(a.y)
-	c.z.Set(a.z)
+	c.x.Set(&a.x)
+	c.y.Neg(&a.y)
+	c.z.Set(&a.z)
 	c.t.SetZero()
 	return c
 }
@@ -244,15 +246,17 @@ func (c *twistPoint) MakeAffine() *twistPoint {
 		return c.SetInfinity()
 	}
 	if c.z.IsOne() {
+		c.t.SetOne()
 		return c
 	}
 
-	zInv := newGFp2().Invert(c.z)
-	t := newGFp2().Mul(c.y, zInv)
-	zInv2 := newGFp2().Square(zInv)
-	c.y.Mul(t, zInv2)
-	t.Mul(c.x, zInv2)
-	c.x.Set(t)
+	var zInv, zInv2, t gfP2
+	zInv.Invert(&c.z)
+	t.Mul(&c.y, &zInv)
+	zInv2.Square(&zInv)
+	c.y.Mul(&t, &zInv2)
+	t.Mul(&c.x, &zInv2)
+	c.x = t
 	c.z.SetOne()
 	c.t.SetOne()
 	return c
@@ -302,10 +306,8 @@ func makeTwistGen() *twistPoint {
 		hx := sha256.Sum256([]byte(fmt.Sprintf("peace/bn256:twist-generator:x:%d", ctr)))
 		hy := sha256.Sum256([]byte(fmt.Sprintf("peace/bn256:twist-generator:y:%d", ctr)))
 		xCand := newGFp2()
-		xCand.x.SetBytes(hx[:])
-		xCand.x.Mod(xCand.x, P)
-		xCand.y.SetBytes(hy[:])
-		xCand.y.Mod(xCand.y, P)
+		xCand.x = gfPFromBig(new(big.Int).SetBytes(hx[:]))
+		xCand.y = gfPFromBig(new(big.Int).SetBytes(hy[:]))
 		if pt := mapToTwistSubgroup(xCand); pt != nil {
 			return pt.MakeAffine()
 		}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"github.com/peace-mesh/peace/internal/bn256"
+)
+
+// E14FieldCoreRow is one primitive timed on both arithmetic cores: the
+// retained big.Int reference implementation ("before") and the Montgomery
+// fixed-limb core ("after").
+type E14FieldCoreRow struct {
+	Name    string
+	RefNs   int64
+	LimbNs  int64
+	Speedup float64
+}
+
+// RunE14FieldCore measures the before/after cost of the primitives that
+// dominate the protocol (pairing, group exponentiations, hash-to-G1)
+// across the two field cores. The reference core is unexported inside
+// bn256, so the raw measurement lives there; this experiment reports it.
+func RunE14FieldCore(iters int) ([]E14FieldCoreRow, error) {
+	rows := bn256.FieldCoreComparison(iters)
+	out := make([]E14FieldCoreRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, E14FieldCoreRow{
+			Name:    r.Name,
+			RefNs:   r.RefNs,
+			LimbNs:  r.LimbNs,
+			Speedup: r.Speedup,
+		})
+	}
+	return out, nil
+}

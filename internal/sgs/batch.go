@@ -257,6 +257,11 @@ func (v *Verifier) SweepURLWorkers(msg []byte, sig *Signature, tokens []*Revocat
 	if workers < 1 {
 		workers = 1
 	}
+	// More workers than cores only adds scheduler churn on this CPU-bound
+	// loop; more workers than tokens leaves goroutines with nothing to do.
+	if procs := runtime.GOMAXPROCS(0); workers > procs {
+		workers = procs
+	}
 	if workers > len(tokens) {
 		workers = len(tokens)
 	}
@@ -270,6 +275,9 @@ func (v *Verifier) SweepURLWorkers(msg []byte, sig *Signature, tokens []*Revocat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch point, reused across every token this
+			// worker examines instead of allocating one per token.
+			quot := new(bn256.G1)
 			for {
 				i := next.Add(1) - 1
 				// Indices are dispensed in order and found only decreases,
@@ -277,7 +285,7 @@ func (v *Verifier) SweepURLWorkers(msg []byte, sig *Signature, tokens []*Revocat
 				if i >= n || i >= found.Load() {
 					return
 				}
-				quot := new(bn256.G1).Neg(tokens[i].A)
+				quot.Neg(tokens[i].A)
 				quot.Add(sig.T2, quot) // T2/A in multiplicative notation
 				acc := uhatPrep.Miller(quot)
 				acc.Add(acc, mRight)

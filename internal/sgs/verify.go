@@ -113,7 +113,9 @@ func verifyWithBases(pk *PublicKey, msg []byte, sig *Signature, u, v *bn256.G1, 
 	acc.Add(acc, bn256.Miller(v, rhs2))
 	ct.pairing(1)
 	r2 := acc.Finalize()
-	eggNegC := new(bn256.GT).ScalarMult(pk.egg, negC)
+	// egg is a cached pairing value, so it lives in the cyclotomic subgroup
+	// and the cheaper Granger–Scott exponentiation applies.
+	eggNegC := new(bn256.GT).ScalarMultCyclo(pk.egg, negC)
 	ct.gtExp(1)
 	r2.Add(r2, eggNegC)
 
