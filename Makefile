@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples vet fmt cover clean ci fuzz meshd-loopback
+.PHONY: all build test race bench experiments examples vet fmt cover clean ci fuzz staticcheck meshd-loopback meshd-drill
 
 all: build test
 
@@ -12,6 +12,7 @@ all: build test
 # every wire-facing decoder.
 ci:
 	$(GO) vet ./...
+	$(MAKE) staticcheck
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./...
@@ -28,11 +29,29 @@ fuzz:
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalBeacon$$' -fuzztime=10s
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalAccessRequest$$' -fuzztime=10s
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalPeerHello$$' -fuzztime=10s
+	$(GO) test ./internal/revocation/ -run='^$$' -fuzz='^FuzzUnmarshalSnapshot$$' -fuzztime=10s
+	$(GO) test ./internal/revocation/ -run='^$$' -fuzz='^FuzzUnmarshalDelta$$' -fuzztime=10s
+
+# staticcheck runs when the binary is present and is skipped (loudly) when
+# it is not — the container image does not ship it and ci must not fetch
+# tools from the network.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 # meshd-loopback is the transport acceptance drill: 100 concurrent users
 # through full M.1–M.3 over real UDP loopback at 5% induced datagram loss.
 meshd-loopback:
 	$(GO) run ./cmd/meshd -mode loopback -users 100 -loss 0.05
+
+# meshd-drill is the revocation acceptance drill: the URL grows by two
+# entries per round across four epochs while eight clients re-attach;
+# clients must converge via deltas after one cold-start snapshot per list.
+meshd-drill:
+	$(GO) run ./cmd/meshd -mode drill -users 8 -rounds 4 -revoke 2
 
 build:
 	$(GO) build ./...

@@ -17,6 +17,7 @@ import (
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/experiments"
 	"github.com/peace-mesh/peace/internal/puzzle"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 	"github.com/peace-mesh/peace/internal/symcrypto"
 )
@@ -442,15 +443,18 @@ func newBenchDeployment(b *testing.B) *benchDeployment {
 		b.Fatal(err)
 	}
 	r.SetCertificate(c)
-	crl, err := no.CurrentCRL()
+	crl, url, err := no.RevocationBundles()
 	if err != nil {
 		b.Fatal(err)
 	}
-	url, err := no.CurrentURL()
-	if err != nil {
+	if err := r.UpdateRevocations(crl, url); err != nil {
 		b.Fatal(err)
 	}
-	r.UpdateRevocations(crl, url)
+	for _, snap := range []*revocation.Snapshot{crl.Snapshot, url.Snapshot} {
+		if err := u.InstallRevocationSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
 	return &benchDeployment{no: no, user: u, router: r}
 }
 

@@ -6,13 +6,17 @@
 // imports that provision file and drives N concurrent users through the
 // full AKA against a remote meshd. Loopback mode runs both ends in one
 // process over 127.0.0.1 with induced datagram loss — the acceptance
-// drill for the retransmission machinery.
+// drill for the retransmission machinery. Drill mode grows the URL
+// across epochs between attachment rounds and reports how clients
+// converged (delta fetches vs full snapshot fetches) — the acceptance
+// drill for the epoch-based revocation distribution.
 //
 // Usage:
 //
 //	meshd -mode serve -listen 127.0.0.1:7464 -provision /tmp/peace.prov -users 100
 //	meshd -mode client -addr 127.0.0.1:7464 -provision /tmp/peace.prov -users 100 -loss 0.05
 //	meshd -mode loopback -users 100 -loss 0.05
+//	meshd -mode drill -users 8 -rounds 4 -revoke 2
 package main
 
 import (
@@ -34,7 +38,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "loopback", "serve, client or loopback")
+	mode := flag.String("mode", "loopback", "serve, client, loopback or drill")
 	listen := flag.String("listen", "127.0.0.1:7464", "serve: UDP listen address")
 	addr := flag.String("addr", "127.0.0.1:7464", "client: meshd address to attach to")
 	users := flag.Int("users", 100, "users to provision (serve) or drive (client, loopback)")
@@ -44,7 +48,9 @@ func main() {
 	group := flag.String("group", "grp-0", "group to authenticate under")
 	statsEvery := flag.Duration("stats", 5*time.Second, "serve: stats emission period")
 	duration := flag.Duration("duration", 0, "serve: exit after this long (0 = until signal)")
-	timeout := flag.Duration("timeout", 30*time.Second, "client, loopback: per-handshake timeout")
+	timeout := flag.Duration("timeout", 30*time.Second, "client, loopback, drill: per-handshake timeout")
+	rounds := flag.Int("rounds", 4, "drill: attachment rounds (URL epochs)")
+	revoke := flag.Int("revoke", 2, "drill: revocations between rounds")
 	flag.Parse()
 
 	var err error
@@ -55,8 +61,10 @@ func main() {
 		err = runClient(*addr, *provision, *users, *loss, *seed, core.GroupID(*group), *timeout)
 	case "loopback":
 		err = runLoopback(*users, *loss, *seed, *timeout)
+	case "drill":
+		err = runDrill(*users, *rounds, *revoke, *timeout)
 	default:
-		err = fmt.Errorf("unknown -mode %q (serve, client, loopback)", *mode)
+		err = fmt.Errorf("unknown -mode %q (serve, client, loopback, drill)", *mode)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -233,5 +241,31 @@ func runLoopback(users int, loss float64, seed int64, timeout time.Duration) err
 	}
 	log.Printf("meshd: %d/%d handshakes established at %.0f%% loss (%.1f/s, %d retransmits, %d datagrams dropped)",
 		rep.Established, rep.Users, loss*100, rep.HandshakesPerSec, rep.ClientRetransmits, rep.DatagramsDropped)
+	return nil
+}
+
+// runDrill attaches -users clients per round while the NO revokes
+// -revoke tokens between rounds, then prints the convergence report:
+// clients should ride deltas after their first full snapshot.
+func runDrill(users, rounds, revoke int, timeout time.Duration) error {
+	rep, err := transport.RunRevocationDrill(transport.DrillConfig{
+		Users:          users,
+		Rounds:         rounds,
+		RevokePerRound: revoke,
+		AttachTimeout:  timeout,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if len(rep.Errors) > 0 {
+		return fmt.Errorf("%d attachment failures", len(rep.Errors))
+	}
+	log.Printf("meshd: %d attachments over %d epochs converged with %d delta fetches, %d snapshot fetches (max %d full snapshots per client)",
+		rep.Established, rep.FinalURLEpoch, rep.DeltaFetches, rep.SnapshotFetches, rep.SnapshotsPerClientMax)
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/mesh"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 func main() {
@@ -99,15 +100,17 @@ func run(users, hops, routers int, loss float64, latencyMS int, adversary string
 	switch adversary {
 	case "none":
 	case "rogue":
-		crl, err := d.NO.CurrentCRL()
-		if err != nil {
-			return err
+		legit := d.Routers["MR-0"].Router()
+		urlSnap, ok := legit.RevocationSnapshot(revocation.ListURL)
+		if !ok {
+			return fmt.Errorf("router MR-0 has no URL snapshot")
 		}
-		url, err := d.NO.CurrentURL()
-		if err != nil {
-			return err
+		crlSnap, ok := legit.RevocationSnapshot(revocation.ListCRL)
+		if !ok {
+			return fmt.Errorf("router MR-0 has no CRL snapshot")
 		}
-		rogue, err = mesh.NewRogueRouter(d.Net, "MR-evil", crl, url)
+		var err error
+		rogue, err = mesh.NewRogueRouter(d.Net, "MR-evil", urlSnap.Ref(), crlSnap.Ref())
 		if err != nil {
 			return err
 		}

@@ -60,8 +60,8 @@ type ablationRow struct {
 var collect *benchJSON
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e14 or all")
-	urlSizes := flag.String("url", "0,1,2,5,10,20", "comma-separated |URL| sweep for e3")
+	exp := flag.String("exp", "all", "experiment to run: e1..e15 or all")
+	urlSizes := flag.String("url", "0,1,2,5,10,20", "comma-separated |URL| sweep for e3/e15")
 	grtSizes := flag.String("grt", "4,8,16,32,64", "comma-separated |grt| sweep for e7")
 	floods := flag.String("floods", "50,200", "comma-separated flood sizes for e6")
 	iters := flag.Int("iters", 1, "timing repetitions per point")
@@ -143,6 +143,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		{"e12", func() error { return runE12(iters) }},
 		{"e13", func() error { return runE13() }},
 		{"e14", func() error { return runE14(iters) }},
+		{"e15", func() error { return runE15(urlSizes, iters) }},
 	} {
 		if runAll || exp == e.name {
 			ran = true
@@ -152,7 +153,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e14 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e15 or all)", exp)
 	}
 	return nil
 }
@@ -491,6 +492,44 @@ func runE12(iters int) error {
 		collect.Benchmarks["BenchmarkE12ParallelSweep"] = map[string]any{
 			"url_size": rep.URLSize,
 			"rows":     sweep,
+		}
+	}
+	return nil
+}
+
+// runE15 measures the epoch-based revocation distribution: beacon bytes
+// (flat in |URL|), full-snapshot vs one-entry-delta fetch sizes, and the
+// router sweep with and without the cached per-epoch index.
+func runE15(urlSizes []int, iters int) error {
+	header("E15: revocation distribution — update bandwidth & cached sweep (DESIGN.md)")
+	pts, err := experiments.RunE15RevDist(urlSizes, iters)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "|URL|\tbeacon\tsnapshot\tdelta(1)\tcold sweep\tindex build\tcached check")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%dB\t%dB\t%dB\t%v\t%v\t%v\n",
+			p.URLSize, p.BeaconBytes, p.SnapshotBytes, p.DeltaBytes,
+			p.ColdSweep, p.CachedBuild, p.CachedCheck)
+	}
+	w.Flush()
+	fmt.Println("claim: beacon size is independent of |URL|; warm clients pay delta bytes, not snapshot bytes")
+	if collect != nil {
+		rows := make([]map[string]any, 0, len(pts))
+		for _, p := range pts {
+			rows = append(rows, map[string]any{
+				"url_size":        p.URLSize,
+				"beacon_bytes":    p.BeaconBytes,
+				"snapshot_bytes":  p.SnapshotBytes,
+				"delta_bytes":     p.DeltaBytes,
+				"cold_sweep_ns":   int64(p.ColdSweep),
+				"index_build_ns":  int64(p.CachedBuild),
+				"cached_check_ns": int64(p.CachedCheck),
+			})
+		}
+		collect.Benchmarks["E15RevocationDistribution"] = map[string]any{
+			"rows": rows,
 		}
 	}
 	return nil

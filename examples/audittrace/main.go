@@ -86,7 +86,7 @@ func run() error {
 		return err
 	}
 	router.SetCertificate(routerCert)
-	if err := refresh(no, router); err != nil {
+	if err := refresh(no, router, users); err != nil {
 		return err
 	}
 
@@ -118,7 +118,7 @@ func run() error {
 	if err := no.RevokeAudited(audit); err != nil {
 		return err
 	}
-	if err := refresh(no, router); err != nil {
+	if err := refresh(no, router, users); err != nil {
 		return err
 	}
 	beacon2, err := router.Beacon()
@@ -159,15 +159,22 @@ func run() error {
 	return nil
 }
 
-func refresh(no *peace.NetworkOperator, router *peace.MeshRouter) error {
-	crl, err := no.CurrentCRL()
+// refresh distributes the operator's current revocation epoch: signed
+// bundles to the router, matching snapshots to the users.
+func refresh(no *peace.NetworkOperator, router *peace.MeshRouter, users map[string]*peace.User) error {
+	crl, url, err := no.RevocationBundles()
 	if err != nil {
 		return err
 	}
-	url, err := no.CurrentURL()
-	if err != nil {
+	if err := router.UpdateRevocations(crl, url); err != nil {
 		return err
 	}
-	router.UpdateRevocations(crl, url)
+	for _, u := range users {
+		for _, snap := range []*peace.RevocationSnapshot{crl.Snapshot, url.Snapshot} {
+			if err := u.InstallRevocationSnapshot(snap); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"github.com/peace-mesh/peace"
 	"github.com/peace-mesh/peace/internal/mesh"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 func main() {
@@ -58,16 +59,18 @@ func run() error {
 	// The city-wide passive adversary.
 	eve := mesh.NewEavesdropper(d.Net)
 
-	// A phishing router parked next to alice and bob.
-	crl, err := d.NO.CurrentCRL()
-	if err != nil {
-		return err
+	// A phishing router parked next to alice and bob. It replays epoch
+	// refs captured from legitimate beacons; it cannot forge the cert.
+	legit := d.Routers["MR-0"].Router()
+	urlSnap, ok := legit.RevocationSnapshot(revocation.ListURL)
+	if !ok {
+		return fmt.Errorf("router has no URL snapshot")
 	}
-	url, err := d.NO.CurrentURL()
-	if err != nil {
-		return err
+	crlSnap, ok := legit.RevocationSnapshot(revocation.ListCRL)
+	if !ok {
+		return fmt.Errorf("router has no CRL snapshot")
 	}
-	rogue, err := mesh.NewRogueRouter(d.Net, "MR-evil", crl, url)
+	rogue, err := mesh.NewRogueRouter(d.Net, "MR-evil", urlSnap.Ref(), crlSnap.Ref())
 	if err != nil {
 		return err
 	}

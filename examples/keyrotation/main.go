@@ -67,7 +67,7 @@ func run() error {
 		return err
 	}
 	router.SetCertificate(c)
-	if err := refresh(no, router); err != nil {
+	if err := refresh(no, router, honest, villain); err != nil {
 		return err
 	}
 
@@ -96,7 +96,7 @@ func run() error {
 		return err
 	}
 	router.UpdateGroupKey(newGpk)
-	if err := refresh(no, router); err != nil {
+	if err := refresh(no, router, honest, villain); err != nil {
 		return err
 	}
 	honest.UpdateGroupKey(newGpk)
@@ -116,11 +116,12 @@ func run() error {
 		return fmt.Errorf("villain should be rejected, got %v", err2)
 	}
 
-	url, err := no.CurrentURL()
+	_, url, err := no.RevocationBundles()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("4. URL size after rotation: %d (no per-key revocation state needed)\n", len(url.Tokens))
+	fmt.Printf("4. URL after rotation: %d entries at epoch %d (no per-key revocation state needed)\n",
+		len(url.Snapshot.Entries), url.Snapshot.Epoch)
 	fmt.Println("done.")
 	return nil
 }
@@ -132,15 +133,23 @@ func errString(err error) string {
 	return "REFUSED"
 }
 
-func refresh(no *peace.NetworkOperator, router *peace.MeshRouter) error {
-	crl, err := no.CurrentCRL()
+// refresh distributes a fresh epoch of revocation state: signed bundles
+// to the router, and the matching snapshots to the listed users (standing
+// in for the transport layer's delta fetch).
+func refresh(no *peace.NetworkOperator, router *peace.MeshRouter, users ...*peace.User) error {
+	crl, url, err := no.RevocationBundles()
 	if err != nil {
 		return err
 	}
-	url, err := no.CurrentURL()
-	if err != nil {
+	if err := router.UpdateRevocations(crl, url); err != nil {
 		return err
 	}
-	router.UpdateRevocations(crl, url)
+	for _, u := range users {
+		for _, snap := range []*peace.RevocationSnapshot{crl.Snapshot, url.Snapshot} {
+			if err := u.InstallRevocationSnapshot(snap); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }

@@ -76,16 +76,21 @@ func run() error {
 		return err
 	}
 	router.SetCertificate(routerCert)
-	crl, err := no.CurrentCRL()
+	crl, url, err := no.RevocationBundles()
 	if err != nil {
 		return err
 	}
-	url, err := no.CurrentURL()
-	if err != nil {
+	if err := router.UpdateRevocations(crl, url); err != nil {
 		return err
 	}
-	router.UpdateRevocations(crl, url)
-	fmt.Println("4. mesh router MR-17 certified; CRL/URL installed")
+	// Alice bootstraps the same revocation epoch (in a deployment the
+	// transport layer fetches this — see internal/transport).
+	for _, snap := range []*peace.RevocationSnapshot{crl.Snapshot, url.Snapshot} {
+		if err := alice.InstallRevocationSnapshot(snap); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("4. mesh router MR-17 certified; revocation epoch %d installed\n", url.Snapshot.Epoch)
 
 	// ------------------------------------------------------------------
 	// User–router AKA (paper Section IV.B): M.1 → M.2 → M.3.

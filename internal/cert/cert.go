@@ -1,7 +1,9 @@
 // Package cert implements the conventional-PKI side of PEACE: the network
-// operator's signing identity (NPK/NSK in the paper), mesh-router
-// public-key certificates Cert_k = {MR_k, RPK_k, ExpT, Sig_NSK}, and the
-// signed certificate revocation list (CRL) broadcast in beacons.
+// operator's signing identity (NPK/NSK in the paper) and mesh-router
+// public-key certificates Cert_k = {MR_k, RPK_k, ExpT, Sig_NSK}. Router
+// revocation status (the paper's CRL) is distributed by the
+// internal/revocation subsystem; CheckCertificate takes a membership
+// predicate so this package stays independent of how the list travels.
 //
 // The paper specifies ECDSA-160; this implementation substitutes ECDSA
 // over NIST P-256 (the Go standard library's curve), which plays the same
@@ -17,7 +19,6 @@ import (
 	"fmt"
 	"io"
 	"math/big"
-	"sort"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/wire"
@@ -28,7 +29,6 @@ var (
 	ErrBadSignature = errors.New("cert: signature verification failed")
 	ErrExpired      = errors.New("cert: certificate expired")
 	ErrRevokedCert  = errors.New("cert: certificate revoked")
-	ErrStaleCRL     = errors.New("cert: CRL past its next-update time")
 	ErrMalformed    = errors.New("cert: malformed encoding")
 )
 
@@ -181,121 +181,18 @@ func UnmarshalCertificate(data []byte) (*Certificate, error) {
 	return c, nil
 }
 
-// CRL is the signed certificate revocation list for mesh routers. Entries
-// are subject IDs; the list carries issue and next-update times so clients
-// can detect stale lists (the paper's bound on how long a freshly revoked
-// router can keep phishing).
-type CRL struct {
-	Revoked    []string
-	IssuedAt   time.Time
-	NextUpdate time.Time
-	Signature  []byte
-}
-
-func (l *CRL) signedBody() []byte {
-	w := wire.NewWriter(64 + 16*len(l.Revoked))
-	w.StringField("peace/crl:v1")
-	w.Time(l.IssuedAt)
-	w.Time(l.NextUpdate)
-	w.Uint32(uint32(len(l.Revoked)))
-	for _, id := range l.Revoked {
-		w.StringField(id)
-	}
-	return w.Bytes()
-}
-
-// IssueCRL creates a signed CRL over the given revoked subject IDs. The
-// ID list is defensively copied and sorted for canonical encoding.
-func IssueCRL(rng io.Reader, authority *KeyPair, revoked []string, issuedAt time.Time, nextUpdate time.Time) (*CRL, error) {
-	ids := append([]string(nil), revoked...)
-	sort.Strings(ids)
-	l := &CRL{Revoked: ids, IssuedAt: issuedAt, NextUpdate: nextUpdate}
-	sig, err := authority.Sign(rng, l.signedBody())
-	if err != nil {
-		return nil, err
-	}
-	l.Signature = sig
-	return l, nil
-}
-
-// Verify checks the authority signature and freshness against now.
-func (l *CRL) Verify(authority PublicKey, now time.Time) error {
-	if err := authority.Verify(l.signedBody(), l.Signature); err != nil {
-		return err
-	}
-	if now.After(l.NextUpdate) {
-		return ErrStaleCRL
-	}
-	return nil
-}
-
-// Contains reports whether subjectID is revoked.
-func (l *CRL) Contains(subjectID string) bool {
-	i := sort.SearchStrings(l.Revoked, subjectID)
-	return i < len(l.Revoked) && l.Revoked[i] == subjectID
-}
-
-// CheckCertificate performs the full paper Step 2.1 router check: CRL
-// authenticity and freshness, certificate authenticity and expiry, and
-// revocation status.
-func CheckCertificate(c *Certificate, l *CRL, authority PublicKey, now time.Time) error {
-	if err := l.Verify(authority, now); err != nil {
-		return fmt.Errorf("crl: %w", err)
-	}
+// CheckCertificate performs the paper Step 2.1 router check: certificate
+// authenticity and expiry, and revocation status. revoked reports whether
+// a subject ID is on the current router revocation list — callers supply
+// their revocation.Store lookup (the store enforces list authenticity,
+// freshness and epoch monotonicity before anything is returned here). A
+// nil predicate skips the revocation check.
+func CheckCertificate(c *Certificate, revoked func(subjectID string) bool, authority PublicKey, now time.Time) error {
 	if err := c.Verify(authority, now); err != nil {
 		return err
 	}
-	if l.Contains(c.SubjectID) {
+	if revoked != nil && revoked(c.SubjectID) {
 		return ErrRevokedCert
 	}
 	return nil
-}
-
-// Marshal encodes the CRL.
-func (l *CRL) Marshal() []byte {
-	w := wire.NewWriter(128 + 16*len(l.Revoked))
-	w.Time(l.IssuedAt)
-	w.Time(l.NextUpdate)
-	w.Uint32(uint32(len(l.Revoked)))
-	for _, id := range l.Revoked {
-		w.StringField(id)
-	}
-	w.BytesField(l.Signature)
-	return w.Bytes()
-}
-
-// UnmarshalCRL decodes a CRL.
-func UnmarshalCRL(data []byte) (*CRL, error) {
-	r := wire.NewReader(data)
-	l := &CRL{}
-	var err error
-	if l.IssuedAt, err = r.Time(); err != nil {
-		return nil, err
-	}
-	if l.NextUpdate, err = r.Time(); err != nil {
-		return nil, err
-	}
-	// Each entry is a length-prefixed string (≥ 4 bytes); Count bounds the
-	// claimed entry count by the bytes actually present.
-	n, err := r.Count(4)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
-	}
-	l.Revoked = make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		id, err := r.StringField()
-		if err != nil {
-			return nil, err
-		}
-		l.Revoked = append(l.Revoked, id)
-	}
-	sig, err := r.BytesField()
-	if err != nil {
-		return nil, err
-	}
-	l.Signature = append([]byte(nil), sig...)
-	if err := r.Finish(); err != nil {
-		return nil, err
-	}
-	return l, nil
 }

@@ -84,44 +84,6 @@ func TestCertificateMarshalRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCRL(t *testing.T) {
-	no := newAuthority(t)
-	l, err := IssueCRL(rand.Reader, no, []string{"MR-9", "MR-3"}, testEpoch, testEpoch.Add(10*time.Minute))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := l.Verify(no.Public(), testEpoch.Add(time.Minute)); err != nil {
-		t.Fatal(err)
-	}
-	if !l.Contains("MR-3") || !l.Contains("MR-9") {
-		t.Fatal("revoked routers missing")
-	}
-	if l.Contains("MR-1") {
-		t.Fatal("innocent router reported revoked")
-	}
-	if err := l.Verify(no.Public(), testEpoch.Add(time.Hour)); !errors.Is(err, ErrStaleCRL) {
-		t.Fatalf("want ErrStaleCRL, got %v", err)
-	}
-}
-
-func TestCRLMarshalRoundTrip(t *testing.T) {
-	no := newAuthority(t)
-	l, err := IssueCRL(rand.Reader, no, []string{"a", "b", "c"}, testEpoch, testEpoch.Add(time.Hour))
-	if err != nil {
-		t.Fatal(err)
-	}
-	back, err := UnmarshalCRL(l.Marshal())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := back.Verify(no.Public(), testEpoch); err != nil {
-		t.Fatal(err)
-	}
-	if len(back.Revoked) != 3 || !back.Contains("b") {
-		t.Fatal("CRL round-trip mismatch")
-	}
-}
-
 func TestCheckCertificate(t *testing.T) {
 	no := newAuthority(t)
 	router := newAuthority(t)
@@ -133,16 +95,21 @@ func TestCheckCertificate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := IssueCRL(rand.Reader, no, []string{"MR-bad"}, testEpoch, testEpoch.Add(time.Hour))
-	if err != nil {
-		t.Fatal(err)
-	}
+	revoked := func(id string) bool { return id == "MR-bad" }
 
-	if err := CheckCertificate(good, l, no.Public(), testEpoch); err != nil {
+	if err := CheckCertificate(good, revoked, no.Public(), testEpoch); err != nil {
 		t.Fatalf("good cert rejected: %v", err)
 	}
-	if err := CheckCertificate(bad, l, no.Public(), testEpoch); !errors.Is(err, ErrRevokedCert) {
+	if err := CheckCertificate(bad, revoked, no.Public(), testEpoch); !errors.Is(err, ErrRevokedCert) {
 		t.Fatalf("want ErrRevokedCert, got %v", err)
+	}
+	// Expiry is still enforced ahead of the revocation predicate.
+	if err := CheckCertificate(good, revoked, no.Public(), testEpoch.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("want ErrExpired, got %v", err)
+	}
+	// A nil predicate checks authenticity and expiry only.
+	if err := CheckCertificate(bad, nil, no.Public(), testEpoch); err != nil {
+		t.Fatalf("nil predicate rejected valid cert: %v", err)
 	}
 }
 

@@ -16,6 +16,11 @@ var (
 	ErrBadAccessRequest = errors.New("peace: invalid access request")
 	// ErrRevokedUser indicates the signer's token appears in the URL.
 	ErrRevokedUser = errors.New("peace: user key revoked")
+	// ErrRevocationStale indicates the local revocation state is missing,
+	// expired, or behind what a beacon advertises; the caller should fetch
+	// the gaps reported by User.RevocationGaps (a delta or full snapshot)
+	// and retry.
+	ErrRevocationStale = errors.New("peace: revocation state stale or behind advertisement")
 	// ErrRevokedRouter indicates the router's certificate appears in the CRL.
 	ErrRevokedRouter = errors.New("peace: mesh router revoked")
 	// ErrBadConfirmation indicates an M.3 / M̃.3 that failed to decrypt or

@@ -3,12 +3,12 @@ package core
 import (
 	"crypto/sha256"
 	"fmt"
-	"io"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/puzzle"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 	"github.com/peace-mesh/peace/internal/wire"
 )
@@ -31,129 +31,34 @@ func NewSessionID(a, b *bn256.G1) SessionID {
 
 func (s SessionID) String() string { return fmt.Sprintf("%x", s[:8]) }
 
-// UserRevocationList is the paper's URL: the signed list of revocation
-// tokens for revoked group private keys, broadcast in every beacon.
-type UserRevocationList struct {
-	Tokens     []*sgs.RevocationToken
-	IssuedAt   time.Time
-	NextUpdate time.Time
-	Signature  []byte
-}
-
-func (l *UserRevocationList) signedBody() []byte {
-	w := wire.NewWriter(64 + len(l.Tokens)*bn256.G1Size)
-	w.StringField("peace/url:v1")
-	w.Time(l.IssuedAt)
-	w.Time(l.NextUpdate)
-	w.Uint32(uint32(len(l.Tokens)))
-	for _, t := range l.Tokens {
-		w.BytesField(t.Bytes())
-	}
-	return w.Bytes()
-}
-
-// Verify checks the operator signature and freshness.
-func (l *UserRevocationList) Verify(authority cert.PublicKey, now time.Time) error {
-	if err := authority.Verify(l.signedBody(), l.Signature); err != nil {
-		return fmt.Errorf("url: %w", err)
-	}
-	if now.After(l.NextUpdate) {
-		return fmt.Errorf("url: %w", cert.ErrStaleCRL)
-	}
-	return nil
-}
-
-// Marshal encodes the list.
-func (l *UserRevocationList) Marshal() []byte {
-	w := wire.NewWriter(96 + len(l.Tokens)*(bn256.G1Size+4))
-	w.Time(l.IssuedAt)
-	w.Time(l.NextUpdate)
-	w.Uint32(uint32(len(l.Tokens)))
-	for _, t := range l.Tokens {
-		w.BytesField(t.Bytes())
-	}
-	w.BytesField(l.Signature)
-	return w.Bytes()
-}
-
-// UnmarshalUserRevocationList decodes a list.
-func UnmarshalUserRevocationList(data []byte) (*UserRevocationList, error) {
-	r := wire.NewReader(data)
-	l := &UserRevocationList{}
-	var err error
-	if l.IssuedAt, err = r.Time(); err != nil {
-		return nil, err
-	}
-	if l.NextUpdate, err = r.Time(); err != nil {
-		return nil, err
-	}
-	// Each token is a length-prefixed G1 point, so a well-formed entry
-	// occupies at least 4+G1Size bytes; Count rejects hostile counts
-	// before the slice is sized from them.
-	n, err := r.Count(4 + bn256.G1Size)
-	if err != nil {
-		return nil, fmt.Errorf("url: %w", err)
-	}
-	l.Tokens = make([]*sgs.RevocationToken, 0, n)
-	for i := 0; i < n; i++ {
-		raw, err := r.BytesField()
-		if err != nil {
-			return nil, err
-		}
-		a, err := new(bn256.G1).Unmarshal(raw)
-		if err != nil {
-			return nil, fmt.Errorf("url token %d: %w", i, err)
-		}
-		l.Tokens = append(l.Tokens, &sgs.RevocationToken{A: a})
-	}
-	sig, err := r.BytesField()
-	if err != nil {
-		return nil, err
-	}
-	l.Signature = append([]byte(nil), sig...)
-	if err := r.Finish(); err != nil {
-		return nil, err
-	}
-	return l, nil
-}
-
-// signURL is used by the network operator when (re-)issuing the list.
-func signURL(rng io.Reader, authority *cert.KeyPair, tokens []*sgs.RevocationToken, issuedAt, nextUpdate time.Time) (*UserRevocationList, error) {
-	l := &UserRevocationList{
-		Tokens:     append([]*sgs.RevocationToken(nil), tokens...),
-		IssuedAt:   issuedAt,
-		NextUpdate: nextUpdate,
-	}
-	sig, err := authority.Sign(rng, l.signedBody())
-	if err != nil {
-		return nil, err
-	}
-	l.Signature = sig
-	return l, nil
-}
-
 // Beacon is message M.1: the periodically broadcast, router-signed service
-// announcement carrying the fresh DH parameters, the router certificate,
-// and the current CRL and URL (plus a client puzzle under DoS defense).
+// announcement carrying the fresh DH parameters and the router
+// certificate (plus a client puzzle under DoS defense). Instead of the
+// full marshaled CRL and URL of the paper's M.1, the beacon advertises
+// each list as a compact (epoch, digest, next-update) ref — O(1) bytes
+// regardless of list size; attaching users fetch missing snapshots or
+// deltas over the transport before handshaking.
 type Beacon struct {
 	RouterID  string
 	G         *bn256.G1 // fresh generator g
 	GR        *bn256.G1 // g^{r_R}
 	Timestamp time.Time // ts_1
 	Cert      *cert.Certificate
-	CRL       *cert.CRL
-	URL       *UserRevocationList
+	URLRef    revocation.Ref
+	CRLRef    revocation.Ref
 	Puzzle    *puzzle.Puzzle // nil unless DoS defense is active
 	Signature []byte         // Sig_{RSK_k} over the fields above
 }
 
 func (b *Beacon) signedBody() []byte {
 	w := wire.NewWriter(256)
-	w.StringField("peace/beacon:v1")
+	w.StringField("peace/beacon:v2")
 	w.StringField(b.RouterID)
 	w.BytesField(b.G.Marshal())
 	w.BytesField(b.GR.Marshal())
 	w.Time(b.Timestamp)
+	writeRef(w, b.URLRef)
+	writeRef(w, b.CRLRef)
 	if b.Puzzle != nil {
 		w.Byte(1)
 		w.BytesField(b.Puzzle.Marshal())
@@ -175,8 +80,8 @@ func (b *Beacon) Marshal() []byte {
 	w.BytesField(b.GR.Marshal())
 	w.Time(b.Timestamp)
 	w.BytesField(b.Cert.Marshal())
-	w.BytesField(b.CRL.Marshal())
-	w.BytesField(b.URL.Marshal())
+	writeRef(w, b.URLRef)
+	writeRef(w, b.CRLRef)
 	if b.Puzzle != nil {
 		w.Byte(1)
 		w.BytesField(b.Puzzle.Marshal())
@@ -211,19 +116,11 @@ func UnmarshalBeacon(data []byte) (*Beacon, error) {
 	if b.Cert, err = cert.UnmarshalCertificate(rawCert); err != nil {
 		return nil, fmt.Errorf("beacon cert: %w", err)
 	}
-	rawCRL, err := r.BytesField()
-	if err != nil {
-		return nil, err
+	if b.URLRef, err = readRef(r); err != nil {
+		return nil, fmt.Errorf("beacon url ref: %w", err)
 	}
-	if b.CRL, err = cert.UnmarshalCRL(rawCRL); err != nil {
-		return nil, fmt.Errorf("beacon crl: %w", err)
-	}
-	rawURL, err := r.BytesField()
-	if err != nil {
-		return nil, err
-	}
-	if b.URL, err = UnmarshalUserRevocationList(rawURL); err != nil {
-		return nil, fmt.Errorf("beacon url: %w", err)
+	if b.CRLRef, err = readRef(r); err != nil {
+		return nil, fmt.Errorf("beacon crl ref: %w", err)
 	}
 	hasPuzzle, err := r.Byte()
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 )
 
@@ -18,6 +19,12 @@ type NetworkOperator struct {
 	cfg     Config
 	issuer  *sgs.Issuer
 	signKey *cert.KeyPair
+
+	// urlAuthority / crlAuthority issue the epoch-numbered revocation
+	// snapshots and deltas for the two lists. They keep their own locks;
+	// callers must not hold n.mu across Issue.
+	urlAuthority *revocation.Authority
+	crlAuthority *revocation.Authority
 
 	mu sync.Mutex
 	// epoch is the current group-key epoch (bumped by RotateGroupSecret).
@@ -79,14 +86,24 @@ func NewNetworkOperator(cfg Config) (*NetworkOperator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("operator: %w", err)
 	}
+	urlAuth, err := revocation.NewAuthority(revocation.ListURL, kp, cfg.Rand, revocation.DefaultHistory)
+	if err != nil {
+		return nil, fmt.Errorf("operator: %w", err)
+	}
+	crlAuth, err := revocation.NewAuthority(revocation.ListCRL, kp, cfg.Rand, revocation.DefaultHistory)
+	if err != nil {
+		return nil, fmt.Errorf("operator: %w", err)
+	}
 	return &NetworkOperator{
-		cfg:         cfg,
-		issuer:      issuer,
-		signKey:     kp,
-		groups:      make(map[GroupID]*groupRecord),
-		routers:     make(map[string]*cert.Certificate),
-		gmReceipts:  make(map[GroupID]receiptRecord),
-		ttpReceipts: make(map[GroupID]receiptRecord),
+		cfg:          cfg,
+		issuer:       issuer,
+		signKey:      kp,
+		urlAuthority: urlAuth,
+		crlAuthority: crlAuth,
+		groups:       make(map[GroupID]*groupRecord),
+		routers:      make(map[string]*cert.Certificate),
+		gmReceipts:   make(map[GroupID]receiptRecord),
+		ttpReceipts:  make(map[GroupID]receiptRecord),
 	}, nil
 }
 
@@ -232,18 +249,21 @@ func (n *NetworkOperator) RevokeAudited(res AuditResult) error {
 	return nil
 }
 
-// CurrentCRL issues a freshly signed router CRL.
-func (n *NetworkOperator) CurrentCRL() (*cert.CRL, error) {
+// CRLBundle issues the current router-CRL snapshot plus the deltas
+// leading to it from recent epochs. The epoch only advances when the
+// revoked set actually changed since the last issue.
+func (n *NetworkOperator) CRLBundle() (*revocation.Bundle, error) {
 	n.mu.Lock()
-	revoked := append([]string(nil), n.revokedRouters...)
+	entries := crlEntries(n.revokedRouters)
 	n.mu.Unlock()
 	now := n.cfg.Clock.Now()
-	return cert.IssueCRL(n.cfg.Rand, n.signKey, revoked, now, now.Add(n.cfg.RevocationUpdatePeriod))
+	return n.crlAuthority.Issue(entries, now, now.Add(n.cfg.RevocationUpdatePeriod))
 }
 
-// CurrentURL issues a freshly signed user revocation list, pruning
-// entries whose membership period has lapsed.
-func (n *NetworkOperator) CurrentURL() (*UserRevocationList, error) {
+// URLBundle issues the current user-revocation snapshot plus deltas,
+// pruning entries whose membership period has lapsed (the paper's
+// proactive URL-size control).
+func (n *NetworkOperator) URLBundle() (*revocation.Bundle, error) {
 	now := n.cfg.Clock.Now()
 	n.mu.Lock()
 	kept := n.revokedUsers[:0]
@@ -257,7 +277,19 @@ func (n *NetworkOperator) CurrentURL() (*UserRevocationList, error) {
 	}
 	n.revokedUsers = kept
 	n.mu.Unlock()
-	return signURL(n.cfg.Rand, n.signKey, tokens, now, now.Add(n.cfg.RevocationUpdatePeriod))
+	return n.urlAuthority.Issue(urlEntries(tokens), now, now.Add(n.cfg.RevocationUpdatePeriod))
+}
+
+// RevocationBundles issues both lists' bundles in one call, in the order
+// (crl, url) that router updates expect.
+func (n *NetworkOperator) RevocationBundles() (crl, url *revocation.Bundle, err error) {
+	if crl, err = n.CRLBundle(); err != nil {
+		return nil, nil, err
+	}
+	if url, err = n.URLBundle(); err != nil {
+		return nil, nil, err
+	}
+	return crl, url, nil
 }
 
 // GrtSize returns the number of issued tokens (|grt|).

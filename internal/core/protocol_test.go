@@ -156,9 +156,13 @@ func TestRogueRouterRejectedByUser(t *testing.T) {
 		t.Fatal(err)
 	}
 	rogue.SetCertificate(selfCert)
-	crl, _ := tb.no.CurrentCRL()
-	url, _ := tb.no.CurrentURL()
-	rogue.UpdateRevocations(crl, url)
+	crl, url, err := tb.no.RevocationBundles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rogue.UpdateRevocations(crl, url); err != nil {
+		t.Fatal(err)
+	}
 
 	beacon, err := rogue.Beacon()
 	if err != nil {

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/revocation"
+	"github.com/peace-mesh/peace/internal/sgs"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// This file is the glue between the protocol core and the unified
+// revocation subsystem (internal/revocation). Both PEACE lists live in
+// that package as opaque canonical entry sets; here we fix what an entry
+// is: URL entries are 64-byte marshaled revocation tokens, CRL entries
+// are router subject-ID bytes.
+
+// urlEntries converts revocation tokens to snapshot entries.
+func urlEntries(tokens []*sgs.RevocationToken) [][]byte {
+	out := make([][]byte, 0, len(tokens))
+	for _, t := range tokens {
+		out = append(out, t.Bytes())
+	}
+	return out
+}
+
+// crlEntries converts router subject IDs to snapshot entries.
+func crlEntries(ids []string) [][]byte {
+	out := make([][]byte, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, []byte(id))
+	}
+	return out
+}
+
+// parseURLTokens decodes a URL snapshot's entries back into revocation
+// tokens. Entry order is the snapshot's canonical (byte-sorted) order, so
+// a match index from a sweep refers to the same position on any node
+// holding the same epoch.
+func parseURLTokens(snap *revocation.Snapshot) ([]*sgs.RevocationToken, error) {
+	tokens := make([]*sgs.RevocationToken, 0, len(snap.Entries))
+	for i, e := range snap.Entries {
+		a, err := new(bn256.G1).Unmarshal(e)
+		if err != nil {
+			return nil, fmt.Errorf("url entry %d: %w", i, err)
+		}
+		tokens = append(tokens, &sgs.RevocationToken{A: a})
+	}
+	return tokens, nil
+}
+
+// writeRef appends a revocation ref (epoch, digest, next-update) to a
+// wire message — the beacon's O(1) advertisement of a list state.
+func writeRef(w *wire.Writer, ref revocation.Ref) {
+	w.Uint64(ref.Epoch)
+	w.BytesField(ref.Digest[:])
+	w.Time(ref.NextUpdate)
+}
+
+// readRef decodes a revocation ref written by writeRef.
+func readRef(r *wire.Reader) (revocation.Ref, error) {
+	var ref revocation.Ref
+	var err error
+	if ref.Epoch, err = r.Uint64(); err != nil {
+		return ref, err
+	}
+	d, err := r.BytesField()
+	if err != nil {
+		return ref, err
+	}
+	if len(d) != revocation.DigestSize {
+		return ref, fmt.Errorf("revocation ref: digest size %d", len(d))
+	}
+	copy(ref.Digest[:], d)
+	if ref.NextUpdate, err = r.Time(); err != nil {
+		return ref, err
+	}
+	return ref, nil
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"testing/quick"
+
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 // The unmarshalers face attacker-controlled bytes from the radio medium:
@@ -39,8 +41,12 @@ func TestUnmarshalersNeverPanicOnRandomBytes(t *testing.T) {
 			_, err := UnmarshalDataFrame(b)
 			return err
 		},
-		"URL": func(b []byte) error {
-			_, err := UnmarshalUserRevocationList(b)
+		"RevocationSnapshot": func(b []byte) error {
+			_, err := revocation.UnmarshalSnapshot(b)
+			return err
+		},
+		"RevocationDelta": func(b []byte) error {
+			_, err := revocation.UnmarshalDelta(b)
 			return err
 		},
 	}

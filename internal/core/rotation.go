@@ -48,11 +48,17 @@ func (n *NetworkOperator) RotateGroupSecret() (*sgs.PublicKey, error) {
 }
 
 // UpdateGroupKey installs a new-epoch group public key on a router. Any
-// signature under the previous gpk stops verifying.
+// signature under the previous gpk stops verifying. The revocation sweep
+// cache is rebuilt for the new key from the currently installed URL
+// snapshot (its verifier tables and fast index are gpk-specific).
 func (r *MeshRouter) UpdateGroupKey(gpk *sgs.PublicKey) {
+	sweep := sgs.NewSweepState(gpk)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.gpk = gpk
+	r.sweep = sweep
+	r.mu.Unlock()
+	// Best effort: entries were validated when the snapshot was installed.
+	_ = r.refreshSweep()
 }
 
 // UpdateGroupKey installs a new-epoch group public key on a user. All

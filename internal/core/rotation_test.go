@@ -64,12 +64,12 @@ func TestGroupKeyRotationCutsOffRevokedUser(t *testing.T) {
 	}
 
 	// And the URL is empty under the new epoch — revocation by omission.
-	url, err := tb.no.CurrentURL()
+	url, err := tb.no.URLBundle()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(url.Tokens) != 0 {
-		t.Fatalf("URL has %d tokens after rotation, want 0", len(url.Tokens))
+	if len(url.Snapshot.Entries) != 0 {
+		t.Fatalf("URL has %d entries after rotation, want 0", len(url.Snapshot.Entries))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/puzzle"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 	"github.com/peace-mesh/peace/internal/symcrypto"
 	"github.com/peace-mesh/peace/internal/wire"
@@ -29,8 +30,9 @@ type RouterStats struct {
 
 // MeshRouter is a PEACE mesh router MR_k: it broadcasts signed beacons
 // (M.1), answers access requests (M.2 → M.3), and maintains the sessions
-// of attached users. Routers receive CRL/URL updates from the operator
-// over the pre-established secure channel (modeled as direct calls).
+// of attached users. Routers receive epoch-numbered CRL/URL snapshot and
+// delta updates from the operator over the pre-established secure channel
+// (modeled as direct calls) and serve them to attaching users.
 type MeshRouter struct {
 	cfg     Config
 	id      string
@@ -39,14 +41,17 @@ type MeshRouter struct {
 	noPub   cert.PublicKey
 	gpk     *sgs.PublicKey
 
-	// verifier is the precomputed-table signature verifier, built lazily
-	// on the first batch so routers that never see bursts pay nothing.
-	verifierOnce sync.Once
-	verifier     *sgs.Verifier
+	// urlStore / crlStore hold the installed revocation snapshots plus the
+	// bounded per-epoch delta cache served to attaching users. They keep
+	// their own locks; never hold r.mu across their methods.
+	urlStore *revocation.Store
+	crlStore *revocation.Store
 
-	mu          sync.Mutex
-	crl         *cert.CRL
-	url         *UserRevocationList
+	mu sync.Mutex
+	// sweep is the epoch-keyed revocation sweep cache (shared verifier,
+	// parsed tokens, per-epoch fast index). Guarded by mu because group-key
+	// rotation replaces it wholesale; the state itself is concurrency-safe.
+	sweep       *sgs.SweepState
 	outstanding map[string]*beaconState // keyed by marshaled g^{r_R}
 	sessions    map[SessionID]*Session
 	// sessionLog is the paper's "network log file": the authentication
@@ -79,12 +84,23 @@ func NewMeshRouter(cfg Config, id string, noPub cert.PublicKey, gpk *sgs.PublicK
 	if err != nil {
 		return nil, fmt.Errorf("router %q: %w", id, err)
 	}
+	urlStore, err := revocation.NewStore(revocation.ListURL, noPub)
+	if err != nil {
+		return nil, fmt.Errorf("router %q: %w", id, err)
+	}
+	crlStore, err := revocation.NewStore(revocation.ListCRL, noPub)
+	if err != nil {
+		return nil, fmt.Errorf("router %q: %w", id, err)
+	}
 	return &MeshRouter{
 		cfg:         cfg,
 		id:          id,
 		keyPair:     kp,
 		noPub:       noPub,
 		gpk:         gpk,
+		urlStore:    urlStore,
+		crlStore:    crlStore,
+		sweep:       sgs.NewSweepState(gpk),
 		outstanding: make(map[string]*beaconState),
 		sessions:    make(map[SessionID]*Session),
 		sessionLog:  make(map[SessionID]*AccessRequest),
@@ -104,13 +120,76 @@ func (r *MeshRouter) SetCertificate(c *cert.Certificate) {
 	r.cert = c
 }
 
-// UpdateRevocations installs fresh CRL/URL copies (the periodic secure
-// channel from the operator).
-func (r *MeshRouter) UpdateRevocations(crl *cert.CRL, url *UserRevocationList) {
+// UpdateRevocations installs fresh CRL/URL bundles (the periodic secure
+// channel from the operator). Installation is epoch-monotonic: a bundle
+// carrying an older epoch — or a same-epoch snapshot re-issued with an
+// earlier IssuedAt — is refused with revocation.ErrRollback and leaves
+// the installed state untouched. Either bundle may be nil to update just
+// one list. On a URL change the revocation sweep cache is re-keyed to the
+// new epoch.
+func (r *MeshRouter) UpdateRevocations(crl, url *revocation.Bundle) error {
+	now := r.cfg.Clock.Now()
+	if crl != nil {
+		if err := r.crlStore.InstallBundle(crl, now); err != nil {
+			return fmt.Errorf("router %q: crl update: %w", r.id, err)
+		}
+	}
+	if url != nil {
+		if err := r.urlStore.InstallBundle(url, now); err != nil {
+			return fmt.Errorf("router %q: url update: %w", r.id, err)
+		}
+		if err := r.refreshSweep(); err != nil {
+			return fmt.Errorf("router %q: url update: %w", r.id, err)
+		}
+	}
+	return nil
+}
+
+// refreshSweep re-keys the sweep cache from the currently installed URL
+// snapshot.
+func (r *MeshRouter) refreshSweep() error {
+	snap, ok := r.urlStore.Current()
+	if !ok {
+		return nil
+	}
+	tokens, err := parseURLTokens(snap)
+	if err != nil {
+		return err
+	}
+	r.sweepState().Update(snap.Epoch, tokens)
+	return nil
+}
+
+// sweepState returns the current sweep cache (rotation swaps it).
+func (r *MeshRouter) sweepState() *sgs.SweepState {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.crl = crl
-	r.url = url
+	return r.sweep
+}
+
+// RevocationSnapshot returns the installed snapshot for one list, for
+// serving full-state fetches to attaching users.
+func (r *MeshRouter) RevocationSnapshot(l revocation.List) (*revocation.Snapshot, bool) {
+	return r.store(l).Current()
+}
+
+// RevocationDelta returns the cached delta from fromEpoch to the current
+// epoch of one list, if the operator's bounded history still covers it.
+func (r *MeshRouter) RevocationDelta(l revocation.List, fromEpoch uint64) (*revocation.Delta, bool) {
+	return r.store(l).DeltaFrom(fromEpoch)
+}
+
+// RevocationEpoch returns the installed epoch of one list (0 when nothing
+// is installed yet).
+func (r *MeshRouter) RevocationEpoch(l revocation.List) uint64 {
+	return r.store(l).Epoch()
+}
+
+func (r *MeshRouter) store(l revocation.List) *revocation.Store {
+	if l == revocation.ListCRL {
+		return r.crlStore
+	}
+	return r.urlStore
 }
 
 // SetDoSDefense toggles the client-puzzle mode of Section V.A.
@@ -143,20 +222,21 @@ func (r *MeshRouter) SessionByID(id SessionID) (*Session, bool) {
 }
 
 // Beacon produces message M.1: fresh (g, g^{r_R}), timestamp, signature,
-// certificate, CRL and URL — plus a client puzzle when DoS defense is on.
+// certificate and the compact (epoch, digest, next-update) refs of the
+// current CRL and URL — plus a client puzzle when DoS defense is on.
 func (r *MeshRouter) Beacon() (*Beacon, error) {
 	r.mu.Lock()
 	r.observeTick(r.cfg.Clock.Now())
 	certCopy := r.cert
-	crl := r.crl
-	url := r.url
 	dos := r.dosDefense
 	r.mu.Unlock()
 
 	if certCopy == nil {
 		return nil, fmt.Errorf("router %q: no certificate installed", r.id)
 	}
-	if crl == nil || url == nil {
+	urlSnap, urlOK := r.urlStore.Current()
+	crlSnap, crlOK := r.crlStore.Current()
+	if !urlOK || !crlOK {
 		return nil, fmt.Errorf("router %q: no revocation lists installed", r.id)
 	}
 
@@ -179,8 +259,8 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 		GR:        gr,
 		Timestamp: now,
 		Cert:      certCopy,
-		CRL:       crl,
-		URL:       url,
+		URLRef:    urlSnap.Ref(),
+		CRLRef:    crlSnap.Ref(),
 	}
 	if dos {
 		p, err := puzzle.New(r.cfg.Rand, r.cfg.PuzzleDifficulty, r.id, now)
@@ -208,13 +288,10 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 	return b, nil
 }
 
-// batchVerifier returns the precomputed-table verifier, building it on
-// first use.
+// batchVerifier returns the precomputed-table verifier owned by the sweep
+// cache, building it on first use.
 func (r *MeshRouter) batchVerifier() *sgs.Verifier {
-	r.verifierOnce.Do(func() {
-		r.verifier = sgs.NewVerifier(r.gpk)
-	})
-	return r.verifier
+	return r.sweepState().Verifier()
 }
 
 // HandleAccessRequest processes message M.2 (paper Step 3): freshness,
@@ -222,7 +299,7 @@ func (r *MeshRouter) batchVerifier() *sgs.Verifier {
 // verification (Eq.2), URL revocation scan (Eq.3), key computation and the
 // M.3 confirmation.
 func (r *MeshRouter) HandleAccessRequest(m *AccessRequest) (*AccessConfirm, *Session, error) {
-	st, url, now, err := r.precheckAccessRequest(m)
+	st, now, err := r.precheckAccessRequest(m)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -235,12 +312,10 @@ func (r *MeshRouter) HandleAccessRequest(m *AccessRequest) (*AccessConfirm, *Ses
 		return nil, nil, fmt.Errorf("router %q: %w: %v", r.id, ErrBadAccessRequest, err)
 	}
 
-	// Step 3.3: URL revocation scan.
-	if url != nil && len(url.Tokens) > 0 {
-		if revoked, _ := sgs.IsRevoked(r.gpk, transcript, m.Sig, url.Tokens); revoked {
-			r.bump(func(s *RouterStats) { s.RejectedRevoked++ })
-			return nil, nil, fmt.Errorf("router %q: %w", r.id, ErrRevokedUser)
-		}
+	// Step 3.3: URL revocation scan against the cached epoch state.
+	if revoked, _ := r.sweepState().Check(transcript, m.Sig); revoked {
+		r.bump(func(s *RouterStats) { s.RejectedRevoked++ })
+		return nil, nil, fmt.Errorf("router %q: %w", r.id, ErrRevokedUser)
 	}
 
 	return r.establishSession(m, st, now)
@@ -265,17 +340,16 @@ func (r *MeshRouter) HandleAccessRequestBatch(ms []*AccessRequest) []AccessResul
 	out := make([]AccessResult, len(ms))
 	states := make([]*beaconState, len(ms))
 	times := make([]time.Time, len(ms))
-	var url *UserRevocationList
 
 	items := make([]sgs.BatchItem, 0, len(ms))
 	idxs := make([]int, 0, len(ms))
 	for i, m := range ms {
-		st, u, now, err := r.precheckAccessRequest(m)
+		st, now, err := r.precheckAccessRequest(m)
 		if err != nil {
 			out[i].Err = err
 			continue
 		}
-		states[i], times[i], url = st, now, u
+		states[i], times[i] = st, now
 		items = append(items, sgs.BatchItem{Msg: m.SignedTranscript(), Sig: m.Sig})
 		idxs = append(idxs, i)
 	}
@@ -283,9 +357,9 @@ func (r *MeshRouter) HandleAccessRequestBatch(ms []*AccessRequest) []AccessResul
 		return out
 	}
 
-	ver := r.batchVerifier()
+	sweep := r.sweepState()
 	r.bump(func(s *RouterStats) { s.ExpensiveVerifications += len(items) })
-	errs := ver.BatchVerify(items)
+	errs := sweep.Verifier().BatchVerify(items)
 
 	for j, verr := range errs {
 		i := idxs[j]
@@ -300,12 +374,10 @@ func (r *MeshRouter) HandleAccessRequestBatch(ms []*AccessRequest) []AccessResul
 			out[i].Err = fmt.Errorf("router %q: %w: %v", r.id, ErrBadAccessRequest, verr)
 			continue
 		}
-		if url != nil && len(url.Tokens) > 0 {
-			if revoked, _ := ver.SweepURL(items[j].Msg, m.Sig, url.Tokens); revoked {
-				r.bump(func(s *RouterStats) { s.RejectedRevoked++ })
-				out[i].Err = fmt.Errorf("router %q: %w", r.id, ErrRevokedUser)
-				continue
-			}
+		if revoked, _ := sweep.Check(items[j].Msg, m.Sig); revoked {
+			r.bump(func(s *RouterStats) { s.RejectedRevoked++ })
+			out[i].Err = fmt.Errorf("router %q: %w", r.id, ErrRevokedUser)
+			continue
 		}
 		confirm, sess, err := r.establishSession(m, states[i], times[i])
 		out[i] = AccessResult{Confirm: confirm, Session: sess, Err: err}
@@ -314,13 +386,12 @@ func (r *MeshRouter) HandleAccessRequestBatch(ms []*AccessRequest) []AccessResul
 }
 
 // precheckAccessRequest runs the cheap, pre-pairing checks of Step 3.1
-// (and the optional puzzle gate) and returns the matched beacon state, the
-// URL snapshot and the arrival time.
-func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, *UserRevocationList, time.Time, error) {
+// (and the optional puzzle gate) and returns the matched beacon state and
+// the arrival time.
+func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, time.Time, error) {
 	r.mu.Lock()
 	r.stats.RequestsSeen++
 	st := r.outstanding[string(m.GR.Marshal())]
-	url := r.url
 	dos := r.dosDefense
 	now := r.cfg.Clock.Now()
 	r.mu.Unlock()
@@ -328,11 +399,11 @@ func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, *Use
 	// Step 3.1: freshness of g^{r_R} and ts_2.
 	if st == nil || st.expired {
 		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
-		return nil, nil, now, fmt.Errorf("router %q: unknown g^rR: %w", r.id, ErrReplay)
+		return nil, now, fmt.Errorf("router %q: unknown g^rR: %w", r.id, ErrReplay)
 	}
 	if !fresh(r.cfg, now, m.Timestamp) {
 		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
-		return nil, nil, now, fmt.Errorf("router %q: ts2: %w", r.id, ErrReplay)
+		return nil, now, fmt.Errorf("router %q: ts2: %w", r.id, ErrReplay)
 	}
 
 	// DoS defense: verify the puzzle solution before committing to any
@@ -340,14 +411,14 @@ func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, *Use
 	if dos && st.puzzle != nil {
 		if !m.HasSolution {
 			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
-			return nil, nil, now, fmt.Errorf("router %q: %w", r.id, ErrPuzzleRequired)
+			return nil, now, fmt.Errorf("router %q: %w", r.id, ErrPuzzleRequired)
 		}
 		if err := st.puzzle.Verify(m.Solution, now, r.cfg.PuzzleMaxAge); err != nil {
 			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
-			return nil, nil, now, fmt.Errorf("router %q: %w: %v", r.id, ErrPuzzleRequired, err)
+			return nil, now, fmt.Errorf("router %q: %w: %v", r.id, ErrPuzzleRequired, err)
 		}
 	}
-	return st, url, now, nil
+	return st, now, nil
 }
 
 // establishSession runs Step 3.4 for an authenticated request:

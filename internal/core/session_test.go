@@ -6,6 +6,9 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"github.com/peace-mesh/peace/internal/revocation"
+	"github.com/peace-mesh/peace/internal/sgs"
 )
 
 func testSessionPair(t *testing.T) (*Session, *Session) {
@@ -157,49 +160,127 @@ func TestRefreshURL(t *testing.T) {
 		t.Fatal(err)
 	}
 	tb.no.RevokeUserKey(tok)
-	url, err := tb.no.CurrentURL()
+	bundle, err := tb.no.URLBundle()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := u.RefreshURL(url); err != nil {
+	before := u.RevocationEpoch(revocation.ListURL)
+	if err := u.RefreshURL(bundle.Snapshot); err != nil {
 		t.Fatal(err)
 	}
+	if got := u.RevocationEpoch(revocation.ListURL); got != before+1 {
+		t.Fatalf("url epoch = %d after refresh, want %d", got, before+1)
+	}
 
-	// A forged URL (unsigned) is rejected.
-	forged := &UserRevocationList{
-		IssuedAt:   tb.clock.Now(),
-		NextUpdate: tb.clock.Now().Add(time.Hour),
-		Signature:  []byte{0x30, 0x00},
+	// A forged snapshot (epoch bumped without re-signing) is rejected.
+	forged := &revocation.Snapshot{
+		List:       bundle.Snapshot.List,
+		Epoch:      bundle.Snapshot.Epoch + 1,
+		IssuedAt:   bundle.Snapshot.IssuedAt,
+		NextUpdate: bundle.Snapshot.NextUpdate,
+		Entries:    bundle.Snapshot.Entries,
+		Signature:  bundle.Snapshot.Signature,
 	}
 	if err := u.RefreshURL(forged); err == nil {
-		t.Fatal("forged URL accepted")
+		t.Fatal("forged URL snapshot accepted")
+	}
+	// A CRL snapshot is refused by RefreshURL (wrong list).
+	crl, err := tb.no.CRLBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.RefreshURL(crl.Snapshot); !errors.Is(err, revocation.ErrMalformed) {
+		t.Fatalf("CRL snapshot via RefreshURL: %v", err)
 	}
 }
 
-func TestURLMarshalRoundTrip(t *testing.T) {
+// TestRevocationAntiRollback pins the epoch-monotonic swap on both the
+// router and user installers: an older snapshot never displaces a newer
+// one, and an expired snapshot is refused outright.
+func TestRevocationAntiRollback(t *testing.T) {
+	tb := newTestbed(t, 1, 2, 1)
+	u := tb.user("0", 1)
+	r := tb.routers["MR-0"]
+
+	old, err := tb.no.URLBundle() // epoch as installed by newTestbed
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := tb.no.TokenOf("grp-0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.no.RevokeUserKey(tok)
+	tb.pushRevocations(t) // installs the new epoch everywhere
+
+	// Rollback to the pre-revocation snapshot must be refused.
+	if err := u.RefreshURL(old.Snapshot); !errors.Is(err, revocation.ErrRollback) {
+		t.Fatalf("user accepted URL rollback: %v", err)
+	}
+	if err := r.UpdateRevocations(nil, old); !errors.Is(err, revocation.ErrRollback) {
+		t.Fatalf("router accepted URL rollback: %v", err)
+	}
+	// The revoked token is still screened after the refused rollback.
+	fresh, err := tb.no.URLBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, ok := r.RevocationSnapshot(revocation.ListURL); !ok || snap.Epoch != fresh.Snapshot.Epoch {
+		t.Fatal("router URL state damaged by refused rollback")
+	}
+
+	// An expired snapshot is refused even at a newer epoch.
+	tb.no.RevokeUserKey(mustToken(t, tb, "grp-0", 1))
+	expired, err := tb.no.URLBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.clock.Advance(24 * time.Hour) // past NextUpdate
+	if err := u.RefreshURL(expired.Snapshot); !errors.Is(err, revocation.ErrStale) {
+		t.Fatalf("user accepted expired URL: %v", err)
+	}
+	if err := r.UpdateRevocations(nil, expired); !errors.Is(err, revocation.ErrStale) {
+		t.Fatalf("router accepted expired URL: %v", err)
+	}
+}
+
+func mustToken(t testing.TB, tb *testbed, group GroupID, idx int) *sgs.RevocationToken {
+	t.Helper()
+	tok, err := tb.no.TokenOf(group, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func TestURLSnapshotMarshalRoundTrip(t *testing.T) {
 	tb := newTestbed(t, 1, 2, 1)
 	tok, err := tb.no.TokenOf("grp-0", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tb.no.RevokeUserKey(tok)
-	url, err := tb.no.CurrentURL()
+	bundle, err := tb.no.URLBundle()
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := UnmarshalUserRevocationList(url.Marshal())
+	back, err := revocation.UnmarshalSnapshot(bundle.Snapshot.Marshal())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Tokens) != 1 || !back.Tokens[0].Equal(tok) {
-		t.Fatal("URL round-trip token mismatch")
+	toks, err := parseURLTokens(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || !toks[0].Equal(tok) {
+		t.Fatal("URL snapshot round-trip token mismatch")
 	}
 	if err := back.Verify(tb.no.Authority(), tb.clock.Now()); err != nil {
 		t.Fatal(err)
 	}
-	// Stale URL rejected.
-	tb.clock.Advance(time.Hour)
-	if err := back.Verify(tb.no.Authority(), tb.clock.Now()); err == nil {
-		t.Fatal("stale URL verified")
+	// Stale snapshot rejected.
+	tb.clock.Advance(24 * time.Hour)
+	if err := back.Verify(tb.no.Authority(), tb.clock.Now()); !errors.Is(err, revocation.ErrStale) {
+		t.Fatalf("stale URL snapshot verified: %v", err)
 	}
 }

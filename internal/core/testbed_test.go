@@ -101,19 +101,27 @@ func newTestbed(t testing.TB, groups, usersPerGroup, routers int) *testbed {
 	return tb
 }
 
-// pushRevocations distributes fresh CRL/URL to every router.
+// pushRevocations distributes fresh CRL/URL snapshot bundles to every
+// router and every user (in deployments users converge via the transport's
+// delta fetches; the testbed models that secure channel as direct calls).
 func (tb *testbed) pushRevocations(t testing.TB) {
 	t.Helper()
-	crl, err := tb.no.CurrentCRL()
-	if err != nil {
-		t.Fatal(err)
-	}
-	url, err := tb.no.CurrentURL()
+	crl, url, err := tb.no.RevocationBundles()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range tb.routers {
-		r.UpdateRevocations(crl, url)
+		if err := r.UpdateRevocations(crl, url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range tb.users {
+		if err := u.InstallRevocationSnapshot(crl.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.InstallRevocationSnapshot(url.Snapshot); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -22,25 +22,34 @@ func TestURLSizeControlPrunesLapsedMemberships(t *testing.T) {
 	tb.no.RevokeUserKeyUntil(tok0, tb.clock.Now().Add(time.Hour))
 	tb.no.RevokeUserKey(tok1)
 
-	url, err := tb.no.CurrentURL()
+	url, err := tb.no.URLBundle()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(url.Tokens) != 2 {
-		t.Fatalf("URL size = %d, want 2", len(url.Tokens))
+	if len(url.Snapshot.Entries) != 2 {
+		t.Fatalf("URL size = %d, want 2", len(url.Snapshot.Entries))
 	}
+	firstEpoch := url.Snapshot.Epoch
 
-	// After the membership period, the bounded entry is pruned.
+	// After the membership period, the bounded entry is pruned — and the
+	// set change advances the epoch.
 	tb.clock.Advance(2 * time.Hour)
-	url, err = tb.no.CurrentURL()
+	url, err = tb.no.URLBundle()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(url.Tokens) != 1 {
-		t.Fatalf("URL size after lapse = %d, want 1", len(url.Tokens))
+	toks, err := parseURLTokens(url.Snapshot)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !url.Tokens[0].Equal(tok1) {
+	if len(toks) != 1 {
+		t.Fatalf("URL size after lapse = %d, want 1", len(toks))
+	}
+	if !toks[0].Equal(tok1) {
 		t.Fatal("wrong token pruned")
+	}
+	if url.Snapshot.Epoch <= firstEpoch {
+		t.Fatalf("epoch did not advance on prune: %d -> %d", firstEpoch, url.Snapshot.Epoch)
 	}
 }
 
@@ -54,12 +63,12 @@ func TestRevocationUpgradeToForever(t *testing.T) {
 	tb.no.RevokeUserKey(tok) // upgraded to permanent
 
 	tb.clock.Advance(time.Hour)
-	url, err := tb.no.CurrentURL()
+	url, err := tb.no.URLBundle()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(url.Tokens) != 1 {
-		t.Fatalf("permanent revocation pruned (URL size %d)", len(url.Tokens))
+	if len(url.Snapshot.Entries) != 1 {
+		t.Fatalf("permanent revocation pruned (URL size %d)", len(url.Snapshot.Entries))
 	}
 }
 

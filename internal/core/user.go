@@ -8,6 +8,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 	"github.com/peace-mesh/peace/internal/symcrypto"
 	"github.com/peace-mesh/peace/internal/wire"
@@ -42,11 +43,18 @@ type User struct {
 	pendingRouter map[SessionID]*pendingRouterAuth
 	// pendingPeer tracks in-flight user–user AKAs (initiator side).
 	pendingPeer map[string]*pendingPeerAuth // keyed by marshaled g^{r_j}
-	// lastURL caches the most recent URL seen in a valid beacon, used to
-	// screen peers in user–user authentication.
-	lastURL *UserRevocationList
 	// lastG caches the serving router's generator g for peer protocols.
 	lastG *bn256.G1
+	// urlTokens caches the parsed revocation tokens of the installed URL
+	// snapshot epoch, used to screen peers in user–user authentication.
+	urlTokens      []*sgs.RevocationToken
+	urlTokensEpoch uint64
+
+	// urlStore / crlStore hold the epoch-numbered revocation snapshots the
+	// user converges onto via deltas fetched when a beacon advertises a
+	// newer (epoch, digest). Own locks; never hold u.mu across them.
+	urlStore *revocation.Store
+	crlStore *revocation.Store
 }
 
 type pendingRouterAuth struct {
@@ -69,6 +77,14 @@ func NewUser(cfg Config, identity Identity, noPub cert.PublicKey, gpk *sgs.Publi
 	if err != nil {
 		return nil, fmt.Errorf("user %q: %w", identity.Essential, err)
 	}
+	urlStore, err := revocation.NewStore(revocation.ListURL, noPub)
+	if err != nil {
+		return nil, fmt.Errorf("user %q: %w", identity.Essential, err)
+	}
+	crlStore, err := revocation.NewStore(revocation.ListCRL, noPub)
+	if err != nil {
+		return nil, fmt.Errorf("user %q: %w", identity.Essential, err)
+	}
 	return &User{
 		cfg:                cfg,
 		identity:           identity,
@@ -80,6 +96,8 @@ func NewUser(cfg Config, identity Identity, noPub cert.PublicKey, gpk *sgs.Publi
 		sessions:           make(map[SessionID]*Session),
 		pendingRouter:      make(map[SessionID]*pendingRouterAuth),
 		pendingPeer:        make(map[string]*pendingPeerAuth),
+		urlStore:           urlStore,
+		crlStore:           crlStore,
 	}, nil
 }
 
@@ -197,10 +215,15 @@ func sessionTranscript(gr, gj *bn256.G1) []byte {
 }
 
 // HandleBeacon runs user Step 2 of the user–router AKA: validate M.1
-// (Step 2.1: timestamp, certificate + CRL, router signature), then build
-// M.2 (Step 2.2): fresh r_j, group signature under the credential for the
-// chosen group (empty = any), puzzle solution when demanded, and the
-// precomputed session key K_{k,j} = (g^{r_R})^{r_j}.
+// (Step 2.1: timestamp, revocation refs, certificate + CRL, router
+// signature), then build M.2 (Step 2.2): fresh r_j, group signature under
+// the credential for the chosen group (empty = any), puzzle solution when
+// demanded, and the precomputed session key K_{k,j} = (g^{r_R})^{r_j}.
+//
+// The user's installed revocation state must cover what the beacon
+// advertises; otherwise HandleBeacon fails with ErrRevocationStale and
+// the caller fetches the gaps reported by RevocationGaps (a delta or a
+// full snapshot, served by the router's transport) before retrying.
 func (u *User) HandleBeacon(b *Beacon, group GroupID) (*AccessRequest, error) {
 	now := u.cfg.Clock.Now()
 
@@ -208,7 +231,10 @@ func (u *User) HandleBeacon(b *Beacon, group GroupID) (*AccessRequest, error) {
 	if !fresh(u.cfg, now, b.Timestamp) {
 		return nil, fmt.Errorf("%w: beacon ts1", ErrReplay)
 	}
-	if err := cert.CheckCertificate(b.Cert, b.CRL, u.noPub, now); err != nil {
+	if err := u.checkBeaconRevocations(b, now); err != nil {
+		return nil, err
+	}
+	if err := cert.CheckCertificate(b.Cert, u.routerRevoked, u.noPub, now); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadBeacon, err)
 	}
 	if b.Cert.SubjectID != b.RouterID {
@@ -216,9 +242,6 @@ func (u *User) HandleBeacon(b *Beacon, group GroupID) (*AccessRequest, error) {
 	}
 	if err := b.Cert.PublicKey.Verify(b.signedBody(), b.Signature); err != nil {
 		return nil, fmt.Errorf("%w: router signature: %v", ErrBadBeacon, err)
-	}
-	if err := b.URL.Verify(u.noPub, now); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadBeacon, err)
 	}
 
 	cred, err := u.credential(group)
@@ -255,34 +278,147 @@ func (u *User) HandleBeacon(b *Beacon, group GroupID) (*AccessRequest, error) {
 		gr:       b.GR,
 		dh:       dh.Marshal(),
 	}
-	u.lastURL = b.URL
 	u.lastG = b.G
 	u.mu.Unlock()
 	return m, nil
 }
 
-// ObserveBeacon validates a beacon and refreshes the cached URL and
-// generator without initiating authentication — what an already-attached
-// user does with the router's periodic broadcasts.
+// ObserveBeacon validates a beacon and refreshes the cached generator
+// without initiating authentication — what an already-attached user does
+// with the router's periodic broadcasts. Like HandleBeacon it fails with
+// ErrRevocationStale when the advertised revocation refs have moved past
+// the installed state.
 func (u *User) ObserveBeacon(b *Beacon) error {
 	now := u.cfg.Clock.Now()
 	if !fresh(u.cfg, now, b.Timestamp) {
 		return fmt.Errorf("%w: beacon ts1", ErrReplay)
 	}
-	if err := cert.CheckCertificate(b.Cert, b.CRL, u.noPub, now); err != nil {
+	if err := u.checkBeaconRevocations(b, now); err != nil {
+		return err
+	}
+	if err := cert.CheckCertificate(b.Cert, u.routerRevoked, u.noPub, now); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadBeacon, err)
 	}
 	if err := b.Cert.PublicKey.Verify(b.signedBody(), b.Signature); err != nil {
 		return fmt.Errorf("%w: router signature: %v", ErrBadBeacon, err)
 	}
-	if err := b.URL.Verify(u.noPub, now); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadBeacon, err)
-	}
 	u.mu.Lock()
-	u.lastURL = b.URL
 	u.lastG = b.G
 	u.mu.Unlock()
 	return nil
+}
+
+// checkBeaconRevocations verifies that the installed URL/CRL state covers
+// what the beacon advertises. A missing, older or expired snapshot yields
+// ErrRevocationStale (fetch the gaps and retry); an advertisement at the
+// installed epoch but with a different digest is an equivocating or
+// corrupt beacon and yields ErrBadBeacon.
+func (u *User) checkBeaconRevocations(b *Beacon, now time.Time) error {
+	for _, st := range []struct {
+		store *revocation.Store
+		ref   revocation.Ref
+		name  string
+	}{
+		{u.urlStore, b.URLRef, "url"},
+		{u.crlStore, b.CRLRef, "crl"},
+	} {
+		snap, ok := st.store.Current()
+		if !ok {
+			return fmt.Errorf("%w: no %s installed", ErrRevocationStale, st.name)
+		}
+		if snap.Epoch == st.ref.Epoch {
+			if snap.Digest() != st.ref.Digest {
+				return fmt.Errorf("%w: %s digest mismatch at epoch %d", ErrBadBeacon, st.name, st.ref.Epoch)
+			}
+		} else if snap.Epoch < st.ref.Epoch {
+			return fmt.Errorf("%w: %s at epoch %d, beacon advertises %d", ErrRevocationStale, st.name, snap.Epoch, st.ref.Epoch)
+		}
+		// A beacon advertising an OLDER epoch than we hold is tolerated:
+		// our state is a superset and monotonicity forbids downgrading.
+		if now.After(snap.NextUpdate) {
+			return fmt.Errorf("%w: %s expired at %v", ErrRevocationStale, st.name, snap.NextUpdate)
+		}
+	}
+	return nil
+}
+
+// routerRevoked is the CRL predicate handed to cert.CheckCertificate.
+func (u *User) routerRevoked(subjectID string) bool {
+	return u.crlStore.Contains([]byte(subjectID))
+}
+
+// RevocationGaps reports, for each list the beacon advertises ahead of
+// (or absent from) the installed state, what the user holds — the input
+// to a delta fetch (Have=true) or a full snapshot fetch (Have=false).
+func (u *User) RevocationGaps(b *Beacon) []revocation.Gap {
+	now := u.cfg.Clock.Now()
+	var gaps []revocation.Gap
+	if g, ok := u.urlStore.GapAgainst(b.URLRef, now); ok {
+		gaps = append(gaps, g)
+	}
+	if g, ok := u.crlStore.GapAgainst(b.CRLRef, now); ok {
+		gaps = append(gaps, g)
+	}
+	return gaps
+}
+
+// InstallRevocationSnapshot installs a full operator-signed snapshot for
+// either list, subject to signature, staleness and anti-rollback checks.
+func (u *User) InstallRevocationSnapshot(s *revocation.Snapshot) error {
+	if err := u.revocationStore(s.List).Install(s, u.cfg.Clock.Now()); err != nil {
+		return fmt.Errorf("user %q: %w", u.ID(), err)
+	}
+	return nil
+}
+
+// ApplyRevocationDelta advances either list by one operator-signed delta.
+// Gap or digest errors mean the delta chain does not reach the installed
+// state; fall back to InstallRevocationSnapshot.
+func (u *User) ApplyRevocationDelta(d *revocation.Delta) error {
+	if err := u.revocationStore(d.List).ApplyDelta(d, u.cfg.Clock.Now()); err != nil {
+		return fmt.Errorf("user %q: %w", u.ID(), err)
+	}
+	return nil
+}
+
+// RevocationEpoch returns the installed epoch of one list (0 when nothing
+// is installed yet).
+func (u *User) RevocationEpoch(l revocation.List) uint64 {
+	return u.revocationStore(l).Epoch()
+}
+
+func (u *User) revocationStore(l revocation.List) *revocation.Store {
+	if l == revocation.ListCRL {
+		return u.crlStore
+	}
+	return u.urlStore
+}
+
+// revocationTokens returns the parsed tokens of the installed URL
+// snapshot, re-parsing only when the epoch moved.
+func (u *User) revocationTokens() []*sgs.RevocationToken {
+	snap, ok := u.urlStore.Current()
+	if !ok {
+		return nil
+	}
+	u.mu.Lock()
+	if u.urlTokensEpoch == snap.Epoch && u.urlTokens != nil {
+		toks := u.urlTokens
+		u.mu.Unlock()
+		return toks
+	}
+	u.mu.Unlock()
+	toks, err := parseURLTokens(snap)
+	if err != nil {
+		// Entries were validated at install time; an unparsable token here
+		// means corrupted memory, not wire input. Fail closed to an empty
+		// screen list rather than panicking in a handler.
+		return nil
+	}
+	u.mu.Lock()
+	u.urlTokens, u.urlTokensEpoch = toks, snap.Epoch
+	u.mu.Unlock()
+	return toks
 }
 
 // HandleAccessConfirm completes the user–router AKA on receipt of M.3:
@@ -399,11 +535,8 @@ func (u *User) HandlePeerHello(m *PeerHello, group GroupID) (*PeerResponse, *Ses
 	if err := sgs.Verify(u.gpk, transcript, m.Sig); err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrBadAccessRequest, err)
 	}
-	u.mu.Lock()
-	url := u.lastURL
-	u.mu.Unlock()
-	if url != nil && len(url.Tokens) > 0 {
-		if revoked, _ := sgs.IsRevoked(u.gpk, transcript, m.Sig, url.Tokens); revoked {
+	if tokens := u.revocationTokens(); len(tokens) > 0 {
+		if revoked, _ := sgs.IsRevoked(u.gpk, transcript, m.Sig, tokens); revoked {
 			return nil, nil, ErrRevokedUser
 		}
 	}
@@ -442,7 +575,6 @@ func (u *User) HandlePeerHello(m *PeerHello, group GroupID) (*PeerResponse, *Ses
 func (u *User) HandlePeerResponse(m *PeerResponse) (*PeerConfirm, *Session, error) {
 	u.mu.Lock()
 	pend, ok := u.pendingPeer[string(m.GJ.Marshal())]
-	url := u.lastURL
 	u.mu.Unlock()
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: no pending peer AKA", ErrNoSession)
@@ -462,8 +594,8 @@ func (u *User) HandlePeerResponse(m *PeerResponse) (*PeerConfirm, *Session, erro
 	if err := sgs.Verify(u.gpk, transcript, m.Sig); err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrBadAccessRequest, err)
 	}
-	if url != nil && len(url.Tokens) > 0 {
-		if revoked, _ := sgs.IsRevoked(u.gpk, transcript, m.Sig, url.Tokens); revoked {
+	if tokens := u.revocationTokens(); len(tokens) > 0 {
+		if revoked, _ := sgs.IsRevoked(u.gpk, transcript, m.Sig, tokens); revoked {
 			return nil, nil, ErrRevokedUser
 		}
 	}
@@ -520,13 +652,14 @@ func (u *User) HandlePeerConfirm(m *PeerConfirm) (*Session, error) {
 	return sess, nil
 }
 
-// RefreshURL lets deployments push a newer URL outside of beacons.
-func (u *User) RefreshURL(url *UserRevocationList) error {
-	if err := url.Verify(u.noPub, u.cfg.Clock.Now()); err != nil {
-		return err
+// RefreshURL lets deployments push a newer URL snapshot outside of the
+// beacon-driven fetch path. It is an epoch-monotonic swap: snapshots with
+// older epochs (or a same-epoch re-issue with an earlier IssuedAt) are
+// refused with revocation.ErrRollback, expired ones with
+// revocation.ErrStale.
+func (u *User) RefreshURL(snap *revocation.Snapshot) error {
+	if snap.List != revocation.ListURL {
+		return fmt.Errorf("user %q: refresh url: %w", u.ID(), revocation.ErrMalformed)
 	}
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	u.lastURL = url
-	return nil
+	return u.InstallRevocationSnapshot(snap)
 }

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
+	"github.com/peace-mesh/peace/internal/sgs"
+)
+
+// E15RevDistPoint is one row of the revocation-distribution sweep: the
+// wire cost of announcing and shipping a URL of the given size, and the
+// router-side sweep cost with and without the cached per-epoch index.
+type E15RevDistPoint struct {
+	URLSize int
+	// BeaconBytes is the size of M.1 carrying only epoch refs. The whole
+	// point of the epoch subsystem is that this column is flat in |URL|.
+	BeaconBytes int
+	// SnapshotBytes is the full signed snapshot a cold client fetches.
+	SnapshotBytes int
+	// DeltaBytes is a one-revocation signed delta from the previous
+	// epoch — what a warm client fetches instead of SnapshotBytes.
+	DeltaBytes int
+	// ColdSweep is one Eq.3 linear sweep with no cached state.
+	ColdSweep time.Duration
+	// CachedBuild is the one-time e(A,û) index construction at this
+	// epoch (amortised across every check until the URL changes).
+	CachedBuild time.Duration
+	// CachedCheck is one membership check against the cached index.
+	CachedCheck time.Duration
+}
+
+// RunE15RevDist measures revocation distribution and sweep costs at each
+// URL size. Wire sizes come from a real revocation.Authority and a real
+// router beacon; sweep timings use the sgs primitives the router runs.
+func RunE15RevDist(urlSizes []int, iters int) ([]E15RevDistPoint, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	maxURL := 0
+	for _, s := range urlSizes {
+		if s < 0 {
+			return nil, fmt.Errorf("e15: negative url size %d", s)
+		}
+		if s > maxURL {
+			maxURL = s
+		}
+	}
+
+	// Group with maxURL+1 members: keys[0] signs, the rest get revoked.
+	iss, err := sgs.NewIssuer(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	grp, err := iss.NewGroupComponent(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := iss.IssueBatch(rand.Reader, grp, maxURL+1)
+	if err != nil {
+		return nil, err
+	}
+	signer := keys[0]
+	pub := iss.PublicKey()
+	msg := []byte("e15 revocation distribution probe")
+	allTokens := make([]*sgs.RevocationToken, 0, maxURL)
+	for _, k := range keys[1:] {
+		allTokens = append(allTokens, k.Token())
+	}
+
+	sigPM, err := sgs.Sign(rand.Reader, pub, signer, msg)
+	if err != nil {
+		return nil, err
+	}
+	sigFX, err := sgs.SignWithMode(rand.Reader, pub, signer, msg, sgs.FixedGenerators)
+	if err != nil {
+		return nil, err
+	}
+	ver := sgs.NewVerifier(pub)
+
+	// Beacon sizes come from one real NO+router fixture whose URL grows
+	// monotonically, so measure the sizes in ascending order and join the
+	// results back to the caller's order afterwards.
+	beaconBytes, err := e15BeaconSizes(urlSizes, maxURL)
+	if err != nil {
+		return nil, err
+	}
+
+	now := time.Unix(1751600000, 0)
+	out := make([]E15RevDistPoint, 0, len(urlSizes))
+	for _, size := range urlSizes {
+		if size > len(allTokens) {
+			return nil, fmt.Errorf("e15: url size %d exceeds issued keys", size)
+		}
+		url := allTokens[:size]
+		pt := E15RevDistPoint{URLSize: size, BeaconBytes: beaconBytes[size]}
+
+		// Wire sizes from a fresh authority: epoch 1 = the full set (the
+		// cold fetch), epoch 2 = one more revocation (the warm fetch).
+		kp, err := cert.GenerateKeyPair(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		auth, err := revocation.NewAuthority(revocation.ListURL, kp, rand.Reader, revocation.DefaultHistory)
+		if err != nil {
+			return nil, err
+		}
+		entries := make([][]byte, 0, size+1)
+		for _, t := range url {
+			entries = append(entries, t.Bytes())
+		}
+		full, err := auth.Issue(entries, now, now.Add(time.Hour))
+		if err != nil {
+			return nil, err
+		}
+		pt.SnapshotBytes = len(full.Snapshot.Marshal())
+		probe := append(append([][]byte{}, entries...), []byte("e15-probe-revocation-entry------"))
+		next, err := auth.Issue(probe, now.Add(time.Minute), now.Add(time.Hour))
+		if err != nil {
+			return nil, err
+		}
+		if len(next.Deltas) == 0 {
+			return nil, fmt.Errorf("e15: authority issued no delta at size %d", size)
+		}
+		pt.DeltaBytes = len(next.Deltas[len(next.Deltas)-1].Marshal())
+
+		// Cold: one full Eq.3 linear sweep per check, no reusable state.
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			ver.SweepURL(msg, sigPM, url)
+		}
+		pt.ColdSweep = time.Since(start) / time.Duration(iters)
+
+		// Cached: pay the per-epoch index build once...
+		start = time.Now()
+		checker := sgs.NewFastRevocationChecker(pub, url)
+		pt.CachedBuild = time.Since(start)
+
+		// ...then every check is constant-cost.
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, _, err := checker.IsRevoked(sigFX); err != nil {
+				return nil, err
+			}
+		}
+		pt.CachedCheck = time.Since(start) / time.Duration(iters)
+
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// e15BeaconSizes provisions one operator + router, grows the URL through
+// each requested size in ascending order, and records the marshalled M.1
+// size at each point. The map is keyed by URL size.
+func e15BeaconSizes(urlSizes []int, maxURL int) (map[int]int, error) {
+	sizes := append([]int{}, urlSizes...)
+	sort.Ints(sizes)
+
+	clock := &core.FixedClock{T: time.Unix(1751600000, 0)}
+	cfg := core.Config{Clock: clock, FreshnessWindow: time.Minute}
+	no, err := core.NewNetworkOperator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ttp, err := core.NewTTP(cfg, no.Authority())
+	if err != nil {
+		return nil, err
+	}
+	gm, err := core.NewGroupManager(cfg, "e15", no.Authority())
+	if err != nil {
+		return nil, err
+	}
+	if err := no.RegisterUserGroup(gm, ttp, maxURL+1); err != nil {
+		return nil, err
+	}
+	router, err := core.NewMeshRouter(cfg, "MR-e15", no.Authority(), no.GroupPublicKey())
+	if err != nil {
+		return nil, err
+	}
+	c, err := no.EnrollRouter("MR-e15", router.Public())
+	if err != nil {
+		return nil, err
+	}
+	router.SetCertificate(c)
+
+	out := make(map[int]int, len(sizes))
+	revoked := 0
+	for _, size := range sizes {
+		for revoked < size {
+			tok, err := no.TokenOf("e15", revoked)
+			if err != nil {
+				return nil, err
+			}
+			no.RevokeUserKey(tok)
+			revoked++
+		}
+		crl, url, err := no.RevocationBundles()
+		if err != nil {
+			return nil, err
+		}
+		if err := router.UpdateRevocations(crl, url); err != nil {
+			return nil, err
+		}
+		b, err := router.Beacon()
+		if err != nil {
+			return nil, err
+		}
+		out[size] = len(b.Marshal())
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 // E7AuditPoint is one row of the audit sweep: operator audit latency as a
@@ -82,15 +83,18 @@ func RunE7AuditSweep(grtSizes []int) ([]E7AuditPoint, error) {
 			return nil, err
 		}
 		router.SetCertificate(c)
-		crl, err := no.CurrentCRL()
+		crl, url, err := no.RevocationBundles()
 		if err != nil {
 			return nil, err
 		}
-		url, err := no.CurrentURL()
-		if err != nil {
+		if err := router.UpdateRevocations(crl, url); err != nil {
 			return nil, err
 		}
-		router.UpdateRevocations(crl, url)
+		for _, snap := range []*revocation.Snapshot{crl.Snapshot, url.Snapshot} {
+			if err := u.InstallRevocationSnapshot(snap); err != nil {
+				return nil, err
+			}
+		}
 
 		beacon, err := router.Beacon()
 		if err != nil {

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/mesh"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 // E8AttackRow is the outcome of one attack scenario from Section V.A.
@@ -109,15 +111,17 @@ func RunE8Attacks() ([]E8AttackRow, error) {
 			d.Net.Connect(id, "MR-0", hop)
 			d.Net.Connect(id, "MR-phish", hop)
 		}
-		crl, err := d.NO.CurrentCRL()
-		if err != nil {
-			return nil, err
+		// The phisher replays epoch refs captured from legitimate beacons.
+		legit := d.Routers["MR-0"].Router()
+		urlSnap, ok := legit.RevocationSnapshot(revocation.ListURL)
+		if !ok {
+			return nil, fmt.Errorf("e8: router has no URL snapshot")
 		}
-		url, err := d.NO.CurrentURL()
-		if err != nil {
-			return nil, err
+		crlSnap, ok := legit.RevocationSnapshot(revocation.ListCRL)
+		if !ok {
+			return nil, fmt.Errorf("e8: router has no CRL snapshot")
 		}
-		rogue, err := mesh.NewRogueRouter(d.Net, "MR-phish", crl, url)
+		rogue, err := mesh.NewRogueRouter(d.Net, "MR-phish", urlSnap.Ref(), crlSnap.Ref())
 		if err != nil {
 			return nil, err
 		}

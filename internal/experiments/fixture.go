@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 // fixture is a minimal provisioned deployment for the crypto-level
@@ -79,15 +81,20 @@ func newFixture(groups, usersPerGroup int) (*fixture, error) {
 }
 
 func (f *fixture) pushRevocations() error {
-	crl, err := f.no.CurrentCRL()
+	crl, url, err := f.no.RevocationBundles()
 	if err != nil {
 		return err
 	}
-	url, err := f.no.CurrentURL()
-	if err != nil {
+	if err := f.router.UpdateRevocations(crl, url); err != nil {
 		return err
 	}
-	f.router.UpdateRevocations(crl, url)
+	for _, u := range f.users {
+		for _, snap := range []*revocation.Snapshot{crl.Snapshot, url.Snapshot} {
+			if err := u.InstallRevocationSnapshot(snap); err != nil && !errors.Is(err, revocation.ErrRollback) {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

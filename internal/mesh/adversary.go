@@ -7,6 +7,7 @@ import (
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 )
 
@@ -134,22 +135,22 @@ type RogueRouter struct {
 	net     *Network
 	id      NodeID
 	keyPair *cert.KeyPair
-	crl     *cert.CRL
-	url     *core.UserRevocationList
+	urlRef  revocation.Ref
+	crlRef  revocation.Ref
 	clock   core.Clock
 
 	Lured int // M.2s received from victims
 }
 
-// NewRogueRouter attaches a phishing router. It replays legitimate CRL and
-// URL copies (an attacker can capture those from real beacons) but cannot
-// forge the certificate.
-func NewRogueRouter(n *Network, id NodeID, crl *cert.CRL, url *core.UserRevocationList) (*RogueRouter, error) {
+// NewRogueRouter attaches a phishing router. It replays legitimate URL and
+// CRL epoch references (an attacker can capture those from real beacons)
+// but cannot forge the certificate.
+func NewRogueRouter(n *Network, id NodeID, urlRef, crlRef revocation.Ref) (*RogueRouter, error) {
 	kp, err := cert.GenerateKeyPair(rand.Reader)
 	if err != nil {
 		return nil, err
 	}
-	rr := &RogueRouter{net: n, id: id, keyPair: kp, crl: crl, url: url, clock: n.Clock()}
+	rr := &RogueRouter{net: n, id: id, keyPair: kp, urlRef: urlRef, crlRef: crlRef, clock: n.Clock()}
 	n.AddStation(rr)
 	return rr, nil
 }
@@ -185,8 +186,8 @@ func (rr *RogueRouter) BroadcastPhishingBeacon() error {
 		GR:        new(bn256.G1).ScalarMult(g, rR),
 		Timestamp: rr.clock.Now(),
 		Cert:      selfCert,
-		CRL:       rr.crl,
-		URL:       rr.url,
+		URLRef:    rr.urlRef,
+		CRLRef:    rr.crlRef,
 	}
 	sig, err := rr.keyPair.Sign(rand.Reader, b.SignedBody())
 	if err != nil {

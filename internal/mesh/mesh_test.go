@@ -3,6 +3,8 @@ package mesh
 import (
 	"testing"
 	"time"
+
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 func msLink(ms int) Link { return Link{Latency: time.Duration(ms) * time.Millisecond} }
@@ -161,15 +163,17 @@ func TestDataRelayRequiresPeerAuthentication(t *testing.T) {
 
 func TestRogueRouterLuresNobody(t *testing.T) {
 	d := newChainDeployment(t, 2, msLink(2))
-	crl, err := d.NO.CurrentCRL()
-	if err != nil {
-		t.Fatal(err)
+	// The rogue replays epoch refs captured from a legitimate beacon.
+	r := d.Routers["MR-0"].Router()
+	urlSnap, ok := r.RevocationSnapshot(revocation.ListURL)
+	if !ok {
+		t.Fatal("router has no URL snapshot")
 	}
-	url, err := d.NO.CurrentURL()
-	if err != nil {
-		t.Fatal(err)
+	crlSnap, ok := r.RevocationSnapshot(revocation.ListCRL)
+	if !ok {
+		t.Fatal("router has no CRL snapshot")
 	}
-	rogue, err := NewRogueRouter(d.Net, "MR-evil", crl, url)
+	rogue, err := NewRogueRouter(d.Net, "MR-evil", urlSnap.Ref(), crlSnap.Ref())
 	if err != nil {
 		t.Fatal(err)
 	}

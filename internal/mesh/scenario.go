@@ -1,11 +1,13 @@
 package mesh
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 // Deployment bundles a fully provisioned PEACE network attached to a
@@ -112,18 +114,26 @@ func NewDeployment(spec DeploymentSpec) (*Deployment, error) {
 	return d, nil
 }
 
-// PushRevocations distributes fresh CRL/URL to every router.
+// PushRevocations issues fresh CRL/URL bundles and distributes them to
+// every router (the operator's secure channel) and, as full snapshots,
+// to every user station (the simulator's stand-in for the transport
+// layer's delta fetch — the simulator has no unicast fetch path).
 func (d *Deployment) PushRevocations() error {
-	crl, err := d.NO.CurrentCRL()
-	if err != nil {
-		return err
-	}
-	url, err := d.NO.CurrentURL()
+	crl, url, err := d.NO.RevocationBundles()
 	if err != nil {
 		return err
 	}
 	for _, r := range d.Routers {
-		r.Router().UpdateRevocations(crl, url)
+		if err := r.Router().UpdateRevocations(crl, url); err != nil {
+			return err
+		}
+	}
+	for _, us := range d.Users {
+		for _, snap := range []*revocation.Snapshot{crl.Snapshot, url.Snapshot} {
+			if err := us.User().InstallRevocationSnapshot(snap); err != nil && !errors.Is(err, revocation.ErrRollback) {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -144,6 +154,18 @@ func (d *Deployment) AddUser(id NodeID, group core.GroupID, nextHop NodeID, auto
 	}
 	if err := core.EnrollUser(u, gm, d.TTP); err != nil {
 		return nil, err
+	}
+	// Bootstrap the new user's revocation state from the operator (joining
+	// after the last push would otherwise leave it unable to validate
+	// beacons).
+	crl, url, err := d.NO.RevocationBundles()
+	if err != nil {
+		return nil, err
+	}
+	for _, snap := range []*revocation.Snapshot{crl.Snapshot, url.Snapshot} {
+		if err := u.InstallRevocationSnapshot(snap); err != nil {
+			return nil, err
+		}
 	}
 	us := NewUserStation(d.Net, id, u, group, nextHop, autoAttach)
 	d.Users[id] = us

@@ -1,0 +1,165 @@
+package revocation
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+)
+
+// DefaultHistory is how many prior epochs an Authority retains for delta
+// issuance when no explicit bound is given. A consumer further behind
+// than this falls back to a full snapshot fetch.
+const DefaultHistory = 16
+
+// Bundle is one distribution unit from the NO: the current signed
+// snapshot plus signed deltas from each retained prior epoch to it.
+// Routers install the snapshot and cache the deltas for serving.
+type Bundle struct {
+	Snapshot *Snapshot
+	Deltas   []*Delta
+}
+
+// Authority issues epoch-numbered snapshots and deltas for one list. The
+// epoch advances only when the canonical entry set actually changes;
+// re-issuing an unchanged set refreshes IssuedAt/NextUpdate at the same
+// epoch, so periodic re-broadcast does not invalidate consumer state.
+type Authority struct {
+	list       List
+	key        *cert.KeyPair
+	rng        io.Reader
+	maxHistory int
+
+	mu      sync.Mutex
+	issued  bool
+	epoch   uint64
+	entries [][]byte   // canonical current set
+	history []epochSet // prior epochs, oldest first, len <= maxHistory
+}
+
+type epochSet struct {
+	epoch   uint64
+	entries [][]byte
+	digest  [DigestSize]byte
+}
+
+// NewAuthority creates an issuing authority for list, signing with key.
+// maxHistory bounds delta retention; <= 0 selects DefaultHistory.
+func NewAuthority(list List, key *cert.KeyPair, rng io.Reader, maxHistory int) (*Authority, error) {
+	if !list.valid() {
+		return nil, fmt.Errorf("%w: unknown list %d", ErrMalformed, list)
+	}
+	if maxHistory <= 0 {
+		maxHistory = DefaultHistory
+	}
+	return &Authority{list: list, key: key, rng: rng, maxHistory: maxHistory}, nil
+}
+
+// Epoch returns the current epoch (0 before the first Issue).
+func (a *Authority) Epoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// Issue produces a signed Bundle for the given entry set. Epochs start at
+// 1 — epoch 0 always means "nothing installed" on the consumer side — and
+// advance only when the canonical set differs from the previous issue.
+func (a *Authority) Issue(entries [][]byte, issuedAt, nextUpdate time.Time) (*Bundle, error) {
+	canon := Canonicalize(entries)
+
+	a.mu.Lock()
+	switch {
+	case !a.issued:
+		a.issued = true
+		a.epoch = 1
+		a.entries = canon
+	case !setsEqual(canon, a.entries):
+		a.history = append(a.history, epochSet{
+			epoch:   a.epoch,
+			entries: a.entries,
+			digest:  digestEntries(a.list, a.entries),
+		})
+		if len(a.history) > a.maxHistory {
+			a.history = append([]epochSet(nil), a.history[len(a.history)-a.maxHistory:]...)
+		}
+		a.epoch++
+		a.entries = canon
+	default:
+		canon = a.entries // unchanged set: keep the shared canonical slice
+	}
+	epoch := a.epoch
+	hist := append([]epochSet(nil), a.history...)
+	a.mu.Unlock()
+
+	snap := &Snapshot{
+		List:       a.list,
+		Epoch:      epoch,
+		IssuedAt:   issuedAt,
+		NextUpdate: nextUpdate,
+		Entries:    canon,
+	}
+	if err := snap.sign(a.rng, a.key); err != nil {
+		return nil, err
+	}
+	toDigest := snap.Digest()
+
+	deltas := make([]*Delta, 0, len(hist))
+	for _, h := range hist {
+		added, removed := diffSets(h.entries, canon)
+		d := &Delta{
+			List:       a.list,
+			FromEpoch:  h.epoch,
+			ToEpoch:    epoch,
+			IssuedAt:   issuedAt,
+			NextUpdate: nextUpdate,
+			FromDigest: h.digest,
+			ToDigest:   toDigest,
+			Added:      added,
+			Removed:    removed,
+		}
+		if err := d.sign(a.rng, a.key); err != nil {
+			return nil, err
+		}
+		deltas = append(deltas, d)
+	}
+	return &Bundle{Snapshot: snap, Deltas: deltas}, nil
+}
+
+// setsEqual compares two canonical entry sets.
+func setsEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// diffSets computes (new \ old, old \ new) over two canonical sets with a
+// linear merge.
+func diffSets(old, new [][]byte) (added, removed [][]byte) {
+	i, j := 0, 0
+	for i < len(old) && j < len(new) {
+		switch c := bytes.Compare(old[i], new[j]); {
+		case c < 0:
+			removed = append(removed, old[i])
+			i++
+		case c > 0:
+			added = append(added, new[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, new[j:]...)
+	return added, removed
+}

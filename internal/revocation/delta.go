@@ -1,0 +1,193 @@
+package revocation
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+const deltaDomain = "peace/rev-delta:v1"
+
+// Delta is a signed patch taking a list from one epoch to another. The
+// digests pin both endpoints so a consumer can detect divergence before
+// and after applying; the NO signs (list, epochs, times, digests, patch)
+// so a chained application is as authentic as a full signed snapshot.
+type Delta struct {
+	List       List
+	FromEpoch  uint64
+	ToEpoch    uint64
+	IssuedAt   time.Time
+	NextUpdate time.Time
+	FromDigest [DigestSize]byte
+	ToDigest   [DigestSize]byte
+	Added      [][]byte
+	Removed    [][]byte
+	Signature  []byte
+}
+
+// signedBody returns the canonical byte string covered by the signature.
+func (d *Delta) signedBody() []byte {
+	sz := 0
+	for _, e := range d.Added {
+		sz += 4 + len(e)
+	}
+	for _, e := range d.Removed {
+		sz += 4 + len(e)
+	}
+	w := wire.NewWriter(160 + sz)
+	w.StringField(deltaDomain)
+	w.Byte(byte(d.List))
+	w.Uint64(d.FromEpoch)
+	w.Uint64(d.ToEpoch)
+	w.Time(d.IssuedAt)
+	w.Time(d.NextUpdate)
+	w.BytesField(d.FromDigest[:])
+	w.BytesField(d.ToDigest[:])
+	w.Uint32(uint32(len(d.Added)))
+	for _, e := range d.Added {
+		w.BytesField(e)
+	}
+	w.Uint32(uint32(len(d.Removed)))
+	for _, e := range d.Removed {
+		w.BytesField(e)
+	}
+	return w.Bytes()
+}
+
+// sign attaches an authority signature.
+func (d *Delta) sign(rng io.Reader, authority *cert.KeyPair) error {
+	sig, err := authority.Sign(rng, d.signedBody())
+	if err != nil {
+		return err
+	}
+	d.Signature = sig
+	return nil
+}
+
+// Verify checks the authority signature, epoch ordering, and freshness
+// against now.
+func (d *Delta) Verify(authority cert.PublicKey, now time.Time) error {
+	if !d.List.valid() {
+		return fmt.Errorf("%w: unknown list %d", ErrMalformed, d.List)
+	}
+	if d.ToEpoch <= d.FromEpoch {
+		return fmt.Errorf("%w: delta epochs %d -> %d", ErrMalformed, d.FromEpoch, d.ToEpoch)
+	}
+	if err := authority.Verify(d.signedBody(), d.Signature); err != nil {
+		return fmt.Errorf("revocation: delta: %w", err)
+	}
+	if now.After(d.NextUpdate) {
+		return ErrStale
+	}
+	return nil
+}
+
+// Marshal encodes the delta.
+func (d *Delta) Marshal() []byte {
+	sz := 0
+	for _, e := range d.Added {
+		sz += 4 + len(e)
+	}
+	for _, e := range d.Removed {
+		sz += 4 + len(e)
+	}
+	w := wire.NewWriter(192 + sz)
+	w.Byte(byte(d.List))
+	w.Uint64(d.FromEpoch)
+	w.Uint64(d.ToEpoch)
+	w.Time(d.IssuedAt)
+	w.Time(d.NextUpdate)
+	w.BytesField(d.FromDigest[:])
+	w.BytesField(d.ToDigest[:])
+	w.Uint32(uint32(len(d.Added)))
+	for _, e := range d.Added {
+		w.BytesField(e)
+	}
+	w.Uint32(uint32(len(d.Removed)))
+	for _, e := range d.Removed {
+		w.BytesField(e)
+	}
+	w.BytesField(d.Signature)
+	return w.Bytes()
+}
+
+// UnmarshalDelta decodes a delta.
+func UnmarshalDelta(data []byte) (*Delta, error) {
+	r := wire.NewReader(data)
+	d := &Delta{}
+	lb, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	d.List = List(lb)
+	if !d.List.valid() {
+		return nil, fmt.Errorf("%w: unknown list %d", ErrMalformed, lb)
+	}
+	if d.FromEpoch, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if d.ToEpoch, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if d.IssuedAt, err = r.Time(); err != nil {
+		return nil, err
+	}
+	if d.NextUpdate, err = r.Time(); err != nil {
+		return nil, err
+	}
+	if err := readDigest(r, &d.FromDigest); err != nil {
+		return nil, err
+	}
+	if err := readDigest(r, &d.ToDigest); err != nil {
+		return nil, err
+	}
+	if d.Added, err = readEntryList(r); err != nil {
+		return nil, err
+	}
+	if d.Removed, err = readEntryList(r); err != nil {
+		return nil, err
+	}
+	sig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	d.Signature = append([]byte(nil), sig...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func readDigest(r *wire.Reader, out *[DigestSize]byte) error {
+	b, err := r.BytesField()
+	if err != nil {
+		return err
+	}
+	if len(b) != DigestSize {
+		return fmt.Errorf("%w: digest size %d", ErrMalformed, len(b))
+	}
+	copy(out[:], b)
+	return nil
+}
+
+// readEntryList reads a Count-hardened entry list: each claimed element
+// must be backed by at least its 4-byte length prefix in the remaining
+// buffer, so a tiny datagram cannot demand a huge pre-sized allocation.
+func readEntryList(r *wire.Reader) ([][]byte, error) {
+	n, err := r.Count(4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := r.BytesField()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, append([]byte(nil), e...))
+	}
+	return out, nil
+}

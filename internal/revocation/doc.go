@@ -1,0 +1,18 @@
+// Package revocation is the unified revocation subsystem both PEACE
+// lists — the user revocation list (URL, group-signature revocation
+// tokens) and the router certificate revocation list (CRL, subject IDs) —
+// sit behind.
+//
+// State is distributed as epoch-numbered, immutable, copy-on-write
+// Snapshots plus ECDSA-signed Deltas issued by the network operator. A
+// beacon no longer carries the full marshaled list; it advertises a
+// compact Ref (epoch, digest, next-update) and consumers fetch only what
+// changed: a Delta when the operator still retains their epoch, a full
+// Snapshot otherwise. The Store applier verifies signatures, enforces
+// epoch monotonicity (anti-rollback), chains deltas by digest, and
+// reports ErrEpochGap so callers can fall back to a full-snapshot fetch.
+//
+// Entries are opaque canonical byte strings — marshaled revocation tokens
+// for the URL, subject-ID bytes for the CRL — kept sorted and deduplicated
+// so digests are order-independent and membership tests are O(log n).
+package revocation

@@ -1,0 +1,93 @@
+package revocation
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+)
+
+// fuzzSeeds builds one valid snapshot and one valid delta encoding so the
+// fuzzers start from well-formed corpora.
+func fuzzSeeds(tb testing.TB) (snap, delta []byte) {
+	tb.Helper()
+	key, err := cert.GenerateKeyPair(rand.Reader)
+	if err != nil {
+		tb.Fatalf("generate key: %v", err)
+	}
+	a, err := NewAuthority(ListURL, key, rand.Reader, 0)
+	if err != nil {
+		tb.Fatalf("new authority: %v", err)
+	}
+	at := time.Unix(1751600000, 0)
+	if _, err := a.Issue([][]byte{[]byte("tok1")}, at, at.Add(time.Hour)); err != nil {
+		tb.Fatalf("issue: %v", err)
+	}
+	b, err := a.Issue([][]byte{[]byte("tok1"), []byte("tok2")}, at.Add(time.Minute), at.Add(time.Hour))
+	if err != nil {
+		tb.Fatalf("issue: %v", err)
+	}
+	return b.Snapshot.Marshal(), b.Deltas[0].Marshal()
+}
+
+// FuzzUnmarshalSnapshot exercises the snapshot decoder: it must never
+// panic or over-allocate, and anything it accepts must re-encode to a
+// decodable equivalent (canonical fixed point).
+func FuzzUnmarshalSnapshot(f *testing.F) {
+	snap, _ := fuzzSeeds(f)
+	f.Add(snap)
+	f.Add([]byte{})
+	f.Add([]byte{byte(ListURL)})
+	// A tiny buffer claiming a huge entry count must fail fast.
+	hostile := append([]byte{byte(ListCRL)}, make([]byte, 24)...)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSnapshot(data)
+		if err != nil {
+			return
+		}
+		enc := s.Marshal()
+		s2, err := UnmarshalSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		if s2.Digest() != s.Digest() || s2.Epoch != s.Epoch || s2.List != s.List {
+			t.Fatal("snapshot round trip not a fixed point")
+		}
+	})
+}
+
+// FuzzUnmarshalDelta exercises the delta decoder the same way.
+func FuzzUnmarshalDelta(f *testing.F) {
+	_, delta := fuzzSeeds(f)
+	f.Add(delta)
+	f.Add([]byte{})
+	f.Add([]byte{byte(ListCRL)})
+	hostile := append([]byte{byte(ListURL)}, make([]byte, 32)...)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := UnmarshalDelta(data)
+		if err != nil {
+			return
+		}
+		enc := d.Marshal()
+		d2, err := UnmarshalDelta(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted delta failed: %v", err)
+		}
+		if d2.FromEpoch != d.FromEpoch || d2.ToEpoch != d.ToEpoch ||
+			d2.FromDigest != d.FromDigest || d2.ToDigest != d.ToDigest ||
+			len(d2.Added) != len(d.Added) || len(d2.Removed) != len(d.Removed) {
+			t.Fatal("delta round trip not a fixed point")
+		}
+		for i := range d.Added {
+			if !bytes.Equal(d.Added[i], d2.Added[i]) {
+				t.Fatal("added entries diverge after round trip")
+			}
+		}
+	})
+}

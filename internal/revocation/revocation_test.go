@@ -1,0 +1,372 @@
+package revocation
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+)
+
+var t0 = time.Unix(1751600000, 0)
+
+func newTestAuthority(t *testing.T, list List, history int) (*Authority, cert.PublicKey) {
+	t.Helper()
+	key, err := cert.GenerateKeyPair(rand.Reader)
+	if err != nil {
+		t.Fatalf("generate key: %v", err)
+	}
+	a, err := NewAuthority(list, key, rand.Reader, history)
+	if err != nil {
+		t.Fatalf("new authority: %v", err)
+	}
+	return a, key.Public()
+}
+
+func entrySet(ids ...string) [][]byte {
+	out := make([][]byte, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, []byte(id))
+	}
+	return out
+}
+
+func issue(t *testing.T, a *Authority, at time.Time, ids ...string) *Bundle {
+	t.Helper()
+	b, err := a.Issue(entrySet(ids...), at, at.Add(10*time.Minute))
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	return b
+}
+
+func TestAuthorityEpochAdvancesOnlyOnChange(t *testing.T) {
+	a, _ := newTestAuthority(t, ListCRL, 0)
+	b1 := issue(t, a, t0, "r1")
+	if b1.Snapshot.Epoch != 1 {
+		t.Fatalf("first epoch = %d, want 1", b1.Snapshot.Epoch)
+	}
+	b2 := issue(t, a, t0.Add(time.Minute), "r1")
+	if b2.Snapshot.Epoch != 1 {
+		t.Fatalf("unchanged set bumped epoch to %d", b2.Snapshot.Epoch)
+	}
+	if b2.Snapshot.Digest() != b1.Snapshot.Digest() {
+		t.Fatal("unchanged set changed digest")
+	}
+	b3 := issue(t, a, t0.Add(2*time.Minute), "r1", "r2")
+	if b3.Snapshot.Epoch != 2 {
+		t.Fatalf("changed set epoch = %d, want 2", b3.Snapshot.Epoch)
+	}
+	if len(b3.Deltas) != 1 || b3.Deltas[0].FromEpoch != 1 {
+		t.Fatalf("bundle deltas = %+v, want one from epoch 1", b3.Deltas)
+	}
+}
+
+func TestAuthorityCanonicalization(t *testing.T) {
+	a, pub := newTestAuthority(t, ListCRL, 0)
+	b, err := a.Issue(entrySet("b", "a", "b", "c", "a"), t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	if got := len(b.Snapshot.Entries); got != 3 {
+		t.Fatalf("entries = %d, want 3 after dedup", got)
+	}
+	for i := 1; i < len(b.Snapshot.Entries); i++ {
+		if string(b.Snapshot.Entries[i-1]) >= string(b.Snapshot.Entries[i]) {
+			t.Fatal("entries not sorted")
+		}
+	}
+	if err := b.Snapshot.Verify(pub, t0); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 0)
+	b := issue(t, a, t0, "tok1", "tok2")
+	snap := b.Snapshot
+	back, err := UnmarshalSnapshot(snap.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Epoch != snap.Epoch || back.List != snap.List || !back.IssuedAt.Equal(snap.IssuedAt) || !back.NextUpdate.Equal(snap.NextUpdate) {
+		t.Fatal("header fields did not round-trip")
+	}
+	if back.Digest() != snap.Digest() {
+		t.Fatal("digest did not round-trip")
+	}
+	if err := back.Verify(pub, t0); err != nil {
+		t.Fatalf("verify after round trip: %v", err)
+	}
+	if !back.Contains([]byte("tok1")) || back.Contains([]byte("tok3")) {
+		t.Fatal("membership wrong after round trip")
+	}
+}
+
+func TestDeltaRoundTripAndChain(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 0)
+	issue(t, a, t0, "tok1", "tok2")
+	b2 := issue(t, a, t0.Add(time.Minute), "tok2", "tok3")
+	if len(b2.Deltas) != 1 {
+		t.Fatalf("deltas = %d, want 1", len(b2.Deltas))
+	}
+	d := b2.Deltas[0]
+	back, err := UnmarshalDelta(d.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal delta: %v", err)
+	}
+	if err := back.Verify(pub, t0.Add(time.Minute)); err != nil {
+		t.Fatalf("verify delta: %v", err)
+	}
+	if len(back.Added) != 1 || string(back.Added[0]) != "tok3" {
+		t.Fatalf("added = %q", back.Added)
+	}
+	if len(back.Removed) != 1 || string(back.Removed[0]) != "tok1" {
+		t.Fatalf("removed = %q", back.Removed)
+	}
+}
+
+func TestStoreInstallAndDeltaChain(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 0)
+	st, err := NewStore(ListURL, pub)
+	if err != nil {
+		t.Fatalf("new store: %v", err)
+	}
+	b1 := issue(t, a, t0, "tok1")
+	if err := st.Install(b1.Snapshot, t0); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if st.Epoch() != 1 || !st.Contains([]byte("tok1")) {
+		t.Fatal("installed state wrong")
+	}
+
+	b2 := issue(t, a, t0.Add(time.Minute), "tok1", "tok2")
+	if err := st.ApplyDelta(b2.Deltas[0], t0.Add(time.Minute)); err != nil {
+		t.Fatalf("apply delta: %v", err)
+	}
+	if st.Epoch() != 2 || !st.Contains([]byte("tok2")) {
+		t.Fatal("delta did not advance store")
+	}
+	snap, _ := st.Current()
+	if snap.Digest() != b2.Snapshot.Digest() {
+		t.Fatal("chained snapshot digest diverges from authority snapshot")
+	}
+	// The assembled snapshot is unsigned: its authenticity came from the
+	// signed delta chain.
+	if snap.Signature != nil {
+		t.Fatal("chained snapshot unexpectedly signed")
+	}
+}
+
+func TestStoreAntiRollback(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 0)
+	st, _ := NewStore(ListURL, pub)
+	b1 := issue(t, a, t0, "tok1")
+	b2 := issue(t, a, t0.Add(time.Minute), "tok1", "tok2")
+	if err := st.Install(b2.Snapshot, t0.Add(time.Minute)); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if err := st.Install(b1.Snapshot, t0.Add(time.Minute)); !errors.Is(err, ErrRollback) {
+		t.Fatalf("older epoch install = %v, want ErrRollback", err)
+	}
+	// Same-epoch re-issue with an older IssuedAt must also be refused.
+	b2b := issue(t, a, t0.Add(2*time.Minute), "tok1", "tok2")
+	if err := st.Install(b2b.Snapshot, t0.Add(2*time.Minute)); err != nil {
+		t.Fatalf("fresher re-issue refused: %v", err)
+	}
+	if err := st.Install(b2.Snapshot, t0.Add(2*time.Minute)); !errors.Is(err, ErrRollback) {
+		t.Fatalf("stale re-issue = %v, want ErrRollback", err)
+	}
+	// A delta targeting an older epoch is a rollback too.
+	b3 := issue(t, a, t0.Add(3*time.Minute), "tok1", "tok2", "tok3")
+	b4 := issue(t, a, t0.Add(4*time.Minute), "tok1", "tok2", "tok3", "tok4")
+	if err := st.Install(b4.Snapshot, t0.Add(4*time.Minute)); err != nil {
+		t.Fatalf("install epoch 4: %v", err)
+	}
+	if len(b3.Deltas) == 0 {
+		t.Fatal("no deltas to test with")
+	}
+	if err := st.ApplyDelta(b3.Deltas[0], t0.Add(4*time.Minute)); !errors.Is(err, ErrRollback) {
+		t.Fatalf("delta to older epoch = %v, want ErrRollback", err)
+	}
+	// A delta targeting the current epoch is an idempotent no-op.
+	if err := st.ApplyDelta(b4.Deltas[len(b4.Deltas)-1], t0.Add(4*time.Minute)); err != nil {
+		t.Fatalf("delta to current epoch = %v, want nil no-op", err)
+	}
+}
+
+func TestStoreStaleRefused(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 0)
+	st, _ := NewStore(ListURL, pub)
+	b := issue(t, a, t0, "tok1")
+	late := b.Snapshot.NextUpdate.Add(time.Second)
+	if err := st.Install(b.Snapshot, late); !errors.Is(err, ErrStale) {
+		t.Fatalf("expired install = %v, want ErrStale", err)
+	}
+	if _, ok := st.Current(); ok {
+		t.Fatal("stale snapshot was installed")
+	}
+	if err := st.Install(b.Snapshot, t0); err != nil {
+		t.Fatalf("fresh install: %v", err)
+	}
+	b2 := issue(t, a, t0.Add(time.Minute), "tok1", "tok2")
+	if err := st.ApplyDelta(b2.Deltas[0], b2.Deltas[0].NextUpdate.Add(time.Second)); !errors.Is(err, ErrStale) {
+		t.Fatalf("expired delta = %v, want ErrStale", err)
+	}
+}
+
+func TestStoreEpochGapFallsBack(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 0)
+	st, _ := NewStore(ListURL, pub)
+	b1 := issue(t, a, t0, "tok1")
+	issue(t, a, t0.Add(time.Minute), "tok1", "tok2")
+	b3 := issue(t, a, t0.Add(2*time.Minute), "tok1", "tok2", "tok3")
+	if err := st.Install(b1.Snapshot, t0); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	// The 2->3 delta does not chain from epoch 1.
+	var d23 *Delta
+	for _, d := range b3.Deltas {
+		if d.FromEpoch == 2 {
+			d23 = d
+		}
+	}
+	if d23 == nil {
+		t.Fatal("no 2->3 delta in bundle")
+	}
+	if err := st.ApplyDelta(d23, t0.Add(2*time.Minute)); !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("gap delta = %v, want ErrEpochGap", err)
+	}
+	// Fallback: full snapshot install succeeds.
+	if err := st.Install(b3.Snapshot, t0.Add(2*time.Minute)); err != nil {
+		t.Fatalf("fallback install: %v", err)
+	}
+	if st.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3", st.Epoch())
+	}
+	// A delta on an empty store reports ErrNoSnapshot.
+	st2, _ := NewStore(ListURL, pub)
+	if err := st2.ApplyDelta(d23, t0.Add(2*time.Minute)); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("delta on empty store = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestStoreForgedInputsRefused(t *testing.T) {
+	a, _ := newTestAuthority(t, ListURL, 0)
+	_, otherPub := newTestAuthority(t, ListURL, 0)
+	st, _ := NewStore(ListURL, otherPub) // trusts a different authority
+	b := issue(t, a, t0, "tok1")
+	if err := st.Install(b.Snapshot, t0); !errors.Is(err, cert.ErrBadSignature) {
+		t.Fatalf("forged snapshot = %v, want ErrBadSignature", err)
+	}
+	// Tampered entries break the signature (digest is covered).
+	good, _ := newTestAuthority(t, ListURL, 0)
+	gb := issue(t, good, t0, "tok1")
+	fresh := &Snapshot{
+		List: gb.Snapshot.List, Epoch: gb.Snapshot.Epoch,
+		IssuedAt: gb.Snapshot.IssuedAt, NextUpdate: gb.Snapshot.NextUpdate,
+		Entries: Canonicalize(entrySet("tok1", "evil")), Signature: gb.Snapshot.Signature,
+	}
+	st2, _ := NewStore(ListURL, good.key.Public())
+	if err := st2.Install(fresh, t0); !errors.Is(err, cert.ErrBadSignature) {
+		t.Fatalf("tampered snapshot = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestInstallBundleServesDeltas(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 3)
+	st, _ := NewStore(ListURL, pub)
+	for i := 0; i < 6; i++ {
+		ids := make([]string, 0, i+1)
+		for j := 0; j <= i; j++ {
+			ids = append(ids, fmt.Sprintf("tok%d", j))
+		}
+		b := issue(t, a, t0.Add(time.Duration(i)*time.Minute), ids...)
+		if err := st.InstallBundle(b, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatalf("install bundle %d: %v", i, err)
+		}
+	}
+	if st.Epoch() != 6 {
+		t.Fatalf("epoch = %d, want 6", st.Epoch())
+	}
+	// History bound 3: deltas retained from epochs 3..5 only.
+	if _, ok := st.DeltaFrom(5); !ok {
+		t.Fatal("missing delta from epoch 5")
+	}
+	if _, ok := st.DeltaFrom(3); !ok {
+		t.Fatal("missing delta from epoch 3")
+	}
+	if _, ok := st.DeltaFrom(2); ok {
+		t.Fatal("delta from epoch 2 retained beyond history bound")
+	}
+	// Served delta actually chains on a consumer at that epoch.
+	d, _ := st.DeltaFrom(5)
+	if d.ToEpoch != 6 {
+		t.Fatalf("delta to epoch %d, want 6", d.ToEpoch)
+	}
+}
+
+func TestGapAgainst(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 0)
+	st, _ := NewStore(ListURL, pub)
+	b1 := issue(t, a, t0, "tok1")
+
+	// Empty store: always a gap, Have=false.
+	g, need := st.GapAgainst(b1.Snapshot.Ref(), t0)
+	if !need || g.Have || g.List != ListURL {
+		t.Fatalf("empty-store gap = %+v need=%v", g, need)
+	}
+	if err := st.Install(b1.Snapshot, t0); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	// Current: no gap.
+	if _, need := st.GapAgainst(b1.Snapshot.Ref(), t0); need {
+		t.Fatal("current store reported a gap")
+	}
+	// Advertised epoch ahead: gap with Have=true.
+	b2 := issue(t, a, t0.Add(time.Minute), "tok1", "tok2")
+	g, need = st.GapAgainst(b2.Snapshot.Ref(), t0.Add(time.Minute))
+	if !need || !g.Have || g.HaveEpoch != 1 || g.HaveDigest != b1.Snapshot.Digest() {
+		t.Fatalf("behind gap = %+v need=%v", g, need)
+	}
+	// Stale store: gap even when the ref is not ahead.
+	if _, need := st.GapAgainst(b1.Snapshot.Ref(), b1.Snapshot.NextUpdate.Add(time.Second)); !need {
+		t.Fatal("stale store reported no gap")
+	}
+	// Ref behind the installed epoch: no gap (we are newer).
+	if err := st.Install(b2.Snapshot, t0.Add(time.Minute)); err != nil {
+		t.Fatalf("install 2: %v", err)
+	}
+	if _, need := st.GapAgainst(b1.Snapshot.Ref(), t0.Add(time.Minute)); need {
+		t.Fatal("older ref reported a gap")
+	}
+}
+
+func TestListMismatchRefused(t *testing.T) {
+	a, pub := newTestAuthority(t, ListURL, 0)
+	st, _ := NewStore(ListCRL, pub)
+	b := issue(t, a, t0, "tok1")
+	if err := st.Install(b.Snapshot, t0); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("cross-list install = %v, want ErrMalformed", err)
+	}
+}
+
+func TestPatchEntries(t *testing.T) {
+	base := Canonicalize(entrySet("a", "b", "c"))
+	got := patchEntries(base, entrySet("b", "zz"), entrySet("d", "a"))
+	want := []string{"a", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("patch = %q, want %q", got, want)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("patch = %q, want %q", got, want)
+		}
+	}
+	// Copy-on-write: base untouched.
+	if len(base) != 3 || string(base[1]) != "b" {
+		t.Fatal("base mutated")
+	}
+}

@@ -1,0 +1,266 @@
+package revocation
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// Exported errors.
+var (
+	// ErrRollback is returned when a snapshot (or delta target) is older
+	// than the installed epoch — a replayed or withheld-update attack.
+	ErrRollback = errors.New("revocation: snapshot older than installed state")
+	// ErrEpochGap is returned when a delta does not chain from the
+	// installed epoch; the caller should fall back to a full snapshot.
+	ErrEpochGap = errors.New("revocation: delta does not chain from installed epoch")
+	// ErrStale is returned when a list is past its next-update time.
+	ErrStale = errors.New("revocation: list past its next-update time")
+	// ErrDigestMismatch is returned when a digest check fails while
+	// chaining a delta; the caller should fall back to a full snapshot.
+	ErrDigestMismatch = errors.New("revocation: digest mismatch")
+	// ErrNoSnapshot is returned when a delta arrives before any snapshot
+	// has been installed.
+	ErrNoSnapshot = errors.New("revocation: no snapshot installed")
+	// ErrMalformed is returned for structurally invalid encodings.
+	ErrMalformed = errors.New("revocation: malformed encoding")
+)
+
+// List names which revocation list an object belongs to.
+type List uint8
+
+const (
+	// ListURL is the user revocation list: entries are 64-byte marshaled
+	// group-signature revocation tokens (sgs.RevocationToken.Bytes).
+	ListURL List = 1
+	// ListCRL is the router certificate revocation list: entries are
+	// subject-ID bytes.
+	ListCRL List = 2
+)
+
+// String implements fmt.Stringer.
+func (l List) String() string {
+	switch l {
+	case ListURL:
+		return "URL"
+	case ListCRL:
+		return "CRL"
+	default:
+		return fmt.Sprintf("List(%d)", uint8(l))
+	}
+}
+
+func (l List) valid() bool { return l == ListURL || l == ListCRL }
+
+// DigestSize is the size of a list digest (SHA-256).
+const DigestSize = 32
+
+// Ref is the compact advertisement of a list state carried in beacons:
+// O(1) bytes regardless of list size. NextUpdate is informational — a
+// consumer trusts only the NO-signed times inside its installed store.
+type Ref struct {
+	Epoch      uint64
+	Digest     [DigestSize]byte
+	NextUpdate time.Time
+}
+
+// Gap describes what a consumer is missing relative to an advertised Ref,
+// i.e. what it should fetch: a delta from (HaveEpoch, HaveDigest) when
+// Have is true and the server still retains that epoch, a full snapshot
+// otherwise.
+type Gap struct {
+	List       List
+	Have       bool
+	HaveEpoch  uint64
+	HaveDigest [DigestSize]byte
+}
+
+// Snapshot is one immutable epoch of a revocation list. Entries are
+// canonical: sorted with bytes.Compare and deduplicated, so the digest is
+// order-independent and Contains is a binary search. Snapshots assembled
+// locally by chaining signed deltas carry a nil Signature — their
+// authenticity derives from the verified delta chain.
+type Snapshot struct {
+	List       List
+	Epoch      uint64
+	IssuedAt   time.Time
+	NextUpdate time.Time
+	Entries    [][]byte
+	Signature  []byte
+
+	digestOnce sync.Once
+	digest     [DigestSize]byte
+}
+
+const snapshotDomain = "peace/rev-snap:v1"
+const digestDomain = "peace/rev-digest:v1"
+
+// Canonicalize sorts and deduplicates entries, copying the slice (but not
+// the entry bytes). Nil-safe; returns a non-nil empty slice for no entries.
+func Canonicalize(entries [][]byte) [][]byte {
+	out := make([][]byte, 0, len(entries))
+	out = append(out, entries...)
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
+	dedup := out[:0]
+	for i, e := range out {
+		if i == 0 || !bytes.Equal(e, out[i-1]) {
+			dedup = append(dedup, e)
+		}
+	}
+	return dedup
+}
+
+// digestEntries computes the canonical digest of an entry set. The digest
+// covers the list identity and the entries only — not epoch or times — so
+// a re-issue of an unchanged set keeps its digest.
+func digestEntries(l List, entries [][]byte) [DigestSize]byte {
+	h := sha256.New()
+	h.Write([]byte(digestDomain))
+	h.Write([]byte{byte(l)})
+	var lenBuf [4]byte
+	for _, e := range entries {
+		lenBuf[0] = byte(len(e) >> 24)
+		lenBuf[1] = byte(len(e) >> 16)
+		lenBuf[2] = byte(len(e) >> 8)
+		lenBuf[3] = byte(len(e))
+		h.Write(lenBuf[:])
+		h.Write(e)
+	}
+	var out [DigestSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Digest returns the canonical digest of the snapshot's entry set,
+// computed once and cached.
+func (s *Snapshot) Digest() [DigestSize]byte {
+	s.digestOnce.Do(func() { s.digest = digestEntries(s.List, s.Entries) })
+	return s.digest
+}
+
+// Ref returns the compact beacon advertisement for this snapshot.
+func (s *Snapshot) Ref() Ref {
+	return Ref{Epoch: s.Epoch, Digest: s.Digest(), NextUpdate: s.NextUpdate}
+}
+
+// Contains reports whether entry is in the (canonical) entry set.
+func (s *Snapshot) Contains(entry []byte) bool {
+	i := sort.Search(len(s.Entries), func(i int) bool {
+		return bytes.Compare(s.Entries[i], entry) >= 0
+	})
+	return i < len(s.Entries) && bytes.Equal(s.Entries[i], entry)
+}
+
+// signedBody returns the canonical byte string covered by the signature.
+func (s *Snapshot) signedBody() []byte {
+	d := s.Digest()
+	w := wire.NewWriter(96)
+	w.StringField(snapshotDomain)
+	w.Byte(byte(s.List))
+	w.Uint64(s.Epoch)
+	w.Time(s.IssuedAt)
+	w.Time(s.NextUpdate)
+	w.BytesField(d[:])
+	return w.Bytes()
+}
+
+// sign attaches an authority signature.
+func (s *Snapshot) sign(rng io.Reader, authority *cert.KeyPair) error {
+	sig, err := authority.Sign(rng, s.signedBody())
+	if err != nil {
+		return err
+	}
+	s.Signature = sig
+	return nil
+}
+
+// Verify checks the authority signature and freshness against now.
+func (s *Snapshot) Verify(authority cert.PublicKey, now time.Time) error {
+	if !s.List.valid() {
+		return fmt.Errorf("%w: unknown list %d", ErrMalformed, s.List)
+	}
+	if err := authority.Verify(s.signedBody(), s.Signature); err != nil {
+		return fmt.Errorf("revocation: snapshot: %w", err)
+	}
+	if now.After(s.NextUpdate) {
+		return ErrStale
+	}
+	return nil
+}
+
+// Marshal encodes the snapshot.
+func (s *Snapshot) Marshal() []byte {
+	sz := 0
+	for _, e := range s.Entries {
+		sz += 4 + len(e)
+	}
+	w := wire.NewWriter(96 + sz)
+	w.Byte(byte(s.List))
+	w.Uint64(s.Epoch)
+	w.Time(s.IssuedAt)
+	w.Time(s.NextUpdate)
+	w.Uint32(uint32(len(s.Entries)))
+	for _, e := range s.Entries {
+		w.BytesField(e)
+	}
+	w.BytesField(s.Signature)
+	return w.Bytes()
+}
+
+// UnmarshalSnapshot decodes a snapshot. Entries are re-canonicalized so a
+// decoded snapshot upholds the sorted/deduplicated invariant regardless of
+// sender behavior (a reordered encoding changes nothing; the digest — and
+// hence the signature check — sees the canonical set).
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
+	r := wire.NewReader(data)
+	s := &Snapshot{}
+	lb, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	s.List = List(lb)
+	if !s.List.valid() {
+		return nil, fmt.Errorf("%w: unknown list %d", ErrMalformed, lb)
+	}
+	if s.Epoch, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if s.IssuedAt, err = r.Time(); err != nil {
+		return nil, err
+	}
+	if s.NextUpdate, err = r.Time(); err != nil {
+		return nil, err
+	}
+	// Each entry is a length-prefixed byte string (≥ 4 bytes); Count
+	// bounds the claimed entry count by the bytes actually present.
+	n, err := r.Count(4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	entries := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := r.BytesField()
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, append([]byte(nil), e...))
+	}
+	s.Entries = Canonicalize(entries)
+	sig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	s.Signature = append([]byte(nil), sig...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,225 @@
+package revocation
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+)
+
+// Store holds a consumer's current state for one list: the installed
+// snapshot plus (optionally, via InstallBundle) a bounded per-epoch cache
+// of deltas for serving other consumers. All methods are safe for
+// concurrent use; Current returns an immutable snapshot, so readers keep
+// working off a consistent epoch while an install swaps the pointer.
+type Store struct {
+	list      List
+	authority cert.PublicKey
+
+	mu     sync.RWMutex
+	snap   *Snapshot
+	digest [DigestSize]byte
+	deltas map[uint64]*Delta // FromEpoch -> delta to current epoch
+}
+
+// NewStore creates an empty store for list, trusting authority.
+func NewStore(list List, authority cert.PublicKey) (*Store, error) {
+	if !list.valid() {
+		return nil, fmt.Errorf("%w: unknown list %d", ErrMalformed, list)
+	}
+	return &Store{list: list, authority: authority}, nil
+}
+
+// List returns which list this store tracks.
+func (s *Store) List() List { return s.list }
+
+// Install verifies and installs a signed snapshot. Anti-rollback: a
+// snapshot with an older epoch — or the same epoch but an earlier
+// IssuedAt or different digest — is refused with ErrRollback. A snapshot
+// past its NextUpdate is refused with ErrStale.
+func (s *Store) Install(snap *Snapshot, now time.Time) error {
+	if snap.List != s.list {
+		return fmt.Errorf("%w: snapshot for %v installed into %v store", ErrMalformed, snap.List, s.list)
+	}
+	if err := snap.Verify(s.authority, now); err != nil {
+		return err
+	}
+	d := snap.Digest()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap != nil {
+		switch {
+		case snap.Epoch < s.snap.Epoch:
+			return fmt.Errorf("%w: epoch %d < installed %d", ErrRollback, snap.Epoch, s.snap.Epoch)
+		case snap.Epoch == s.snap.Epoch && snap.IssuedAt.Before(s.snap.IssuedAt):
+			return fmt.Errorf("%w: epoch %d re-issue predates installed copy", ErrRollback, snap.Epoch)
+		case snap.Epoch == s.snap.Epoch && d != s.digest:
+			return fmt.Errorf("%w: epoch %d digest divergence", ErrDigestMismatch, snap.Epoch)
+		}
+	}
+	if s.snap == nil || snap.Epoch != s.snap.Epoch {
+		s.deltas = nil // cached deltas target a superseded epoch
+	}
+	s.snap = snap
+	s.digest = d
+	return nil
+}
+
+// InstallBundle installs the bundle's snapshot and retains its verified
+// deltas for serving via DeltaFrom. The cache is replaced wholesale, so
+// it stays bounded by the authority's history limit.
+func (s *Store) InstallBundle(b *Bundle, now time.Time) error {
+	if err := s.Install(b.Snapshot, now); err != nil {
+		return err
+	}
+	cache := make(map[uint64]*Delta, len(b.Deltas))
+	for _, d := range b.Deltas {
+		if d.List != s.list || d.ToEpoch != b.Snapshot.Epoch {
+			continue
+		}
+		if err := d.Verify(s.authority, now); err != nil {
+			continue
+		}
+		cache[d.FromEpoch] = d
+	}
+	s.mu.Lock()
+	if s.snap == b.Snapshot || (s.snap != nil && s.snap.Epoch == b.Snapshot.Epoch) {
+		s.deltas = cache
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// ApplyDelta verifies a signed delta and chains it onto the installed
+// snapshot, producing a new (unsigned) snapshot whose digest must match
+// the delta's ToDigest. ErrEpochGap and ErrDigestMismatch tell the caller
+// to fall back to a full-snapshot fetch; applying a delta whose target
+// epoch is not ahead of the installed one is a no-op (already current) or
+// ErrRollback.
+func (s *Store) ApplyDelta(d *Delta, now time.Time) error {
+	if d.List != s.list {
+		return fmt.Errorf("%w: delta for %v applied to %v store", ErrMalformed, d.List, s.list)
+	}
+	if err := d.Verify(s.authority, now); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap == nil {
+		return ErrNoSnapshot
+	}
+	cur := s.snap
+	if d.ToEpoch == cur.Epoch {
+		return nil // already current
+	}
+	if d.ToEpoch < cur.Epoch {
+		return fmt.Errorf("%w: delta targets epoch %d, installed %d", ErrRollback, d.ToEpoch, cur.Epoch)
+	}
+	if d.FromEpoch != cur.Epoch {
+		return fmt.Errorf("%w: delta from epoch %d, installed %d", ErrEpochGap, d.FromEpoch, cur.Epoch)
+	}
+	if d.FromDigest != s.digest {
+		return fmt.Errorf("%w: from-digest diverges at epoch %d", ErrDigestMismatch, cur.Epoch)
+	}
+	next := &Snapshot{
+		List:       s.list,
+		Epoch:      d.ToEpoch,
+		IssuedAt:   d.IssuedAt,
+		NextUpdate: d.NextUpdate,
+		Entries:    patchEntries(cur.Entries, d.Removed, d.Added),
+	}
+	if next.Digest() != d.ToDigest {
+		return fmt.Errorf("%w: to-digest diverges after applying delta to epoch %d", ErrDigestMismatch, d.ToEpoch)
+	}
+	s.snap = next
+	s.digest = d.ToDigest
+	s.deltas = nil
+	return nil
+}
+
+// patchEntries returns (base \ removed) ∪ added as a fresh canonical set;
+// base is never mutated (copy-on-write).
+func patchEntries(base, removed, added [][]byte) [][]byte {
+	rm := Canonicalize(removed)
+	out := make([][]byte, 0, len(base)+len(added))
+	i := 0
+	for _, e := range base {
+		for i < len(rm) && bytes.Compare(rm[i], e) < 0 {
+			i++
+		}
+		if i < len(rm) && bytes.Equal(rm[i], e) {
+			continue
+		}
+		out = append(out, e)
+	}
+	out = append(out, added...)
+	return Canonicalize(out)
+}
+
+// Current returns the installed snapshot, or false if none is installed.
+func (s *Store) Current() (*Snapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap, s.snap != nil
+}
+
+// Epoch returns the installed epoch, or 0 if nothing is installed.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.snap == nil {
+		return 0
+	}
+	return s.snap.Epoch
+}
+
+// Digest returns the installed digest and whether anything is installed.
+func (s *Store) Digest() ([DigestSize]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.digest, s.snap != nil
+}
+
+// Contains reports whether entry is revoked in the installed snapshot.
+func (s *Store) Contains(entry []byte) bool {
+	s.mu.RLock()
+	snap := s.snap
+	s.mu.RUnlock()
+	return snap != nil && snap.Contains(entry)
+}
+
+// Fresh reports whether a snapshot is installed and not past NextUpdate.
+func (s *Store) Fresh(now time.Time) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap != nil && !now.After(s.snap.NextUpdate)
+}
+
+// DeltaFrom returns the cached delta taking fromEpoch to the installed
+// epoch, if one was retained by InstallBundle.
+func (s *Store) DeltaFrom(fromEpoch uint64) (*Delta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.deltas[fromEpoch]
+	return d, ok
+}
+
+// GapAgainst compares the installed state with an advertised ref and
+// reports what to fetch: (gap, true) when the advertisement is ahead of —
+// or the installed state is missing/stale at — now. A ref at or behind
+// the installed epoch with a fresh store needs nothing.
+func (s *Store) GapAgainst(ref Ref, now time.Time) (Gap, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.snap == nil {
+		return Gap{List: s.list}, true
+	}
+	if ref.Epoch > s.snap.Epoch || now.After(s.snap.NextUpdate) {
+		return Gap{List: s.list, Have: true, HaveEpoch: s.snap.Epoch, HaveDigest: s.digest}, true
+	}
+	return Gap{}, false
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 // ErrHandshakeTimeout is returned when a handshake phase exhausted its
@@ -111,6 +112,13 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 		return nil, fmt.Errorf("solicit beacon: %w", err)
 	}
 
+	// Phase 1.5: converge revocation state onto what the beacon
+	// advertises — a delta per list when the router still has one from our
+	// epoch, a full snapshot otherwise — before any signing happens.
+	if err := c.syncRevocations(ctx, beacon); err != nil {
+		return nil, fmt.Errorf("revocation sync: %w", err)
+	}
+
 	// Phase 2: validate M.1, send M.2, await M.3.
 	m2, err := c.user.HandleBeacon(beacon, c.cfg.Group)
 	if err != nil {
@@ -166,6 +174,99 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 		return nil, fmt.Errorf("access request: %w", err)
 	}
 	return c.user.HandleAccessConfirm(confirm)
+}
+
+// syncRevocations closes every gap between the user's installed
+// revocation state and the beacon's advertised refs. Each round fetches
+// at most one payload per gapped list; a delta whose chain no longer
+// reaches our state downgrades to a full-snapshot fetch. Bounded rounds
+// keep an equivocating router from wedging the handshake.
+func (c *Client) syncRevocations(ctx context.Context, beacon *core.Beacon) error {
+	const maxRounds = 4
+	for round := 0; round < maxRounds; round++ {
+		gaps := c.user.RevocationGaps(beacon)
+		if len(gaps) == 0 {
+			return nil
+		}
+		for _, g := range gaps {
+			if err := c.fetchRevocation(ctx, FetchFor(g)); err != nil {
+				return err
+			}
+		}
+	}
+	if gaps := c.user.RevocationGaps(beacon); len(gaps) > 0 {
+		return fmt.Errorf("transport: revocation state still behind after %d rounds", maxRounds)
+	}
+	return nil
+}
+
+// fetchRevocation performs one fetch round-trip and applies the answer.
+func (c *Client) fetchRevocation(ctx context.Context, f *RevocationFetch) error {
+	req, err := EncodeMessage(f)
+	if err != nil {
+		return err
+	}
+	var applyErr error
+	err = c.exchange(ctx, req, func(kind Kind, payload []byte) (bool, error) {
+		switch kind {
+		case KindURLUpdate, KindCRLUpdate:
+			msg, err := DecodeMessage(kind, payload)
+			if err != nil {
+				c.stats.decodeErrors.Add(1)
+				return false, nil
+			}
+			snap := msg.(*revocation.Snapshot)
+			if snap.List != f.List {
+				c.stats.unhandled.Add(1)
+				return false, nil
+			}
+			c.stats.revSnapshotFetches.Add(1)
+			applyErr = c.user.InstallRevocationSnapshot(snap)
+			return true, nil
+		case KindURLDelta:
+			d, err := revocation.UnmarshalDelta(payload)
+			if err != nil {
+				c.stats.decodeErrors.Add(1)
+				return false, nil
+			}
+			if d.List != f.List {
+				c.stats.unhandled.Add(1)
+				return false, nil
+			}
+			c.stats.revDeltaFetches.Add(1)
+			applyErr = c.user.ApplyRevocationDelta(d)
+			return true, nil
+		case KindBeacon:
+			// Late beacons from phase 1 retransmissions.
+			c.stats.duplicates.Add(1)
+			return false, nil
+		default:
+			c.stats.unhandled.Add(1)
+			return false, nil
+		}
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case applyErr == nil:
+	case errors.Is(applyErr, revocation.ErrEpochGap),
+		errors.Is(applyErr, revocation.ErrDigestMismatch),
+		errors.Is(applyErr, revocation.ErrNoSnapshot):
+		// The delta chain does not reach our state: fall back to the full
+		// snapshot (unless this already was a full fetch).
+		if f.Have {
+			return c.fetchRevocation(ctx, &RevocationFetch{List: f.List})
+		}
+		return applyErr
+	case errors.Is(applyErr, revocation.ErrRollback):
+		// Stale duplicate answer (e.g. a retransmitted older frame); our
+		// state is already at or past it. Not an error.
+	default:
+		return applyErr
+	}
+	c.stats.setEpochs(c.user.RevocationEpoch(revocation.ListURL), c.user.RevocationEpoch(revocation.ListCRL))
+	return nil
 }
 
 // exchange sends frame and reads datagrams until handle reports

@@ -49,10 +49,16 @@ const (
 	KindPeerHello     // M̃.1
 	KindPeerResponse  // M̃.2
 	KindPeerConfirm   // M̃.3
-	KindURLUpdate
-	KindCRLUpdate
+	KindURLUpdate     // full URL revocation snapshot
+	KindCRLUpdate     // full CRL revocation snapshot
 	KindPuzzle
 	KindReject
+	// KindURLSnapshotRequest solicits revocation state for either list
+	// (the RevocationFetch payload says which and what the client holds);
+	// the router answers with a KindURLDelta when its bounded history
+	// still covers the client's epoch, else with the full snapshot kind.
+	KindURLSnapshotRequest
+	KindURLDelta
 
 	kindEnd // one past the last valid kind
 )
@@ -82,6 +88,10 @@ func (k Kind) String() string {
 		return "puzzle"
 	case KindReject:
 		return "reject"
+	case KindURLSnapshotRequest:
+		return "revocation-fetch"
+	case KindURLDelta:
+		return "revocation-delta"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/puzzle"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -123,6 +124,9 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := ln.SeedUserRevocations(); err != nil {
+		t.Fatal(err)
+	}
 	u, peer := ln.Users[0], ln.Users[1]
 
 	beacon, err := ln.Router.Beacon()
@@ -152,20 +156,32 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	url, err := ln.NO.CurrentURL()
-	if err != nil {
-		t.Fatal(err)
+	url, ok := ln.Router.RevocationSnapshot(revocation.ListURL)
+	if !ok {
+		t.Fatal("router has no URL snapshot")
 	}
-	crl, err := ln.NO.CurrentCRL()
-	if err != nil {
-		t.Fatal(err)
+	crl, ok := ln.Router.RevocationSnapshot(revocation.ListCRL)
+	if !ok {
+		t.Fatal("router has no CRL snapshot")
+	}
+	fetch := &RevocationFetch{List: revocation.ListURL, Have: true, HaveEpoch: url.Epoch, HaveDigest: url.Digest()}
+	delta := &revocation.Delta{
+		List:       revocation.ListURL,
+		FromEpoch:  url.Epoch,
+		ToEpoch:    url.Epoch + 1,
+		IssuedAt:   url.IssuedAt,
+		NextUpdate: url.NextUpdate,
+		FromDigest: url.Digest(),
+		ToDigest:   url.Digest(),
+		Added:      [][]byte{[]byte("tok")},
+		Signature:  []byte{1, 2, 3},
 	}
 	pz, err := puzzle.New(rand.Reader, 4, "MR-T", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	msgs := []any{&BeaconRequest{}, beacon, m2, m3, hello, resp, confirm, url, crl, pz}
+	msgs := []any{&BeaconRequest{}, beacon, m2, m3, hello, resp, confirm, url, crl, fetch, delta, pz}
 	for _, msg := range msgs {
 		frame, err := EncodeMessage(msg)
 		if err != nil {
@@ -205,10 +221,20 @@ func TestExportImportCredentials(t *testing.T) {
 	if len(users) != 3 {
 		t.Fatalf("imported %d users", len(users))
 	}
-	// An imported user must be able to complete the AKA.
+	// An imported user must be able to complete the AKA (after the
+	// bootstrap snapshot install a provisioning service performs).
 	beacon, err := ln.Router.Beacon()
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, l := range []revocation.List{revocation.ListURL, revocation.ListCRL} {
+		snap, ok := ln.Router.RevocationSnapshot(l)
+		if !ok {
+			t.Fatalf("router has no %v snapshot", l)
+		}
+		if err := users[1].InstallRevocationSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
 	}
 	m2, err := users[1].HandleBeacon(beacon, "grp-p")
 	if err != nil {

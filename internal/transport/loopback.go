@@ -6,9 +6,11 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 // LoopbackConfig describes one loopback handshake run: N concurrent users
@@ -186,5 +188,153 @@ func RunLoopbackWith(n *LocalNetwork, cfg LoopbackConfig) (*LoopbackReport, erro
 		}
 		rep.P99 = latencies[p99]
 	}
+	return rep, nil
+}
+
+// DrillConfig describes a multi-epoch revocation-distribution drill: the
+// same user population re-attaches across Rounds epochs while the
+// operator revokes RevokePerRound spare credentials between rounds, so
+// the URL grows and clients must converge onto each new epoch in-band.
+type DrillConfig struct {
+	// Users is the persistent client population. Default 8.
+	Users int
+	// Rounds is how many attach waves run. Default 4.
+	Rounds int
+	// RevokePerRound is how many spare group slots are revoked between
+	// consecutive rounds. (Rounds-1)*RevokePerRound must fit the spare
+	// headroom NewLocalNetwork provisions. Default 2.
+	RevokePerRound int
+	// AttachTimeout bounds one client's whole handshake. Default 30s.
+	AttachTimeout time.Duration
+	// Client and Server tune the endpoints.
+	Client ClientConfig
+	Server ServerConfig
+}
+
+func (c DrillConfig) withDefaults() DrillConfig {
+	if c.Users < 1 {
+		c.Users = 8
+	}
+	if c.Rounds < 1 {
+		c.Rounds = 4
+	}
+	if c.RevokePerRound < 1 {
+		c.RevokePerRound = 2
+	}
+	if c.AttachTimeout <= 0 {
+		c.AttachTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// DrillReport is the outcome of one revocation-distribution drill. A
+// healthy run shows every client bootstrapping with at most one full
+// snapshot per list (SnapshotsPerClientMax ≤ 2) and converging onto all
+// later epochs via deltas alone.
+type DrillReport struct {
+	Users          int `json:"users"`
+	Rounds         int `json:"rounds"`
+	RevokePerRound int `json:"revoke_per_round"`
+	// Established counts successful attaches over all rounds
+	// (Users*Rounds on full success).
+	Established int `json:"established"`
+	// DeltaFetches / SnapshotFetches aggregate client-side applies.
+	DeltaFetches    int64 `json:"delta_fetches"`
+	SnapshotFetches int64 `json:"snapshot_fetches"`
+	// SnapshotsPerClientMax is the worst per-client full-snapshot count;
+	// >2 means some client fell off the delta path.
+	SnapshotsPerClientMax int64 `json:"snapshots_per_client_max"`
+	// FinalURLEpoch is the router's URL epoch after the last revocation.
+	FinalURLEpoch uint64 `json:"final_url_epoch"`
+	// URLSize is the final number of revoked tokens on the list.
+	URLSize int `json:"url_size"`
+	// Server holds the router-side transport counters.
+	Server StatsSnapshot `json:"server"`
+	// Errors lists attach failures (empty on full success).
+	Errors []string `json:"errors,omitempty"`
+}
+
+// RunRevocationDrill provisions a network, then alternates attach waves
+// with spare-credential revocations. Users keep their installed
+// revocation state across rounds, so every round after the first should
+// be served by signed deltas, never by re-shipping the full URL.
+func RunRevocationDrill(cfg DrillConfig) (*DrillReport, error) {
+	cfg = cfg.withDefaults()
+	const group = core.GroupID("grp-0")
+	ln, err := NewLocalNetwork(core.Config{}, "MR-0", group, cfg.Users)
+	if err != nil {
+		return nil, fmt.Errorf("provision: %w", err)
+	}
+
+	serverConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(serverConn, ln.Router, cfg.Server)
+	defer srv.Close()
+	raddr := serverConn.LocalAddr()
+
+	rep := &DrillReport{Users: cfg.Users, Rounds: cfg.Rounds, RevokePerRound: cfg.RevokePerRound}
+	snapPerUser := make([]atomic.Int64, cfg.Users)
+	var established atomic.Int64
+	var errMu sync.Mutex
+
+	for round := 0; round < cfg.Rounds; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.Users; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+				if err == nil {
+					defer conn.Close()
+					cl := NewClient(conn, raddr, ln.Users[i], cfg.Client)
+					ctx, cancel := context.WithTimeout(context.Background(), cfg.AttachTimeout)
+					defer cancel()
+					_, err = cl.Attach(ctx)
+					snapPerUser[i].Add(cl.Stats().RevSnapshotFetches())
+					atomic.AddInt64(&rep.DeltaFetches, cl.Stats().RevDeltaFetches())
+					atomic.AddInt64(&rep.SnapshotFetches, cl.Stats().RevSnapshotFetches())
+				}
+				if err != nil {
+					errMu.Lock()
+					rep.Errors = append(rep.Errors, fmt.Sprintf("round %d user %d: %v", round, i, err))
+					errMu.Unlock()
+					return
+				}
+				established.Add(1)
+			}(i)
+		}
+		wg.Wait()
+
+		if round == cfg.Rounds-1 {
+			break
+		}
+		// Revoke spare slots (issued beyond the live population) so the
+		// URL grows without cutting off any attaching user.
+		for k := 0; k < cfg.RevokePerRound; k++ {
+			tok, err := ln.NO.TokenOf(group, cfg.Users+round*cfg.RevokePerRound+k)
+			if err != nil {
+				return nil, fmt.Errorf("drill: spare slot exhausted: %w", err)
+			}
+			ln.NO.RevokeUserKey(tok)
+		}
+		if err := ln.RefreshRevocations(); err != nil {
+			return nil, err
+		}
+		srv.InvalidateBeacon()
+	}
+
+	rep.Established = int(established.Load())
+	for i := range snapPerUser {
+		if n := snapPerUser[i].Load(); n > rep.SnapshotsPerClientMax {
+			rep.SnapshotsPerClientMax = n
+		}
+	}
+	rep.FinalURLEpoch = ln.Router.RevocationEpoch(revocation.ListURL)
+	if snap, ok := ln.Router.RevocationSnapshot(revocation.ListURL); ok {
+		rep.URLSize = len(snap.Entries)
+	}
+	rep.Server = srv.Stats().Snapshot()
 	return rep, nil
 }

@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/puzzle"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/wire"
 )
 
@@ -125,6 +125,87 @@ func UnmarshalReject(data []byte) (*Reject, error) {
 	return m, nil
 }
 
+// RevocationFetch asks the router for revocation state of one list. With
+// Have set, the client declares the epoch and digest it already holds and
+// the router answers with the delta from that epoch when its bounded
+// history still covers it; otherwise (or with Have unset) the full
+// snapshot comes back.
+type RevocationFetch struct {
+	List       revocation.List
+	Have       bool
+	HaveEpoch  uint64
+	HaveDigest [revocation.DigestSize]byte
+}
+
+// FetchFor converts a gap reported by core.User.RevocationGaps into the
+// wire request that closes it.
+func FetchFor(g revocation.Gap) *RevocationFetch {
+	return &RevocationFetch{List: g.List, Have: g.Have, HaveEpoch: g.HaveEpoch, HaveDigest: g.HaveDigest}
+}
+
+// Marshal encodes the fetch request.
+func (m *RevocationFetch) Marshal() []byte {
+	w := wire.NewWriter(64)
+	w.Byte(byte(m.List))
+	if m.Have {
+		w.Byte(1)
+		w.Uint64(m.HaveEpoch)
+		w.BytesField(m.HaveDigest[:])
+	} else {
+		w.Byte(0)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalRevocationFetch decodes a fetch request.
+func UnmarshalRevocationFetch(data []byte) (*RevocationFetch, error) {
+	r := wire.NewReader(data)
+	m := &RevocationFetch{}
+	l, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	m.List = revocation.List(l)
+	if m.List != revocation.ListURL && m.List != revocation.ListCRL {
+		return nil, fmt.Errorf("transport: revocation fetch list %d", l)
+	}
+	have, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if have == 1 {
+		m.Have = true
+		if m.HaveEpoch, err = r.Uint64(); err != nil {
+			return nil, err
+		}
+		d, err := r.BytesField()
+		if err != nil {
+			return nil, err
+		}
+		if len(d) != revocation.DigestSize {
+			return nil, fmt.Errorf("transport: revocation fetch digest size %d", len(d))
+		}
+		copy(m.HaveDigest[:], d)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// snapshotKind maps a revocation list to the frame kind that carries its
+// full snapshots.
+func snapshotKind(l revocation.List) (Kind, error) {
+	switch l {
+	case revocation.ListURL:
+		return KindURLUpdate, nil
+	case revocation.ListCRL:
+		return KindCRLUpdate, nil
+	default:
+		return KindInvalid, fmt.Errorf("transport: no kind for revocation list %d", l)
+	}
+}
+
 // EncodeMessage frames any protocol message, choosing the kind from the
 // concrete type.
 func EncodeMessage(msg any) ([]byte, error) {
@@ -143,10 +224,16 @@ func EncodeMessage(msg any) ([]byte, error) {
 		return EncodeFrame(KindPeerResponse, m.Marshal())
 	case *core.PeerConfirm:
 		return EncodeFrame(KindPeerConfirm, m.Marshal())
-	case *core.UserRevocationList:
-		return EncodeFrame(KindURLUpdate, m.Marshal())
-	case *cert.CRL:
-		return EncodeFrame(KindCRLUpdate, m.Marshal())
+	case *revocation.Snapshot:
+		k, err := snapshotKind(m.List)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeFrame(k, m.Marshal())
+	case *revocation.Delta:
+		return EncodeFrame(KindURLDelta, m.Marshal())
+	case *RevocationFetch:
+		return EncodeFrame(KindURLSnapshotRequest, m.Marshal())
 	case *puzzle.Puzzle:
 		return EncodeFrame(KindPuzzle, m.Marshal())
 	case *Reject:
@@ -177,10 +264,19 @@ func DecodeMessage(kind Kind, payload []byte) (any, error) {
 		return core.UnmarshalPeerResponse(payload)
 	case KindPeerConfirm:
 		return core.UnmarshalPeerConfirm(payload)
-	case KindURLUpdate:
-		return core.UnmarshalUserRevocationList(payload)
-	case KindCRLUpdate:
-		return cert.UnmarshalCRL(payload)
+	case KindURLUpdate, KindCRLUpdate:
+		s, err := revocation.UnmarshalSnapshot(payload)
+		if err != nil {
+			return nil, err
+		}
+		if want, _ := snapshotKind(s.List); want != kind {
+			return nil, fmt.Errorf("transport: %v frame carries %v snapshot", kind, s.List)
+		}
+		return s, nil
+	case KindURLDelta:
+		return revocation.UnmarshalDelta(payload)
+	case KindURLSnapshotRequest:
+		return UnmarshalRevocationFetch(payload)
 	case KindPuzzle:
 		return puzzle.Unmarshal(payload)
 	case KindReject:

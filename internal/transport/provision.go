@@ -5,6 +5,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 	"github.com/peace-mesh/peace/internal/wire"
 )
@@ -38,7 +39,7 @@ func NewLocalNetwork(cfg core.Config, routerID string, group core.GroupID, nUser
 	if err != nil {
 		return nil, err
 	}
-	if err := no.RegisterUserGroup(gm, ttp, nUsers+2); err != nil {
+	if err := no.RegisterUserGroup(gm, ttp, nUsers+16); err != nil {
 		return nil, err
 	}
 
@@ -73,18 +74,34 @@ func NewLocalNetwork(cfg core.Config, routerID string, group core.GroupID, nUser
 	return n, nil
 }
 
-// RefreshRevocations pushes freshly signed CRL/URL copies to the router
-// (the operator's periodic secure channel).
+// RefreshRevocations pushes freshly signed CRL/URL bundles to the router
+// (the operator's periodic secure channel). Users are NOT updated here:
+// they converge over the wire via deltas, which is the point of the
+// distribution subsystem.
 func (n *LocalNetwork) RefreshRevocations() error {
-	crl, err := n.NO.CurrentCRL()
+	crl, url, err := n.NO.RevocationBundles()
 	if err != nil {
 		return err
 	}
-	url, err := n.NO.CurrentURL()
-	if err != nil {
-		return err
+	return n.Router.UpdateRevocations(crl, url)
+}
+
+// SeedUserRevocations installs the router's current revocation snapshots
+// directly into every provisioned user — the out-of-band bootstrap a
+// real deployment performs at enrollment time. Skip it to exercise the
+// in-band path, where clients converge via delta fetches.
+func (n *LocalNetwork) SeedUserRevocations() error {
+	for _, l := range []revocation.List{revocation.ListURL, revocation.ListCRL} {
+		snap, ok := n.Router.RevocationSnapshot(l)
+		if !ok {
+			return fmt.Errorf("provision: router has no %v snapshot", l)
+		}
+		for _, u := range n.Users {
+			if err := u.InstallRevocationSnapshot(snap); err != nil {
+				return err
+			}
+		}
 	}
-	n.Router.UpdateRevocations(crl, url)
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 )
 
 // ServerConfig tunes the router-side datapath.
@@ -79,6 +80,13 @@ type Server struct {
 	replyOrder  []core.SessionID
 	closed      bool
 
+	// revMu guards the per-list caches of encoded revocation frames: the
+	// current snapshot frame plus delta frames keyed by from-epoch, all
+	// invalidated when the router's installed epoch moves. Bounded by the
+	// operator's delta history.
+	revMu    sync.Mutex
+	revCache map[revocation.List]*revFrameCache
+
 	wg       sync.WaitGroup
 	loopDone chan struct{}
 }
@@ -93,6 +101,7 @@ func NewServer(conn net.PacketConn, router *core.MeshRouter, cfg ServerConfig) *
 		router:   router,
 		queue:    core.NewIngestQueue(router, cfg.QueueCapacity, cfg.MaxBatch),
 		replies:  make(map[core.SessionID]*replyEntry),
+		revCache: make(map[revocation.List]*revFrameCache),
 		loopDone: make(chan struct{}),
 	}
 	go s.readLoop()
@@ -170,6 +179,13 @@ func (s *Server) readLoop() {
 				continue
 			}
 			s.handleAccessRequest(m, addr)
+		case KindURLSnapshotRequest:
+			f, err := UnmarshalRevocationFetch(payload)
+			if err != nil {
+				s.stats.decodeErrors.Add(1)
+				continue
+			}
+			s.handleRevocationFetch(f, addr)
 		default:
 			// Peer AKA, URL/CRL pushes etc. are not served on a router
 			// socket; count and drop.
@@ -208,6 +224,76 @@ func (s *Server) sendBeacon(addr net.Addr) {
 	frame := s.beaconFrame
 	s.mu.Unlock()
 	s.writeTo(frame, addr)
+}
+
+// revFrameCache holds encoded frames of one list's current revocation
+// state so a flash crowd of converging clients is served without
+// re-marshaling per request.
+type revFrameCache struct {
+	epoch     uint64
+	snapFrame []byte
+	deltas    map[uint64][]byte // keyed by from-epoch
+}
+
+// handleRevocationFetch answers a RevocationFetch: a delta from the
+// client's epoch when the router's bounded history still covers it, the
+// full snapshot otherwise.
+func (s *Server) handleRevocationFetch(f *RevocationFetch, addr net.Addr) {
+	snap, ok := s.router.RevocationSnapshot(f.List)
+	if !ok {
+		s.stats.unhandled.Add(1)
+		return
+	}
+
+	s.revMu.Lock()
+	c := s.revCache[f.List]
+	if c == nil || c.epoch != snap.Epoch {
+		c = &revFrameCache{epoch: snap.Epoch, deltas: make(map[uint64][]byte)}
+		s.revCache[f.List] = c
+	}
+	var frame []byte
+	var isDelta bool
+	if f.Have && f.HaveEpoch < snap.Epoch {
+		if cached, ok := c.deltas[f.HaveEpoch]; ok {
+			frame, isDelta = cached, true
+		} else if d, ok := s.router.RevocationDelta(f.List, f.HaveEpoch); ok {
+			if enc, err := EncodeMessage(d); err == nil {
+				c.deltas[f.HaveEpoch] = enc
+				frame, isDelta = enc, true
+			}
+		}
+	}
+	if frame == nil {
+		if c.snapFrame == nil {
+			enc, err := EncodeMessage(snap)
+			if err != nil {
+				s.revMu.Unlock()
+				s.logf("transport: encode snapshot: %v", err)
+				return
+			}
+			c.snapFrame = enc
+		}
+		frame = c.snapFrame
+	}
+	s.revMu.Unlock()
+
+	if isDelta {
+		s.stats.revDeltaFetches.Add(1)
+	} else {
+		s.stats.revSnapshotFetches.Add(1)
+	}
+	s.stats.setEpochs(s.router.RevocationEpoch(revocation.ListURL), s.router.RevocationEpoch(revocation.ListCRL))
+	s.writeTo(frame, addr)
+}
+
+// InvalidateBeacon drops the cached beacon frame so the next solicitation
+// gets a fresh one — call after pushing new revocation state to the
+// router, whose refs the cached beacon no longer advertises.
+func (s *Server) InvalidateBeacon() {
+	s.mu.Lock()
+	s.beaconFrame = nil
+	s.mu.Unlock()
+	s.stats.setEpochs(s.router.RevocationEpoch(revocation.ListURL), s.router.RevocationEpoch(revocation.ListCRL))
 }
 
 // handleAccessRequest dedups by session identifier, then submits to the
@@ -252,9 +338,13 @@ func (s *Server) handleAccessRequest(m *core.AccessRequest, addr net.Addr) {
 		res := <-ch
 		var frame []byte
 		if res.Err != nil {
-			rej := &Reject{Session: sid, Code: rejectCodeFor(res.Err), Reason: res.Err.Error()}
+			code := rejectCodeFor(res.Err)
+			rej := &Reject{Session: sid, Code: code, Reason: res.Err.Error()}
 			frame, err = EncodeMessage(rej)
 			s.stats.rejects.Add(1)
+			if code == RejectRevoked {
+				s.stats.revRejects.Add(1)
+			}
 		} else {
 			frame, err = EncodeMessage(res.Confirm)
 		}

@@ -18,6 +18,15 @@ type Stats struct {
 	timeouts     atomic.Int64
 	rejects      atomic.Int64
 	queueDrops   atomic.Int64
+
+	// Revocation-distribution observability: deltas and full snapshots
+	// served (server) or applied (client), rejects attributed to
+	// revocation, and the current epoch of each installed list.
+	revDeltaFetches    atomic.Int64
+	revSnapshotFetches atomic.Int64
+	revRejects         atomic.Int64
+	urlEpoch           atomic.Uint64
+	crlEpoch           atomic.Uint64
 }
 
 // StatsSnapshot is the plain-struct view of Stats, JSON-ready.
@@ -46,6 +55,16 @@ type StatsSnapshot struct {
 	// QueueDrops counts access requests shed because the ingest queue was
 	// full (backpressure under overload).
 	QueueDrops int64 `json:"queue_drops"`
+	// RevDeltaFetches / RevSnapshotFetches count revocation deltas and
+	// full snapshots served (server) or applied (client).
+	RevDeltaFetches    int64 `json:"rev_delta_fetches"`
+	RevSnapshotFetches int64 `json:"rev_snapshot_fetches"`
+	// RevRejects counts access requests rejected because the signer's
+	// token is on the URL.
+	RevRejects int64 `json:"rev_rejects"`
+	// URLEpoch / CRLEpoch gauge the epoch of each installed list.
+	URLEpoch uint64 `json:"url_epoch"`
+	CRLEpoch uint64 `json:"crl_epoch"`
 }
 
 // Snapshot copies the counters.
@@ -62,6 +81,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Timeouts:     s.timeouts.Load(),
 		Rejects:      s.rejects.Load(),
 		QueueDrops:   s.queueDrops.Load(),
+
+		RevDeltaFetches:    s.revDeltaFetches.Load(),
+		RevSnapshotFetches: s.revSnapshotFetches.Load(),
+		RevRejects:         s.revRejects.Load(),
+		URLEpoch:           s.urlEpoch.Load(),
+		CRLEpoch:           s.crlEpoch.Load(),
 	}
 }
 
@@ -76,3 +101,18 @@ func (s *Stats) Duplicates() int64 { return s.duplicates.Load() }
 
 // DecodeErrors returns the decode-error counter.
 func (s *Stats) DecodeErrors() int64 { return s.decodeErrors.Load() }
+
+// RevDeltaFetches returns the revocation-delta counter.
+func (s *Stats) RevDeltaFetches() int64 { return s.revDeltaFetches.Load() }
+
+// RevSnapshotFetches returns the full-snapshot counter.
+func (s *Stats) RevSnapshotFetches() int64 { return s.revSnapshotFetches.Load() }
+
+// RevRejects returns the revocation-reject counter.
+func (s *Stats) RevRejects() int64 { return s.revRejects.Load() }
+
+// setEpochs records the installed-epoch gauges.
+func (s *Stats) setEpochs(urlEpoch, crlEpoch uint64) {
+	s.urlEpoch.Store(urlEpoch)
+	s.crlEpoch.Store(crlEpoch)
+}

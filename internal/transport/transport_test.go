@@ -346,6 +346,9 @@ func TestPeerAKAOverUDP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := ln.SeedUserRevocations(); err != nil {
+		t.Fatal(err)
+	}
 	// Both users need the router generator from a beacon.
 	b, err := ln.Router.Beacon()
 	if err != nil {
@@ -392,5 +395,46 @@ func TestPeerAKAOverUDP(t *testing.T) {
 	}
 	if responder.Stats().Duplicates() == 0 {
 		t.Fatal("dropped M̃.2 should have forced a duplicate hello")
+	}
+}
+
+// TestRevocationDrillConvergesViaDeltas is the acceptance drill for the
+// revocation-distribution subsystem: a persistent user population
+// re-attaches across several epochs while the operator keeps revoking,
+// and after the cold-start bootstrap every client must follow the URL
+// purely through signed deltas.
+func TestRevocationDrillConvergesViaDeltas(t *testing.T) {
+	cfg := DrillConfig{Users: 4, Rounds: 3, RevokePerRound: 2, Client: testClientConfig()}
+	rep, err := RunRevocationDrill(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("attach failures: %v", rep.Errors)
+	}
+	if want := cfg.Users * cfg.Rounds; rep.Established != want {
+		t.Fatalf("established %d of %d", rep.Established, want)
+	}
+	// Cold start costs at most one full snapshot per list; everything
+	// after must ride deltas.
+	if rep.SnapshotsPerClientMax > 2 {
+		t.Fatalf("some client fetched %d full snapshots", rep.SnapshotsPerClientMax)
+	}
+	// Two revocation pushes → two URL epochs → every client applies at
+	// least two deltas.
+	if want := int64(cfg.Users * (cfg.Rounds - 1)); rep.DeltaFetches < want {
+		t.Fatalf("delta fetches %d < %d", rep.DeltaFetches, want)
+	}
+	if rep.Server.RevDeltaFetches == 0 {
+		t.Fatal("server served no deltas")
+	}
+	if rep.FinalURLEpoch < 2 {
+		t.Fatalf("final URL epoch %d", rep.FinalURLEpoch)
+	}
+	if want := (cfg.Rounds - 1) * cfg.RevokePerRound; rep.URLSize != want {
+		t.Fatalf("URL size %d, want %d", rep.URLSize, want)
+	}
+	if rep.Server.URLEpoch != rep.FinalURLEpoch {
+		t.Fatalf("server gauge epoch %d, router at %d", rep.Server.URLEpoch, rep.FinalURLEpoch)
 	}
 }

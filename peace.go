@@ -22,6 +22,7 @@ package peace
 
 import (
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 )
 
@@ -72,8 +73,17 @@ type (
 	PeerResponse = core.PeerResponse
 	// PeerConfirm is M̃.3.
 	PeerConfirm = core.PeerConfirm
-	// UserRevocationList is the URL broadcast in beacons.
-	UserRevocationList = core.UserRevocationList
+	// RevocationSnapshot is one epoch-numbered signed copy of a
+	// revocation list (URL or CRL).
+	RevocationSnapshot = revocation.Snapshot
+	// RevocationDelta is the signed difference between two epochs.
+	RevocationDelta = revocation.Delta
+	// RevocationBundle pairs a snapshot with the delta from the previous
+	// epoch, as issued by the operator.
+	RevocationBundle = revocation.Bundle
+	// RevocationRef is the (epoch, digest, nextUpdate) reference beacons
+	// carry instead of full lists.
+	RevocationRef = revocation.Ref
 	// Session is an established security association.
 	Session = core.Session
 	// SessionID identifies a session by its DH share pair.

@@ -51,15 +51,18 @@ func newFacadeDeployment(t *testing.T) (*peace.NetworkOperator, *peace.TTP, *pea
 		t.Fatal(err)
 	}
 	r.SetCertificate(c)
-	crl, err := no.CurrentCRL()
+	crl, url, err := no.RevocationBundles()
 	if err != nil {
 		t.Fatal(err)
 	}
-	url, err := no.CurrentURL()
-	if err != nil {
+	if err := r.UpdateRevocations(crl, url); err != nil {
 		t.Fatal(err)
 	}
-	r.UpdateRevocations(crl, url)
+	for _, snap := range []*peace.RevocationSnapshot{crl.Snapshot, url.Snapshot} {
+		if err := u.InstallRevocationSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
 	return no, ttp, gm, u, r, clock
 }
 
