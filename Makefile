@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples vet fmt cover clean ci fuzz staticcheck meshd-loopback meshd-drill
+.PHONY: all build test race bench experiments examples vet fmt cover clean ci fuzz staticcheck meshd-loopback meshd-drill chaos-soak
 
 all: build test
 
@@ -17,8 +17,9 @@ ci:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/
 	$(MAKE) fuzz
+	$(MAKE) chaos-soak
 
 # fuzz smoke: each wire-facing decoder gets a short randomized run, plus a
 # differential fuzz of the Montgomery field core against big.Int.
@@ -31,6 +32,9 @@ fuzz:
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalPeerHello$$' -fuzztime=10s
 	$(GO) test ./internal/revocation/ -run='^$$' -fuzz='^FuzzUnmarshalSnapshot$$' -fuzztime=10s
 	$(GO) test ./internal/revocation/ -run='^$$' -fuzz='^FuzzUnmarshalDelta$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalPingBody$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalPongBody$$' -fuzztime=10s
+	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalDataFrame$$' -fuzztime=10s
 
 # staticcheck runs when the binary is present and is skipped (loudly) when
 # it is not — the container image does not ship it and ci must not fetch
@@ -53,6 +57,14 @@ meshd-loopback:
 meshd-drill:
 	$(GO) run ./cmd/meshd -mode drill -users 8 -rounds 4 -revoke 2
 
+# chaos-soak is the self-healing acceptance drill: 100 maintained clients
+# under 10% loss + 5% corruption + 2% duplication survive a mid-run
+# revocation bump, a server restart and a 5s partition of a third of the
+# fleet, and every client must re-establish with zero invariant
+# violations. Deterministic fault decisions from -seed.
+chaos-soak:
+	$(GO) run ./cmd/meshd -mode chaos -users 100 -seed 42 -storm 2s -partition 5s
+
 build:
 	$(GO) build ./...
 
@@ -60,7 +72,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

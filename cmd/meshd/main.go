@@ -2,14 +2,20 @@
 //
 // Serve mode provisions a network, writes the users' credentials to a
 // provision file and answers M.1–M.3 handshakes on a listen socket,
-// printing router and transport counters as periodic JSON. Client mode
+// printing router and transport counters as periodic JSON; on SIGTERM or
+// SIGINT it drains gracefully (new attaches refused with a transient
+// reject, in-flight replies delivered) before exiting. Client mode
 // imports that provision file and drives N concurrent users through the
 // full AKA against a remote meshd. Loopback mode runs both ends in one
 // process over 127.0.0.1 with induced datagram loss — the acceptance
 // drill for the retransmission machinery. Drill mode grows the URL
 // across epochs between attachment rounds and reports how clients
 // converged (delta fetches vs full snapshot fetches) — the acceptance
-// drill for the epoch-based revocation distribution.
+// drill for the epoch-based revocation distribution. Chaos mode runs the
+// full fault-injection soak: a fleet of self-healing clients under
+// sustained drop/corruption/duplication, a mid-run revocation bump, a
+// server restart and a partition, reporting the recovery counters and
+// every invariant violation.
 //
 // Usage:
 //
@@ -17,6 +23,7 @@
 //	meshd -mode client -addr 127.0.0.1:7464 -provision /tmp/peace.prov -users 100 -loss 0.05
 //	meshd -mode loopback -users 100 -loss 0.05
 //	meshd -mode drill -users 8 -rounds 4 -revoke 2
+//	meshd -mode chaos -users 100 -drop 0.10 -corrupt 0.05 -dup 0.02 -partition 5s
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/peace-mesh/peace/internal/chaos"
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/transport"
 )
@@ -51,6 +59,11 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "client, loopback, drill: per-handshake timeout")
 	rounds := flag.Int("rounds", 4, "drill: attachment rounds (URL epochs)")
 	revoke := flag.Int("revoke", 2, "drill: revocations between rounds")
+	drop := flag.Float64("drop", 0.10, "chaos: datagram drop probability per direction")
+	corrupt := flag.Float64("corrupt", 0.05, "chaos: bit-corruption probability per direction")
+	dup := flag.Float64("dup", 0.02, "chaos: duplication probability per direction")
+	storm := flag.Duration("storm", 2*time.Second, "chaos: keepalive soak length before the restart")
+	partition := flag.Duration("partition", 5*time.Second, "chaos: partition length after the restart")
 	flag.Parse()
 
 	var err error
@@ -63,8 +76,10 @@ func main() {
 		err = runLoopback(*users, *loss, *seed, *timeout)
 	case "drill":
 		err = runDrill(*users, *rounds, *revoke, *timeout)
+	case "chaos":
+		err = runChaos(*users, *seed, *drop, *corrupt, *dup, *storm, *partition)
 	default:
-		err = fmt.Errorf("unknown -mode %q (serve, client, loopback, drill)", *mode)
+		err = fmt.Errorf("unknown -mode %q (serve, client, loopback, drill, chaos)", *mode)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -98,7 +113,7 @@ func runServe(listen, provisionPath string, users int, statsEvery, duration time
 	}
 	srv := transport.NewServer(conn, ln.Router, transport.ServerConfig{Logf: log.Printf})
 	defer srv.Close()
-	log.Printf("meshd: serving on %s", srv.Addr())
+	log.Printf("meshd: serving on %s (boot epoch %d)", srv.Addr(), srv.BootEpoch())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -123,6 +138,15 @@ func runServe(listen, provisionPath string, users int, statsEvery, duration time
 		case <-tick.C:
 			emit()
 		case <-ctx.Done():
+			// Graceful drain: refuse new attaches with a transient reject
+			// (clients back off and retry elsewhere) while every in-flight
+			// reply is still delivered, then emit the final counters.
+			log.Printf("meshd: draining")
+			dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := srv.Drain(dctx); err != nil {
+				log.Printf("meshd: drain: %v", err)
+			}
+			dcancel()
 			emit()
 			return nil
 		}
@@ -267,5 +291,33 @@ func runDrill(users, rounds, revoke int, timeout time.Duration) error {
 	}
 	log.Printf("meshd: %d attachments over %d epochs converged with %d delta fetches, %d snapshot fetches (max %d full snapshots per client)",
 		rep.Established, rep.FinalURLEpoch, rep.DeltaFetches, rep.SnapshotFetches, rep.SnapshotsPerClientMax)
+	return nil
+}
+
+// runChaos executes the fault-injection soak and prints its report: the
+// acceptance drill for the self-healing session machinery.
+func runChaos(users int, seed int64, drop, corrupt, dup float64, storm, partition time.Duration) error {
+	rep, err := chaos.RunSoak(chaos.SoakConfig{
+		Users:        users,
+		Seed:         seed,
+		Faults:       chaos.FaultPlan{Drop: drop, Corrupt: corrupt, Duplicate: dup, Reorder: 0.02},
+		StormLen:     storm,
+		PartitionLen: partition,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Failed() {
+		return fmt.Errorf("chaos soak violated %d invariants", len(rep.Violations))
+	}
+	log.Printf("meshd: chaos soak clean: %d/%d clients re-established across restart+partition (%d reattaches, %d keepalives acked, %d faults injected)",
+		rep.Established, rep.Users, rep.Reattaches, rep.KeepalivesAcked,
+		rep.Injected.Dropped+rep.Injected.Corrupted+rep.Injected.Duplicated+rep.Injected.Reordered)
 	return nil
 }

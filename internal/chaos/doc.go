@@ -1,0 +1,21 @@
+// Package chaos is the fault-injection harness for the PEACE transport:
+// a deterministic, seeded net.PacketConn wrapper that drops, duplicates,
+// reorders, delays and bit-corrupts datagrams and cuts timed bidirectional
+// partitions, plus a scenario runner that drives a fleet of self-healing
+// clients against a live server through a scripted outage timeline
+// (sustained faults, a mid-run server restart, a partition, a revocation
+// epoch bump) and checks the protocol invariants at the end:
+//
+//   - every client re-establishes a session with the final server
+//     incarnation, and both halves of every session agree on keys — no
+//     session ever forms from a corrupted handshake;
+//   - duplicated requests are answered by reply-cache replay, never by a
+//     second expensive verification;
+//   - revocation state never rolls back: every client ends at the
+//     router's final epoch even though the bump raced a restart and a
+//     partition.
+//
+// All fault decisions come from seeded pseudo-random streams, so a run is
+// reproducible from its seed; wall-clock scheduling still varies, but the
+// invariants are timing-independent.
+package chaos

@@ -1,0 +1,8 @@
+//go:build race
+
+package chaos
+
+// raceEnabled scales the soak down under the race detector, where the
+// pairing operations dominating the handshake run an order of magnitude
+// slower. The plain test run still executes the full fleet.
+const raceEnabled = true

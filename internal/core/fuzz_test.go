@@ -71,6 +71,31 @@ func FuzzUnmarshalAccessRequest(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalDataFrame hardens the session data-frame decoder, which the
+// transport keepalive path runs on every KindSessionPing/Pong payload —
+// attacker-reachable bytes on any endpoint socket.
+func FuzzUnmarshalDataFrame(f *testing.F) {
+	sess := &Session{ID: SessionID{1, 2, 3}}
+	frame := sess.AuthData([]byte("seed payload"))
+	f.Add(frame.Marshal())
+	f.Add(frame.Marshal()[:16])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		df, err := UnmarshalDataFrame(data)
+		if err != nil {
+			return
+		}
+		out := df.Marshal()
+		df2, err := UnmarshalDataFrame(out)
+		if err != nil {
+			t.Fatalf("re-parse of re-marshaled data frame: %v", err)
+		}
+		if !bytes.Equal(out, df2.Marshal()) {
+			t.Fatal("data frame marshal not stable")
+		}
+	})
+}
+
 func FuzzUnmarshalPeerHello(f *testing.F) {
 	_, _, seed := fuzzSeeds(f)
 	f.Add(seed)

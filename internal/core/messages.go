@@ -39,7 +39,13 @@ func (s SessionID) String() string { return fmt.Sprintf("%x", s[:8]) }
 // regardless of list size; attaching users fetch missing snapshots or
 // deltas over the transport before handshaking.
 type Beacon struct {
-	RouterID  string
+	RouterID string
+	// BootEpoch is a random nonce drawn when the serving process starts.
+	// It is covered by the router signature, so an attached user comparing
+	// it against the value recorded at attach time gets an authenticated
+	// restart signal: a changed BootEpoch means the router lost its
+	// volatile session state and every session it held is orphaned.
+	BootEpoch uint64
 	G         *bn256.G1 // fresh generator g
 	GR        *bn256.G1 // g^{r_R}
 	Timestamp time.Time // ts_1
@@ -52,8 +58,9 @@ type Beacon struct {
 
 func (b *Beacon) signedBody() []byte {
 	w := wire.NewWriter(256)
-	w.StringField("peace/beacon:v2")
+	w.StringField("peace/beacon:v3")
 	w.StringField(b.RouterID)
+	w.Uint64(b.BootEpoch)
 	w.BytesField(b.G.Marshal())
 	w.BytesField(b.GR.Marshal())
 	w.Time(b.Timestamp)
@@ -76,6 +83,7 @@ func (b *Beacon) SignedBody() []byte { return b.signedBody() }
 func (b *Beacon) Marshal() []byte {
 	w := wire.NewWriter(1024)
 	w.StringField(b.RouterID)
+	w.Uint64(b.BootEpoch)
 	w.BytesField(b.G.Marshal())
 	w.BytesField(b.GR.Marshal())
 	w.Time(b.Timestamp)
@@ -98,6 +106,9 @@ func UnmarshalBeacon(data []byte) (*Beacon, error) {
 	b := &Beacon{}
 	var err error
 	if b.RouterID, err = r.StringField(); err != nil {
+		return nil, err
+	}
+	if b.BootEpoch, err = r.Uint64(); err != nil {
 		return nil, err
 	}
 	if b.G, err = readG1(r); err != nil {

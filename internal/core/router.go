@@ -48,6 +48,10 @@ type MeshRouter struct {
 	crlStore *revocation.Store
 
 	mu sync.Mutex
+	// bootEpoch is the random nonce advertised in every beacon so attached
+	// users can detect a restart (it changes whenever the volatile session
+	// state is lost). Zero until the serving transport installs one.
+	bootEpoch uint64
 	// sweep is the epoch-keyed revocation sweep cache (shared verifier,
 	// parsed tokens, per-epoch fast index). Guarded by mu because group-key
 	// rotation replaces it wholesale; the state itself is concurrency-safe.
@@ -192,6 +196,37 @@ func (r *MeshRouter) store(l revocation.List) *revocation.Store {
 	return r.urlStore
 }
 
+// SetBootEpoch installs the boot-epoch nonce advertised in beacons. The
+// serving transport draws a fresh random nonce per process start.
+func (r *MeshRouter) SetBootEpoch(epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bootEpoch = epoch
+}
+
+// BootEpoch returns the advertised boot-epoch nonce.
+func (r *MeshRouter) BootEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bootEpoch
+}
+
+// Reboot models a router process restart: all volatile state — live
+// sessions, the audit log behind them, and outstanding beacon DH secrets —
+// is lost, while durable state (key pair, certificate, installed
+// revocation snapshots, group public key) survives as it would on disk.
+// Attached users are silently orphaned until they detect the new boot
+// epoch and re-attach; counters survive so a soak can account across the
+// restart.
+func (r *MeshRouter) Reboot() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outstanding = make(map[string]*beaconState)
+	r.sessions = make(map[SessionID]*Session)
+	r.sessionLog = make(map[SessionID]*AccessRequest)
+	r.bootEpoch = 0
+}
+
 // SetDoSDefense toggles the client-puzzle mode of Section V.A.
 func (r *MeshRouter) SetDoSDefense(on bool) {
 	r.mu.Lock()
@@ -229,6 +264,7 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 	r.observeTick(r.cfg.Clock.Now())
 	certCopy := r.cert
 	dos := r.dosDefense
+	bootEpoch := r.bootEpoch
 	r.mu.Unlock()
 
 	if certCopy == nil {
@@ -255,6 +291,7 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 	now := r.cfg.Clock.Now()
 	b := &Beacon{
 		RouterID:  r.id,
+		BootEpoch: bootEpoch,
 		G:         g,
 		GR:        gr,
 		Timestamp: now,

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
@@ -14,6 +17,15 @@ import (
 // ErrHandshakeTimeout is returned when a handshake phase exhausted its
 // retransmissions without an answer.
 var ErrHandshakeTimeout = errors.New("transport: handshake timed out after max retries")
+
+// errTransientReject is the in-client signal that the router asked us to
+// back off (queue full, draining): the exchange loop keeps retransmitting
+// and may extend its retry budget instead of failing the attach.
+var errTransientReject = errors.New("transport: transient reject")
+
+// clientSeq de-correlates the jitter streams of clients that did not pick
+// an explicit seed.
+var clientSeq atomic.Int64
 
 // ClientConfig tunes the user-side handshake state machine.
 type ClientConfig struct {
@@ -33,6 +45,19 @@ type ClientConfig struct {
 	// verification queue behind ~100 concurrent users is not abandoned
 	// while the server is still working on it.
 	MaxRetries int
+	// Jitter spreads every retransmit wait uniformly over
+	// [1-Jitter, 1+Jitter] of its nominal value, so a fleet of clients
+	// recovering from the same outage does not thundering-herd the router
+	// in lockstep. Default 0.2; negative disables jitter.
+	Jitter float64
+	// Seed makes the jitter stream reproducible. Zero draws a process-wide
+	// unique seed.
+	Seed int64
+	// QueueFullResets is how many times a phase's whole retry budget is
+	// re-armed after the router signalled transient backpressure
+	// (queue-full or draining): those rejections mean "come back soon",
+	// not "give up". Default 3; negative disables re-arming.
+	QueueFullResets int
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -47,6 +72,24 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.MaxRetries < 1 {
 		c.MaxRetries = 10
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.Jitter > 1 {
+		c.Jitter = 1
+	}
+	if c.QueueFullResets == 0 {
+		c.QueueFullResets = 3
+	}
+	if c.QueueFullResets < 0 {
+		c.QueueFullResets = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano() ^ (clientSeq.Add(1) << 32)
 	}
 	return c
 }
@@ -67,47 +110,70 @@ type Client struct {
 	user  *core.User
 	stats *Stats
 	buf   []byte
+	rng   *rand.Rand
+
+	// mu guards the self-healing state that Maintain mutates while other
+	// goroutines (a scenario runner, a stats reporter) observe it.
+	mu sync.Mutex
+	// sess is the currently established session, nil while detached.
+	sess *core.Session
+	// bootEpoch is the authenticated server boot epoch recorded when sess
+	// was established.
+	bootEpoch uint64
 }
 
 // NewClient wraps conn (the user's own socket) talking to the router at
 // raddr on behalf of user.
 func NewClient(conn net.PacketConn, raddr net.Addr, user *core.User, cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
 	return &Client{
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		conn:  conn,
 		raddr: raddr,
 		user:  user,
 		stats: &Stats{},
 		buf:   make([]byte, 65536),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
 // Stats returns the client's transport counters.
 func (c *Client) Stats() *Stats { return c.stats }
 
+// Session returns the currently established session, or nil while the
+// client is detached (never attached, or lost to a restart and not yet
+// re-attached).
+func (c *Client) Session() *core.Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess
+}
+
+// BootEpoch returns the authenticated server boot epoch recorded at the
+// last successful attach.
+func (c *Client) BootEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bootEpoch
+}
+
+// setSession records (or clears, with nil) the established session.
+func (c *Client) setSession(s *core.Session, bootEpoch uint64) {
+	c.mu.Lock()
+	c.sess = s
+	c.bootEpoch = bootEpoch
+	c.mu.Unlock()
+	c.stats.bootEpoch.Store(bootEpoch)
+}
+
 // Attach runs the full three-message AKA and returns the established
 // session. It retransmits through datagram loss and fails with
 // ErrHandshakeTimeout when the router stays silent.
 func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
+	c.stats.attachAttempts.Add(1)
+
 	// Phase 1: solicit the beacon (M.1).
-	solicit, err := EncodeMessage(&BeaconRequest{})
-	if err != nil {
-		return nil, err
-	}
-	var beacon *core.Beacon
-	err = c.exchange(ctx, solicit, func(kind Kind, payload []byte) (bool, error) {
-		if kind != KindBeacon {
-			c.stats.unhandled.Add(1)
-			return false, nil
-		}
-		b, err := core.UnmarshalBeacon(payload)
-		if err != nil {
-			c.stats.decodeErrors.Add(1)
-			return false, nil
-		}
-		beacon = b
-		return true, nil
-	})
+	beacon, err := c.solicitBeacon(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("solicit beacon: %w", err)
 	}
@@ -155,9 +221,10 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 				return false, nil
 			}
 			c.stats.rejects.Add(1)
-			if rej.Code == RejectQueueFull {
-				// Backpressure: stay in the retransmit loop.
-				return false, nil
+			if rej.Code.Transient() {
+				// Backpressure or graceful drain: stay in the retransmit
+				// loop and let exchange re-arm its retry budget.
+				return false, errTransientReject
 			}
 			return false, fmt.Errorf("transport: router rejected request (%s): %w", rej.Reason, rej.Code.Err())
 		case KindBeacon:
@@ -173,7 +240,44 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("access request: %w", err)
 	}
-	return c.user.HandleAccessConfirm(confirm)
+	sess, err := c.user.HandleAccessConfirm(confirm)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.attachSuccesses.Add(1)
+	// beacon.BootEpoch is authenticated: HandleBeacon verified the router
+	// signature over it before M.2 was sent.
+	c.setSession(sess, beacon.BootEpoch)
+	return sess, nil
+}
+
+// solicitBeacon runs phase 1: broadcast-solicit M.1 and return the first
+// well-formed beacon. The beacon is NOT yet authenticated — the caller
+// must pass it through core.User.HandleBeacon or ObserveBeacon before
+// trusting any field.
+func (c *Client) solicitBeacon(ctx context.Context) (*core.Beacon, error) {
+	solicit, err := EncodeMessage(&BeaconRequest{})
+	if err != nil {
+		return nil, err
+	}
+	var beacon *core.Beacon
+	err = c.exchange(ctx, solicit, func(kind Kind, payload []byte) (bool, error) {
+		if kind != KindBeacon {
+			c.stats.unhandled.Add(1)
+			return false, nil
+		}
+		b, err := core.UnmarshalBeacon(payload)
+		if err != nil {
+			c.stats.decodeErrors.Add(1)
+			return false, nil
+		}
+		beacon = b
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return beacon, nil
 }
 
 // syncRevocations closes every gap between the user's installed
@@ -270,11 +374,16 @@ func (c *Client) fetchRevocation(ctx context.Context, f *RevocationFetch) error 
 }
 
 // exchange sends frame and reads datagrams until handle reports
-// completion, retransmitting with exponential backoff. handle returns
-// (done, err): done finishes the phase, err aborts the handshake, and
-// (false, nil) keeps listening within the current timeout.
+// completion, retransmitting with jittered exponential backoff. handle
+// returns (done, err): done finishes the phase, err aborts the handshake,
+// (false, nil) keeps listening within the current timeout, and
+// (false, errTransientReject) marks the round as backpressured — when the
+// retry budget runs out with backpressure seen, the budget is re-armed up
+// to QueueFullResets times instead of failing the attach.
 func (c *Client) exchange(ctx context.Context, frame []byte, handle func(Kind, []byte) (bool, error)) error {
 	timeout := c.cfg.RetransmitTimeout
+	resets := c.cfg.QueueFullResets
+	sawTransient := false
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.stats.retransmits.Add(1)
@@ -282,7 +391,7 @@ func (c *Client) exchange(ctx context.Context, frame []byte, handle func(Kind, [
 		if err := c.send(frame); err != nil {
 			return err
 		}
-		deadline := time.Now().Add(timeout)
+		deadline := time.Now().Add(c.jittered(timeout))
 		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 			deadline = d
 		}
@@ -316,6 +425,10 @@ func (c *Client) exchange(ctx context.Context, frame []byte, handle func(Kind, [
 			}
 			c.stats.framesIn.Add(1)
 			done, herr := handle(kind, payload)
+			if errors.Is(herr, errTransientReject) {
+				sawTransient = true
+				continue
+			}
 			if herr != nil {
 				return herr
 			}
@@ -327,9 +440,26 @@ func (c *Client) exchange(ctx context.Context, frame []byte, handle func(Kind, [
 		if timeout > c.cfg.MaxTimeout {
 			timeout = c.cfg.MaxTimeout
 		}
+		if attempt == c.cfg.MaxRetries && sawTransient && resets > 0 {
+			// The router is alive but shedding load; giving up now would
+			// turn backpressure into failure. Re-arm the budget (bounded).
+			resets--
+			sawTransient = false
+			attempt = -1
+		}
 	}
 	c.stats.timeouts.Add(1)
 	return ErrHandshakeTimeout
+}
+
+// jittered spreads d uniformly over [1-Jitter, 1+Jitter] of its value so
+// synchronized clients de-correlate their retransmissions.
+func (c *Client) jittered(d time.Duration) time.Duration {
+	if c.cfg.Jitter <= 0 {
+		return d
+	}
+	f := 1 - c.cfg.Jitter + 2*c.cfg.Jitter*c.rng.Float64()
+	return time.Duration(float64(d) * f)
 }
 
 func (c *Client) send(frame []byte) error {

@@ -59,6 +59,12 @@ const (
 	// still covers the client's epoch, else with the full snapshot kind.
 	KindURLSnapshotRequest
 	KindURLDelta
+	// KindSessionPing / KindSessionPong carry the encrypted keepalive of
+	// an established session: the payload is a core.DataFrame sealed under
+	// the session key, so liveness is authenticated in both directions and
+	// a post-restart router (which lost the key) cannot fake it.
+	KindSessionPing
+	KindSessionPong
 
 	kindEnd // one past the last valid kind
 )
@@ -92,6 +98,10 @@ func (k Kind) String() string {
 		return "revocation-fetch"
 	case KindURLDelta:
 		return "revocation-delta"
+	case KindSessionPing:
+		return "session-ping"
+	case KindSessionPong:
+		return "session-pong"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

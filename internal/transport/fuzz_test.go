@@ -34,6 +34,43 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalPingBody throws arbitrary bytes at the keepalive ping-body
+// decoder. The body arrives as decrypted session plaintext, but a hostile
+// session peer controls it fully, so the decoder must never panic and
+// accepted bodies must round-trip byte-identically.
+func FuzzUnmarshalPingBody(f *testing.F) {
+	f.Add((&PingBody{Nonce: 42}).Marshal())
+	f.Add((&PongBody{Nonce: 42, BootEpoch: 7}).Marshal()) // wrong-tag seed
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalPingBody(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(p.Marshal(), data) {
+			t.Fatal("ping body decode/encode round trip not identical")
+		}
+	})
+}
+
+// FuzzUnmarshalPongBody is the pong-side twin: it also carries the boot
+// epoch the restart detector trusts, so malformed bodies must fail
+// cleanly instead of yielding a half-parsed epoch.
+func FuzzUnmarshalPongBody(f *testing.F) {
+	f.Add((&PongBody{Nonce: 42, BootEpoch: 7}).Marshal())
+	f.Add((&PingBody{Nonce: 42}).Marshal()) // wrong-tag seed
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalPongBody(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(p.Marshal(), data) {
+			t.Fatal("pong body decode/encode round trip not identical")
+		}
+	})
+}
+
 // FuzzDecodeMessage drives the full kind-dispatched message decoder the
 // server loop runs on every datagram: any (kind, payload) must either be
 // rejected cleanly or produce a message that survives re-encoding.

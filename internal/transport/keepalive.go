@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// Keepalive body tags. The bodies travel as the plaintext of a
+// core.DataFrame sealed under the session key, so a pong proves the peer
+// still holds the session (a rebooted router cannot produce one) and both
+// directions ride the session's replay protection.
+const (
+	pingBodyTag = "peace/ping:v1"
+	pongBodyTag = "peace/pong:v1"
+)
+
+// PingBody is the plaintext of a keepalive ping: a client-chosen nonce the
+// pong must echo, binding each pong to the ping that solicited it.
+type PingBody struct {
+	Nonce uint64
+}
+
+// Marshal encodes the ping body.
+func (p *PingBody) Marshal() []byte {
+	w := wire.NewWriter(32)
+	w.StringField(pingBodyTag)
+	w.Uint64(p.Nonce)
+	return w.Bytes()
+}
+
+// UnmarshalPingBody decodes a ping body.
+func UnmarshalPingBody(data []byte) (*PingBody, error) {
+	r := wire.NewReader(data)
+	tag, err := r.StringField()
+	if err != nil {
+		return nil, err
+	}
+	if tag != pingBodyTag {
+		return nil, fmt.Errorf("transport: ping body tag %q", tag)
+	}
+	p := &PingBody{}
+	if p.Nonce, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PongBody is the plaintext of a keepalive pong: the echoed nonce plus the
+// server's boot epoch, giving the client an authenticated view of which
+// process incarnation is answering.
+type PongBody struct {
+	Nonce     uint64
+	BootEpoch uint64
+}
+
+// Marshal encodes the pong body.
+func (p *PongBody) Marshal() []byte {
+	w := wire.NewWriter(40)
+	w.StringField(pongBodyTag)
+	w.Uint64(p.Nonce)
+	w.Uint64(p.BootEpoch)
+	return w.Bytes()
+}
+
+// UnmarshalPongBody decodes a pong body.
+func UnmarshalPongBody(data []byte) (*PongBody, error) {
+	r := wire.NewReader(data)
+	tag, err := r.StringField()
+	if err != nil {
+		return nil, err
+	}
+	if tag != pongBodyTag {
+		return nil, fmt.Errorf("transport: pong body tag %q", tag)
+	}
+	p := &PongBody{}
+	if p.Nonce, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if p.BootEpoch, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SessionPing wraps a sealed ping frame for kind dispatch.
+type SessionPing struct{ Frame *core.DataFrame }
+
+// SessionPong wraps a sealed pong frame for kind dispatch.
+type SessionPong struct{ Frame *core.DataFrame }

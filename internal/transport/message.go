@@ -25,7 +25,21 @@ const (
 	RejectAuth                   // group-signature verification failed
 	RejectRevoked                // signer's token is on the URL
 	RejectPuzzle                 // missing or wrong client-puzzle solution
+	RejectDraining               // transient: server is shutting down gracefully
+	// RejectUnknownSession answers a keepalive ping for a session this
+	// server does not hold — the unauthenticated hint that the server
+	// restarted. Clients confirm against the signed beacon boot epoch
+	// before tearing anything down, so a forged reject cannot kill a
+	// healthy session.
+	RejectUnknownSession
 )
+
+// Transient reports whether the code means "back off and retry" rather
+// than "the request is bad": backpressure and graceful drain both resolve
+// on their own.
+func (c RejectCode) Transient() bool {
+	return c == RejectQueueFull || c == RejectDraining
+}
 
 // String names the code.
 func (c RejectCode) String() string {
@@ -40,6 +54,10 @@ func (c RejectCode) String() string {
 		return "revoked"
 	case RejectPuzzle:
 		return "puzzle"
+	case RejectDraining:
+		return "draining"
+	case RejectUnknownSession:
+		return "unknown-session"
 	default:
 		return "unspecified"
 	}
@@ -77,6 +95,10 @@ func (c RejectCode) Err() error {
 		return core.ErrRevokedUser
 	case RejectPuzzle:
 		return core.ErrPuzzleRequired
+	case RejectDraining:
+		return core.ErrQueueFull
+	case RejectUnknownSession:
+		return core.ErrNoSession
 	default:
 		return errors.New("transport: request rejected")
 	}
@@ -236,6 +258,10 @@ func EncodeMessage(msg any) ([]byte, error) {
 		return EncodeFrame(KindURLSnapshotRequest, m.Marshal())
 	case *puzzle.Puzzle:
 		return EncodeFrame(KindPuzzle, m.Marshal())
+	case *SessionPing:
+		return EncodeFrame(KindSessionPing, m.Frame.Marshal())
+	case *SessionPong:
+		return EncodeFrame(KindSessionPong, m.Frame.Marshal())
 	case *Reject:
 		return EncodeFrame(KindReject, m.Marshal())
 	default:
@@ -279,6 +305,18 @@ func DecodeMessage(kind Kind, payload []byte) (any, error) {
 		return UnmarshalRevocationFetch(payload)
 	case KindPuzzle:
 		return puzzle.Unmarshal(payload)
+	case KindSessionPing:
+		f, err := core.UnmarshalDataFrame(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &SessionPing{Frame: f}, nil
+	case KindSessionPong:
+		f, err := core.UnmarshalDataFrame(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &SessionPong{Frame: f}, nil
 	case KindReject:
 		return UnmarshalReject(payload)
 	default:

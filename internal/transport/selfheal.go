@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"net"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// MaintainConfig tunes the self-healing session loop: encrypted keepalive
+// cadence, dead-peer thresholds, and the jittered backoff between
+// re-attach attempts.
+type MaintainConfig struct {
+	// KeepaliveInterval is the gap between ping rounds. Default 1s.
+	KeepaliveInterval time.Duration
+	// PingTimeout bounds one ping round's wait for a valid pong. Default
+	// half the keepalive interval.
+	PingTimeout time.Duration
+	// MaxMissed is how many consecutive unanswered rounds declare the peer
+	// dead. Default 3.
+	MaxMissed int
+	// ReattachMin / ReattachMax bound the jittered exponential backoff
+	// between re-attach attempts. Defaults 200ms / 5s.
+	ReattachMin time.Duration
+	ReattachMax time.Duration
+	// AttachTimeout bounds one full AKA run. Default 30s.
+	AttachTimeout time.Duration
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+func (c MaintainConfig) withDefaults() MaintainConfig {
+	if c.KeepaliveInterval <= 0 {
+		c.KeepaliveInterval = time.Second
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = c.KeepaliveInterval / 2
+	}
+	if c.MaxMissed < 1 {
+		c.MaxMissed = 3
+	}
+	if c.ReattachMin <= 0 {
+		c.ReattachMin = 200 * time.Millisecond
+	}
+	if c.ReattachMax <= 0 {
+		c.ReattachMax = 5 * time.Second
+	}
+	if c.AttachTimeout <= 0 {
+		c.AttachTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// pingResult classifies one keepalive round.
+type pingResult int
+
+const (
+	// pingAcked: a valid pong sealed under the session key came back.
+	pingAcked pingResult = iota
+	// pingMissed: the round ended with no usable answer.
+	pingMissed
+	// pingUnknownSession: the server answered that it does not hold the
+	// session — the (unauthenticated) restart hint.
+	pingUnknownSession
+	// pingEpochChanged: a valid pong reported a different boot epoch than
+	// the one recorded at attach (authenticated restart signal).
+	pingEpochChanged
+)
+
+// Maintain runs the self-healing session loop until ctx is cancelled:
+// attach (with jittered exponential backoff across failures), then send
+// encrypted keepalive pings every KeepaliveInterval. MaxMissed unanswered
+// rounds declare the peer dead; an unknown-session reject is confirmed
+// against the signed boot epoch of a freshly solicited beacon. Either way
+// the orphaned session is dropped and the loop re-attaches automatically.
+// Maintain always returns ctx's error.
+func (c *Client) Maintain(ctx context.Context, cfg MaintainConfig) error {
+	cfg = cfg.withDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	backoff := cfg.ReattachMin
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		// Phase A: (re-)attach until a session is established.
+		if c.Session() == nil {
+			actx, cancel := context.WithTimeout(ctx, cfg.AttachTimeout)
+			_, err := c.Attach(actx)
+			cancel()
+			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				logf("transport: attach failed, backing off %v: %v", backoff, err)
+				if !sleepCtx(ctx, c.jittered(backoff)) {
+					return ctx.Err()
+				}
+				backoff *= 2
+				if backoff > cfg.ReattachMax {
+					backoff = cfg.ReattachMax
+				}
+				continue
+			}
+			backoff = cfg.ReattachMin
+			logf("transport: attached (boot epoch %d)", c.BootEpoch())
+		}
+
+		// Phase B: keepalive until the session dies or ctx ends.
+		missed := 0
+		for c.Session() != nil {
+			if !sleepCtx(ctx, cfg.KeepaliveInterval) {
+				return ctx.Err()
+			}
+			switch c.pingOnce(ctx, cfg.PingTimeout) {
+			case pingAcked:
+				missed = 0
+			case pingEpochChanged:
+				c.stats.restartsDetected.Add(1)
+				logf("transport: pong reports new boot epoch; re-attaching")
+				c.dropSession()
+			case pingUnknownSession:
+				if c.confirmRestart(ctx, cfg.PingTimeout) {
+					logf("transport: restart confirmed via beacon; re-attaching")
+					c.dropSession()
+					continue
+				}
+				// Unconfirmed (possibly forged) hint: treat like a missed
+				// round so a real outage still trips the dead-peer limit.
+				missed++
+				c.stats.keepalivesMissed.Add(1)
+			case pingMissed:
+				missed++
+				c.stats.keepalivesMissed.Add(1)
+			}
+			if missed >= cfg.MaxMissed {
+				c.stats.deadPeerEvents.Add(1)
+				logf("transport: %d keepalives missed; declaring peer dead", missed)
+				c.dropSession()
+			}
+		}
+	}
+}
+
+// dropSession discards the orphaned session and counts the re-attach
+// cycle the maintain loop is about to run.
+func (c *Client) dropSession() {
+	c.setSession(nil, 0)
+	c.stats.reattaches.Add(1)
+}
+
+// pingOnce runs one keepalive round: seal a nonce'd ping under the
+// session key, send it once, and classify whatever comes back before the
+// timeout. Retransmission is the next round's job — cadence, not urgency.
+func (c *Client) pingOnce(ctx context.Context, timeout time.Duration) pingResult {
+	sess := c.Session()
+	if sess == nil {
+		return pingMissed
+	}
+	nonce := c.rng.Uint64()
+	df, err := sess.SealData(rand.Reader, (&PingBody{Nonce: nonce}).Marshal())
+	if err != nil {
+		return pingMissed
+	}
+	frame, err := EncodeMessage(&SessionPing{Frame: df})
+	if err != nil {
+		return pingMissed
+	}
+	if err := c.send(frame); err != nil {
+		return pingMissed
+	}
+	c.stats.keepalivesSent.Add(1)
+
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for {
+		if ctx.Err() != nil {
+			return pingMissed
+		}
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return pingMissed
+		}
+		n, from, err := c.conn.ReadFrom(c.buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return pingMissed
+			}
+			return pingMissed
+		}
+		c.stats.bytesIn.Add(int64(n))
+		if from.String() != c.raddr.String() {
+			c.stats.unhandled.Add(1)
+			continue
+		}
+		kind, payload, derr := DecodeFrame(c.buf[:n])
+		if derr != nil {
+			c.stats.decodeErrors.Add(1)
+			continue
+		}
+		c.stats.framesIn.Add(1)
+		switch kind {
+		case KindSessionPong:
+			pf, err := core.UnmarshalDataFrame(payload)
+			if err != nil {
+				c.stats.decodeErrors.Add(1)
+				continue
+			}
+			body, err := sess.OpenData(pf)
+			if err != nil {
+				// Forged, corrupted or replayed pong; keep waiting.
+				c.stats.decodeErrors.Add(1)
+				continue
+			}
+			pb, err := UnmarshalPongBody(body)
+			if err != nil || pb.Nonce != nonce {
+				c.stats.unhandled.Add(1)
+				continue
+			}
+			c.stats.keepalivesAcked.Add(1)
+			if pb.BootEpoch != c.BootEpoch() {
+				return pingEpochChanged
+			}
+			return pingAcked
+		case KindReject:
+			rej, err := UnmarshalReject(payload)
+			if err != nil {
+				c.stats.decodeErrors.Add(1)
+				continue
+			}
+			if rej.Session == sess.ID && rej.Code == RejectUnknownSession {
+				return pingUnknownSession
+			}
+			c.stats.unhandled.Add(1)
+		default:
+			c.stats.unhandled.Add(1)
+		}
+	}
+}
+
+// confirmRestart re-solicits the beacon and checks its signed boot epoch
+// against the one recorded at attach. Only an authenticated epoch change
+// (or a beacon proving our revocation state is behind, which forces a
+// re-sync anyway) tears the session down — an attacker forging
+// unknown-session rejects cannot kill a healthy session.
+func (c *Client) confirmRestart(ctx context.Context, timeout time.Duration) bool {
+	bctx, cancel := context.WithTimeout(ctx, 4*timeout)
+	defer cancel()
+	b, err := c.solicitBeacon(bctx)
+	if err != nil {
+		return false
+	}
+	switch err := c.user.ObserveBeacon(b); {
+	case err == nil:
+		if b.BootEpoch != c.BootEpoch() {
+			c.stats.restartsDetected.Add(1)
+			return true
+		}
+		return false
+	case errors.Is(err, core.ErrRevocationStale):
+		// The router moved past our installed revocation state; a
+		// re-attach resynchronizes it. (The refs are not authenticated at
+		// this point, but re-attaching is safe — merely costly.)
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepCtx sleeps for d and reports false when ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

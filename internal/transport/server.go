@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"runtime"
@@ -30,6 +33,11 @@ type ServerConfig struct {
 	// ReplyCacheSize bounds the duplicate-suppression cache of answered
 	// sessions. Default 4096.
 	ReplyCacheSize int
+	// BootEpoch identifies this process incarnation. It is carried in the
+	// signed beacon and echoed in keepalive pongs, so clients detect a
+	// restart through an authenticated channel. Zero draws a random epoch
+	// (the production choice); tests pin it for determinism.
+	BootEpoch uint64
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
@@ -49,6 +57,15 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.ReplyCacheSize < 1 {
 		c.ReplyCacheSize = 4096
+	}
+	if c.BootEpoch == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			c.BootEpoch = binary.BigEndian.Uint64(b[:])
+		}
+		if c.BootEpoch == 0 {
+			c.BootEpoch = 1 // never advertise the "unset" epoch
+		}
 	}
 	return c
 }
@@ -78,6 +95,7 @@ type Server struct {
 	beaconGRs   []*bn256.G1
 	replies     map[core.SessionID]*replyEntry
 	replyOrder  []core.SessionID
+	draining    bool
 	closed      bool
 
 	// revMu guards the per-list caches of encoded revocation frames: the
@@ -104,9 +122,16 @@ func NewServer(conn net.PacketConn, router *core.MeshRouter, cfg ServerConfig) *
 		revCache: make(map[revocation.List]*revFrameCache),
 		loopDone: make(chan struct{}),
 	}
+	// The epoch rides the signed beacon body, so clients learn it through
+	// an authenticated channel at attach time.
+	router.SetBootEpoch(cfg.BootEpoch)
+	s.stats.bootEpoch.Store(cfg.BootEpoch)
 	go s.readLoop()
 	return s
 }
+
+// BootEpoch returns this server incarnation's boot epoch.
+func (s *Server) BootEpoch() uint64 { return s.cfg.BootEpoch }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
@@ -131,6 +156,37 @@ func (s *Server) Close() {
 	<-s.loopDone
 	s.queue.Close()
 	s.wg.Wait()
+}
+
+// Drain puts the server into graceful shutdown: new access requests are
+// refused with RejectDraining (a transient code — clients back off and
+// retry against the replacement) while beacons, keepalives and in-flight
+// verifications keep being served. Drain returns once every reply that
+// was in flight when draining began has been delivered, or when ctx ends.
+// Call Close afterwards to stop the read loop.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -186,6 +242,13 @@ func (s *Server) readLoop() {
 				continue
 			}
 			s.handleRevocationFetch(f, addr)
+		case KindSessionPing:
+			f, err := core.UnmarshalDataFrame(payload)
+			if err != nil {
+				s.stats.decodeErrors.Add(1)
+				continue
+			}
+			s.handleSessionPing(f, addr)
 		default:
 			// Peer AKA, URL/CRL pushes etc. are not served on a router
 			// socket; count and drop.
@@ -304,6 +367,17 @@ func (s *Server) handleAccessRequest(m *core.AccessRequest, addr net.Addr) {
 	sid := core.NewSessionID(m.GR, m.GJ)
 
 	s.mu.Lock()
+	if s.draining {
+		// Refuse new work during graceful shutdown — but keep replaying
+		// cached replies below so a client whose M.3 was lost right before
+		// the drain still completes.
+		if e, ok := s.replies[sid]; !ok || e.frame == nil {
+			s.mu.Unlock()
+			s.stats.drainRejects.Add(1)
+			s.sendRejectCode(addr, sid, RejectDraining, "server draining")
+			return
+		}
+	}
 	if e, ok := s.replies[sid]; ok {
 		frame := e.frame
 		s.mu.Unlock()
@@ -361,8 +435,50 @@ func (s *Server) handleAccessRequest(m *core.AccessRequest, addr net.Addr) {
 	}()
 }
 
+// handleSessionPing answers a keepalive ping. Only a server that still
+// holds the session can decrypt the ping and seal a pong, so the pong is
+// proof of liveness; a rebooted server answers RejectUnknownSession — the
+// unauthenticated hint clients confirm against the signed beacon epoch.
+func (s *Server) handleSessionPing(f *core.DataFrame, addr net.Addr) {
+	sess, ok := s.router.SessionByID(f.Session)
+	if !ok {
+		s.stats.unknownSessionRejects.Add(1)
+		s.sendRejectCode(addr, f.Session, RejectUnknownSession, "no such session")
+		return
+	}
+	body, err := sess.OpenData(f)
+	if err != nil {
+		// Forged, corrupted or replayed (duplicated) ping; the next round's
+		// ping carries a fresh sequence number, so dropping it is safe.
+		s.stats.decodeErrors.Add(1)
+		return
+	}
+	pb, err := UnmarshalPingBody(body)
+	if err != nil {
+		s.stats.decodeErrors.Add(1)
+		return
+	}
+	pong := &PongBody{Nonce: pb.Nonce, BootEpoch: s.cfg.BootEpoch}
+	df, err := sess.SealData(rand.Reader, pong.Marshal())
+	if err != nil {
+		s.logf("transport: seal pong: %v", err)
+		return
+	}
+	frame, err := EncodeMessage(&SessionPong{Frame: df})
+	if err != nil {
+		s.logf("transport: encode pong: %v", err)
+		return
+	}
+	s.stats.keepalivesServed.Add(1)
+	s.writeTo(frame, addr)
+}
+
 func (s *Server) sendReject(addr net.Addr, sid core.SessionID, cause error) {
-	rej := &Reject{Session: sid, Code: rejectCodeFor(cause), Reason: cause.Error()}
+	s.sendRejectCode(addr, sid, rejectCodeFor(cause), cause.Error())
+}
+
+func (s *Server) sendRejectCode(addr net.Addr, sid core.SessionID, code RejectCode, reason string) {
+	rej := &Reject{Session: sid, Code: code, Reason: reason}
 	frame, err := EncodeMessage(rej)
 	if err != nil {
 		s.logf("transport: encode reject: %v", err)

@@ -27,6 +27,21 @@ type Stats struct {
 	revRejects         atomic.Int64
 	urlEpoch           atomic.Uint64
 	crlEpoch           atomic.Uint64
+
+	// Self-healing observability: keepalive traffic, dead-peer and restart
+	// detections, automatic re-attaches, and the boot-epoch gauge.
+	keepalivesSent        atomic.Int64
+	keepalivesAcked       atomic.Int64
+	keepalivesServed      atomic.Int64
+	keepalivesMissed      atomic.Int64
+	unknownSessionRejects atomic.Int64
+	restartsDetected      atomic.Int64
+	deadPeerEvents        atomic.Int64
+	reattaches            atomic.Int64
+	attachAttempts        atomic.Int64
+	attachSuccesses       atomic.Int64
+	drainRejects          atomic.Int64
+	bootEpoch             atomic.Uint64
 }
 
 // StatsSnapshot is the plain-struct view of Stats, JSON-ready.
@@ -65,6 +80,32 @@ type StatsSnapshot struct {
 	// URLEpoch / CRLEpoch gauge the epoch of each installed list.
 	URLEpoch uint64 `json:"url_epoch"`
 	CRLEpoch uint64 `json:"crl_epoch"`
+	// KeepalivesSent / KeepalivesAcked count pings sent and valid pongs
+	// received (client); KeepalivesServed counts pongs answered (server).
+	KeepalivesSent   int64 `json:"keepalives_sent"`
+	KeepalivesAcked  int64 `json:"keepalives_acked"`
+	KeepalivesServed int64 `json:"keepalives_served"`
+	// KeepalivesMissed counts ping rounds that ended without a valid pong.
+	KeepalivesMissed int64 `json:"keepalives_missed"`
+	// UnknownSessionRejects counts pings for sessions this server does not
+	// hold — nonzero after a restart orphans clients.
+	UnknownSessionRejects int64 `json:"unknown_session_rejects"`
+	// RestartsDetected counts authenticated boot-epoch changes observed.
+	RestartsDetected int64 `json:"restarts_detected"`
+	// DeadPeerEvents counts sessions declared dead after missed keepalives.
+	DeadPeerEvents int64 `json:"dead_peer_events"`
+	// Reattaches counts automatic re-attach cycles after an established
+	// session was lost (restart or dead peer).
+	Reattaches int64 `json:"reattaches"`
+	// AttachAttempts / AttachSuccesses count full AKA runs started and
+	// completed.
+	AttachAttempts  int64 `json:"attach_attempts"`
+	AttachSuccesses int64 `json:"attach_successes"`
+	// DrainRejects counts access requests refused during graceful drain.
+	DrainRejects int64 `json:"drain_rejects"`
+	// BootEpoch gauges the server's own boot epoch (server) or the last
+	// authenticated boot epoch observed (client).
+	BootEpoch uint64 `json:"boot_epoch"`
 }
 
 // Snapshot copies the counters.
@@ -87,6 +128,19 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		RevRejects:         s.revRejects.Load(),
 		URLEpoch:           s.urlEpoch.Load(),
 		CRLEpoch:           s.crlEpoch.Load(),
+
+		KeepalivesSent:        s.keepalivesSent.Load(),
+		KeepalivesAcked:       s.keepalivesAcked.Load(),
+		KeepalivesServed:      s.keepalivesServed.Load(),
+		KeepalivesMissed:      s.keepalivesMissed.Load(),
+		UnknownSessionRejects: s.unknownSessionRejects.Load(),
+		RestartsDetected:      s.restartsDetected.Load(),
+		DeadPeerEvents:        s.deadPeerEvents.Load(),
+		Reattaches:            s.reattaches.Load(),
+		AttachAttempts:        s.attachAttempts.Load(),
+		AttachSuccesses:       s.attachSuccesses.Load(),
+		DrainRejects:          s.drainRejects.Load(),
+		BootEpoch:             s.bootEpoch.Load(),
 	}
 }
 
@@ -110,6 +164,24 @@ func (s *Stats) RevSnapshotFetches() int64 { return s.revSnapshotFetches.Load() 
 
 // RevRejects returns the revocation-reject counter.
 func (s *Stats) RevRejects() int64 { return s.revRejects.Load() }
+
+// KeepalivesAcked returns how many valid pongs the client received.
+func (s *Stats) KeepalivesAcked() int64 { return s.keepalivesAcked.Load() }
+
+// Reattaches returns how many automatic re-attach cycles ran.
+func (s *Stats) Reattaches() int64 { return s.reattaches.Load() }
+
+// RestartsDetected returns how many boot-epoch changes were observed.
+func (s *Stats) RestartsDetected() int64 { return s.restartsDetected.Load() }
+
+// DeadPeerEvents returns how many sessions were declared dead.
+func (s *Stats) DeadPeerEvents() int64 { return s.deadPeerEvents.Load() }
+
+// AttachAttempts returns how many AKA runs were started.
+func (s *Stats) AttachAttempts() int64 { return s.attachAttempts.Load() }
+
+// AttachSuccesses returns how many AKA runs completed.
+func (s *Stats) AttachSuccesses() int64 { return s.attachSuccesses.Load() }
 
 // setEpochs records the installed-epoch gauges.
 func (s *Stats) setEpochs(urlEpoch, crlEpoch uint64) {
