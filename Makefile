@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples vet fmt cover clean ci fuzz staticcheck meshd-loopback meshd-drill chaos-soak
+.PHONY: all build test race bench bench-smoke experiments examples vet fmt cover clean ci fuzz staticcheck meshd-loopback meshd-drill chaos-soak
 
 all: build test
 
@@ -18,6 +18,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz
 	$(MAKE) chaos-soak
 
@@ -35,6 +36,8 @@ fuzz:
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalPingBody$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalPongBody$$' -fuzztime=10s
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalDataFrame$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalTicket$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalResumeRequest$$' -fuzztime=10s
 
 # staticcheck runs when the binary is present and is skipped (loudly) when
 # it is not — the container image does not ship it and ci must not fetch
@@ -76,6 +79,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke compiles and runs every transport/wire benchmark once with
+# allocation accounting, then gates on the steady-state decode paths
+# staying allocation-free (TestSteadyStateDecodeAllocs is the explicit
+# allocs/op regression gate; the -benchtime=1x pass catches benchmarks
+# that rot).
+bench-smoke:
+	$(GO) test ./internal/transport/ ./internal/wire/ -run='^TestSteadyStateDecodeAllocs$$' -bench=. -benchmem -benchtime=1x
 
 experiments:
 	$(GO) run ./cmd/peacebench

@@ -55,6 +55,7 @@ func main() {
 	provision := flag.String("provision", "peace.prov", "serve: credentials file to write; client: to read")
 	group := flag.String("group", "grp-0", "group to authenticate under")
 	statsEvery := flag.Duration("stats", 5*time.Second, "serve: stats emission period")
+	shards := flag.Int("shards", 1, "serve: ingest read loops (SO_REUSEPORT multi-sockets where available)")
 	duration := flag.Duration("duration", 0, "serve: exit after this long (0 = until signal)")
 	timeout := flag.Duration("timeout", 30*time.Second, "client, loopback, drill: per-handshake timeout")
 	rounds := flag.Int("rounds", 4, "drill: attachment rounds (URL epochs)")
@@ -69,7 +70,7 @@ func main() {
 	var err error
 	switch *mode {
 	case "serve":
-		err = runServe(*listen, *provision, *users, *statsEvery, *duration)
+		err = runServe(*listen, *provision, *users, *shards, *statsEvery, *duration)
 	case "client":
 		err = runClient(*addr, *provision, *users, *loss, *seed, core.GroupID(*group), *timeout)
 	case "loopback":
@@ -93,7 +94,7 @@ type statsLine struct {
 	Router    core.RouterStats        `json:"router"`
 }
 
-func runServe(listen, provisionPath string, users int, statsEvery, duration time.Duration) error {
+func runServe(listen, provisionPath string, users, shards int, statsEvery, duration time.Duration) error {
 	ln, err := transport.NewLocalNetwork(core.Config{}, "MR-0", "grp-0", users)
 	if err != nil {
 		return fmt.Errorf("provision: %w", err)
@@ -107,13 +108,14 @@ func runServe(listen, provisionPath string, users int, statsEvery, duration time
 	}
 	log.Printf("meshd: %d users provisioned, credentials in %s", users, provisionPath)
 
-	conn, err := net.ListenPacket("udp", listen)
+	conns, err := transport.ListenShards(listen, shards)
 	if err != nil {
 		return err
 	}
-	srv := transport.NewServer(conn, ln.Router, transport.ServerConfig{Logf: log.Printf})
+	srv := transport.NewShardedServer(conns, ln.Router, transport.ServerConfig{Shards: shards, Logf: log.Printf})
 	defer srv.Close()
-	log.Printf("meshd: serving on %s (boot epoch %d)", srv.Addr(), srv.BootEpoch())
+	log.Printf("meshd: serving on %s (boot epoch %d, %d shard loops on %d sockets)",
+		srv.Addr(), srv.BootEpoch(), srv.Shards(), len(conns))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -60,7 +60,7 @@ type ablationRow struct {
 var collect *benchJSON
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e15 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e16 or all")
 	urlSizes := flag.String("url", "0,1,2,5,10,20", "comma-separated |URL| sweep for e3/e15")
 	grtSizes := flag.String("grt", "4,8,16,32,64", "comma-separated |grt| sweep for e7")
 	floods := flag.String("floods", "50,200", "comma-separated flood sizes for e6")
@@ -144,6 +144,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		{"e13", func() error { return runE13() }},
 		{"e14", func() error { return runE14(iters) }},
 		{"e15", func() error { return runE15(urlSizes, iters) }},
+		{"e16", func() error { return runE16(iters) }},
 	} {
 		if runAll || exp == e.name {
 			ran = true
@@ -153,7 +154,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e15 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e16 or all)", exp)
 	}
 	return nil
 }
@@ -567,6 +568,63 @@ func runE13() error {
 		}
 		collect.Benchmarks["BenchmarkE13LoopbackHandshake"] = map[string]any{
 			"rows": rows,
+		}
+	}
+	return nil
+}
+
+// runE16 measures session-ticket resumption: re-attach latency with the
+// pairing off the hot path, resume throughput vs shard count, session
+// memory, and the restart-soak re-attach economics.
+func runE16(iters int) error {
+	header("E16: session resumption & sharded ingest (internal/transport)")
+	rep, err := experiments.RunE16Resume([]int{1, 2, 4}, iters)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "path\tp50 latency")
+	fmt.Fprintf(w, "full M.1–M.3 attach\t%v\n", rep.FullP50.Round(time.Microsecond))
+	fmt.Fprintf(w, "ticket resume\t%v\n", rep.ResumeP50.Round(time.Microsecond))
+	w.Flush()
+	fmt.Printf("resume is %.1fx cheaper than the full handshake\n", rep.SpeedupX)
+
+	w = table()
+	fmt.Fprintln(w, "shards\tresumes\telapsed\tresumes/s")
+	for _, r := range rep.ShardRows {
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.0f\n", r.Shards, r.Resumes, r.Elapsed.Round(time.Millisecond), r.ResumesPerSec)
+	}
+	w.Flush()
+	if rep.NumCPU == 1 {
+		fmt.Println("note: single-core runner — shard scaling needs a multi-core host; rows show no regression only")
+	}
+	fmt.Printf("session table: %dB/session, %.1fMB per 100k sessions\n",
+		rep.BytesPerSession, float64(rep.MemPer100kSessions)/(1<<20))
+	fmt.Printf("restart soak: %d clients × %d restarts → %d full handshakes, %d resumes\n",
+		rep.SoakUsers, rep.SoakRestarts, rep.SoakFullHandshakes, rep.SoakResumes)
+
+	if collect != nil {
+		rows := make([]map[string]any, 0, len(rep.ShardRows))
+		for _, r := range rep.ShardRows {
+			rows = append(rows, map[string]any{
+				"shards":          r.Shards,
+				"resumes":         r.Resumes,
+				"elapsed_ns":      int64(r.Elapsed),
+				"resumes_per_sec": r.ResumesPerSec,
+			})
+		}
+		collect.Benchmarks["E16SessionResumption"] = map[string]any{
+			"full_attach_p50_ns":    int64(rep.FullP50),
+			"resume_p50_ns":         int64(rep.ResumeP50),
+			"resume_speedup_x":      rep.SpeedupX,
+			"shard_rows":            rows,
+			"num_cpu":               rep.NumCPU,
+			"bytes_per_session":     rep.BytesPerSession,
+			"mem_per_100k_sessions": rep.MemPer100kSessions,
+			"soak_users":            rep.SoakUsers,
+			"soak_restarts":         rep.SoakRestarts,
+			"soak_full_handshakes":  rep.SoakFullHandshakes,
+			"soak_resumes":          rep.SoakResumes,
 		}
 	}
 	return nil

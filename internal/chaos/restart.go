@@ -1,0 +1,269 @@
+package chaos
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/transport"
+)
+
+// RestartSoakConfig scripts the resumption-under-restart soak: a fleet of
+// self-healing clients rides a server through repeated restarts sharing
+// one STEK ring, and the invariant under test is that re-attachment stays
+// on the symmetric ticket path — the expensive pairing runs once per
+// client per STEK retirement, never per restart.
+type RestartSoakConfig struct {
+	// Users is the fleet size. Default 12.
+	Users int
+	// Restarts is how many times the server is killed and reincarnated.
+	// Default 3.
+	Restarts int
+	// RotateBeforeRestart, when in [1, Restarts], rotates the STEK ring
+	// PAST the grace window (twice) before that restart, retiring every
+	// held ticket: the fleet must then fall back to exactly one full
+	// handshake each and resume normally afterwards. 0 disables rotation.
+	RotateBeforeRestart int
+	// Seed de-correlates client jitter streams. Default 1.
+	Seed int64
+	// Keepalive is the fleet's keepalive interval. Default 100ms.
+	Keepalive time.Duration
+	// SettleTimeout bounds each convergence wait. Default 90s.
+	SettleTimeout time.Duration
+	// Logf, when set, receives phase-by-phase progress.
+	Logf func(format string, args ...any)
+}
+
+func (c RestartSoakConfig) withDefaults() RestartSoakConfig {
+	if c.Users < 1 {
+		c.Users = 12
+	}
+	if c.Restarts < 1 {
+		c.Restarts = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Keepalive <= 0 {
+		c.Keepalive = 100 * time.Millisecond
+	}
+	if c.SettleTimeout <= 0 {
+		c.SettleTimeout = 90 * time.Second
+	}
+	return c
+}
+
+// RestartSoakReport is the outcome of a restart soak.
+type RestartSoakReport struct {
+	Users    int
+	Restarts int
+
+	// FullHandshakes is the fleet's total completed M.1–M.3 runs;
+	// Resumes is the total completed ticket re-attaches.
+	FullHandshakes int64
+	Resumes        int64
+	// ExpensiveVerifications is the router's cumulative pairing count
+	// across all incarnations.
+	ExpensiveVerifications int
+	// SessionsResumed is the router's cumulative resumed-session count.
+	SessionsResumed int
+	// TicketsIssued sums the ticket counters of every incarnation.
+	TicketsIssued int64
+
+	Violations []string
+}
+
+// Failed reports whether the run violated any invariant.
+func (r *RestartSoakReport) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *RestartSoakReport) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// RunRestartSoak executes the scripted restart scenario:
+//
+//  1. provision a network and a STEK ring that will outlive every server
+//     incarnation (the operator's persisted ticket key);
+//  2. launch the fleet's Maintain loops and wait for the initial full
+//     attach — the only pairing each client should ever need;
+//  3. Restarts times: kill the server, reboot the router's volatile state
+//     (sessions gone), reincarnate on the same address and ring with a
+//     new boot epoch, and wait for the whole fleet to re-establish;
+//  4. optionally retire the STEK mid-sequence and demand exactly one
+//     fallback handshake per client;
+//  5. judge: full handshakes ≤ 1 (+1 if rotated) per client, all other
+//     re-attaches on the ticket path, keys agreeing end to end.
+func RunRestartSoak(cfg RestartSoakConfig) (*RestartSoakReport, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &RestartSoakReport{Users: cfg.Users, Restarts: cfg.Restarts}
+
+	ln, err := transport.NewLocalNetwork(core.Config{}, "MR-RESTART", "grp-restart", cfg.Users)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := symcrypto.NewTicketKeyRing(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	serverConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := transport.NewServer(serverConn, ln.Router, transport.ServerConfig{BootEpoch: 1, TicketKeys: ring})
+	addr := srv.Addr()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	clients := make([]*transport.Client, cfg.Users)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Users; i++ {
+		raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		clients[i] = transport.NewClient(raw, addr, ln.Users[i], transport.ClientConfig{
+			RetransmitTimeout: 60 * time.Millisecond,
+			MaxTimeout:        time.Second,
+			MaxRetries:        12,
+			Seed:              cfg.Seed*2_000_003 + int64(i),
+		})
+		wg.Add(1)
+		go func(cl *transport.Client, conn net.PacketConn) {
+			defer wg.Done()
+			defer conn.Close()
+			_ = cl.Maintain(ctx, transport.MaintainConfig{
+				KeepaliveInterval: cfg.Keepalive,
+				PingTimeout:       2 * cfg.Keepalive,
+				MaxMissed:         2,
+				ReattachMin:       30 * time.Millisecond,
+				ReattachMax:       300 * time.Millisecond,
+				AttachTimeout:     cfg.SettleTimeout / 3,
+			})
+		}(clients[i], raw)
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	established := func(epoch uint64) int {
+		n := 0
+		for _, cl := range clients {
+			if cl.Session() != nil && cl.BootEpoch() == epoch {
+				n++
+			}
+		}
+		return n
+	}
+	settle := func(what string, cond func() bool) bool {
+		deadline := time.Now().Add(cfg.SettleTimeout)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return true
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		rep.violate("timed out settling: %s", what)
+		return false
+	}
+
+	logf("restart-soak: attaching %d clients", cfg.Users)
+	settle("initial fleet attach", func() bool { return established(1) == cfg.Users })
+
+	for k := 1; k <= cfg.Restarts; k++ {
+		if k == cfg.RotateBeforeRestart {
+			// Rotate past the one-generation grace window: every held
+			// ticket's sealing key leaves the ring.
+			if err := ring.Rotate(rand.Reader); err != nil {
+				srv.Close()
+				return nil, err
+			}
+			if err := ring.Rotate(rand.Reader); err != nil {
+				srv.Close()
+				return nil, err
+			}
+			logf("restart-soak: STEK retired before restart %d", k)
+		}
+		rep.TicketsIssued += srv.Stats().Snapshot().TicketsIssued
+		srv.Close()
+		ln.Router.Reboot()
+		conn, err := rebindPacket(addr)
+		if err != nil {
+			return nil, err
+		}
+		epoch := uint64(k + 1)
+		srv = transport.NewServer(conn, ln.Router, transport.ServerConfig{BootEpoch: epoch, TicketKeys: ring})
+		logf("restart-soak: incarnation %d up, settling", epoch)
+		if !settle(fmt.Sprintf("fleet re-established on incarnation %d", epoch),
+			func() bool { return established(epoch) == cfg.Users }) {
+			break
+		}
+	}
+	rep.TicketsIssued += srv.Stats().Snapshot().TicketsIssued
+	defer srv.Close()
+
+	// Harvest and judge.
+	for i, cl := range clients {
+		st := cl.Stats()
+		rep.FullHandshakes += st.AttachSuccesses()
+		rep.Resumes += st.ResumeSuccesses()
+
+		sess := cl.Session()
+		if sess == nil {
+			rep.violate("client %d finished detached", i)
+			continue
+		}
+		routerSess, ok := ln.Router.SessionByID(sess.ID)
+		if !ok {
+			rep.violate("client %d session %s unknown to router", i, sess.ID)
+			continue
+		}
+		probe := []byte(fmt.Sprintf("probe-%d", i))
+		frame, err := routerSess.SealData(rand.Reader, probe)
+		if err != nil {
+			rep.violate("client %d: router seal: %v", i, err)
+			continue
+		}
+		if pt, err := sess.OpenData(frame); err != nil || string(pt) != string(probe) {
+			rep.violate("client %d: session keys disagree: %v", i, err)
+		}
+	}
+	stats := ln.Router.Stats()
+	rep.ExpensiveVerifications = stats.ExpensiveVerifications
+	rep.SessionsResumed = stats.SessionsResumed
+
+	// The re-attach economics under test: at most one full handshake per
+	// client per STEK retirement — so 1 each without rotation, 2 each with.
+	maxFulls := int64(cfg.Users)
+	if cfg.RotateBeforeRestart >= 1 && cfg.RotateBeforeRestart <= cfg.Restarts {
+		maxFulls = int64(2 * cfg.Users)
+	}
+	if rep.FullHandshakes > maxFulls {
+		rep.violate("%d full handshakes for %d clients across %d restarts (budget %d) — restarts leaked off the ticket path",
+			rep.FullHandshakes, cfg.Users, cfg.Restarts, maxFulls)
+	}
+	if rep.ExpensiveVerifications > int(maxFulls) {
+		rep.violate("router ran %d pairings, budget %d", rep.ExpensiveVerifications, maxFulls)
+	}
+	if want := int64(cfg.Users * cfg.Restarts); rep.Resumes < want-maxFulls {
+		rep.violate("only %d resumes across %d restarts of %d clients", rep.Resumes, cfg.Restarts, cfg.Users)
+	}
+	if rep.SessionsResumed == 0 {
+		rep.violate("router adopted no resumed sessions")
+	}
+	if rep.TicketsIssued < int64(cfg.Users) {
+		rep.violate("only %d tickets issued", rep.TicketsIssued)
+	}
+	return rep, nil
+}

@@ -239,14 +239,22 @@ func UnmarshalAccessRequest(data []byte) (*AccessRequest, error) {
 type AccessConfirm struct {
 	GJ, GR     *bn256.G1
 	Ciphertext []byte
+	// Ticket is an opaque, STEK-sealed resumption ticket the serving
+	// transport may attach (empty when resumption is not offered). It is
+	// deliberately outside the paper's M.3 ciphertext: the blob is useless
+	// without the resumption secret both endpoints derive from the session
+	// keys, so carrying it in the clear leaks nothing and lets the
+	// transport issue it without re-sealing the confirmation.
+	Ticket []byte
 }
 
 // Marshal encodes M.3.
 func (m *AccessConfirm) Marshal() []byte {
-	w := wire.NewWriter(256)
+	w := wire.NewWriter(256 + len(m.Ticket))
 	w.BytesField(m.GJ.Marshal())
 	w.BytesField(m.GR.Marshal())
 	w.BytesField(m.Ciphertext)
+	w.BytesField(m.Ticket)
 	return w.Bytes()
 }
 
@@ -266,6 +274,13 @@ func UnmarshalAccessConfirm(data []byte) (*AccessConfirm, error) {
 		return nil, err
 	}
 	m.Ciphertext = append([]byte(nil), ct...)
+	tk, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(tk) > 0 {
+		m.Ticket = append([]byte(nil), tk...)
+	}
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}

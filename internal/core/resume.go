@@ -1,0 +1,78 @@
+package core
+
+import (
+	"crypto/sha256"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// ResumeSecretSize is the length of a session resumption secret.
+const ResumeSecretSize = 32
+
+// ResumptionSecret derives the resumption master secret of an established
+// session. Both endpoints compute the same value from the session keys, so
+// the server can seal it into a self-certifying ticket while the client
+// re-derives it locally — the secret itself never travels in the clear.
+// Knowing the secret proves the holder completed (or resumed) the original
+// AKA run; it is the symmetric stand-in for the group signature on the
+// re-attach path.
+func (s *Session) ResumptionSecret() []byte {
+	w := wire.NewWriter(2 * symcrypto.KeySize)
+	w.BytesField(s.keys.Enc[:])
+	w.BytesField(s.keys.Mac[:])
+	out := symcrypto.DeriveKey(w.Bytes(), "peace/resume-secret:v1")
+	return out[:ResumeSecretSize]
+}
+
+// ResumeSessionID derives the identifier of a resumed session from the
+// predecessor's identifier and both endpoints' nonces, so every resume run
+// yields a distinct session and a replayed confirm cannot be cross-wired.
+func ResumeSessionID(prev SessionID, clientNonce, serverNonce []byte) SessionID {
+	h := sha256.New()
+	h.Write([]byte("peace/resume-id:v1"))
+	h.Write(prev[:])
+	h.Write(clientNonce)
+	h.Write(serverNonce)
+	var id SessionID
+	h.Sum(id[:0])
+	return id
+}
+
+// ResumeSession derives a fresh session from a resumption secret and the
+// two nonces of one resume exchange. Both endpoints call this with the
+// same inputs and obtain identical keys; the transcript binds the keys to
+// the predecessor session and both nonces, so neither side can be replayed
+// into a key it did not negotiate.
+func ResumeSession(prev SessionID, secret, clientNonce, serverNonce []byte, peer string, now time.Time) *Session {
+	id := ResumeSessionID(prev, clientNonce, serverNonce)
+	w := wire.NewWriter(128)
+	w.StringField("peace/resume-transcript:v1")
+	w.BytesField(prev[:])
+	w.BytesField(clientNonce)
+	w.BytesField(serverNonce)
+	return newSession(id, peer, secret, w.Bytes(), now)
+}
+
+// AdoptSession installs a session the transport established out of band
+// (ticket resumption) into the user's session table, mirroring what
+// HandleAccessConfirm does for a full AKA run.
+func (u *User) AdoptSession(sess *Session) {
+	u.mu.Lock()
+	u.sessions[sess.ID] = sess
+	u.mu.Unlock()
+}
+
+// AdoptResumedSession installs a ticket-resumed session and re-attaches
+// its accountability escrow: the original M.2 transcript carried inside
+// the ticket goes back into the network log file, so a session resumed
+// across a restart stays exactly as auditable as one established by a
+// full AKA run (paper audit Step 1 still finds its M.2).
+func (r *MeshRouter) AdoptResumedSession(sess *Session, escrow *AccessRequest) {
+	r.sessions.put(sess.ID, sess)
+	if escrow != nil {
+		r.sessionLog.put(sess.ID, escrow)
+	}
+	r.stats.sessionsResumed.Add(1)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/bn256"
@@ -25,7 +26,36 @@ type RouterStats struct {
 	RejectedRevoked        int
 	RejectedStale          int
 	SessionsEstablished    int
+	SessionsResumed        int // established via ticket resumption, no pairing
 	ExpensiveVerifications int // group-signature verifications performed
+}
+
+// routerCounters is the live, atomically bumped form of RouterStats, so
+// the sharded ingest loops never serialize on a stats mutex.
+type routerCounters struct {
+	beaconsSent            atomic.Int64
+	requestsSeen           atomic.Int64
+	rejectedPuzzle         atomic.Int64
+	rejectedAuth           atomic.Int64
+	rejectedRevoked        atomic.Int64
+	rejectedStale          atomic.Int64
+	sessionsEstablished    atomic.Int64
+	sessionsResumed        atomic.Int64
+	expensiveVerifications atomic.Int64
+}
+
+func (c *routerCounters) snapshot() RouterStats {
+	return RouterStats{
+		BeaconsSent:            int(c.beaconsSent.Load()),
+		RequestsSeen:           int(c.requestsSeen.Load()),
+		RejectedPuzzle:         int(c.rejectedPuzzle.Load()),
+		RejectedAuth:           int(c.rejectedAuth.Load()),
+		RejectedRevoked:        int(c.rejectedRevoked.Load()),
+		RejectedStale:          int(c.rejectedStale.Load()),
+		SessionsEstablished:    int(c.sessionsEstablished.Load()),
+		SessionsResumed:        int(c.sessionsResumed.Load()),
+		ExpensiveVerifications: int(c.expensiveVerifications.Load()),
+	}
 }
 
 // MeshRouter is a PEACE mesh router MR_k: it broadcasts signed beacons
@@ -57,16 +87,20 @@ type MeshRouter struct {
 	// rotation replaces it wholesale; the state itself is concurrency-safe.
 	sweep       *sgs.SweepState
 	outstanding map[string]*beaconState // keyed by marshaled g^{r_R}
-	sessions    map[SessionID]*Session
-	// sessionLog is the paper's "network log file": the authentication
-	// transcript (M.2) behind every established session, kept so the
-	// operator can audit a disputed session later.
-	sessionLog map[SessionID]*AccessRequest
-	dosDefense bool
+	dosDefense  bool
 	// dosMonitor, when installed, toggles dosDefense automatically from
 	// the observed failure rate (Section V.A's "suspected attack").
 	dosMonitor *dosMonitor
-	stats      RouterStats
+
+	// sessions and sessionLog are stripe-locked: the sharded transport
+	// loops hit them concurrently for every keepalive and resume, so they
+	// must not funnel through r.mu. sessionLog is the paper's "network log
+	// file": the authentication transcript (M.2) behind every established
+	// session, kept so the operator can audit a disputed session later.
+	sessions   *shardedMap[*Session]
+	sessionLog *shardedMap[*AccessRequest]
+
+	stats routerCounters
 }
 
 // beaconState remembers the secrets behind one broadcast beacon.
@@ -106,8 +140,8 @@ func NewMeshRouter(cfg Config, id string, noPub cert.PublicKey, gpk *sgs.PublicK
 		crlStore:    crlStore,
 		sweep:       sgs.NewSweepState(gpk),
 		outstanding: make(map[string]*beaconState),
-		sessions:    make(map[SessionID]*Session),
-		sessionLog:  make(map[SessionID]*AccessRequest),
+		sessions:    newShardedMap[*Session](),
+		sessionLog:  newShardedMap[*AccessRequest](),
 	}, nil
 }
 
@@ -220,11 +254,11 @@ func (r *MeshRouter) BootEpoch() uint64 {
 // restart.
 func (r *MeshRouter) Reboot() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.outstanding = make(map[string]*beaconState)
-	r.sessions = make(map[SessionID]*Session)
-	r.sessionLog = make(map[SessionID]*AccessRequest)
 	r.bootEpoch = 0
+	r.mu.Unlock()
+	r.sessions.clear()
+	r.sessionLog.clear()
 }
 
 // SetDoSDefense toggles the client-puzzle mode of Section V.A.
@@ -234,26 +268,19 @@ func (r *MeshRouter) SetDoSDefense(on bool) {
 	r.dosDefense = on
 }
 
-// Stats returns a copy of the router's counters.
+// Stats returns a snapshot of the router's counters.
 func (r *MeshRouter) Stats() RouterStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return r.stats.snapshot()
 }
 
 // Sessions returns the number of live sessions.
 func (r *MeshRouter) Sessions() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.sessions)
+	return r.sessions.len()
 }
 
 // SessionByID returns an established session.
 func (r *MeshRouter) SessionByID(id SessionID) (*Session, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.sessions[id]
-	return s, ok
+	return r.sessions.get(id)
 }
 
 // Beacon produces message M.1: fresh (g, g^{r_R}), timestamp, signature,
@@ -320,8 +347,8 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 		sentAt: now,
 		puzzle: b.Puzzle,
 	}
-	r.stats.BeaconsSent++
 	r.mu.Unlock()
+	r.stats.beaconsSent.Add(1)
 	return b, nil
 }
 
@@ -343,15 +370,16 @@ func (r *MeshRouter) HandleAccessRequest(m *AccessRequest) (*AccessConfirm, *Ses
 
 	// Step 3.2: group-signature verification.
 	transcript := m.SignedTranscript()
-	r.bump(func(s *RouterStats) { s.ExpensiveVerifications++ })
+	r.stats.expensiveVerifications.Add(1)
 	if err := sgs.Verify(r.gpk, transcript, m.Sig); err != nil {
-		r.bumpFailure(func(s *RouterStats) { s.RejectedAuth++ })
+		r.stats.rejectedAuth.Add(1)
+		r.noteFailure()
 		return nil, nil, fmt.Errorf("router %q: %w: %v", r.id, ErrBadAccessRequest, err)
 	}
 
 	// Step 3.3: URL revocation scan against the cached epoch state.
 	if revoked, _ := r.sweepState().Check(transcript, m.Sig); revoked {
-		r.bump(func(s *RouterStats) { s.RejectedRevoked++ })
+		r.stats.rejectedRevoked.Add(1)
 		return nil, nil, fmt.Errorf("router %q: %w", r.id, ErrRevokedUser)
 	}
 
@@ -395,7 +423,7 @@ func (r *MeshRouter) HandleAccessRequestBatch(ms []*AccessRequest) []AccessResul
 	}
 
 	sweep := r.sweepState()
-	r.bump(func(s *RouterStats) { s.ExpensiveVerifications += len(items) })
+	r.stats.expensiveVerifications.Add(int64(len(items)))
 	errs := sweep.Verifier().BatchVerify(items)
 
 	for j, verr := range errs {
@@ -407,12 +435,13 @@ func (r *MeshRouter) HandleAccessRequestBatch(ms []*AccessRequest) []AccessResul
 			if refErr := sgs.Verify(r.gpk, items[j].Msg, m.Sig); refErr != nil {
 				verr = refErr
 			}
-			r.bumpFailure(func(s *RouterStats) { s.RejectedAuth++ })
+			r.stats.rejectedAuth.Add(1)
+			r.noteFailure()
 			out[i].Err = fmt.Errorf("router %q: %w: %v", r.id, ErrBadAccessRequest, verr)
 			continue
 		}
 		if revoked, _ := sweep.Check(items[j].Msg, m.Sig); revoked {
-			r.bump(func(s *RouterStats) { s.RejectedRevoked++ })
+			r.stats.rejectedRevoked.Add(1)
 			out[i].Err = fmt.Errorf("router %q: %w", r.id, ErrRevokedUser)
 			continue
 		}
@@ -426,8 +455,8 @@ func (r *MeshRouter) HandleAccessRequestBatch(ms []*AccessRequest) []AccessResul
 // (and the optional puzzle gate) and returns the matched beacon state and
 // the arrival time.
 func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, time.Time, error) {
+	r.stats.requestsSeen.Add(1)
 	r.mu.Lock()
-	r.stats.RequestsSeen++
 	st := r.outstanding[string(m.GR.Marshal())]
 	dos := r.dosDefense
 	now := r.cfg.Clock.Now()
@@ -435,11 +464,13 @@ func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, time
 
 	// Step 3.1: freshness of g^{r_R} and ts_2.
 	if st == nil || st.expired {
-		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
+		r.stats.rejectedStale.Add(1)
+		r.noteFailure()
 		return nil, now, fmt.Errorf("router %q: unknown g^rR: %w", r.id, ErrReplay)
 	}
 	if !fresh(r.cfg, now, m.Timestamp) {
-		r.bumpFailure(func(s *RouterStats) { s.RejectedStale++ })
+		r.stats.rejectedStale.Add(1)
+		r.noteFailure()
 		return nil, now, fmt.Errorf("router %q: ts2: %w", r.id, ErrReplay)
 	}
 
@@ -447,11 +478,11 @@ func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, time
 	// expensive pairing operations.
 	if dos && st.puzzle != nil {
 		if !m.HasSolution {
-			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
+			r.stats.rejectedPuzzle.Add(1)
 			return nil, now, fmt.Errorf("router %q: %w", r.id, ErrPuzzleRequired)
 		}
 		if err := st.puzzle.Verify(m.Solution, now, r.cfg.PuzzleMaxAge); err != nil {
-			r.bump(func(s *RouterStats) { s.RejectedPuzzle++ })
+			r.stats.rejectedPuzzle.Add(1)
 			return nil, now, fmt.Errorf("router %q: %w: %v", r.id, ErrPuzzleRequired, err)
 		}
 	}
@@ -474,11 +505,9 @@ func (r *MeshRouter) establishSession(m *AccessRequest, st *beaconState, now tim
 		return nil, nil, fmt.Errorf("router %q: confirm: %w", r.id, err)
 	}
 
-	r.mu.Lock()
-	r.sessions[id] = sess
-	r.sessionLog[id] = m
-	r.stats.SessionsEstablished++
-	r.mu.Unlock()
+	r.sessions.put(id, sess)
+	r.sessionLog.put(id, m)
+	r.stats.sessionsEstablished.Add(1)
 
 	return &AccessConfirm{GJ: m.GJ, GR: m.GR, Ciphertext: ct}, sess, nil
 }
@@ -488,10 +517,7 @@ func (r *MeshRouter) establishSession(m *AccessRequest, st *beaconState, now tim
 // "find the corresponding authentication session message (M.2) from the
 // network log file".
 func (r *MeshRouter) LoggedAccessRequest(id SessionID) (*AccessRequest, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m, ok := r.sessionLog[id]
-	return m, ok
+	return r.sessionLog.get(id)
 }
 
 // RetireBeacon marks a beacon's DH share as no longer acceptable (e.g.
@@ -505,17 +531,10 @@ func (r *MeshRouter) RetireBeacon(gr *bn256.G1) {
 	}
 }
 
-func (r *MeshRouter) bump(f func(*RouterStats)) {
+// noteFailure feeds one rejected access request to the adaptive DoS
+// monitor (which keeps its sliding window under r.mu).
+func (r *MeshRouter) noteFailure() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	f(&r.stats)
-}
-
-// bumpFailure records a rejected access request and feeds the adaptive
-// DoS monitor.
-func (r *MeshRouter) bumpFailure(f func(*RouterStats)) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f(&r.stats)
 	r.observeFailure(r.cfg.Clock.Now())
+	r.mu.Unlock()
 }

@@ -69,43 +69,53 @@ func (f *DataFrame) Marshal() []byte {
 	return w.Bytes()
 }
 
-// UnmarshalDataFrame decodes a frame.
+// UnmarshalDataFrame decodes a frame. The payload is copied, so the
+// result outlives the input buffer.
 func UnmarshalDataFrame(data []byte) (*DataFrame, error) {
-	r := wire.NewReader(data)
 	f := &DataFrame{}
-	sid, err := r.BytesField()
-	if err != nil {
+	if err := UnmarshalDataFrameInto(data, f); err != nil {
 		return nil, err
 	}
+	f.Payload = append([]byte(nil), f.Payload...)
+	return f, nil
+}
+
+// UnmarshalDataFrameInto decodes a frame into f without allocating:
+// f.Payload aliases data, so the caller must finish with f before reusing
+// the receive buffer. This is the steady-state decode of the sharded read
+// loops, where one scratch DataFrame per shard absorbs every keepalive.
+func UnmarshalDataFrameInto(data []byte, f *DataFrame) error {
+	r := wire.NewReader(data)
+	sid, err := r.BytesField()
+	if err != nil {
+		return err
+	}
 	if len(sid) != len(f.Session) {
-		return nil, fmt.Errorf("frame: session id size %d", len(sid))
+		return fmt.Errorf("frame: session id size %d", len(sid))
 	}
 	copy(f.Session[:], sid)
 	if f.Seq, err = r.Uint64(); err != nil {
-		return nil, err
+		return err
 	}
 	enc, err := r.Byte()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	f.Encrypted = enc == 1
 	p, err := r.BytesField()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	f.Payload = append([]byte(nil), p...)
+	f.Payload = p
 	tag, err := r.BytesField()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(tag) != symcrypto.MACSize {
-		return nil, fmt.Errorf("frame: tag size %d", len(tag))
+		return fmt.Errorf("frame: tag size %d", len(tag))
 	}
 	copy(f.Tag[:], tag)
-	if err := r.Finish(); err != nil {
-		return nil, err
-	}
-	return f, nil
+	return r.Finish()
 }
 
 // aad binds a frame to its session and sequence number.

@@ -1,0 +1,70 @@
+package core
+
+import "sync"
+
+// sessionStripes is the stripe count of the router's session tables. A
+// power of two so the stripe index is a mask over the first byte of the
+// (uniformly distributed) session identifier.
+const sessionStripes = 64
+
+// shardedMap is a stripe-locked map keyed by SessionID, sized for the
+// router hot path: every shard's read loop resolves keepalives and
+// resumptions against it concurrently, so a single mutex would serialize
+// the whole ingest tier. SessionIDs are SHA-256 outputs, so the first
+// byte already spreads uniformly across stripes.
+type shardedMap[V any] struct {
+	stripes [sessionStripes]shardStripe[V]
+}
+
+type shardStripe[V any] struct {
+	mu sync.RWMutex
+	m  map[SessionID]V
+}
+
+func newShardedMap[V any]() *shardedMap[V] {
+	t := &shardedMap[V]{}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[SessionID]V)
+	}
+	return t
+}
+
+func (t *shardedMap[V]) stripe(id SessionID) *shardStripe[V] {
+	return &t.stripes[id[0]&(sessionStripes-1)]
+}
+
+func (t *shardedMap[V]) get(id SessionID) (V, bool) {
+	s := t.stripe(id)
+	s.mu.RLock()
+	v, ok := s.m[id]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (t *shardedMap[V]) put(id SessionID, v V) {
+	s := t.stripe(id)
+	s.mu.Lock()
+	s.m[id] = v
+	s.mu.Unlock()
+}
+
+func (t *shardedMap[V]) len() int {
+	n := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// clear empties every stripe (router reboot: volatile state is lost).
+func (t *shardedMap[V]) clear() {
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		s.m = make(map[SessionID]V)
+		s.mu.Unlock()
+	}
+}

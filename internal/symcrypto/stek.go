@@ -1,0 +1,136 @@
+package symcrypto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrUnknownTicketKey is returned by TicketKeyRing.Open when the blob
+// names a key generation the ring no longer (or never) held — the signal
+// that a resumption ticket has rotated out and the client must run the
+// full handshake again.
+var ErrUnknownTicketKey = errors.New("symcrypto: unknown ticket key generation")
+
+// stekIDSize is the length of the key-generation prefix on sealed blobs.
+const stekIDSize = 8
+
+// stekKey is one STEK generation: a random 64-bit identifier (carried in
+// the clear on every sealed blob so Open can pick the right generation)
+// and the AEAD key itself.
+type stekKey struct {
+	id  uint64
+	key Key
+}
+
+// TicketKeyRing holds the server's rotating Session Ticket Encryption
+// Keys (STEKs). Seal always uses the newest generation; Open accepts the
+// newest plus a bounded number of rotated-out generations (the old-key
+// grace window), so tickets issued just before a rotation keep working
+// for one more rotation period. The ring is deliberately independent of
+// any one server instance: sharing it across process incarnations is what
+// lets a restarted server honor tickets issued by its predecessor.
+type TicketKeyRing struct {
+	mu sync.RWMutex
+	// keys[0] is the sealing generation; the tail is the grace window.
+	keys   []stekKey
+	maxOld int
+}
+
+// NewTicketKeyRing creates a ring with one fresh key generation and a
+// grace window of one rotated-out generation.
+func NewTicketKeyRing(rng io.Reader) (*TicketKeyRing, error) {
+	r := &TicketKeyRing{maxOld: 1}
+	if err := r.Rotate(rng); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// newStekKey draws a fresh generation from rng.
+func newStekKey(rng io.Reader) (stekKey, error) {
+	var k stekKey
+	var idb [stekIDSize]byte
+	if _, err := io.ReadFull(rng, idb[:]); err != nil {
+		return k, fmt.Errorf("symcrypto: ticket key id: %w", err)
+	}
+	k.id = binary.BigEndian.Uint64(idb[:])
+	if _, err := io.ReadFull(rng, k.key[:]); err != nil {
+		return k, fmt.Errorf("symcrypto: ticket key: %w", err)
+	}
+	return k, nil
+}
+
+// Rotate installs a fresh sealing generation and trims the grace window,
+// permanently retiring the oldest keys. Tickets sealed under a retired
+// generation fail Open with ErrUnknownTicketKey.
+func (r *TicketKeyRing) Rotate(rng io.Reader) error {
+	k, err := newStekKey(rng)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys = append([]stekKey{k}, r.keys...)
+	if len(r.keys) > 1+r.maxOld {
+		r.keys = r.keys[:1+r.maxOld]
+	}
+	return nil
+}
+
+// CurrentID returns the identifier of the sealing generation.
+func (r *TicketKeyRing) CurrentID() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.keys[0].id
+}
+
+// Generations returns how many key generations can currently Open.
+func (r *TicketKeyRing) Generations() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.keys)
+}
+
+// Seal encrypts plaintext under the current generation, binding aad, and
+// prepends the generation identifier in the clear.
+func (r *TicketKeyRing) Seal(rng io.Reader, plaintext, aad []byte) ([]byte, error) {
+	r.mu.RLock()
+	k := r.keys[0]
+	r.mu.RUnlock()
+
+	ct, err := Seal(rng, k.key, plaintext, aad)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, stekIDSize, stekIDSize+len(ct))
+	binary.BigEndian.PutUint64(out, k.id)
+	return append(out, ct...), nil
+}
+
+// Open decrypts a Seal output, selecting the generation named by the blob
+// prefix. A generation outside the grace window yields
+// ErrUnknownTicketKey; a tampered blob yields ErrDecrypt.
+func (r *TicketKeyRing) Open(blob, aad []byte) ([]byte, error) {
+	if len(blob) < stekIDSize {
+		return nil, ErrUnknownTicketKey
+	}
+	id := binary.BigEndian.Uint64(blob[:stekIDSize])
+
+	r.mu.RLock()
+	var key Key
+	found := false
+	for _, k := range r.keys {
+		if k.id == id {
+			key, found = k.key, true
+			break
+		}
+	}
+	r.mu.RUnlock()
+	if !found {
+		return nil, ErrUnknownTicketKey
+	}
+	return Open(key, blob[stekIDSize:], aad)
+}

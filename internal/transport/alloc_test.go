@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// steadyStateFixtures builds one encoded data frame and one encoded
+// resume request, the two datagrams of the hot paths.
+func steadyStateFixtures(tb testing.TB) (dataFrame, resumeFrame []byte) {
+	tb.Helper()
+	sess := core.ResumeSession(core.SessionID{}, make([]byte, core.ResumeSecretSize),
+		[]byte("client-nonce-16b"), []byte("server-nonce-16b"), "bench", time.Unix(1700000000, 0))
+	df, err := sess.SealData(rand.Reader, []byte("steady-state payload of a modest size"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dataFrame, err = EncodeFrame(KindSessionPing, df.Marshal())
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	req := &ResumeRequest{Ticket: make([]byte, 200), Timestamp: time.Unix(1700000000, 0)}
+	req.Nonce[0] = 9
+	req.sign(make([]byte, core.ResumeSecretSize))
+	resumeFrame, err = EncodeFrame(KindResumeRequest, req.Marshal())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dataFrame, resumeFrame
+}
+
+// TestSteadyStateDecodeAllocs is the allocs/op regression gate from the
+// resumption issue: the per-datagram decode work of a shard loop — frame
+// demux plus the aliasing message decoders into per-loop scratch — must
+// allocate nothing on the data and resume paths.
+func TestSteadyStateDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is perturbed by the race detector")
+	}
+	dataFrame, resumeFrame := steadyStateFixtures(t)
+
+	var scratchDF core.DataFrame
+	if avg := testing.AllocsPerRun(1000, func() {
+		_, payload, err := DecodeFrame(dataFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.UnmarshalDataFrameInto(payload, &scratchDF); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("data-frame decode path allocates %.1f/op, want 0", avg)
+	}
+
+	var scratchRR ResumeRequest
+	if avg := testing.AllocsPerRun(1000, func() {
+		_, payload, err := DecodeFrame(resumeFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := UnmarshalResumeRequestInto(payload, &scratchRR); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("resume decode path allocates %.1f/op, want 0", avg)
+	}
+}
+
+// BenchmarkDecodeDataFrame measures the steady-state data-path decode
+// (frame demux + aliasing data-frame decode). Run with -benchmem: the
+// allocs/op column must read 0.
+func BenchmarkDecodeDataFrame(b *testing.B) {
+	dataFrame, _ := steadyStateFixtures(b)
+	var scratch core.DataFrame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, payload, err := DecodeFrame(dataFrame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.UnmarshalDataFrameInto(payload, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeResumeRequest measures the resume-path decode a shard
+// loop runs per re-attach datagram.
+func BenchmarkDecodeResumeRequest(b *testing.B) {
+	_, resumeFrame := steadyStateFixtures(b)
+	var scratch ResumeRequest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, payload, err := DecodeFrame(resumeFrame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := UnmarshalResumeRequestInto(payload, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplyCacheBegin measures the striped dedup lookup every access
+// or resume datagram pays before any crypto.
+func BenchmarkReplyCacheBegin(b *testing.B) {
+	c := newReplyCache(4096)
+	var sid core.SessionID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sid[0] = byte(i)
+		sid[1] = byte(i >> 8)
+		c.begin(sid)
+	}
+}

@@ -120,6 +120,9 @@ type Client struct {
 	// bootEpoch is the authenticated server boot epoch recorded when sess
 	// was established.
 	bootEpoch uint64
+	// ticket is the held resumption state (sealed blob + locally derived
+	// secret), nil until an attach or resume minted one.
+	ticket *resumeTicket
 }
 
 // NewClient wraps conn (the user's own socket) talking to the router at
@@ -248,6 +251,11 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 	// beacon.BootEpoch is authenticated: HandleBeacon verified the router
 	// signature over it before M.2 was sent.
 	c.setSession(sess, beacon.BootEpoch)
+	// Keep the confirm's ticket (with the locally derived resumption
+	// secret) for the next re-attach. The blob itself is opaque and
+	// unauthenticated in transit, but useless to a forger: resuming
+	// requires the secret, which only the two endpoints can derive.
+	c.storeTicket(confirm.Ticket, sess)
 	return sess, nil
 }
 

@@ -65,6 +65,13 @@ const (
 	// a post-restart router (which lost the key) cannot fake it.
 	KindSessionPing
 	KindSessionPong
+	// KindResumeRequest / KindResumeConfirm carry the symmetric-only
+	// re-attach exchange: the client presents its STEK-sealed resumption
+	// ticket plus a MAC keyed by the resumption secret, and the server
+	// answers with a sealed confirmation and a reissued ticket — no
+	// pairing, no group signature.
+	KindResumeRequest
+	KindResumeConfirm
 
 	kindEnd // one past the last valid kind
 )
@@ -102,6 +109,10 @@ func (k Kind) String() string {
 		return "session-ping"
 	case KindSessionPong:
 		return "session-pong"
+	case KindResumeRequest:
+		return "resume-request"
+	case KindResumeConfirm:
+		return "resume-confirm"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

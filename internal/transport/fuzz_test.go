@@ -93,3 +93,56 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 	})
 }
+
+// FuzzUnmarshalTicket throws arbitrary bytes at the ticket-plaintext
+// decoder. The plaintext only ever arrives through the STEK AEAD, but the
+// decoder must still hold up on its own: a key-compromise or a buggy
+// caller must yield clean errors, never a panic or a half-parsed ticket,
+// and accepted tickets must round-trip byte-identically.
+func FuzzUnmarshalTicket(f *testing.F) {
+	seed := &Ticket{URLEpoch: 3, CRLEpoch: 1, BootEpoch: 9, Escrow: []byte("escrowed m2")}
+	seed.Secret[0] = 0xaa
+	seed.Prev[0] = 0xbb
+	f.Add(seed.Marshal())
+	f.Add((&Ticket{}).Marshal())
+	f.Add([]byte{})
+	f.Add([]byte("peace/ticket:v1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tk, err := UnmarshalTicket(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(tk.Marshal(), data) {
+			t.Fatal("ticket decode/encode round trip not identical")
+		}
+	})
+}
+
+// FuzzUnmarshalResumeRequest drives both resume-request decoders — the
+// allocating one and the aliasing zero-alloc one the shard loops use — on
+// arbitrary datagram payloads. They must agree with each other, never
+// panic, and accepted requests must round-trip byte-identically.
+func FuzzUnmarshalResumeRequest(f *testing.F) {
+	seedReq := &ResumeRequest{Ticket: []byte("sealed blob")}
+	seedReq.Nonce[3] = 7
+	seedReq.Tag[0] = 1
+	f.Add(seedReq.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalResumeRequest(data)
+		var scratch ResumeRequest
+		aliasErr := UnmarshalResumeRequestInto(data, &scratch)
+		if (err == nil) != (aliasErr == nil) {
+			t.Fatalf("decoders disagree: %v vs %v", err, aliasErr)
+		}
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Ticket, scratch.Ticket) || m.Nonce != scratch.Nonce || m.Tag != scratch.Tag {
+			t.Fatal("aliasing decoder produced a different request")
+		}
+		if !bytes.Equal(m.Marshal(), data) {
+			t.Fatal("resume request decode/encode round trip not identical")
+		}
+	})
+}

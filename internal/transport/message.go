@@ -32,6 +32,17 @@ const (
 	// before tearing anything down, so a forged reject cannot kill a
 	// healthy session.
 	RejectUnknownSession
+	// RejectTicket answers a resume request whose ticket is unusable:
+	// sealed under a rotated-out STEK generation, expired, malformed, or
+	// failing its resumption MAC. The client falls back to the full
+	// M.1–M.3 handshake, which mints a fresh ticket.
+	RejectTicket
+	// RejectTicketStale answers a resume request whose ticket carries
+	// revocation-epoch refs behind the router's installed lists. The
+	// holder might have been revoked since issuance, so the cheap path is
+	// refused; the client's fallback full attach re-syncs revocation state
+	// (Phase 1.5) and re-proves membership against the current URL.
+	RejectTicketStale
 )
 
 // Transient reports whether the code means "back off and retry" rather
@@ -58,6 +69,10 @@ func (c RejectCode) String() string {
 		return "draining"
 	case RejectUnknownSession:
 		return "unknown-session"
+	case RejectTicket:
+		return "ticket"
+	case RejectTicketStale:
+		return "ticket-stale"
 	default:
 		return "unspecified"
 	}
@@ -99,6 +114,10 @@ func (c RejectCode) Err() error {
 		return core.ErrQueueFull
 	case RejectUnknownSession:
 		return core.ErrNoSession
+	case RejectTicket:
+		return ErrTicketUnusable
+	case RejectTicketStale:
+		return core.ErrRevocationStale
 	default:
 		return errors.New("transport: request rejected")
 	}
@@ -262,6 +281,10 @@ func EncodeMessage(msg any) ([]byte, error) {
 		return EncodeFrame(KindSessionPing, m.Frame.Marshal())
 	case *SessionPong:
 		return EncodeFrame(KindSessionPong, m.Frame.Marshal())
+	case *ResumeRequest:
+		return EncodeFrame(KindResumeRequest, m.Marshal())
+	case *ResumeConfirm:
+		return EncodeFrame(KindResumeConfirm, m.Marshal())
 	case *Reject:
 		return EncodeFrame(KindReject, m.Marshal())
 	default:
@@ -317,6 +340,10 @@ func DecodeMessage(kind Kind, payload []byte) (any, error) {
 			return nil, err
 		}
 		return &SessionPong{Frame: f}, nil
+	case KindResumeRequest:
+		return UnmarshalResumeRequest(payload)
+	case KindResumeConfirm:
+		return UnmarshalResumeConfirm(payload)
 	case KindReject:
 		return UnmarshalReject(payload)
 	default:

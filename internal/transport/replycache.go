@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// replyStripeCount stripes the reply cache so shard loops dedup
+// concurrently without a shared lock. Power of two; indexed by the first
+// byte of the (uniform) session or exchange identifier.
+const replyStripeCount = 32
+
+// replyEntry is the duplicate-suppression state of one exchange: nil
+// frame while the request is in the verification pipeline, the cached
+// confirm (or reject) frame afterwards so retransmitted requests are
+// answered by replay instead of a second expensive verification.
+type replyEntry struct {
+	frame []byte
+}
+
+// replyCache is the striped, bounded duplicate-suppression cache shared
+// by every shard loop. Each stripe evicts FIFO at its own bound, so total
+// memory is capped at roughly capacity entries no matter how long a soak
+// runs; the size gauge feeds Stats.
+type replyCache struct {
+	stripes [replyStripeCount]replyStripe
+	// perStripe is the per-stripe entry bound (capacity / stripes, min 1).
+	perStripe int
+	size      atomic.Int64
+}
+
+type replyStripe struct {
+	mu    sync.Mutex
+	m     map[core.SessionID]*replyEntry
+	order []core.SessionID // FIFO eviction order
+}
+
+func newReplyCache(capacity int) *replyCache {
+	c := &replyCache{perStripe: capacity / replyStripeCount}
+	if c.perStripe < 1 {
+		c.perStripe = 1
+	}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[core.SessionID]*replyEntry)
+	}
+	return c
+}
+
+func (c *replyCache) stripe(sid core.SessionID) *replyStripe {
+	return &c.stripes[sid[0]&(replyStripeCount-1)]
+}
+
+// begin claims an exchange. dup=false means the caller owns producing the
+// reply (a placeholder was inserted); dup=true means the exchange is
+// already known and frame is the cached reply — nil while the original is
+// still in flight.
+func (c *replyCache) begin(sid core.SessionID) (frame []byte, dup bool) {
+	s := c.stripe(sid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[sid]; ok {
+		return e.frame, true
+	}
+	s.m[sid] = &replyEntry{}
+	s.order = append(s.order, sid)
+	evicted := 0
+	for len(s.order) > c.perStripe {
+		delete(s.m, s.order[0])
+		s.order = s.order[1:]
+		evicted++
+	}
+	c.size.Add(int64(1 - evicted))
+	return nil, false
+}
+
+// lookup returns the cached reply frame without claiming anything.
+func (c *replyCache) lookup(sid core.SessionID) (frame []byte, ok bool) {
+	s := c.stripe(sid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[sid]
+	if !ok {
+		return nil, false
+	}
+	return e.frame, true
+}
+
+// fulfill installs the produced reply frame (unless the entry was evicted
+// meanwhile).
+func (c *replyCache) fulfill(sid core.SessionID, frame []byte) {
+	s := c.stripe(sid)
+	s.mu.Lock()
+	if e, ok := s.m[sid]; ok {
+		e.frame = frame
+	}
+	s.mu.Unlock()
+}
+
+// forget releases a claimed exchange whose reply will never be produced
+// (queue shed), so a later retry can be admitted.
+func (c *replyCache) forget(sid core.SessionID) {
+	s := c.stripe(sid)
+	s.mu.Lock()
+	if _, ok := s.m[sid]; ok {
+		delete(s.m, sid)
+		for i, o := range s.order {
+			if o == sid {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		c.size.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the current entry count (the Stats gauge).
+func (c *replyCache) Len() int64 { return c.size.Load() }

@@ -1,0 +1,29 @@
+//go:build linux
+
+package transport
+
+import (
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, absent from the stdlib syscall constants
+// but stable ABI on Linux since 3.9.
+const soReusePort = 0xf
+
+// reusePortAvailable reports whether ListenShards can open true
+// kernel-demuxed multi-sockets on this platform.
+const reusePortAvailable = true
+
+// setReusePort marks a socket SO_REUSEPORT before bind, so N listeners
+// share one UDP port and the kernel spreads datagrams across them — each
+// shard loop then owns a private socket with a private receive queue.
+func setReusePort(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package transport
+
+import "syscall"
+
+// reusePortAvailable: no portable SO_REUSEPORT here; ListenShards falls
+// back to one socket shared by all shard loops (userspace demux).
+const reusePortAvailable = false
+
+func setReusePort(network, address string, c syscall.RawConn) error {
+	return nil
+}

@@ -90,10 +90,12 @@ func (c *Client) Maintain(ctx context.Context, cfg MaintainConfig) error {
 			return err
 		}
 
-		// Phase A: (re-)attach until a session is established.
+		// Phase A: (re-)attach until a session is established — via the
+		// held resumption ticket when the server still honours it (one
+		// symmetric round trip), the full M.1–M.3 otherwise.
 		if c.Session() == nil {
 			actx, cancel := context.WithTimeout(ctx, cfg.AttachTimeout)
-			_, err := c.Attach(actx)
+			_, err := c.AttachOrResume(actx)
 			cancel()
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {

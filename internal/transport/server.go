@@ -8,11 +8,13 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/revocation"
+	"github.com/peace-mesh/peace/internal/symcrypto"
 )
 
 // ServerConfig tunes the router-side datapath.
@@ -31,13 +33,30 @@ type ServerConfig struct {
 	// MaxBatch bounds one verification batch. Default 4 × NumCPU.
 	MaxBatch int
 	// ReplyCacheSize bounds the duplicate-suppression cache of answered
-	// sessions. Default 4096.
+	// exchanges (striped FIFO eviction). Default 4096.
 	ReplyCacheSize int
+	// DeltaCacheSize bounds, per revocation list, how many encoded delta
+	// frames stay cached for the current epoch (FIFO eviction). Default 64.
+	DeltaCacheSize int
+	// Shards is how many read loops serve the socket(s). With one socket,
+	// Shards loops share it (userspace demux); NewShardedServer runs one
+	// loop per SO_REUSEPORT socket instead. Default 1.
+	Shards int
 	// BootEpoch identifies this process incarnation. It is carried in the
 	// signed beacon and echoed in keepalive pongs, so clients detect a
 	// restart through an authenticated channel. Zero draws a random epoch
 	// (the production choice); tests pin it for determinism.
 	BootEpoch uint64
+	// TicketKeys is the STEK ring sealing resumption tickets. Nil draws a
+	// fresh ring (tickets then die with the process); operators that want
+	// tickets to survive restarts share one ring across incarnations.
+	TicketKeys *symcrypto.TicketKeyRing
+	// TicketLifetime bounds how long an issued ticket resumes. Default 10m.
+	TicketLifetime time.Duration
+	// TicketFreshness bounds the age of a resume request's timestamp —
+	// beyond it, replayed requests whose reply-cache entry was evicted are
+	// refused instead of minting yet another session. Default 30s.
+	TicketFreshness time.Duration
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
@@ -58,6 +77,18 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.ReplyCacheSize < 1 {
 		c.ReplyCacheSize = 4096
 	}
+	if c.DeltaCacheSize < 1 {
+		c.DeltaCacheSize = 64
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.TicketLifetime <= 0 {
+		c.TicketLifetime = 10 * time.Minute
+	}
+	if c.TicketFreshness <= 0 {
+		c.TicketFreshness = 30 * time.Second
+	}
 	if c.BootEpoch == 0 {
 		var b [8]byte
 		if _, err := rand.Read(b[:]); err == nil {
@@ -70,90 +101,170 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// replyEntry is the duplicate-suppression state of one session: nil frame
-// while the request is in the verification pipeline, the cached confirm
-// (or reject) frame afterwards so retransmitted requests are answered by
-// replay instead of a second expensive verification.
-type replyEntry struct {
-	frame []byte
-}
-
-// Server is the router side of the transport: a concurrent loop that
-// reads datagrams, decodes frames, answers beacon solicitations from a
-// cached frame, and feeds access requests through the router's bounded
-// ingest queue so bursts hit the batch-verification pipeline.
+// Server is the router side of the transport: N shard loops read
+// datagrams, decode frames with per-shard scratch state, answer beacon
+// solicitations from a cached frame, serve ticket resumptions inline
+// (symmetric crypto only), and feed access requests through the router's
+// bounded ingest queue so bursts hit the batch-verification pipeline.
 type Server struct {
-	cfg    ServerConfig
-	conn   net.PacketConn
-	router *core.MeshRouter
-	queue  *core.IngestQueue
-	stats  Stats
+	cfg     ServerConfig
+	conns   []net.PacketConn
+	router  *core.MeshRouter
+	queue   *core.IngestQueue
+	stats   Stats
+	tickets *symcrypto.TicketKeyRing
 
-	mu          sync.Mutex
+	// beaconMu guards the cached beacon frame and its DH-share history.
+	beaconMu    sync.Mutex
 	beaconFrame []byte
 	beaconAt    time.Time
 	beaconGRs   []*bn256.G1
-	replies     map[core.SessionID]*replyEntry
-	replyOrder  []core.SessionID
-	draining    bool
-	closed      bool
+
+	// replies is the striped, bounded duplicate-suppression cache shared
+	// by all shard loops (access requests and resumes alike).
+	replies *replyCache
+
+	draining atomic.Bool
+	closed   atomic.Bool
 
 	// revMu guards the per-list caches of encoded revocation frames: the
-	// current snapshot frame plus delta frames keyed by from-epoch, all
-	// invalidated when the router's installed epoch moves. Bounded by the
-	// operator's delta history.
+	// current snapshot frame plus a bounded set of delta frames keyed by
+	// from-epoch, all invalidated when the router's installed epoch moves.
 	revMu    sync.Mutex
 	revCache map[revocation.List]*revFrameCache
 
-	wg       sync.WaitGroup
-	loopDone chan struct{}
+	wg    sync.WaitGroup // in-flight reply goroutines
+	loops sync.WaitGroup // shard read loops
 }
 
-// NewServer starts serving router on conn. Close the server (not the
-// conn) to shut down.
+// NewServer starts serving router on conn. With cfg.Shards > 1, that many
+// read loops share the one socket (userspace demux); use NewShardedServer
+// with ListenShards sockets for kernel-demuxed SO_REUSEPORT sharding.
+// Close the server (not the conn) to shut down.
 func NewServer(conn net.PacketConn, router *core.MeshRouter, cfg ServerConfig) *Server {
+	return newServer([]net.PacketConn{conn}, router, cfg)
+}
+
+// NewShardedServer starts serving router on a set of sockets sharing one
+// UDP port (see ListenShards), one read loop per socket.
+func NewShardedServer(conns []net.PacketConn, router *core.MeshRouter, cfg ServerConfig) *Server {
+	if len(conns) == 0 {
+		panic("transport: NewShardedServer needs at least one socket")
+	}
+	if len(conns) > 1 {
+		cfg.Shards = len(conns)
+	}
+	// With one socket (the ListenShards fallback where SO_REUSEPORT is
+	// unavailable) cfg.Shards still governs how many loops demux it.
+	return newServer(conns, router, cfg)
+}
+
+func newServer(conns []net.PacketConn, router *core.MeshRouter, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
-		conn:     conn,
+		conns:    conns,
 		router:   router,
 		queue:    core.NewIngestQueue(router, cfg.QueueCapacity, cfg.MaxBatch),
-		replies:  make(map[core.SessionID]*replyEntry),
+		tickets:  cfg.TicketKeys,
+		replies:  newReplyCache(cfg.ReplyCacheSize),
 		revCache: make(map[revocation.List]*revFrameCache),
-		loopDone: make(chan struct{}),
+	}
+	if s.tickets == nil {
+		ring, err := symcrypto.NewTicketKeyRing(rand.Reader)
+		if err == nil {
+			s.tickets = ring
+		}
+		// On rng failure s.tickets stays nil: the server simply issues no
+		// tickets and refuses resumes, degrading to full handshakes.
 	}
 	// The epoch rides the signed beacon body, so clients learn it through
 	// an authenticated channel at attach time.
 	router.SetBootEpoch(cfg.BootEpoch)
 	s.stats.bootEpoch.Store(cfg.BootEpoch)
-	go s.readLoop()
+
+	// One loop per socket; a single socket gets cfg.Shards loops instead.
+	nloops := len(conns)
+	if nloops == 1 && cfg.Shards > 1 {
+		nloops = cfg.Shards
+	}
+	s.stats.shards.Store(int64(nloops))
+	for i := 0; i < nloops; i++ {
+		conn := conns[i%len(conns)]
+		s.loops.Add(1)
+		go s.readLoop(conn)
+	}
 	return s
+}
+
+// ListenShards opens n UDP sockets sharing one port on addr. Where
+// SO_REUSEPORT is available (Linux) each socket is kernel-demuxed with a
+// private receive queue; elsewhere a single socket comes back and the
+// server's shard loops share it. Pass the result to NewShardedServer.
+func ListenShards(addr string, n int) ([]net.PacketConn, error) {
+	if n < 1 {
+		n = 1
+	}
+	if !reusePortAvailable || n == 1 {
+		conn, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.PacketConn{conn}, nil
+	}
+	lc := net.ListenConfig{Control: setReusePort}
+	first, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conns := []net.PacketConn{first}
+	// Subsequent sockets bind the concrete address the first one got (addr
+	// may have asked for an ephemeral port).
+	bound := first.LocalAddr().String()
+	for i := 1; i < n; i++ {
+		c, err := lc.ListenPacket(context.Background(), "udp", bound)
+		if err != nil {
+			for _, o := range conns {
+				_ = o.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
 }
 
 // BootEpoch returns this server incarnation's boot epoch.
 func (s *Server) BootEpoch() uint64 { return s.cfg.BootEpoch }
 
 // Addr returns the server's listen address.
-func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+func (s *Server) Addr() net.Addr { return s.conns[0].LocalAddr() }
+
+// Shards returns how many read loops are serving.
+func (s *Server) Shards() int { return int(s.stats.shards.Load()) }
+
+// TicketKeys returns the STEK ring (for rotation by the operator loop).
+func (s *Server) TicketKeys() *symcrypto.TicketKeyRing { return s.tickets }
 
 // Stats returns the transport counters.
-func (s *Server) Stats() *Stats { return &s.stats }
+func (s *Server) Stats() *Stats {
+	s.stats.replyCacheSize.Store(s.replies.Len())
+	return &s.stats
+}
 
 // Router returns the served router (for RouterStats reporting).
 func (s *Server) Router() *core.MeshRouter { return s.router }
 
-// Close stops the read loop, drains the ingest queue and waits for
+// Close stops the read loops, drains the ingest queue and waits for
 // in-flight replies.
 func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return
 	}
-	s.closed = true
-	s.mu.Unlock()
-	_ = s.conn.Close()
-	<-s.loopDone
+	for _, conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.loops.Wait()
 	s.queue.Close()
 	s.wg.Wait()
 }
@@ -163,11 +274,9 @@ func (s *Server) Close() {
 // retry against the replacement) while beacons, keepalives and in-flight
 // verifications keep being served. Drain returns once every reply that
 // was in flight when draining began has been delivered, or when ctx ends.
-// Call Close afterwards to stop the read loop.
+// Call Close afterwards to stop the read loops.
 func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
+	s.draining.Store(true)
 
 	done := make(chan struct{})
 	go func() {
@@ -183,11 +292,7 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Draining reports whether Drain has been called.
-func (s *Server) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -195,19 +300,20 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// readLoop is the single socket reader; expensive work (signature
+// readLoop is one shard's socket reader. Expensive work (signature
 // verification) happens on the ingest queue's drainer and the per-reply
-// goroutines, so the loop itself keeps up with bursts.
-func (s *Server) readLoop() {
-	defer close(s.loopDone)
+// goroutines; resumes and keepalives are symmetric-crypto cheap and are
+// served inline with per-loop scratch state, so the steady-state decode
+// path allocates nothing.
+func (s *Server) readLoop(conn net.PacketConn) {
+	defer s.loops.Done()
 	buf := make([]byte, 65536)
+	var scratchFrame core.DataFrame
+	var scratchResume ResumeRequest
 	for {
-		n, addr, err := s.conn.ReadFrom(buf)
+		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
+			if s.closed.Load() {
 				return
 			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -225,7 +331,7 @@ func (s *Server) readLoop() {
 		s.stats.framesIn.Add(1)
 		switch kind {
 		case KindBeaconRequest:
-			s.sendBeacon(addr)
+			s.sendBeacon(conn, addr)
 		case KindAccessRequest:
 			// The decoded message owns its memory (fresh curve points and
 			// copied byte fields), so buf can be reused immediately.
@@ -234,21 +340,28 @@ func (s *Server) readLoop() {
 				s.stats.decodeErrors.Add(1)
 				continue
 			}
-			s.handleAccessRequest(m, addr)
+			s.handleAccessRequest(conn, m, addr)
+		case KindResumeRequest:
+			// Aliasing decode into per-loop scratch: the handler finishes
+			// with the request before the next ReadFrom reuses buf.
+			if err := UnmarshalResumeRequestInto(payload, &scratchResume); err != nil {
+				s.stats.decodeErrors.Add(1)
+				continue
+			}
+			s.handleResumeRequest(conn, &scratchResume, addr)
 		case KindURLSnapshotRequest:
 			f, err := UnmarshalRevocationFetch(payload)
 			if err != nil {
 				s.stats.decodeErrors.Add(1)
 				continue
 			}
-			s.handleRevocationFetch(f, addr)
+			s.handleRevocationFetch(conn, f, addr)
 		case KindSessionPing:
-			f, err := core.UnmarshalDataFrame(payload)
-			if err != nil {
+			if err := core.UnmarshalDataFrameInto(payload, &scratchFrame); err != nil {
 				s.stats.decodeErrors.Add(1)
 				continue
 			}
-			s.handleSessionPing(f, addr)
+			s.handleSessionPing(conn, &scratchFrame, addr)
 		default:
 			// Peer AKA, URL/CRL pushes etc. are not served on a router
 			// socket; count and drop.
@@ -260,19 +373,19 @@ func (s *Server) readLoop() {
 // sendBeacon answers a beacon solicitation from the cached frame,
 // regenerating it when the refresh period elapsed and retiring DH shares
 // that fall out of the history window.
-func (s *Server) sendBeacon(addr net.Addr) {
+func (s *Server) sendBeacon(conn net.PacketConn, addr net.Addr) {
 	now := time.Now()
-	s.mu.Lock()
+	s.beaconMu.Lock()
 	if s.beaconFrame == nil || now.Sub(s.beaconAt) >= s.cfg.BeaconRefresh {
 		b, err := s.router.Beacon()
 		if err != nil {
-			s.mu.Unlock()
+			s.beaconMu.Unlock()
 			s.logf("transport: beacon: %v", err)
 			return
 		}
 		frame, err := EncodeMessage(b)
 		if err != nil {
-			s.mu.Unlock()
+			s.beaconMu.Unlock()
 			s.logf("transport: encode beacon: %v", err)
 			return
 		}
@@ -285,23 +398,25 @@ func (s *Server) sendBeacon(addr net.Addr) {
 		}
 	}
 	frame := s.beaconFrame
-	s.mu.Unlock()
-	s.writeTo(frame, addr)
+	s.beaconMu.Unlock()
+	s.writeTo(conn, frame, addr)
 }
 
 // revFrameCache holds encoded frames of one list's current revocation
 // state so a flash crowd of converging clients is served without
-// re-marshaling per request.
+// re-marshaling per request. Delta frames are bounded (FIFO) so a long
+// epoch with many distinct client states cannot grow it without limit.
 type revFrameCache struct {
-	epoch     uint64
-	snapFrame []byte
-	deltas    map[uint64][]byte // keyed by from-epoch
+	epoch      uint64
+	snapFrame  []byte
+	deltas     map[uint64][]byte // keyed by from-epoch
+	deltaOrder []uint64
 }
 
 // handleRevocationFetch answers a RevocationFetch: a delta from the
 // client's epoch when the router's bounded history still covers it, the
 // full snapshot otherwise.
-func (s *Server) handleRevocationFetch(f *RevocationFetch, addr net.Addr) {
+func (s *Server) handleRevocationFetch(conn net.PacketConn, f *RevocationFetch, addr net.Addr) {
 	snap, ok := s.router.RevocationSnapshot(f.List)
 	if !ok {
 		s.stats.unhandled.Add(1)
@@ -311,6 +426,9 @@ func (s *Server) handleRevocationFetch(f *RevocationFetch, addr net.Addr) {
 	s.revMu.Lock()
 	c := s.revCache[f.List]
 	if c == nil || c.epoch != snap.Epoch {
+		if c != nil {
+			s.stats.deltaCacheFrames.Add(-int64(len(c.deltas)))
+		}
 		c = &revFrameCache{epoch: snap.Epoch, deltas: make(map[uint64][]byte)}
 		s.revCache[f.List] = c
 	}
@@ -322,6 +440,14 @@ func (s *Server) handleRevocationFetch(f *RevocationFetch, addr net.Addr) {
 		} else if d, ok := s.router.RevocationDelta(f.List, f.HaveEpoch); ok {
 			if enc, err := EncodeMessage(d); err == nil {
 				c.deltas[f.HaveEpoch] = enc
+				c.deltaOrder = append(c.deltaOrder, f.HaveEpoch)
+				evicted := 0
+				for len(c.deltaOrder) > s.cfg.DeltaCacheSize {
+					delete(c.deltas, c.deltaOrder[0])
+					c.deltaOrder = c.deltaOrder[1:]
+					evicted++
+				}
+				s.stats.deltaCacheFrames.Add(int64(1 - evicted))
 				frame, isDelta = enc, true
 			}
 		}
@@ -346,64 +472,72 @@ func (s *Server) handleRevocationFetch(f *RevocationFetch, addr net.Addr) {
 		s.stats.revSnapshotFetches.Add(1)
 	}
 	s.stats.setEpochs(s.router.RevocationEpoch(revocation.ListURL), s.router.RevocationEpoch(revocation.ListCRL))
-	s.writeTo(frame, addr)
+	s.writeTo(conn, frame, addr)
 }
 
 // InvalidateBeacon drops the cached beacon frame so the next solicitation
 // gets a fresh one — call after pushing new revocation state to the
 // router, whose refs the cached beacon no longer advertises.
 func (s *Server) InvalidateBeacon() {
-	s.mu.Lock()
+	s.beaconMu.Lock()
 	s.beaconFrame = nil
-	s.mu.Unlock()
+	s.beaconMu.Unlock()
 	s.stats.setEpochs(s.router.RevocationEpoch(revocation.ListURL), s.router.RevocationEpoch(revocation.ListCRL))
+}
+
+// issueTicket seals a resumption ticket for an established session: the
+// resumption secret both endpoints derive, the current revocation epochs
+// (the ticket dies when either list moves), and the session's original
+// M.2 as accountability escrow.
+func (s *Server) issueTicket(sess *core.Session, escrow []byte) ([]byte, error) {
+	if s.tickets == nil {
+		return nil, fmt.Errorf("transport: no ticket keys")
+	}
+	t := &Ticket{
+		Prev:      sess.ID,
+		URLEpoch:  s.router.RevocationEpoch(revocation.ListURL),
+		CRLEpoch:  s.router.RevocationEpoch(revocation.ListCRL),
+		BootEpoch: s.cfg.BootEpoch,
+		Expiry:    time.Now().Add(s.cfg.TicketLifetime),
+		Escrow:    escrow,
+	}
+	copy(t.Secret[:], sess.ResumptionSecret())
+	return t.Seal(rand.Reader, s.tickets)
 }
 
 // handleAccessRequest dedups by session identifier, then submits to the
 // ingest queue; the reply (confirm or reject) is cached so retransmitted
 // requests — the client's recovery from a lost M.3 — are answered by
-// replay, never by a second verification.
-func (s *Server) handleAccessRequest(m *core.AccessRequest, addr net.Addr) {
+// replay, never by a second verification. Successful confirms carry a
+// freshly sealed resumption ticket.
+func (s *Server) handleAccessRequest(conn net.PacketConn, m *core.AccessRequest, addr net.Addr) {
 	sid := core.NewSessionID(m.GR, m.GJ)
 
-	s.mu.Lock()
-	if s.draining {
+	if s.draining.Load() {
 		// Refuse new work during graceful shutdown — but keep replaying
 		// cached replies below so a client whose M.3 was lost right before
 		// the drain still completes.
-		if e, ok := s.replies[sid]; !ok || e.frame == nil {
-			s.mu.Unlock()
+		if frame, ok := s.replies.lookup(sid); !ok || frame == nil {
 			s.stats.drainRejects.Add(1)
-			s.sendRejectCode(addr, sid, RejectDraining, "server draining")
+			s.sendRejectCode(conn, addr, sid, RejectDraining, "server draining")
 			return
 		}
 	}
-	if e, ok := s.replies[sid]; ok {
-		frame := e.frame
-		s.mu.Unlock()
+	if frame, dup := s.replies.begin(sid); dup {
 		s.stats.duplicates.Add(1)
 		if frame != nil {
-			s.writeTo(frame, addr)
+			s.writeTo(conn, frame, addr)
 		}
 		return
 	}
-	s.replies[sid] = &replyEntry{}
-	s.replyOrder = append(s.replyOrder, sid)
-	for len(s.replyOrder) > s.cfg.ReplyCacheSize {
-		delete(s.replies, s.replyOrder[0])
-		s.replyOrder = s.replyOrder[1:]
-	}
-	s.mu.Unlock()
 
 	ch, err := s.queue.Submit(m)
 	if err != nil {
 		// Shed under overload; forget the session so a later retry can be
 		// admitted once the queue drains.
 		s.stats.queueDrops.Add(1)
-		s.mu.Lock()
-		delete(s.replies, sid)
-		s.mu.Unlock()
-		s.sendReject(addr, sid, err)
+		s.replies.forget(sid)
+		s.sendReject(conn, addr, sid, err)
 		return
 	}
 	s.wg.Add(1)
@@ -420,30 +554,142 @@ func (s *Server) handleAccessRequest(m *core.AccessRequest, addr net.Addr) {
 				s.stats.revRejects.Add(1)
 			}
 		} else {
+			if tk, terr := s.issueTicket(res.Session, m.Marshal()); terr == nil {
+				res.Confirm.Ticket = tk
+				s.stats.ticketsIssued.Add(1)
+			}
 			frame, err = EncodeMessage(res.Confirm)
 		}
 		if err != nil {
 			s.logf("transport: encode reply: %v", err)
 			return
 		}
-		s.mu.Lock()
-		if e, ok := s.replies[sid]; ok {
-			e.frame = frame
-		}
-		s.mu.Unlock()
-		s.writeTo(frame, addr)
+		s.replies.fulfill(sid, frame)
+		s.writeTo(conn, frame, addr)
 	}()
+}
+
+// refuseResume rejects one resume exchange and caches the reject so a
+// retransmitted request replays it.
+func (s *Server) refuseResume(conn net.PacketConn, addr net.Addr, sid core.SessionID, code RejectCode, reason string) {
+	rej := &Reject{Session: sid, Code: code, Reason: reason}
+	frame, err := EncodeMessage(rej)
+	if err != nil {
+		s.logf("transport: encode reject: %v", err)
+		return
+	}
+	s.stats.rejects.Add(1)
+	s.stats.resumeRejects.Add(1)
+	s.replies.fulfill(sid, frame)
+	s.writeTo(conn, frame, addr)
+}
+
+// handleResumeRequest serves the symmetric-only re-attach path inline —
+// no pairing, no group signature, no queue. The checks run cheapest
+// first; any refusal sends a reject whose code tells the client whether
+// to retry (transient) or fall back to the full handshake.
+func (s *Server) handleResumeRequest(conn net.PacketConn, req *ResumeRequest, addr net.Addr) {
+	sid := resumeDedupID(req.Ticket, req.Nonce[:])
+
+	if s.draining.Load() {
+		if frame, ok := s.replies.lookup(sid); !ok || frame == nil {
+			s.stats.drainRejects.Add(1)
+			s.sendRejectCode(conn, addr, sid, RejectDraining, "server draining")
+			return
+		}
+	}
+	if frame, dup := s.replies.begin(sid); dup {
+		s.stats.duplicates.Add(1)
+		if frame != nil {
+			s.writeTo(conn, frame, addr)
+		}
+		return
+	}
+
+	if s.tickets == nil {
+		s.refuseResume(conn, addr, sid, RejectTicket, "resumption not offered")
+		return
+	}
+	t, err := OpenTicket(req.Ticket, s.tickets)
+	if err != nil {
+		// Rotated-out STEK generation and tampered blobs land here alike;
+		// either way the full handshake is the only path forward.
+		s.refuseResume(conn, addr, sid, RejectTicket, "ticket unusable")
+		return
+	}
+	now := time.Now()
+	if now.After(t.Expiry) {
+		s.refuseResume(conn, addr, sid, RejectTicket, "ticket expired")
+		return
+	}
+	// Revocation freshness: the ticket pins the epochs its holder was
+	// verified against. Any movement of either list since issuance might
+	// have revoked the holder, so the cheap path is refused wholesale and
+	// the client re-proves membership via M.1–M.3 (which also re-syncs its
+	// own revocation state in Phase 1.5).
+	if t.URLEpoch != s.router.RevocationEpoch(revocation.ListURL) ||
+		t.CRLEpoch != s.router.RevocationEpoch(revocation.ListCRL) {
+		s.refuseResume(conn, addr, sid, RejectTicketStale, "revocation epochs moved since issuance")
+		return
+	}
+	if err := req.verify(t.Secret[:]); err != nil {
+		s.refuseResume(conn, addr, sid, RejectTicket, "resume MAC invalid")
+		return
+	}
+	if d := now.Sub(req.Timestamp); d > s.cfg.TicketFreshness || d < -s.cfg.TicketFreshness {
+		s.refuseResume(conn, addr, sid, RejectTicket, "resume timestamp stale")
+		return
+	}
+	escrow, err := core.UnmarshalAccessRequest(t.Escrow)
+	if err != nil {
+		s.refuseResume(conn, addr, sid, RejectTicket, "ticket escrow corrupt")
+		return
+	}
+
+	var serverNonce [ResumeNonceSize]byte
+	if _, err := rand.Read(serverNonce[:]); err != nil {
+		s.replies.forget(sid)
+		s.logf("transport: resume nonce: %v", err)
+		return
+	}
+	sess := core.ResumeSession(t.Prev, t.Secret[:], req.Nonce[:], serverNonce[:], "user", now)
+	s.router.AdoptResumedSession(sess, escrow)
+
+	newTicket, err := s.issueTicket(sess, t.Escrow)
+	if err != nil {
+		s.replies.forget(sid)
+		s.logf("transport: reissue ticket: %v", err)
+		return
+	}
+	body := &resumeOK{RouterID: s.router.ID(), BootEpoch: s.cfg.BootEpoch, Nonce: req.Nonce, Ticket: newTicket}
+	df, err := sess.SealData(rand.Reader, body.marshal())
+	if err != nil {
+		s.replies.forget(sid)
+		s.logf("transport: seal resume confirm: %v", err)
+		return
+	}
+	confirm := &ResumeConfirm{Dedup: sid, Nonce: serverNonce, Ciphertext: df.Payload}
+	frame, err := EncodeMessage(confirm)
+	if err != nil {
+		s.replies.forget(sid)
+		s.logf("transport: encode resume confirm: %v", err)
+		return
+	}
+	s.stats.resumesServed.Add(1)
+	s.stats.ticketsIssued.Add(1)
+	s.replies.fulfill(sid, frame)
+	s.writeTo(conn, frame, addr)
 }
 
 // handleSessionPing answers a keepalive ping. Only a server that still
 // holds the session can decrypt the ping and seal a pong, so the pong is
 // proof of liveness; a rebooted server answers RejectUnknownSession — the
 // unauthenticated hint clients confirm against the signed beacon epoch.
-func (s *Server) handleSessionPing(f *core.DataFrame, addr net.Addr) {
+func (s *Server) handleSessionPing(conn net.PacketConn, f *core.DataFrame, addr net.Addr) {
 	sess, ok := s.router.SessionByID(f.Session)
 	if !ok {
 		s.stats.unknownSessionRejects.Add(1)
-		s.sendRejectCode(addr, f.Session, RejectUnknownSession, "no such session")
+		s.sendRejectCode(conn, addr, f.Session, RejectUnknownSession, "no such session")
 		return
 	}
 	body, err := sess.OpenData(f)
@@ -470,14 +716,14 @@ func (s *Server) handleSessionPing(f *core.DataFrame, addr net.Addr) {
 		return
 	}
 	s.stats.keepalivesServed.Add(1)
-	s.writeTo(frame, addr)
+	s.writeTo(conn, frame, addr)
 }
 
-func (s *Server) sendReject(addr net.Addr, sid core.SessionID, cause error) {
-	s.sendRejectCode(addr, sid, rejectCodeFor(cause), cause.Error())
+func (s *Server) sendReject(conn net.PacketConn, addr net.Addr, sid core.SessionID, cause error) {
+	s.sendRejectCode(conn, addr, sid, rejectCodeFor(cause), cause.Error())
 }
 
-func (s *Server) sendRejectCode(addr net.Addr, sid core.SessionID, code RejectCode, reason string) {
+func (s *Server) sendRejectCode(conn net.PacketConn, addr net.Addr, sid core.SessionID, code RejectCode, reason string) {
 	rej := &Reject{Session: sid, Code: code, Reason: reason}
 	frame, err := EncodeMessage(rej)
 	if err != nil {
@@ -485,11 +731,11 @@ func (s *Server) sendRejectCode(addr net.Addr, sid core.SessionID, code RejectCo
 		return
 	}
 	s.stats.rejects.Add(1)
-	s.writeTo(frame, addr)
+	s.writeTo(conn, frame, addr)
 }
 
-func (s *Server) writeTo(frame []byte, addr net.Addr) {
-	n, err := s.conn.WriteTo(frame, addr)
+func (s *Server) writeTo(conn net.PacketConn, frame []byte, addr net.Addr) {
+	n, err := conn.WriteTo(frame, addr)
 	if err != nil {
 		s.logf("transport: write to %v: %v", addr, err)
 		return
@@ -500,5 +746,5 @@ func (s *Server) writeTo(frame []byte, addr net.Addr) {
 
 // String describes the server for logs.
 func (s *Server) String() string {
-	return fmt.Sprintf("transport.Server(%s on %v)", s.router.ID(), s.conn.LocalAddr())
+	return fmt.Sprintf("transport.Server(%s on %v)", s.router.ID(), s.Addr())
 }

@@ -42,6 +42,20 @@ type Stats struct {
 	attachSuccesses       atomic.Int64
 	drainRejects          atomic.Int64
 	bootEpoch             atomic.Uint64
+
+	// Resumption observability: tickets issued and resumes served
+	// (server), resume attempts/successes/fallbacks (client), the
+	// held-ticket gauge, and the cache/shard gauges of the sharded server.
+	ticketsIssued    atomic.Int64
+	resumesServed    atomic.Int64
+	resumeRejects    atomic.Int64
+	resumeAttempts   atomic.Int64
+	resumeSuccesses  atomic.Int64
+	resumeFallbacks  atomic.Int64
+	ticketsHeld      atomic.Int64
+	replyCacheSize   atomic.Int64
+	deltaCacheFrames atomic.Int64
+	shards           atomic.Int64
 }
 
 // StatsSnapshot is the plain-struct view of Stats, JSON-ready.
@@ -106,6 +120,26 @@ type StatsSnapshot struct {
 	// BootEpoch gauges the server's own boot epoch (server) or the last
 	// authenticated boot epoch observed (client).
 	BootEpoch uint64 `json:"boot_epoch"`
+	// TicketsIssued counts resumption tickets sealed into confirms and
+	// resume replies (server).
+	TicketsIssued int64 `json:"tickets_issued"`
+	// ResumesServed counts ticket resumptions served without a pairing
+	// (server); ResumeRejects counts refused resume exchanges.
+	ResumesServed int64 `json:"resumes_served"`
+	ResumeRejects int64 `json:"resume_rejects"`
+	// ResumeAttempts / ResumeSuccesses count client-side resume exchanges
+	// started and completed; ResumeFallbacks counts resumes that fell back
+	// to the full handshake.
+	ResumeAttempts  int64 `json:"resume_attempts"`
+	ResumeSuccesses int64 `json:"resume_successes"`
+	ResumeFallbacks int64 `json:"resume_fallbacks"`
+	// TicketsHeld gauges whether the client currently holds a ticket.
+	TicketsHeld int64 `json:"tickets_held"`
+	// ReplyCacheSize / DeltaCacheFrames gauge the bounded caches.
+	ReplyCacheSize   int64 `json:"reply_cache_size"`
+	DeltaCacheFrames int64 `json:"delta_cache_frames"`
+	// Shards gauges how many read loops serve the socket(s).
+	Shards int64 `json:"shards"`
 }
 
 // Snapshot copies the counters.
@@ -141,6 +175,17 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		AttachSuccesses:       s.attachSuccesses.Load(),
 		DrainRejects:          s.drainRejects.Load(),
 		BootEpoch:             s.bootEpoch.Load(),
+
+		TicketsIssued:    s.ticketsIssued.Load(),
+		ResumesServed:    s.resumesServed.Load(),
+		ResumeRejects:    s.resumeRejects.Load(),
+		ResumeAttempts:   s.resumeAttempts.Load(),
+		ResumeSuccesses:  s.resumeSuccesses.Load(),
+		ResumeFallbacks:  s.resumeFallbacks.Load(),
+		TicketsHeld:      s.ticketsHeld.Load(),
+		ReplyCacheSize:   s.replyCacheSize.Load(),
+		DeltaCacheFrames: s.deltaCacheFrames.Load(),
+		Shards:           s.shards.Load(),
 	}
 }
 
@@ -182,6 +227,30 @@ func (s *Stats) AttachAttempts() int64 { return s.attachAttempts.Load() }
 
 // AttachSuccesses returns how many AKA runs completed.
 func (s *Stats) AttachSuccesses() int64 { return s.attachSuccesses.Load() }
+
+// TicketsIssued returns how many resumption tickets the server sealed.
+func (s *Stats) TicketsIssued() int64 { return s.ticketsIssued.Load() }
+
+// ResumesServed returns how many ticket resumptions the server served.
+func (s *Stats) ResumesServed() int64 { return s.resumesServed.Load() }
+
+// ResumeRejects returns how many resume exchanges the server refused.
+func (s *Stats) ResumeRejects() int64 { return s.resumeRejects.Load() }
+
+// ResumeAttempts returns how many resume exchanges the client started.
+func (s *Stats) ResumeAttempts() int64 { return s.resumeAttempts.Load() }
+
+// ResumeSuccesses returns how many resume exchanges the client completed.
+func (s *Stats) ResumeSuccesses() int64 { return s.resumeSuccesses.Load() }
+
+// ResumeFallbacks returns how many resumes fell back to a full handshake.
+func (s *Stats) ResumeFallbacks() int64 { return s.resumeFallbacks.Load() }
+
+// ReplyCacheSize returns the reply-cache size gauge.
+func (s *Stats) ReplyCacheSize() int64 { return s.replyCacheSize.Load() }
+
+// DeltaCacheFrames returns the delta-cache size gauge.
+func (s *Stats) DeltaCacheFrames() int64 { return s.deltaCacheFrames.Load() }
 
 // setEpochs records the installed-epoch gauges.
 func (s *Stats) setEpochs(urlEpoch, crlEpoch uint64) {

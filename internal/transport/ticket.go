@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// ErrTicketUnusable is the client-side mapping of RejectTicket: the
+// resumption ticket was refused (expired, STEK rotated out, malformed)
+// and a full handshake is required.
+var ErrTicketUnusable = errors.New("transport: resumption ticket unusable")
+
+// ErrNoTicket is returned by Client.Resume when the client holds no
+// resumption state.
+var ErrNoTicket = errors.New("transport: no resumption ticket held")
+
+// ticketTag versions the sealed ticket body.
+const ticketTag = "peace/ticket:v1"
+
+// ticketAAD binds sealed tickets to their purpose so a STEK blob cannot
+// be replayed into a different decryption context.
+var ticketAAD = []byte("peace/ticket-aad:v1")
+
+// Ticket is the plaintext of a resumption ticket — what the server seals
+// under its rotating STEK and hands to the client as an opaque blob. The
+// server keeps no per-ticket state: everything needed to resurrect the
+// session comes back inside the blob.
+//
+// Secret is the resumption master secret (both endpoints derive it from
+// the original session keys, so possession proves the holder completed
+// the original AKA). URLEpoch/CRLEpoch pin the revocation state the
+// holder was verified against: a resume is only honored while the
+// router's installed lists still carry exactly those epochs, so any
+// revocation event invalidates every earlier ticket wholesale. Escrow is
+// the marshaled original M.2 — the accountability handle the router
+// re-installs in its network log on resume, keeping resumed sessions as
+// auditable as fresh ones.
+type Ticket struct {
+	Secret    [core.ResumeSecretSize]byte
+	Prev      core.SessionID // session the secret was derived from
+	URLEpoch  uint64
+	CRLEpoch  uint64
+	BootEpoch uint64 // issuing incarnation (diagnostic, not enforced)
+	Expiry    time.Time
+	Escrow    []byte // marshaled core.AccessRequest (M.2)
+}
+
+// Marshal encodes the ticket plaintext.
+func (t *Ticket) Marshal() []byte {
+	w := wire.NewWriter(160 + len(t.Escrow))
+	w.StringField(ticketTag)
+	w.BytesField(t.Secret[:])
+	w.BytesField(t.Prev[:])
+	w.Uint64(t.URLEpoch)
+	w.Uint64(t.CRLEpoch)
+	w.Uint64(t.BootEpoch)
+	w.Time(t.Expiry)
+	w.BytesField(t.Escrow)
+	return w.Bytes()
+}
+
+// UnmarshalTicket decodes a ticket plaintext. The escrow bytes are
+// copied, so the result outlives the decryption buffer.
+func UnmarshalTicket(data []byte) (*Ticket, error) {
+	r := wire.NewReader(data)
+	tag, err := r.StringField()
+	if err != nil {
+		return nil, err
+	}
+	if tag != ticketTag {
+		return nil, fmt.Errorf("transport: ticket tag %q", tag)
+	}
+	t := &Ticket{}
+	sec, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(sec) != len(t.Secret) {
+		return nil, fmt.Errorf("transport: ticket secret size %d", len(sec))
+	}
+	copy(t.Secret[:], sec)
+	prev, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(prev) != len(t.Prev) {
+		return nil, fmt.Errorf("transport: ticket session id size %d", len(prev))
+	}
+	copy(t.Prev[:], prev)
+	if t.URLEpoch, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if t.CRLEpoch, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if t.BootEpoch, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	if t.Expiry, err = r.Time(); err != nil {
+		return nil, err
+	}
+	esc, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	t.Escrow = append([]byte(nil), esc...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Seal encrypts the ticket under the ring's current STEK generation.
+func (t *Ticket) Seal(rng io.Reader, ring *symcrypto.TicketKeyRing) ([]byte, error) {
+	return ring.Seal(rng, t.Marshal(), ticketAAD)
+}
+
+// OpenTicket decrypts and decodes a sealed ticket blob.
+// symcrypto.ErrUnknownTicketKey means the STEK generation rotated out.
+func OpenTicket(blob []byte, ring *symcrypto.TicketKeyRing) (*Ticket, error) {
+	pt, err := ring.Open(blob, ticketAAD)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalTicket(pt)
+}
+
+// resumeMACKey derives the key authenticating resume requests from the
+// ticket's resumption secret.
+func resumeMACKey(secret []byte) symcrypto.Key {
+	return symcrypto.DeriveKey(secret, "peace/resume-mac:v1")
+}
+
+// resumeDedupID derives the duplicate-suppression identifier of one
+// resume exchange. It covers the sealed blob and the client nonce, so a
+// retransmitted request replays the cached confirm (exactly one session
+// per exchange) while a fresh nonce starts a distinct exchange.
+func resumeDedupID(ticket []byte, nonce []byte) core.SessionID {
+	h := sha256.New()
+	h.Write([]byte("peace/resume-dedup:v1"))
+	h.Write(ticket)
+	h.Write(nonce)
+	var id core.SessionID
+	h.Sum(id[:0])
+	return id
+}
