@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke experiments examples vet fmt cover clean ci fuzz staticcheck meshd-loopback meshd-drill chaos-soak
+.PHONY: all build test race bench bench-smoke experiments examples vet fmt cover clean ci fuzz staticcheck meshd-loopback meshd-drill chaos-soak metro-soak
 
 all: build test
 
@@ -17,10 +17,11 @@ ci:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz
 	$(MAKE) chaos-soak
+	$(MAKE) metro-soak
 
 # fuzz smoke: each wire-facing decoder gets a short randomized run, plus a
 # differential fuzz of the Montgomery field core against big.Int.
@@ -38,6 +39,11 @@ fuzz:
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzUnmarshalDataFrame$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalTicket$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalResumeRequest$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalRouterHello$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalRouterWelcome$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalLinkEnvelope$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalGossipBody$$' -fuzztime=10s
+	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalRelayBody$$' -fuzztime=10s
 
 # staticcheck runs when the binary is present and is skipped (loudly) when
 # it is not — the container image does not ship it and ci must not fetch
@@ -68,6 +74,15 @@ meshd-drill:
 chaos-soak:
 	$(GO) run ./cmd/meshd -mode chaos -users 100 -seed 42 -storm 2s -partition 5s
 
+# metro-soak is the roaming acceptance drill: 8 backbone routers under
+# lossy/corrupting/duplicating inter-router links, one router partitioned
+# mid-wave, while 200 users each make 3 cross-router moves on resumption
+# tickets. Gate: 100% session continuity (exactly one pairing per user,
+# zero resume fallbacks) and every router refuses a revocation rollback
+# after a fleet-wide epoch bump.
+metro-soak:
+	$(GO) run ./cmd/meshd -mode metro -routers 8 -users 200 -moves 3 -soak -partition 2s
+
 build:
 	$(GO) build ./...
 
@@ -75,7 +90,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

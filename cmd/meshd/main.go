@@ -15,7 +15,11 @@
 // full fault-injection soak: a fleet of self-healing clients under
 // sustained drop/corruption/duplication, a mid-run revocation bump, a
 // server restart and a partition, reporting the recovery counters and
-// every invariant violation.
+// every invariant violation. Metro mode boots an N-router backbone ring
+// in one process and roams M users across it via ticket handoffs,
+// printing the wave report plus every router's counters; with -soak it
+// adds backbone fault injection, a mid-wave link partition and a closing
+// revocation anti-rollback probe on every router.
 //
 // Usage:
 //
@@ -24,6 +28,8 @@
 //	meshd -mode loopback -users 100 -loss 0.05
 //	meshd -mode drill -users 8 -rounds 4 -revoke 2
 //	meshd -mode chaos -users 100 -drop 0.10 -corrupt 0.05 -dup 0.02 -partition 5s
+//	meshd -mode metro -routers 8 -users 200 -moves 3
+//	meshd -mode metro -routers 8 -users 200 -moves 3 -soak -partition 2s
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/peace-mesh/peace/internal/backbone"
 	"github.com/peace-mesh/peace/internal/chaos"
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/transport"
@@ -64,7 +71,10 @@ func main() {
 	corrupt := flag.Float64("corrupt", 0.05, "chaos: bit-corruption probability per direction")
 	dup := flag.Float64("dup", 0.02, "chaos: duplication probability per direction")
 	storm := flag.Duration("storm", 2*time.Second, "chaos: keepalive soak length before the restart")
-	partition := flag.Duration("partition", 5*time.Second, "chaos: partition length after the restart")
+	partition := flag.Duration("partition", 5*time.Second, "chaos: partition length after the restart; metro: backbone partition length")
+	routers := flag.Int("routers", 8, "metro: backbone routers in the ring")
+	moves := flag.Int("moves", 3, "metro: cross-router handoffs per user")
+	soak := flag.Bool("soak", false, "metro: add backbone fault injection, a mid-wave partition and the anti-rollback probe")
 	flag.Parse()
 
 	var err error
@@ -79,8 +89,10 @@ func main() {
 		err = runDrill(*users, *rounds, *revoke, *timeout)
 	case "chaos":
 		err = runChaos(*users, *seed, *drop, *corrupt, *dup, *storm, *partition)
+	case "metro":
+		err = runMetro(*routers, *users, *moves, *seed, *soak, *partition)
 	default:
-		err = fmt.Errorf("unknown -mode %q (serve, client, loopback, drill, chaos)", *mode)
+		err = fmt.Errorf("unknown -mode %q (serve, client, loopback, drill, chaos, metro)", *mode)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -321,5 +333,80 @@ func runChaos(users int, seed int64, drop, corrupt, dup float64, storm, partitio
 	log.Printf("meshd: chaos soak clean: %d/%d clients re-established across restart+partition (%d reattaches, %d keepalives acked, %d faults injected)",
 		rep.Established, rep.Users, rep.Reattaches, rep.KeepalivesAcked,
 		rep.Injected.Dropped+rep.Injected.Corrupted+rep.Injected.Duplicated+rep.Injected.Reordered)
+	return nil
+}
+
+// metroLine is the JSON record metro mode emits: the wave (or soak)
+// report plus every router's transport counters, handoff and gossip
+// gauges included.
+type metroLine struct {
+	Report  any                       `json:"report"`
+	Routers []transport.StatsSnapshot `json:"routers"`
+}
+
+// runMetro boots an N-router metro backbone in one process and roams M
+// users across it; with soak it additionally runs backbone fault
+// injection, a mid-wave link partition and the closing anti-rollback
+// probe. Exits non-zero on any session-continuity violation.
+func runMetro(routers, users, moves int, seed int64, soak bool, partition time.Duration) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	if soak {
+		rep, err := chaos.RunMetroSoak(chaos.MetroSoakConfig{
+			Routers:      routers,
+			Users:        users,
+			Moves:        moves,
+			Seed:         seed,
+			PartitionLen: partition,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if rep.Failed() {
+			return fmt.Errorf("metro soak violated %d invariants", len(rep.Violations))
+		}
+		log.Printf("meshd: metro soak clean: %d users × %d moves over %d routers, %d handoffs, %d frames relayed, %d/%d rollbacks refused",
+			rep.Users, rep.Moves, rep.Routers, rep.Wave.HandoffsIn, rep.Wave.FramesRelayed,
+			rep.RollbacksRefused, rep.Routers)
+		return nil
+	}
+
+	m, err := backbone.StartMetro(backbone.MetroConfig{
+		Routers:        routers,
+		Users:          users,
+		Moves:          moves,
+		GossipInterval: 100 * time.Millisecond,
+		GraceWindow:    30 * time.Second,
+		Logf:           nil,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	log.Printf("meshd: metro up: %d routers in a ring, %d users, %d moves each", routers, users, moves)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+	rep, err := m.RoamingWave(ctx)
+	if err != nil {
+		return err
+	}
+	line := metroLine{Report: rep}
+	for _, s := range m.Servers {
+		line.Routers = append(line.Routers, s.Stats().Snapshot())
+	}
+	if err := enc.Encode(line); err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("metro wave violated %d invariants", len(rep.Violations))
+	}
+	log.Printf("meshd: metro wave clean: %d pairings, %d ticket handoffs, %d frames relayed, %d delivered",
+		rep.Pairings, rep.Resumed, rep.FramesRelayed, rep.Delivered)
 	return nil
 }

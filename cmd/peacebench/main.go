@@ -60,7 +60,7 @@ type ablationRow struct {
 var collect *benchJSON
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e16 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e17 or all")
 	urlSizes := flag.String("url", "0,1,2,5,10,20", "comma-separated |URL| sweep for e3/e15")
 	grtSizes := flag.String("grt", "4,8,16,32,64", "comma-separated |grt| sweep for e7")
 	floods := flag.String("floods", "50,200", "comma-separated flood sizes for e6")
@@ -145,6 +145,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		{"e14", func() error { return runE14(iters) }},
 		{"e15", func() error { return runE15(urlSizes, iters) }},
 		{"e16", func() error { return runE16(iters) }},
+		{"e17", func() error { return runE17(iters) }},
 	} {
 		if runAll || exp == e.name {
 			ran = true
@@ -154,7 +155,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e16 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e17 or all)", exp)
 	}
 	return nil
 }
@@ -625,6 +626,37 @@ func runE16(iters int) error {
 			"soak_restarts":         rep.SoakRestarts,
 			"soak_full_handshakes":  rep.SoakFullHandshakes,
 			"soak_resumes":          rep.SoakResumes,
+		}
+	}
+	return nil
+}
+
+// runE17 measures the roaming-handoff price point: a cross-router ticket
+// handoff against the same-router resume it generalizes and the full
+// pairing it avoids.
+func runE17(iters int) error {
+	header("E17: cross-router roaming handoff (internal/backbone)")
+	rep, err := experiments.RunE17Handoff(iters)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "path\tp50 latency")
+	fmt.Fprintf(w, "full M.1–M.3 attach\t%v\n", rep.FullAttachP50.Round(time.Microsecond))
+	fmt.Fprintf(w, "same-router resume\t%v\n", rep.SameRouterResumeP50.Round(time.Microsecond))
+	fmt.Fprintf(w, "cross-router handoff\t%v\n", rep.CrossRouterHandoffP50.Round(time.Microsecond))
+	w.Flush()
+	fmt.Printf("handoff costs %.2fx a same-router resume and is %.1fx cheaper than re-pairing (%d handoffs measured)\n",
+		rep.HandoffVsResumeX, rep.AttachVsHandoffX, rep.Handoffs)
+
+	if collect != nil {
+		collect.Benchmarks["E17RoamingHandoff"] = map[string]any{
+			"full_attach_p50_ns":          int64(rep.FullAttachP50),
+			"same_router_resume_p50_ns":   int64(rep.SameRouterResumeP50),
+			"cross_router_handoff_p50_ns": int64(rep.CrossRouterHandoffP50),
+			"handoff_vs_resume_x":         rep.HandoffVsResumeX,
+			"attach_vs_handoff_x":         rep.AttachVsHandoffX,
+			"handoffs":                    rep.Handoffs,
 		}
 	}
 	return nil

@@ -1,0 +1,134 @@
+package backbone
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/transport"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// errLinkReplay marks an envelope whose sequence number fell behind the
+// receive window or was already accepted.
+var errLinkReplay = errors.New("backbone: envelope replayed")
+
+// replayWindow is a 64-deep sliding bitmap over per-sender envelope
+// sequence numbers: the standard DTLS/IPsec anti-replay shape, sized for
+// a UDP link that may reorder but not meaningfully delay.
+type replayWindow struct {
+	high uint64 // highest sequence accepted (0 = none yet)
+	mask uint64 // bit i set ⇒ high-i accepted
+}
+
+// accept reports whether seq is fresh, and records it. Sequence numbers
+// start at 1; 0 is never valid.
+func (w *replayWindow) accept(seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	if seq > w.high {
+		shift := seq - w.high
+		if shift >= 64 {
+			w.mask = 1
+		} else {
+			w.mask = w.mask<<shift | 1
+		}
+		w.high = seq
+		return true
+	}
+	back := w.high - seq
+	if back >= 64 {
+		return false
+	}
+	bit := uint64(1) << back
+	if w.mask&bit != 0 {
+		return false
+	}
+	w.mask |= bit
+	return true
+}
+
+// link is one established router-to-router association: the peer's
+// identity and address, the derived symmetric keys, a send sequence and
+// a receive replay window. A re-handshake (peer restart) replaces the
+// whole link object, resetting both sequence spaces with the keys.
+type link struct {
+	peer string
+	addr net.Addr
+	keys symcrypto.SessionKeys
+
+	mu       sync.Mutex
+	sendSeq  uint64
+	rw       replayWindow
+	lastSeen time.Time
+}
+
+func newLink(peer string, addr net.Addr, keys symcrypto.SessionKeys) *link {
+	return &link{peer: peer, addr: addr, keys: keys, lastSeen: time.Now()}
+}
+
+// seal wraps plaintext in a LinkEnvelope of the given kind from self.
+func (l *link) seal(rng io.Reader, kind transport.Kind, self string, plaintext []byte) (*transport.LinkEnvelope, error) {
+	l.mu.Lock()
+	l.sendSeq++
+	seq := l.sendSeq
+	l.mu.Unlock()
+	ct, err := symcrypto.Seal(rng, l.keys.Enc, plaintext, transport.LinkEnvelopeAAD(kind, self, seq))
+	if err != nil {
+		return nil, err
+	}
+	return &transport.LinkEnvelope{From: self, Seq: seq, Ciphertext: ct}, nil
+}
+
+// open authenticates and decrypts an envelope received on this link,
+// enforcing the replay window, and refreshes the liveness clock.
+func (l *link) open(kind transport.Kind, env *transport.LinkEnvelope) ([]byte, error) {
+	pt, err := symcrypto.Open(l.keys.Enc, env.Ciphertext, transport.LinkEnvelopeAAD(kind, env.From, env.Seq))
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	ok := l.rw.accept(env.Seq)
+	if ok {
+		l.lastSeen = time.Now()
+	}
+	l.mu.Unlock()
+	if !ok {
+		return nil, errLinkReplay
+	}
+	return pt, nil
+}
+
+// seen returns the liveness clock.
+func (l *link) seen() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeen
+}
+
+// touch refreshes the liveness clock (handshake completion).
+func (l *link) touch() {
+	l.mu.Lock()
+	l.lastSeen = time.Now()
+	l.mu.Unlock()
+}
+
+// deriveLinkKeys derives one link's symmetric keys from the handshake DH
+// secret and the full transcript — both identities, both shares, both
+// nonces, in initiator-then-responder order, so the two ends agree and a
+// transplanted share changes the keys.
+func deriveLinkKeys(dh []byte, initID, respID string, initShare, respShare, initNonce, respNonce []byte) symcrypto.SessionKeys {
+	w := wire.NewWriter(256)
+	w.StringField("peace/backbone-link:v1")
+	w.StringField(initID)
+	w.StringField(respID)
+	w.BytesField(initShare)
+	w.BytesField(respShare)
+	w.BytesField(initNonce)
+	w.BytesField(respNonce)
+	return symcrypto.DeriveSessionKeys(dh, w.Bytes())
+}

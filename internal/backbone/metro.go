@@ -1,0 +1,453 @@
+package backbone
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/revocation"
+	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/transport"
+)
+
+// MetroNetwork is a provisioned multi-router deployment under one
+// network operator: N certified routers with identical revocation state,
+// one user group, and the initial bundles kept for anti-rollback checks.
+type MetroNetwork struct {
+	Cfg     core.Config
+	NO      *core.NetworkOperator
+	TTP     *core.TTP
+	GM      *core.GroupManager
+	Routers []*core.MeshRouter
+	Users   []*core.User
+
+	// InitialCRL / InitialURL are the bundles installed at provisioning
+	// time — soak scenarios re-offer them later and expect every router
+	// to refuse the rollback.
+	InitialCRL *revocation.Bundle
+	InitialURL *revocation.Bundle
+}
+
+// NewMetroNetwork provisions nRouters certified routers and nUsers
+// enrolled members of one group. Every router gets the same revocation
+// bundles, so ticket epoch pins line up across the whole metro.
+func NewMetroNetwork(cfg core.Config, nRouters, nUsers int) (*MetroNetwork, error) {
+	no, err := core.NewNetworkOperator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ttp, err := core.NewTTP(cfg, no.Authority())
+	if err != nil {
+		return nil, err
+	}
+	const group = core.GroupID("metro-grp")
+	gm, err := core.NewGroupManager(cfg, group, no.Authority())
+	if err != nil {
+		return nil, err
+	}
+	if err := no.RegisterUserGroup(gm, ttp, nUsers+16); err != nil {
+		return nil, err
+	}
+
+	n := &MetroNetwork{Cfg: cfg, NO: no, TTP: ttp, GM: gm}
+	for i := 0; i < nUsers; i++ {
+		u, err := core.NewUser(cfg, core.Identity{
+			Essential:  core.UserID(fmt.Sprintf("user-metro-%d", i)),
+			Attributes: []core.Attribute{{Group: group, Role: "member"}},
+		}, no.Authority(), no.GroupPublicKey())
+		if err != nil {
+			return nil, err
+		}
+		if err := core.EnrollUser(u, gm, ttp); err != nil {
+			return nil, err
+		}
+		n.Users = append(n.Users, u)
+	}
+
+	if n.InitialCRL, n.InitialURL, err = no.RevocationBundles(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nRouters; i++ {
+		id := fmt.Sprintf("metro-r%02d", i)
+		r, err := core.NewMeshRouter(cfg, id, no.Authority(), no.GroupPublicKey())
+		if err != nil {
+			return nil, err
+		}
+		c, err := no.EnrollRouter(id, r.Public())
+		if err != nil {
+			return nil, err
+		}
+		r.SetCertificate(c)
+		if err := r.UpdateRevocations(n.InitialCRL, n.InitialURL); err != nil {
+			return nil, err
+		}
+		n.Routers = append(n.Routers, r)
+	}
+
+	// Out-of-band revocation bootstrap, as at enrollment time: the wave
+	// measures roaming, not delta distribution.
+	for _, l := range []revocation.List{revocation.ListURL, revocation.ListCRL} {
+		snap, ok := n.Routers[0].RevocationSnapshot(l)
+		if !ok {
+			return nil, fmt.Errorf("backbone: router has no %v snapshot", l)
+		}
+		for _, u := range n.Users {
+			if err := u.InstallRevocationSnapshot(snap); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// MetroConfig tunes a running metro deployment.
+type MetroConfig struct {
+	// Routers (≥2) and Users (≥1) size the deployment; Moves is how many
+	// cross-router handoffs each user performs in RoamingWave.
+	Routers int
+	Users   int
+	Moves   int
+	// GossipInterval / GraceWindow configure every backbone node.
+	GossipInterval time.Duration
+	GraceWindow    time.Duration
+	// OwnerWait bounds how long a roaming user waits for its ownership
+	// announcement to reach the previous router before sending the
+	// in-flight frame there. Must exceed any induced partition. Default 10s.
+	OwnerWait time.Duration
+	// Concurrency bounds how many users roam at once. Default 16.
+	Concurrency int
+	// WrapBackbone, when set, wraps router i's backbone socket — the chaos
+	// harness injects link faults here.
+	WrapBackbone func(i int, conn net.PacketConn) net.PacketConn
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+func (c MetroConfig) withDefaults() MetroConfig {
+	if c.Routers < 2 {
+		c.Routers = 2
+	}
+	if c.Users < 1 {
+		c.Users = 1
+	}
+	if c.Moves < 1 {
+		c.Moves = 1
+	}
+	if c.OwnerWait <= 0 {
+		c.OwnerWait = 10 * time.Second
+	}
+	if c.Concurrency < 1 {
+		c.Concurrency = 16
+	}
+	return c
+}
+
+// Metro is a running metro deployment: one user-facing server plus one
+// backbone node per router, all sharing a STEK ring so tickets roam.
+type Metro struct {
+	Net     *MetroNetwork
+	Ring    *symcrypto.TicketKeyRing
+	Servers []*transport.Server
+	Nodes   []*Node
+	cfg     MetroConfig
+}
+
+// StartMetro provisions (unless net is pre-built) and boots a metro
+// deployment on loopback UDP, wiring the backbone as a ring: router i
+// links to its two neighbours, so most handoffs cross multi-hop paths.
+func StartMetro(cfg MetroConfig, net_ *MetroNetwork) (*Metro, error) {
+	cfg = cfg.withDefaults()
+	if net_ == nil {
+		var err error
+		if net_, err = NewMetroNetwork(core.Config{}, cfg.Routers, cfg.Users); err != nil {
+			return nil, err
+		}
+	}
+	ring, err := symcrypto.NewTicketKeyRing(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	m := &Metro{Net: net_, Ring: ring, cfg: cfg}
+
+	for i := 0; i < cfg.Routers; i++ {
+		userConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		srv := transport.NewServer(userConn, net_.Routers[i], transport.ServerConfig{
+			BootEpoch:  uint64(1000 + i),
+			TicketKeys: ring,
+			Logf:       cfg.Logf,
+		})
+		m.Servers = append(m.Servers, srv)
+
+		bbConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		var pc net.PacketConn = bbConn
+		if cfg.WrapBackbone != nil {
+			pc = cfg.WrapBackbone(i, bbConn)
+		}
+		node := NewNode(pc, srv, Config{
+			GossipInterval: cfg.GossipInterval,
+			GraceWindow:    cfg.GraceWindow,
+			Logf:           cfg.Logf,
+		})
+		m.Nodes = append(m.Nodes, node)
+	}
+
+	// Ring topology: each router links to both neighbours.
+	n := cfg.Routers
+	for i := 0; i < n; i++ {
+		for _, j := range []int{(i + 1) % n, (i + n - 1) % n} {
+			if j != i {
+				m.Nodes[i].AddPeer(m.Nodes[j].ID(), m.Nodes[j].Addr())
+			}
+		}
+	}
+	return m, nil
+}
+
+// WaitConverged blocks until every node has a route to every router (or
+// the deadline passes, returning false).
+func (m *Metro) WaitConverged(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+	outer:
+		for _, node := range m.Nodes {
+			for _, other := range m.Nodes {
+				if _, reach := node.HopsTo(other.ID()); !reach {
+					ok = false
+					break outer
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Close tears the deployment down, backbone first.
+func (m *Metro) Close() {
+	for _, n := range m.Nodes {
+		n.Close()
+	}
+	for _, s := range m.Servers {
+		s.Close()
+	}
+}
+
+// MetroReport is the outcome of one roaming wave.
+type MetroReport struct {
+	Routers int `json:"routers"`
+	Users   int `json:"users"`
+	Moves   int `json:"moves"`
+
+	// Pairings counts full M.2/M.3 handshakes across all users — session
+	// continuity means exactly one per user, every move riding a ticket.
+	Pairings int64 `json:"pairings"`
+	// Resumed counts successful ticket resumptions (the handoffs).
+	Resumed   int64 `json:"resumed"`
+	Fallbacks int64 `json:"fallbacks"`
+
+	HandoffsIn    int64 `json:"handoffs_in"`
+	HandoffsOut   int64 `json:"handoffs_out"`
+	FramesRelayed int64 `json:"frames_relayed"`
+	Delivered     int64 `json:"data_delivered"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Violation records one invariant breach.
+func (r *MetroReport) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// RoamingWave attaches every user at its home router, then roams each
+// through Moves cross-router handoffs: retarget to the next router,
+// resume with the held ticket, send one in-flight frame through the
+// previous router (exercising the relay grace window) and one directly.
+// The report asserts exactly one pairing per user and full delivery.
+func (m *Metro) RoamingWave(ctx context.Context) (*MetroReport, error) {
+	cfg := m.cfg
+	rep := &MetroReport{Routers: cfg.Routers, Users: cfg.Users, Moves: cfg.Moves}
+	if !m.WaitConverged(30 * time.Second) {
+		rep.violate("backbone never converged")
+		return rep, nil
+	}
+
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		sem       = make(chan struct{}, cfg.Concurrency)
+		wantRelay int64
+	)
+	clientCfg := transport.ClientConfig{
+		RetransmitTimeout: 100 * time.Millisecond,
+		MaxTimeout:        2 * time.Second,
+		MaxRetries:        16,
+	}
+	stats := make([]*transport.Stats, cfg.Users)
+
+	for ui := 0; ui < cfg.Users; ui++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ui int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fail := func(format string, args ...any) {
+				mu.Lock()
+				rep.violate("user %d: %s", ui, fmt.Sprintf(format, args...))
+				mu.Unlock()
+			}
+
+			conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				fail("listen: %v", err)
+				return
+			}
+			defer conn.Close()
+			at := ui % cfg.Routers
+			cl := transport.NewClient(conn, m.Servers[at].Addr(), m.Net.Users[ui], clientCfg)
+			stats[ui] = cl.Stats()
+			if _, err := cl.Attach(ctx); err != nil {
+				fail("attach at %s: %v", m.Nodes[at].ID(), err)
+				return
+			}
+
+			for mv := 0; mv < cfg.Moves; mv++ {
+				prev := at
+				at = (at + 1) % cfg.Routers
+				oldAddr := m.Servers[prev].Addr()
+				cl.Retarget(m.Servers[at].Addr())
+				sess, err := cl.Resume(ctx)
+				if err != nil {
+					fail("move %d resume at %s: %v", mv, m.Nodes[at].ID(), err)
+					return
+				}
+
+				// The in-flight frame goes first: the receiving session
+				// enforces strictly increasing sequence numbers, so a
+				// late-relayed lower sequence would be dropped as a replay.
+				// Wait for the ownership announcement to reach the previous
+				// router (it floods immediately; a partition delays it until
+				// gossip heals), then send through it.
+				sid := sess.ID
+				ownerDeadline := time.Now().Add(cfg.OwnerWait)
+				for {
+					if owner, ok := m.Nodes[prev].OwnerOf(sid); ok && owner == m.Nodes[at].ID() {
+						break
+					}
+					if time.Now().After(ownerDeadline) {
+						fail("move %d: ownership of session never reached %s", mv, m.Nodes[prev].ID())
+						return
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				payload := []byte(fmt.Sprintf("metro user %d move %d", ui, mv))
+				if err := cl.SendDataVia(oldAddr, payload); err != nil {
+					fail("move %d in-flight send: %v", mv, err)
+					return
+				}
+				mu.Lock()
+				wantRelay++
+				mu.Unlock()
+				// The relayed frame must land before a higher-sequence
+				// direct frame, or the session's strictly increasing
+				// receive rule drops the straggler as a replay. Data
+				// frames are fire-and-forget, so under an induced lossy
+				// backbone the frame is retransmitted (each resend seals
+				// a fresh, higher sequence — late originals then drop as
+				// replays at the receiver, which is correct).
+				relayDeadline := time.Now().Add(cfg.OwnerWait)
+				resend := time.Now().Add(150 * time.Millisecond)
+				for {
+					if srvSess, ok := m.Net.Routers[at].SessionByID(sid); ok {
+						if _, any := srvSess.RecvSeq(); any {
+							break
+						}
+					}
+					if time.Now().After(relayDeadline) {
+						fail("move %d: in-flight frame never delivered via backbone", mv)
+						return
+					}
+					if time.Now().After(resend) {
+						resend = time.Now().Add(150 * time.Millisecond)
+						if err := cl.SendDataVia(oldAddr, payload); err != nil {
+							fail("move %d in-flight resend: %v", mv, err)
+							return
+						}
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				if err := cl.SendData(payload); err != nil {
+					fail("move %d direct send: %v", mv, err)
+					return
+				}
+			}
+		}(ui)
+	}
+	wg.Wait()
+
+	for ui, st := range stats {
+		if st == nil {
+			continue
+		}
+		rep.Pairings += st.AttachSuccesses()
+		rep.Resumed += st.ResumeSuccesses()
+		rep.Fallbacks += st.ResumeFallbacks()
+		// Per client, not just in aggregate: every move rode the ticket.
+		if got := st.AttachSuccesses(); got != 1 {
+			rep.violate("user %d paired %d times, want exactly 1", ui, got)
+		}
+	}
+
+	// Delivery is asynchronous (relayed frames cross the backbone); wait
+	// for the counters to converge before judging.
+	wantDelivered := wantRelay * 2
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		rep.HandoffsIn, rep.HandoffsOut, rep.FramesRelayed, rep.Delivered = 0, 0, 0, 0
+		for _, s := range m.Servers {
+			st := s.Stats()
+			rep.HandoffsIn += st.HandoffsIn()
+			rep.HandoffsOut += st.HandoffsOut()
+			rep.FramesRelayed += st.FramesRelayed()
+			rep.Delivered += st.DataDelivered()
+		}
+		if rep.Delivered >= wantDelivered || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if rep.Pairings != int64(cfg.Users) {
+		rep.violate("pairings = %d, want exactly %d (one per user)", rep.Pairings, cfg.Users)
+	}
+	if rep.Fallbacks != 0 {
+		rep.violate("%d resume fallbacks to full pairing", rep.Fallbacks)
+	}
+	if want := int64(cfg.Users * cfg.Moves); rep.Resumed < want {
+		rep.violate("resumed = %d, want ≥ %d", rep.Resumed, want)
+	}
+	if rep.HandoffsIn < int64(cfg.Users*cfg.Moves) {
+		rep.violate("handoffs_in = %d, want ≥ %d", rep.HandoffsIn, cfg.Users*cfg.Moves)
+	}
+	if rep.Delivered < wantDelivered {
+		rep.violate("delivered = %d, want ≥ %d", rep.Delivered, wantDelivered)
+	}
+	return rep, nil
+}

@@ -1,0 +1,727 @@
+package backbone
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/bn256"
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/transport"
+)
+
+// Config tunes one backbone node.
+type Config struct {
+	// GossipInterval is the period of the gossip/maintenance tick.
+	// Default 200ms.
+	GossipInterval time.Duration
+	// PeerTimeout declares a link dead after this much gossip silence;
+	// the initiator side then re-runs the handshake. Default
+	// 15 × GossipInterval.
+	PeerTimeout time.Duration
+	// GraceWindow is how long after a roaming handoff the previous router
+	// keeps forwarding in-flight frames before releasing the session.
+	// Default 10s.
+	GraceWindow time.Duration
+	// RelayTTL bounds backbone hops per relayed frame. Default 8.
+	RelayTTL int
+	// HelloFreshness bounds the age of handshake timestamps. Default 30s.
+	HelloFreshness time.Duration
+	// MaxHops drops route advertisements beyond this distance (bounds
+	// count-to-infinity churn on partitions). Default 32.
+	MaxHops uint32
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 200 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 15 * c.GossipInterval
+	}
+	if c.GraceWindow <= 0 {
+		c.GraceWindow = 10 * time.Second
+	}
+	if c.RelayTTL < 1 {
+		c.RelayTTL = 8
+	}
+	if c.HelloFreshness <= 0 {
+		c.HelloFreshness = 30 * time.Second
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 32
+	}
+	return c
+}
+
+// routeEntry is one distance-vector entry: reach a router via a directly
+// linked peer at a hop count.
+type routeEntry struct {
+	via  string
+	hops uint32
+}
+
+// ownerEntry is one session-ownership record from a roaming handoff.
+type ownerEntry struct {
+	ad transport.OwnerAd
+}
+
+// pendingDial is an initiator's outstanding hello: the nonce and DH
+// scalar it committed to, and the encoded frame for retransmission (the
+// same hello is re-sent until the welcome lands, so the responder's
+// welcome replay cache stays coherent).
+type pendingDial struct {
+	nonce  [transport.BackboneNonceSize]byte
+	scalar *big.Int
+	share  []byte
+	frame  []byte
+}
+
+// welcomeReplay caches the welcome answered to one hello nonce so a
+// retransmitted hello gets the identical welcome back instead of a new
+// handshake that would desynchronize the link keys.
+type welcomeReplay struct {
+	nonce [transport.BackboneNonceSize]byte
+	frame []byte
+}
+
+// Node is one router's presence on the metro backbone: it owns the
+// backbone socket, runs the link handshakes, gossips liveness + routes +
+// session ownership, relays data frames multi-hop, and implements the
+// transport server's Forwarder / HandoffObserver hooks.
+type Node struct {
+	cfg    Config
+	id     string
+	conn   net.PacketConn
+	server *transport.Server
+	router *core.MeshRouter
+	stats  *transport.Stats
+
+	mu       sync.Mutex
+	dials    map[string]net.Addr // configured peers, by router id
+	links    map[string]*link    // established links, by router id
+	pending  map[string]*pendingDial
+	welcomes map[string]*welcomeReplay
+	routes   map[string]routeEntry
+	owners   map[core.SessionID]*ownerEntry
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewNode starts a backbone node for server on conn (the router's
+// dedicated backbone socket) and installs itself as the server's
+// forwarder and handoff observer. Close the node before the server.
+func NewNode(conn net.PacketConn, server *transport.Server, cfg Config) *Node {
+	n := &Node{
+		cfg:      cfg.withDefaults(),
+		id:       server.Router().ID(),
+		conn:     conn,
+		server:   server,
+		router:   server.Router(),
+		stats:    server.Stats(),
+		dials:    make(map[string]net.Addr),
+		links:    make(map[string]*link),
+		pending:  make(map[string]*pendingDial),
+		welcomes: make(map[string]*welcomeReplay),
+		routes:   make(map[string]routeEntry),
+		owners:   make(map[core.SessionID]*ownerEntry),
+	}
+	server.SetBackbone(n, n)
+	n.wg.Add(2)
+	go n.readLoop()
+	go n.gossipLoop()
+	return n
+}
+
+// ID returns the router identity this node speaks for.
+func (n *Node) ID() string { return n.id }
+
+// Addr returns the backbone socket address.
+func (n *Node) Addr() net.Addr { return n.conn.LocalAddr() }
+
+// AddPeer configures a backbone link to a peer router. Both ends
+// configure each other; the lexicographically smaller ID initiates the
+// handshake (a deterministic tie-break so simultaneous hellos cannot
+// derive mismatched keys), the other answers.
+func (n *Node) AddPeer(id string, addr net.Addr) {
+	n.mu.Lock()
+	n.dials[id] = addr
+	n.mu.Unlock()
+}
+
+// LivePeers returns the IDs of currently established links.
+func (n *Node) LivePeers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.links))
+	for id := range n.links {
+		out = append(out, id)
+	}
+	return out
+}
+
+// HopsTo returns the known backbone distance to a router (0 for self).
+func (n *Node) HopsTo(router string) (int, bool) {
+	if router == n.id {
+		return 0, true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.links[router] != nil {
+		return 1, true
+	}
+	if e, ok := n.routes[router]; ok {
+		return int(e.hops), true
+	}
+	return 0, false
+}
+
+// OwnerOf returns which router currently owns a roamed session, if this
+// node has seen its ownership announcement and the grace window is open.
+func (n *Node) OwnerOf(sid core.SessionID) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.owners[sid]
+	if e == nil || time.Now().After(e.ad.Expires) {
+		return "", false
+	}
+	return e.ad.Owner, true
+}
+
+// Close stops the loops and closes the backbone socket.
+func (n *Node) Close() {
+	if n.closed.Swap(true) {
+		return
+	}
+	_ = n.conn.Close()
+	n.wg.Wait()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// ---- transport hooks -------------------------------------------------
+
+// ForwardData implements transport.Forwarder: a data frame for a session
+// this router no longer holds is relayed toward the adopting router when
+// an unexpired ownership record exists. The frame is marshaled before
+// returning (it aliases the server's receive buffer).
+func (n *Node) ForwardData(f *core.DataFrame) bool {
+	n.mu.Lock()
+	e := n.owners[f.Session]
+	var owner string
+	if e != nil && time.Now().Before(e.ad.Expires) {
+		owner = e.ad.Owner
+	}
+	n.mu.Unlock()
+	if owner == "" || owner == n.id {
+		return false
+	}
+	body := &transport.RelayBody{
+		Target:  owner,
+		Origin:  n.id,
+		TTL:     uint8(n.cfg.RelayTTL),
+		Payload: f.Marshal(),
+	}
+	return n.relay(body)
+}
+
+// HandoffAdopted implements transport.HandoffObserver: the local server
+// adopted a roamed session, so install the ownership record and flood
+// the announcement.
+func (n *Node) HandoffAdopted(prev, next core.SessionID, prevRouter string) {
+	ad := &transport.OwnerAd{
+		Next:       next,
+		Prev:       prev,
+		Owner:      n.id,
+		PrevRouter: prevRouter,
+		Expires:    time.Now().Add(n.cfg.GraceWindow),
+	}
+	n.integrateOwner(ad, "")
+}
+
+// ---- owner / handoff plane -------------------------------------------
+
+// integrateOwner installs one ownership record if it is new, reacts to a
+// transfer away from this router (count it, schedule the grace-window
+// release), and floods the announcement to every link except the one it
+// arrived on. Duplicate announcements — flood echoes, gossip repeats,
+// retransmissions — dedup on the adopted session ID and do nothing.
+func (n *Node) integrateOwner(ad *transport.OwnerAd, from string) {
+	n.mu.Lock()
+	if n.owners[ad.Next] != nil {
+		n.mu.Unlock()
+		return
+	}
+	n.owners[ad.Next] = &ownerEntry{ad: *ad}
+	n.mu.Unlock()
+
+	if ad.PrevRouter == n.id && ad.Owner != n.id {
+		n.stats.NoteHandoffOut()
+		// Release the transferred session once the grace window closes;
+		// until then in-flight frames keep forwarding. The audit log entry
+		// survives the release.
+		prev := ad.Prev
+		delay := time.Until(ad.Expires)
+		if delay < 0 {
+			delay = 0
+		}
+		time.AfterFunc(delay, func() {
+			if !n.closed.Load() {
+				n.router.ReleaseSession(prev)
+			}
+		})
+	}
+	n.flood(transport.KindHandoffAnnounce, ad.Marshal(), from)
+}
+
+// flood seals plaintext to every established link except skipPeer.
+func (n *Node) flood(kind transport.Kind, plaintext []byte, skipPeer string) {
+	n.mu.Lock()
+	targets := make([]*link, 0, len(n.links))
+	for id, l := range n.links {
+		if id != skipPeer {
+			targets = append(targets, l)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range targets {
+		n.sendSealed(l, kind, plaintext)
+	}
+}
+
+// sendSealed seals plaintext on one link and writes the frame.
+func (n *Node) sendSealed(l *link, kind transport.Kind, plaintext []byte) bool {
+	env, err := l.seal(rand.Reader, kind, n.id, plaintext)
+	if err != nil {
+		n.logf("backbone %s: seal %v to %s: %v", n.id, kind, l.peer, err)
+		return false
+	}
+	frame, err := transport.EncodeLinkEnvelope(kind, env)
+	if err != nil {
+		n.logf("backbone %s: encode %v: %v", n.id, kind, err)
+		return false
+	}
+	if _, err := n.conn.WriteTo(frame, l.addr); err != nil {
+		n.logf("backbone %s: write to %s: %v", n.id, l.peer, err)
+		return false
+	}
+	return true
+}
+
+// ---- relay plane ------------------------------------------------------
+
+// relay sends one relay body toward its target and counts the hop.
+func (n *Node) relay(body *transport.RelayBody) bool {
+	l := n.nextHop(body.Target)
+	if l == nil {
+		return false
+	}
+	if !n.sendSealed(l, transport.KindRelay, body.Marshal()) {
+		return false
+	}
+	n.stats.NoteFrameRelayed()
+	return true
+}
+
+// nextHop picks the link toward a target router: direct when linked,
+// else the distance-vector route.
+func (n *Node) nextHop(target string) *link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l := n.links[target]; l != nil {
+		return l
+	}
+	if e, ok := n.routes[target]; ok {
+		return n.links[e.via]
+	}
+	return nil
+}
+
+// handleRelay processes one relay envelope: deliver at the target,
+// forward with a decremented TTL otherwise.
+func (n *Node) handleRelay(body *transport.RelayBody) {
+	if body.Target == n.id {
+		f, err := core.UnmarshalDataFrame(body.Payload)
+		if err != nil {
+			n.logf("backbone %s: relayed frame: %v", n.id, err)
+			return
+		}
+		sess, ok := n.router.SessionByID(f.Session)
+		if !ok {
+			n.logf("backbone %s: relayed frame for unknown session", n.id)
+			return
+		}
+		if _, err := sess.OpenData(f); err != nil {
+			n.logf("backbone %s: relayed frame rejected: %v", n.id, err)
+			return
+		}
+		n.stats.NoteDataDelivered()
+		return
+	}
+	if body.TTL == 0 {
+		n.logf("backbone %s: relay TTL exhausted toward %s", n.id, body.Target)
+		return
+	}
+	body.TTL--
+	n.relay(body)
+}
+
+// ---- gossip plane ------------------------------------------------------
+
+// gossipLoop is the periodic maintenance tick: (re)initiate handshakes
+// for configured-but-down links, expire silent peers, prune stale owner
+// records, and send one gossip round on every live link.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	for range t.C {
+		if n.closed.Load() {
+			return
+		}
+		n.tick(time.Now())
+	}
+}
+
+func (n *Node) tick(now time.Time) {
+	type dial struct {
+		peer  string
+		addr  net.Addr
+		frame []byte
+	}
+	var dialsOut []dial
+	type round struct {
+		l    *link
+		body []byte
+	}
+	var rounds []round
+
+	n.mu.Lock()
+	// Expire links that went silent.
+	for id, l := range n.links {
+		if now.Sub(l.seen()) > n.cfg.PeerTimeout {
+			delete(n.links, id)
+			delete(n.welcomes, id)
+			for r, e := range n.routes {
+				if e.via == id {
+					delete(n.routes, r)
+				}
+			}
+		}
+	}
+	// Initiate handshakes where this node is the designated initiator.
+	for id, addr := range n.dials {
+		if n.links[id] != nil || n.id >= id {
+			continue
+		}
+		p := n.pending[id]
+		if p == nil {
+			var err error
+			if p, err = n.newDial(); err != nil {
+				n.logf("backbone %s: dial %s: %v", n.id, id, err)
+				continue
+			}
+			n.pending[id] = p
+		}
+		dialsOut = append(dialsOut, dial{peer: id, addr: addr, frame: p.frame})
+	}
+	// Prune owner records one extra grace window past expiry: late
+	// duplicate announcements still dedup, but the table stays bounded.
+	for sid, e := range n.owners {
+		if now.After(e.ad.Expires.Add(n.cfg.GraceWindow)) {
+			delete(n.owners, sid)
+		}
+	}
+	// Compose one gossip round per live link (split horizon: routes that
+	// go via the destination are withheld).
+	bootEpoch := n.server.BootEpoch()
+	live := int64(len(n.links))
+	for id, l := range n.links {
+		body := &transport.GossipBody{BootEpoch: bootEpoch}
+		for r, e := range n.routes {
+			if e.via == id || r == id {
+				continue
+			}
+			body.Routes = append(body.Routes, transport.RouteAd{Router: r, Hops: e.hops})
+		}
+		for peer := range n.links {
+			if peer != id {
+				body.Routes = append(body.Routes, transport.RouteAd{Router: peer, Hops: 1})
+			}
+		}
+		for _, e := range n.owners {
+			if now.Before(e.ad.Expires) {
+				body.Owners = append(body.Owners, e.ad)
+			}
+		}
+		rounds = append(rounds, round{l: l, body: body.Marshal()})
+	}
+	n.mu.Unlock()
+
+	n.stats.SetGossipPeers(live)
+	for _, d := range dialsOut {
+		if _, err := n.conn.WriteTo(d.frame, d.addr); err != nil {
+			n.logf("backbone %s: hello to %s: %v", n.id, d.peer, err)
+		}
+	}
+	for _, r := range rounds {
+		n.sendSealed(r.l, transport.KindGossip, r.body)
+	}
+}
+
+// newDial builds a fresh signed hello (called under n.mu).
+func (n *Node) newDial() (*pendingDial, error) {
+	c := n.router.Certificate()
+	if c == nil {
+		return nil, fmt.Errorf("no certificate installed")
+	}
+	scalar, err := bn256.RandomScalar(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	p := &pendingDial{
+		scalar: scalar,
+		share:  new(bn256.G1).ScalarBaseMult(scalar).Marshal(),
+	}
+	if _, err := rand.Read(p.nonce[:]); err != nil {
+		return nil, err
+	}
+	hello := &transport.RouterHello{
+		Cert:      c,
+		Share:     p.share,
+		Nonce:     p.nonce,
+		Timestamp: time.Now(),
+	}
+	if hello.Sig, err = n.router.SignAs(hello.SignedBody()); err != nil {
+		return nil, err
+	}
+	if p.frame, err = transport.EncodeMessage(hello); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// integrateGossip folds one gossip round from a live peer into the
+// routing table and ownership records.
+func (n *Node) integrateGossip(from string, body *transport.GossipBody) {
+	n.mu.Lock()
+	for _, ad := range body.Routes {
+		if ad.Router == n.id || ad.Hops+1 > n.cfg.MaxHops {
+			continue
+		}
+		cand := routeEntry{via: from, hops: ad.Hops + 1}
+		cur, ok := n.routes[ad.Router]
+		if !ok || cand.hops < cur.hops || cur.via == from {
+			n.routes[ad.Router] = cand
+		}
+	}
+	n.mu.Unlock()
+	for i := range body.Owners {
+		n.integrateOwner(&body.Owners[i], from)
+	}
+}
+
+// ---- socket loop -------------------------------------------------------
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		nr, addr, err := n.conn.ReadFrom(buf)
+		if err != nil {
+			if n.closed.Load() {
+				return
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			n.logf("backbone %s: read: %v", n.id, err)
+			return
+		}
+		kind, payload, err := transport.DecodeFrame(buf[:nr])
+		if err != nil {
+			continue
+		}
+		switch kind {
+		case transport.KindRouterHello:
+			m, err := transport.UnmarshalRouterHello(payload)
+			if err != nil {
+				continue
+			}
+			n.handleHello(m, addr)
+		case transport.KindRouterWelcome:
+			m, err := transport.UnmarshalRouterWelcome(payload)
+			if err != nil {
+				continue
+			}
+			n.handleWelcome(m)
+		case transport.KindGossip, transport.KindRelay, transport.KindHandoffAnnounce:
+			env, err := transport.UnmarshalLinkEnvelope(payload)
+			if err != nil {
+				continue
+			}
+			n.handleEnvelope(kind, env)
+		}
+	}
+}
+
+// handleEnvelope opens a sealed envelope on the sender's link and
+// dispatches its plaintext.
+func (n *Node) handleEnvelope(kind transport.Kind, env *transport.LinkEnvelope) {
+	n.mu.Lock()
+	l := n.links[env.From]
+	n.mu.Unlock()
+	if l == nil {
+		return
+	}
+	pt, err := l.open(kind, env)
+	if err != nil {
+		// Replays, stale keys after a peer restart, corrupted datagrams —
+		// all drop silently; gossip silence eventually expires a dead key.
+		return
+	}
+	switch kind {
+	case transport.KindGossip:
+		body, err := transport.UnmarshalGossipBody(pt)
+		if err != nil {
+			return
+		}
+		n.integrateGossip(env.From, body)
+	case transport.KindRelay:
+		body, err := transport.UnmarshalRelayBody(pt)
+		if err != nil {
+			return
+		}
+		n.handleRelay(body)
+	case transport.KindHandoffAnnounce:
+		ad, err := transport.UnmarshalOwnerAd(pt)
+		if err != nil {
+			return
+		}
+		n.integrateOwner(ad, env.From)
+	}
+}
+
+// checkPeerCert verifies a handshake certificate against the NO
+// authority and the installed CRL, and the handshake signature under it.
+func (n *Node) checkPeerCert(c *cert.Certificate, signedBody, sig []byte, ts time.Time) error {
+	now := time.Now()
+	if d := now.Sub(ts); d > n.cfg.HelloFreshness || d < -n.cfg.HelloFreshness {
+		return fmt.Errorf("handshake timestamp stale")
+	}
+	if err := cert.CheckCertificate(c, n.router.RouterRevoked, n.router.Authority(), now); err != nil {
+		return err
+	}
+	return c.PublicKey.Verify(signedBody, sig)
+}
+
+// handleHello answers a link handshake as the responder: verify the
+// initiator's credentials, derive fresh link keys, install the link and
+// send back a signed welcome. A retransmitted hello (same nonce) gets
+// the cached welcome, keeping exactly one key derivation per handshake.
+func (n *Node) handleHello(m *transport.RouterHello, addr net.Addr) {
+	peer := m.Cert.SubjectID
+	if peer == n.id {
+		return
+	}
+
+	n.mu.Lock()
+	cached := n.welcomes[peer]
+	n.mu.Unlock()
+	if cached != nil && cached.nonce == m.Nonce {
+		if _, err := n.conn.WriteTo(cached.frame, addr); err != nil {
+			n.logf("backbone %s: welcome replay to %s: %v", n.id, peer, err)
+		}
+		return
+	}
+
+	if err := n.checkPeerCert(m.Cert, m.SignedBody(), m.Sig, m.Timestamp); err != nil {
+		n.logf("backbone %s: hello from %s refused: %v", n.id, peer, err)
+		return
+	}
+	peerShare, err := new(bn256.G1).Unmarshal(m.Share)
+	if err != nil {
+		n.logf("backbone %s: hello share from %s: %v", n.id, peer, err)
+		return
+	}
+	ownCert := n.router.Certificate()
+	if ownCert == nil {
+		return
+	}
+	scalar, err := bn256.RandomScalar(rand.Reader)
+	if err != nil {
+		return
+	}
+	share := new(bn256.G1).ScalarBaseMult(scalar).Marshal()
+	dh := new(bn256.G1).ScalarMult(peerShare, scalar).Marshal()
+
+	w := &transport.RouterWelcome{
+		Cert:      ownCert,
+		Share:     share,
+		Echo:      m.Nonce,
+		Timestamp: time.Now(),
+	}
+	if _, err := rand.Read(w.Nonce[:]); err != nil {
+		return
+	}
+	if w.Sig, err = n.router.SignAs(w.SignedBody()); err != nil {
+		n.logf("backbone %s: sign welcome: %v", n.id, err)
+		return
+	}
+	frame, err := transport.EncodeMessage(w)
+	if err != nil {
+		return
+	}
+
+	keys := deriveLinkKeys(dh, peer, n.id, m.Share, share, m.Nonce[:], w.Nonce[:])
+	l := newLink(peer, addr, keys)
+	n.mu.Lock()
+	n.links[peer] = l
+	n.welcomes[peer] = &welcomeReplay{nonce: m.Nonce, frame: frame}
+	n.mu.Unlock()
+
+	if _, err := n.conn.WriteTo(frame, addr); err != nil {
+		n.logf("backbone %s: welcome to %s: %v", n.id, peer, err)
+	}
+}
+
+// handleWelcome completes a handshake this node initiated.
+func (n *Node) handleWelcome(m *transport.RouterWelcome) {
+	peer := m.Cert.SubjectID
+	n.mu.Lock()
+	p := n.pending[peer]
+	addr := n.dials[peer]
+	n.mu.Unlock()
+	if p == nil || addr == nil || m.Echo != p.nonce {
+		return // stale or unsolicited
+	}
+	if err := n.checkPeerCert(m.Cert, m.SignedBody(), m.Sig, m.Timestamp); err != nil {
+		n.logf("backbone %s: welcome from %s refused: %v", n.id, peer, err)
+		return
+	}
+	peerShare, err := new(bn256.G1).Unmarshal(m.Share)
+	if err != nil {
+		return
+	}
+	dh := new(bn256.G1).ScalarMult(peerShare, p.scalar).Marshal()
+	keys := deriveLinkKeys(dh, n.id, peer, p.share, m.Share, p.nonce[:], m.Nonce[:])
+	l := newLink(peer, addr, keys)
+	l.touch()
+
+	n.mu.Lock()
+	delete(n.pending, peer)
+	n.links[peer] = l
+	n.mu.Unlock()
+}

@@ -56,9 +56,13 @@ type Conn struct {
 	rng            *rand.Rand
 	in, out        FaultPlan
 	partitionUntil time.Time
-	heldWrite      *packet  // reorder: outgoing datagram awaiting its successor
-	heldRead       *packet  // reorder: incoming datagram awaiting its successor
-	pendingRead    []packet // duplicates and released reorders to deliver next
+	// peers holds per-remote-address overrides: on a shared backbone
+	// socket each router-to-router link gets its own fault plan and
+	// partition window, keyed by the peer's address string.
+	peers       map[string]*peerFaults
+	heldWrite   *packet  // reorder: outgoing datagram awaiting its successor
+	heldRead    *packet  // reorder: incoming datagram awaiting its successor
+	pendingRead []packet // duplicates and released reorders to deliver next
 
 	dropped        atomic.Int64
 	corrupted      atomic.Int64
@@ -85,6 +89,66 @@ func (c *Conn) SetPlans(in, out FaultPlan) {
 	c.mu.Lock()
 	c.in, c.out = in, out
 	c.mu.Unlock()
+}
+
+// peerFaults is one remote address's fault override.
+type peerFaults struct {
+	in, out        FaultPlan
+	partitionUntil time.Time
+}
+
+func (c *Conn) peer(addr string) *peerFaults {
+	if c.peers == nil {
+		c.peers = make(map[string]*peerFaults)
+	}
+	p := c.peers[addr]
+	if p == nil {
+		p = &peerFaults{in: c.in, out: c.out}
+		c.peers[addr] = p
+	}
+	return p
+}
+
+// SetPeerPlans gives traffic to and from one remote address its own
+// fault schedule, overriding the connection-wide plans — a single
+// backbone link of a router that talks to many peers over one socket.
+func (c *Conn) SetPeerPlans(addr string, in, out FaultPlan) {
+	c.mu.Lock()
+	p := c.peer(addr)
+	p.in, p.out = in, out
+	c.mu.Unlock()
+}
+
+// PartitionPeerFor blackholes traffic to and from one remote address for
+// d, starting now, leaving every other link of this socket untouched.
+// Calling it again extends or shortens the window.
+func (c *Conn) PartitionPeerFor(addr string, d time.Duration) {
+	c.mu.Lock()
+	c.peer(addr).partitionUntil = time.Now().Add(d)
+	c.mu.Unlock()
+}
+
+// PeerPartitioned reports whether the per-link partition window of one
+// remote address is currently open.
+func (c *Conn) PeerPartitioned(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.peers[addr]
+	return p != nil && time.Now().Before(p.partitionUntil)
+}
+
+// faultsFor resolves the plan and partition deadline governing one
+// datagram (under mu): the peer override when present, else the
+// connection-wide schedule. The wider of the two partition windows wins.
+func (c *Conn) faultsFor(addr net.Addr) (FaultPlan, FaultPlan, time.Time) {
+	in, out, until := c.in, c.out, c.partitionUntil
+	if p := c.peers[addr.String()]; p != nil {
+		in, out = p.in, p.out
+		if p.partitionUntil.After(until) {
+			until = p.partitionUntil
+		}
+	}
+	return in, out, until
 }
 
 // PartitionFor blackholes the connection in both directions for d,
@@ -138,7 +202,8 @@ func clonePacket(p []byte, addr net.Addr) packet {
 // radio link looks like to the sender.
 func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	c.mu.Lock()
-	if time.Now().Before(c.partitionUntil) {
+	_, plan, partitionUntil := c.faultsFor(addr)
+	if time.Now().Before(partitionUntil) {
 		c.mu.Unlock()
 		c.partitionDrops.Add(1)
 		return len(p), nil
@@ -150,7 +215,6 @@ func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
 		c.heldWrite = nil
 	}
 
-	plan := c.out
 	v := c.roll()
 	switch {
 	case v < plan.Drop:
@@ -228,7 +292,8 @@ func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
 		}
 
 		c.mu.Lock()
-		if time.Now().Before(c.partitionUntil) {
+		plan, _, partitionUntil := c.faultsFor(addr)
+		if time.Now().Before(partitionUntil) {
 			c.mu.Unlock()
 			c.partitionDrops.Add(1)
 			continue
@@ -237,7 +302,6 @@ func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
 			c.pendingRead = append(c.pendingRead, *c.heldRead)
 			c.heldRead = nil
 		}
-		plan := c.in
 		v := c.roll()
 		switch {
 		case v < plan.Drop:

@@ -283,6 +283,42 @@ func (r *MeshRouter) SessionByID(id SessionID) (*Session, bool) {
 	return r.sessions.get(id)
 }
 
+// ReleaseSession drops a live session after its ownership transferred to
+// another router (roaming handoff, once the grace window closed). The
+// audit log entry is deliberately kept: the paper's network log file
+// records every authentication this router performed, and a transferred
+// session must stay as auditable here as a torn-down one.
+func (r *MeshRouter) ReleaseSession(id SessionID) bool {
+	return r.sessions.delete(id)
+}
+
+// Certificate returns the operator-issued certificate (nil before
+// enrollment). The backbone link handshake sends it so a peer router can
+// verify the link against the NO's authority key.
+func (r *MeshRouter) Certificate() *cert.Certificate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cert
+}
+
+// SignAs signs msg under the router's long-term key pair — the same key
+// the certificate binds. The backbone uses it to authenticate link
+// handshakes; the beacon path keeps its own internal signing.
+func (r *MeshRouter) SignAs(msg []byte) ([]byte, error) {
+	return r.keyPair.Sign(r.cfg.Rand, msg)
+}
+
+// RouterRevoked reports whether subjectID is on the installed CRL — the
+// predicate backbone nodes pass to cert.CheckCertificate when verifying
+// a peer router's link credentials.
+func (r *MeshRouter) RouterRevoked(subjectID string) bool {
+	return r.crlStore.Contains([]byte(subjectID))
+}
+
+// Authority returns the network operator's public key (NPK), the trust
+// anchor for peer router certificates on the backbone.
+func (r *MeshRouter) Authority() cert.PublicKey { return r.noPub }
+
 // Beacon produces message M.1: fresh (g, g^{r_R}), timestamp, signature,
 // certificate and the compact (epoch, digest, next-update) refs of the
 // current CRL and URL — plus a client puzzle when DoS defense is on.

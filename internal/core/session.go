@@ -183,6 +183,17 @@ func (s *Session) OpenData(f *DataFrame) ([]byte, error) {
 	return payload, nil
 }
 
+// RecvSeq reports the highest data-frame sequence number accepted so far
+// and whether any frame has been accepted at all. Multi-hop harnesses use
+// it to order sends: a frame relayed across the backbone must land before
+// a direct frame with a higher sequence is emitted, or the strictly
+// increasing receive rule would drop the straggler as a replay.
+func (s *Session) RecvSeq() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recvHigh, s.recvAny
+}
+
 // keysEqual reports whether two sessions derived identical key material
 // (test helper used by protocol integration tests).
 func (s *Session) keysEqual(o *Session) bool {

@@ -48,6 +48,15 @@ func (t *shardedMap[V]) put(id SessionID, v V) {
 	s.mu.Unlock()
 }
 
+func (t *shardedMap[V]) delete(id SessionID) bool {
+	s := t.stripe(id)
+	s.mu.Lock()
+	_, ok := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
+	return ok
+}
+
 func (t *shardedMap[V]) len() int {
 	n := 0
 	for i := range t.stripes {

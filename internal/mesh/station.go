@@ -405,8 +405,11 @@ func (u *UserStation) relayData(f *Frame) {
 
 // Roam detaches the station from its current router and points its uplink
 // at a new next hop; the station re-authenticates on the next valid beacon
-// it hears (PEACE has no fast-handoff state: a roam is a fresh three-way
-// AKA, which is exactly what the paper's per-session freshness demands).
+// it hears. This is the ticketless roam: a fresh three-way AKA whose whole
+// point is unlinkability across attachments (see the roaming tests). The
+// continuity-preserving alternative — a resumption-ticket handoff whose
+// ownership transfer rides the inter-router plane — lives in
+// internal/backbone and is exercised by the metro scenarios.
 func (u *UserStation) Roam(newNextHop NodeID) {
 	u.nextHop = newNextHop
 	u.routerSession = nil

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	cryptorand "crypto/rand"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -106,7 +107,6 @@ func (c ClientConfig) withDefaults() ClientConfig {
 type Client struct {
 	cfg   ClientConfig
 	conn  net.PacketConn
-	raddr net.Addr
 	user  *core.User
 	stats *Stats
 	buf   []byte
@@ -115,6 +115,9 @@ type Client struct {
 	// mu guards the self-healing state that Maintain mutates while other
 	// goroutines (a scenario runner, a stats reporter) observe it.
 	mu sync.Mutex
+	// raddr is the router currently talked to; Retarget repoints it when
+	// the user roams to a different AP.
+	raddr net.Addr
 	// sess is the currently established session, nil while detached.
 	sess *core.Session
 	// bootEpoch is the authenticated server boot epoch recorded when sess
@@ -142,6 +145,24 @@ func NewClient(conn net.PacketConn, raddr net.Addr, user *core.User, cfg ClientC
 
 // Stats returns the client's transport counters.
 func (c *Client) Stats() *Stats { return c.stats }
+
+// RouterAddr returns the router address currently talked to.
+func (c *Client) RouterAddr() net.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.raddr
+}
+
+// Retarget repoints the client at a different router (the user moved to a
+// new AP). Session and ticket state are deliberately kept: the next
+// Resume against the new address is exactly the metro roaming handoff —
+// the adopting router opens the ticket, re-logs the escrow and announces
+// ownership on the backbone.
+func (c *Client) Retarget(raddr net.Addr) {
+	c.mu.Lock()
+	c.raddr = raddr
+	c.mu.Unlock()
+}
 
 // Session returns the currently established session, or nil while the
 // client is detached (never attached, or lost to a restart and not yet
@@ -392,6 +413,7 @@ func (c *Client) exchange(ctx context.Context, frame []byte, handle func(Kind, [
 	timeout := c.cfg.RetransmitTimeout
 	resets := c.cfg.QueueFullResets
 	sawTransient := false
+	raddr := c.RouterAddr()
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.stats.retransmits.Add(1)
@@ -422,7 +444,7 @@ func (c *Client) exchange(ctx context.Context, frame []byte, handle func(Kind, [
 				return err
 			}
 			c.stats.bytesIn.Add(int64(n))
-			if from.String() != c.raddr.String() {
+			if from.String() != raddr.String() {
 				c.stats.unhandled.Add(1)
 				continue
 			}
@@ -471,9 +493,42 @@ func (c *Client) jittered(d time.Duration) time.Duration {
 }
 
 func (c *Client) send(frame []byte) error {
-	n, err := c.conn.WriteTo(frame, c.raddr)
+	n, err := c.conn.WriteTo(frame, c.RouterAddr())
 	if err != nil {
 		return fmt.Errorf("transport: send: %w", err)
+	}
+	c.stats.framesOut.Add(1)
+	c.stats.bytesOut.Add(int64(n))
+	return nil
+}
+
+// SendData seals payload under the established session and sends it to
+// the current router as a fire-and-forget data frame.
+func (c *Client) SendData(payload []byte) error {
+	return c.SendDataVia(c.RouterAddr(), payload)
+}
+
+// SendDataVia seals payload under the established session and sends the
+// frame to raddr — which need not be the current router. The metro
+// harness uses this to model in-flight frames still arriving at the old
+// AP right after a roaming handoff: the old router forwards them across
+// the backbone during the grace window.
+func (c *Client) SendDataVia(raddr net.Addr, payload []byte) error {
+	sess := c.Session()
+	if sess == nil {
+		return core.ErrNoSession
+	}
+	df, err := sess.SealData(cryptorand.Reader, payload)
+	if err != nil {
+		return fmt.Errorf("transport: seal data: %w", err)
+	}
+	frame, err := EncodeMessage(&SessionData{Frame: df})
+	if err != nil {
+		return err
+	}
+	n, err := c.conn.WriteTo(frame, raddr)
+	if err != nil {
+		return fmt.Errorf("transport: send data: %w", err)
 	}
 	c.stats.framesOut.Add(1)
 	c.stats.bytesOut.Add(int64(n))

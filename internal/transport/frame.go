@@ -72,6 +72,23 @@ const (
 	// pairing, no group signature.
 	KindResumeRequest
 	KindResumeConfirm
+	// KindSessionData carries one sealed core.DataFrame of established-
+	// session traffic toward the user's attached router. A router that no
+	// longer owns the session consults the backbone ownership table and
+	// relays the frame toward the adopting router instead of rejecting it
+	// (the roaming grace window).
+	KindSessionData
+	// Inter-router backbone plane. KindRouterHello / KindRouterWelcome run
+	// the certificate-authenticated link handshake between two routers of
+	// one NO; KindGossip, KindRelay and KindHandoffAnnounce are
+	// link-encrypted envelopes (LinkEnvelope) carrying peer liveness +
+	// routing state, multi-hop forwarded data frames, and session-ownership
+	// transfer announcements respectively.
+	KindRouterHello
+	KindRouterWelcome
+	KindGossip
+	KindRelay
+	KindHandoffAnnounce
 
 	kindEnd // one past the last valid kind
 )
@@ -113,6 +130,18 @@ func (k Kind) String() string {
 		return "resume-request"
 	case KindResumeConfirm:
 		return "resume-confirm"
+	case KindSessionData:
+		return "session-data"
+	case KindRouterHello:
+		return "router-hello"
+	case KindRouterWelcome:
+		return "router-welcome"
+	case KindGossip:
+		return "gossip"
+	case KindRelay:
+		return "relay"
+	case KindHandoffAnnounce:
+		return "handoff-announce"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -3,6 +3,9 @@ package transport
 import (
 	"bytes"
 	"testing"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
 )
 
 // FuzzDecodeFrame throws arbitrary datagrams at the frame decoder. The
@@ -143,6 +146,117 @@ func FuzzUnmarshalResumeRequest(f *testing.F) {
 		}
 		if !bytes.Equal(m.Marshal(), data) {
 			t.Fatal("resume request decode/encode round trip not identical")
+		}
+	})
+}
+
+// fuzzBackboneCert builds a structurally complete (unsigned, unverified)
+// router certificate for backbone handshake fuzz seeds — the decoders
+// under test parse structure only; signature checks happen later.
+func fuzzBackboneCert() *cert.Certificate {
+	c := &cert.Certificate{SubjectID: "metro-r00", Signature: []byte("sig")}
+	c.PublicKey[0] = 1
+	c.ExpiresAt = time.Unix(1700000000, 0).UTC()
+	return c
+}
+
+// FuzzUnmarshalRouterHello throws arbitrary datagram payloads at the
+// backbone handshake-initiation decoder: it parses untrusted bytes off
+// the router's backbone socket before any authentication, so it must
+// never panic and accepted hellos must round-trip byte-identically.
+func FuzzUnmarshalRouterHello(f *testing.F) {
+	seed := &RouterHello{Cert: fuzzBackboneCert(), Share: []byte("dh share"), Sig: []byte("hello sig")}
+	seed.Nonce[0] = 9
+	seed.Timestamp = time.Unix(1700000001, 0).UTC()
+	f.Add(seed.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalRouterHello(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Marshal(), data) {
+			t.Fatal("router hello decode/encode round trip not identical")
+		}
+	})
+}
+
+// FuzzUnmarshalRouterWelcome is the responder-side twin.
+func FuzzUnmarshalRouterWelcome(f *testing.F) {
+	seed := &RouterWelcome{Cert: fuzzBackboneCert(), Share: []byte("dh share"), Sig: []byte("welcome sig")}
+	seed.Echo[1] = 3
+	seed.Nonce[2] = 5
+	seed.Timestamp = time.Unix(1700000002, 0).UTC()
+	f.Add(seed.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalRouterWelcome(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Marshal(), data) {
+			t.Fatal("router welcome decode/encode round trip not identical")
+		}
+	})
+}
+
+// FuzzUnmarshalLinkEnvelope covers the sealed-envelope decoder every
+// post-handshake backbone datagram passes through.
+func FuzzUnmarshalLinkEnvelope(f *testing.F) {
+	f.Add((&LinkEnvelope{From: "metro-r01", Seq: 7, Ciphertext: []byte("aead box")}).Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalLinkEnvelope(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Marshal(), data) {
+			t.Fatal("link envelope decode/encode round trip not identical")
+		}
+	})
+}
+
+// FuzzUnmarshalGossipBody covers the gossip-round decoder. The body is
+// authenticated link plaintext, but a hostile (certified-then-compromised)
+// peer controls it fully, so it must fail cleanly on any mutation.
+func FuzzUnmarshalGossipBody(f *testing.F) {
+	var next, prev [32]byte
+	next[0], prev[0] = 1, 2
+	body := &GossipBody{
+		BootEpoch: 42,
+		Routes:    []RouteAd{{Router: "metro-r02", Hops: 2}},
+		Owners: []OwnerAd{{
+			Next: next, Prev: prev,
+			Owner: "metro-r01", PrevRouter: "metro-r00",
+			Expires: time.Unix(1700000003, 0).UTC(),
+		}},
+	}
+	f.Add(body.Marshal())
+	f.Add((&GossipBody{}).Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalGossipBody(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Marshal(), data) {
+			t.Fatal("gossip body decode/encode round trip not identical")
+		}
+	})
+}
+
+// FuzzUnmarshalRelayBody covers the relay-wrapper decoder that carries
+// forwarded data frames across the backbone.
+func FuzzUnmarshalRelayBody(f *testing.F) {
+	f.Add((&RelayBody{Target: "metro-r03", Origin: "metro-r00", TTL: 8, Payload: []byte("data frame")}).Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalRelayBody(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Marshal(), data) {
+			t.Fatal("relay body decode/encode round trip not identical")
 		}
 	})
 }

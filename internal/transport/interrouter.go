@@ -1,0 +1,448 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/wire"
+)
+
+// This file defines the wire formats of the metro backbone plane (see
+// internal/backbone for the subsystem that speaks them):
+//
+//   - SessionData wraps one sealed core.DataFrame of user traffic toward
+//     the attached router (KindSessionData).
+//   - RouterHello / RouterWelcome run the certificate-authenticated link
+//     handshake between two routers of one NO.
+//   - LinkEnvelope is the AEAD-sealed carrier of everything the two
+//     routers exchange after the handshake; its plaintext is a
+//     GossipBody, a RelayBody or an OwnerAd depending on the frame kind.
+
+// SessionData is established-session user traffic: the payload is a
+// core.DataFrame sealed under the session key, exactly like a keepalive
+// ping, but carrying application bytes.
+type SessionData struct {
+	Frame *core.DataFrame
+}
+
+// BackboneNonceSize is the length of the handshake nonces mixed into a
+// backbone link's keys.
+const BackboneNonceSize = 16
+
+// routerHelloTag / routerWelcomeTag version the signed handshake bodies.
+const (
+	routerHelloTag   = "peace/backbone-hello:v1"
+	routerWelcomeTag = "peace/backbone-welcome:v1"
+)
+
+// RouterHello opens a backbone link: the initiator's NO-issued
+// certificate, a fresh DH share (bn256 G1), a nonce, a timestamp, and an
+// ECDSA signature under the certificate's key over all of it. Either
+// router of a configured link may initiate; a fresh nonce after a crash
+// simply re-runs the handshake and replaces the link keys.
+type RouterHello struct {
+	Cert      *cert.Certificate
+	Share     []byte // marshaled bn256.G1
+	Nonce     [BackboneNonceSize]byte
+	Timestamp time.Time
+	Sig       []byte
+}
+
+// SignedBody returns the byte string the hello signature covers. The
+// subject identity is bound through the certificate, which is part of
+// the body.
+func (m *RouterHello) SignedBody() []byte {
+	w := wire.NewWriter(256 + len(m.Share))
+	w.StringField(routerHelloTag)
+	w.BytesField(m.Cert.Marshal())
+	w.BytesField(m.Share)
+	w.BytesField(m.Nonce[:])
+	w.Time(m.Timestamp)
+	return w.Bytes()
+}
+
+// Marshal encodes the hello.
+func (m *RouterHello) Marshal() []byte {
+	w := wire.NewWriter(320 + len(m.Share))
+	w.BytesField(m.Cert.Marshal())
+	w.BytesField(m.Share)
+	w.BytesField(m.Nonce[:])
+	w.Time(m.Timestamp)
+	w.BytesField(m.Sig)
+	return w.Bytes()
+}
+
+// UnmarshalRouterHello decodes a hello. All fields are copied.
+func UnmarshalRouterHello(data []byte) (*RouterHello, error) {
+	r := wire.NewReader(data)
+	m := &RouterHello{}
+	cb, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if m.Cert, err = cert.UnmarshalCertificate(cb); err != nil {
+		return nil, err
+	}
+	share, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	m.Share = append([]byte(nil), share...)
+	nonce, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(nonce) != BackboneNonceSize {
+		return nil, fmt.Errorf("transport: hello nonce size %d", len(nonce))
+	}
+	copy(m.Nonce[:], nonce)
+	if m.Timestamp, err = r.Time(); err != nil {
+		return nil, err
+	}
+	sig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	m.Sig = append([]byte(nil), sig...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RouterWelcome answers a RouterHello: the responder's certificate and DH
+// share, the initiator's nonce echoed (binding the answer to that exact
+// hello), the responder's own nonce, a timestamp, and a signature over
+// all of it.
+type RouterWelcome struct {
+	Cert      *cert.Certificate
+	Share     []byte                  // marshaled bn256.G1
+	Echo      [BackboneNonceSize]byte // initiator nonce echoed
+	Nonce     [BackboneNonceSize]byte
+	Timestamp time.Time
+	Sig       []byte
+}
+
+// SignedBody returns the byte string the welcome signature covers.
+func (m *RouterWelcome) SignedBody() []byte {
+	w := wire.NewWriter(256 + len(m.Share))
+	w.StringField(routerWelcomeTag)
+	w.BytesField(m.Cert.Marshal())
+	w.BytesField(m.Share)
+	w.BytesField(m.Echo[:])
+	w.BytesField(m.Nonce[:])
+	w.Time(m.Timestamp)
+	return w.Bytes()
+}
+
+// Marshal encodes the welcome.
+func (m *RouterWelcome) Marshal() []byte {
+	w := wire.NewWriter(320 + len(m.Share))
+	w.BytesField(m.Cert.Marshal())
+	w.BytesField(m.Share)
+	w.BytesField(m.Echo[:])
+	w.BytesField(m.Nonce[:])
+	w.Time(m.Timestamp)
+	w.BytesField(m.Sig)
+	return w.Bytes()
+}
+
+// UnmarshalRouterWelcome decodes a welcome. All fields are copied.
+func UnmarshalRouterWelcome(data []byte) (*RouterWelcome, error) {
+	r := wire.NewReader(data)
+	m := &RouterWelcome{}
+	cb, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if m.Cert, err = cert.UnmarshalCertificate(cb); err != nil {
+		return nil, err
+	}
+	share, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	m.Share = append([]byte(nil), share...)
+	echo, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(echo) != BackboneNonceSize {
+		return nil, fmt.Errorf("transport: welcome echo size %d", len(echo))
+	}
+	copy(m.Echo[:], echo)
+	nonce, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(nonce) != BackboneNonceSize {
+		return nil, fmt.Errorf("transport: welcome nonce size %d", len(nonce))
+	}
+	copy(m.Nonce[:], nonce)
+	if m.Timestamp, err = r.Time(); err != nil {
+		return nil, err
+	}
+	sig, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	m.Sig = append([]byte(nil), sig...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LinkEnvelope carries one backbone message on an established link: the
+// sender's router ID (selecting which link's keys open it), a strictly
+// increasing per-sender sequence number (replay window on the receiver),
+// and the AEAD ciphertext. The AAD binds kind, sender and sequence, so
+// an envelope cannot be replayed as a different kind or from a different
+// peer.
+type LinkEnvelope struct {
+	From       string
+	Seq        uint64
+	Ciphertext []byte
+}
+
+// LinkEnvelopeAAD returns the additional authenticated data sealing one
+// envelope of the given kind.
+func LinkEnvelopeAAD(kind Kind, from string, seq uint64) []byte {
+	w := wire.NewWriter(48 + len(from))
+	w.StringField("peace/backbone-aad:v1")
+	w.Byte(byte(kind))
+	w.StringField(from)
+	w.Uint64(seq)
+	return w.Bytes()
+}
+
+// Marshal encodes the envelope.
+func (m *LinkEnvelope) Marshal() []byte {
+	w := wire.NewWriter(48 + len(m.From) + len(m.Ciphertext))
+	w.StringField(m.From)
+	w.Uint64(m.Seq)
+	w.BytesField(m.Ciphertext)
+	return w.Bytes()
+}
+
+// UnmarshalLinkEnvelope decodes an envelope. The ciphertext is copied.
+func UnmarshalLinkEnvelope(data []byte) (*LinkEnvelope, error) {
+	r := wire.NewReader(data)
+	m := &LinkEnvelope{}
+	var err error
+	if m.From, err = r.StringField(); err != nil {
+		return nil, err
+	}
+	if m.Seq, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	ct, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	m.Ciphertext = append([]byte(nil), ct...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RouteAd advertises reachability of one router in a gossip round.
+type RouteAd struct {
+	Router string
+	Hops   uint32
+}
+
+// OwnerAd advertises that Owner adopted the session Next (resumed from
+// Prev, previously attached at PrevRouter) and owns it until Expires —
+// the grace window during which the previous router forwards in-flight
+// frames instead of rejecting them. OwnerAd is both the plaintext of a
+// KindHandoffAnnounce envelope (immediate flood) and an element of the
+// periodic GossipBody (the eventual path that heals partitions).
+type OwnerAd struct {
+	Next       core.SessionID
+	Prev       core.SessionID
+	Owner      string
+	PrevRouter string
+	Expires    time.Time
+}
+
+func (a *OwnerAd) append(w *wire.Writer) {
+	w.BytesField(a.Next[:])
+	w.BytesField(a.Prev[:])
+	w.StringField(a.Owner)
+	w.StringField(a.PrevRouter)
+	w.Time(a.Expires)
+}
+
+func readOwnerAd(r *wire.Reader, a *OwnerAd) error {
+	next, err := r.BytesField()
+	if err != nil {
+		return err
+	}
+	if len(next) != len(a.Next) {
+		return fmt.Errorf("transport: owner ad session id size %d", len(next))
+	}
+	copy(a.Next[:], next)
+	prev, err := r.BytesField()
+	if err != nil {
+		return err
+	}
+	if len(prev) != len(a.Prev) {
+		return fmt.Errorf("transport: owner ad session id size %d", len(prev))
+	}
+	copy(a.Prev[:], prev)
+	if a.Owner, err = r.StringField(); err != nil {
+		return err
+	}
+	if a.PrevRouter, err = r.StringField(); err != nil {
+		return err
+	}
+	if a.Expires, err = r.Time(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Marshal encodes one owner ad (the handoff-announce plaintext).
+func (a *OwnerAd) Marshal() []byte {
+	w := wire.NewWriter(128 + len(a.Owner) + len(a.PrevRouter))
+	a.append(w)
+	return w.Bytes()
+}
+
+// UnmarshalOwnerAd decodes one owner ad.
+func UnmarshalOwnerAd(data []byte) (*OwnerAd, error) {
+	r := wire.NewReader(data)
+	a := &OwnerAd{}
+	if err := readOwnerAd(r, a); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// GossipBody is one periodic gossip round on a link: the sender's boot
+// epoch, its distance-vector view of router reachability, and the owner
+// ads it still holds (so a router that missed the immediate announce —
+// e.g. across a partition — converges on the next round).
+type GossipBody struct {
+	BootEpoch uint64
+	Routes    []RouteAd
+	Owners    []OwnerAd
+}
+
+// Marshal encodes the gossip body.
+func (m *GossipBody) Marshal() []byte {
+	w := wire.NewWriter(64 + 32*len(m.Routes) + 160*len(m.Owners))
+	w.Uint64(m.BootEpoch)
+	w.Uint32(uint32(len(m.Routes)))
+	for i := range m.Routes {
+		w.StringField(m.Routes[i].Router)
+		w.Uint32(m.Routes[i].Hops)
+	}
+	w.Uint32(uint32(len(m.Owners)))
+	for i := range m.Owners {
+		m.Owners[i].append(w)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalGossipBody decodes a gossip body.
+func UnmarshalGossipBody(data []byte) (*GossipBody, error) {
+	r := wire.NewReader(data)
+	m := &GossipBody{}
+	var err error
+	if m.BootEpoch, err = r.Uint64(); err != nil {
+		return nil, err
+	}
+	nr, err := r.Count(8) // ≥ 4-byte string header + 4-byte hops each
+	if err != nil {
+		return nil, err
+	}
+	m.Routes = make([]RouteAd, nr)
+	for i := range m.Routes {
+		if m.Routes[i].Router, err = r.StringField(); err != nil {
+			return nil, err
+		}
+		if m.Routes[i].Hops, err = r.Uint32(); err != nil {
+			return nil, err
+		}
+	}
+	no, err := r.Count(96) // two 32-byte ids + headers + time, at least
+	if err != nil {
+		return nil, err
+	}
+	m.Owners = make([]OwnerAd, no)
+	for i := range m.Owners {
+		if err := readOwnerAd(r, &m.Owners[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RelayBody is one multi-hop forwarded data frame: the router that owns
+// the session (Target), the router that first accepted the frame from
+// the user (Origin), a hop budget, and the marshaled core.DataFrame —
+// still sealed under the user's session key; intermediate routers relay
+// ciphertext they cannot open.
+type RelayBody struct {
+	Target  string
+	Origin  string
+	TTL     uint8
+	Payload []byte // marshaled core.DataFrame
+}
+
+// Marshal encodes the relay body.
+func (m *RelayBody) Marshal() []byte {
+	w := wire.NewWriter(32 + len(m.Target) + len(m.Origin) + len(m.Payload))
+	w.StringField(m.Target)
+	w.StringField(m.Origin)
+	w.Byte(m.TTL)
+	w.BytesField(m.Payload)
+	return w.Bytes()
+}
+
+// UnmarshalRelayBody decodes a relay body. The payload is copied.
+func UnmarshalRelayBody(data []byte) (*RelayBody, error) {
+	r := wire.NewReader(data)
+	m := &RelayBody{}
+	var err error
+	if m.Target, err = r.StringField(); err != nil {
+		return nil, err
+	}
+	if m.Origin, err = r.StringField(); err != nil {
+		return nil, err
+	}
+	if m.TTL, err = r.Byte(); err != nil {
+		return nil, err
+	}
+	p, err := r.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	m.Payload = append([]byte(nil), p...)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EncodeLinkEnvelope frames a sealed envelope under one of the three
+// link-encrypted kinds (gossip, relay, handoff announce).
+func EncodeLinkEnvelope(kind Kind, env *LinkEnvelope) ([]byte, error) {
+	switch kind {
+	case KindGossip, KindRelay, KindHandoffAnnounce:
+		return EncodeFrame(kind, env.Marshal())
+	default:
+		return nil, fmt.Errorf("transport: kind %v does not carry a link envelope", kind)
+	}
+}

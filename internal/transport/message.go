@@ -285,6 +285,12 @@ func EncodeMessage(msg any) ([]byte, error) {
 		return EncodeFrame(KindResumeRequest, m.Marshal())
 	case *ResumeConfirm:
 		return EncodeFrame(KindResumeConfirm, m.Marshal())
+	case *SessionData:
+		return EncodeFrame(KindSessionData, m.Frame.Marshal())
+	case *RouterHello:
+		return EncodeFrame(KindRouterHello, m.Marshal())
+	case *RouterWelcome:
+		return EncodeFrame(KindRouterWelcome, m.Marshal())
 	case *Reject:
 		return EncodeFrame(KindReject, m.Marshal())
 	default:
@@ -344,6 +350,18 @@ func DecodeMessage(kind Kind, payload []byte) (any, error) {
 		return UnmarshalResumeRequest(payload)
 	case KindResumeConfirm:
 		return UnmarshalResumeConfirm(payload)
+	case KindSessionData:
+		f, err := core.UnmarshalDataFrame(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &SessionData{Frame: f}, nil
+	case KindRouterHello:
+		return UnmarshalRouterHello(payload)
+	case KindRouterWelcome:
+		return UnmarshalRouterWelcome(payload)
+	case KindGossip, KindRelay, KindHandoffAnnounce:
+		return UnmarshalLinkEnvelope(payload)
 	case KindReject:
 		return UnmarshalReject(payload)
 	default:

@@ -124,6 +124,10 @@ type Server struct {
 	// by all shard loops (access requests and resumes alike).
 	replies *replyCache
 
+	// backbone holds the metro-plane hooks, installed by the backbone
+	// node after construction (atomically, so the read loops never lock).
+	backbone atomic.Pointer[backboneHooks]
+
 	draining atomic.Bool
 	closed   atomic.Bool
 
@@ -232,6 +236,42 @@ func ListenShards(addr string, n int) ([]net.PacketConn, error) {
 		conns = append(conns, c)
 	}
 	return conns, nil
+}
+
+// Forwarder relays a data frame whose session this router does not hold
+// toward the router that owns it (the backbone's ownership table + routing
+// plane). It reports whether the frame was put on a backbone link; false
+// sends the client the usual unknown-session reject. The frame is only
+// valid for the duration of the call — implementations must copy or
+// marshal it before returning.
+type Forwarder interface {
+	ForwardData(f *core.DataFrame) bool
+}
+
+// HandoffObserver learns that this server adopted a roaming session whose
+// ticket another router issued: prev is the session the ticket resumed
+// from, next the freshly derived session, prevRouter the issuer. The
+// backbone node announces the transfer on the gossip plane.
+type HandoffObserver interface {
+	HandoffAdopted(prev, next core.SessionID, prevRouter string)
+}
+
+// backboneHooks bundles the metro-plane callbacks so one atomic pointer
+// swap installs both.
+type backboneHooks struct {
+	forward Forwarder
+	observe HandoffObserver
+}
+
+// SetBackbone installs the metro-plane hooks. Call before user traffic
+// arrives (the backbone node does this at construction); pass nils to
+// detach.
+func (s *Server) SetBackbone(fw Forwarder, obs HandoffObserver) {
+	if fw == nil && obs == nil {
+		s.backbone.Store(nil)
+		return
+	}
+	s.backbone.Store(&backboneHooks{forward: fw, observe: obs})
 }
 
 // BootEpoch returns this server incarnation's boot epoch.
@@ -362,6 +402,12 @@ func (s *Server) readLoop(conn net.PacketConn) {
 				continue
 			}
 			s.handleSessionPing(conn, &scratchFrame, addr)
+		case KindSessionData:
+			if err := core.UnmarshalDataFrameInto(payload, &scratchFrame); err != nil {
+				s.stats.decodeErrors.Add(1)
+				continue
+			}
+			s.handleSessionData(conn, &scratchFrame, addr)
 		default:
 			// Peer AKA, URL/CRL pushes etc. are not served on a router
 			// socket; count and drop.
@@ -495,6 +541,7 @@ func (s *Server) issueTicket(sess *core.Session, escrow []byte) ([]byte, error) 
 	}
 	t := &Ticket{
 		Prev:      sess.ID,
+		Router:    s.router.ID(),
 		URLEpoch:  s.router.RevocationEpoch(revocation.ListURL),
 		CRLEpoch:  s.router.RevocationEpoch(revocation.ListCRL),
 		BootEpoch: s.cfg.BootEpoch,
@@ -654,6 +701,15 @@ func (s *Server) handleResumeRequest(conn net.PacketConn, req *ResumeRequest, ad
 	}
 	sess := core.ResumeSession(t.Prev, t.Secret[:], req.Nonce[:], serverNonce[:], "user", now)
 	s.router.AdoptResumedSession(sess, escrow)
+	// A ticket another router of this NO issued means the user roamed:
+	// count the adoption and let the backbone announce the ownership
+	// transfer so the previous router forwards in-flight frames.
+	if t.Router != "" && t.Router != s.router.ID() {
+		s.stats.handoffsIn.Add(1)
+		if hooks := s.backbone.Load(); hooks != nil && hooks.observe != nil {
+			hooks.observe.HandoffAdopted(t.Prev, sess.ID, t.Router)
+		}
+	}
 
 	newTicket, err := s.issueTicket(sess, t.Escrow)
 	if err != nil {
@@ -717,6 +773,29 @@ func (s *Server) handleSessionPing(conn net.PacketConn, f *core.DataFrame, addr 
 	}
 	s.stats.keepalivesServed.Add(1)
 	s.writeTo(conn, frame, addr)
+}
+
+// handleSessionData delivers one frame of established-session user
+// traffic. A session this router holds is opened and counted locally; a
+// session it does not hold is offered to the backbone forwarder — during
+// the roaming grace window the old router still receives in-flight frames
+// and relays them to the adopting router instead of rejecting them.
+func (s *Server) handleSessionData(conn net.PacketConn, f *core.DataFrame, addr net.Addr) {
+	if sess, ok := s.router.SessionByID(f.Session); ok {
+		if _, err := sess.OpenData(f); err != nil {
+			s.stats.decodeErrors.Add(1)
+			return
+		}
+		s.stats.dataDelivered.Add(1)
+		return
+	}
+	if hooks := s.backbone.Load(); hooks != nil && hooks.forward != nil {
+		if hooks.forward.ForwardData(f) {
+			return
+		}
+	}
+	s.stats.unknownSessionRejects.Add(1)
+	s.sendRejectCode(conn, addr, f.Session, RejectUnknownSession, "no such session")
 }
 
 func (s *Server) sendReject(conn net.PacketConn, addr net.Addr, sid core.SessionID, cause error) {

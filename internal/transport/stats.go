@@ -56,6 +56,15 @@ type Stats struct {
 	replyCacheSize   atomic.Int64
 	deltaCacheFrames atomic.Int64
 	shards           atomic.Int64
+
+	// Backbone observability: roaming handoffs adopted from / released to
+	// other routers, data frames relayed across backbone links, delivered
+	// data frames, and the live-gossip-peer gauge.
+	handoffsIn    atomic.Int64
+	handoffsOut   atomic.Int64
+	framesRelayed atomic.Int64
+	dataDelivered atomic.Int64
+	gossipPeers   atomic.Int64
 }
 
 // StatsSnapshot is the plain-struct view of Stats, JSON-ready.
@@ -140,6 +149,20 @@ type StatsSnapshot struct {
 	DeltaCacheFrames int64 `json:"delta_cache_frames"`
 	// Shards gauges how many read loops serve the socket(s).
 	Shards int64 `json:"shards"`
+	// HandoffsIn counts roaming sessions this router adopted via a ticket
+	// issued by a different router; HandoffsOut counts sessions this
+	// router released to an adopting router (announced on the gossip
+	// plane).
+	HandoffsIn  int64 `json:"handoffs_in"`
+	HandoffsOut int64 `json:"handoffs_out"`
+	// FramesRelayed counts data frames this router forwarded across
+	// backbone links (first hop and intermediate hops alike).
+	FramesRelayed int64 `json:"frames_relayed"`
+	// DataDelivered counts session data frames opened and delivered to the
+	// local application sink (directly received or relayed in).
+	DataDelivered int64 `json:"data_delivered"`
+	// GossipPeers gauges how many backbone links are currently up.
+	GossipPeers int64 `json:"gossip_peers"`
 }
 
 // Snapshot copies the counters.
@@ -186,6 +209,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		ReplyCacheSize:   s.replyCacheSize.Load(),
 		DeltaCacheFrames: s.deltaCacheFrames.Load(),
 		Shards:           s.shards.Load(),
+
+		HandoffsIn:    s.handoffsIn.Load(),
+		HandoffsOut:   s.handoffsOut.Load(),
+		FramesRelayed: s.framesRelayed.Load(),
+		DataDelivered: s.dataDelivered.Load(),
+		GossipPeers:   s.gossipPeers.Load(),
 	}
 }
 
@@ -251,6 +280,37 @@ func (s *Stats) ReplyCacheSize() int64 { return s.replyCacheSize.Load() }
 
 // DeltaCacheFrames returns the delta-cache size gauge.
 func (s *Stats) DeltaCacheFrames() int64 { return s.deltaCacheFrames.Load() }
+
+// HandoffsIn returns how many roaming sessions were adopted from other
+// routers.
+func (s *Stats) HandoffsIn() int64 { return s.handoffsIn.Load() }
+
+// HandoffsOut returns how many sessions were released to other routers.
+func (s *Stats) HandoffsOut() int64 { return s.handoffsOut.Load() }
+
+// FramesRelayed returns how many data frames crossed backbone links.
+func (s *Stats) FramesRelayed() int64 { return s.framesRelayed.Load() }
+
+// DataDelivered returns how many data frames reached the local sink.
+func (s *Stats) DataDelivered() int64 { return s.dataDelivered.Load() }
+
+// GossipPeers returns the live-backbone-link gauge.
+func (s *Stats) GossipPeers() int64 { return s.gossipPeers.Load() }
+
+// NoteHandoffOut bumps the handoff-release counter (called by the
+// backbone node when it learns another router adopted a local session).
+func (s *Stats) NoteHandoffOut() { s.handoffsOut.Add(1) }
+
+// NoteFrameRelayed bumps the relay counter (called by the backbone node
+// for every data frame it puts on a backbone link).
+func (s *Stats) NoteFrameRelayed() { s.framesRelayed.Add(1) }
+
+// NoteDataDelivered bumps the delivery counter (called by the backbone
+// node when a relayed-in frame opens under a local session).
+func (s *Stats) NoteDataDelivered() { s.dataDelivered.Add(1) }
+
+// SetGossipPeers records the live-backbone-link gauge.
+func (s *Stats) SetGossipPeers(n int64) { s.gossipPeers.Store(n) }
 
 // setEpochs records the installed-epoch gauges.
 func (s *Stats) setEpochs(urlEpoch, crlEpoch uint64) {

@@ -21,8 +21,10 @@ var ErrTicketUnusable = errors.New("transport: resumption ticket unusable")
 // resumption state.
 var ErrNoTicket = errors.New("transport: no resumption ticket held")
 
-// ticketTag versions the sealed ticket body.
-const ticketTag = "peace/ticket:v1"
+// ticketTag versions the sealed ticket body. v2 added the issuing-router
+// identity, which the metro backbone uses to recognize a cross-router
+// roaming handoff at the adopting router.
+const ticketTag = "peace/ticket:v2"
 
 // ticketAAD binds sealed tickets to their purpose so a STEK blob cannot
 // be replayed into a different decryption context.
@@ -45,6 +47,7 @@ var ticketAAD = []byte("peace/ticket-aad:v1")
 type Ticket struct {
 	Secret    [core.ResumeSecretSize]byte
 	Prev      core.SessionID // session the secret was derived from
+	Router    string         // issuing router — a different adopter is a roaming handoff
 	URLEpoch  uint64
 	CRLEpoch  uint64
 	BootEpoch uint64 // issuing incarnation (diagnostic, not enforced)
@@ -54,8 +57,9 @@ type Ticket struct {
 
 // Marshal encodes the ticket plaintext.
 func (t *Ticket) Marshal() []byte {
-	w := wire.NewWriter(160 + len(t.Escrow))
+	w := wire.NewWriter(160 + len(t.Router) + len(t.Escrow))
 	w.StringField(ticketTag)
+	w.StringField(t.Router)
 	w.BytesField(t.Secret[:])
 	w.BytesField(t.Prev[:])
 	w.Uint64(t.URLEpoch)
@@ -78,6 +82,9 @@ func UnmarshalTicket(data []byte) (*Ticket, error) {
 		return nil, fmt.Errorf("transport: ticket tag %q", tag)
 	}
 	t := &Ticket{}
+	if t.Router, err = r.StringField(); err != nil {
+		return nil, err
+	}
 	sec, err := r.BytesField()
 	if err != nil {
 		return nil, err
