@@ -17,7 +17,7 @@ ci:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz
 	$(MAKE) chaos-soak
@@ -90,18 +90,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-smoke compiles and runs every transport/wire benchmark once with
-# allocation accounting, then gates on the steady-state decode paths
-# staying allocation-free (TestSteadyStateDecodeAllocs is the explicit
-# allocs/op regression gate; the -benchtime=1x pass catches benchmarks
-# that rot).
+# allocation accounting, then gates on the steady-state paths staying
+# allocation-free: TestSteadyStateDecodeAllocs pins the decode side,
+# TestDataPlaneAllocs pins the whole batched ingest+egress round trip at
+# 0 allocs/op, and TestSealOpenAllocs pins the in-place session crypto
+# (the -benchtime=1x pass catches benchmarks that rot).
 bench-smoke:
-	$(GO) test ./internal/transport/ ./internal/wire/ -run='^TestSteadyStateDecodeAllocs$$' -bench=. -benchmem -benchtime=1x
+	$(GO) test ./internal/transport/ ./internal/wire/ -run='^(TestSteadyStateDecodeAllocs|TestDataPlaneAllocs)$$' -bench=. -benchmem -benchtime=1x
+	$(GO) test ./internal/core/ -run='^TestSealOpenAllocs$$' -v -count=1
 
 experiments:
 	$(GO) run ./cmd/peacebench

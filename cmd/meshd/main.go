@@ -39,6 +39,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -75,7 +77,18 @@ func main() {
 	routers := flag.Int("routers", 8, "metro: backbone routers in the ring")
 	moves := flag.Int("moves", 3, "metro: cross-router handoffs per user")
 	soak := flag.Bool("soak", false, "metro: add backbone fault injection, a mid-wave partition and the anti-rollback probe")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("meshd: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("meshd: pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	var err error
 	switch *mode {
@@ -99,11 +112,19 @@ func main() {
 	}
 }
 
-// statsLine is one periodic JSON record emitted by serve mode.
+// statsLine is one periodic JSON record emitted by serve mode. The
+// data-plane rates are derived between successive emissions: DataPPS is
+// delivered data frames per second over the last period, DataBytes the
+// cumulative plaintext bytes delivered, and BatchFillAvg the average
+// datagrams moved per ingest syscall (1.0 means batching buys nothing,
+// IOBatch means every recvmmsg comes back full).
 type statsLine struct {
-	At        string                  `json:"at"`
-	Transport transport.StatsSnapshot `json:"transport"`
-	Router    core.RouterStats        `json:"router"`
+	At           string                  `json:"at"`
+	DataPPS      float64                 `json:"data_pps"`
+	DataBytes    int64                   `json:"data_bytes"`
+	BatchFillAvg float64                 `json:"batch_fill_avg"`
+	Transport    transport.StatsSnapshot `json:"transport"`
+	Router       core.RouterStats        `json:"router"`
 }
 
 func runServe(listen, provisionPath string, users, shards int, statsEvery, duration time.Duration) error {
@@ -138,12 +159,25 @@ func runServe(listen, provisionPath string, users, shards int, statsEvery, durat
 	}
 
 	enc := json.NewEncoder(os.Stdout)
+	var lastSnap transport.StatsSnapshot
+	lastAt := time.Now()
 	emit := func() {
-		_ = enc.Encode(statsLine{
-			At:        time.Now().UTC().Format(time.RFC3339),
-			Transport: srv.Stats().Snapshot(),
+		now := time.Now()
+		snap := srv.Stats().Snapshot()
+		line := statsLine{
+			At:        now.UTC().Format(time.RFC3339),
+			DataBytes: snap.DataBytes,
+			Transport: snap,
 			Router:    ln.Router.Stats(),
-		})
+		}
+		if dt := now.Sub(lastAt).Seconds(); dt > 0 {
+			line.DataPPS = float64(snap.DataDelivered-lastSnap.DataDelivered) / dt
+		}
+		if snap.ReadBatches > 0 {
+			line.BatchFillAvg = float64(snap.ReadDatagrams) / float64(snap.ReadBatches)
+		}
+		lastSnap, lastAt = snap, now
+		_ = enc.Encode(line)
 	}
 	tick := time.NewTicker(statsEvery)
 	defer tick.Stop()

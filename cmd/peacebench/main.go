@@ -60,7 +60,7 @@ type ablationRow struct {
 var collect *benchJSON
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e17 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e18 or all")
 	urlSizes := flag.String("url", "0,1,2,5,10,20", "comma-separated |URL| sweep for e3/e15")
 	grtSizes := flag.String("grt", "4,8,16,32,64", "comma-separated |grt| sweep for e7")
 	floods := flag.String("floods", "50,200", "comma-separated flood sizes for e6")
@@ -146,6 +146,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		{"e15", func() error { return runE15(urlSizes, iters) }},
 		{"e16", func() error { return runE16(iters) }},
 		{"e17", func() error { return runE17(iters) }},
+		{"e18", func() error { return runE18(iters) }},
 	} {
 		if runAll || exp == e.name {
 			ran = true
@@ -155,7 +156,7 @@ func run(exp string, urlSizes, grtSizes, floods []int, iters int) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e17 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e18 or all)", exp)
 	}
 	return nil
 }
@@ -657,6 +658,55 @@ func runE17(iters int) error {
 			"handoff_vs_resume_x":         rep.HandoffVsResumeX,
 			"attach_vs_handoff_x":         rep.AttachVsHandoffX,
 			"handoffs":                    rep.Handoffs,
+		}
+	}
+	return nil
+}
+
+// runE18 measures the batched data-plane ceiling: sealed DataFrame echo
+// round trips per second across shard counts and recvmmsg/sendmmsg batch
+// widths, against the one-datagram-per-syscall baseline.
+func runE18(iters int) error {
+	header("E18: batched data-plane packets/sec ceiling (internal/transport/batchio)")
+	rep, err := experiments.RunE18DataPlane([]int{1, 2, 4}, []int{1, 8, 32}, iters)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "shards\tio batch\tround trips\tpps\tMB/s\tsrv batch fill")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.0f\t%.1f\t%.1f\n",
+			r.Shards, r.IOBatch, r.Packets, r.PPS, r.MBPS, r.BatchFillAvg)
+	}
+	w.Flush()
+	fmt.Printf("batched ceiling %.0f pps vs unbatched %.0f pps: %.1fx (payload %dB, mmsg engaged: %v)\n",
+		rep.BatchedPPS, rep.UnbatchedPPS, rep.SpeedupX, rep.PayloadBytes, rep.BatchedIO)
+	if rep.NumCPU == 1 {
+		fmt.Println("note: single-core runner — shard rows show syscall amortization only, not parallel scaling")
+	}
+
+	if collect != nil {
+		rows := make([]map[string]any, 0, len(rep.Rows))
+		for _, r := range rep.Rows {
+			rows = append(rows, map[string]any{
+				"shards":         r.Shards,
+				"io_batch":       r.IOBatch,
+				"round_trips":    r.Packets,
+				"echo_bytes":     r.Bytes,
+				"elapsed_ns":     int64(r.Elapsed),
+				"pps":            r.PPS,
+				"mb_per_sec":     r.MBPS,
+				"srv_batch_fill": r.BatchFillAvg,
+			})
+		}
+		collect.Benchmarks["E18DataPlane"] = map[string]any{
+			"rows":          rows,
+			"payload_bytes": rep.PayloadBytes,
+			"unbatched_pps": rep.UnbatchedPPS,
+			"batched_pps":   rep.BatchedPPS,
+			"speedup_x":     rep.SpeedupX,
+			"batched_io":    rep.BatchedIO,
+			"num_cpu":       rep.NumCPU,
 		}
 	}
 	return nil

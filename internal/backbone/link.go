@@ -1,6 +1,8 @@
 package backbone
 
 import (
+	"crypto/cipher"
+	"crypto/rand"
 	"errors"
 	"io"
 	"net"
@@ -61,14 +63,30 @@ type link struct {
 	addr net.Addr
 	keys symcrypto.SessionKeys
 
+	// aead is the cached AES-GCM instance for keys.Enc (one key schedule
+	// per handshake, not per envelope). nonceBase is this end's random
+	// nonce prefix; sealAppend XORs the sequence number into it, keeping
+	// deterministic nonces disjoint between the two ends even though both
+	// seal under the same link key.
+	aead      cipher.AEAD
+	nonceBase [symcrypto.GCMNonceSize]byte
+
 	mu       sync.Mutex
 	sendSeq  uint64
 	rw       replayWindow
 	lastSeen time.Time
+	// Seal scratch, guarded by mu: the nonce and AAD must reach the AEAD
+	// without a per-envelope heap escape.
+	nonceScratch [symcrypto.GCMNonceSize]byte
+	aadScratch   []byte
 }
 
 func newLink(peer string, addr net.Addr, keys symcrypto.SessionKeys) *link {
-	return &link{peer: peer, addr: addr, keys: keys, lastSeen: time.Now()}
+	l := &link{peer: peer, addr: addr, keys: keys, lastSeen: time.Now()}
+	l.aead, _ = symcrypto.NewAEAD(keys.Enc) // never fails for a 32-byte key
+	rand.Read(l.nonceBase[:])
+	l.aadScratch = make([]byte, 0, 64+len(peer))
+	return l
 }
 
 // seal wraps plaintext in a LinkEnvelope of the given kind from self.
@@ -84,12 +102,41 @@ func (l *link) seal(rng io.Reader, kind transport.Kind, self string, plaintext [
 	return &transport.LinkEnvelope{From: self, Seq: seq, Ciphertext: ct}, nil
 }
 
+// sealAppend seals plaintext on this link and appends the complete
+// marshaled LinkEnvelope to dst — the zero-allocation twin of
+// seal+Marshal for the batched egress path: same wire format,
+// deterministic nonce (nonceBase XOR seq) instead of a drawn one. Give
+// dst transport.LinkEnvelopeLen(self, len(plaintext)) spare capacity to
+// avoid growth.
+func (l *link) sealAppend(dst []byte, kind transport.Kind, self string, plaintext []byte) []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sendSeq++
+	seq := l.sendSeq
+
+	l.nonceScratch = l.nonceBase
+	for i := 0; i < 8; i++ {
+		l.nonceScratch[symcrypto.GCMNonceSize-1-i] ^= byte(seq >> (8 * i))
+	}
+	l.aadScratch = transport.AppendLinkEnvelopeAAD(l.aadScratch[:0], kind, self, seq)
+
+	dst = transport.AppendLinkEnvelopeHeader(dst, self, seq, len(plaintext))
+	dst = append(dst, l.nonceScratch[:]...)
+	return l.aead.Seal(dst, l.nonceScratch[:], plaintext, l.aadScratch)
+}
+
 // open authenticates and decrypts an envelope received on this link,
-// enforcing the replay window, and refreshes the liveness clock.
+// enforcing the replay window, and refreshes the liveness clock. The
+// cached AEAD skips the per-envelope key schedule; the wire format is
+// symcrypto.Open's (nonce ‖ ct ‖ tag).
 func (l *link) open(kind transport.Kind, env *transport.LinkEnvelope) ([]byte, error) {
-	pt, err := symcrypto.Open(l.keys.Enc, env.Ciphertext, transport.LinkEnvelopeAAD(kind, env.From, env.Seq))
+	if len(env.Ciphertext) < symcrypto.GCMNonceSize+symcrypto.GCMOverhead {
+		return nil, symcrypto.ErrDecrypt
+	}
+	aad := transport.LinkEnvelopeAAD(kind, env.From, env.Seq)
+	pt, err := l.aead.Open(nil, env.Ciphertext[:symcrypto.GCMNonceSize], env.Ciphertext[symcrypto.GCMNonceSize:], aad)
 	if err != nil {
-		return nil, err
+		return nil, symcrypto.ErrDecrypt
 	}
 	l.mu.Lock()
 	ok := l.rw.accept(env.Seq)

@@ -13,6 +13,7 @@ import (
 	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/transport"
+	"github.com/peace-mesh/peace/internal/transport/batchio"
 )
 
 // Config tunes one backbone node.
@@ -61,6 +62,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// backboneIOBatch is how many datagrams one recvmmsg/sendmmsg moves on
+// the backbone socket; backboneFrameSize is the egress buffer class
+// (gossip rounds and relayed data frames both fit); backboneFlushDelay
+// bounds how long a queued envelope waits for batch-mates when no burst
+// boundary flushes it first.
+const (
+	backboneIOBatch    = 16
+	backboneFrameSize  = 4096
+	backboneFlushDelay = 200 * time.Microsecond
+)
+
 // routeEntry is one distance-vector entry: reach a router via a directly
 // linked peer at a hop count.
 type routeEntry struct {
@@ -104,6 +116,19 @@ type Node struct {
 	router *core.MeshRouter
 	stats  *transport.Stats
 
+	// bc is the batch view of the backbone socket (recvmmsg/sendmmsg
+	// where available); eg coalesces gossip rounds, relays and floods
+	// into one sendmmsg per burst, sealing envelopes into framePool
+	// buffers in place.
+	bc        batchio.Conn
+	eg        *batchio.Egress
+	framePool *batchio.Pool
+
+	// Relay-delivery scratch, used only by the read loop: the decode
+	// frame and open-plaintext buffer of relayed-in data frames.
+	scratchFrame core.DataFrame
+	pt           []byte
+
 	mu       sync.Mutex
 	dials    map[string]net.Addr // configured peers, by router id
 	links    map[string]*link    // established links, by router id
@@ -121,19 +146,23 @@ type Node struct {
 // forwarder and handoff observer. Close the node before the server.
 func NewNode(conn net.PacketConn, server *transport.Server, cfg Config) *Node {
 	n := &Node{
-		cfg:      cfg.withDefaults(),
-		id:       server.Router().ID(),
-		conn:     conn,
-		server:   server,
-		router:   server.Router(),
-		stats:    server.Stats(),
-		dials:    make(map[string]net.Addr),
-		links:    make(map[string]*link),
-		pending:  make(map[string]*pendingDial),
-		welcomes: make(map[string]*welcomeReplay),
-		routes:   make(map[string]routeEntry),
-		owners:   make(map[core.SessionID]*ownerEntry),
+		cfg:       cfg.withDefaults(),
+		id:        server.Router().ID(),
+		conn:      conn,
+		server:    server,
+		router:    server.Router(),
+		stats:     server.Stats(),
+		framePool: batchio.NewPool(backboneFrameSize),
+		pt:        make([]byte, 0, 65536),
+		dials:     make(map[string]net.Addr),
+		links:     make(map[string]*link),
+		pending:   make(map[string]*pendingDial),
+		welcomes:  make(map[string]*welcomeReplay),
+		routes:    make(map[string]routeEntry),
+		owners:    make(map[core.SessionID]*ownerEntry),
 	}
+	n.bc, _ = batchio.Upgrade(conn)
+	n.eg = batchio.NewEgress(n.bc, backboneIOBatch, backboneFlushDelay, n.framePool, nil)
 	server.SetBackbone(n, n)
 	n.wg.Add(2)
 	go n.readLoop()
@@ -196,11 +225,13 @@ func (n *Node) OwnerOf(sid core.SessionID) (string, bool) {
 	return e.ad.Owner, true
 }
 
-// Close stops the loops and closes the backbone socket.
+// Close stops the loops and closes the backbone socket. The egress is
+// closed first so its final flush still has a live socket under it.
 func (n *Node) Close() {
 	if n.closed.Swap(true) {
 		return
 	}
+	n.eg.Close()
 	_ = n.conn.Close()
 	n.wg.Wait()
 }
@@ -301,22 +332,20 @@ func (n *Node) flood(kind transport.Kind, plaintext []byte, skipPeer string) {
 	}
 }
 
-// sendSealed seals plaintext on one link and writes the frame.
+// sendSealed seals plaintext on one link into a pooled egress buffer —
+// frame header first (the envelope size is deterministic), envelope
+// sealed in place after it — and queues the datagram for the next
+// sendmmsg flush.
 func (n *Node) sendSealed(l *link, kind transport.Kind, plaintext []byte) bool {
-	env, err := l.seal(rand.Reader, kind, n.id, plaintext)
+	b := n.eg.Buffer()
+	frame, err := transport.AppendFrameHeader(b.B, kind, transport.LinkEnvelopeLen(n.id, len(plaintext)))
 	if err != nil {
-		n.logf("backbone %s: seal %v to %s: %v", n.id, kind, l.peer, err)
-		return false
-	}
-	frame, err := transport.EncodeLinkEnvelope(kind, env)
-	if err != nil {
+		b.Release()
 		n.logf("backbone %s: encode %v: %v", n.id, kind, err)
 		return false
 	}
-	if _, err := n.conn.WriteTo(frame, l.addr); err != nil {
-		n.logf("backbone %s: write to %s: %v", n.id, l.peer, err)
-		return false
-	}
+	b.B = l.sealAppend(frame, kind, n.id, plaintext)
+	n.eg.QueueBuf(b, l.addr)
 	return true
 }
 
@@ -353,21 +382,25 @@ func (n *Node) nextHop(target string) *link {
 // forward with a decremented TTL otherwise.
 func (n *Node) handleRelay(body *transport.RelayBody) {
 	if body.Target == n.id {
-		f, err := core.UnmarshalDataFrame(body.Payload)
-		if err != nil {
+		// Zero-copy delivery: decode into the read loop's scratch frame
+		// (handleRelay only runs there) and open into its plaintext buffer.
+		if err := core.UnmarshalDataFrameInto(body.Payload, &n.scratchFrame); err != nil {
 			n.logf("backbone %s: relayed frame: %v", n.id, err)
 			return
 		}
-		sess, ok := n.router.SessionByID(f.Session)
+		sess, ok := n.router.SessionByID(n.scratchFrame.Session)
 		if !ok {
 			n.logf("backbone %s: relayed frame for unknown session", n.id)
 			return
 		}
-		if _, err := sess.OpenData(f); err != nil {
+		pt, err := sess.OpenDataInto(&n.scratchFrame, n.pt[:0])
+		if err != nil {
 			n.logf("backbone %s: relayed frame rejected: %v", n.id, err)
 			return
 		}
+		n.pt = pt[:0]
 		n.stats.NoteDataDelivered()
+		n.stats.NoteDataBytes(len(pt))
 		return
 	}
 	if body.TTL == 0 {
@@ -472,13 +505,14 @@ func (n *Node) tick(now time.Time) {
 
 	n.stats.SetGossipPeers(live)
 	for _, d := range dialsOut {
-		if _, err := n.conn.WriteTo(d.frame, d.addr); err != nil {
-			n.logf("backbone %s: hello to %s: %v", n.id, d.peer, err)
-		}
+		n.eg.Queue(d.frame, d.addr)
 	}
 	for _, r := range rounds {
 		n.sendSealed(r.l, transport.KindGossip, r.body)
 	}
+	// One tick, one sendmmsg: hellos and every link's gossip round leave
+	// together.
+	n.eg.Flush()
 }
 
 // newDial builds a fresh signed hello (called under n.mu).
@@ -537,9 +571,11 @@ func (n *Node) integrateGossip(from string, body *transport.GossipBody) {
 
 func (n *Node) readLoop() {
 	defer n.wg.Done()
-	buf := make([]byte, 65536)
+	ring := batchio.NewRing(backboneIOBatch, batchio.NewPool(65536))
+	defer ring.Close()
 	for {
-		nr, addr, err := n.conn.ReadFrom(buf)
+		ms := ring.Prepare()
+		nr, err := n.bc.ReadBatch(ms)
 		if err != nil {
 			if n.closed.Load() {
 				return
@@ -550,30 +586,43 @@ func (n *Node) readLoop() {
 			n.logf("backbone %s: read: %v", n.id, err)
 			return
 		}
-		kind, payload, err := transport.DecodeFrame(buf[:nr])
+		for i := 0; i < nr; i++ {
+			n.dispatch(&ms[i])
+		}
+		// Everything a batch provoked (relay forwards, flood echoes,
+		// welcomes) leaves in one sendmmsg.
+		n.eg.Flush()
+	}
+}
+
+// dispatch decodes and serves one ingest slot. Every decoder below
+// copies what it keeps, so the slot is free for reuse on return; only
+// the hello path clones the peer address, which outlives the batch
+// inside the installed link.
+func (n *Node) dispatch(m *batchio.Message) {
+	kind, payload, err := transport.DecodeFrame(m.Payload())
+	if err != nil {
+		return
+	}
+	switch kind {
+	case transport.KindRouterHello:
+		h, err := transport.UnmarshalRouterHello(payload)
 		if err != nil {
-			continue
+			return
 		}
-		switch kind {
-		case transport.KindRouterHello:
-			m, err := transport.UnmarshalRouterHello(payload)
-			if err != nil {
-				continue
-			}
-			n.handleHello(m, addr)
-		case transport.KindRouterWelcome:
-			m, err := transport.UnmarshalRouterWelcome(payload)
-			if err != nil {
-				continue
-			}
-			n.handleWelcome(m)
-		case transport.KindGossip, transport.KindRelay, transport.KindHandoffAnnounce:
-			env, err := transport.UnmarshalLinkEnvelope(payload)
-			if err != nil {
-				continue
-			}
-			n.handleEnvelope(kind, env)
+		n.handleHello(h, batchio.CloneAddr(m.Addr))
+	case transport.KindRouterWelcome:
+		w, err := transport.UnmarshalRouterWelcome(payload)
+		if err != nil {
+			return
 		}
+		n.handleWelcome(w)
+	case transport.KindGossip, transport.KindRelay, transport.KindHandoffAnnounce:
+		env, err := transport.UnmarshalLinkEnvelope(payload)
+		if err != nil {
+			return
+		}
+		n.handleEnvelope(kind, env)
 	}
 }
 
@@ -641,9 +690,7 @@ func (n *Node) handleHello(m *transport.RouterHello, addr net.Addr) {
 	cached := n.welcomes[peer]
 	n.mu.Unlock()
 	if cached != nil && cached.nonce == m.Nonce {
-		if _, err := n.conn.WriteTo(cached.frame, addr); err != nil {
-			n.logf("backbone %s: welcome replay to %s: %v", n.id, peer, err)
-		}
+		n.eg.Queue(cached.frame, addr)
 		return
 	}
 
@@ -692,9 +739,7 @@ func (n *Node) handleHello(m *transport.RouterHello, addr net.Addr) {
 	n.welcomes[peer] = &welcomeReplay{nonce: m.Nonce, frame: frame}
 	n.mu.Unlock()
 
-	if _, err := n.conn.WriteTo(frame, addr); err != nil {
-		n.logf("backbone %s: welcome to %s: %v", n.id, peer, err)
-	}
+	n.eg.Queue(frame, addr)
 }
 
 // handleWelcome completes a handshake this node initiated.

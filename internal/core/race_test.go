@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled skips allocation accounting under the race detector,
+// where instrumentation inflates allocs/op.
+const raceEnabled = true

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync"
@@ -25,22 +28,39 @@ type Session struct {
 
 	keys symcrypto.SessionKeys
 
+	// aead is the cached AES-GCM instance for keys.Enc — the key schedule
+	// is paid once at establishment, not on every frame. nonceBase is a
+	// per-instance random nonce prefix; the zero-alloc seal path XORs the
+	// sequence number into it (the TLS 1.3 IV construction), which keeps
+	// nonces unique per direction even though both endpoints seal under
+	// the same Enc key: each endpoint's Session instance draws its own
+	// random base, and collisions across 96-bit bases are negligible.
+	aead      cipher.AEAD
+	nonceBase [symcrypto.GCMNonceSize]byte
+
 	mu      sync.Mutex
 	sendSeq uint64
 	// recvHigh is the highest sequence number accepted so far; frames at
 	// or below it are replays.
 	recvHigh uint64
 	recvAny  bool
+	// Seal/open scratch, guarded by mu: nonce and AAD must reach the
+	// AEAD without a per-call heap escape.
+	nonceScratch [symcrypto.GCMNonceSize]byte
+	aadScratch   [frameAADSize]byte
 }
 
 // newSession derives the session keys from the DH secret and transcript.
 func newSession(id SessionID, peer string, dhSecret, transcript []byte, established time.Time) *Session {
-	return &Session{
+	s := &Session{
 		ID:          id,
 		Peer:        peer,
 		Established: established,
 		keys:        symcrypto.DeriveSessionKeys(dhSecret, transcript),
 	}
+	s.aead, _ = symcrypto.NewAEAD(s.keys.Enc) // never fails for a 32-byte key
+	rand.Read(s.nonceBase[:])
+	return s
 }
 
 // DataFrame is one unit of protected session traffic. Encrypted frames
@@ -124,6 +144,100 @@ func frameAAD(id SessionID, seq uint64) []byte {
 	w.BytesField(id[:])
 	w.Uint64(seq)
 	return w.Bytes()
+}
+
+// frameAADSize is the encoded size of frameAAD: a length-prefixed
+// session id plus the big-endian sequence number.
+const frameAADSize = 4 + len(SessionID{}) + 8
+
+// appendFrameAAD is frameAAD without the Writer allocation; the layouts
+// are byte-identical (pinned by a test), so frames sealed by either
+// path open under the other.
+func appendFrameAAD(dst []byte, id SessionID, seq uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(id)))
+	dst = append(dst, id[:]...)
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// SealedDataLen returns the marshaled size of an encrypted DataFrame
+// carrying a payload of n plaintext bytes — the frame layout is
+// deterministic, so egress paths can reserve exactly this much and
+// encode header-first without a second copy.
+func SealedDataLen(n int) int {
+	return 4 + len(SessionID{}) + // session id field
+		8 + 1 + // seq + encrypted flag
+		4 + symcrypto.GCMNonceSize + n + symcrypto.GCMOverhead + // nonce || ciphertext field
+		4 + symcrypto.MACSize // (zero) tag field
+}
+
+// AppendSealedData seals payload under the session's cached AEAD and
+// appends the complete marshaled DataFrame to dst, returning the
+// extended slice. It is the zero-allocation twin of SealData+Marshal:
+// same wire format, deterministic nonce (nonceBase XOR seq) instead of
+// a drawn one, no per-frame key schedule, no intermediate frame. Give
+// dst SealedDataLen(len(payload)) spare capacity to avoid growth.
+func (s *Session) AppendSealedData(dst, payload []byte) ([]byte, error) {
+	if s.aead == nil {
+		return dst, fmt.Errorf("session %s: sealing unavailable", s.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.sendSeq
+	s.sendSeq++
+
+	s.nonceScratch = s.nonceBase
+	for i := 0; i < 8; i++ {
+		s.nonceScratch[symcrypto.GCMNonceSize-1-i] ^= byte(seq >> (8 * i))
+	}
+	aad := appendFrameAAD(s.aadScratch[:0], s.ID, seq)
+
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.ID)))
+	dst = append(dst, s.ID[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = append(dst, 1)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(symcrypto.GCMNonceSize+len(payload)+symcrypto.GCMOverhead))
+	dst = append(dst, s.nonceScratch[:]...)
+	dst = s.aead.Seal(dst, s.nonceScratch[:], payload, aad)
+	dst = binary.BigEndian.AppendUint32(dst, symcrypto.MACSize)
+	var zeroTag [symcrypto.MACSize]byte
+	return append(dst, zeroTag[:]...), nil
+}
+
+// OpenDataInto verifies and decrypts an encrypted frame under the
+// cached AEAD, appending the plaintext to dst — the zero-allocation
+// twin of OpenData for the batched ingest path. Replay enforcement is
+// identical. dst needs len(f.Payload) spare capacity to stay
+// allocation-free; MAC-only frames fall back to the general path.
+func (s *Session) OpenDataInto(f *DataFrame, dst []byte) ([]byte, error) {
+	if f.Session != s.ID {
+		return nil, fmt.Errorf("session %s: %w", s.ID, ErrNoSession)
+	}
+	if !f.Encrypted || s.aead == nil {
+		pt, err := s.OpenData(f)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, pt...), nil
+	}
+	if len(f.Payload) < symcrypto.GCMNonceSize+symcrypto.GCMOverhead {
+		return nil, fmt.Errorf("session %s: %w", s.ID, symcrypto.ErrDecrypt)
+	}
+	nonce := f.Payload[:symcrypto.GCMNonceSize]
+	ct := f.Payload[symcrypto.GCMNonceSize:]
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	aad := appendFrameAAD(s.aadScratch[:0], s.ID, f.Seq)
+	pt, err := s.aead.Open(dst, nonce, ct, aad)
+	if err != nil {
+		return nil, fmt.Errorf("session %s: %w", s.ID, symcrypto.ErrDecrypt)
+	}
+	if s.recvAny && f.Seq <= s.recvHigh {
+		return nil, fmt.Errorf("session %s: seq %d: %w", s.ID, f.Seq, ErrReplay)
+	}
+	s.recvHigh = f.Seq
+	s.recvAny = true
+	return pt, nil
 }
 
 // SealData encrypts and authenticates payload (AES-GCM path).

@@ -131,6 +131,20 @@ func Open(key Key, ciphertext, aad []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// GCMNonceSize and GCMOverhead expose the AEAD geometry of Seal/Open
+// output (nonce prefix + ciphertext + tag) so hot paths can size
+// buffers without constructing an AEAD.
+const (
+	GCMNonceSize = 12
+	GCMOverhead  = 16
+)
+
+// NewAEAD builds the AES-256-GCM AEAD for key. Hot paths cache the
+// result per session instead of paying the key schedule on every Seal
+// and Open; the sealed wire format (nonce || ciphertext) is identical
+// to Seal's.
+func NewAEAD(key Key) (cipher.AEAD, error) { return newAEAD(key) }
+
 func newAEAD(key Key) (cipher.AEAD, error) {
 	block, err := aes.NewCipher(key[:])
 	if err != nil {

@@ -2,10 +2,12 @@ package transport
 
 import (
 	"crypto/rand"
+	"net"
 	"testing"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/transport/batchio"
 )
 
 // steadyStateFixtures builds one encoded data frame and one encoded
@@ -67,6 +69,85 @@ func TestSteadyStateDecodeAllocs(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Fatalf("resume decode path allocates %.1f/op, want 0", avg)
+	}
+}
+
+// nullBatchConn discards writes without recording them, so the egress
+// side of the alloc gate measures only the spooler itself.
+type nullBatchConn struct{}
+
+func (nullBatchConn) ReadBatch(ms []batchio.Message) (int, error)  { return 0, nil }
+func (nullBatchConn) WriteBatch(ms []batchio.Message) (int, error) { return len(ms), nil }
+func (nullBatchConn) LocalAddr() net.Addr                          { return nil }
+func (nullBatchConn) SetReadDeadline(time.Time) error              { return nil }
+func (nullBatchConn) Close() error                                 { return nil }
+
+// TestDataPlaneAllocs is the end-to-end allocs/op gate of the batched
+// data plane: one op is everything the server does for one sealed
+// data-frame datagram in steady state — frame demux, zero-copy decode,
+// OpenDataInto, then the echo egress (header-first encode, in-place
+// AppendSealedData into a pooled buffer, queue, sendmmsg flush). Must
+// stay at exactly 0 allocations per op.
+func TestDataPlaneAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is perturbed by the race detector")
+	}
+	secret := make([]byte, core.ResumeSecretSize)
+	cn, sn := []byte("client-nonce-16b"), []byte("server-nonce-16b")
+	now := time.Unix(1700000000, 0)
+	client := core.ResumeSession(core.SessionID{}, secret, cn, sn, "client", now)
+	server := core.ResumeSession(core.SessionID{}, secret, cn, sn, "server", now)
+	payload := []byte("steady-state payload of a modest size")
+
+	// Pre-encode the ingest datagrams: the replay rule consumes one
+	// sequence number per op, and AllocsPerRun executes runs+1 times.
+	const n = 1100
+	datagrams := make([][]byte, n)
+	for i := range datagrams {
+		buf, err := AppendFrameHeader(nil, KindSessionData, core.SealedDataLen(len(payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if datagrams[i], err = client.AppendSealedData(buf, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pool := batchio.NewPool(egressFrameSize)
+	eg := batchio.NewEgress(nullBatchConn{}, 32, time.Millisecond, pool, nil)
+	defer eg.Close()
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}
+
+	var scratch core.DataFrame
+	pt := make([]byte, 0, 65536)
+	idx := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		_, framePayload, err := DecodeFrame(datagrams[idx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx++
+		if err := core.UnmarshalDataFrameInto(framePayload, &scratch); err != nil {
+			t.Fatal(err)
+		}
+		pt, err = server.OpenDataInto(&scratch, pt[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := eg.Buffer()
+		if b.B, err = AppendFrameHeader(b.B, KindSessionData, core.SealedDataLen(len(pt))); err != nil {
+			t.Fatal(err)
+		}
+		if b.B, err = server.AppendSealedData(b.B, pt); err != nil {
+			t.Fatal(err)
+		}
+		eg.QueueBuf(b, addr)
+		eg.Flush()
+	}); avg != 0 {
+		t.Fatalf("data-plane ingest+egress path allocates %.1f/op, want 0", avg)
+	}
+	if out := pool.Outstanding(); out != 0 {
+		t.Fatalf("egress leaked %d pooled buffers", out)
 	}
 }
 

@@ -1,0 +1,356 @@
+package batchio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// impl names one Conn construction under contract test: the platform
+// batch path (Upgrade) and the portable loop-of-singles (Single) must
+// expose identical semantics.
+type impl struct {
+	name  string
+	wrap  func(pc net.PacketConn) Conn
+	multi bool // true when ReadBatch may fill >1 slot per call
+}
+
+func impls(t *testing.T) []impl {
+	t.Helper()
+	out := []impl{{name: "single", wrap: func(pc net.PacketConn) Conn { return Single(pc) }}}
+	probe, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen probe: %v", err)
+	}
+	_, batched := Upgrade(probe)
+	probe.Close()
+	if batched {
+		out = append(out, impl{
+			name: "mmsg",
+			wrap: func(pc net.PacketConn) Conn {
+				bc, ok := Upgrade(pc)
+				if !ok {
+					t.Fatalf("Upgrade lost the batch path mid-test")
+				}
+				return bc
+			},
+			multi: true,
+		})
+	} else {
+		t.Log("no multi-datagram syscall path on this platform; contract runs on the fallback only")
+	}
+	return out
+}
+
+func pair(t *testing.T, im impl) (Conn, Conn, net.Addr, net.Addr) {
+	t.Helper()
+	pa, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen a: %v", err)
+	}
+	pb, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen b: %v", err)
+	}
+	a, b := im.wrap(pa), im.wrap(pb)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, pa.LocalAddr(), pb.LocalAddr()
+}
+
+func recvN(t *testing.T, c Conn, want, bufSize int) []Message {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var got []Message
+	for len(got) < want {
+		ms := make([]Message, want)
+		for i := range ms {
+			ms[i].Buf = make([]byte, bufSize)
+		}
+		n, err := c.ReadBatch(ms)
+		if err != nil {
+			t.Fatalf("ReadBatch: %v (have %d/%d)", err, len(got), want)
+		}
+		got = append(got, ms[:n]...)
+	}
+	return got
+}
+
+func TestContractRoundTrip(t *testing.T) {
+	for _, im := range impls(t) {
+		t.Run(im.name, func(t *testing.T) {
+			a, b, _, baddr := pair(t, im)
+			out := make([]Message, 3)
+			for i := range out {
+				out[i].Set([]byte(fmt.Sprintf("datagram-%d", i)), baddr)
+			}
+			if n, err := a.WriteBatch(out); err != nil || n != 3 {
+				t.Fatalf("WriteBatch = %d, %v", n, err)
+			}
+			got := recvN(t, b, 3, 512)
+			for i, m := range got {
+				want := fmt.Sprintf("datagram-%d", i)
+				if string(m.Payload()) != want {
+					t.Fatalf("datagram %d = %q, want %q", i, m.Payload(), want)
+				}
+				if m.Addr == nil {
+					t.Fatalf("datagram %d has nil source addr", i)
+				}
+				ua, ok := m.Addr.(*net.UDPAddr)
+				if !ok || ua.Port != a.LocalAddr().(*net.UDPAddr).Port {
+					t.Fatalf("datagram %d source = %v, want port %d", i, m.Addr, a.LocalAddr().(*net.UDPAddr).Port)
+				}
+			}
+		})
+	}
+}
+
+// Short read: the datagram is smaller than the slot buffer; N reports
+// the datagram length, not the buffer length.
+func TestContractShortRead(t *testing.T) {
+	for _, im := range impls(t) {
+		t.Run(im.name, func(t *testing.T) {
+			a, b, _, baddr := pair(t, im)
+			msg := []Message{}
+			msg = append(msg, Message{})
+			msg[0].Set([]byte("tiny"), baddr)
+			if _, err := a.WriteBatch(msg); err != nil {
+				t.Fatalf("WriteBatch: %v", err)
+			}
+			got := recvN(t, b, 1, 65536)
+			if got[0].N != 4 || string(got[0].Payload()) != "tiny" {
+				t.Fatalf("got N=%d payload=%q", got[0].N, got[0].Payload())
+			}
+		})
+	}
+}
+
+// Oversize datagram: a datagram larger than the slot buffer truncates
+// silently (net.PacketConn.ReadFrom semantics) and does not poison
+// later reads.
+func TestContractOversizeDatagram(t *testing.T) {
+	for _, im := range impls(t) {
+		t.Run(im.name, func(t *testing.T) {
+			a, b, _, baddr := pair(t, im)
+			big := bytes.Repeat([]byte{0xAB}, 2000)
+			var out [2]Message
+			out[0].Set(big, baddr)
+			out[1].Set([]byte("after"), baddr)
+			if _, err := a.WriteBatch(out[:]); err != nil {
+				t.Fatalf("WriteBatch: %v", err)
+			}
+			got := recvN(t, b, 2, 512)
+			if got[0].N != 512 || !bytes.Equal(got[0].Payload(), big[:512]) {
+				t.Fatalf("truncated read: N=%d", got[0].N)
+			}
+			if string(got[1].Payload()) != "after" {
+				t.Fatalf("stream poisoned after truncation: %q", got[1].Payload())
+			}
+		})
+	}
+}
+
+func TestContractDeadline(t *testing.T) {
+	for _, im := range impls(t) {
+		t.Run(im.name, func(t *testing.T) {
+			_, b, _, _ := pair(t, im)
+			b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+			ms := make([]Message, 1)
+			ms[0].Buf = make([]byte, 512)
+			start := time.Now()
+			_, err := b.ReadBatch(ms)
+			if err == nil {
+				t.Fatalf("ReadBatch returned data on an idle socket")
+			}
+			if !os.IsTimeout(err) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				t.Fatalf("deadline error = %v, want timeout", err)
+			}
+			if time.Since(start) > time.Second {
+				t.Fatalf("deadline took %v", time.Since(start))
+			}
+		})
+	}
+}
+
+func TestContractConcurrentClose(t *testing.T) {
+	for _, im := range impls(t) {
+		t.Run(im.name, func(t *testing.T) {
+			_, b, _, _ := pair(t, im)
+			done := make(chan error, 1)
+			go func() {
+				ms := make([]Message, 4)
+				for i := range ms {
+					ms[i].Buf = make([]byte, 512)
+				}
+				_, err := b.ReadBatch(ms)
+				done <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			b.Close()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatalf("blocked ReadBatch returned nil after Close")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatalf("ReadBatch did not return after Close")
+			}
+		})
+	}
+}
+
+func TestContractMultipleDestinations(t *testing.T) {
+	for _, im := range impls(t) {
+		t.Run(im.name, func(t *testing.T) {
+			a, b, _, baddr := pair(t, im)
+			c, _, _, _ := pair(t, im)
+			var out [2]Message
+			out[0].Set([]byte("to-b"), baddr)
+			out[1].Set([]byte("to-c"), c.LocalAddr())
+			if n, err := a.WriteBatch(out[:]); err != nil || n != 2 {
+				t.Fatalf("WriteBatch = %d, %v", n, err)
+			}
+			if got := recvN(t, b, 1, 64); string(got[0].Payload()) != "to-b" {
+				t.Fatalf("b got %q", got[0].Payload())
+			}
+			if got := recvN(t, c, 1, 64); string(got[0].Payload()) != "to-c" {
+				t.Fatalf("c got %q", got[0].Payload())
+			}
+		})
+	}
+}
+
+func TestContractEmptyBatch(t *testing.T) {
+	for _, im := range impls(t) {
+		t.Run(im.name, func(t *testing.T) {
+			a, _, _, _ := pair(t, im)
+			if n, err := a.ReadBatch(nil); n != 0 || err != nil {
+				t.Fatalf("empty ReadBatch = %d, %v", n, err)
+			}
+			if n, err := a.WriteBatch(nil); n != 0 || err != nil {
+				t.Fatalf("empty WriteBatch = %d, %v", n, err)
+			}
+		})
+	}
+}
+
+// The batch path must actually coalesce: with several datagrams queued
+// in the kernel, one ReadBatch fills more than one slot.
+func TestMmsgCoalescesReads(t *testing.T) {
+	var mm *impl
+	for _, im := range impls(t) {
+		if im.multi {
+			m := im
+			mm = &m
+		}
+	}
+	if mm == nil {
+		t.Skip("no multi-datagram path on this platform")
+	}
+	a, b, _, baddr := pair(t, *mm)
+	const k = 8
+	out := make([]Message, k)
+	for i := range out {
+		out[i].Set([]byte(fmt.Sprintf("burst-%d", i)), baddr)
+	}
+	if _, err := a.WriteBatch(out); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the kernel queue the burst
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	ms := make([]Message, k)
+	for i := range ms {
+		ms[i].Buf = make([]byte, 512)
+	}
+	n, err := b.ReadBatch(ms)
+	if err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	if n < 2 {
+		t.Fatalf("ReadBatch filled %d slots from an %d-datagram burst; expected coalescing", n, k)
+	}
+	for i := 0; i < n; i++ {
+		if want := fmt.Sprintf("burst-%d", i); string(ms[i].Payload()) != want {
+			t.Fatalf("slot %d = %q, want %q", i, ms[i].Payload(), want)
+		}
+	}
+}
+
+// A wrapped PacketConn (anything that is not a *net.UDPConn, e.g. the
+// chaos fault injector) must take the fallback, not lose traffic.
+func TestUpgradeWrappedConnFallsBack(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer pc.Close()
+	wrapped := struct{ net.PacketConn }{pc}
+	bc, batched := Upgrade(wrapped)
+	if batched {
+		t.Fatalf("Upgrade claimed a batch path for a wrapped conn")
+	}
+	if bc == nil {
+		t.Fatalf("Upgrade returned nil conn")
+	}
+}
+
+// Equal-size datagrams to one destination are where the write path may
+// coalesce a GSO train (one kernel stack traversal, segmented on the
+// wire). The receiver must still see every datagram individually, with
+// exact boundaries, contents, and order — and a batch that mixes sizes
+// and destinations must break trains correctly at every edge.
+func TestContractEqualSizeTrains(t *testing.T) {
+	for _, im := range impls(t) {
+		t.Run(im.name, func(t *testing.T) {
+			a, b, _, baddr := pair(t, im)
+			const k = 32
+			out := make([]Message, k)
+			for i := range out {
+				out[i].Set([]byte(fmt.Sprintf("train-segment-%03d", i)), baddr)
+			}
+			if n, err := a.WriteBatch(out); err != nil || n != k {
+				t.Fatalf("WriteBatch = %d, %v", n, err)
+			}
+			got := recvN(t, b, k, 512)
+			for i, m := range got {
+				if want := fmt.Sprintf("train-segment-%03d", i); string(m.Payload()) != want {
+					t.Fatalf("datagram %d = %q, want %q", i, m.Payload(), want)
+				}
+			}
+
+			// Mixed batch: runs end at a size change and at a destination
+			// change, and singles ride alongside trains.
+			c, _, caddr, _ := pair(t, im)
+			mixed := []Message{}
+			add := func(payload string, addr net.Addr) {
+				var m Message
+				m.Set([]byte(payload), addr)
+				mixed = append(mixed, m)
+			}
+			add("aaaa", baddr)
+			add("bbbb", baddr)
+			add("longer-segment", baddr)
+			add("cccc", caddr)
+			add("dddd", caddr)
+			add("x", baddr)
+			if n, err := a.WriteBatch(mixed); err != nil || n != len(mixed) {
+				t.Fatalf("mixed WriteBatch = %d, %v", n, err)
+			}
+			wantB := []string{"aaaa", "bbbb", "longer-segment", "x"}
+			for i, m := range recvN(t, b, len(wantB), 512) {
+				if string(m.Payload()) != wantB[i] {
+					t.Fatalf("b datagram %d = %q, want %q", i, m.Payload(), wantB[i])
+				}
+			}
+			wantC := []string{"cccc", "dddd"}
+			for i, m := range recvN(t, c, len(wantC), 512) {
+				if string(m.Payload()) != wantC[i] {
+					t.Fatalf("c datagram %d = %q, want %q", i, m.Payload(), wantC[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,25 @@
+// Package batchio is the batched datagram I/O layer under the PEACE data
+// plane. It wraps a UDP socket in a ReadBatch/WriteBatch interface that
+// moves up to K datagrams per syscall via Linux recvmmsg/sendmmsg (raw
+// syscalls behind build tags — the module stays dependency-free) and
+// falls back to a portable loop of single ReadFrom/WriteTo calls on
+// every other platform and on wrapped conns (e.g. the chaos
+// fault-injecting PacketConn). Both implementations satisfy the same
+// contract tests.
+//
+// Around the socket sit the allocation-free plumbing pieces the server,
+// shard loops, and backbone node share:
+//
+//   - Pool: a sync.Pool-backed, leak-checked buffer pool. Every hot-path
+//     frame lives in a *Buf whose Release returns it; an atomic
+//     outstanding counter makes leaks assertable in tests.
+//   - Ring: a per-read-loop ring of pooled receive slots with explicit
+//     ownership. A handler that must keep a datagram past the current
+//     batch calls Retain, which hands it the slot's buffer and replaces
+//     the slot from the pool — the "finish before the next ReadFrom
+//     reuses buf" aliasing convention is gone.
+//   - Egress: a coalescing writer. Replies, relays, and gossip queue
+//     into a sendmmsg batch that flushes when full or after a small
+//     deadline, so syscall amortization does not cost latency at low
+//     load.
+package batchio

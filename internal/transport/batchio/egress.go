@@ -1,0 +1,175 @@
+package batchio
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Egress coalesces outbound datagrams into WriteBatch calls. Frames
+// queue into a fixed batch that flushes when full, when Flush is called
+// (read loops flush after dispatching each ingest batch), or when the
+// flush deadline expires — the deadline bounds the latency a lone reply
+// can sit in the spooler at low load.
+//
+// Two ownership modes per frame: QueueBuf takes a pooled *Buf and
+// releases it after the send; Queue takes a shared immutable slice
+// (cached beacons, reply-cache frames) and never recycles it.
+// Destination addresses are copied into the slot, so read-slot
+// addresses may be passed directly.
+type Egress struct {
+	conn    Conn
+	pool    *Pool
+	delay   time.Duration
+	onFlush func(frames, bytes int)
+
+	mu     sync.Mutex
+	slots  []eslot
+	msgs   []Message
+	n      int
+	armed  bool
+	closed bool
+	timer  *time.Timer
+
+	writeErrs atomic.Int64
+}
+
+type eslot struct {
+	buf   *Buf
+	frame []byte
+	addr  net.Addr
+	ua    net.UDPAddr
+	ip    [16]byte
+}
+
+// NewEgress builds a spooler over conn with the given batch size and
+// flush deadline (0 disables the timer; only full batches and explicit
+// Flush calls send). onFlush, if non-nil, observes each flushed batch.
+func NewEgress(conn Conn, batch int, delay time.Duration, pool *Pool, onFlush func(frames, bytes int)) *Egress {
+	if batch < 1 {
+		batch = 1
+	}
+	e := &Egress{
+		conn:    conn,
+		pool:    pool,
+		delay:   delay,
+		onFlush: onFlush,
+		slots:   make([]eslot, batch),
+		msgs:    make([]Message, batch),
+	}
+	e.timer = time.AfterFunc(time.Hour, e.timerFlush)
+	e.timer.Stop()
+	return e
+}
+
+// Buffer checks a frame buffer out of the egress pool; hand it back via
+// QueueBuf (or Release it on an error path).
+func (e *Egress) Buffer() *Buf { return e.pool.Get() }
+
+// QueueBuf stages a pooled frame for sending; the Buf is released after
+// the flush that sends it.
+func (e *Egress) QueueBuf(b *Buf, addr net.Addr) { e.queue(b.B, b, addr) }
+
+// Queue stages a shared immutable frame for sending; the bytes are
+// aliased until the flush and never pooled.
+func (e *Egress) Queue(frame []byte, addr net.Addr) { e.queue(frame, nil, addr) }
+
+func (e *Egress) queue(frame []byte, buf *Buf, addr net.Addr) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		buf.Release()
+		return
+	}
+	s := &e.slots[e.n]
+	s.buf = buf
+	s.frame = frame
+	if ua, ok := addr.(*net.UDPAddr); ok {
+		n := copy(s.ip[:], ua.IP)
+		s.ua.IP = s.ip[:n]
+		s.ua.Port = ua.Port
+		s.ua.Zone = ua.Zone
+		s.addr = &s.ua
+	} else {
+		s.addr = addr
+	}
+	e.n++
+	if e.n == len(e.slots) {
+		e.flushLocked()
+	} else if e.delay > 0 && !e.armed {
+		e.armed = true
+		e.timer.Reset(e.delay)
+	}
+	e.mu.Unlock()
+}
+
+// Flush sends everything staged. Read loops call it after dispatching a
+// batch so replies leave in one sendmmsg.
+func (e *Egress) Flush() {
+	e.mu.Lock()
+	e.flushLocked()
+	e.mu.Unlock()
+}
+
+func (e *Egress) flushLocked() {
+	if e.armed {
+		e.armed = false
+		e.timer.Stop()
+	}
+	if e.n == 0 {
+		return
+	}
+	bytes := 0
+	for i := 0; i < e.n; i++ {
+		s := &e.slots[i]
+		m := &e.msgs[i]
+		m.Buf = s.frame
+		m.N = len(s.frame)
+		m.Addr = s.addr
+		bytes += m.N
+	}
+	sent, err := e.conn.WriteBatch(e.msgs[:e.n])
+	if err != nil {
+		e.writeErrs.Add(1)
+	}
+	frames := e.n
+	for i := 0; i < e.n; i++ {
+		s := &e.slots[i]
+		s.buf.Release()
+		s.buf = nil
+		s.frame = nil
+		s.addr = nil
+		e.msgs[i].Buf = nil
+		e.msgs[i].Addr = nil
+	}
+	e.n = 0
+	if e.onFlush != nil && sent > 0 {
+		e.onFlush(frames, bytes)
+	}
+}
+
+func (e *Egress) timerFlush() {
+	e.mu.Lock()
+	if !e.closed {
+		e.armed = false
+		e.flushLocked()
+	}
+	e.mu.Unlock()
+}
+
+// WriteErrs returns how many flushes hit a write error (their frames
+// are dropped — datagram semantics).
+func (e *Egress) WriteErrs() int64 { return e.writeErrs.Load() }
+
+// Close flushes staged frames and stops the timer. It does not close
+// the underlying conn.
+func (e *Egress) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.flushLocked()
+		e.closed = true
+		e.timer.Stop()
+	}
+	e.mu.Unlock()
+}

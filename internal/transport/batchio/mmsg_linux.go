@@ -1,0 +1,338 @@
+//go:build linux && (amd64 || arm64)
+
+package batchio
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// UDP_SEGMENT is the cmsg type (and socket option) selecting UDP
+// generic segmentation offload: one sendmsg carries a train of
+// equal-size segments the kernel splits after a single traversal of the
+// stack. The syscall package predates it, so the constant lives here.
+const udpSegment = 103
+
+// gsoMaxSegs caps one coalesced send below the kernel's
+// UDP_MAX_SEGMENTS (64); gsoMaxBytes keeps the train inside one UDP
+// payload.
+const (
+	gsoMaxSegs  = 60
+	gsoMaxBytes = 64000
+)
+
+// cmsgSeg is one control-message block carrying the uint16 GSO segment
+// size, padded so a slice of them keeps each cmsghdr 8-byte aligned.
+type cmsgSeg struct {
+	hdr  syscall.Cmsghdr
+	data [8]byte
+}
+
+// mmsghdr mirrors struct mmsghdr on 64-bit Linux: a msghdr plus the
+// kernel-written datagram length, padded to 8-byte alignment. The layout
+// is why this file is gated to amd64/arm64 — 32-bit targets pack the
+// struct differently and take the portable fallback instead.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// hdrBlock is the reusable per-direction syscall scratch: mmsg headers,
+// iovecs, and raw sockaddr storage, one triple per batch slot. It lives
+// on the conn and is guarded by the direction's mutex, so steady-state
+// batches run without a single allocation.
+type hdrBlock struct {
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names [][syscall.SizeofSockaddrAny]byte
+	// ctrls and runs serve the write direction's GSO coalescing: one
+	// control block per potential train, and the datagram count behind
+	// each mmsg header so partial sendmmsg results map back to datagrams.
+	ctrls []cmsgSeg
+	runs  []int
+}
+
+func (b *hdrBlock) ensure(n int) {
+	if cap(b.hdrs) >= n {
+		b.hdrs = b.hdrs[:n]
+		b.iovs = b.iovs[:n]
+		b.names = b.names[:n]
+		b.ctrls = b.ctrls[:n]
+		b.runs = b.runs[:n]
+		return
+	}
+	b.hdrs = make([]mmsghdr, n)
+	b.iovs = make([]syscall.Iovec, n)
+	b.names = make([][syscall.SizeofSockaddrAny]byte, n)
+	b.ctrls = make([]cmsgSeg, n)
+	b.runs = make([]int, n)
+}
+
+// mmsgConn moves batches of datagrams with one recvmmsg/sendmmsg per
+// call. Syscalls run non-blocking inside RawConn read/write callbacks,
+// so the conn keeps the netpoller's deadline and close semantics.
+type mmsgConn struct {
+	uc *net.UDPConn
+	rc syscall.RawConn
+
+	rmu sync.Mutex
+	rbl hdrBlock
+
+	wmu sync.Mutex
+	wbl hdrBlock
+
+	// gso is the segmentation-offload probe state: 0 untried, 1
+	// confirmed by a successful train, -1 refused by the kernel (old
+	// kernel or unsupported route) — refusal permanently falls back to
+	// one datagram per header.
+	gso atomic.Int32
+}
+
+func upgradeUDP(uc *net.UDPConn) (Conn, bool) {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil, false
+	}
+	return &mmsgConn{uc: uc, rc: rc}, true
+}
+
+func (c *mmsgConn) ReadBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.rbl.ensure(len(ms))
+	for i := range ms {
+		buf := ms[i].Buf
+		iov := &c.rbl.iovs[i]
+		iov.Base = &buf[0]
+		iov.SetLen(len(buf))
+		h := &c.rbl.hdrs[i]
+		h.hdr = syscall.Msghdr{
+			Name:    &c.rbl.names[i][0],
+			Namelen: syscall.SizeofSockaddrAny,
+			Iov:     iov,
+			Iovlen:  1,
+		}
+		h.len = 0
+	}
+	var n int
+	var operr syscall.Errno
+	err := c.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&c.rbl.hdrs[0])), uintptr(len(ms)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false
+		}
+		operr = e
+		n = int(r1)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if operr != 0 {
+		return 0, operr
+	}
+	for i := 0; i < n; i++ {
+		m := &ms[i]
+		m.N = int(c.rbl.hdrs[i].len)
+		parseSockaddr(m, &c.rbl.names[i])
+	}
+	return n, nil
+}
+
+func (c *mmsgConn) WriteBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	for i := range ms {
+		if _, ok := ms[i].Addr.(*net.UDPAddr); !ok {
+			// Non-UDP addr (wrapped conns hand these out): fall back to
+			// per-datagram writes for the whole batch.
+			return c.writeSingles(ms)
+		}
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbl.ensure(len(ms))
+	nh, hadTrain, err := c.buildCoalesced(ms)
+	if err != nil {
+		return 0, err
+	}
+	sent, err := c.sendHdrs(nh)
+	if err == nil {
+		if hadTrain {
+			c.gso.CompareAndSwap(0, 1)
+		}
+		return sent, nil
+	}
+	if hadTrain && c.gso.CompareAndSwap(0, -1) && sent < len(ms) {
+		// The very first train was refused: disable segmentation for the
+		// life of the conn and finish this batch one datagram per header.
+		nh, _, _ = c.buildCoalesced(ms[sent:])
+		n2, err2 := c.sendHdrs(nh)
+		return sent + n2, err2
+	}
+	return sent, err
+}
+
+// buildCoalesced lays out the write headers for one batch. With GSO
+// available, a run of consecutive equal-size datagrams to one
+// destination becomes a single segmented send (cmsg UDP_SEGMENT): the
+// kernel walks the UDP stack once per train instead of once per
+// datagram. recvmmsg/sendmmsg alone only amortize syscall entry — the
+// per-datagram stack traversal they leave behind is what caps pps, and
+// trains are what remove it.
+func (c *mmsgConn) buildCoalesced(ms []Message) (nh int, hadTrain bool, err error) {
+	useGSO := c.gso.Load() >= 0
+	for i := 0; i < len(ms); {
+		m := &ms[i]
+		run := 1
+		if useGSO && m.N > 0 && 2*m.N <= gsoMaxBytes {
+			for run < gsoMaxSegs && (run+1)*m.N <= gsoMaxBytes && i+run < len(ms) &&
+				ms[i+run].N == m.N && sameUDPAddr(ms[i+run].Addr, m.Addr) {
+				run++
+			}
+		}
+		for j := 0; j < run; j++ {
+			s := &ms[i+j]
+			iov := &c.wbl.iovs[i+j]
+			iov.Base = nil
+			if s.N > 0 {
+				iov.Base = &s.Buf[0]
+			}
+			iov.SetLen(s.N)
+		}
+		nl, perr := putSockaddr(&c.wbl.names[nh], m.Addr.(*net.UDPAddr))
+		if perr != nil {
+			return 0, false, perr
+		}
+		h := &c.wbl.hdrs[nh]
+		h.hdr = syscall.Msghdr{
+			Name:    &c.wbl.names[nh][0],
+			Namelen: nl,
+			Iov:     &c.wbl.iovs[i],
+			Iovlen:  uint64(run),
+		}
+		h.len = 0
+		if run > 1 {
+			ctrl := &c.wbl.ctrls[nh]
+			ctrl.hdr = syscall.Cmsghdr{Level: syscall.IPPROTO_UDP, Type: udpSegment}
+			ctrl.hdr.SetLen(syscall.CmsgLen(2))
+			*(*uint16)(unsafe.Pointer(&ctrl.data[0])) = uint16(m.N)
+			h.hdr.Control = (*byte)(unsafe.Pointer(ctrl))
+			h.hdr.SetControllen(syscall.CmsgSpace(2))
+			hadTrain = true
+		}
+		c.wbl.runs[nh] = run
+		nh++
+		i += run
+	}
+	return nh, hadTrain, nil
+}
+
+// sendHdrs pushes nh prepared headers through sendmmsg, retrying after
+// partial acceptance, and returns how many datagrams the accepted
+// headers carried (a train counts every segment).
+func (c *mmsgConn) sendHdrs(nh int) (int, error) {
+	datagrams, sentH := 0, 0
+	for sentH < nh {
+		var n int
+		var operr syscall.Errno
+		err := c.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&c.wbl.hdrs[sentH])), uintptr(nh-sentH),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			operr = e
+			n = int(r1)
+			return true
+		})
+		if err != nil {
+			return datagrams, err
+		}
+		if operr != 0 {
+			return datagrams, operr
+		}
+		for i := 0; i < n; i++ {
+			datagrams += c.wbl.runs[sentH+i]
+		}
+		sentH += n
+	}
+	return datagrams, nil
+}
+
+// sameUDPAddr reports whether two write targets (already vetted as
+// *net.UDPAddr) name the same destination.
+func sameUDPAddr(a, b net.Addr) bool {
+	ua, ub := a.(*net.UDPAddr), b.(*net.UDPAddr)
+	if ua == ub {
+		return true
+	}
+	return ua.Port == ub.Port && ua.Zone == ub.Zone && ua.IP.Equal(ub.IP)
+}
+
+func (c *mmsgConn) writeSingles(ms []Message) (int, error) {
+	for i := range ms {
+		m := &ms[i]
+		if _, err := c.uc.WriteTo(m.Buf[:m.N], m.Addr); err != nil {
+			return i, err
+		}
+	}
+	return len(ms), nil
+}
+
+func (c *mmsgConn) LocalAddr() net.Addr               { return c.uc.LocalAddr() }
+func (c *mmsgConn) SetReadDeadline(t time.Time) error { return c.uc.SetReadDeadline(t) }
+func (c *mmsgConn) Close() error                      { return c.uc.Close() }
+
+// putSockaddr serializes ua into name and returns the sockaddr length.
+// Ports are written byte-wise so the code is endianness-agnostic.
+func putSockaddr(name *[syscall.SizeofSockaddrAny]byte, ua *net.UDPAddr) (uint32, error) {
+	port := ua.Port
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(name))
+		sa.Family = syscall.AF_INET
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(port>>8), byte(port)
+		copy(sa.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4, nil
+	}
+	if len(ua.IP) != net.IPv6len {
+		return 0, net.InvalidAddrError("batchio: destination has no usable IP")
+	}
+	sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(name))
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0], p[1] = byte(port>>8), byte(port)
+	copy(sa.Addr[:], ua.IP)
+	return syscall.SizeofSockaddrInet6, nil
+}
+
+// parseSockaddr installs the kernel-written source address into the
+// slot's reusable UDPAddr.
+func parseSockaddr(m *Message, name *[syscall.SizeofSockaddrAny]byte) {
+	raw := (*syscall.RawSockaddrAny)(unsafe.Pointer(name))
+	switch raw.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(name))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		m.setIPPort(sa.Addr[:], int(p[0])<<8|int(p[1]))
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(name))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		m.setIPPort(sa.Addr[:], int(p[0])<<8|int(p[1]))
+	default:
+		m.Addr = nil
+	}
+}

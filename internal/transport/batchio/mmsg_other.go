@@ -1,0 +1,9 @@
+//go:build !linux || !(amd64 || arm64)
+
+package batchio
+
+import "net"
+
+// upgradeUDP has no multi-datagram syscall path on this target; Upgrade
+// falls back to the portable single-datagram implementation.
+func upgradeUDP(uc *net.UDPConn) (Conn, bool) { return nil, false }

@@ -1,0 +1,73 @@
+package batchio
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buf is a pooled datagram buffer. B starts empty with the pool's
+// capacity; append frames into it (or reslice to full capacity for
+// receive slots) and call Release exactly once when the bytes are no
+// longer referenced. The *Buf itself round-trips through the sync.Pool,
+// so steady-state Get/Release pairs do not allocate.
+type Buf struct {
+	B    []byte
+	pool *Pool
+}
+
+// Release returns the buffer to its pool. The caller must not touch
+// b.B afterwards.
+func (b *Buf) Release() {
+	if b != nil && b.pool != nil {
+		b.pool.put(b)
+	}
+}
+
+// Cap returns the buffer's capacity.
+func (b *Buf) Cap() int { return cap(b.B) }
+
+// Pool is a leak-checked sync.Pool of fixed-capacity datagram buffers.
+// Outstanding counts Gets minus Releases; tests assert it returns to
+// zero, which is how the "every pooled frame is returned" contract on
+// the seal/open and relay paths is enforced.
+type Pool struct {
+	size        int
+	outstanding atomic.Int64
+	p           sync.Pool
+}
+
+// NewPool builds a pool of buffers with capacity size.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = 64 * 1024
+	}
+	return &Pool{size: size}
+}
+
+// BufSize returns the capacity of the pool's buffers.
+func (p *Pool) BufSize() int { return p.size }
+
+// Outstanding returns the number of buffers currently checked out.
+func (p *Pool) Outstanding() int64 { return p.outstanding.Load() }
+
+// Get checks a buffer out of the pool; its B is empty with at least
+// BufSize capacity.
+func (p *Pool) Get() *Buf {
+	p.outstanding.Add(1)
+	if v := p.p.Get(); v != nil {
+		b := v.(*Buf)
+		b.B = b.B[:0]
+		return b
+	}
+	return &Buf{B: make([]byte, 0, p.size), pool: p}
+}
+
+func (p *Pool) put(b *Buf) {
+	p.outstanding.Add(-1)
+	if cap(b.B) < p.size {
+		// The user grew-and-reallocated the slice; retire this Buf rather
+		// than shrink the pool's buffer class.
+		return
+	}
+	p.p.Put(b)
+}

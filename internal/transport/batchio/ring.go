@@ -1,0 +1,73 @@
+package batchio
+
+// Ring is a read loop's batch of pooled receive slots with explicit
+// buffer ownership. Prepare returns the slot array to pass to
+// ReadBatch; each filled slot's bytes belong to the ring and are valid
+// only until the next Prepare. A handler that must keep a datagram
+// longer calls Retain(i), which transfers the slot's *Buf to the
+// handler (who Releases it when done) and marks the slot so the next
+// Prepare replaces it from the pool — retained bytes can never be
+// clobbered by a later batch.
+type Ring struct {
+	pool     *Pool
+	bufs     []*Buf
+	msgs     []Message
+	retained []bool
+}
+
+// NewRing checks k receive slots out of pool.
+func NewRing(k int, pool *Pool) *Ring {
+	if k < 1 {
+		k = 1
+	}
+	r := &Ring{
+		pool:     pool,
+		bufs:     make([]*Buf, k),
+		msgs:     make([]Message, k),
+		retained: make([]bool, k),
+	}
+	for i := range r.bufs {
+		r.bufs[i] = pool.Get()
+		r.msgs[i].Buf = r.bufs[i].B[:pool.BufSize()]
+	}
+	return r
+}
+
+// Prepare resets every slot for the next ReadBatch, replacing retained
+// buffers from the pool, and returns the slot array.
+func (r *Ring) Prepare() []Message {
+	for i := range r.msgs {
+		if r.retained[i] {
+			r.bufs[i] = r.pool.Get()
+			r.msgs[i].Buf = r.bufs[i].B[:r.pool.BufSize()]
+			r.retained[i] = false
+		}
+		r.msgs[i].N = 0
+		r.msgs[i].Addr = nil
+	}
+	return r.msgs
+}
+
+// Retain transfers ownership of slot i's buffer to the caller, who must
+// Release it. The slot's Message (Buf, N, Addr) stays readable until
+// the next Prepare; the returned *Buf is what keeps the bytes alive
+// beyond it.
+func (r *Ring) Retain(i int) *Buf {
+	if r.retained[i] {
+		return nil
+	}
+	r.retained[i] = true
+	return r.bufs[i]
+}
+
+// Close releases every buffer the ring still owns. Retained buffers are
+// their takers' to release.
+func (r *Ring) Close() {
+	for i := range r.bufs {
+		if !r.retained[i] && r.bufs[i] != nil {
+			r.bufs[i].Release()
+			r.bufs[i] = nil
+			r.retained[i] = true
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package batchio
+
+// The stdlib syscall table on amd64 predates sendmmsg; both numbers are
+// pinned here (arch/x86/entry/syscalls/syscall_64.tbl).
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package batchio
+
+// Generic arm64 syscall numbers (include/uapi/asm-generic/unistd.h).
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"context"
-	cryptorand "crypto/rand"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -126,6 +125,12 @@ type Client struct {
 	// ticket is the held resumption state (sealed blob + locally derived
 	// secret), nil until an attach or resume minted one.
 	ticket *resumeTicket
+
+	// sendMu guards sendBuf, the reused data-frame encode scratch of
+	// SendDataVia — header plus sealed frame built in place, so the
+	// steady-state send path allocates nothing.
+	sendMu  sync.Mutex
+	sendBuf []byte
 }
 
 // NewClient wraps conn (the user's own socket) talking to the router at
@@ -518,15 +523,20 @@ func (c *Client) SendDataVia(raddr net.Addr, payload []byte) error {
 	if sess == nil {
 		return core.ErrNoSession
 	}
-	df, err := sess.SealData(cryptorand.Reader, payload)
-	if err != nil {
-		return fmt.Errorf("transport: seal data: %w", err)
-	}
-	frame, err := EncodeMessage(&SessionData{Frame: df})
+	// Seal in place behind the frame header: the sealed size is
+	// deterministic, so the whole datagram is built in one reused buffer
+	// (same wire format as EncodeMessage(&SessionData{...})).
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	buf, err := AppendFrameHeader(c.sendBuf[:0], KindSessionData, core.SealedDataLen(len(payload)))
 	if err != nil {
 		return err
 	}
-	n, err := c.conn.WriteTo(frame, raddr)
+	if buf, err = sess.AppendSealedData(buf, payload); err != nil {
+		return fmt.Errorf("transport: seal data: %w", err)
+	}
+	c.sendBuf = buf[:0]
+	n, err := c.conn.WriteTo(buf, raddr)
 	if err != nil {
 		return fmt.Errorf("transport: send data: %w", err)
 	}

@@ -169,6 +169,23 @@ func AppendFrame(dst []byte, kind Kind, payload []byte) ([]byte, error) {
 	return append(dst, payload...), nil
 }
 
+// AppendFrameHeader appends just the frame header for a payload of
+// payloadLen bytes that the caller will encode in place right after it
+// (the header-first form of AppendFrame for deterministic-size payloads
+// like sealed data frames, where a second copy would cost the zero-alloc
+// egress path its budget).
+func AppendFrameHeader(dst []byte, kind Kind, payloadLen int) ([]byte, error) {
+	if kind == KindInvalid || kind >= kindEnd {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
+	}
+	if payloadLen > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, payloadLen)
+	}
+	dst = append(dst, frameMagic[:]...)
+	dst = append(dst, Version, byte(kind))
+	return binary.BigEndian.AppendUint32(dst, uint32(payloadLen)), nil
+}
+
 // DecodeFrame validates one datagram and returns its kind and payload.
 // The payload aliases the input. Exactly one frame per datagram: trailing
 // bytes are an error, as is a length prefix that disagrees with the

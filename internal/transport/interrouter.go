@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/symcrypto"
 	"github.com/peace-mesh/peace/internal/wire"
 )
 
@@ -207,15 +209,52 @@ type LinkEnvelope struct {
 	Ciphertext []byte
 }
 
+// linkAADTag versions the envelope AAD.
+const linkAADTag = "peace/backbone-aad:v1"
+
 // LinkEnvelopeAAD returns the additional authenticated data sealing one
 // envelope of the given kind.
 func LinkEnvelopeAAD(kind Kind, from string, seq uint64) []byte {
 	w := wire.NewWriter(48 + len(from))
-	w.StringField("peace/backbone-aad:v1")
+	w.StringField(linkAADTag)
 	w.Byte(byte(kind))
 	w.StringField(from)
 	w.Uint64(seq)
 	return w.Bytes()
+}
+
+// AppendLinkEnvelopeAAD is LinkEnvelopeAAD without the Writer
+// allocation; the layouts are byte-identical (pinned by a test), so
+// envelopes sealed by either path open under the other.
+func AppendLinkEnvelopeAAD(dst []byte, kind Kind, from string, seq uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(linkAADTag)))
+	dst = append(dst, linkAADTag...)
+	dst = append(dst, byte(kind))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(from)))
+	dst = append(dst, from...)
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// LinkEnvelopeLen returns the marshaled size of a LinkEnvelope from
+// `from` whose ciphertext is an AES-GCM sealing (nonce ‖ ct ‖ tag) of a
+// ptLen-byte plaintext. The size is deterministic, so backbone egress
+// paths can emit the frame header first and seal the envelope in place
+// right after it.
+func LinkEnvelopeLen(from string, ptLen int) int {
+	return 4 + len(from) + 8 + // sender field + sequence
+		4 + symcrypto.GCMNonceSize + ptLen + symcrypto.GCMOverhead // ciphertext field
+}
+
+// AppendLinkEnvelopeHeader appends the envelope fields that precede the
+// sealed bytes — sender, sequence, and the ciphertext length prefix for
+// a ptLen-byte plaintext. The caller appends nonce ‖ ct ‖ tag (exactly
+// GCMNonceSize+ptLen+GCMOverhead bytes) right after to complete the
+// LinkEnvelope wire format.
+func AppendLinkEnvelopeHeader(dst []byte, from string, seq uint64, ptLen int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(from)))
+	dst = append(dst, from...)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return binary.BigEndian.AppendUint32(dst, uint32(symcrypto.GCMNonceSize+ptLen+symcrypto.GCMOverhead))
 }
 
 // Marshal encodes the envelope.

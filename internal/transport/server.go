@@ -15,6 +15,7 @@ import (
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/symcrypto"
+	"github.com/peace-mesh/peace/internal/transport/batchio"
 )
 
 // ServerConfig tunes the router-side datapath.
@@ -57,6 +58,20 @@ type ServerConfig struct {
 	// beyond it, replayed requests whose reply-cache entry was evicted are
 	// refused instead of minting yet another session. Default 30s.
 	TicketFreshness time.Duration
+	// IOBatch is how many datagrams one recvmmsg/sendmmsg moves per
+	// syscall on each shard loop (and the egress coalescing width).
+	// 1 forces the portable single-datagram path — the unbatched
+	// baseline E18 compares against. Default 32.
+	IOBatch int
+	// FlushDelay bounds how long a reply may sit in the egress spooler
+	// waiting for batch-mates; read loops flush after every ingest batch,
+	// so the delay only governs asynchronously produced frames (access
+	// confirms). Default 100µs.
+	FlushDelay time.Duration
+	// EchoData makes the server seal each delivered data-frame payload
+	// back to its sender — the application-level echo sink E18 and the
+	// data-plane drills measure round trips against.
+	EchoData bool
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +103,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.TicketFreshness <= 0 {
 		c.TicketFreshness = 30 * time.Second
+	}
+	if c.IOBatch < 1 {
+		c.IOBatch = 32
+	}
+	if c.FlushDelay <= 0 {
+		c.FlushDelay = 100 * time.Microsecond
 	}
 	if c.BootEpoch == 0 {
 		var b [8]byte
@@ -123,6 +144,12 @@ type Server struct {
 	// replies is the striped, bounded duplicate-suppression cache shared
 	// by all shard loops (access requests and resumes alike).
 	replies *replyCache
+
+	// ingestPool backs the read rings (full-datagram buffers); framePool
+	// backs pooled egress frames (replies sealed in place). Both are
+	// leak-checked: every Get has an owner responsible for Release.
+	ingestPool *batchio.Pool
+	framePool  *batchio.Pool
 
 	// backbone holds the metro-plane hooks, installed by the backbone
 	// node after construction (atomically, so the read loops never lock).
@@ -166,13 +193,15 @@ func NewShardedServer(conns []net.PacketConn, router *core.MeshRouter, cfg Serve
 func newServer(conns []net.PacketConn, router *core.MeshRouter, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		conns:    conns,
-		router:   router,
-		queue:    core.NewIngestQueue(router, cfg.QueueCapacity, cfg.MaxBatch),
-		tickets:  cfg.TicketKeys,
-		replies:  newReplyCache(cfg.ReplyCacheSize),
-		revCache: make(map[revocation.List]*revFrameCache),
+		cfg:        cfg,
+		conns:      conns,
+		router:     router,
+		queue:      core.NewIngestQueue(router, cfg.QueueCapacity, cfg.MaxBatch),
+		tickets:    cfg.TicketKeys,
+		replies:    newReplyCache(cfg.ReplyCacheSize),
+		revCache:   make(map[revocation.List]*revFrameCache),
+		ingestPool: batchio.NewPool(65536),
+		framePool:  batchio.NewPool(egressFrameSize),
 	}
 	if s.tickets == nil {
 		ring, err := symcrypto.NewTicketKeyRing(rand.Reader)
@@ -340,18 +369,60 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// readLoop is one shard's socket reader. Expensive work (signature
-// verification) happens on the ingest queue's drainer and the per-reply
-// goroutines; resumes and keepalives are symmetric-crypto cheap and are
-// served inline with per-loop scratch state, so the steady-state decode
-// path allocates nothing.
+// egressFrameSize is the buffer class of the egress frame pool — large
+// enough for sealed replies on the steady-state data path; oversize
+// payloads grow the slice (one allocation) and the grown buffer is
+// retired on release.
+const egressFrameSize = 2048
+
+// shardLoop is one read loop's private state: the batch conn, its ring
+// of pooled ingest slots, the coalescing egress, and the zero-copy
+// decode/open scratch. Nothing here is shared between loops.
+type shardLoop struct {
+	bc   batchio.Conn
+	ring *batchio.Ring
+	eg   *batchio.Egress
+
+	scratchFrame  core.DataFrame
+	scratchResume ResumeRequest
+	// pt is the open-plaintext scratch of the data path.
+	pt []byte
+}
+
+// readLoop is one shard's socket reader. Datagrams arrive up to IOBatch
+// per recvmmsg into the ring's pooled slots; each slot's bytes belong to
+// the ring until the next Prepare, and a handler that must keep them
+// longer takes explicit ownership (Ring.Retain / clone) — there is no
+// implicit "finish before the next read reuses buf" contract anymore.
+// Expensive work (signature verification) happens on the ingest queue's
+// drainer and the per-reply goroutines; resumes, keepalives, and data
+// frames are symmetric-crypto cheap and are served inline with per-loop
+// scratch state, so the steady-state decode, open, and sealed-echo paths
+// allocate nothing. Replies coalesce in the egress and leave in one
+// sendmmsg per ingest batch.
 func (s *Server) readLoop(conn net.PacketConn) {
 	defer s.loops.Done()
-	buf := make([]byte, 65536)
-	var scratchFrame core.DataFrame
-	var scratchResume ResumeRequest
+	var bc batchio.Conn
+	if s.cfg.IOBatch > 1 {
+		var batched bool
+		bc, batched = batchio.Upgrade(conn)
+		if batched {
+			s.stats.batchedIO.Store(1)
+		}
+	} else {
+		bc = batchio.Single(conn)
+	}
+	l := &shardLoop{
+		bc:   bc,
+		ring: batchio.NewRing(s.cfg.IOBatch, s.ingestPool),
+		eg:   batchio.NewEgress(bc, s.cfg.IOBatch, s.cfg.FlushDelay, s.framePool, s.noteFlush),
+		pt:   make([]byte, 0, 65536),
+	}
+	defer l.ring.Close()
+	defer l.eg.Close()
 	for {
-		n, addr, err := conn.ReadFrom(buf)
+		ms := l.ring.Prepare()
+		n, err := bc.ReadBatch(ms)
 		if err != nil {
 			if s.closed.Load() {
 				return
@@ -362,64 +433,84 @@ func (s *Server) readLoop(conn net.PacketConn) {
 			s.logf("transport: read: %v", err)
 			return
 		}
-		s.stats.bytesIn.Add(int64(n))
-		kind, payload, err := DecodeFrame(buf[:n])
+		s.stats.readBatches.Add(1)
+		s.stats.readDatagrams.Add(int64(n))
+		for i := 0; i < n; i++ {
+			s.dispatch(l, &ms[i])
+		}
+		l.eg.Flush()
+	}
+}
+
+// dispatch decodes and serves one ingest slot.
+func (s *Server) dispatch(l *shardLoop, m *batchio.Message) {
+	s.stats.bytesIn.Add(int64(m.N))
+	kind, payload, err := DecodeFrame(m.Payload())
+	if err != nil {
+		s.stats.decodeErrors.Add(1)
+		return
+	}
+	s.stats.framesIn.Add(1)
+	addr := m.Addr
+	switch kind {
+	case KindBeaconRequest:
+		s.sendBeacon(l, addr)
+	case KindAccessRequest:
+		// The decoded message owns its memory (fresh curve points and
+		// copied byte fields), so the slot can be reused immediately.
+		req, err := core.UnmarshalAccessRequest(payload)
 		if err != nil {
 			s.stats.decodeErrors.Add(1)
-			continue
+			return
 		}
-		s.stats.framesIn.Add(1)
-		switch kind {
-		case KindBeaconRequest:
-			s.sendBeacon(conn, addr)
-		case KindAccessRequest:
-			// The decoded message owns its memory (fresh curve points and
-			// copied byte fields), so buf can be reused immediately.
-			m, err := core.UnmarshalAccessRequest(payload)
-			if err != nil {
-				s.stats.decodeErrors.Add(1)
-				continue
-			}
-			s.handleAccessRequest(conn, m, addr)
-		case KindResumeRequest:
-			// Aliasing decode into per-loop scratch: the handler finishes
-			// with the request before the next ReadFrom reuses buf.
-			if err := UnmarshalResumeRequestInto(payload, &scratchResume); err != nil {
-				s.stats.decodeErrors.Add(1)
-				continue
-			}
-			s.handleResumeRequest(conn, &scratchResume, addr)
-		case KindURLSnapshotRequest:
-			f, err := UnmarshalRevocationFetch(payload)
-			if err != nil {
-				s.stats.decodeErrors.Add(1)
-				continue
-			}
-			s.handleRevocationFetch(conn, f, addr)
-		case KindSessionPing:
-			if err := core.UnmarshalDataFrameInto(payload, &scratchFrame); err != nil {
-				s.stats.decodeErrors.Add(1)
-				continue
-			}
-			s.handleSessionPing(conn, &scratchFrame, addr)
-		case KindSessionData:
-			if err := core.UnmarshalDataFrameInto(payload, &scratchFrame); err != nil {
-				s.stats.decodeErrors.Add(1)
-				continue
-			}
-			s.handleSessionData(conn, &scratchFrame, addr)
-		default:
-			// Peer AKA, URL/CRL pushes etc. are not served on a router
-			// socket; count and drop.
-			s.stats.unhandled.Add(1)
+		s.handleAccessRequest(l, req, addr)
+	case KindResumeRequest:
+		// Zero-copy decode into per-loop scratch: the handler finishes
+		// with the request before this dispatch returns, and the slot
+		// stays untouched until the next Prepare.
+		if err := UnmarshalResumeRequestInto(payload, &l.scratchResume); err != nil {
+			s.stats.decodeErrors.Add(1)
+			return
 		}
+		s.handleResumeRequest(l, &l.scratchResume, addr)
+	case KindURLSnapshotRequest:
+		f, err := UnmarshalRevocationFetch(payload)
+		if err != nil {
+			s.stats.decodeErrors.Add(1)
+			return
+		}
+		s.handleRevocationFetch(l, f, addr)
+	case KindSessionPing:
+		if err := core.UnmarshalDataFrameInto(payload, &l.scratchFrame); err != nil {
+			s.stats.decodeErrors.Add(1)
+			return
+		}
+		s.handleSessionPing(l, &l.scratchFrame, addr)
+	case KindSessionData:
+		if err := core.UnmarshalDataFrameInto(payload, &l.scratchFrame); err != nil {
+			s.stats.decodeErrors.Add(1)
+			return
+		}
+		s.handleSessionData(l, &l.scratchFrame, addr)
+	default:
+		// Peer AKA, URL/CRL pushes etc. are not served on a router
+		// socket; count and drop.
+		s.stats.unhandled.Add(1)
 	}
+}
+
+// noteFlush observes one egress batch leaving the socket.
+func (s *Server) noteFlush(frames, bytes int) {
+	s.stats.framesOut.Add(int64(frames))
+	s.stats.bytesOut.Add(int64(bytes))
+	s.stats.writeBatches.Add(1)
+	s.stats.writeDatagrams.Add(int64(frames))
 }
 
 // sendBeacon answers a beacon solicitation from the cached frame,
 // regenerating it when the refresh period elapsed and retiring DH shares
 // that fall out of the history window.
-func (s *Server) sendBeacon(conn net.PacketConn, addr net.Addr) {
+func (s *Server) sendBeacon(l *shardLoop, addr net.Addr) {
 	now := time.Now()
 	s.beaconMu.Lock()
 	if s.beaconFrame == nil || now.Sub(s.beaconAt) >= s.cfg.BeaconRefresh {
@@ -445,7 +536,7 @@ func (s *Server) sendBeacon(conn net.PacketConn, addr net.Addr) {
 	}
 	frame := s.beaconFrame
 	s.beaconMu.Unlock()
-	s.writeTo(conn, frame, addr)
+	l.eg.Queue(frame, addr)
 }
 
 // revFrameCache holds encoded frames of one list's current revocation
@@ -462,7 +553,7 @@ type revFrameCache struct {
 // handleRevocationFetch answers a RevocationFetch: a delta from the
 // client's epoch when the router's bounded history still covers it, the
 // full snapshot otherwise.
-func (s *Server) handleRevocationFetch(conn net.PacketConn, f *RevocationFetch, addr net.Addr) {
+func (s *Server) handleRevocationFetch(l *shardLoop, f *RevocationFetch, addr net.Addr) {
 	snap, ok := s.router.RevocationSnapshot(f.List)
 	if !ok {
 		s.stats.unhandled.Add(1)
@@ -518,7 +609,7 @@ func (s *Server) handleRevocationFetch(conn net.PacketConn, f *RevocationFetch, 
 		s.stats.revSnapshotFetches.Add(1)
 	}
 	s.stats.setEpochs(s.router.RevocationEpoch(revocation.ListURL), s.router.RevocationEpoch(revocation.ListCRL))
-	s.writeTo(conn, frame, addr)
+	l.eg.Queue(frame, addr)
 }
 
 // InvalidateBeacon drops the cached beacon frame so the next solicitation
@@ -557,7 +648,7 @@ func (s *Server) issueTicket(sess *core.Session, escrow []byte) ([]byte, error) 
 // requests — the client's recovery from a lost M.3 — are answered by
 // replay, never by a second verification. Successful confirms carry a
 // freshly sealed resumption ticket.
-func (s *Server) handleAccessRequest(conn net.PacketConn, m *core.AccessRequest, addr net.Addr) {
+func (s *Server) handleAccessRequest(l *shardLoop, m *core.AccessRequest, addr net.Addr) {
 	sid := core.NewSessionID(m.GR, m.GJ)
 
 	if s.draining.Load() {
@@ -566,14 +657,14 @@ func (s *Server) handleAccessRequest(conn net.PacketConn, m *core.AccessRequest,
 		// the drain still completes.
 		if frame, ok := s.replies.lookup(sid); !ok || frame == nil {
 			s.stats.drainRejects.Add(1)
-			s.sendRejectCode(conn, addr, sid, RejectDraining, "server draining")
+			s.sendRejectCode(l, addr, sid, RejectDraining, "server draining")
 			return
 		}
 	}
 	if frame, dup := s.replies.begin(sid); dup {
 		s.stats.duplicates.Add(1)
 		if frame != nil {
-			s.writeTo(conn, frame, addr)
+			l.eg.Queue(frame, addr)
 		}
 		return
 	}
@@ -584,9 +675,12 @@ func (s *Server) handleAccessRequest(conn net.PacketConn, m *core.AccessRequest,
 		// admitted once the queue drains.
 		s.stats.queueDrops.Add(1)
 		s.replies.forget(sid)
-		s.sendReject(conn, addr, sid, err)
+		s.sendReject(l, addr, sid, err)
 		return
 	}
+	// The reply goroutine outlives this dispatch, so the read-slot address
+	// must be cloned before the slot is reused by the next batch.
+	addr = batchio.CloneAddr(addr)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -612,13 +706,13 @@ func (s *Server) handleAccessRequest(conn net.PacketConn, m *core.AccessRequest,
 			return
 		}
 		s.replies.fulfill(sid, frame)
-		s.writeTo(conn, frame, addr)
+		l.eg.Queue(frame, addr)
 	}()
 }
 
 // refuseResume rejects one resume exchange and caches the reject so a
 // retransmitted request replays it.
-func (s *Server) refuseResume(conn net.PacketConn, addr net.Addr, sid core.SessionID, code RejectCode, reason string) {
+func (s *Server) refuseResume(l *shardLoop, addr net.Addr, sid core.SessionID, code RejectCode, reason string) {
 	rej := &Reject{Session: sid, Code: code, Reason: reason}
 	frame, err := EncodeMessage(rej)
 	if err != nil {
@@ -628,45 +722,45 @@ func (s *Server) refuseResume(conn net.PacketConn, addr net.Addr, sid core.Sessi
 	s.stats.rejects.Add(1)
 	s.stats.resumeRejects.Add(1)
 	s.replies.fulfill(sid, frame)
-	s.writeTo(conn, frame, addr)
+	l.eg.Queue(frame, addr)
 }
 
 // handleResumeRequest serves the symmetric-only re-attach path inline —
 // no pairing, no group signature, no queue. The checks run cheapest
 // first; any refusal sends a reject whose code tells the client whether
 // to retry (transient) or fall back to the full handshake.
-func (s *Server) handleResumeRequest(conn net.PacketConn, req *ResumeRequest, addr net.Addr) {
+func (s *Server) handleResumeRequest(l *shardLoop, req *ResumeRequest, addr net.Addr) {
 	sid := resumeDedupID(req.Ticket, req.Nonce[:])
 
 	if s.draining.Load() {
 		if frame, ok := s.replies.lookup(sid); !ok || frame == nil {
 			s.stats.drainRejects.Add(1)
-			s.sendRejectCode(conn, addr, sid, RejectDraining, "server draining")
+			s.sendRejectCode(l, addr, sid, RejectDraining, "server draining")
 			return
 		}
 	}
 	if frame, dup := s.replies.begin(sid); dup {
 		s.stats.duplicates.Add(1)
 		if frame != nil {
-			s.writeTo(conn, frame, addr)
+			l.eg.Queue(frame, addr)
 		}
 		return
 	}
 
 	if s.tickets == nil {
-		s.refuseResume(conn, addr, sid, RejectTicket, "resumption not offered")
+		s.refuseResume(l, addr, sid, RejectTicket, "resumption not offered")
 		return
 	}
 	t, err := OpenTicket(req.Ticket, s.tickets)
 	if err != nil {
 		// Rotated-out STEK generation and tampered blobs land here alike;
 		// either way the full handshake is the only path forward.
-		s.refuseResume(conn, addr, sid, RejectTicket, "ticket unusable")
+		s.refuseResume(l, addr, sid, RejectTicket, "ticket unusable")
 		return
 	}
 	now := time.Now()
 	if now.After(t.Expiry) {
-		s.refuseResume(conn, addr, sid, RejectTicket, "ticket expired")
+		s.refuseResume(l, addr, sid, RejectTicket, "ticket expired")
 		return
 	}
 	// Revocation freshness: the ticket pins the epochs its holder was
@@ -676,20 +770,20 @@ func (s *Server) handleResumeRequest(conn net.PacketConn, req *ResumeRequest, ad
 	// own revocation state in Phase 1.5).
 	if t.URLEpoch != s.router.RevocationEpoch(revocation.ListURL) ||
 		t.CRLEpoch != s.router.RevocationEpoch(revocation.ListCRL) {
-		s.refuseResume(conn, addr, sid, RejectTicketStale, "revocation epochs moved since issuance")
+		s.refuseResume(l, addr, sid, RejectTicketStale, "revocation epochs moved since issuance")
 		return
 	}
 	if err := req.verify(t.Secret[:]); err != nil {
-		s.refuseResume(conn, addr, sid, RejectTicket, "resume MAC invalid")
+		s.refuseResume(l, addr, sid, RejectTicket, "resume MAC invalid")
 		return
 	}
 	if d := now.Sub(req.Timestamp); d > s.cfg.TicketFreshness || d < -s.cfg.TicketFreshness {
-		s.refuseResume(conn, addr, sid, RejectTicket, "resume timestamp stale")
+		s.refuseResume(l, addr, sid, RejectTicket, "resume timestamp stale")
 		return
 	}
 	escrow, err := core.UnmarshalAccessRequest(t.Escrow)
 	if err != nil {
-		s.refuseResume(conn, addr, sid, RejectTicket, "ticket escrow corrupt")
+		s.refuseResume(l, addr, sid, RejectTicket, "ticket escrow corrupt")
 		return
 	}
 
@@ -734,18 +828,18 @@ func (s *Server) handleResumeRequest(conn net.PacketConn, req *ResumeRequest, ad
 	s.stats.resumesServed.Add(1)
 	s.stats.ticketsIssued.Add(1)
 	s.replies.fulfill(sid, frame)
-	s.writeTo(conn, frame, addr)
+	l.eg.Queue(frame, addr)
 }
 
 // handleSessionPing answers a keepalive ping. Only a server that still
 // holds the session can decrypt the ping and seal a pong, so the pong is
 // proof of liveness; a rebooted server answers RejectUnknownSession — the
 // unauthenticated hint clients confirm against the signed beacon epoch.
-func (s *Server) handleSessionPing(conn net.PacketConn, f *core.DataFrame, addr net.Addr) {
+func (s *Server) handleSessionPing(l *shardLoop, f *core.DataFrame, addr net.Addr) {
 	sess, ok := s.router.SessionByID(f.Session)
 	if !ok {
 		s.stats.unknownSessionRejects.Add(1)
-		s.sendRejectCode(conn, addr, f.Session, RejectUnknownSession, "no such session")
+		s.sendRejectCode(l, addr, f.Session, RejectUnknownSession, "no such session")
 		return
 	}
 	body, err := sess.OpenData(f)
@@ -772,7 +866,7 @@ func (s *Server) handleSessionPing(conn net.PacketConn, f *core.DataFrame, addr 
 		return
 	}
 	s.stats.keepalivesServed.Add(1)
-	s.writeTo(conn, frame, addr)
+	l.eg.Queue(frame, addr)
 }
 
 // handleSessionData delivers one frame of established-session user
@@ -780,13 +874,19 @@ func (s *Server) handleSessionPing(conn net.PacketConn, f *core.DataFrame, addr 
 // session it does not hold is offered to the backbone forwarder — during
 // the roaming grace window the old router still receives in-flight frames
 // and relays them to the adopting router instead of rejecting them.
-func (s *Server) handleSessionData(conn net.PacketConn, f *core.DataFrame, addr net.Addr) {
+func (s *Server) handleSessionData(l *shardLoop, f *core.DataFrame, addr net.Addr) {
 	if sess, ok := s.router.SessionByID(f.Session); ok {
-		if _, err := sess.OpenData(f); err != nil {
+		pt, err := sess.OpenDataInto(f, l.pt[:0])
+		if err != nil {
 			s.stats.decodeErrors.Add(1)
 			return
 		}
+		l.pt = pt[:0]
 		s.stats.dataDelivered.Add(1)
+		s.stats.dataBytes.Add(int64(len(pt)))
+		if s.cfg.EchoData {
+			s.echoData(l, sess, pt, addr)
+		}
 		return
 	}
 	if hooks := s.backbone.Load(); hooks != nil && hooks.forward != nil {
@@ -795,14 +895,14 @@ func (s *Server) handleSessionData(conn net.PacketConn, f *core.DataFrame, addr 
 		}
 	}
 	s.stats.unknownSessionRejects.Add(1)
-	s.sendRejectCode(conn, addr, f.Session, RejectUnknownSession, "no such session")
+	s.sendRejectCode(l, addr, f.Session, RejectUnknownSession, "no such session")
 }
 
-func (s *Server) sendReject(conn net.PacketConn, addr net.Addr, sid core.SessionID, cause error) {
-	s.sendRejectCode(conn, addr, sid, rejectCodeFor(cause), cause.Error())
+func (s *Server) sendReject(l *shardLoop, addr net.Addr, sid core.SessionID, cause error) {
+	s.sendRejectCode(l, addr, sid, rejectCodeFor(cause), cause.Error())
 }
 
-func (s *Server) sendRejectCode(conn net.PacketConn, addr net.Addr, sid core.SessionID, code RejectCode, reason string) {
+func (s *Server) sendRejectCode(l *shardLoop, addr net.Addr, sid core.SessionID, code RejectCode, reason string) {
 	rej := &Reject{Session: sid, Code: code, Reason: reason}
 	frame, err := EncodeMessage(rej)
 	if err != nil {
@@ -810,17 +910,25 @@ func (s *Server) sendRejectCode(conn net.PacketConn, addr net.Addr, sid core.Ses
 		return
 	}
 	s.stats.rejects.Add(1)
-	s.writeTo(conn, frame, addr)
+	l.eg.Queue(frame, addr)
 }
 
-func (s *Server) writeTo(conn net.PacketConn, frame []byte, addr net.Addr) {
-	n, err := conn.WriteTo(frame, addr)
+// echoData seals the just-delivered payload back to its sender into a
+// pooled egress buffer: header first (the sealed size is deterministic),
+// then AppendSealedData in place — no intermediate frame, no copy, zero
+// allocations in steady state.
+func (s *Server) echoData(l *shardLoop, sess *core.Session, pt []byte, addr net.Addr) {
+	b := l.eg.Buffer()
+	var err error
+	if b.B, err = AppendFrameHeader(b.B, KindSessionData, core.SealedDataLen(len(pt))); err == nil {
+		b.B, err = sess.AppendSealedData(b.B, pt)
+	}
 	if err != nil {
-		s.logf("transport: write to %v: %v", addr, err)
+		b.Release()
+		s.logf("transport: echo seal: %v", err)
 		return
 	}
-	s.stats.framesOut.Add(1)
-	s.stats.bytesOut.Add(int64(n))
+	l.eg.QueueBuf(b, addr)
 }
 
 // String describes the server for logs.

@@ -65,6 +65,17 @@ type Stats struct {
 	framesRelayed atomic.Int64
 	dataDelivered atomic.Int64
 	gossipPeers   atomic.Int64
+
+	// Data-plane batching observability: whether the mmsg fast path is
+	// active, how many recvmmsg/sendmmsg calls moved how many datagrams
+	// (their ratio is the average batch fill), and the plaintext bytes
+	// delivered to the local sink.
+	batchedIO      atomic.Int64
+	readBatches    atomic.Int64
+	readDatagrams  atomic.Int64
+	writeBatches   atomic.Int64
+	writeDatagrams atomic.Int64
+	dataBytes      atomic.Int64
 }
 
 // StatsSnapshot is the plain-struct view of Stats, JSON-ready.
@@ -163,6 +174,19 @@ type StatsSnapshot struct {
 	DataDelivered int64 `json:"data_delivered"`
 	// GossipPeers gauges how many backbone links are currently up.
 	GossipPeers int64 `json:"gossip_peers"`
+	// BatchedIO is 1 when the mmsg fast path upgraded the socket, 0 on the
+	// portable single-datagram fallback.
+	BatchedIO int64 `json:"batched_io"`
+	// ReadBatches / ReadDatagrams count ingest syscalls and the datagrams
+	// they moved; their ratio is the average ingest batch fill.
+	ReadBatches   int64 `json:"read_batches"`
+	ReadDatagrams int64 `json:"read_datagrams"`
+	// WriteBatches / WriteDatagrams count egress flushes and the datagrams
+	// they moved.
+	WriteBatches   int64 `json:"write_batches"`
+	WriteDatagrams int64 `json:"write_datagrams"`
+	// DataBytes counts plaintext payload bytes delivered to the local sink.
+	DataBytes int64 `json:"data_bytes"`
 }
 
 // Snapshot copies the counters.
@@ -215,6 +239,13 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		FramesRelayed: s.framesRelayed.Load(),
 		DataDelivered: s.dataDelivered.Load(),
 		GossipPeers:   s.gossipPeers.Load(),
+
+		BatchedIO:      s.batchedIO.Load(),
+		ReadBatches:    s.readBatches.Load(),
+		ReadDatagrams:  s.readDatagrams.Load(),
+		WriteBatches:   s.writeBatches.Load(),
+		WriteDatagrams: s.writeDatagrams.Load(),
+		DataBytes:      s.dataBytes.Load(),
 	}
 }
 
@@ -296,6 +327,28 @@ func (s *Stats) DataDelivered() int64 { return s.dataDelivered.Load() }
 
 // GossipPeers returns the live-backbone-link gauge.
 func (s *Stats) GossipPeers() int64 { return s.gossipPeers.Load() }
+
+// BatchedIO reports whether the mmsg fast path upgraded the socket.
+func (s *Stats) BatchedIO() bool { return s.batchedIO.Load() != 0 }
+
+// ReadBatches returns how many ingest read syscalls completed.
+func (s *Stats) ReadBatches() int64 { return s.readBatches.Load() }
+
+// ReadDatagrams returns how many datagrams the ingest reads moved.
+func (s *Stats) ReadDatagrams() int64 { return s.readDatagrams.Load() }
+
+// WriteBatches returns how many egress flushes completed.
+func (s *Stats) WriteBatches() int64 { return s.writeBatches.Load() }
+
+// WriteDatagrams returns how many datagrams the egress flushes moved.
+func (s *Stats) WriteDatagrams() int64 { return s.writeDatagrams.Load() }
+
+// DataBytes returns the plaintext bytes delivered to the local sink.
+func (s *Stats) DataBytes() int64 { return s.dataBytes.Load() }
+
+// NoteDataBytes adds delivered plaintext bytes (called by the backbone
+// node for relayed-in frames that open under a local session).
+func (s *Stats) NoteDataBytes(n int) { s.dataBytes.Add(int64(n)) }
 
 // NoteHandoffOut bumps the handoff-release counter (called by the
 // backbone node when it learns another router adopted a local session).
