@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke experiments examples vet fmt cover clean ci fuzz staticcheck meshd-loopback meshd-drill chaos-soak metro-soak
+.PHONY: all build test race bench bench-smoke experiments examples vet fmt cover clean ci fuzz staticcheck metrics-lint meshd-loopback meshd-drill chaos-soak metro-soak
 
 all: build test
 
@@ -13,11 +13,12 @@ all: build test
 ci:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
+	$(MAKE) metrics-lint
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/ ./internal/metrics/
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz
 	$(MAKE) chaos-soak
@@ -44,6 +45,14 @@ fuzz:
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalLinkEnvelope$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalGossipBody$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalRelayBody$$' -fuzztime=10s
+
+# metrics-lint gates the instrument namespace: the registry itself
+# panics on non-snake_case or kind-conflicting names at registration, and
+# the lint tests instantiate every layer's production registry to prove
+# all names are snake_case, unique, and collision-free across the
+# registries meshd merges into one /metrics exposition.
+metrics-lint:
+	$(GO) test ./internal/metrics/ -run='^(TestRegistrationRules|TestInstrumentNamingLint)$$' -count=1
 
 # staticcheck runs when the binary is present and is skipped (loudly) when
 # it is not — the container image does not ship it and ci must not fetch
@@ -90,7 +99,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/ ./internal/metrics/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

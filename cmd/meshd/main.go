@@ -51,8 +51,14 @@ import (
 	"github.com/peace-mesh/peace/internal/backbone"
 	"github.com/peace-mesh/peace/internal/chaos"
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/metrics"
 	"github.com/peace-mesh/peace/internal/transport"
 )
+
+// metricsHub backs the /metrics endpoint on the debug HTTP server: serve
+// mode adds the transport and router registries once they exist, so the
+// handler can be installed before the server boots.
+var metricsHub = metrics.NewHub()
 
 func main() {
 	mode := flag.String("mode", "loopback", "serve, client, loopback or drill")
@@ -77,23 +83,27 @@ func main() {
 	routers := flag.Int("routers", 8, "metro: backbone routers in the ring")
 	moves := flag.Int("moves", 3, "metro: cross-router handoffs per user")
 	soak := flag.Bool("soak", false, "metro: add backbone fault injection, a mid-wave partition and the anti-rollback probe")
-	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof and Prometheus /metrics on this address (e.g. 127.0.0.1:6060); empty disables")
+	ratelimit := flag.Float64("ratelimit", 0, "serve: per-source attach/resume datagrams per second admitted (0 disables)")
+	rateburst := flag.Int("rateburst", 0, "serve: per-source burst above -ratelimit (0 = 2x the rate)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
+		// The default mux carries the pprof handlers via the blank import;
+		// /metrics serves every registry the running mode adds to the hub.
+		http.Handle("/metrics", metricsHub)
 		go func() {
-			// The default mux carries the pprof handlers via the blank import.
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("meshd: pprof listener: %v", err)
+				log.Printf("meshd: debug http listener: %v", err)
 			}
 		}()
-		log.Printf("meshd: pprof on http://%s/debug/pprof/", *pprofAddr)
+		log.Printf("meshd: pprof on http://%s/debug/pprof/, metrics on http://%s/metrics", *pprofAddr, *pprofAddr)
 	}
 
 	var err error
 	switch *mode {
 	case "serve":
-		err = runServe(*listen, *provision, *users, *shards, *statsEvery, *duration)
+		err = runServe(*listen, *provision, *users, *shards, *statsEvery, *duration, *ratelimit, *rateburst)
 	case "client":
 		err = runClient(*addr, *provision, *users, *loss, *seed, core.GroupID(*group), *timeout)
 	case "loopback":
@@ -119,15 +129,15 @@ func main() {
 // datagrams moved per ingest syscall (1.0 means batching buys nothing,
 // IOBatch means every recvmmsg comes back full).
 type statsLine struct {
-	At           string                  `json:"at"`
-	DataPPS      float64                 `json:"data_pps"`
-	DataBytes    int64                   `json:"data_bytes"`
-	BatchFillAvg float64                 `json:"batch_fill_avg"`
-	Transport    transport.StatsSnapshot `json:"transport"`
-	Router       core.RouterStats        `json:"router"`
+	At           string           `json:"at"`
+	DataPPS      float64          `json:"data_pps"`
+	DataBytes    int64            `json:"data_bytes"`
+	BatchFillAvg float64          `json:"batch_fill_avg"`
+	Transport    metrics.Snapshot `json:"transport"`
+	Router       metrics.Snapshot `json:"router"`
 }
 
-func runServe(listen, provisionPath string, users, shards int, statsEvery, duration time.Duration) error {
+func runServe(listen, provisionPath string, users, shards int, statsEvery, duration time.Duration, ratelimit float64, rateburst int) error {
 	ln, err := transport.NewLocalNetwork(core.Config{}, "MR-0", "grp-0", users)
 	if err != nil {
 		return fmt.Errorf("provision: %w", err)
@@ -145,10 +155,22 @@ func runServe(listen, provisionPath string, users, shards int, statsEvery, durat
 	if err != nil {
 		return err
 	}
-	srv := transport.NewShardedServer(conns, ln.Router, transport.ServerConfig{Shards: shards, Logf: log.Printf})
+	srv := transport.NewShardedServer(conns, ln.Router, transport.ServerConfig{
+		Shards:          shards,
+		RateLimitPerSec: ratelimit,
+		RateLimitBurst:  rateburst,
+		Logf:            log.Printf,
+	})
 	defer srv.Close()
 	log.Printf("meshd: serving on %s (boot epoch %d, %d shard loops on %d sockets)",
 		srv.Addr(), srv.BootEpoch(), srv.Shards(), len(conns))
+
+	// One instrument: the JSON reporter below, the /metrics endpoint and
+	// the peacebench experiments all read these two registries. The
+	// OnScrape hook refreshes the stored gauges (reply-cache size) that
+	// mirror live structures.
+	metricsHub.Add(srv.Stats().Registry(), ln.Router.Metrics())
+	metricsHub.OnScrape(func() { srv.Stats() })
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -159,24 +181,25 @@ func runServe(listen, provisionPath string, users, shards int, statsEvery, durat
 	}
 
 	enc := json.NewEncoder(os.Stdout)
-	var lastSnap transport.StatsSnapshot
+	var lastDelivered int64
 	lastAt := time.Now()
 	emit := func() {
 		now := time.Now()
-		snap := srv.Stats().Snapshot()
+		st := srv.Stats()
 		line := statsLine{
 			At:        now.UTC().Format(time.RFC3339),
-			DataBytes: snap.DataBytes,
-			Transport: snap,
-			Router:    ln.Router.Stats(),
+			DataBytes: st.DataBytes(),
+			Transport: st.Snapshot(),
+			Router:    ln.Router.Metrics().Snapshot(),
 		}
+		delivered := st.DataDelivered()
 		if dt := now.Sub(lastAt).Seconds(); dt > 0 {
-			line.DataPPS = float64(snap.DataDelivered-lastSnap.DataDelivered) / dt
+			line.DataPPS = float64(delivered-lastDelivered) / dt
 		}
-		if snap.ReadBatches > 0 {
-			line.BatchFillAvg = float64(snap.ReadDatagrams) / float64(snap.ReadBatches)
+		if rb := st.ReadBatches(); rb > 0 {
+			line.BatchFillAvg = float64(st.ReadDatagrams()) / float64(rb)
 		}
-		lastSnap, lastAt = snap, now
+		lastDelivered, lastAt = delivered, now
 		_ = enc.Encode(line)
 	}
 	tick := time.NewTicker(statsEvery)
@@ -374,8 +397,8 @@ func runChaos(users int, seed int64, drop, corrupt, dup float64, storm, partitio
 // report plus every router's transport counters, handoff and gossip
 // gauges included.
 type metroLine struct {
-	Report  any                       `json:"report"`
-	Routers []transport.StatsSnapshot `json:"routers"`
+	Report  any                `json:"report"`
+	Routers []metrics.Snapshot `json:"routers"`
 }
 
 // runMetro boots an N-router metro backbone in one process and roams M

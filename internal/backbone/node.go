@@ -12,6 +12,7 @@ import (
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/metrics"
 	"github.com/peace-mesh/peace/internal/transport"
 	"github.com/peace-mesh/peace/internal/transport/batchio"
 )
@@ -137,6 +138,15 @@ type Node struct {
 	routes   map[string]routeEntry
 	owners   map[core.SessionID]*ownerEntry
 
+	// Backbone-native instruments, registered in the owning server's
+	// registry so one /metrics scrape of a router also exposes its gossip
+	// plane: gossip rounds sealed out, link handshakes completed (both
+	// roles), and sealed envelopes dropped before dispatch (no link, bad
+	// key, replay).
+	gossipRounds   *metrics.Counter
+	handshakesDone *metrics.Counter
+	envelopeDrops  *metrics.Counter
+
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
@@ -161,6 +171,10 @@ func NewNode(conn net.PacketConn, server *transport.Server, cfg Config) *Node {
 		routes:    make(map[string]routeEntry),
 		owners:    make(map[core.SessionID]*ownerEntry),
 	}
+	reg := server.Stats().Registry()
+	n.gossipRounds = reg.Counter("backbone_gossip_rounds", "gossip rounds sealed to backbone links")
+	n.handshakesDone = reg.Counter("backbone_handshakes", "backbone link handshakes completed")
+	n.envelopeDrops = reg.Counter("backbone_envelope_drops", "sealed backbone envelopes dropped before dispatch")
 	n.bc, _ = batchio.Upgrade(conn)
 	n.eg = batchio.NewEgress(n.bc, backboneIOBatch, backboneFlushDelay, n.framePool, nil)
 	server.SetBackbone(n, n)
@@ -508,7 +522,9 @@ func (n *Node) tick(now time.Time) {
 		n.eg.Queue(d.frame, d.addr)
 	}
 	for _, r := range rounds {
-		n.sendSealed(r.l, transport.KindGossip, r.body)
+		if n.sendSealed(r.l, transport.KindGossip, r.body) {
+			n.gossipRounds.Add(1)
+		}
 	}
 	// One tick, one sendmmsg: hellos and every link's gossip round leave
 	// together.
@@ -633,12 +649,14 @@ func (n *Node) handleEnvelope(kind transport.Kind, env *transport.LinkEnvelope) 
 	l := n.links[env.From]
 	n.mu.Unlock()
 	if l == nil {
+		n.envelopeDrops.Add(1)
 		return
 	}
 	pt, err := l.open(kind, env)
 	if err != nil {
 		// Replays, stale keys after a peer restart, corrupted datagrams —
 		// all drop silently; gossip silence eventually expires a dead key.
+		n.envelopeDrops.Add(1)
 		return
 	}
 	switch kind {
@@ -738,6 +756,7 @@ func (n *Node) handleHello(m *transport.RouterHello, addr net.Addr) {
 	n.links[peer] = l
 	n.welcomes[peer] = &welcomeReplay{nonce: m.Nonce, frame: frame}
 	n.mu.Unlock()
+	n.handshakesDone.Add(1)
 
 	n.eg.Queue(frame, addr)
 }
@@ -769,4 +788,5 @@ func (n *Node) handleWelcome(m *transport.RouterWelcome) {
 	delete(n.pending, peer)
 	n.links[peer] = l
 	n.mu.Unlock()
+	n.handshakesDone.Add(1)
 }

@@ -56,14 +56,14 @@ func TestBatchPathFaultInjection(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 
-	snap := srv.Stats().Snapshot()
-	if snap.ReadBatches == 0 {
+	st := srv.Stats()
+	if st.ReadBatches() == 0 {
 		t.Fatal("server never read through the batch interface")
 	}
-	if snap.BatchedIO != 0 {
+	if st.BatchedIO() {
 		t.Fatal("chaos conn claimed the mmsg fast path; faults would be bypassed")
 	}
-	if snap.DataDelivered == 0 {
+	if st.DataDelivered() == 0 {
 		t.Fatal("no data survived the faulty link")
 	}
 	c := link.Counters()
@@ -72,7 +72,7 @@ func TestBatchPathFaultInjection(t *testing.T) {
 	}
 	// Corrupted datagrams must surface as decode errors, not crashes or
 	// silent acceptance.
-	if snap.DecodeErrors == 0 {
+	if st.DecodeErrors() == 0 {
 		t.Fatal("corrupted datagrams produced no decode errors")
 	}
 }

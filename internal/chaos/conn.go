@@ -4,8 +4,9 @@ import (
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"github.com/peace-mesh/peace/internal/metrics"
 )
 
 // FaultPlan is the per-direction fault schedule of a Conn. Probabilities
@@ -64,22 +65,45 @@ type Conn struct {
 	heldRead    *packet  // reorder: incoming datagram awaiting its successor
 	pendingRead []packet // duplicates and released reorders to deliver next
 
-	dropped        atomic.Int64
-	corrupted      atomic.Int64
-	duplicated     atomic.Int64
-	reordered      atomic.Int64
-	delayed        atomic.Int64
-	partitionDrops atomic.Int64
+	// The injection counters are children of one chaos_injected{fault=...}
+	// registry family, so the soak judges (via Counters) and a /metrics
+	// scrape read the same instrument.
+	dropped        *metrics.Counter
+	corrupted      *metrics.Counter
+	duplicated     *metrics.Counter
+	reordered      *metrics.Counter
+	delayed        *metrics.Counter
+	partitionDrops *metrics.Counter
 }
 
 // Wrap puts a fault-injecting layer around conn. in and out may differ,
-// giving each direction its own schedule.
+// giving each direction its own schedule. The injection counters live in
+// a private registry; use WrapInRegistry to aggregate many links into a
+// shared one.
 func Wrap(conn net.PacketConn, in, out FaultPlan, seed int64) *Conn {
+	return WrapInRegistry(conn, in, out, seed, nil)
+}
+
+// WrapInRegistry is Wrap with the chaos_injected{fault=...} counter
+// family resolved in reg (nil creates a private registry). Registration
+// is idempotent, so every wrapped link of a soak may share one registry
+// and the family counts faults fleet-wide.
+func WrapInRegistry(conn net.PacketConn, in, out FaultPlan, seed int64, reg *metrics.Registry) *Conn {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	vec := reg.CounterVec("chaos_injected", "faults injected by the chaos wrapper", "fault")
 	return &Conn{
-		inner: conn,
-		rng:   rand.New(rand.NewSource(seed)),
-		in:    in,
-		out:   out,
+		inner:          conn,
+		rng:            rand.New(rand.NewSource(seed)),
+		in:             in,
+		out:            out,
+		dropped:        vec.With("drop"),
+		corrupted:      vec.With("corrupt"),
+		duplicated:     vec.With("duplicate"),
+		reordered:      vec.With("reorder"),
+		delayed:        vec.With("delay"),
+		partitionDrops: vec.With("partition"),
 	}
 }
 

@@ -195,7 +195,7 @@ func RunRestartSoak(cfg RestartSoakConfig) (*RestartSoakReport, error) {
 			}
 			logf("restart-soak: STEK retired before restart %d", k)
 		}
-		rep.TicketsIssued += srv.Stats().Snapshot().TicketsIssued
+		rep.TicketsIssued += srv.Stats().TicketsIssued()
 		srv.Close()
 		ln.Router.Reboot()
 		conn, err := rebindPacket(addr)
@@ -210,7 +210,7 @@ func RunRestartSoak(cfg RestartSoakConfig) (*RestartSoakReport, error) {
 			break
 		}
 	}
-	rep.TicketsIssued += srv.Stats().Snapshot().TicketsIssued
+	rep.TicketsIssued += srv.Stats().TicketsIssued()
 	defer srv.Close()
 
 	// Harvest and judge.

@@ -238,8 +238,11 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	if err != nil {
 		rep.violate("drain before restart: %v", err)
 	}
-	rep.DrainRejects = srv.Stats().Snapshot().DrainRejects
-	firstIncarnation := srv.Stats().Snapshot()
+	rep.DrainRejects = srv.Stats().DrainRejects()
+	// The first incarnation's counters die with its registry; bank the
+	// judged ones before Close.
+	firstDecodeErrors := srv.Stats().DecodeErrors()
+	firstDuplicates := srv.Stats().Duplicates()
 	srv.Close()
 	ln.Router.Reboot()
 	serverConn2, err := rebindPacket(addr)
@@ -315,9 +318,8 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		rep.Injected.Delayed += c.Delayed
 		rep.Injected.PartitionDrops += c.PartitionDrops
 	}
-	second := srv2.Stats().Snapshot()
-	rep.ServerDecodeErrors = firstIncarnation.DecodeErrors + second.DecodeErrors
-	rep.DuplicatesSuppressed = firstIncarnation.Duplicates + second.Duplicates
+	rep.ServerDecodeErrors = firstDecodeErrors + srv2.Stats().DecodeErrors()
+	rep.DuplicatesSuppressed = firstDuplicates + srv2.Stats().Duplicates()
 	stats := ln.Router.Stats()
 	rep.SessionsEstablished = stats.SessionsEstablished
 	rep.ExpensiveVerifications = stats.ExpensiveVerifications

@@ -52,9 +52,18 @@ func NewIngestQueue(router *MeshRouter, capacity, maxBatch int) *IngestQueue {
 		maxBatch: maxBatch,
 		done:     make(chan struct{}),
 	}
+	// The depth gauge lives in the router's registry and re-binds to the
+	// newest queue (a restarted transport builds a fresh one).
+	router.Metrics().GaugeFunc("router_ingest_queue_depth",
+		"access requests waiting for batch verification", func() int64 {
+			return int64(q.Depth())
+		})
 	go q.drain()
 	return q
 }
+
+// Depth returns how many submitted requests are waiting to be drained.
+func (q *IngestQueue) Depth() int { return len(q.jobs) }
 
 // Submit enqueues an access request. It never blocks: a full queue returns
 // ErrQueueFull and a closed queue ErrQueueClosed. On success the result

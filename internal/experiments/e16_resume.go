@@ -12,6 +12,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/chaos"
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/metrics"
 	"github.com/peace-mesh/peace/internal/transport"
 )
 
@@ -155,6 +156,10 @@ func e16ShardThroughput(shards, iters int) (*E16ShardRow, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
+	// The whole fleet registers into one client registry; the row's resume
+	// count is the registry's resume_successes counter, not a sidecar
+	// accumulator.
+	reg := metrics.NewRegistry()
 	clients := make([]*transport.Client, fleet)
 	for i := 0; i < fleet; i++ {
 		conn, err := net.ListenPacket("udp", "127.0.0.1:0")
@@ -162,14 +167,13 @@ func e16ShardThroughput(shards, iters int) (*E16ShardRow, error) {
 			return nil, err
 		}
 		defer conn.Close()
-		clients[i] = transport.NewClient(conn, srv.Addr(), ln.Users[i], transport.ClientConfig{Seed: int64(i) + 1})
+		clients[i] = transport.NewClient(conn, srv.Addr(), ln.Users[i], transport.ClientConfig{Seed: int64(i) + 1, Metrics: reg})
 		if _, err := clients[i].Attach(ctx); err != nil {
 			return nil, fmt.Errorf("e16 shard=%d attach %d: %w", shards, i, err)
 		}
 	}
 
 	window := time.Duration(iters) * 500 * time.Millisecond
-	var total atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
 	deadline := start.Add(window)
@@ -183,7 +187,6 @@ func e16ShardThroughput(shards, iters int) (*E16ShardRow, error) {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				total.Add(1)
 			}
 		}(clients[i])
 	}
@@ -192,7 +195,7 @@ func e16ShardThroughput(shards, iters int) (*E16ShardRow, error) {
 	if err, _ := firstErr.Load().(error); err != nil {
 		return nil, fmt.Errorf("e16 shard=%d resume: %w", shards, err)
 	}
-	row := &E16ShardRow{Shards: srv.Shards(), Resumes: int(total.Load()), Elapsed: elapsed}
+	row := &E16ShardRow{Shards: srv.Shards(), Resumes: int(reg.Snapshot().Value("resume_successes")), Elapsed: elapsed}
 	if elapsed > 0 {
 		row.ResumesPerSec = float64(row.Resumes) / elapsed.Seconds()
 	}

@@ -33,6 +33,15 @@ type E17HandoffReport struct {
 	Attaches int
 	Resumes  int
 	Handoffs int
+
+	// HistAttachP50 / HistResumeP50 / HistHandoffP50 are the same three
+	// latencies as estimated from the client's registry histograms
+	// (attach_latency, resume_latency, handoff_latency) — the boundary
+	// instrumentation cross-checked against the wall-clock medians above,
+	// to log2-bucket precision.
+	HistAttachP50  time.Duration
+	HistResumeP50  time.Duration
+	HistHandoffP50 time.Duration
 }
 
 // RunE17Handoff measures attach/resume/handoff latencies over real UDP
@@ -101,6 +110,15 @@ func RunE17Handoff(iters int) (*E17HandoffReport, error) {
 	if handoffs < int64(nResume) {
 		return nil, fmt.Errorf("e17: only %d/%d iterations registered as handoffs", handoffs, nResume)
 	}
+	// The client must have classified every cross-router resume as a
+	// handoff (the resume confirmation names a different router).
+	st := cl.Stats()
+	if got := st.HandoffLatency().Count(); got < int64(nResume) {
+		return nil, fmt.Errorf("e17: client histogram saw %d/%d handoffs", got, nResume)
+	}
+	rep.HistAttachP50 = st.AttachLatency().Quantile(0.5)
+	rep.HistResumeP50 = st.ResumeLatency().Quantile(0.5)
+	rep.HistHandoffP50 = st.HandoffLatency().Quantile(0.5)
 
 	rep.Attaches = nAttach
 	rep.Resumes = nResume

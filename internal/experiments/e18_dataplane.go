@@ -202,7 +202,7 @@ func e18EchoThroughput(shards, batch, payloadBytes, iters int) (*E18Row, bool, e
 		return nil, false, fmt.Errorf("e18 shards=%d batch=%d: %w", shards, batch, err)
 	}
 
-	snap := srv.Stats().Snapshot()
+	st := srv.Stats()
 	row := &E18Row{
 		Shards:  srv.Shards(),
 		IOBatch: batch,
@@ -214,8 +214,8 @@ func e18EchoThroughput(shards, batch, payloadBytes, iters int) (*E18Row, bool, e
 		row.PPS = float64(row.Packets) / elapsed.Seconds()
 		row.MBPS = float64(row.Bytes) / (1 << 20) / elapsed.Seconds()
 	}
-	if snap.ReadBatches > 0 {
-		row.BatchFillAvg = float64(snap.ReadDatagrams) / float64(snap.ReadBatches)
+	if rb := st.ReadBatches(); rb > 0 {
+		row.BatchFillAvg = float64(st.ReadDatagrams()) / float64(rb)
 	}
-	return row, snap.BatchedIO > 0, nil
+	return row, st.BatchedIO(), nil
 }

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MarshalJSON renders the snapshot as one flat JSON object in
+// registration order, so a generic walk over the registry reproduces the
+// stable column names older tooling greps for. Histograms render as a
+// nested object with count/sum/quantile fields.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, sm := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:", sm.Name)
+		switch sm.Kind {
+		case KindUintGauge:
+			b.WriteString(strconv.FormatUint(sm.Uint, 10))
+		case KindHistogram:
+			h := sm.Hist
+			fmt.Fprintf(&b, `{"count":%d,"sum_ns":%d,"p50_ns":%d,"p99_ns":%d}`,
+				h.Count, h.Sum, int64(h.Quantile(0.50)), int64(h.Quantile(0.99)))
+		default:
+			b.WriteString(strconv.FormatInt(sm.Int, 10))
+		}
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// promEscape escapes a help string for a # HELP line.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promKind maps an instrument kind to the Prometheus TYPE keyword.
+func promKind(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// WriteTo renders every instrument in Prometheus text exposition format
+// (version 0.0.4). Vec children are grouped under their family name with
+// the label attached; histogram buckets are emitted cumulatively with
+// `le` in seconds and a closing +Inf bucket as the format requires.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	seenFamily := make(map[string]bool)
+	for _, sm := range s {
+		family := sm.Name
+		if sm.Family != "" {
+			family = sm.Family
+		}
+		if !seenFamily[family] {
+			seenFamily[family] = true
+			if sm.Help != "" {
+				if _, err := fmt.Fprintf(cw, "# HELP %s %s\n", family, promEscape(sm.Help)); err != nil {
+					return cw.n, err
+				}
+			}
+			if _, err := fmt.Fprintf(cw, "# TYPE %s %s\n", family, promKind(sm.Kind)); err != nil {
+				return cw.n, err
+			}
+		}
+		var err error
+		switch sm.Kind {
+		case KindHistogram:
+			err = writePromHistogram(cw, family, sm.Hist)
+		case KindUintGauge:
+			_, err = fmt.Fprintf(cw, "%s %d\n", family, sm.Uint)
+		default:
+			if sm.Label != "" {
+				_, err = fmt.Fprintf(cw, "%s{%s=%q} %d\n", family, sm.Label, sm.LabelValue, sm.Int)
+			} else {
+				_, err = fmt.Fprintf(cw, "%s %d\n", family, sm.Int)
+			}
+		}
+		if err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// writePromHistogram emits one histogram family body: cumulative
+// _bucket{le="..."} lines for non-empty buckets (upper bounds converted
+// from nanoseconds to seconds), the required +Inf bucket, _sum in
+// seconds, and _count.
+func writePromHistogram(w io.Writer, name string, h *HistogramSnapshot) error {
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		if h.Buckets[i] == 0 {
+			continue
+		}
+		cum += h.Buckets[i]
+		_, hi := bucketBounds(i)
+		le := strconv.FormatFloat(float64(hi)/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	sum := strconv.FormatFloat(float64(h.Sum)/1e9, 'g', -1, 64)
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteTo renders the registry's current state in Prometheus text format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	return r.Snapshot().WriteTo(w)
+}
+
+// Handler serves the registry in Prometheus text format over HTTP.
+func (r *Registry) Handler() http.Handler {
+	h := NewHub()
+	h.Add(r)
+	return h
+}
+
+// Hub aggregates several registries behind one /metrics handler —
+// meshd's transport registry plus the core router's registry, for
+// example. Registries are emitted in Add order; duplicate family names
+// across registries are skipped after the first occurrence so the
+// exposition stays valid.
+type Hub struct {
+	mu      sync.Mutex
+	regs    []*Registry
+	refresh []func()
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{} }
+
+// Add appends registries to the hub.
+func (h *Hub) Add(regs ...*Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.regs = append(h.regs, regs...)
+}
+
+// OnScrape registers a callback run before each exposition — the hook
+// for refreshing stored gauges that mirror live structures.
+func (h *Hub) OnScrape(fn func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.refresh = append(h.refresh, fn)
+}
+
+// Snapshot merges all registries' snapshots, dropping instruments whose
+// name was already taken by an earlier registry.
+func (h *Hub) Snapshot() Snapshot {
+	h.mu.Lock()
+	regs := make([]*Registry, len(h.regs))
+	copy(regs, h.regs)
+	refresh := make([]func(), len(h.refresh))
+	copy(refresh, h.refresh)
+	h.mu.Unlock()
+
+	for _, fn := range refresh {
+		fn()
+	}
+	var out Snapshot
+	seen := make(map[string]bool)
+	for _, r := range regs {
+		for _, sm := range r.Snapshot() {
+			if seen[sm.Name] {
+				continue
+			}
+			seen[sm.Name] = true
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// ServeHTTP implements http.Handler with the text exposition format.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	snap := h.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = snap.WriteTo(w)
+}
+
+// Names returns the sorted instrument names across the hub's registries
+// (diagnostics and lint).
+func (h *Hub) Names() []string {
+	snap := h.Snapshot()
+	names := make([]string, 0, len(snap))
+	for _, sm := range snap {
+		names = append(names, sm.Name)
+	}
+	sort.Strings(names)
+	return names
+}

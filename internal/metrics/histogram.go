@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations
+// whose nanosecond value has a bit length of i, i.e. bucket 0 is exactly
+// 0ns and bucket i (i ≥ 1) spans [2^(i-1), 2^i) ns. 64 buckets cover
+// every non-negative int64 duration, so observation never branches on
+// range and the per-bucket relative error is bounded by 2×.
+const histBuckets = 64
+
+// Histogram is a log₂-bucketed latency distribution. Observe is one
+// atomic add per field (count, sum, bucket) with no locks and no
+// allocation, so it is safe on the batched data plane.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// histBucket maps a non-negative nanosecond value to its bucket index.
+func histBucket(ns int64) int {
+	return bits.Len64(uint64(ns))
+}
+
+// Observe records one latency sample. Negative durations (clock steps)
+// are clamped to zero rather than corrupting a bucket index.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[histBucket(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Buckets are
+// per-bucket (non-cumulative) counts indexed by bit length.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64 // nanoseconds
+	Buckets [histBuckets]int64
+}
+
+// snapshot copies the histogram state. Loads are not mutually atomic;
+// under concurrent observation the copy may be off by in-flight samples,
+// which is fine for an instrument read.
+func (h *Histogram) snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() *HistogramSnapshot { return h.snapshot() }
+
+// bucketBounds returns the [lo, hi] nanosecond range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	hi = lo<<1 - 1
+	if hi < lo { // i == 63: 2^63-1 overflows the shift
+		hi = 1<<63 - 1
+	}
+	return lo, hi
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by walking the
+// cumulative bucket counts and interpolating linearly inside the target
+// bucket. Returns 0 when the histogram is empty.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s == nil || s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target sample.
+	rank := int64(q*float64(s.Count-1)) + 1
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			lo, hi := bucketBounds(i)
+			if hi == lo {
+				return time.Duration(lo)
+			}
+			frac := float64(rank-seen) / float64(n)
+			return time.Duration(lo + int64(frac*float64(hi-lo)))
+		}
+		seen += n
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return time.Duration(hi)
+}
+
+// Mean returns the average observed latency, 0 when empty.
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s == nil || s.Count <= 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Quantile is a convenience that snapshots and estimates in one call.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.snapshot().Quantile(q)
+}

@@ -1,0 +1,293 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this is the registry's
+// data-race gate, and the final counts must be exact.
+func TestConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	ctr := reg.Counter("conc_counter", "race gate counter")
+	g := reg.Gauge("conc_gauge", "race gate gauge")
+	h := reg.Histogram("conc_hist", "race gate histogram")
+	vec := reg.CounterVec("conc_vec", "race gate family", "kind")
+	child := vec.With("a")
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctr.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(seed+int64(i)) * time.Microsecond)
+				child.Add(1)
+				// Concurrent snapshots must also be race-free.
+				if i%4096 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	const want = workers * perWorker
+	if got := ctr.Load(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Load(); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := child.Load(); got != want {
+		t.Errorf("vec child = %d, want %d", got, want)
+	}
+}
+
+// TestHistogramQuantilesVsSorted checks the log₂-bucket quantile
+// estimate against the exact sorted-sample reference: with power-of-two
+// bucket bounds the estimate must sit within a factor of two of truth.
+func TestHistogramQuantilesVsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := &Histogram{}
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform spread from ~1µs to ~1s, the range the latency
+		// boundaries actually observe.
+		ns := int64(1000 * (1 << uint(rng.Intn(20))))
+		ns += rng.Int63n(ns)
+		samples = append(samples, ns)
+		h.Observe(time.Duration(ns))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	snap := h.Snapshot()
+	if snap.Count != int64(len(samples)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(samples))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		idx := int(q * float64(len(samples)-1))
+		exact := samples[idx]
+		got := int64(snap.Quantile(q))
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("q=%.2f: estimate %d outside [%d, %d] around exact %d",
+				q, got, exact/2, exact*2, exact)
+		}
+	}
+	var sum int64
+	for _, s := range samples {
+		sum += s
+	}
+	if snap.Sum != sum {
+		t.Errorf("sum = %d, want %d", snap.Sum, sum)
+	}
+}
+
+// TestHistogramEdges pins degenerate inputs: empty histograms, zero and
+// negative durations, and the max-bucket clamp.
+func TestHistogramEdges(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clock step: clamped to 0
+	if got := h.Quantile(1); got != 0 {
+		t.Errorf("all-zero quantile = %v, want 0", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+	lo, hi := bucketBounds(histBuckets - 1)
+	if lo <= 0 || hi != 1<<63-1 {
+		t.Errorf("top bucket bounds = [%d, %d]", lo, hi)
+	}
+}
+
+// TestPrometheusExpositionGolden locks the text format byte-for-byte for
+// a registry with one of every instrument kind.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("frames_in", "valid frames received").Add(42)
+	reg.Gauge("gossip_peers", "live backbone links").Store(3)
+	reg.UintGauge("boot_epoch", "signed boot epoch").Store(9)
+	reg.GaugeFunc("queue_depth", "ingest jobs waiting", func() int64 { return 5 })
+	vec := reg.CounterVec("chaos_injected", "injected faults by kind", "fault")
+	vec.With("drop").Add(7)
+	vec.With("corrupt").Add(2)
+	h := reg.Histogram("attach_latency", "full attach round trip")
+	h.Observe(3 * time.Microsecond) // bucket [2048, 4095] ns
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond) // bucket [65536, 131071] ns
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP frames_in valid frames received
+# TYPE frames_in counter
+frames_in 42
+# HELP gossip_peers live backbone links
+# TYPE gossip_peers gauge
+gossip_peers 3
+# HELP boot_epoch signed boot epoch
+# TYPE boot_epoch gauge
+boot_epoch 9
+# HELP queue_depth ingest jobs waiting
+# TYPE queue_depth gauge
+queue_depth 5
+# HELP chaos_injected injected faults by kind
+# TYPE chaos_injected counter
+chaos_injected{fault="drop"} 7
+chaos_injected{fault="corrupt"} 2
+# HELP attach_latency full attach round trip
+# TYPE attach_latency histogram
+attach_latency_bucket{le="4.095e-06"} 2
+attach_latency_bucket{le="0.000131071"} 3
+attach_latency_bucket{le="+Inf"} 3
+attach_latency_sum 0.000106
+attach_latency_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotJSONStable locks the generic JSON walk: flat object,
+// registration order, histograms nested.
+func TestSnapshotJSONStable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("frames_in", "").Add(2)
+	reg.UintGauge("boot_epoch", "").Store(18446744073709551615)
+	reg.Histogram("data_rtt", "").Observe(time.Microsecond)
+
+	got, err := reg.Snapshot().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"frames_in":2,"boot_epoch":18446744073709551615,` +
+		`"data_rtt":{"count":1,"sum_ns":1000,"p50_ns":1023,"p99_ns":1023}}`
+	if string(got) != want {
+		t.Errorf("json = %s\nwant  %s", got, want)
+	}
+}
+
+// TestAllocsPerIncrement gates the hot-path operations at zero
+// allocations; the data plane bumps these per datagram.
+func TestAllocsPerIncrement(t *testing.T) {
+	reg := NewRegistry()
+	ctr := reg.Counter("alloc_counter", "")
+	g := reg.Gauge("alloc_gauge", "")
+	h := reg.Histogram("alloc_hist", "")
+	if avg := testing.AllocsPerRun(1000, func() {
+		ctr.Inc()
+		ctr.Add(3)
+		g.Store(7)
+		g.Add(-1)
+		h.Observe(12345 * time.Nanosecond)
+	}); avg != 0 {
+		t.Errorf("hot-path increments allocate %.2f/op, want 0", avg)
+	}
+}
+
+// TestRegistrationRules covers the lint invariants the registry enforces
+// at registration time: snake_case names, uniqueness across kinds, and
+// idempotent re-registration returning the same handle.
+func TestRegistrationRules(t *testing.T) {
+	for name, ok := range map[string]bool{
+		"frames_in":   true,
+		"a":           true,
+		"a9_b":        true,
+		"":            false,
+		"FramesIn":    false,
+		"9frames":     false,
+		"_frames":     false,
+		"frames-in":   false,
+		"frames in":   false,
+		"frames_in\n": false,
+	} {
+		if got := ValidName(name); got != ok {
+			t.Errorf("ValidName(%q) = %v, want %v", name, got, ok)
+		}
+	}
+
+	reg := NewRegistry()
+	a := reg.Counter("dup", "")
+	if b := reg.Counter("dup", ""); a != b {
+		t.Error("re-registering a counter returned a different handle")
+	}
+	mustPanic(t, "kind collision", func() { reg.Gauge("dup", "") })
+	mustPanic(t, "bad name", func() { reg.Counter("Bad-Name", "") })
+	vec := reg.CounterVec("faults", "", "fault")
+	if vec2 := reg.CounterVec("faults", "", "fault"); vec != vec2 {
+		t.Error("re-registering a vec returned a different handle")
+	}
+	mustPanic(t, "vec label collision", func() { reg.CounterVec("faults", "", "other") })
+	c1 := vec.With("drop")
+	if c2 := vec.With("drop"); c1 != c2 {
+		t.Error("vec.With returned a different handle for the same value")
+	}
+	// The flattened child name is reserved against scalar registration
+	// with a different identity.
+	mustPanic(t, "child name collision", func() { reg.Gauge("faults_drop", "") })
+	mustPanic(t, "scalar over family", func() { reg.Counter("faults", "") })
+}
+
+// TestGaugeFuncRebind checks the restart pattern: re-registering a gauge
+// func swaps the callback to the live instance.
+func TestGaugeFuncRebind(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("depth", "", func() int64 { return 1 })
+	reg.GaugeFunc("depth", "", func() int64 { return 2 })
+	if got := reg.Snapshot().Value("depth"); got != 2 {
+		t.Errorf("rebound gauge func = %d, want 2", got)
+	}
+}
+
+// TestHubMerge checks multi-registry aggregation and first-writer-wins
+// dedup of colliding names.
+func TestHubMerge(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("shared", "").Add(1)
+	r1.Counter("only_one", "").Add(10)
+	r2 := NewRegistry()
+	r2.Counter("shared", "").Add(100)
+	r2.Counter("only_two", "").Add(20)
+
+	hub := NewHub()
+	hub.Add(r1, r2)
+	refreshed := false
+	hub.OnScrape(func() { refreshed = true })
+	snap := hub.Snapshot()
+	if !refreshed {
+		t.Error("OnScrape callback did not run")
+	}
+	if got := snap.Value("shared"); got != 1 {
+		t.Errorf("shared = %d, want 1 (first registry wins)", got)
+	}
+	if snap.Value("only_one") != 10 || snap.Value("only_two") != 20 {
+		t.Errorf("hub merge lost instruments: %v", hub.Names())
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

@@ -118,10 +118,19 @@ func TestDataPlaneAllocs(t *testing.T) {
 	defer eg.Close()
 	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}
 
+	// The metric increments a live shard loop pays per datagram ride inside
+	// the gated op, so the registry refactor cannot quietly reintroduce
+	// allocations on the hot path.
+	stats := NewStats(nil)
+
 	var scratch core.DataFrame
 	pt := make([]byte, 0, 65536)
 	idx := 0
+	opStart := time.Now()
 	if avg := testing.AllocsPerRun(1000, func() {
+		stats.framesIn.Add(1)
+		stats.dataDelivered.Add(1)
+		stats.dataRTT.Observe(time.Since(opStart))
 		_, framePayload, err := DecodeFrame(datagrams[idx])
 		if err != nil {
 			t.Fatal(err)

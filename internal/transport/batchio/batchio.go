@@ -136,6 +136,6 @@ func (c *singleConn) WriteBatch(ms []Message) (int, error) {
 	return len(ms), nil
 }
 
-func (c *singleConn) LocalAddr() net.Addr                { return c.pc.LocalAddr() }
-func (c *singleConn) SetReadDeadline(t time.Time) error  { return c.pc.SetReadDeadline(t) }
-func (c *singleConn) Close() error                       { return c.pc.Close() }
+func (c *singleConn) LocalAddr() net.Addr               { return c.pc.LocalAddr() }
+func (c *singleConn) SetReadDeadline(t time.Time) error { return c.pc.SetReadDeadline(t) }
+func (c *singleConn) Close() error                      { return c.pc.Close() }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/metrics"
 	"github.com/peace-mesh/peace/internal/revocation"
 )
 
@@ -58,6 +59,10 @@ type ClientConfig struct {
 	// (queue-full or draining): those rejections mean "come back soon",
 	// not "give up". Default 3; negative disables re-arming.
 	QueueFullResets int
+	// Metrics is the registry the client's instruments resolve in. Nil
+	// creates a private registry. A fleet of clients may share one
+	// registry; registration is idempotent and their counts aggregate.
+	Metrics *metrics.Registry
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -125,6 +130,10 @@ type Client struct {
 	// ticket is the held resumption state (sealed blob + locally derived
 	// secret), nil until an attach or resume minted one.
 	ticket *resumeTicket
+	// lastRouterID is the authenticated ID of the router that established
+	// the current session; a resume answered by a different ID is a
+	// roaming handoff for the latency accounting.
+	lastRouterID string
 
 	// sendMu guards sendBuf, the reused data-frame encode scratch of
 	// SendDataVia — header plus sealed frame built in place, so the
@@ -142,7 +151,7 @@ func NewClient(conn net.PacketConn, raddr net.Addr, user *core.User, cfg ClientC
 		conn:  conn,
 		raddr: raddr,
 		user:  user,
-		stats: &Stats{},
+		stats: NewStats(cfg.Metrics),
 		buf:   make([]byte, 65536),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -186,6 +195,20 @@ func (c *Client) BootEpoch() uint64 {
 	return c.bootEpoch
 }
 
+// setLastRouterID records which router authenticated the session, and
+// lastRouter reads it back; both sides of the handoff-latency judgment.
+func (c *Client) setLastRouterID(id string) {
+	c.mu.Lock()
+	c.lastRouterID = id
+	c.mu.Unlock()
+}
+
+func (c *Client) lastRouter() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastRouterID
+}
+
 // setSession records (or clears, with nil) the established session.
 func (c *Client) setSession(s *core.Session, bootEpoch uint64) {
 	c.mu.Lock()
@@ -200,6 +223,7 @@ func (c *Client) setSession(s *core.Session, bootEpoch uint64) {
 // ErrHandshakeTimeout when the router stays silent.
 func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 	c.stats.attachAttempts.Add(1)
+	attachStart := time.Now()
 
 	// Phase 1: solicit the beacon (M.1).
 	beacon, err := c.solicitBeacon(ctx)
@@ -274,9 +298,11 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 		return nil, err
 	}
 	c.stats.attachSuccesses.Add(1)
+	c.stats.attachLatency.Observe(time.Since(attachStart))
 	// beacon.BootEpoch is authenticated: HandleBeacon verified the router
 	// signature over it before M.2 was sent.
 	c.setSession(sess, beacon.BootEpoch)
+	c.setLastRouterID(beacon.RouterID)
 	// Keep the confirm's ticket (with the locally derived resumption
 	// secret) for the next re-attach. The blob itself is opaque and
 	// unauthenticated in transit, but useless to a forger: resuming

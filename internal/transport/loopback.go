@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/metrics"
 	"github.com/peace-mesh/peace/internal/revocation"
 )
 
@@ -60,10 +61,14 @@ type LoopbackReport struct {
 	// ClientRetransmits / ClientTimeouts aggregate over all clients.
 	ClientRetransmits int64 `json:"client_retransmits"`
 	ClientTimeouts    int64 `json:"client_timeouts"`
+	// Clients is the fleet-wide client instrument snapshot: every client
+	// registers into one shared registry, so these counters (and the
+	// attach_latency histogram) aggregate across the whole fleet.
+	Clients metrics.Snapshot `json:"clients"`
 	// DatagramsDropped counts datagrams the lossy wrappers discarded.
 	DatagramsDropped int64 `json:"datagrams_dropped"`
 	// Server holds the router-side transport counters.
-	Server StatsSnapshot `json:"server"`
+	Server metrics.Snapshot `json:"server"`
 	// Router holds the protocol-level router counters.
 	Router core.RouterStats `json:"router"`
 	// Errors lists per-user attach failures (empty on full success).
@@ -110,12 +115,18 @@ func RunLoopbackWith(n *LocalNetwork, cfg LoopbackConfig) (*LoopbackReport, erro
 		err     error
 	}
 	outcomes := make([]outcome, cfg.Users)
-	clients := make([]*Client, cfg.Users)
 	var dropped int64
 	var droppedMu sync.Mutex
 
 	start := time.Now()
 	var wg sync.WaitGroup
+	// One registry for the whole fleet: registration is idempotent, so N
+	// clients share the same counter handles and the report's client
+	// numbers are a single snapshot instead of a hand-rolled sum.
+	ccfg := cfg.Client
+	if ccfg.Metrics == nil {
+		ccfg.Metrics = metrics.NewRegistry()
+	}
 	for i := 0; i < cfg.Users; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -136,8 +147,7 @@ func RunLoopbackWith(n *LocalNetwork, cfg LoopbackConfig) (*LoopbackReport, erro
 					droppedMu.Unlock()
 				}()
 			}
-			cl := NewClient(cconn, raddr, n.Users[i], cfg.Client)
-			clients[i] = cl
+			cl := NewClient(cconn, raddr, n.Users[i], ccfg)
 			ctx, cancel := context.WithTimeout(context.Background(), cfg.AttachTimeout)
 			defer cancel()
 			t0 := time.Now()
@@ -169,13 +179,9 @@ func RunLoopbackWith(n *LocalNetwork, cfg LoopbackConfig) (*LoopbackReport, erro
 		rep.Established++
 		latencies = append(latencies, o.latency)
 	}
-	for _, cl := range clients {
-		if cl == nil {
-			continue
-		}
-		rep.ClientRetransmits += cl.Stats().Retransmits()
-		rep.ClientTimeouts += cl.Stats().Timeouts()
-	}
+	rep.Clients = ccfg.Metrics.Snapshot()
+	rep.ClientRetransmits = rep.Clients.Value("retransmits")
+	rep.ClientTimeouts = rep.Clients.Value("timeouts")
 	if elapsed > 0 {
 		rep.HandshakesPerSec = float64(rep.Established) / elapsed.Seconds()
 	}
@@ -249,7 +255,7 @@ type DrillReport struct {
 	// URLSize is the final number of revoked tokens on the list.
 	URLSize int `json:"url_size"`
 	// Server holds the router-side transport counters.
-	Server StatsSnapshot `json:"server"`
+	Server metrics.Snapshot `json:"server"`
 	// Errors lists attach failures (empty on full success).
 	Errors []string `json:"errors,omitempty"`
 }

@@ -17,7 +17,7 @@ type PeerResponder struct {
 	conn  net.PacketConn
 	user  *core.User
 	group core.GroupID
-	stats Stats
+	stats *Stats
 
 	mu        sync.Mutex
 	responses map[string][]byte // marshaled g^{r_j} → cached M̃.2 frame
@@ -32,6 +32,7 @@ func NewPeerResponder(conn net.PacketConn, user *core.User, group core.GroupID) 
 		conn:      conn,
 		user:      user,
 		group:     group,
+		stats:     NewStats(nil),
 		responses: make(map[string][]byte),
 		loopDone:  make(chan struct{}),
 	}
@@ -43,7 +44,7 @@ func NewPeerResponder(conn net.PacketConn, user *core.User, group core.GroupID) 
 func (p *PeerResponder) Addr() net.Addr { return p.conn.LocalAddr() }
 
 // Stats returns the responder's transport counters.
-func (p *PeerResponder) Stats() *Stats { return &p.stats }
+func (p *PeerResponder) Stats() *Stats { return p.stats }
 
 // Confirmed returns the sessions whose M̃.3 confirmation arrived and
 // decrypted correctly.

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-source token bucket applied to the attach/resume
+// ingress before any decode or crypto work: the two handshake kinds are
+// the only ones that can cost a pairing, so they are the ones a flooding
+// source must not be able to buy with bare datagrams (ROADMAP 3(a)).
+//
+// Buckets are keyed by source IP (not port, so one host cannot widen its
+// budget by rotating ephemeral ports) and refill continuously at rate
+// tokens/sec up to burst. The clock is injectable for deterministic
+// tests.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	// maxSources bounds the bucket table so the limiter itself cannot be
+	// used to exhaust memory with spoofed sources; on overflow the table
+	// resets, which momentarily re-admits old sources (a deliberate
+	// fail-open: the limiter sheds load, it is not an auth boundary).
+	maxSources int
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// defaultMaxSources bounds the per-source table at roughly 4 MB.
+const defaultMaxSources = 1 << 16
+
+// newRateLimiter builds a limiter allowing rate requests/sec with the
+// given burst per source. A nil now uses the wall clock; burst < 1 is
+// raised to 1 so a conforming source is never starved outright.
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:       rate,
+		burst:      float64(burst),
+		now:        now,
+		buckets:    make(map[string]*tokenBucket),
+		maxSources: defaultMaxSources,
+	}
+}
+
+// sourceKey extracts the bucket key from a peer address: the IP alone
+// for UDP peers, the full string for exotic PacketConn impls (tests,
+// chaos wrappers) whose addresses may not parse as host:port.
+func sourceKey(addr net.Addr) string {
+	if ua, ok := addr.(*net.UDPAddr); ok {
+		return string(ua.IP)
+	}
+	if host, _, err := net.SplitHostPort(addr.String()); err == nil {
+		return host
+	}
+	return addr.String()
+}
+
+// allow spends one token from addr's bucket, reporting false when the
+// source is over budget and the datagram should be dropped.
+func (rl *rateLimiter) allow(addr net.Addr) bool {
+	key := sourceKey(addr)
+	t := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[key]
+	if b == nil {
+		if len(rl.buckets) >= rl.maxSources {
+			rl.buckets = make(map[string]*tokenBucket)
+		}
+		b = &tokenBucket{tokens: rl.burst, last: t}
+		rl.buckets[key] = b
+	} else {
+		dt := t.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens += dt * rl.rate
+			if b.tokens > rl.burst {
+				b.tokens = rl.burst
+			}
+			b.last = t
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

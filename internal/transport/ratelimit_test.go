@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+)
+
+// fakeClock is a manually advanced clock for deterministic limiter tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time            { return c.t }
+func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+func udpAddr(ip string, port int) *net.UDPAddr { return &net.UDPAddr{IP: net.ParseIP(ip), Port: port} }
+
+// TestRateLimiterBucket drives one limiter with a fake clock through
+// burst exhaustion, continuous refill, the burst cap, and per-source
+// isolation keyed by IP rather than by socket.
+func TestRateLimiterBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	rl := newRateLimiter(1, 3, clk.now)
+	a := udpAddr("203.0.113.7", 1000)
+
+	for i := 0; i < 3; i++ {
+		if !rl.allow(a) {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if rl.allow(a) {
+		t.Fatal("request beyond burst allowed")
+	}
+
+	// Ports do not open fresh budgets: the bucket key is the IP.
+	if rl.allow(udpAddr("203.0.113.7", 2000)) {
+		t.Fatal("same IP on a new port got a fresh bucket")
+	}
+	// A different source is unaffected by the exhausted one.
+	if !rl.allow(udpAddr("203.0.113.8", 1000)) {
+		t.Fatal("independent source denied")
+	}
+
+	// 1 token/sec: after 2s exactly two more requests fit.
+	clk.advance(2 * time.Second)
+	if !rl.allow(a) || !rl.allow(a) {
+		t.Fatal("refilled tokens denied")
+	}
+	if rl.allow(a) {
+		t.Fatal("request beyond refill allowed")
+	}
+
+	// Idle time accrues at most burst tokens.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !rl.allow(a) {
+			t.Fatalf("post-idle request %d denied", i)
+		}
+	}
+	if rl.allow(a) {
+		t.Fatal("idle accrual exceeded burst")
+	}
+}
+
+// TestRateLimiterTableReset checks the memory bound: once maxSources
+// distinct sources hold buckets, the table resets rather than growing,
+// deliberately failing open for previously seen sources.
+func TestRateLimiterTableReset(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	rl := newRateLimiter(0.001, 1, clk.now)
+	rl.maxSources = 4
+	exhausted := udpAddr("198.51.100.1", 9)
+	if !rl.allow(exhausted) || rl.allow(exhausted) {
+		t.Fatal("seed source not exhausted as expected")
+	}
+	for i := 0; i < 4; i++ {
+		rl.allow(udpAddr("198.51.100.100", 100+i*7))
+		rl.allow(&net.UDPAddr{IP: net.IPv4(10, 0, byte(i), 1), Port: 9})
+	}
+	if len(rl.buckets) > 4 {
+		t.Fatalf("bucket table grew to %d entries past the bound", len(rl.buckets))
+	}
+	if !rl.allow(exhausted) {
+		t.Fatal("table reset should re-admit the exhausted source (fail open)")
+	}
+}
+
+// TestServerRateLimitBurst is the deterministic ingress test: a server
+// configured with burst 1 and a negligible refill rate receives ten
+// resume datagrams from one socket. Exactly one reaches the decoder; the
+// other nine die at the limiter and land in ratelimit_dropped.
+func TestServerRateLimitBurst(t *testing.T) {
+	ln, err := NewLocalNetwork(core.Config{}, "MR-RL", "grp-rl", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(mustListen(t), ln.Router, ServerConfig{
+		BootEpoch:       1,
+		RateLimitPerSec: 0.0001,
+		RateLimitBurst:  1,
+	})
+	defer srv.Close()
+
+	conn := mustListen(t)
+	defer conn.Close()
+	frame, err := EncodeFrame(KindResumeRequest, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := conn.WriteTo(frame, srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && srv.Stats().RatelimitDropped() < 9 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.Stats().RatelimitDropped(); got != 9 {
+		t.Fatalf("ratelimit_dropped = %d, want 9", got)
+	}
+	// The one admitted datagram was garbage and must have hit the decoder.
+	if got := srv.Stats().DecodeErrors(); got != 1 {
+		t.Fatalf("decode errors = %d, want 1 (exactly one datagram admitted)", got)
+	}
+}

@@ -266,6 +266,7 @@ func (c *Client) Resume(ctx context.Context) (*core.Session, error) {
 		return nil, ErrNoTicket
 	}
 	c.stats.resumeAttempts.Add(1)
+	resumeStart := time.Now()
 
 	req := &ResumeRequest{Ticket: t.blob, Timestamp: time.Now()}
 	if _, err := rand.Read(req.Nonce[:]); err != nil {
@@ -338,6 +339,18 @@ func (c *Client) Resume(ctx context.Context) (*core.Session, error) {
 	c.setSession(sess, body.BootEpoch)
 	c.storeTicket(body.Ticket, sess)
 	c.stats.resumeSuccesses.Add(1)
+	// body.RouterID arrived inside the key-confirmed sealed body, so it is
+	// as authenticated as the resume itself: a different ID than the
+	// session's establisher means this resume was a roaming handoff.
+	elapsed := time.Since(resumeStart)
+	if prev := c.lastRouter(); prev != "" && body.RouterID != "" && body.RouterID != prev {
+		c.stats.handoffLatency.Observe(elapsed)
+	} else {
+		c.stats.resumeLatency.Observe(elapsed)
+	}
+	if body.RouterID != "" {
+		c.setLastRouterID(body.RouterID)
+	}
 	return sess, nil
 }
 

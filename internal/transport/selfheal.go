@@ -179,6 +179,7 @@ func (c *Client) pingOnce(ctx context.Context, timeout time.Duration) pingResult
 		return pingMissed
 	}
 	c.stats.keepalivesSent.Add(1)
+	pingStart := time.Now()
 
 	deadline := time.Now().Add(timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
@@ -229,6 +230,10 @@ func (c *Client) pingOnce(ctx context.Context, timeout time.Duration) pingResult
 				continue
 			}
 			c.stats.keepalivesAcked.Add(1)
+			// The sealed ping/pong pair is a full sealed-data round trip
+			// (seal, send, server open+reseal, open), so it stands in for
+			// the data-path RTT.
+			c.stats.dataRTT.Observe(time.Since(pingStart))
 			if pb.BootEpoch != c.BootEpoch() {
 				return pingEpochChanged
 			}

@@ -98,7 +98,7 @@ func TestMaintainSurvivesServerRestart(t *testing.T) {
 	if got := cl.Stats().Reattaches(); got < 1 {
 		t.Fatalf("reattaches = %d, want >= 1", got)
 	}
-	if got := srv2.Stats().Snapshot().UnknownSessionRejects; got < 1 {
+	if got := srv2.Stats().UnknownSessionRejects(); got < 1 {
 		t.Fatalf("unknown-session rejects = %d, want >= 1", got)
 	}
 
@@ -298,7 +298,7 @@ func TestTransientRejectReArmsRetryBudget(t *testing.T) {
 	if got := proxy.Rejected(); got != 6 {
 		t.Fatalf("proxy rejected %d requests, want 6", got)
 	}
-	if got := cl.Stats().Snapshot().Rejects; got < 6 {
+	if got := cl.Stats().Rejects(); got < 6 {
 		t.Fatalf("client saw %d rejects, want >= 6", got)
 	}
 
@@ -369,7 +369,7 @@ func TestDrainRefusesNewServesOld(t *testing.T) {
 	if _, err := cl1.Attach(ctx); !errors.Is(err, ErrHandshakeTimeout) {
 		t.Fatalf("attach during drain = %v, want ErrHandshakeTimeout", err)
 	}
-	if got := srv.Stats().Snapshot().DrainRejects; got < 1 {
+	if got := srv.Stats().DrainRejects(); got < 1 {
 		t.Fatalf("drain rejects = %d, want >= 1", got)
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/metrics"
 	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/symcrypto"
 	"github.com/peace-mesh/peace/internal/transport/batchio"
@@ -72,6 +73,19 @@ type ServerConfig struct {
 	// back to its sender — the application-level echo sink E18 and the
 	// data-plane drills measure round trips against.
 	EchoData bool
+	// Metrics is the registry the server's instruments resolve in. Nil
+	// creates a private registry, reachable via Stats().Registry().
+	Metrics *metrics.Registry
+	// RateLimitPerSec, when positive, arms a per-source token bucket on
+	// the attach/resume ingress: each source IP may start at most this
+	// many handshake exchanges per second (sustained), with RateLimitBurst
+	// headroom. Over-budget datagrams are dropped before any decode work
+	// and counted in ratelimit_dropped. Zero disables the limiter.
+	RateLimitPerSec float64
+	// RateLimitBurst is the per-source bucket depth. Default 2× the rate
+	// (minimum 1) so short legitimate bursts — a fleet re-attaching after
+	// a restart — are not shed.
+	RateLimitBurst int
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
@@ -132,7 +146,8 @@ type Server struct {
 	conns   []net.PacketConn
 	router  *core.MeshRouter
 	queue   *core.IngestQueue
-	stats   Stats
+	stats   *Stats
+	limiter *rateLimiter
 	tickets *symcrypto.TicketKeyRing
 
 	// beaconMu guards the cached beacon frame and its DH-share history.
@@ -197,11 +212,19 @@ func newServer(conns []net.PacketConn, router *core.MeshRouter, cfg ServerConfig
 		conns:      conns,
 		router:     router,
 		queue:      core.NewIngestQueue(router, cfg.QueueCapacity, cfg.MaxBatch),
+		stats:      NewStats(cfg.Metrics),
 		tickets:    cfg.TicketKeys,
 		replies:    newReplyCache(cfg.ReplyCacheSize),
 		revCache:   make(map[revocation.List]*revFrameCache),
 		ingestPool: batchio.NewPool(65536),
 		framePool:  batchio.NewPool(egressFrameSize),
+	}
+	if cfg.RateLimitPerSec > 0 {
+		burst := cfg.RateLimitBurst
+		if burst <= 0 {
+			burst = int(2 * cfg.RateLimitPerSec)
+		}
+		s.limiter = newRateLimiter(cfg.RateLimitPerSec, burst, nil)
 	}
 	if s.tickets == nil {
 		ring, err := symcrypto.NewTicketKeyRing(rand.Reader)
@@ -318,7 +341,7 @@ func (s *Server) TicketKeys() *symcrypto.TicketKeyRing { return s.tickets }
 // Stats returns the transport counters.
 func (s *Server) Stats() *Stats {
 	s.stats.replyCacheSize.Store(s.replies.Len())
-	return &s.stats
+	return s.stats
 }
 
 // Router returns the served router (for RouterStats reporting).
@@ -456,6 +479,10 @@ func (s *Server) dispatch(l *shardLoop, m *batchio.Message) {
 	case KindBeaconRequest:
 		s.sendBeacon(l, addr)
 	case KindAccessRequest:
+		if s.limiter != nil && !s.limiter.allow(addr) {
+			s.stats.ratelimitDropped.Add(1)
+			return
+		}
 		// The decoded message owns its memory (fresh curve points and
 		// copied byte fields), so the slot can be reused immediately.
 		req, err := core.UnmarshalAccessRequest(payload)
@@ -465,6 +492,10 @@ func (s *Server) dispatch(l *shardLoop, m *batchio.Message) {
 		}
 		s.handleAccessRequest(l, req, addr)
 	case KindResumeRequest:
+		if s.limiter != nil && !s.limiter.allow(addr) {
+			s.stats.ratelimitDropped.Add(1)
+			return
+		}
 		// Zero-copy decode into per-loop scratch: the handler finishes
 		// with the request before this dispatch returns, and the slot
 		// stays untouched until the next Prepare.

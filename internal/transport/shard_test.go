@@ -78,12 +78,12 @@ func TestShardedServerHandshakes(t *testing.T) {
 	if rs.ExpensiveVerifications != users {
 		t.Fatalf("expensive verifications = %d, want %d", rs.ExpensiveVerifications, users)
 	}
-	snap := srv.Stats().Snapshot()
-	if snap.Shards < 1 {
+	st := srv.Stats()
+	if st.Shards() < 1 {
 		t.Fatal("shards gauge unset")
 	}
-	if snap.ReplyCacheSize < int64(users) {
-		t.Fatalf("reply-cache gauge %d, want >= %d", snap.ReplyCacheSize, users)
+	if st.ReplyCacheSize() < int64(users) {
+		t.Fatalf("reply-cache gauge %d, want >= %d", st.ReplyCacheSize(), users)
 	}
 }
 

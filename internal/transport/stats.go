@@ -1,253 +1,185 @@
 package transport
 
-import "sync/atomic"
+import (
+	"github.com/peace-mesh/peace/internal/metrics"
+)
 
-// Stats counts what an endpoint's datapath has seen. All counters are
-// atomic so the read loop, retransmit timers and reply goroutines can
-// bump them without locking; Snapshot takes a consistent-enough copy for
-// the meshd JSON reporter.
+// Stats is an endpoint's view into the shared metrics registry: every
+// counter and gauge the datapath bumps is a registry instrument, so the
+// meshd JSON reporter, the /metrics endpoint, the soak judges and the
+// peacebench experiments all read the same numbers. Handles are resolved
+// once at construction; increments stay single lock-free atomic ops with
+// zero allocations (gated by TestDataPlaneAllocs).
+//
+// Registration is idempotent, so many clients may share one registry and
+// their counts aggregate.
 type Stats struct {
-	framesIn     atomic.Int64
-	framesOut    atomic.Int64
-	bytesIn      atomic.Int64
-	bytesOut     atomic.Int64
-	decodeErrors atomic.Int64
-	unhandled    atomic.Int64
-	duplicates   atomic.Int64
-	retransmits  atomic.Int64
-	timeouts     atomic.Int64
-	rejects      atomic.Int64
-	queueDrops   atomic.Int64
+	reg *metrics.Registry
+
+	framesIn     *metrics.Counter
+	framesOut    *metrics.Counter
+	bytesIn      *metrics.Counter
+	bytesOut     *metrics.Counter
+	decodeErrors *metrics.Counter
+	unhandled    *metrics.Counter
+	duplicates   *metrics.Counter
+	retransmits  *metrics.Counter
+	timeouts     *metrics.Counter
+	rejects      *metrics.Counter
+	queueDrops   *metrics.Counter
+	// ratelimitDropped counts attach/resume datagrams shed by the
+	// per-source token bucket before any decode work.
+	ratelimitDropped *metrics.Counter
 
 	// Revocation-distribution observability: deltas and full snapshots
 	// served (server) or applied (client), rejects attributed to
 	// revocation, and the current epoch of each installed list.
-	revDeltaFetches    atomic.Int64
-	revSnapshotFetches atomic.Int64
-	revRejects         atomic.Int64
-	urlEpoch           atomic.Uint64
-	crlEpoch           atomic.Uint64
+	revDeltaFetches    *metrics.Counter
+	revSnapshotFetches *metrics.Counter
+	revRejects         *metrics.Counter
+	urlEpoch           *metrics.UintGauge
+	crlEpoch           *metrics.UintGauge
 
 	// Self-healing observability: keepalive traffic, dead-peer and restart
 	// detections, automatic re-attaches, and the boot-epoch gauge.
-	keepalivesSent        atomic.Int64
-	keepalivesAcked       atomic.Int64
-	keepalivesServed      atomic.Int64
-	keepalivesMissed      atomic.Int64
-	unknownSessionRejects atomic.Int64
-	restartsDetected      atomic.Int64
-	deadPeerEvents        atomic.Int64
-	reattaches            atomic.Int64
-	attachAttempts        atomic.Int64
-	attachSuccesses       atomic.Int64
-	drainRejects          atomic.Int64
-	bootEpoch             atomic.Uint64
+	keepalivesSent        *metrics.Counter
+	keepalivesAcked       *metrics.Counter
+	keepalivesServed      *metrics.Counter
+	keepalivesMissed      *metrics.Counter
+	unknownSessionRejects *metrics.Counter
+	restartsDetected      *metrics.Counter
+	deadPeerEvents        *metrics.Counter
+	reattaches            *metrics.Counter
+	attachAttempts        *metrics.Counter
+	attachSuccesses       *metrics.Counter
+	drainRejects          *metrics.Counter
+	bootEpoch             *metrics.UintGauge
 
 	// Resumption observability: tickets issued and resumes served
 	// (server), resume attempts/successes/fallbacks (client), the
 	// held-ticket gauge, and the cache/shard gauges of the sharded server.
-	ticketsIssued    atomic.Int64
-	resumesServed    atomic.Int64
-	resumeRejects    atomic.Int64
-	resumeAttempts   atomic.Int64
-	resumeSuccesses  atomic.Int64
-	resumeFallbacks  atomic.Int64
-	ticketsHeld      atomic.Int64
-	replyCacheSize   atomic.Int64
-	deltaCacheFrames atomic.Int64
-	shards           atomic.Int64
+	ticketsIssued    *metrics.Counter
+	resumesServed    *metrics.Counter
+	resumeRejects    *metrics.Counter
+	resumeAttempts   *metrics.Counter
+	resumeSuccesses  *metrics.Counter
+	resumeFallbacks  *metrics.Counter
+	ticketsHeld      *metrics.Gauge
+	replyCacheSize   *metrics.Gauge
+	deltaCacheFrames *metrics.Gauge
+	shards           *metrics.Gauge
 
 	// Backbone observability: roaming handoffs adopted from / released to
 	// other routers, data frames relayed across backbone links, delivered
 	// data frames, and the live-gossip-peer gauge.
-	handoffsIn    atomic.Int64
-	handoffsOut   atomic.Int64
-	framesRelayed atomic.Int64
-	dataDelivered atomic.Int64
-	gossipPeers   atomic.Int64
+	handoffsIn    *metrics.Counter
+	handoffsOut   *metrics.Counter
+	framesRelayed *metrics.Counter
+	dataDelivered *metrics.Counter
+	gossipPeers   *metrics.Gauge
 
 	// Data-plane batching observability: whether the mmsg fast path is
 	// active, how many recvmmsg/sendmmsg calls moved how many datagrams
 	// (their ratio is the average batch fill), and the plaintext bytes
 	// delivered to the local sink.
-	batchedIO      atomic.Int64
-	readBatches    atomic.Int64
-	readDatagrams  atomic.Int64
-	writeBatches   atomic.Int64
-	writeDatagrams atomic.Int64
-	dataBytes      atomic.Int64
+	batchedIO      *metrics.Gauge
+	readBatches    *metrics.Counter
+	readDatagrams  *metrics.Counter
+	writeBatches   *metrics.Counter
+	writeDatagrams *metrics.Counter
+	dataBytes      *metrics.Counter
+
+	// Latency histograms at the four hot boundaries: the full AKA attach,
+	// the one-round-trip ticket resume, the cross-router roaming handoff
+	// (a resume adopted by a different router), and the sealed keepalive
+	// round trip standing in for the sealed-data RTT.
+	attachLatency  *metrics.Histogram
+	resumeLatency  *metrics.Histogram
+	handoffLatency *metrics.Histogram
+	dataRTT        *metrics.Histogram
 }
 
-// StatsSnapshot is the plain-struct view of Stats, JSON-ready.
-type StatsSnapshot struct {
-	// FramesIn / FramesOut count valid frames received and frames sent.
-	FramesIn  int64 `json:"frames_in"`
-	FramesOut int64 `json:"frames_out"`
-	// BytesIn / BytesOut count datagram bytes, including undecodable ones.
-	BytesIn  int64 `json:"bytes_in"`
-	BytesOut int64 `json:"bytes_out"`
-	// DecodeErrors counts datagrams rejected by the frame or message
-	// decoders (hostile or corrupt bytes).
-	DecodeErrors int64 `json:"decode_errors"`
-	// Unhandled counts well-formed frames of a kind the endpoint does not
-	// serve (e.g. a peer hello sent to a router socket).
-	Unhandled int64 `json:"unhandled"`
-	// Duplicates counts suppressed duplicate frames (retransmitted
-	// requests already in flight or already answered).
-	Duplicates int64 `json:"duplicates"`
-	// Retransmits counts frames this endpoint sent again after a timeout.
-	Retransmits int64 `json:"retransmits"`
-	// Timeouts counts handshake phases abandoned after max retries.
-	Timeouts int64 `json:"timeouts"`
-	// Rejects counts reject notices sent (server) or received (client).
-	Rejects int64 `json:"rejects"`
-	// QueueDrops counts access requests shed because the ingest queue was
-	// full (backpressure under overload).
-	QueueDrops int64 `json:"queue_drops"`
-	// RevDeltaFetches / RevSnapshotFetches count revocation deltas and
-	// full snapshots served (server) or applied (client).
-	RevDeltaFetches    int64 `json:"rev_delta_fetches"`
-	RevSnapshotFetches int64 `json:"rev_snapshot_fetches"`
-	// RevRejects counts access requests rejected because the signer's
-	// token is on the URL.
-	RevRejects int64 `json:"rev_rejects"`
-	// URLEpoch / CRLEpoch gauge the epoch of each installed list.
-	URLEpoch uint64 `json:"url_epoch"`
-	CRLEpoch uint64 `json:"crl_epoch"`
-	// KeepalivesSent / KeepalivesAcked count pings sent and valid pongs
-	// received (client); KeepalivesServed counts pongs answered (server).
-	KeepalivesSent   int64 `json:"keepalives_sent"`
-	KeepalivesAcked  int64 `json:"keepalives_acked"`
-	KeepalivesServed int64 `json:"keepalives_served"`
-	// KeepalivesMissed counts ping rounds that ended without a valid pong.
-	KeepalivesMissed int64 `json:"keepalives_missed"`
-	// UnknownSessionRejects counts pings for sessions this server does not
-	// hold — nonzero after a restart orphans clients.
-	UnknownSessionRejects int64 `json:"unknown_session_rejects"`
-	// RestartsDetected counts authenticated boot-epoch changes observed.
-	RestartsDetected int64 `json:"restarts_detected"`
-	// DeadPeerEvents counts sessions declared dead after missed keepalives.
-	DeadPeerEvents int64 `json:"dead_peer_events"`
-	// Reattaches counts automatic re-attach cycles after an established
-	// session was lost (restart or dead peer).
-	Reattaches int64 `json:"reattaches"`
-	// AttachAttempts / AttachSuccesses count full AKA runs started and
-	// completed.
-	AttachAttempts  int64 `json:"attach_attempts"`
-	AttachSuccesses int64 `json:"attach_successes"`
-	// DrainRejects counts access requests refused during graceful drain.
-	DrainRejects int64 `json:"drain_rejects"`
-	// BootEpoch gauges the server's own boot epoch (server) or the last
-	// authenticated boot epoch observed (client).
-	BootEpoch uint64 `json:"boot_epoch"`
-	// TicketsIssued counts resumption tickets sealed into confirms and
-	// resume replies (server).
-	TicketsIssued int64 `json:"tickets_issued"`
-	// ResumesServed counts ticket resumptions served without a pairing
-	// (server); ResumeRejects counts refused resume exchanges.
-	ResumesServed int64 `json:"resumes_served"`
-	ResumeRejects int64 `json:"resume_rejects"`
-	// ResumeAttempts / ResumeSuccesses count client-side resume exchanges
-	// started and completed; ResumeFallbacks counts resumes that fell back
-	// to the full handshake.
-	ResumeAttempts  int64 `json:"resume_attempts"`
-	ResumeSuccesses int64 `json:"resume_successes"`
-	ResumeFallbacks int64 `json:"resume_fallbacks"`
-	// TicketsHeld gauges whether the client currently holds a ticket.
-	TicketsHeld int64 `json:"tickets_held"`
-	// ReplyCacheSize / DeltaCacheFrames gauge the bounded caches.
-	ReplyCacheSize   int64 `json:"reply_cache_size"`
-	DeltaCacheFrames int64 `json:"delta_cache_frames"`
-	// Shards gauges how many read loops serve the socket(s).
-	Shards int64 `json:"shards"`
-	// HandoffsIn counts roaming sessions this router adopted via a ticket
-	// issued by a different router; HandoffsOut counts sessions this
-	// router released to an adopting router (announced on the gossip
-	// plane).
-	HandoffsIn  int64 `json:"handoffs_in"`
-	HandoffsOut int64 `json:"handoffs_out"`
-	// FramesRelayed counts data frames this router forwarded across
-	// backbone links (first hop and intermediate hops alike).
-	FramesRelayed int64 `json:"frames_relayed"`
-	// DataDelivered counts session data frames opened and delivered to the
-	// local application sink (directly received or relayed in).
-	DataDelivered int64 `json:"data_delivered"`
-	// GossipPeers gauges how many backbone links are currently up.
-	GossipPeers int64 `json:"gossip_peers"`
-	// BatchedIO is 1 when the mmsg fast path upgraded the socket, 0 on the
-	// portable single-datagram fallback.
-	BatchedIO int64 `json:"batched_io"`
-	// ReadBatches / ReadDatagrams count ingest syscalls and the datagrams
-	// they moved; their ratio is the average ingest batch fill.
-	ReadBatches   int64 `json:"read_batches"`
-	ReadDatagrams int64 `json:"read_datagrams"`
-	// WriteBatches / WriteDatagrams count egress flushes and the datagrams
-	// they moved.
-	WriteBatches   int64 `json:"write_batches"`
-	WriteDatagrams int64 `json:"write_datagrams"`
-	// DataBytes counts plaintext payload bytes delivered to the local sink.
-	DataBytes int64 `json:"data_bytes"`
-}
-
-// Snapshot copies the counters.
-func (s *Stats) Snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		FramesIn:     s.framesIn.Load(),
-		FramesOut:    s.framesOut.Load(),
-		BytesIn:      s.bytesIn.Load(),
-		BytesOut:     s.bytesOut.Load(),
-		DecodeErrors: s.decodeErrors.Load(),
-		Unhandled:    s.unhandled.Load(),
-		Duplicates:   s.duplicates.Load(),
-		Retransmits:  s.retransmits.Load(),
-		Timeouts:     s.timeouts.Load(),
-		Rejects:      s.rejects.Load(),
-		QueueDrops:   s.queueDrops.Load(),
-
-		RevDeltaFetches:    s.revDeltaFetches.Load(),
-		RevSnapshotFetches: s.revSnapshotFetches.Load(),
-		RevRejects:         s.revRejects.Load(),
-		URLEpoch:           s.urlEpoch.Load(),
-		CRLEpoch:           s.crlEpoch.Load(),
-
-		KeepalivesSent:        s.keepalivesSent.Load(),
-		KeepalivesAcked:       s.keepalivesAcked.Load(),
-		KeepalivesServed:      s.keepalivesServed.Load(),
-		KeepalivesMissed:      s.keepalivesMissed.Load(),
-		UnknownSessionRejects: s.unknownSessionRejects.Load(),
-		RestartsDetected:      s.restartsDetected.Load(),
-		DeadPeerEvents:        s.deadPeerEvents.Load(),
-		Reattaches:            s.reattaches.Load(),
-		AttachAttempts:        s.attachAttempts.Load(),
-		AttachSuccesses:       s.attachSuccesses.Load(),
-		DrainRejects:          s.drainRejects.Load(),
-		BootEpoch:             s.bootEpoch.Load(),
-
-		TicketsIssued:    s.ticketsIssued.Load(),
-		ResumesServed:    s.resumesServed.Load(),
-		ResumeRejects:    s.resumeRejects.Load(),
-		ResumeAttempts:   s.resumeAttempts.Load(),
-		ResumeSuccesses:  s.resumeSuccesses.Load(),
-		ResumeFallbacks:  s.resumeFallbacks.Load(),
-		TicketsHeld:      s.ticketsHeld.Load(),
-		ReplyCacheSize:   s.replyCacheSize.Load(),
-		DeltaCacheFrames: s.deltaCacheFrames.Load(),
-		Shards:           s.shards.Load(),
-
-		HandoffsIn:    s.handoffsIn.Load(),
-		HandoffsOut:   s.handoffsOut.Load(),
-		FramesRelayed: s.framesRelayed.Load(),
-		DataDelivered: s.dataDelivered.Load(),
-		GossipPeers:   s.gossipPeers.Load(),
-
-		BatchedIO:      s.batchedIO.Load(),
-		ReadBatches:    s.readBatches.Load(),
-		ReadDatagrams:  s.readDatagrams.Load(),
-		WriteBatches:   s.writeBatches.Load(),
-		WriteDatagrams: s.writeDatagrams.Load(),
-		DataBytes:      s.dataBytes.Load(),
+// NewStats resolves every transport instrument in reg, creating a
+// private registry when reg is nil.
+func NewStats(reg *metrics.Registry) *Stats {
+	if reg == nil {
+		reg = metrics.NewRegistry()
 	}
+	s := &Stats{reg: reg}
+
+	s.framesIn = reg.Counter("frames_in", "valid frames received")
+	s.framesOut = reg.Counter("frames_out", "frames sent")
+	s.bytesIn = reg.Counter("bytes_in", "datagram bytes received, including undecodable ones")
+	s.bytesOut = reg.Counter("bytes_out", "datagram bytes sent")
+	s.decodeErrors = reg.Counter("decode_errors", "datagrams rejected by the frame or message decoders")
+	s.unhandled = reg.Counter("unhandled", "well-formed frames of a kind this endpoint does not serve")
+	s.duplicates = reg.Counter("duplicates", "suppressed duplicate frames")
+	s.retransmits = reg.Counter("retransmits", "frames sent again after a timeout")
+	s.timeouts = reg.Counter("timeouts", "handshake phases abandoned after max retries")
+	s.rejects = reg.Counter("rejects", "reject notices sent (server) or received (client)")
+	s.queueDrops = reg.Counter("queue_drops", "access requests shed because the ingest queue was full")
+	s.ratelimitDropped = reg.Counter("ratelimit_dropped", "attach/resume datagrams shed by the per-source token bucket")
+
+	s.revDeltaFetches = reg.Counter("rev_delta_fetches", "revocation deltas served (server) or applied (client)")
+	s.revSnapshotFetches = reg.Counter("rev_snapshot_fetches", "full revocation snapshots served (server) or applied (client)")
+	s.revRejects = reg.Counter("rev_rejects", "access requests rejected because the signer is revoked")
+	s.urlEpoch = reg.UintGauge("url_epoch", "epoch of the installed user revocation list")
+	s.crlEpoch = reg.UintGauge("crl_epoch", "epoch of the installed credential revocation list")
+
+	s.keepalivesSent = reg.Counter("keepalives_sent", "keepalive pings sent")
+	s.keepalivesAcked = reg.Counter("keepalives_acked", "valid keepalive pongs received")
+	s.keepalivesServed = reg.Counter("keepalives_served", "keepalive pongs answered")
+	s.keepalivesMissed = reg.Counter("keepalives_missed", "ping rounds that ended without a valid pong")
+	s.unknownSessionRejects = reg.Counter("unknown_session_rejects", "frames for sessions this server does not hold")
+	s.restartsDetected = reg.Counter("restarts_detected", "authenticated boot-epoch changes observed")
+	s.deadPeerEvents = reg.Counter("dead_peer_events", "sessions declared dead after missed keepalives")
+	s.reattaches = reg.Counter("reattaches", "automatic re-attach cycles after a lost session")
+	s.attachAttempts = reg.Counter("attach_attempts", "full AKA runs started")
+	s.attachSuccesses = reg.Counter("attach_successes", "full AKA runs completed")
+	s.drainRejects = reg.Counter("drain_rejects", "access requests refused during graceful drain")
+	s.bootEpoch = reg.UintGauge("boot_epoch", "own boot epoch (server) or last authenticated boot epoch observed (client)")
+
+	s.ticketsIssued = reg.Counter("tickets_issued", "resumption tickets sealed into confirms and resume replies")
+	s.resumesServed = reg.Counter("resumes_served", "ticket resumptions served without a pairing")
+	s.resumeRejects = reg.Counter("resume_rejects", "resume exchanges refused")
+	s.resumeAttempts = reg.Counter("resume_attempts", "client resume exchanges started")
+	s.resumeSuccesses = reg.Counter("resume_successes", "client resume exchanges completed")
+	s.resumeFallbacks = reg.Counter("resume_fallbacks", "resumes that fell back to the full handshake")
+	s.ticketsHeld = reg.Gauge("tickets_held", "whether the client currently holds a ticket")
+	s.replyCacheSize = reg.Gauge("reply_cache_size", "entries in the bounded reply cache")
+	s.deltaCacheFrames = reg.Gauge("delta_cache_frames", "encoded frames in the revocation delta cache")
+	s.shards = reg.Gauge("shards", "read loops serving the socket(s)")
+
+	s.handoffsIn = reg.Counter("handoffs_in", "roaming sessions adopted via a ticket from another router")
+	s.handoffsOut = reg.Counter("handoffs_out", "sessions released to an adopting router")
+	s.framesRelayed = reg.Counter("frames_relayed", "data frames forwarded across backbone links")
+	s.dataDelivered = reg.Counter("data_delivered", "session data frames opened and delivered to the local sink")
+	s.gossipPeers = reg.Gauge("gossip_peers", "backbone links currently up")
+
+	s.batchedIO = reg.Gauge("batched_io", "1 when the mmsg fast path upgraded the socket")
+	s.readBatches = reg.Counter("read_batches", "ingest read syscalls completed")
+	s.readDatagrams = reg.Counter("read_datagrams", "datagrams moved by ingest reads")
+	s.writeBatches = reg.Counter("write_batches", "egress flushes completed")
+	s.writeDatagrams = reg.Counter("write_datagrams", "datagrams moved by egress flushes")
+	s.dataBytes = reg.Counter("data_bytes", "plaintext payload bytes delivered to the local sink")
+
+	s.attachLatency = reg.Histogram("attach_latency", "full AKA attach round-trip latency")
+	s.resumeLatency = reg.Histogram("resume_latency", "ticket resume round-trip latency")
+	s.handoffLatency = reg.Histogram("handoff_latency", "roaming handoff (cross-router resume) latency")
+	s.dataRTT = reg.Histogram("data_rtt", "sealed keepalive round-trip latency over the data path")
+
+	return s
 }
+
+// Registry returns the registry backing these stats, so co-located
+// subsystems (the backbone node, the rate limiter) can register their
+// own instruments next to the transport's.
+func (s *Stats) Registry() *metrics.Registry { return s.reg }
+
+// Snapshot copies every instrument in the registry. The result marshals
+// to the same flat JSON object the old hand-maintained snapshot struct
+// produced, with the same keys in the same order.
+func (s *Stats) Snapshot() metrics.Snapshot { return s.reg.Snapshot() }
 
 // Retransmits returns the retransmit counter (used by tests and reports).
 func (s *Stats) Retransmits() int64 { return s.retransmits.Load() }
@@ -261,6 +193,16 @@ func (s *Stats) Duplicates() int64 { return s.duplicates.Load() }
 // DecodeErrors returns the decode-error counter.
 func (s *Stats) DecodeErrors() int64 { return s.decodeErrors.Load() }
 
+// Rejects returns the reject counter.
+func (s *Stats) Rejects() int64 { return s.rejects.Load() }
+
+// QueueDrops returns the ingest-backpressure drop counter.
+func (s *Stats) QueueDrops() int64 { return s.queueDrops.Load() }
+
+// RatelimitDropped returns how many attach/resume datagrams the
+// per-source token bucket shed.
+func (s *Stats) RatelimitDropped() int64 { return s.ratelimitDropped.Load() }
+
 // RevDeltaFetches returns the revocation-delta counter.
 func (s *Stats) RevDeltaFetches() int64 { return s.revDeltaFetches.Load() }
 
@@ -272,6 +214,10 @@ func (s *Stats) RevRejects() int64 { return s.revRejects.Load() }
 
 // KeepalivesAcked returns how many valid pongs the client received.
 func (s *Stats) KeepalivesAcked() int64 { return s.keepalivesAcked.Load() }
+
+// UnknownSessionRejects returns how many frames referenced sessions this
+// server does not hold.
+func (s *Stats) UnknownSessionRejects() int64 { return s.unknownSessionRejects.Load() }
 
 // Reattaches returns how many automatic re-attach cycles ran.
 func (s *Stats) Reattaches() int64 { return s.reattaches.Load() }
@@ -287,6 +233,9 @@ func (s *Stats) AttachAttempts() int64 { return s.attachAttempts.Load() }
 
 // AttachSuccesses returns how many AKA runs completed.
 func (s *Stats) AttachSuccesses() int64 { return s.attachSuccesses.Load() }
+
+// DrainRejects returns how many access requests the drain phase refused.
+func (s *Stats) DrainRejects() int64 { return s.drainRejects.Load() }
 
 // TicketsIssued returns how many resumption tickets the server sealed.
 func (s *Stats) TicketsIssued() int64 { return s.ticketsIssued.Load() }
@@ -311,6 +260,9 @@ func (s *Stats) ReplyCacheSize() int64 { return s.replyCacheSize.Load() }
 
 // DeltaCacheFrames returns the delta-cache size gauge.
 func (s *Stats) DeltaCacheFrames() int64 { return s.deltaCacheFrames.Load() }
+
+// Shards returns the read-loop gauge.
+func (s *Stats) Shards() int64 { return s.shards.Load() }
 
 // HandoffsIn returns how many roaming sessions were adopted from other
 // routers.
@@ -345,6 +297,18 @@ func (s *Stats) WriteDatagrams() int64 { return s.writeDatagrams.Load() }
 
 // DataBytes returns the plaintext bytes delivered to the local sink.
 func (s *Stats) DataBytes() int64 { return s.dataBytes.Load() }
+
+// AttachLatency returns the full-attach latency histogram.
+func (s *Stats) AttachLatency() *metrics.Histogram { return s.attachLatency }
+
+// ResumeLatency returns the ticket-resume latency histogram.
+func (s *Stats) ResumeLatency() *metrics.Histogram { return s.resumeLatency }
+
+// HandoffLatency returns the roaming-handoff latency histogram.
+func (s *Stats) HandoffLatency() *metrics.Histogram { return s.handoffLatency }
+
+// DataRTT returns the sealed-data round-trip latency histogram.
+func (s *Stats) DataRTT() *metrics.Histogram { return s.dataRTT }
 
 // NoteDataBytes adds delivered plaintext bytes (called by the backbone
 // node for relayed-in frames that open under a local session).

@@ -425,7 +425,7 @@ func TestRevocationDrillConvergesViaDeltas(t *testing.T) {
 	if want := int64(cfg.Users * (cfg.Rounds - 1)); rep.DeltaFetches < want {
 		t.Fatalf("delta fetches %d < %d", rep.DeltaFetches, want)
 	}
-	if rep.Server.RevDeltaFetches == 0 {
+	if rep.Server.Value("rev_delta_fetches") == 0 {
 		t.Fatal("server served no deltas")
 	}
 	if rep.FinalURLEpoch < 2 {
@@ -434,7 +434,8 @@ func TestRevocationDrillConvergesViaDeltas(t *testing.T) {
 	if want := (cfg.Rounds - 1) * cfg.RevokePerRound; rep.URLSize != want {
 		t.Fatalf("URL size %d, want %d", rep.URLSize, want)
 	}
-	if rep.Server.URLEpoch != rep.FinalURLEpoch {
-		t.Fatalf("server gauge epoch %d, router at %d", rep.Server.URLEpoch, rep.FinalURLEpoch)
+	srvEpoch, ok := rep.Server.Get("url_epoch")
+	if !ok || srvEpoch.Uint != rep.FinalURLEpoch {
+		t.Fatalf("server gauge epoch %d, router at %d", srvEpoch.Uint, rep.FinalURLEpoch)
 	}
 }
