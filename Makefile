@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke experiments examples vet fmt cover clean ci fuzz staticcheck metrics-lint meshd-loopback meshd-drill chaos-soak metro-soak
+.PHONY: all build test race bench bench-smoke experiments examples vet fmt cover clean ci fuzz staticcheck metrics-lint meshd-loopback meshd-drill chaos-soak metro-soak attack-soak
 
 all: build test
 
@@ -18,11 +18,12 @@ ci:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/ ./internal/metrics/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/ ./internal/metrics/ ./internal/puzzle/ ./internal/revocation/
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz
 	$(MAKE) chaos-soak
 	$(MAKE) metro-soak
+	$(MAKE) attack-soak
 
 # fuzz smoke: each wire-facing decoder gets a short randomized run, plus a
 # differential fuzz of the Montgomery field core against big.Int.
@@ -45,6 +46,9 @@ fuzz:
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalLinkEnvelope$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalGossipBody$$' -fuzztime=10s
 	$(GO) test ./internal/transport/ -run='^$$' -fuzz='^FuzzUnmarshalRelayBody$$' -fuzztime=10s
+	$(GO) test ./internal/puzzle/ -run='^$$' -fuzz='^FuzzUnmarshalPuzzle$$' -fuzztime=10s
+	$(GO) test ./internal/puzzle/ -run='^$$' -fuzz='^FuzzVerifySolution$$' -fuzztime=10s
+	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzPeekAccessRequest$$' -fuzztime=10s
 
 # metrics-lint gates the instrument namespace: the registry itself
 # panics on non-snake_case or kind-conflicting names at registration, and
@@ -92,6 +96,17 @@ chaos-soak:
 metro-soak:
 	$(GO) run ./cmd/meshd -mode metro -routers 8 -users 200 -moves 3 -soak -partition 2s
 
+# attack-soak is the adaptive-DoS acceptance drill: a seeded attacker
+# fleet (spoofed-source garbage floods, solution-less skeleton M.2s,
+# cross-source solution replays) storms the attach ingress an order of
+# magnitude above the legitimate rate while 16 legit clients hold and
+# establish sessions through it. Gate: ≥95% of the legit fleet keeps a
+# working session, demanded difficulty ratchets ≥2 steps during the storm
+# and decays to 0 within the bound after it, replayed solutions are
+# refused, and the flood buys the attacker no pairings.
+attack-soak:
+	$(GO) run ./cmd/meshd -mode attack -users 16 -seed 42 -storm 2s
+
 build:
 	$(GO) build ./...
 
@@ -99,7 +114,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/ ./internal/metrics/
+	$(GO) test -race ./internal/core/ ./internal/mesh/ ./internal/anonrelay/ ./internal/sgs/ ./internal/transport/ ./internal/transport/batchio/ ./internal/bn256/ ./internal/chaos/ ./internal/backbone/ ./internal/metrics/ ./internal/puzzle/ ./internal/revocation/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

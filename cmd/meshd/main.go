@@ -19,7 +19,12 @@
 // in one process and roams M users across it via ticket handoffs,
 // printing the wave report plus every router's counters; with -soak it
 // adds backbone fault injection, a mid-wave link partition and a closing
-// revocation anti-rollback probe on every router.
+// revocation anti-rollback probe on every router. Attack mode runs the
+// adaptive-DoS acceptance soak: a spoofed-source attacker fleet floods
+// the attach ingress while a legitimate fleet holds and establishes
+// sessions through the storm; the run judges the suspicion→puzzle loop
+// (difficulty ratchet, bounded decay, replay refusal, attacker cost
+// scaling, legit-fleet survival) and exits non-zero on any violation.
 //
 // Usage:
 //
@@ -30,6 +35,7 @@
 //	meshd -mode chaos -users 100 -drop 0.10 -corrupt 0.05 -dup 0.02 -partition 5s
 //	meshd -mode metro -routers 8 -users 200 -moves 3
 //	meshd -mode metro -routers 8 -users 200 -moves 3 -soak -partition 2s
+//	meshd -mode attack -users 16 -flooders 3 -sources 8 -storm 2s -dosbase 3 -dosmax 8
 package main
 
 import (
@@ -84,8 +90,17 @@ func main() {
 	moves := flag.Int("moves", 3, "metro: cross-router handoffs per user")
 	soak := flag.Bool("soak", false, "metro: add backbone fault injection, a mid-wave partition and the anti-rollback probe")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof and Prometheus /metrics on this address (e.g. 127.0.0.1:6060); empty disables")
-	ratelimit := flag.Float64("ratelimit", 0, "serve: per-source attach/resume datagrams per second admitted (0 disables)")
+	ratelimit := flag.Float64("ratelimit", 0, "serve: per-source attach/resume datagrams per second admitted (0 disables); attack: same, armed by default")
 	rateburst := flag.Int("rateburst", 0, "serve: per-source burst above -ratelimit (0 = 2x the rate)")
+	flooders := flag.Int("flooders", 3, "attack: flooder goroutines spraying the attach ingress")
+	sources := flag.Int("sources", 8, "attack: spoofed source addresses per flooder")
+	doswindow := flag.Duration("doswindow", 1500*time.Millisecond, "attack: suspicion sliding window")
+	dosthreshold := flag.Int("dosthreshold", 8, "attack: failed requests within -doswindow that trip suspicion")
+	dosquiet := flag.Duration("dosquiet", time.Second, "attack: quiet period before suspicion clears")
+	dosbase := flag.Int("dosbase", 3, "attack: puzzle difficulty demanded the moment suspicion trips")
+	dosmax := flag.Int("dosmax", 8, "attack: difficulty cap for the load-driven ratchet")
+	dosstep := flag.Duration("dosstep", 150*time.Millisecond, "attack: minimum spacing between ratchet-up steps")
+	dosdecay := flag.Duration("dosdecay", 200*time.Millisecond, "attack: spacing between decay steps once load subsides")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -114,8 +129,19 @@ func main() {
 		err = runChaos(*users, *seed, *drop, *corrupt, *dup, *storm, *partition)
 	case "metro":
 		err = runMetro(*routers, *users, *moves, *seed, *soak, *partition)
+	case "attack":
+		err = runAttack(*users, *flooders, *sources, *seed, *storm, *ratelimit, core.DoSPolicy{
+			Enabled:            true,
+			Window:             *doswindow,
+			SuspicionThreshold: *dosthreshold,
+			QuietPeriod:        *dosquiet,
+			BaseDifficulty:     uint8(*dosbase),
+			MaxDifficulty:      uint8(*dosmax),
+			StepInterval:       *dosstep,
+			DecayInterval:      *dosdecay,
+		})
 	default:
-		err = fmt.Errorf("unknown -mode %q (serve, client, loopback, drill, chaos, metro)", *mode)
+		err = fmt.Errorf("unknown -mode %q (serve, client, loopback, drill, chaos, metro, attack)", *mode)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -390,6 +416,36 @@ func runChaos(users int, seed int64, drop, corrupt, dup float64, storm, partitio
 	log.Printf("meshd: chaos soak clean: %d/%d clients re-established across restart+partition (%d reattaches, %d keepalives acked, %d faults injected)",
 		rep.Established, rep.Users, rep.Reattaches, rep.KeepalivesAcked,
 		rep.Injected.Dropped+rep.Injected.Corrupted+rep.Injected.Duplicated+rep.Injected.Reordered)
+	return nil
+}
+
+// runAttack executes the adaptive-DoS attack soak and prints its report:
+// the acceptance drill for the suspicion-driven client-puzzle defense.
+func runAttack(users, flooders, sources int, seed int64, storm time.Duration, ratelimit float64, policy core.DoSPolicy) error {
+	rep, err := chaos.RunAttackSoak(chaos.AttackConfig{
+		LegitUsers:      users,
+		Flooders:        flooders,
+		SpoofedSources:  sources,
+		Seed:            seed,
+		StormLen:        storm,
+		Policy:          policy,
+		RateLimitPerSec: ratelimit,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Failed() {
+		return fmt.Errorf("attack soak violated %d invariants", len(rep.Violations))
+	}
+	log.Printf("meshd: attack soak clean: %d/%d legit clients alive through a %d-datagram flood; difficulty %d->%d->0 (decayed in %v), %d solution replays refused",
+		rep.LegitAlive, rep.LegitUsers, rep.AttackerDatagrams,
+		rep.BaseDifficulty, rep.PeakDifficulty, rep.DecayedIn.Round(time.Millisecond), rep.SolutionReplays)
 	return nil
 }
 

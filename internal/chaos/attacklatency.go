@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/transport"
+)
+
+// AttackLatencyConfig scripts one point of the attach-latency-vs-attack-
+// intensity sweep (experiment E19): a fixed number of sequential
+// legitimate attaches measured while Intensity spoofed sources flood the
+// ingress at full rate.
+type AttackLatencyConfig struct {
+	// Intensity is how many spoofed sources flood the attach ingress for
+	// the whole measurement (0 = calm baseline).
+	Intensity int
+	// Samples is how many legitimate attaches are timed. Default 12.
+	Samples int
+	// Seed drives every pseudo-random stream. Default 1.
+	Seed int64
+	// Policy is the adaptive defense installed on the router; the zero
+	// value gets the same fast policy as AttackConfig.
+	Policy core.DoSPolicy
+	// RateLimitPerSec arms the server's per-source ingress limiter.
+	// Default 50, as in AttackConfig.
+	RateLimitPerSec float64
+	// Warmup is how long the flood runs before the first timed attach, so
+	// suspicion has tripped and the measured clients pay the real puzzle
+	// price. Default 500ms (skipped when Intensity is 0).
+	Warmup time.Duration
+	// AttachTimeout bounds each timed attach. Default 30s.
+	AttachTimeout time.Duration
+}
+
+func (c AttackLatencyConfig) withDefaults() AttackLatencyConfig {
+	if c.Samples < 1 {
+		c.Samples = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if !c.Policy.Enabled {
+		c.Policy = AttackConfig{}.withDefaults().Policy
+	}
+	if c.RateLimitPerSec <= 0 {
+		c.RateLimitPerSec = 50
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 500 * time.Millisecond
+	}
+	if c.AttachTimeout <= 0 {
+		c.AttachTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// AttackLatencyReport is one row of the E19 sweep.
+type AttackLatencyReport struct {
+	Intensity int
+	Samples   int
+	Attached  int
+	P50       time.Duration
+	P99       time.Duration
+	// PeakDifficulty is the highest difficulty the controller demanded
+	// while the samples ran.
+	PeakDifficulty uint8
+	// FloodDatagrams is how many datagrams the flood delivered.
+	FloodDatagrams int64
+	// PuzzlesVerified counts the solutions the server's gate accepted —
+	// under attack the legit attaches land here.
+	PuzzlesVerified int64
+}
+
+// RunAttackLatency measures legitimate-client attach latency at one
+// attack intensity: Intensity spoofed sources spray garbage and
+// skeleton M.2s at the ingress while Samples sequential attaches are
+// timed over real UDP loopback.
+func RunAttackLatency(cfg AttackLatencyConfig) (*AttackLatencyReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &AttackLatencyReport{Intensity: cfg.Intensity, Samples: cfg.Samples}
+
+	const fleet = 4 // credentialed users the samples cycle through
+	ln, err := transport.NewLocalNetwork(core.Config{}, "MR-E19", "grp-e19", fleet)
+	if err != nil {
+		return nil, err
+	}
+	ln.Router.SetDoSPolicy(cfg.Policy)
+	serverConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := transport.NewServer(serverConn, ln.Router, transport.ServerConfig{
+		BootEpoch:         1,
+		RateLimitPerSec:   cfg.RateLimitPerSec,
+		DoSSampleInterval: 25 * time.Millisecond,
+	})
+	defer srv.Close()
+	addr := srv.Addr()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var flood sync.WaitGroup
+	var floodDatagrams atomic.Int64
+	for i := 0; i < cfg.Intensity; i++ {
+		conn, err := listenSpoofed(i/200, i%200)
+		if err != nil {
+			cancel()
+			flood.Wait()
+			return nil, err
+		}
+		flood.Add(1)
+		go func(i int, conn net.PacketConn) {
+			defer flood.Done()
+			defer conn.Close()
+			prng := mrand.New(mrand.NewSource(cfg.Seed*3_000_017 + int64(i)))
+			garbage := garbageAccessFrame()
+			// Paced at ~2000 datagrams/s per source, so intensity is a
+			// controlled multiple of the legitimate handshake rate (each
+			// source still exceeds its own rate-limit bucket ~40×). An
+			// unpaced writer would saturate the kernel receive buffer and
+			// measure socket-lottery starvation instead of the defense.
+			for n := 0; ctx.Err() == nil; n++ {
+				frame := garbage
+				if n%2 == 1 {
+					frame = skeletonAccessFrame(prng)
+				}
+				if _, err := conn.WriteTo(frame, addr); err == nil {
+					floodDatagrams.Add(1)
+				}
+				if n%2 == 1 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(i, conn)
+	}
+	defer func() {
+		cancel()
+		flood.Wait()
+	}()
+	if cfg.Intensity > 0 {
+		time.Sleep(cfg.Warmup)
+	}
+
+	latencies := make([]time.Duration, 0, cfg.Samples)
+	var lastErr error
+	for i := 0; i < cfg.Samples; i++ {
+		conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		cl := transport.NewClient(conn, addr, ln.Users[i%fleet], transport.ClientConfig{
+			RetransmitTimeout: 60 * time.Millisecond,
+			MaxTimeout:        time.Second,
+			MaxRetries:        12,
+			Seed:              cfg.Seed*4_000_037 + int64(i),
+		})
+		// The sample is time-to-session, attempts included: under a heavy
+		// flood single attach attempts can exhaust their retransmit budget
+		// to kernel-level receive drops, and a real client simply tries
+		// again — the latency the row reports is what that client
+		// experiences.
+		sctx, scancel := context.WithTimeout(ctx, cfg.AttachTimeout)
+		start := time.Now()
+		for {
+			if _, err = cl.Attach(sctx); err == nil || sctx.Err() != nil {
+				break
+			}
+		}
+		scancel()
+		if err == nil {
+			latencies = append(latencies, time.Since(start))
+			rep.Attached++
+		} else {
+			lastErr = err
+		}
+		_ = conn.Close()
+		if d := ln.Router.RequiredDifficulty(); d > rep.PeakDifficulty {
+			rep.PeakDifficulty = d
+		}
+	}
+	if rep.Attached == 0 {
+		return nil, fmt.Errorf("chaos: no attach succeeded at intensity %d: %v", cfg.Intensity, lastErr)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50 = latencies[len(latencies)/2]
+	rep.P99 = latencies[(len(latencies)*99)/100]
+	rep.FloodDatagrams = floodDatagrams.Load()
+	rep.PuzzlesVerified = srv.Stats().DoSPuzzlesVerified()
+	return rep, nil
+}

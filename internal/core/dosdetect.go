@@ -6,9 +6,14 @@ import "time"
 // is explicitly conditional: "When there is no evidence of attack, a mesh
 // router processes (M.2) normally. But when under a suspected DoS attack,
 // the mesh router will attach a cryptographic puzzle to every (M.1)".
-// This file implements the suspicion trigger: a sliding-window request
-// rate monitor that flips puzzle mode on when the rate of failed access
-// requests exceeds a threshold and back off after a quiet period.
+// This file implements the suspicion trigger — a sliding-window failure
+// monitor that flips puzzle mode on when the rate of failed access
+// requests exceeds a threshold and back off after a quiet period — plus
+// the closed-loop difficulty controller: once suspicious, the demanded
+// difficulty ratchets up while ingest load stays high and decays one step
+// per interval once it subsides, returning to zero within a bounded
+// interval after the flood stops so legitimate clients never pay for a
+// quiet network.
 
 // DoSPolicy configures adaptive puzzle defense.
 type DoSPolicy struct {
@@ -22,6 +27,25 @@ type DoSPolicy struct {
 	// QuietPeriod is how long the failure rate must stay below the
 	// threshold before puzzles are dropped again. Default 2×Window.
 	QuietPeriod time.Duration
+
+	// BaseDifficulty is the puzzle difficulty demanded the moment
+	// suspicion trips. Default 8.
+	BaseDifficulty uint8
+	// MaxDifficulty caps the ratchet. Default BaseDifficulty+8.
+	MaxDifficulty uint8
+	// StepInterval is the minimum spacing between ratchet-ups: at most one
+	// +1 difficulty step per interval while load stays high. Default 2s.
+	StepInterval time.Duration
+	// DecayInterval paces the way down: one -1 difficulty step per
+	// interval once load has stayed low for at least one interval.
+	// Default 5s.
+	DecayInterval time.Duration
+	// HighLoad and LowLoad bound the load score (max of ingest-queue fill
+	// fraction and rate-limiter drop fraction, both in [0,1]) that drives
+	// the ratchet: above HighLoad difficulty steps up, below LowLoad it
+	// decays. Defaults 0.5 and 0.1.
+	HighLoad float64
+	LowLoad  float64
 }
 
 func (p DoSPolicy) withDefaults() DoSPolicy {
@@ -34,10 +58,48 @@ func (p DoSPolicy) withDefaults() DoSPolicy {
 	if p.QuietPeriod == 0 {
 		p.QuietPeriod = 2 * p.Window
 	}
+	if p.BaseDifficulty == 0 {
+		p.BaseDifficulty = 8
+	}
+	if p.MaxDifficulty == 0 {
+		p.MaxDifficulty = p.BaseDifficulty + 8
+	}
+	if p.MaxDifficulty < p.BaseDifficulty {
+		p.MaxDifficulty = p.BaseDifficulty
+	}
+	if p.StepInterval == 0 {
+		p.StepInterval = 2 * time.Second
+	}
+	if p.DecayInterval == 0 {
+		p.DecayInterval = 5 * time.Second
+	}
+	if p.HighLoad == 0 {
+		p.HighLoad = 0.5
+	}
+	if p.LowLoad == 0 {
+		p.LowLoad = 0.1
+	}
 	return p
 }
 
-// dosMonitor tracks recent authentication failures.
+// LoadSample is one controller observation of ingest pressure, fed
+// periodically by the serving transport. RateDropped and RequestsSeen are
+// cumulative counters — the controller diffs consecutive samples itself.
+type LoadSample struct {
+	// QueueDepth/QueueCapacity describe the verification ingest queue.
+	QueueDepth    int
+	QueueCapacity int
+	// RateDropped is the cumulative count of datagrams the ingress rate
+	// limiter shed. Drops are both a load signal and failure evidence:
+	// a flood that the limiter absorbs must still trip suspicion.
+	RateDropped uint64
+	// RequestsSeen is the cumulative count of handshake datagrams that
+	// passed the limiter (the denominator of the drop fraction).
+	RequestsSeen uint64
+}
+
+// dosMonitor tracks recent authentication failures and the graded
+// difficulty state.
 type dosMonitor struct {
 	policy   DoSPolicy
 	failures []time.Time
@@ -45,6 +107,19 @@ type dosMonitor struct {
 	suspicious bool
 	// lastTrigger is when the threshold was last exceeded.
 	lastTrigger time.Time
+
+	// difficulty is the currently demanded puzzle difficulty (0 when the
+	// monitor is not suspicious).
+	difficulty uint8
+	// lastStep/lastHigh/lastDecay pace the ratchet and the decay.
+	lastStep  time.Time
+	lastHigh  time.Time
+	lastDecay time.Time
+	// prevDropped/prevSeen are the cumulative baselines of the last load
+	// sample; haveBaseline gates the first diff.
+	prevDropped  uint64
+	prevSeen     uint64
+	haveBaseline bool
 }
 
 // SetDoSPolicy installs the adaptive controller. Manual SetDoSDefense
@@ -69,6 +144,9 @@ func (r *MeshRouter) observeFailure(now time.Time) {
 	if len(m.failures) >= m.policy.SuspicionThreshold {
 		if !m.suspicious {
 			m.suspicious = true
+			m.difficulty = m.policy.BaseDifficulty
+			m.lastStep = now
+			m.lastHigh = now
 		}
 		m.lastTrigger = now
 		r.dosDefense = true
@@ -86,6 +164,7 @@ func (r *MeshRouter) observeTick(now time.Time) {
 	if len(m.failures) < m.policy.SuspicionThreshold &&
 		now.Sub(m.lastTrigger) >= m.policy.QuietPeriod {
 		m.suspicious = false
+		m.difficulty = 0
 		r.dosDefense = false
 	}
 }
@@ -99,6 +178,104 @@ func (m *dosMonitor) prune(now time.Time) {
 		}
 	}
 	m.failures = keep
+}
+
+// ObserveLoad feeds one ingest-pressure sample to the difficulty
+// controller. High load while suspicious ratchets the demanded difficulty
+// up (one step per StepInterval); low load decays it (one step per
+// DecayInterval) back toward BaseDifficulty, and clearing suspicion —
+// which ObserveLoad also re-evaluates — drops it to zero.
+func (r *MeshRouter) ObserveLoad(s LoadSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.dosMonitor
+	if m == nil || !m.policy.Enabled {
+		return
+	}
+	now := r.cfg.Clock.Now()
+
+	var dropDelta, seenDelta uint64
+	if m.haveBaseline {
+		if s.RateDropped >= m.prevDropped {
+			dropDelta = s.RateDropped - m.prevDropped
+		}
+		if s.RequestsSeen >= m.prevSeen {
+			seenDelta = s.RequestsSeen - m.prevSeen
+		}
+	}
+	m.prevDropped, m.prevSeen, m.haveBaseline = s.RateDropped, s.RequestsSeen, true
+
+	// Rate-limiter drops are failure evidence: a spoofed-source flood the
+	// limiter absorbs must still trip puzzle mode. Cap the marks recorded
+	// per sample at the threshold so a single burst cannot grow the window
+	// slice without bound.
+	marks := dropDelta
+	if max := uint64(m.policy.SuspicionThreshold); marks > max {
+		marks = max
+	}
+	for i := uint64(0); i < marks; i++ {
+		r.observeFailure(now)
+	}
+
+	// Load score: the worst of queue pressure and limiter drop fraction.
+	score := 0.0
+	if s.QueueCapacity > 0 {
+		score = float64(s.QueueDepth) / float64(s.QueueCapacity)
+	}
+	if total := dropDelta + seenDelta; total > 0 {
+		if f := float64(dropDelta) / float64(total); f > score {
+			score = f
+		}
+	}
+
+	r.observeTick(now)
+	if !m.suspicious {
+		return
+	}
+	switch {
+	case score >= m.policy.HighLoad:
+		m.lastHigh = now
+		if now.Sub(m.lastStep) >= m.policy.StepInterval && m.difficulty < m.policy.MaxDifficulty {
+			m.difficulty++
+			m.lastStep = now
+		}
+	case score <= m.policy.LowLoad:
+		if now.Sub(m.lastHigh) >= m.policy.DecayInterval &&
+			now.Sub(m.lastDecay) >= m.policy.DecayInterval &&
+			m.difficulty > m.policy.BaseDifficulty {
+			m.difficulty--
+			m.lastDecay = now
+		}
+	}
+}
+
+// RecordDoSFailure feeds one externally observed authentication failure
+// (a transport-level resume forgery, an undecodable handshake datagram)
+// into the adaptive monitor — the same evidence stream precheck failures
+// use.
+func (r *MeshRouter) RecordDoSFailure() {
+	r.noteFailure()
+}
+
+// RequiredDifficulty reports the puzzle difficulty the router currently
+// demands from access requests: zero when defense is off, the controller's
+// graded difficulty when the adaptive monitor drives it, or the static
+// Config.PuzzleDifficulty when defense was enabled manually.
+func (r *MeshRouter) RequiredDifficulty() uint8 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.requiredDifficultyLocked()
+}
+
+// requiredDifficultyLocked is RequiredDifficulty with r.mu held.
+func (r *MeshRouter) requiredDifficultyLocked() uint8 {
+	if !r.dosDefense {
+		return 0
+	}
+	if m := r.dosMonitor; m != nil && m.policy.Enabled && m.difficulty > 0 {
+		return m.difficulty
+	}
+	return r.cfg.PuzzleDifficulty
 }
 
 // DoSDefenseActive reports whether puzzles are currently demanded.

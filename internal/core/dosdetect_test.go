@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -105,5 +106,177 @@ func TestAdaptiveDoSDefenseIgnoresSparseFailures(t *testing.T) {
 	}
 	if r.DoSDefenseActive() {
 		t.Fatal("sparse failures engaged the defense")
+	}
+}
+
+// TestDoSFailureAgesOutExactlyAtWindowBoundary pins the sliding-window
+// boundary semantics: a failure recorded at time T is evidence for
+// strictly less than Window — at now == T+Window it no longer counts.
+func TestDoSFailureAgesOutExactlyAtWindowBoundary(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	r := tb.routers["MR-0"]
+	r.SetDoSPolicy(DoSPolicy{
+		Enabled:            true,
+		Window:             10 * time.Second,
+		SuspicionThreshold: 3,
+	})
+
+	// Two failures now: one short of the threshold.
+	r.RecordDoSFailure()
+	r.RecordDoSFailure()
+
+	// Exactly Window later they are gone, so a third failure lands in an
+	// empty window and must not trip suspicion.
+	tb.clock.Advance(10 * time.Second)
+	r.RecordDoSFailure()
+	if r.DoSDefenseActive() {
+		t.Fatal("failures at exactly now-Window still counted")
+	}
+
+	// Control: one nanosecond inside the window they do still count.
+	r.RecordDoSFailure() // 2 in window now
+	tb.clock.Advance(10*time.Second - time.Nanosecond)
+	r.RecordDoSFailure()
+	if !r.DoSDefenseActive() {
+		t.Fatal("failures strictly inside the window were dropped")
+	}
+}
+
+// TestDoSThresholdReArmsAfterClear verifies the monitor is not one-shot:
+// after suspicion clears through a quiet period, a second flood must trip
+// it again from a clean slate.
+func TestDoSThresholdReArmsAfterClear(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	r := tb.routers["MR-0"]
+	r.SetDoSPolicy(DoSPolicy{
+		Enabled:            true,
+		Window:             5 * time.Second,
+		SuspicionThreshold: 3,
+		QuietPeriod:        10 * time.Second,
+	})
+
+	for i := 0; i < 3; i++ {
+		r.RecordDoSFailure()
+	}
+	if !r.DoSDefenseActive() {
+		t.Fatal("first flood did not trip suspicion")
+	}
+
+	// Quiet period passes; any observation clears the mode.
+	tb.clock.Advance(11 * time.Second)
+	r.ObserveLoad(LoadSample{})
+	if r.DoSDefenseActive() {
+		t.Fatal("suspicion did not clear after quiet period")
+	}
+	if d := r.RequiredDifficulty(); d != 0 {
+		t.Fatalf("difficulty %d after clear, want 0", d)
+	}
+
+	// A fresh flood must re-trip, and sub-threshold noise must not.
+	r.RecordDoSFailure()
+	r.RecordDoSFailure()
+	if r.DoSDefenseActive() {
+		t.Fatal("sub-threshold noise re-tripped a cleared monitor")
+	}
+	r.RecordDoSFailure()
+	if !r.DoSDefenseActive() {
+		t.Fatal("second flood did not re-trip suspicion")
+	}
+}
+
+// TestDoSDifficultyRatchetAndDecay exercises the closed loop: sustained
+// high ingest load ratchets difficulty above base one step per
+// StepInterval up to the cap; once the flood stops, difficulty decays one
+// step per DecayInterval and suspicion clearing zeroes it.
+func TestDoSDifficultyRatchetAndDecay(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	r := tb.routers["MR-0"]
+	r.SetDoSPolicy(DoSPolicy{
+		Enabled:            true,
+		Window:             3 * time.Second,
+		SuspicionThreshold: 4,
+		QuietPeriod:        4 * time.Second,
+		BaseDifficulty:     4,
+		MaxDifficulty:      6,
+		StepInterval:       time.Second,
+		DecayInterval:      time.Second,
+		HighLoad:           0.5,
+		LowLoad:            0.1,
+	})
+
+	// Baseline sample, then a storm: every sample sheds most datagrams.
+	r.ObserveLoad(LoadSample{})
+	dropped, seen := uint64(0), uint64(0)
+	for i := 0; i < 4; i++ {
+		tb.clock.Advance(time.Second)
+		dropped += 100
+		seen += 10
+		r.ObserveLoad(LoadSample{RateDropped: dropped, RequestsSeen: seen})
+	}
+	if !r.DoSDefenseActive() {
+		t.Fatal("storm did not trip suspicion")
+	}
+	// Trip at sample 1 sets difficulty=base; samples 2..4 each ratchet +1
+	// but the cap at 6 binds.
+	if d := r.RequiredDifficulty(); d != 6 {
+		t.Fatalf("difficulty %d under sustained storm, want cap 6", d)
+	}
+
+	// Storm stops: cumulative counters freeze, score drops to 0. Difficulty
+	// must walk 6 → 5 → 4 (one step per DecayInterval), then the quiet
+	// period clears suspicion and zeroes it.
+	sawBase := false
+	for i := 0; i < 8 && r.DoSDefenseActive(); i++ {
+		tb.clock.Advance(time.Second)
+		r.ObserveLoad(LoadSample{RateDropped: dropped, RequestsSeen: seen})
+		if r.RequiredDifficulty() == 4 {
+			sawBase = true
+		}
+	}
+	if !sawBase {
+		t.Fatal("difficulty never decayed down to base before clearing")
+	}
+	if r.DoSDefenseActive() {
+		t.Fatal("suspicion did not clear after the storm stopped")
+	}
+	if d := r.RequiredDifficulty(); d != 0 {
+		t.Fatalf("difficulty %d after clear, want 0", d)
+	}
+}
+
+// TestDoSMonitorConcurrentAccess hammers the monitor's public surface from
+// many goroutines so the race detector can see any unlocked state.
+func TestDoSMonitorConcurrentAccess(t *testing.T) {
+	tb := newTestbed(t, 1, 1, 1)
+	r := tb.routers["MR-0"]
+	r.SetDoSPolicy(DoSPolicy{Enabled: true, SuspicionThreshold: 4})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					r.RecordDoSFailure()
+				case 1:
+					_ = r.DoSDefenseActive()
+				case 2:
+					r.ObserveLoad(LoadSample{
+						QueueDepth:    i % 8,
+						QueueCapacity: 8,
+						RateDropped:   uint64(i),
+						RequestsSeen:  uint64(2 * i),
+					})
+				default:
+					_ = r.RequiredDifficulty()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !r.DoSDefenseActive() {
+		t.Fatal("concurrent failure stream did not trip suspicion")
 	}
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/peace-mesh/peace/internal/puzzle"
+)
+
+// Stateless puzzle issuance. The seed of every puzzle this router hands
+// out — in a beacon or in a RejectPuzzle reply — is an HMAC of the issue
+// instant and difficulty under a per-incarnation key. A client echoes
+// (IssuedAt, Difficulty, Solution) with its M.2 or resume request, and the
+// router re-derives the exact puzzle and verifies the solution with one
+// HMAC plus one hash: there is no per-puzzle table a connection-depletion
+// flood could grow, and any transport replica holding the router can
+// verify a puzzle another call path issued.
+
+// derivePuzzleSeed computes the deterministic seed of the puzzle issued at
+// issuedAt with the given difficulty.
+func derivePuzzleSeed(key [32]byte, routerID string, issuedAt time.Time, difficulty uint8) [puzzle.SeedSize]byte {
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write([]byte("peace/puzzle-seed:v1"))
+	mac.Write([]byte(routerID))
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(issuedAt.UnixNano()))
+	mac.Write(ts[:])
+	mac.Write([]byte{difficulty})
+	var seed [puzzle.SeedSize]byte
+	copy(seed[:], mac.Sum(nil))
+	return seed
+}
+
+// derivePuzzle materializes the stateless puzzle for (issuedAt, difficulty).
+func derivePuzzle(key [32]byte, routerID string, issuedAt time.Time, difficulty uint8) *puzzle.Puzzle {
+	p := &puzzle.Puzzle{Difficulty: difficulty, IssuedAt: issuedAt, Context: routerID}
+	p.Seed = derivePuzzleSeed(key, routerID, issuedAt, difficulty)
+	return p
+}
+
+// verifyPuzzleSolution checks an echoed solution triple against the
+// currently required difficulty: the echoed difficulty must meet or exceed
+// need (a client that solved a harder, still-fresh challenge is never
+// punished for a ratchet-down), the issue instant must lie inside the
+// freshness envelope, and the re-derived puzzle must accept the solution.
+// Every failure maps to ErrPuzzleRequired so transports answer with
+// RejectPuzzle carrying a fresh challenge.
+func verifyPuzzleSolution(key [32]byte, routerID string, issuedAt time.Time, difficulty uint8, solution uint64, need uint8, now time.Time, cfg Config) error {
+	if difficulty > puzzle.MaxDifficulty {
+		return fmt.Errorf("%w: difficulty %d exceeds maximum", ErrPuzzleRequired, difficulty)
+	}
+	if difficulty < need {
+		return fmt.Errorf("%w: difficulty %d below required %d", ErrPuzzleRequired, difficulty, need)
+	}
+	// A far-future IssuedAt would let an attacker precompute one solution
+	// and replay it past every freshness check.
+	if issuedAt.After(now.Add(cfg.FreshnessWindow)) {
+		return fmt.Errorf("%w: puzzle issued in the future", ErrPuzzleRequired)
+	}
+	p := derivePuzzle(key, routerID, issuedAt, difficulty)
+	if err := p.Verify(solution, now, cfg.PuzzleMaxAge); err != nil {
+		return fmt.Errorf("%w: %v", ErrPuzzleRequired, err)
+	}
+	return nil
+}
+
+// CurrentPuzzle returns the puzzle challenge the router currently demands:
+// nil when no defense is active, otherwise a fresh stateless puzzle at the
+// controller's difficulty. Transports attach it to RejectPuzzle replies so
+// a rejected client can solve and retry without re-soliciting a beacon.
+func (r *MeshRouter) CurrentPuzzle() *puzzle.Puzzle {
+	r.mu.Lock()
+	need := r.requiredDifficultyLocked()
+	key := r.puzzleKey
+	r.mu.Unlock()
+	if need == 0 {
+		return nil
+	}
+	return derivePuzzle(key, r.id, r.cfg.Clock.Now(), need)
+}
+
+// VerifyPuzzleSolution checks a client-echoed (IssuedAt, Difficulty,
+// Solution) triple against the currently demanded difficulty — the
+// transport's one-hash gate, run before any decode or pairing work. It
+// returns nil when no defense is active.
+func (r *MeshRouter) VerifyPuzzleSolution(issuedAt time.Time, difficulty uint8, solution uint64) error {
+	r.mu.Lock()
+	need := r.requiredDifficultyLocked()
+	key := r.puzzleKey
+	r.mu.Unlock()
+	if need == 0 {
+		return nil
+	}
+	return verifyPuzzleSolution(key, r.id, issuedAt, difficulty, solution, need, r.cfg.Clock.Now(), r.cfg)
+}

@@ -71,6 +71,40 @@ func FuzzUnmarshalAccessRequest(f *testing.F) {
 	})
 }
 
+// FuzzPeekAccessRequest hardens the pre-decode M.2 peek the ingress
+// puzzle gate runs on every handshake datagram before any curve or
+// signature work: it must never panic, must accept exactly what the full
+// decoder accepts structurally, and must agree with it on the
+// puzzle-solution echo.
+func FuzzPeekAccessRequest(f *testing.F) {
+	_, seed, _ := fuzzSeeds(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, perr := PeekAccessRequest(data)
+		m, merr := UnmarshalAccessRequest(data)
+		if merr != nil {
+			return
+		}
+		// Everything the full decoder accepts, the peek must accept too (the
+		// converse does not hold: the peek skips curve and signature checks).
+		if perr != nil {
+			t.Fatalf("peek rejected a fully decodable M.2: %v", perr)
+		}
+		if p.HasSolution != m.HasSolution || p.Solution != m.Solution ||
+			!p.PuzzleIssuedAt.Equal(m.PuzzleIssuedAt) || p.PuzzleDifficulty != m.PuzzleDifficulty {
+			t.Fatal("peek and full decode disagree on the solution echo")
+		}
+		if !bytes.Equal(p.RawGJ, m.GJ.Marshal()) || !bytes.Equal(p.RawGR, m.GR.Marshal()) {
+			t.Fatal("peek raw shares disagree with decoded points")
+		}
+		if SessionIDFromRaw(p.RawGR, p.RawGJ) != NewSessionID(m.GR, m.GJ) {
+			t.Fatal("raw session id disagrees with decoded session id")
+		}
+	})
+}
+
 // FuzzUnmarshalDataFrame hardens the session data-frame decoder, which the
 // transport keepalive path runs on every KindSessionPing/Pong payload —
 // attacker-reachable bytes on any endpoint socket.

@@ -31,6 +31,19 @@ func NewSessionID(a, b *bn256.G1) SessionID {
 
 func (s SessionID) String() string { return fmt.Sprintf("%x", s[:8]) }
 
+// SessionIDFromRaw derives the identifier from the already-marshaled DH
+// shares, so ingress gates can address a reject to the right session
+// without paying for curve decompression.
+func SessionIDFromRaw(a, b []byte) SessionID {
+	h := sha256.New()
+	h.Write([]byte("peace/session-id:"))
+	h.Write(a)
+	h.Write(b)
+	var id SessionID
+	h.Sum(id[:0])
+	return id
+}
+
 // Beacon is message M.1: the periodically broadcast, router-signed service
 // announcement carrying the fresh DH parameters and the router
 // certificate (plus a client puzzle under DoS defense). Instead of the
@@ -164,10 +177,16 @@ type AccessRequest struct {
 	Timestamp time.Time // ts_2
 	Sig       *sgs.Signature
 
-	// HasSolution/Solution carry the client-puzzle answer when the beacon
-	// demanded one.
-	HasSolution bool
-	Solution    uint64
+	// HasSolution/Solution carry the client-puzzle answer when the router
+	// demanded one, together with the echoed (PuzzleIssuedAt,
+	// PuzzleDifficulty) pair that lets a stateless verifier re-derive the
+	// exact puzzle that was solved. The solution fields sit outside the
+	// group-signed transcript: a RejectPuzzle recovery can attach a fresh
+	// solution to an already-signed M.2 without another signing pass.
+	HasSolution      bool
+	Solution         uint64
+	PuzzleIssuedAt   time.Time
+	PuzzleDifficulty uint8
 }
 
 // SignedTranscript is the byte string the group signature covers:
@@ -191,6 +210,8 @@ func (m *AccessRequest) Marshal() []byte {
 	if m.HasSolution {
 		w.Byte(1)
 		w.Uint64(m.Solution)
+		w.Time(m.PuzzleIssuedAt)
+		w.Byte(m.PuzzleDifficulty)
 	} else {
 		w.Byte(0)
 	}
@@ -227,11 +248,70 @@ func UnmarshalAccessRequest(data []byte) (*AccessRequest, error) {
 		if m.Solution, err = r.Uint64(); err != nil {
 			return nil, err
 		}
+		if m.PuzzleIssuedAt, err = r.Time(); err != nil {
+			return nil, err
+		}
+		if m.PuzzleDifficulty, err = r.Byte(); err != nil {
+			return nil, err
+		}
 	}
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// AccessRequestPeek is the cheap, pre-decode view of an M.2 datagram: the
+// raw (still-compressed) DH shares and the puzzle-solution echo. It is all
+// an ingress gate needs to verify a puzzle solution and address a reject —
+// no curve unmarshal, no signature parse.
+type AccessRequestPeek struct {
+	RawGJ, RawGR     []byte // aliases into the input buffer
+	HasSolution      bool
+	Solution         uint64
+	PuzzleIssuedAt   time.Time
+	PuzzleDifficulty uint8
+}
+
+// PeekAccessRequest extracts the peek view from an encoded M.2 without
+// decoding curve points or the group signature. The returned byte slices
+// alias data.
+func PeekAccessRequest(data []byte) (*AccessRequestPeek, error) {
+	r := wire.NewReader(data)
+	p := &AccessRequestPeek{}
+	var err error
+	if p.RawGJ, err = r.BytesField(); err != nil {
+		return nil, fmt.Errorf("m2 g^rj: %w", err)
+	}
+	if p.RawGR, err = r.BytesField(); err != nil {
+		return nil, fmt.Errorf("m2 g^rR: %w", err)
+	}
+	if _, err = r.Time(); err != nil {
+		return nil, err
+	}
+	if _, err = r.BytesField(); err != nil { // signature
+		return nil, err
+	}
+	has, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if has == 1 {
+		p.HasSolution = true
+		if p.Solution, err = r.Uint64(); err != nil {
+			return nil, err
+		}
+		if p.PuzzleIssuedAt, err = r.Time(); err != nil {
+			return nil, err
+		}
+		if p.PuzzleDifficulty, err = r.Byte(); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // AccessConfirm is message M.3: the router's key confirmation,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math/big"
 	"sync"
 	"time"
@@ -9,7 +10,6 @@ import (
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/cert"
 	"github.com/peace-mesh/peace/internal/metrics"
-	"github.com/peace-mesh/peace/internal/puzzle"
 	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 	"github.com/peace-mesh/peace/internal/symcrypto"
@@ -109,6 +109,11 @@ type MeshRouter struct {
 	// dosMonitor, when installed, toggles dosDefense automatically from
 	// the observed failure rate (Section V.A's "suspected attack").
 	dosMonitor *dosMonitor
+	// puzzleKey derives the seeds of stateless client puzzles for this
+	// incarnation; echoed solutions are re-derived and verified with one
+	// HMAC plus one hash, no per-puzzle state. Redrawn on Reboot, so a
+	// restart orphans outstanding puzzles along with the sessions.
+	puzzleKey [32]byte
 
 	// sessions and sessionLog are stripe-locked: the sharded transport
 	// loops hit them concurrently for every keepalive and resume, so they
@@ -124,13 +129,15 @@ type MeshRouter struct {
 	stats   routerCounters
 }
 
-// beaconState remembers the secrets behind one broadcast beacon.
+// beaconState remembers the secrets behind one broadcast beacon. Puzzles
+// are deliberately not part of it: they are stateless (see dospuzzle.go),
+// so a solution can answer any sufficiently fresh challenge — the one in
+// the beacon the client holds, or the one a RejectPuzzle reply carried.
 type beaconState struct {
 	g       *bn256.G1
 	gr      *bn256.G1
 	rR      *big.Int
 	sentAt  time.Time
-	puzzle  *puzzle.Puzzle
 	expired bool
 }
 
@@ -166,6 +173,9 @@ func NewMeshRouter(cfg Config, id string, noPub cert.PublicKey, gpk *sgs.PublicK
 		sessionLog:  newShardedMap[*AccessRequest](),
 		metrics:     reg,
 		stats:       newRouterCounters(reg),
+	}
+	if _, err := io.ReadFull(cfg.Rand, r.puzzleKey[:]); err != nil {
+		return nil, fmt.Errorf("router %q: puzzle key: %w", id, err)
 	}
 	reg.GaugeFunc("router_sessions", "sessions currently held", func() int64 {
 		return int64(r.sessions.len())
@@ -291,6 +301,9 @@ func (r *MeshRouter) Reboot() {
 	r.mu.Lock()
 	r.outstanding = make(map[string]*beaconState)
 	r.bootEpoch = 0
+	// Redraw the puzzle key: outstanding puzzle challenges are volatile
+	// state and die with the incarnation that issued them.
+	_, _ = io.ReadFull(r.cfg.Rand, r.puzzleKey[:])
 	r.mu.Unlock()
 	r.sessions.clear()
 	r.sessionLog.clear()
@@ -361,7 +374,8 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 	r.mu.Lock()
 	r.observeTick(r.cfg.Clock.Now())
 	certCopy := r.cert
-	dos := r.dosDefense
+	need := r.requiredDifficultyLocked()
+	key := r.puzzleKey
 	bootEpoch := r.bootEpoch
 	r.mu.Unlock()
 
@@ -397,12 +411,8 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 		URLRef:    urlSnap.Ref(),
 		CRLRef:    crlSnap.Ref(),
 	}
-	if dos {
-		p, err := puzzle.New(r.cfg.Rand, r.cfg.PuzzleDifficulty, r.id, now)
-		if err != nil {
-			return nil, fmt.Errorf("router %q: %w", r.id, err)
-		}
-		b.Puzzle = p
+	if need > 0 {
+		b.Puzzle = derivePuzzle(key, r.id, now, need)
 	}
 	sig, err := r.keyPair.Sign(r.cfg.Rand, b.signedBody())
 	if err != nil {
@@ -416,7 +426,6 @@ func (r *MeshRouter) Beacon() (*Beacon, error) {
 		gr:     gr,
 		rR:     rR,
 		sentAt: now,
-		puzzle: b.Puzzle,
 	}
 	r.mu.Unlock()
 	r.stats.beaconsSent.Add(1)
@@ -529,9 +538,23 @@ func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, time
 	r.stats.requestsSeen.Add(1)
 	r.mu.Lock()
 	st := r.outstanding[string(m.GR.Marshal())]
-	dos := r.dosDefense
+	need := r.requiredDifficultyLocked()
+	key := r.puzzleKey
 	now := r.cfg.Clock.Now()
 	r.mu.Unlock()
+
+	// DoS defense: verify the puzzle solution before anything else — even
+	// the beacon lookup result must not leak work to a solution-less flood.
+	if need > 0 {
+		if !m.HasSolution {
+			r.stats.rejectedPuzzle.Add(1)
+			return nil, now, fmt.Errorf("router %q: %w", r.id, ErrPuzzleRequired)
+		}
+		if err := verifyPuzzleSolution(key, r.id, m.PuzzleIssuedAt, m.PuzzleDifficulty, m.Solution, need, now, r.cfg); err != nil {
+			r.stats.rejectedPuzzle.Add(1)
+			return nil, now, fmt.Errorf("router %q: %w", r.id, err)
+		}
+	}
 
 	// Step 3.1: freshness of g^{r_R} and ts_2.
 	if st == nil || st.expired {
@@ -543,19 +566,6 @@ func (r *MeshRouter) precheckAccessRequest(m *AccessRequest) (*beaconState, time
 		r.stats.rejectedStale.Add(1)
 		r.noteFailure()
 		return nil, now, fmt.Errorf("router %q: ts2: %w", r.id, ErrReplay)
-	}
-
-	// DoS defense: verify the puzzle solution before committing to any
-	// expensive pairing operations.
-	if dos && st.puzzle != nil {
-		if !m.HasSolution {
-			r.stats.rejectedPuzzle.Add(1)
-			return nil, now, fmt.Errorf("router %q: %w", r.id, ErrPuzzleRequired)
-		}
-		if err := st.puzzle.Verify(m.Solution, now, r.cfg.PuzzleMaxAge); err != nil {
-			r.stats.rejectedPuzzle.Add(1)
-			return nil, now, fmt.Errorf("router %q: %w: %v", r.id, ErrPuzzleRequired, err)
-		}
 	}
 	return st, now, nil
 }

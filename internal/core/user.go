@@ -8,6 +8,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/bn256"
 	"github.com/peace-mesh/peace/internal/cert"
+	"github.com/peace-mesh/peace/internal/puzzle"
 	"github.com/peace-mesh/peace/internal/revocation"
 	"github.com/peace-mesh/peace/internal/sgs"
 	"github.com/peace-mesh/peace/internal/symcrypto"
@@ -55,6 +56,12 @@ type User struct {
 	// newer (epoch, digest). Own locks; never hold u.mu across them.
 	urlStore *revocation.Store
 	crlStore *revocation.Store
+
+	// puzzleSolver, when set, replaces the unbounded in-line brute force
+	// used to answer beacon puzzles — transports install a budgeted,
+	// randomized-start solver so solving stays off the hot path and honest
+	// fleets answering one broadcast puzzle find distinct solutions.
+	puzzleSolver func(*puzzle.Puzzle) (uint64, bool)
 }
 
 type pendingRouterAuth struct {
@@ -258,8 +265,15 @@ func (u *User) HandleBeacon(b *Beacon, group GroupID) (*AccessRequest, error) {
 
 	m := &AccessRequest{GJ: gj, GR: b.GR, Timestamp: now}
 	if b.Puzzle != nil {
+		sol, ok := u.solvePuzzle(b.Puzzle)
+		if !ok {
+			return nil, fmt.Errorf("user %q: %w: solve budget exhausted at difficulty %d",
+				u.ID(), ErrPuzzleRequired, b.Puzzle.Difficulty)
+		}
 		m.HasSolution = true
-		m.Solution = b.Puzzle.Solve()
+		m.Solution = sol
+		m.PuzzleIssuedAt = b.Puzzle.IssuedAt
+		m.PuzzleDifficulty = b.Puzzle.Difficulty
 	}
 	sig, err := sgs.Sign(u.cfg.Rand, u.gpk, cred.Key, m.SignedTranscript())
 	if err != nil {
@@ -281,6 +295,27 @@ func (u *User) HandleBeacon(b *Beacon, group GroupID) (*AccessRequest, error) {
 	u.lastG = b.G
 	u.mu.Unlock()
 	return m, nil
+}
+
+// SetPuzzleSolver installs the strategy HandleBeacon (and transports doing
+// RejectPuzzle recovery) use to answer puzzle challenges. The solver
+// returns the solution and whether it found one within its budget; a nil
+// solver restores the default unbounded brute force.
+func (u *User) SetPuzzleSolver(fn func(*puzzle.Puzzle) (uint64, bool)) {
+	u.mu.Lock()
+	u.puzzleSolver = fn
+	u.mu.Unlock()
+}
+
+// solvePuzzle answers one puzzle challenge via the installed solver.
+func (u *User) solvePuzzle(p *puzzle.Puzzle) (uint64, bool) {
+	u.mu.Lock()
+	fn := u.puzzleSolver
+	u.mu.Unlock()
+	if fn != nil {
+		return fn(p)
+	}
+	return p.Solve(), true
 }
 
 // ObserveBeacon validates a beacon and refreshes the cached generator

@@ -273,6 +273,42 @@ func TestE12BatchPipeline(t *testing.T) {
 	}
 }
 
+func TestE19AttackLatencyShape(t *testing.T) {
+	rows, err := RunE19AttackLatency([]int{0, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	calm, hot := rows[0], rows[1]
+	// Every attach must succeed at both intensities — graceful degradation,
+	// not denial.
+	for _, r := range rows {
+		if r.Attached != r.Samples {
+			t.Errorf("intensity %d: attached %d/%d", r.Intensity, r.Attached, r.Samples)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 {
+			t.Errorf("intensity %d: degenerate latencies p50=%v p99=%v", r.Intensity, r.P50, r.P99)
+		}
+	}
+	// The calm baseline must not pay the defense.
+	if calm.PeakDifficulty != 0 || calm.PuzzlesVerified != 0 {
+		t.Errorf("calm run demanded difficulty %d, verified %d puzzles",
+			calm.PeakDifficulty, calm.PuzzlesVerified)
+	}
+	// The attacked point must actually face the defense.
+	if hot.PeakDifficulty == 0 {
+		t.Error("attacked run never demanded a puzzle")
+	}
+	if hot.PuzzlesVerified == 0 {
+		t.Error("attacked run verified no legit solutions")
+	}
+	if hot.FloodDatagrams == 0 {
+		t.Error("flood delivered no datagrams")
+	}
+}
+
 func TestE4LossyAttachment(t *testing.T) {
 	rows, err := RunE4Lossy([]float64{0, 0.3})
 	if err != nil {

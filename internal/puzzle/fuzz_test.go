@@ -1,0 +1,63 @@
+package puzzle
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"time"
+)
+
+// FuzzUnmarshalPuzzle throws hostile bytes at the beacon-puzzle decoder:
+// it must never panic, and every accepted puzzle must round-trip through
+// Marshal to an equivalent decode.
+func FuzzUnmarshalPuzzle(f *testing.F) {
+	p, err := New(rand.Reader, 8, "MR-fuzz", time.Unix(1700000000, 12345))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(p.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if p.Difficulty > MaxDifficulty {
+			t.Fatalf("accepted difficulty %d > max %d", p.Difficulty, MaxDifficulty)
+		}
+		enc := p.Marshal()
+		p2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-decode of marshaled accept failed: %v", err)
+		}
+		if !bytes.Equal(p2.Marshal(), enc) {
+			t.Fatalf("marshal not stable: %x vs %x", p2.Marshal(), enc)
+		}
+	})
+}
+
+// FuzzVerifySolution drives Verify/SolutionDigest with arbitrary puzzle
+// parameters and candidate solutions: no input may panic, and a solution
+// SolveFrom found must always verify.
+func FuzzVerifySolution(f *testing.F) {
+	f.Add([]byte("seed-material-16"), uint8(4), int64(1700000000), "MR-1", uint64(7))
+	f.Fuzz(func(t *testing.T, seed []byte, difficulty uint8, unix int64, context string, candidate uint64) {
+		p := &Puzzle{
+			Difficulty: difficulty % (MaxDifficulty + 1),
+			IssuedAt:   time.Unix(unix%(1<<40), 0),
+			Context:    context,
+		}
+		copy(p.Seed[:], seed)
+		now := p.IssuedAt.Add(time.Second)
+		_ = p.Verify(candidate, now, time.Minute)
+		if p.Difficulty <= 12 {
+			sol, _, ok := p.SolveFrom(candidate, 1<<16)
+			if ok {
+				if err := p.Verify(sol, now, time.Minute); err != nil {
+					t.Fatalf("SolveFrom solution rejected: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -93,11 +93,33 @@ func leadingZeroBits(d [32]byte) int {
 
 // Solve brute-forces a solution. The expected work is 2^Difficulty hashes.
 func (p *Puzzle) Solve() uint64 {
-	for s := uint64(0); ; s++ {
+	s, _, _ := p.SolveFrom(0, 0)
+	return s
+}
+
+// SolveFrom brute-forces a solution starting at start and wrapping through
+// the whole counter space, giving up after budget attempts (0 = no budget).
+// It returns the solution, the number of hash evaluations spent, and
+// whether a solution was found within budget. Randomizing start lets many
+// clients answering the same broadcast puzzle find distinct solutions, so
+// per-source solution-replay suppression does not punish honest fleets.
+func (p *Puzzle) SolveFrom(start, budget uint64) (solution, attempts uint64, ok bool) {
+	for s := start; ; s++ {
+		attempts++
 		if leadingZeroBits(p.digest(s)) >= int(p.Difficulty) {
-			return s
+			return s, attempts, true
+		}
+		if budget != 0 && attempts >= budget {
+			return 0, attempts, false
 		}
 	}
+}
+
+// SolutionDigest returns the digest a solution is judged by. Ingress gates
+// use it as the replay-suppression key: two sources presenting the same
+// digest are replaying one solved puzzle.
+func (p *Puzzle) SolutionDigest(solution uint64) [32]byte {
+	return p.digest(solution)
 }
 
 // Verify checks a solution and the puzzle's freshness window.

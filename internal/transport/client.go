@@ -12,6 +12,7 @@ import (
 
 	"github.com/peace-mesh/peace/internal/core"
 	"github.com/peace-mesh/peace/internal/metrics"
+	"github.com/peace-mesh/peace/internal/puzzle"
 	"github.com/peace-mesh/peace/internal/revocation"
 )
 
@@ -23,6 +24,22 @@ var ErrHandshakeTimeout = errors.New("transport: handshake timed out after max r
 // back off (queue full, draining): the exchange loop keeps retransmitting
 // and may extend its retry budget instead of failing the attach.
 var errTransientReject = errors.New("transport: transient reject")
+
+// puzzleChallengeError aborts an exchange with the challenge a
+// RejectPuzzle reply carried: the caller solves it off the retransmit loop
+// and re-runs the phase with the solution attached.
+type puzzleChallengeError struct{ p *puzzle.Puzzle }
+
+func (e *puzzleChallengeError) Error() string {
+	return fmt.Sprintf("transport: router demands a puzzle solution (difficulty %d)", e.p.Difficulty)
+}
+
+func (e *puzzleChallengeError) Unwrap() error { return core.ErrPuzzleRequired }
+
+// maxPuzzleRetries bounds how many times one attach or resume re-runs its
+// exchange with a freshly solved puzzle before giving up (the demanded
+// difficulty can ratchet between tries).
+const maxPuzzleRetries = 2
 
 // clientSeq de-correlates the jitter streams of clients that did not pick
 // an explicit seed.
@@ -59,6 +76,12 @@ type ClientConfig struct {
 	// (queue-full or draining): those rejections mean "come back soon",
 	// not "give up". Default 3; negative disables re-arming.
 	QueueFullResets int
+	// PuzzleSolveBudget caps the hash evaluations one puzzle solve may
+	// spend before the attach fails with core.ErrPuzzleRequired — the
+	// client-side guard against a hostile or runaway difficulty. The
+	// default of 2^24 covers difficulty ≤ ~22 with headroom; negative
+	// disables the cap.
+	PuzzleSolveBudget int64
 	// Metrics is the registry the client's instruments resolve in. Nil
 	// creates a private registry. A fleet of clients may share one
 	// registry; registration is idempotent and their counts aggregate.
@@ -92,6 +115,12 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.QueueFullResets < 0 {
 		c.QueueFullResets = 0
+	}
+	if c.PuzzleSolveBudget == 0 {
+		c.PuzzleSolveBudget = 1 << 24
+	}
+	if c.PuzzleSolveBudget < 0 {
+		c.PuzzleSolveBudget = 0
 	}
 	if c.Seed == 0 {
 		c.Seed = time.Now().UnixNano() ^ (clientSeq.Add(1) << 32)
@@ -146,7 +175,7 @@ type Client struct {
 // raddr on behalf of user.
 func NewClient(conn net.PacketConn, raddr net.Addr, user *core.User, cfg ClientConfig) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{
+	c := &Client{
 		cfg:   cfg,
 		conn:  conn,
 		raddr: raddr,
@@ -155,6 +184,23 @@ func NewClient(conn net.PacketConn, raddr net.Addr, user *core.User, cfg ClientC
 		buf:   make([]byte, 65536),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	// Budgeted, randomized-start puzzle solving: the random start point
+	// makes a fleet answering one broadcast puzzle find distinct solutions
+	// (so per-source replay suppression never punishes honest clients), and
+	// the budget keeps a hostile difficulty from wedging the attach loop.
+	user.SetPuzzleSolver(c.solvePuzzle)
+	return c
+}
+
+// solvePuzzle answers one challenge within the configured hash budget,
+// recording the solve latency.
+func (c *Client) solvePuzzle(p *puzzle.Puzzle) (uint64, bool) {
+	start := time.Now()
+	sol, _, ok := p.SolveFrom(c.rng.Uint64(), uint64(c.cfg.PuzzleSolveBudget))
+	if ok {
+		c.stats.dosSolveLatency.Observe(time.Since(start))
+	}
+	return sol, ok
 }
 
 // Stats returns the client's transport counters.
@@ -243,13 +289,9 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	request, err := EncodeMessage(m2)
-	if err != nil {
-		return nil, err
-	}
 	sid := core.NewSessionID(m2.GR, m2.GJ)
 	var confirm *core.AccessConfirm
-	err = c.exchange(ctx, request, func(kind Kind, payload []byte) (bool, error) {
+	handler := func(kind Kind, payload []byte) (bool, error) {
 		switch kind {
 		case KindAccessConfirm:
 			m, err := core.UnmarshalAccessConfirm(payload)
@@ -279,6 +321,12 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 				// loop and let exchange re-arm its retry budget.
 				return false, errTransientReject
 			}
+			if rej.Code == RejectPuzzle && rej.Puzzle != nil {
+				// Defense engaged (or ratcheted) after our M.2 was built:
+				// abort the exchange with the carried challenge; the attach
+				// loop solves it and re-sends the same signed M.2.
+				return false, &puzzleChallengeError{p: rej.Puzzle}
+			}
 			return false, fmt.Errorf("transport: router rejected request (%s): %w", rej.Reason, rej.Code.Err())
 		case KindBeacon:
 			// A retransmitted solicitation from phase 1 can still produce
@@ -289,8 +337,32 @@ func (c *Client) Attach(ctx context.Context) (*core.Session, error) {
 			c.stats.unhandled.Add(1)
 			return false, nil
 		}
-	})
-	if err != nil {
+	}
+	for tries := 0; ; tries++ {
+		request, err := EncodeMessage(m2)
+		if err != nil {
+			return nil, err
+		}
+		err = c.exchange(ctx, request, handler)
+		if err == nil {
+			break
+		}
+		var pc *puzzleChallengeError
+		if errors.As(err, &pc) && tries < maxPuzzleRetries {
+			// The solution fields sit outside the group-signed transcript,
+			// so the already-signed M.2 gains the fresh answer without
+			// another signing pass; the session id is unchanged.
+			sol, ok := c.solvePuzzle(pc.p)
+			if !ok {
+				return nil, fmt.Errorf("access request: %w: solve budget exhausted at difficulty %d",
+					core.ErrPuzzleRequired, pc.p.Difficulty)
+			}
+			m2.HasSolution = true
+			m2.Solution = sol
+			m2.PuzzleIssuedAt = pc.p.IssuedAt
+			m2.PuzzleDifficulty = pc.p.Difficulty
+			continue
+		}
 		return nil, fmt.Errorf("access request: %w", err)
 	}
 	sess, err := c.user.HandleAccessConfirm(confirm)

@@ -125,18 +125,28 @@ func (c RejectCode) Err() error {
 
 // Reject is the router's negative reply to an access request: the session
 // identifier it concerns, a machine-readable code and a diagnostic string.
+// A RejectPuzzle reply additionally carries the challenge the router
+// currently demands, so a rejected client can solve and retry without
+// waiting for the next beacon broadcast.
 type Reject struct {
 	Session core.SessionID
 	Code    RejectCode
 	Reason  string
+	Puzzle  *puzzle.Puzzle
 }
 
 // Marshal encodes the reject notice.
 func (m *Reject) Marshal() []byte {
-	w := wire.NewWriter(64 + len(m.Reason))
+	w := wire.NewWriter(128 + len(m.Reason))
 	w.BytesField(m.Session[:])
 	w.Uint32(uint32(m.Code))
 	w.StringField(m.Reason)
+	if m.Puzzle != nil {
+		w.Byte(1)
+		w.BytesField(m.Puzzle.Marshal())
+	} else {
+		w.Byte(0)
+	}
 	return w.Bytes()
 }
 
@@ -159,6 +169,19 @@ func UnmarshalReject(data []byte) (*Reject, error) {
 	m.Code = RejectCode(code)
 	if m.Reason, err = r.StringField(); err != nil {
 		return nil, err
+	}
+	hasPuzzle, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if hasPuzzle == 1 {
+		raw, err := r.BytesField()
+		if err != nil {
+			return nil, err
+		}
+		if m.Puzzle, err = puzzle.Unmarshal(raw); err != nil {
+			return nil, fmt.Errorf("transport: reject puzzle: %w", err)
+		}
 	}
 	if err := r.Finish(); err != nil {
 		return nil, err

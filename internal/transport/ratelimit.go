@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
@@ -23,9 +24,12 @@ type rateLimiter struct {
 	mu      sync.Mutex
 	buckets map[string]*tokenBucket
 	// maxSources bounds the bucket table so the limiter itself cannot be
-	// used to exhaust memory with spoofed sources; on overflow the table
-	// resets, which momentarily re-admits old sources (a deliberate
-	// fail-open: the limiter sheds load, it is not an auth boundary).
+	// used to exhaust memory with spoofed sources. On overflow the
+	// least-recently-active eighth of the buckets is evicted — never the
+	// whole table, so a spoofed-source churn attack cannot zero every
+	// active source's debt at once. An evicted source that returns is
+	// re-admitted at full burst (a deliberate fail-open: the limiter sheds
+	// load, it is not an auth boundary).
 	maxSources int
 }
 
@@ -79,7 +83,7 @@ func (rl *rateLimiter) allow(addr net.Addr) bool {
 	b := rl.buckets[key]
 	if b == nil {
 		if len(rl.buckets) >= rl.maxSources {
-			rl.buckets = make(map[string]*tokenBucket)
+			rl.evictOldestLocked()
 		}
 		b = &tokenBucket{tokens: rl.burst, last: t}
 		rl.buckets[key] = b
@@ -98,4 +102,28 @@ func (rl *rateLimiter) allow(addr net.Addr) bool {
 	}
 	b.tokens--
 	return true
+}
+
+// evictOldestLocked drops the least-recently-active eighth of the bucket
+// table (at least one entry) to make room for a new source. Sorting the
+// full table is acceptable here: eviction fires only when maxSources
+// distinct IPs are live inside one refill horizon, i.e. already under a
+// spoofed-source flood, and amortizes over the next maxSources/8 inserts.
+func (rl *rateLimiter) evictOldestLocked() {
+	type aged struct {
+		key  string
+		last time.Time
+	}
+	entries := make([]aged, 0, len(rl.buckets))
+	for k, b := range rl.buckets {
+		entries = append(entries, aged{k, b.last})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].last.Before(entries[j].last) })
+	n := len(entries) / 8
+	if n < 1 {
+		n = 1
+	}
+	for _, e := range entries[:n] {
+		delete(rl.buckets, e.key)
+	}
 }

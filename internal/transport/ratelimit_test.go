@@ -62,26 +62,73 @@ func TestRateLimiterBucket(t *testing.T) {
 	}
 }
 
-// TestRateLimiterTableReset checks the memory bound: once maxSources
-// distinct sources hold buckets, the table resets rather than growing,
-// deliberately failing open for previously seen sources.
-func TestRateLimiterTableReset(t *testing.T) {
+// TestRateLimiterEvictsOldestAtCapacity checks the capacity policy: a new
+// source arriving at a full table evicts the least-recently-active bucket,
+// not the whole table, so sources with recent activity keep their debt.
+func TestRateLimiterEvictsOldestAtCapacity(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1700000000, 0)}
 	rl := newRateLimiter(0.001, 1, clk.now)
-	rl.maxSources = 4
-	exhausted := udpAddr("198.51.100.1", 9)
-	if !rl.allow(exhausted) || rl.allow(exhausted) {
-		t.Fatal("seed source not exhausted as expected")
+	rl.maxSources = 8
+
+	// Fill the table with sources at strictly increasing activity times so
+	// the LRU order is unambiguous. Source 1 burns its whole budget.
+	addrs := make([]*net.UDPAddr, 8)
+	for i := range addrs {
+		addrs[i] = &net.UDPAddr{IP: net.IPv4(10, 0, byte(i), 1), Port: 9}
+		rl.allow(addrs[i])
+		if i == 1 {
+			if rl.allow(addrs[i]) {
+				t.Fatal("source 1 not exhausted as expected")
+			}
+		}
+		clk.advance(time.Second)
 	}
-	for i := 0; i < 4; i++ {
-		rl.allow(udpAddr("198.51.100.100", 100+i*7))
-		rl.allow(&net.UDPAddr{IP: net.IPv4(10, 0, byte(i), 1), Port: 9})
+
+	// A ninth source overflows the table: the oldest bucket (source 0) is
+	// evicted, everything else survives.
+	fresh := udpAddr("198.51.100.50", 9)
+	if !rl.allow(fresh) {
+		t.Fatal("new source denied at capacity (must fail open)")
 	}
-	if len(rl.buckets) > 4 {
+	if len(rl.buckets) > 8 {
 		t.Fatalf("bucket table grew to %d entries past the bound", len(rl.buckets))
 	}
-	if !rl.allow(exhausted) {
-		t.Fatal("table reset should re-admit the exhausted source (fail open)")
+	if _, ok := rl.buckets[sourceKey(addrs[0])]; ok {
+		t.Fatal("oldest bucket survived eviction")
+	}
+	if _, ok := rl.buckets[sourceKey(addrs[7])]; !ok {
+		t.Fatal("recently active bucket was evicted")
+	}
+	// The exhausted source kept its bucket and its debt: eviction must not
+	// hand every active flooder a fresh budget the way a table reset did.
+	if rl.allow(addrs[1]) {
+		t.Fatal("eviction zeroed an active source's debt")
+	}
+}
+
+// TestRateLimiterChurnBoundedGrowth cycles far more distinct spoofed
+// source IPs through the limiter than the table can hold: the table must
+// stay within its bound throughout while new sources keep being admitted
+// at burst (the fail-open regression — the limiter sheds load, it must
+// never turn into a denial gate for never-seen sources).
+func TestRateLimiterChurnBoundedGrowth(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	rl := newRateLimiter(0.001, 2, clk.now)
+	rl.maxSources = 64
+
+	for i := 0; i < 1000; i++ {
+		addr := &net.UDPAddr{IP: net.IPv4(10, byte(i>>8), byte(i), 1), Port: 9}
+		if !rl.allow(addr) {
+			t.Fatalf("never-seen source %d denied at capacity", i)
+		}
+		if len(rl.buckets) > 64 {
+			t.Fatalf("bucket table grew to %d entries past the bound after %d sources", len(rl.buckets), i+1)
+		}
+		clk.advance(time.Millisecond)
+	}
+	// Churn must actually have cycled the table, not just stopped filling.
+	if len(rl.buckets) == 0 || len(rl.buckets) > 64 {
+		t.Fatalf("unexpected final table size %d", len(rl.buckets))
 	}
 }
 

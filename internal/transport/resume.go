@@ -3,10 +3,12 @@ package transport
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/peace-mesh/peace/internal/core"
+	"github.com/peace-mesh/peace/internal/puzzle"
 	"github.com/peace-mesh/peace/internal/symcrypto"
 	"github.com/peace-mesh/peace/internal/wire"
 )
@@ -25,15 +27,32 @@ type ResumeRequest struct {
 	Nonce     [ResumeNonceSize]byte
 	Timestamp time.Time
 	Tag       [symcrypto.MACSize]byte
+
+	// HasSolution and the echo triple carry the client-puzzle answer when
+	// the router demands one on the resume path too. The fields are under
+	// the request MAC, so a solution cannot be stripped from or grafted
+	// onto someone else's resume in flight.
+	HasSolution      bool
+	Solution         uint64
+	PuzzleIssuedAt   time.Time
+	PuzzleDifficulty uint8
 }
 
 // macBody is the byte string the request tag covers.
 func (m *ResumeRequest) macBody() []byte {
-	w := wire.NewWriter(64 + len(m.Ticket))
-	w.StringField("peace/resume-req:v1")
+	w := wire.NewWriter(96 + len(m.Ticket))
+	w.StringField("peace/resume-req:v2")
 	w.BytesField(m.Ticket)
 	w.BytesField(m.Nonce[:])
 	w.Time(m.Timestamp)
+	if m.HasSolution {
+		w.Byte(1)
+		w.Uint64(m.Solution)
+		w.Time(m.PuzzleIssuedAt)
+		w.Byte(m.PuzzleDifficulty)
+	} else {
+		w.Byte(0)
+	}
 	return w.Bytes()
 }
 
@@ -49,11 +68,19 @@ func (m *ResumeRequest) verify(secret []byte) error {
 
 // Marshal encodes the resume request.
 func (m *ResumeRequest) Marshal() []byte {
-	w := wire.NewWriter(96 + len(m.Ticket))
+	w := wire.NewWriter(128 + len(m.Ticket))
 	w.BytesField(m.Ticket)
 	w.BytesField(m.Nonce[:])
 	w.Time(m.Timestamp)
 	w.BytesField(m.Tag[:])
+	if m.HasSolution {
+		w.Byte(1)
+		w.Uint64(m.Solution)
+		w.Time(m.PuzzleIssuedAt)
+		w.Byte(m.PuzzleDifficulty)
+	} else {
+		w.Byte(0)
+	}
 	return w.Bytes()
 }
 
@@ -98,6 +125,24 @@ func UnmarshalResumeRequestInto(data []byte, m *ResumeRequest) error {
 		return fmt.Errorf("transport: resume tag size %d", len(tag))
 	}
 	copy(m.Tag[:], tag)
+	has, err := r.Byte()
+	if err != nil {
+		return err
+	}
+	m.HasSolution = has == 1
+	if m.HasSolution {
+		if m.Solution, err = r.Uint64(); err != nil {
+			return err
+		}
+		if m.PuzzleIssuedAt, err = r.Time(); err != nil {
+			return err
+		}
+		if m.PuzzleDifficulty, err = r.Byte(); err != nil {
+			return err
+		}
+	} else {
+		m.Solution, m.PuzzleIssuedAt, m.PuzzleDifficulty = 0, time.Time{}, 0
+	}
 	return r.Finish()
 }
 
@@ -268,20 +313,69 @@ func (c *Client) Resume(ctx context.Context) (*core.Session, error) {
 	c.stats.resumeAttempts.Add(1)
 	resumeStart := time.Now()
 
+	var sess *core.Session
+	var body *resumeOK
+	var challenge *puzzle.Puzzle
+	for tries := 0; ; tries++ {
+		err := c.resumeOnce(ctx, t, challenge, &sess, &body)
+		if err == nil {
+			break
+		}
+		var pc *puzzleChallengeError
+		if errors.As(err, &pc) && tries < maxPuzzleRetries {
+			challenge = pc.p
+			continue
+		}
+		return nil, err
+	}
+
+	c.user.AdoptSession(sess)
+	c.setSession(sess, body.BootEpoch)
+	c.storeTicket(body.Ticket, sess)
+	c.stats.resumeSuccesses.Add(1)
+	// body.RouterID arrived inside the key-confirmed sealed body, so it is
+	// as authenticated as the resume itself: a different ID than the
+	// session's establisher means this resume was a roaming handoff.
+	elapsed := time.Since(resumeStart)
+	if prev := c.lastRouter(); prev != "" && body.RouterID != "" && body.RouterID != prev {
+		c.stats.handoffLatency.Observe(elapsed)
+	} else {
+		c.stats.resumeLatency.Observe(elapsed)
+	}
+	if body.RouterID != "" {
+		c.setLastRouterID(body.RouterID)
+	}
+	return sess, nil
+}
+
+// resumeOnce runs a single resume exchange. Each call draws a FRESH nonce:
+// the server caches its rejects by (ticket, nonce), so a puzzle retry on
+// the old nonce would only replay the cached RejectPuzzle. A non-nil
+// challenge is solved (within budget) and attached under the request MAC.
+func (c *Client) resumeOnce(ctx context.Context, t *resumeTicket, challenge *puzzle.Puzzle, sessOut **core.Session, bodyOut **resumeOK) error {
 	req := &ResumeRequest{Ticket: t.blob, Timestamp: time.Now()}
 	if _, err := rand.Read(req.Nonce[:]); err != nil {
-		return nil, fmt.Errorf("transport: resume nonce: %w", err)
+		return fmt.Errorf("transport: resume nonce: %w", err)
+	}
+	if challenge != nil {
+		sol, ok := c.solvePuzzle(challenge)
+		if !ok {
+			return fmt.Errorf("transport: resume: %w: solve budget exhausted at difficulty %d",
+				core.ErrPuzzleRequired, challenge.Difficulty)
+		}
+		req.HasSolution = true
+		req.Solution = sol
+		req.PuzzleIssuedAt = challenge.IssuedAt
+		req.PuzzleDifficulty = challenge.Difficulty
 	}
 	req.sign(t.secret)
 	frame, err := EncodeMessage(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	dedup := resumeDedupID(t.blob, req.Nonce[:])
 
-	var sess *core.Session
-	var body *resumeOK
-	err = c.exchange(ctx, frame, func(kind Kind, payload []byte) (bool, error) {
+	return c.exchange(ctx, frame, func(kind Kind, payload []byte) (bool, error) {
 		switch kind {
 		case KindResumeConfirm:
 			m, err := UnmarshalResumeConfirm(payload)
@@ -309,7 +403,7 @@ func (c *Client) Resume(ctx context.Context) (*core.Session, error) {
 				c.stats.decodeErrors.Add(1)
 				return false, nil
 			}
-			sess, body = cand, b
+			*sessOut, *bodyOut = cand, b
 			return true, nil
 		case KindReject:
 			rej, err := UnmarshalReject(payload)
@@ -325,33 +419,15 @@ func (c *Client) Resume(ctx context.Context) (*core.Session, error) {
 			if rej.Code.Transient() {
 				return false, errTransientReject
 			}
+			if rej.Code == RejectPuzzle && rej.Puzzle != nil {
+				return false, &puzzleChallengeError{p: rej.Puzzle}
+			}
 			return false, fmt.Errorf("transport: router refused resume (%s): %w", rej.Reason, rej.Code.Err())
 		default:
 			c.stats.unhandled.Add(1)
 			return false, nil
 		}
 	})
-	if err != nil {
-		return nil, err
-	}
-
-	c.user.AdoptSession(sess)
-	c.setSession(sess, body.BootEpoch)
-	c.storeTicket(body.Ticket, sess)
-	c.stats.resumeSuccesses.Add(1)
-	// body.RouterID arrived inside the key-confirmed sealed body, so it is
-	// as authenticated as the resume itself: a different ID than the
-	// session's establisher means this resume was a roaming handoff.
-	elapsed := time.Since(resumeStart)
-	if prev := c.lastRouter(); prev != "" && body.RouterID != "" && body.RouterID != prev {
-		c.stats.handoffLatency.Observe(elapsed)
-	} else {
-		c.stats.resumeLatency.Observe(elapsed)
-	}
-	if body.RouterID != "" {
-		c.setLastRouterID(body.RouterID)
-	}
-	return sess, nil
 }
 
 // AttachOrResume tries the cheap ticket path first and falls back to the

@@ -86,6 +86,12 @@ type ServerConfig struct {
 	// (minimum 1) so short legitimate bursts — a fleet re-attaching after
 	// a restart — are not shed.
 	RateLimitBurst int
+	// DoSSampleInterval paces the load sampler that feeds the router's
+	// adaptive puzzle-difficulty controller (queue depth, limiter drops,
+	// admitted handshakes) and mirrors its state into the dos_* gauges.
+	// The sampler always runs — it is a no-op unless the router has a
+	// DoSPolicy installed. Default 250ms.
+	DoSSampleInterval time.Duration
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
@@ -124,6 +130,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.FlushDelay <= 0 {
 		c.FlushDelay = 100 * time.Microsecond
 	}
+	if c.DoSSampleInterval <= 0 {
+		c.DoSSampleInterval = 250 * time.Millisecond
+	}
 	if c.BootEpoch == 0 {
 		var b [8]byte
 		if _, err := rand.Read(b[:]); err == nil {
@@ -159,6 +168,15 @@ type Server struct {
 	// replies is the striped, bounded duplicate-suppression cache shared
 	// by all shard loops (access requests and resumes alike).
 	replies *replyCache
+
+	// dosReplay remembers which source first presented each accepted
+	// puzzle solution (dosgate.go); handshakesSeen counts handshake
+	// datagrams admitted past the limiter — the drop fraction's
+	// denominator in the controller's load samples. dosStop ends the
+	// sampler loop at Close.
+	dosReplay      *solutionReplayTable
+	handshakesSeen atomic.Int64
+	dosStop        chan struct{}
 
 	// ingestPool backs the read rings (full-datagram buffers); framePool
 	// backs pooled egress frames (replies sealed in place). Both are
@@ -218,6 +236,8 @@ func newServer(conns []net.PacketConn, router *core.MeshRouter, cfg ServerConfig
 		revCache:   make(map[revocation.List]*revFrameCache),
 		ingestPool: batchio.NewPool(65536),
 		framePool:  batchio.NewPool(egressFrameSize),
+		dosReplay:  newSolutionReplayTable(dosReplayCap),
+		dosStop:    make(chan struct{}),
 	}
 	if cfg.RateLimitPerSec > 0 {
 		burst := cfg.RateLimitBurst
@@ -250,6 +270,8 @@ func newServer(conns []net.PacketConn, router *core.MeshRouter, cfg ServerConfig
 		s.loops.Add(1)
 		go s.readLoop(conn)
 	}
+	s.loops.Add(1)
+	go s.dosSampleLoop()
 	return s
 }
 
@@ -356,6 +378,7 @@ func (s *Server) Close() {
 	for _, conn := range s.conns {
 		_ = conn.Close()
 	}
+	close(s.dosStop)
 	s.loops.Wait()
 	s.queue.Close()
 	s.wg.Wait()
@@ -483,11 +506,21 @@ func (s *Server) dispatch(l *shardLoop, m *batchio.Message) {
 			s.stats.ratelimitDropped.Add(1)
 			return
 		}
+		s.handshakesSeen.Add(1)
+		// Puzzle gate before the decode: while defense is active,
+		// solution-less and wrongly solved datagrams are refused off the
+		// raw bytes, so a flood never buys curve work (dosgate.go).
+		if !s.gateAccessRequest(l, payload, addr) {
+			return
+		}
 		// The decoded message owns its memory (fresh curve points and
 		// copied byte fields), so the slot can be reused immediately.
 		req, err := core.UnmarshalAccessRequest(payload)
 		if err != nil {
+			// Garbage shaped like an access request is exactly the cheap
+			// flood the adaptive monitor watches for.
 			s.stats.decodeErrors.Add(1)
+			s.router.RecordDoSFailure()
 			return
 		}
 		s.handleAccessRequest(l, req, addr)
@@ -496,11 +529,16 @@ func (s *Server) dispatch(l *shardLoop, m *batchio.Message) {
 			s.stats.ratelimitDropped.Add(1)
 			return
 		}
+		s.handshakesSeen.Add(1)
 		// Zero-copy decode into per-loop scratch: the handler finishes
 		// with the request before this dispatch returns, and the slot
 		// stays untouched until the next Prepare.
 		if err := UnmarshalResumeRequestInto(payload, &l.scratchResume); err != nil {
 			s.stats.decodeErrors.Add(1)
+			s.router.RecordDoSFailure()
+			return
+		}
+		if !s.gateResumeRequest(l, &l.scratchResume, addr) {
 			return
 		}
 		s.handleResumeRequest(l, &l.scratchResume, addr)
@@ -749,6 +787,12 @@ func (s *Server) refuseResume(l *shardLoop, addr net.Addr, sid core.SessionID, c
 	if err != nil {
 		s.logf("transport: encode reject: %v", err)
 		return
+	}
+	// Hard ticket failures (forged MACs, tampered blobs, corrupt escrow)
+	// are authentication failures and feed the adaptive DoS monitor;
+	// stale-epoch and draining refusals are normal operations and do not.
+	if code == RejectTicket {
+		s.router.RecordDoSFailure()
 	}
 	s.stats.rejects.Add(1)
 	s.stats.resumeRejects.Add(1)

@@ -89,6 +89,18 @@ type Stats struct {
 	writeDatagrams *metrics.Counter
 	dataBytes      *metrics.Counter
 
+	// Adaptive DoS-defense observability: the suspicion flag and currently
+	// demanded puzzle difficulty (mirrored from the router's controller by
+	// the server's load sampler), the puzzle ledger at the ingress gate,
+	// and how long client solves take.
+	dosSuspicion       *metrics.Gauge
+	dosDifficulty      *metrics.Gauge
+	dosPuzzlesIssued   *metrics.Counter
+	dosPuzzlesVerified *metrics.Counter
+	dosPuzzlesRejected *metrics.Counter
+	dosSolutionReplays *metrics.Counter
+	dosSolveLatency    *metrics.Histogram
+
 	// Latency histograms at the four hot boundaries: the full AKA attach,
 	// the one-round-trip ticket resume, the cross-router roaming handoff
 	// (a resume adopted by a different router), and the sealed keepalive
@@ -162,6 +174,14 @@ func NewStats(reg *metrics.Registry) *Stats {
 	s.writeBatches = reg.Counter("write_batches", "egress flushes completed")
 	s.writeDatagrams = reg.Counter("write_datagrams", "datagrams moved by egress flushes")
 	s.dataBytes = reg.Counter("data_bytes", "plaintext payload bytes delivered to the local sink")
+
+	s.dosSuspicion = reg.Gauge("dos_suspicion", "1 while the adaptive DoS monitor is suspicious")
+	s.dosDifficulty = reg.Gauge("dos_difficulty", "puzzle difficulty currently demanded from access requests")
+	s.dosPuzzlesIssued = reg.Counter("dos_puzzles_issued", "puzzle challenges attached to beacons and RejectPuzzle replies")
+	s.dosPuzzlesVerified = reg.Counter("dos_puzzles_verified", "puzzle solutions accepted by the ingress gate")
+	s.dosPuzzlesRejected = reg.Counter("dos_puzzles_rejected", "handshake datagrams refused for a missing, wrong or stale puzzle solution")
+	s.dosSolutionReplays = reg.Counter("dos_solution_replays", "puzzle solutions replayed from a different source than first seen")
+	s.dosSolveLatency = reg.Histogram("dos_solve_latency", "client-side puzzle solve latency")
 
 	s.attachLatency = reg.Histogram("attach_latency", "full AKA attach round-trip latency")
 	s.resumeLatency = reg.Histogram("resume_latency", "ticket resume round-trip latency")
@@ -297,6 +317,28 @@ func (s *Stats) WriteDatagrams() int64 { return s.writeDatagrams.Load() }
 
 // DataBytes returns the plaintext bytes delivered to the local sink.
 func (s *Stats) DataBytes() int64 { return s.dataBytes.Load() }
+
+// DoSSuspicion reports whether the mirrored adaptive monitor is suspicious.
+func (s *Stats) DoSSuspicion() bool { return s.dosSuspicion.Load() != 0 }
+
+// DoSDifficulty returns the mirrored currently demanded puzzle difficulty.
+func (s *Stats) DoSDifficulty() int64 { return s.dosDifficulty.Load() }
+
+// DoSPuzzlesIssued returns how many puzzle challenges were issued.
+func (s *Stats) DoSPuzzlesIssued() int64 { return s.dosPuzzlesIssued.Load() }
+
+// DoSPuzzlesVerified returns how many puzzle solutions the gate accepted.
+func (s *Stats) DoSPuzzlesVerified() int64 { return s.dosPuzzlesVerified.Load() }
+
+// DoSPuzzlesRejected returns how many datagrams the puzzle gate refused.
+func (s *Stats) DoSPuzzlesRejected() int64 { return s.dosPuzzlesRejected.Load() }
+
+// DoSSolutionReplays returns how many cross-source solution replays the
+// gate suppressed.
+func (s *Stats) DoSSolutionReplays() int64 { return s.dosSolutionReplays.Load() }
+
+// DoSSolveLatency returns the client puzzle-solve latency histogram.
+func (s *Stats) DoSSolveLatency() *metrics.Histogram { return s.dosSolveLatency }
 
 // AttachLatency returns the full-attach latency histogram.
 func (s *Stats) AttachLatency() *metrics.Histogram { return s.attachLatency }
